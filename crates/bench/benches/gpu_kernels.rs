@@ -1,0 +1,100 @@
+//! Criterion benchmarks of the simulated GPU kernels (§4.1–4.4):
+//! wall-clock cost of functional execution + instrumentation, per kernel
+//! and per work-group size (the §5.1 sweep).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use hetjpeg_core::gpu_decode::{decode_region_gpu, KernelPlan};
+use hetjpeg_core::kernels::idct::IdctKernel;
+use hetjpeg_core::kernels::RegionLayout;
+use hetjpeg_core::platform::Platform;
+use hetjpeg_corpus::{generate_jpeg, ImageSpec, Pattern};
+use hetjpeg_gpusim::GpuSim;
+use hetjpeg_jpeg::decoder::Prepared;
+use hetjpeg_jpeg::types::Subsampling;
+
+fn bench_idct_kernel(c: &mut Criterion) {
+    let spec =
+        ImageSpec { width: 256, height: 256, pattern: Pattern::PhotoLike { detail: 0.6 }, seed: 3 };
+    let jpeg = generate_jpeg(&spec, 85, Subsampling::S422).unwrap();
+    let prep = Prepared::new(&jpeg).unwrap();
+    let (coefbuf, _) = prep.entropy_decode_all().unwrap();
+    let layout = RegionLayout::new(&prep.geom, 0, prep.geom.mcus_y);
+    let packed = coefbuf.pack_mcu_rows(&prep.geom, 0, prep.geom.mcus_y);
+    let bytes: Vec<u8> = packed.iter().flat_map(|v| v.to_le_bytes()).collect();
+
+    let mut g = c.benchmark_group("gpu_idct_kernel");
+    g.throughput(Throughput::Elements(layout.comp_blocks[0] as u64));
+    for wg in [4usize, 8, 16, 32] {
+        g.bench_function(format!("wg{wg}_blocks"), |b| {
+            let mut sim = GpuSim::new(Platform::gtx560().gpu.clone());
+            let coef = sim.create_buffer(layout.coef_bytes);
+            let planes = sim.create_buffer(layout.planes_len);
+            sim.write_buffer(coef, 0, &bytes);
+            let k = IdctKernel {
+                coef,
+                planes,
+                layout: layout.clone(),
+                comp: 0,
+                quant: prep.quant[0].values,
+                blocks_per_group: wg,
+                pad_lmem: true,
+            };
+            b.iter(|| black_box(sim.launch(&k, k.num_groups())));
+        });
+    }
+    g.finish();
+}
+
+fn bench_full_gpu_region(c: &mut Criterion) {
+    let platform = Platform::gtx560();
+    let mut g = c.benchmark_group("gpu_region_decode");
+    for sub in [Subsampling::S444, Subsampling::S422] {
+        let spec = ImageSpec {
+            width: 256,
+            height: 256,
+            pattern: Pattern::PhotoLike { detail: 0.6 },
+            seed: 11,
+        };
+        let jpeg = generate_jpeg(&spec, 85, sub).unwrap();
+        let prep = Prepared::new(&jpeg).unwrap();
+        let (coef, _) = prep.entropy_decode_all().unwrap();
+        g.throughput(Throughput::Elements(prep.geom.pixels() as u64));
+        g.bench_function(format!("merged_{}", sub.notation().replace(':', "")), |b| {
+            b.iter(|| {
+                black_box(decode_region_gpu(
+                    &prep,
+                    &coef,
+                    0,
+                    prep.geom.mcus_y,
+                    &platform,
+                    8,
+                    KernelPlan::Merged,
+                ))
+            })
+        });
+        g.bench_function(format!("unmerged_{}", sub.notation().replace(':', "")), |b| {
+            b.iter(|| {
+                black_box(decode_region_gpu(
+                    &prep,
+                    &coef,
+                    0,
+                    prep.geom.mcus_y,
+                    &platform,
+                    8,
+                    KernelPlan::Unmerged,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900));
+    targets = bench_idct_kernel, bench_full_gpu_region
+}
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion benchmark of the six end-to-end decode modes (the §6
+//! evaluation axis), measuring the host wall-clock of the full
+//! decode + schedule simulation per mode.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use hetjpeg_core::platform::Platform;
+use hetjpeg_core::schedule::{decode_with_mode, Mode};
+use hetjpeg_corpus::{generate_jpeg, ImageSpec, Pattern};
+use hetjpeg_jpeg::types::Subsampling;
+
+fn bench_modes(c: &mut Criterion) {
+    let spec =
+        ImageSpec { width: 256, height: 256, pattern: Pattern::PhotoLike { detail: 0.6 }, seed: 2 };
+    let jpeg = generate_jpeg(&spec, 85, Subsampling::S422).unwrap();
+    let platform = Platform::gtx560();
+    let model = platform.untrained_model();
+
+    let mut g = c.benchmark_group("modes");
+    g.throughput(Throughput::Bytes(jpeg.len() as u64));
+    for mode in Mode::all() {
+        g.bench_function(mode.name(), |b| {
+            b.iter(|| black_box(decode_with_mode(&jpeg, mode, &platform, &model).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_threaded_exec(c: &mut Criterion) {
+    let spec =
+        ImageSpec { width: 256, height: 256, pattern: Pattern::PhotoLike { detail: 0.6 }, seed: 2 };
+    let jpeg = generate_jpeg(&spec, 85, Subsampling::S422).unwrap();
+    let platform = Platform::gtx560();
+    let model = platform.untrained_model();
+
+    let mut g = c.benchmark_group("threaded");
+    g.bench_function("pps_threaded_256", |b| {
+        b.iter(|| {
+            black_box(hetjpeg_core::exec::decode_pps_threaded(&jpeg, &platform, &model).unwrap())
+        })
+    });
+    g.bench_function("reference_decode_256", |b| {
+        b.iter(|| black_box(hetjpeg_jpeg::decoder::decode(&jpeg).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900));
+    targets = bench_modes, bench_threaded_exec
+}
+criterion_main!(benches);

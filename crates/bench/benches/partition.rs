@@ -1,0 +1,57 @@
+//! Criterion benchmark of the run-time decision machinery (§5): model
+//! evaluation in Horner vs naive form (the paper's "noticeable negative
+//! impact" observation), Newton's-method partitioning, and density
+//! correction. These must be negligible next to decode times.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hetjpeg_core::model::PerformanceModel;
+use hetjpeg_core::partition::{pps, sps};
+use hetjpeg_core::platform::Platform;
+use hetjpeg_core::regress::Poly2;
+use hetjpeg_jpeg::geometry::Geometry;
+use hetjpeg_jpeg::types::Subsampling;
+
+fn dense_poly(degree: usize) -> Poly2 {
+    let mons = Poly2::monomials(degree);
+    let flat: Vec<f64> = (0..mons.len()).map(|i| ((i * 31 % 17) as f64 - 8.0) * 1e-6).collect();
+    Poly2::from_flat(degree, &flat, 4096.0, 4096.0)
+}
+
+fn bench_poly_eval(c: &mut Criterion) {
+    let mut g = c.benchmark_group("poly_eval");
+    for degree in [2usize, 4, 7] {
+        let p = dense_poly(degree);
+        g.bench_function(format!("horner_d{degree}"), |b| {
+            b.iter(|| black_box(p.eval(black_box(1920.0), black_box(1080.0))))
+        });
+        g.bench_function(format!("naive_d{degree}"), |b| {
+            b.iter(|| black_box(p.eval_naive(black_box(1920.0), black_box(1080.0))))
+        });
+    }
+    g.finish();
+}
+
+fn bench_partitioning(c: &mut Criterion) {
+    let platform = Platform::gtx560();
+    let model = PerformanceModel::analytic_seed(&platform);
+    let geom = Geometry::new(3840, 2160, Subsampling::S422).unwrap();
+    let mut g = c.benchmark_group("partition");
+    g.bench_function("sps_newton", |b| b.iter(|| black_box(sps::partition(&model, &geom))));
+    g.bench_function("pps_initial", |b| {
+        b.iter(|| black_box(pps::initial_partition(&model, &geom, black_box(0.2), 128.0)))
+    });
+    g.bench_function("pps_repartition", |b| {
+        b.iter(|| black_box(pps::repartition(&model, &geom, 1080.0, black_box(0.25), 0.001)))
+    });
+    g.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900));
+    targets = bench_poly_eval, bench_partitioning
+}
+criterion_main!(benches);

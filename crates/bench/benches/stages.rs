@@ -1,0 +1,139 @@
+//! Criterion micro-benchmarks of every CPU decode stage — the host-side
+//! counterpart of the paper's per-stage instrumentation (§5.1), and the
+//! evidence that our "SIMD-mode" restructuring actually speeds up the
+//! parallel phase on real hardware.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use hetjpeg_corpus::{generate_jpeg, ImageSpec, Pattern};
+use hetjpeg_jpeg::coef::CoefBuffer;
+use hetjpeg_jpeg::color::{ycc_to_rgb, ycc_to_rgb_tab, YccTables};
+use hetjpeg_jpeg::dct::aan::{idct_block_aan, prescale_quant};
+use hetjpeg_jpeg::dct::islow::{fdct_block, idct_block};
+use hetjpeg_jpeg::decoder::{simd, stages, Prepared};
+use hetjpeg_jpeg::quant::QuantTable;
+use hetjpeg_jpeg::sample::{upsample_row_h2v1_blockwise, upsample_row_h2v1_rowwide};
+use hetjpeg_jpeg::types::Subsampling;
+
+fn test_jpeg(dim: usize) -> Vec<u8> {
+    let spec =
+        ImageSpec { width: dim, height: dim, pattern: Pattern::PhotoLike { detail: 0.6 }, seed: 5 };
+    generate_jpeg(&spec, 85, Subsampling::S422).expect("encode")
+}
+
+fn bench_huffman(c: &mut Criterion) {
+    let jpeg = test_jpeg(512);
+    let prep = Prepared::new(&jpeg).unwrap();
+    let mut g = c.benchmark_group("huffman");
+    g.throughput(Throughput::Elements(prep.geom.pixels() as u64));
+    g.bench_function("entropy_decode_512", |b| {
+        b.iter(|| {
+            let mut coef = CoefBuffer::new(&prep.geom);
+            let mut dec = prep.entropy_decoder().unwrap();
+            black_box(dec.decode_remaining(&mut coef).unwrap());
+        })
+    });
+    g.finish();
+}
+
+fn bench_idct(c: &mut Criterion) {
+    let mut block = [0i32; 64];
+    for (i, v) in block.iter_mut().enumerate() {
+        *v = ((i as i32 * 29) % 200 - 100) * 4;
+    }
+    let mut coef16 = [0i16; 64];
+    for (d, &s) in coef16.iter_mut().zip(block.iter()) {
+        *d = (s / 4) as i16;
+    }
+    let quant = QuantTable::luma_for_quality(85).unwrap();
+    let pre = prescale_quant(&quant.values);
+    let mut g = c.benchmark_group("idct");
+    g.bench_function("islow_block", |b| b.iter(|| black_box(idct_block(black_box(&block)))));
+    g.bench_function("aan_float_block", |b| {
+        b.iter(|| black_box(idct_block_aan(black_box(&coef16), &pre)))
+    });
+    let mut samples = [0i32; 64];
+    for (i, v) in samples.iter_mut().enumerate() {
+        *v = (i as i32 * 3) % 255 - 128;
+    }
+    g.bench_function("fdct_islow_block", |b| b.iter(|| black_box(fdct_block(black_box(&samples)))));
+    g.finish();
+}
+
+fn bench_upsample(c: &mut Criterion) {
+    let input: Vec<u8> = (0..512).map(|i| (i % 256) as u8).collect();
+    let mut out = vec![0u8; 1024];
+    let mut g = c.benchmark_group("upsample");
+    g.throughput(Throughput::Bytes(1024));
+    g.bench_function("blockwise_row512", |b| {
+        b.iter(|| upsample_row_h2v1_blockwise(black_box(&input), black_box(&mut out)))
+    });
+    g.bench_function("rowwide_row512", |b| {
+        b.iter(|| upsample_row_h2v1_rowwide(black_box(&input), black_box(&mut out)))
+    });
+    g.finish();
+}
+
+fn bench_color(c: &mut Criterion) {
+    let tabs = YccTables::new();
+    let mut g = c.benchmark_group("color");
+    g.throughput(Throughput::Elements(4096));
+    g.bench_function("inline_4096px", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for i in 0..4096u32 {
+                let p = ycc_to_rgb((i % 256) as u8, (i / 7 % 256) as u8, (i / 3 % 256) as u8);
+                acc = acc.wrapping_add(p[0] as u32);
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("table_4096px", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for i in 0..4096u32 {
+                let p =
+                    ycc_to_rgb_tab(&tabs, (i % 256) as u8, (i / 7 % 256) as u8, (i / 3 % 256) as u8);
+                acc = acc.wrapping_add(p[0] as u32);
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+fn bench_parallel_phase(c: &mut Criterion) {
+    let jpeg = test_jpeg(512);
+    let prep = Prepared::new(&jpeg).unwrap();
+    let (coef, _) = prep.entropy_decode_all().unwrap();
+    let bytes = prep.geom.rgb_bytes_in_mcu_rows(0, prep.geom.mcus_y);
+    let mut out = vec![0u8; bytes];
+    let mut g = c.benchmark_group("parallel_phase");
+    g.throughput(Throughput::Elements(prep.geom.pixels() as u64));
+    g.bench_function("scalar_512", |b| {
+        b.iter(|| {
+            stages::decode_region_rgb(&prep, &coef, 0, prep.geom.mcus_y, black_box(&mut out))
+                .unwrap()
+        })
+    });
+    g.bench_function("simd_style_512", |b| {
+        b.iter(|| {
+            simd::decode_region_rgb_simd(&prep, &coef, 0, prep.geom.mcus_y, black_box(&mut out))
+                .unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900));
+    targets = bench_huffman,
+    bench_idct,
+    bench_upsample,
+    bench_color,
+    bench_parallel_phase
+}
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Run every experiment in order: profiling, then each figure and table.
+//! Equivalent to invoking the individual binaries; useful with
+//! `cargo run -p hetjpeg-bench --release --bin all | tee results/all.txt`.
+
+use std::process::Command;
+
+fn main() {
+    let exes = ["profile", "fig6", "fig7", "fig9", "fig10", "fig11", "fig12", "table2", "table3"];
+    let me = std::env::current_exe().expect("own path");
+    let dir = me.parent().expect("bin dir");
+    for exe in exes {
+        println!("\n================================================================");
+        println!("== {exe}");
+        println!("================================================================");
+        let status = Command::new(dir.join(exe))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {exe}: {e}"));
+        if !status.success() {
+            eprintln!("{exe} failed with {status}");
+            std::process::exit(1);
+        }
+    }
+    println!("\nall experiments complete; CSVs in results/");
+}

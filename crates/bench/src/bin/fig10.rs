@@ -1,0 +1,70 @@
+//! Figure 10: "Average speedups over libjpeg-turbo's SIMD execution with
+//! respect to image size in pixels on the three representative machines"
+//! (4:4:4 shown in the paper; both subsamplings written to CSV here).
+
+use hetjpeg_bench::{ascii_chart, bucket_mean, ensure_model, evaluation_corpus, write_csv, Scale};
+use hetjpeg_core::platform::Platform;
+use hetjpeg_core::schedule::{decode_with_mode, Mode};
+use hetjpeg_jpeg::types::Subsampling;
+
+fn main() {
+    let scale = Scale::from_env();
+    let sub = Subsampling::S444;
+    let corpus = evaluation_corpus(sub, scale);
+    println!(
+        "Figure 10 — speedup over SIMD vs pixels, {} images, {} ({:?} scale)",
+        corpus.len(),
+        sub.notation(),
+        scale
+    );
+
+    let modes = [Mode::Gpu, Mode::PipelinedGpu, Mode::Sps, Mode::Pps];
+    let mut rows = Vec::new();
+    for platform in Platform::all() {
+        let model = ensure_model(&platform, sub, scale);
+        let mut series: Vec<(&str, Vec<(f64, f64)>)> =
+            modes.iter().map(|m| (m.name(), Vec::new())).collect();
+        for img in &corpus {
+            let simd =
+                decode_with_mode(&img.jpeg, Mode::Simd, &platform, &model).expect("simd").total();
+            let px = (img.width * img.height) as f64;
+            for (mi, &mode) in modes.iter().enumerate() {
+                let t = decode_with_mode(&img.jpeg, mode, &platform, &model)
+                    .expect("decode")
+                    .total();
+                let speedup = simd / t;
+                series[mi].1.push((px, speedup));
+                rows.push(format!(
+                    "{},{},{},{},{}",
+                    platform.name,
+                    mode.name(),
+                    img.width,
+                    img.height,
+                    speedup
+                ));
+            }
+        }
+        println!("\n== {} ==", platform.name);
+        println!("{:<12} {:>12} {:>10}", "mode", "pixels", "speedup");
+        let bucketed: Vec<(&str, Vec<(f64, f64)>)> = series
+            .iter()
+            .map(|(n, pts)| (*n, bucket_mean(pts, 6)))
+            .collect();
+        for (name, pts) in &bucketed {
+            for &(px, s) in pts {
+                println!("{:<12} {:>12.0} {:>10.2}", name, px, s);
+            }
+        }
+        println!(
+            "{}",
+            ascii_chart(
+                &format!("{} — speedup (y) vs pixels (x)", platform.name),
+                &bucketed,
+                60,
+                12
+            )
+        );
+    }
+    let path = write_csv("fig10.csv", "machine,mode,width,height,speedup", &rows);
+    println!("wrote {}", path.display());
+}

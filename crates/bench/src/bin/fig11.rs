@@ -1,0 +1,55 @@
+//! Figure 11: "Speedup Comparison of PPS execution to the maximum
+//! achievable speedup on GTX 680."
+//!
+//! By Amdahl's law (Eq. 18–19), the speedup over SIMD is capped at
+//! `Ttotal/THuff` of the SIMD decoder. The paper reports PPS stabilizing at
+//! ~88% of that bound, peaking at 95%, with small images reaching only
+//! about half (not enough chunks to pipeline).
+
+use hetjpeg_bench::{ascii_chart, bucket_mean, ensure_model, evaluation_corpus, write_csv, Scale};
+use hetjpeg_core::platform::Platform;
+use hetjpeg_core::report::{amdahl_max_speedup, percent_of_bound, stats};
+use hetjpeg_core::schedule::{decode_with_mode, Mode};
+use hetjpeg_jpeg::types::Subsampling;
+
+fn main() {
+    let scale = Scale::from_env();
+    let sub = Subsampling::S444;
+    let platform = Platform::gtx680();
+    let model = ensure_model(&platform, sub, scale);
+    let corpus = evaluation_corpus(sub, scale);
+
+    println!(
+        "Figure 11 — PPS vs Amdahl bound on {}, {} images ({:?} scale)",
+        platform.name,
+        corpus.len(),
+        scale
+    );
+    println!("{:>12} {:>10} {:>10} {:>10}", "pixels", "speedup", "bound", "% achvd");
+    let mut rows = Vec::new();
+    let mut pts = Vec::new();
+    let mut percents = Vec::new();
+    for img in &corpus {
+        let simd = decode_with_mode(&img.jpeg, Mode::Simd, &platform, &model).expect("simd");
+        let pps = decode_with_mode(&img.jpeg, Mode::Pps, &platform, &model).expect("pps");
+        let speedup = simd.total() / pps.total();
+        let bound = amdahl_max_speedup(simd.total(), simd.times.huffman);
+        let pct = percent_of_bound(speedup, bound);
+        let px = (img.width * img.height) as f64;
+        pts.push((px, pct));
+        percents.push(pct);
+        rows.push(format!("{},{},{speedup},{bound},{pct}", img.width, img.height));
+    }
+    for &(px, pct) in &bucket_mean(&pts, 8) {
+        println!("{:>12.0} {:>10} {:>10} {:>9.1}%", px, "-", "-", pct);
+    }
+    let s = stats(&percents);
+    let peak = percents.iter().fold(0.0f64, |a, &b| a.max(b));
+    println!(
+        "mean {:.1}% of bound, peak {:.1}%  (paper: mean ~88%, peak 95%)",
+        s.mean, peak
+    );
+    println!("{}", ascii_chart("% of Amdahl bound (y) vs pixels (x)", &[("PPS", bucket_mean(&pts, 10))], 60, 12));
+    let path = write_csv("fig11.csv", "width,height,speedup,bound,percent", &rows);
+    println!("wrote {}", path.display());
+}

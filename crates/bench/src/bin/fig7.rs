@@ -1,0 +1,89 @@
+//! Figure 7: "Huffman decoding rate on GTX 560 with respect to the density
+//! of entropy in bytes per pixel along with best-fit lines."
+//!
+//! The rate is measured from the real bit/symbol counts of the entropy
+//! decoder; the figure's linearity is what justifies modelling
+//! `THuffmanPerPixel` as a polynomial of density (Eq. 3–4).
+
+use hetjpeg_bench::{ascii_chart, write_csv, Scale};
+use hetjpeg_core::platform::Platform;
+use hetjpeg_core::regress::fit_poly1_aic;
+use hetjpeg_corpus::{generate_jpeg, ImageSpec, Pattern};
+use hetjpeg_jpeg::decoder::Prepared;
+use hetjpeg_jpeg::types::Subsampling;
+
+fn main() {
+    let scale = Scale::from_env();
+    let platform = Platform::gtx560();
+    let dim = (scale.large_dim() / 2).max(128);
+
+    // Sweep content detail and quality to cover the paper's density range
+    // (~0.02 – 0.45 bytes/pixel).
+    let patterns: Vec<Pattern> = vec![
+        Pattern::Gradient,
+        Pattern::SmoothField,
+        Pattern::ValueNoise { octaves: 3, detail: 0.3 },
+        Pattern::ValueNoise { octaves: 5, detail: 0.5 },
+        Pattern::ValueNoise { octaves: 6, detail: 0.7 },
+        Pattern::ValueNoise { octaves: 7, detail: 0.9 },
+        Pattern::WhiteNoise { amount: 0.3 },
+        Pattern::WhiteNoise { amount: 0.6 },
+        Pattern::WhiteNoise { amount: 1.0 },
+        Pattern::PhotoLike { detail: 0.5 },
+        Pattern::PhotoLike { detail: 0.8 },
+        Pattern::Checker { cell: 3 },
+    ];
+    let qualities = [60u8, 75, 85, 95];
+
+    println!("Figure 7 — Huffman rate vs entropy density on {}", platform.name);
+    println!("{:<10} {:>10} {:>14}", "subsamp", "d (B/px)", "rate (ns/px)");
+    let mut rows = Vec::new();
+    let mut all_series = Vec::new();
+    for sub in [Subsampling::S422, Subsampling::S444] {
+        let mut pts = Vec::new();
+        for (pi, &pattern) in patterns.iter().enumerate() {
+            for &q in &qualities {
+                let spec =
+                    ImageSpec { width: dim, height: dim, pattern, seed: 7000 + pi as u64 };
+                let jpeg = generate_jpeg(&spec, q, sub).expect("encode");
+                let prep = Prepared::new(&jpeg).expect("parse");
+                let d = prep.parsed.entropy_density();
+                let (_, metrics) = prep.entropy_decode_all().expect("decode");
+                let t = platform.cpu.huff_time(&metrics.total());
+                let rate = t / prep.geom.pixels() as f64 * 1e9;
+                pts.push((d, rate));
+                rows.push(format!("{},{d},{rate}", sub.notation()));
+            }
+        }
+        pts.sort_by(|a, b| a.0.total_cmp(&b.0));
+        for &(d, r) in pts.iter().step_by(4) {
+            println!("{:<10} {:>10.4} {:>14.3}", sub.notation(), d, r);
+        }
+        // Best-fit line, as drawn in the figure.
+        let xs: Vec<f64> = pts.iter().map(|p| p.0).collect();
+        let ys: Vec<f64> = pts.iter().map(|p| p.1).collect();
+        let (poly, rss) = fit_poly1_aic(&xs, &ys, 2);
+        let mean = ys.iter().sum::<f64>() / ys.len() as f64;
+        let tss: f64 = ys.iter().map(|y| (y - mean) * (y - mean)).sum();
+        println!(
+            "  {} best fit: rate ≈ {:.3} + {:.3}·d ns/px (degree {}, R^2 {:.4})",
+            sub.notation(),
+            poly.eval(0.0),
+            (poly.eval(0.3) - poly.eval(0.0)) / 0.3,
+            poly.degree(),
+            if tss > 0.0 { 1.0 - rss / tss } else { 1.0 },
+        );
+        all_series.push((sub.notation(), pts));
+    }
+    println!(
+        "{}",
+        ascii_chart(
+            "Huffman rate (y = ns/px) vs density (x = B/px)",
+            &all_series.iter().map(|(n, p)| (*n, p.clone())).collect::<Vec<_>>(),
+            64,
+            14,
+        )
+    );
+    let path = write_csv("fig7.csv", "subsampling,density_bpp,rate_ns_per_px", &rows);
+    println!("wrote {}", path.display());
+}

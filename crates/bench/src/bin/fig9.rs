@@ -1,0 +1,81 @@
+//! Figure 9: "Decoding time normalized with respect to JPEG decompression
+//! in SIMD mode. The decoded image's dimension is 2048x2048 with 4:2:2
+//! subsampling. Shown are the execution time break-downs of libjpeg-turbo's
+//! sequential JPEG decoder on the CPU, SIMD execution ... and our GPU
+//! execution" — on all three machines.
+//!
+//! Also prints the §6.1 anchor ratios: kernel-only speedup vs SIMD parallel
+//! phase (paper: 10x on GTX 560, 13.7x on GTX 680) and the with-transfers
+//! speedup (2.6x / 4.3x), plus the GT 430 slowdown.
+
+use hetjpeg_bench::{ensure_model, write_csv, Scale};
+use hetjpeg_core::platform::Platform;
+use hetjpeg_core::schedule::{decode_with_mode, Mode};
+use hetjpeg_corpus::{generate_jpeg, ImageSpec, Pattern};
+use hetjpeg_jpeg::types::Subsampling;
+
+fn main() {
+    let scale = Scale::from_env();
+    let dim = scale.large_dim();
+    let spec =
+        ImageSpec { width: dim, height: dim, pattern: Pattern::PhotoLike { detail: 0.6 }, seed: 9 };
+    let jpeg = generate_jpeg(&spec, 85, Subsampling::S422).expect("encode");
+
+    println!("Figure 9 — stage breakdown on a {dim}x{dim} 4:2:2 image (normalized to SIMD total)");
+    println!(
+        "{:<9} {:<6} {:>9} {:>8} {:>8} {:>8} {:>8} {:>8} {:>9}",
+        "machine", "mode", "huffman", "h2d", "kernels", "d2h", "cpu-par", "disp", "total/SIMD"
+    );
+    let mut rows = Vec::new();
+    for platform in Platform::all() {
+        let model = ensure_model(&platform, Subsampling::S422, scale);
+        let simd = decode_with_mode(&jpeg, Mode::Simd, &platform, &model).expect("simd");
+        let simd_total = simd.total();
+        let mut kernel_only_speedup = 0.0;
+        let mut with_transfer_speedup = 0.0;
+        for mode in [Mode::Sequential, Mode::Simd, Mode::Gpu] {
+            let out = decode_with_mode(&jpeg, mode, &platform, &model).expect("decode");
+            let b = out.times;
+            println!(
+                "{:<9} {:<6} {:>9.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>9.3}",
+                platform.name,
+                mode.name(),
+                b.huffman / simd_total,
+                b.h2d / simd_total,
+                b.kernels / simd_total,
+                b.d2h / simd_total,
+                b.cpu_parallel / simd_total,
+                b.dispatch / simd_total,
+                b.total / simd_total,
+            );
+            rows.push(format!(
+                "{},{},{},{},{},{},{},{},{}",
+                platform.name,
+                mode.name(),
+                b.huffman,
+                b.h2d,
+                b.kernels,
+                b.d2h,
+                b.cpu_parallel,
+                b.dispatch,
+                b.total
+            ));
+            if mode == Mode::Gpu {
+                let simd_parallel = simd.times.cpu_parallel;
+                kernel_only_speedup = simd_parallel / b.kernels;
+                with_transfer_speedup = simd_parallel / (b.h2d + b.kernels + b.d2h);
+            }
+        }
+        println!(
+            "  -> §6.1 anchors on {}: kernel-only {:.1}x SIMD parallel phase, {:.2}x with transfers",
+            platform.name, kernel_only_speedup, with_transfer_speedup
+        );
+    }
+    println!("  paper anchors: GTX 560: 10x / 2.6x; GTX 680: 13.7x / 4.3x; GT 430 GPU-mode ~23% slower than SIMD overall");
+    let path = write_csv(
+        "fig9.csv",
+        "machine,mode,huffman_s,h2d_s,kernels_s,d2h_s,cpu_parallel_s,dispatch_s,total_s",
+        &rows,
+    );
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,40 @@
+//! The §5.1 offline profiling step: trains the performance model for every
+//! (machine, subsampling) pair on the training corpus, reports the fitted
+//! closed forms, and caches them under `results/` for the figure/table
+//! binaries.
+
+use hetjpeg_bench::{ensure_model, results_dir, Scale};
+use hetjpeg_core::platform::Platform;
+use hetjpeg_jpeg::types::Subsampling;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("Offline profiling ({:?} scale); models cached in {}", scale, results_dir().display());
+    for platform in Platform::all() {
+        for sub in [Subsampling::S422, Subsampling::S444] {
+            let m = ensure_model(&platform, sub, scale);
+            println!(
+                "{} / {}: THuff degree {}, PCPU degree {}, PGPU degree {}, Tdisp degree {}, chunk {} MCU rows, wg {} blocks",
+                platform.name,
+                sub.notation(),
+                m.thuff_ns_per_px.degree(),
+                m.p_cpu.degree,
+                m.p_gpu.degree,
+                m.t_disp.degree,
+                m.chunk_mcu_rows,
+                m.wg_blocks,
+            );
+            // A few illustrative predictions.
+            for d in [0.05, 0.15, 0.3] {
+                println!("    THuffPerPixel({d:.2} B/px) = {:.2} ns/px", m.thuff_ns_per_px.eval(d));
+            }
+            for dim in [512.0, 1024.0] {
+                println!(
+                    "    PCPU({dim},{dim}) = {:.3} ms   PGPU({dim},{dim}) = {:.3} ms",
+                    m.p_cpu(dim, dim) * 1e3,
+                    m.p_gpu(dim, dim) * 1e3
+                );
+            }
+        }
+    }
+}

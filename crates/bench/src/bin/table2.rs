@@ -1,0 +1,9 @@
+//! Table 2: "Average speedup and coefficient of variation over SIMD
+//! execution when decoding 4:2:2 subsampled images."
+
+use hetjpeg_bench::{paper, run_table};
+use hetjpeg_jpeg::types::Subsampling;
+
+fn main() {
+    run_table("Table 2", Subsampling::S422, &paper::TABLE2, "table2.csv");
+}

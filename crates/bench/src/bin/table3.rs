@@ -1,0 +1,9 @@
+//! Table 3: "Average speedup and coefficient of variation over SIMD
+//! execution when decoding 4:4:4 subsampled images."
+
+use hetjpeg_bench::{paper, run_table};
+use hetjpeg_jpeg::types::Subsampling;
+
+fn main() {
+    run_table("Table 3", Subsampling::S444, &paper::TABLE3, "table3.csv");
+}

@@ -1,0 +1,202 @@
+//! CPU-side cost model: work metrics × calibrated per-unit cycle costs.
+//!
+//! The paper measures wall-clock with timestamp counters (§5.1); this
+//! reproduction replaces the stopwatch with an analytic clock driven by the
+//! *actual work performed*: the entropy decoder reports exactly how many
+//! bits/symbols/blocks each MCU row consumed
+//! ([`hetjpeg_jpeg::metrics::RowMetrics`]), and the parallel stages report
+//! blocks, upsampled samples and converted pixels
+//! ([`hetjpeg_jpeg::metrics::ParallelWork`]). Because the counts are real,
+//! the paper's empirical observations *emerge* rather than being assumed:
+//! Huffman ns/pixel comes out linear in entropy density (Fig. 7) because
+//! denser images really do consume proportionally more bits.
+//!
+//! Calibration anchors (see EXPERIMENTS.md):
+//! * Huffman ≈ 1.5–6 ns/pixel over d ∈ [0.05, 0.45] B/px (Fig. 7 on i7),
+//! * SIMD parallel phase ≈ 3.2 ns/px at 4:2:2 (Fig. 6, ~80 ms at 25 MP),
+//! * SIMD ≈ 2× sequential overall, Huffman ≈ half of SIMD total (§1, §4.5).
+
+use hetjpeg_jpeg::geometry::Geometry;
+use hetjpeg_jpeg::metrics::{ParallelWork, RowMetrics};
+
+/// Per-unit CPU cycle costs for one host microarchitecture.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuCostModel {
+    /// CPU name.
+    pub name: &'static str,
+    /// Core clock in GHz.
+    pub clock_ghz: f64,
+    /// Huffman decoding: cycles per entropy bit consumed.
+    pub huff_cycles_per_bit: f64,
+    /// Huffman decoding: cycles per symbol decoded (table walk + extend).
+    pub huff_cycles_per_symbol: f64,
+    /// Huffman decoding: fixed cycles per block (DC prediction, setup).
+    pub huff_cycles_per_block: f64,
+    /// Scalar dequant+IDCT cycles per 8x8 block.
+    pub idct_cycles_per_block: f64,
+    /// Scalar upsampling cycles per produced chroma sample.
+    pub upsample_cycles_per_sample: f64,
+    /// Scalar color-conversion cycles per pixel.
+    pub color_cycles_per_pixel: f64,
+    /// Speedup of the SIMD path over scalar for the parallel stages
+    /// (libjpeg-turbo's SIMD is ≈3× on the parallel phase, which yields the
+    /// ≈2× overall speedup the paper quotes once Huffman is included).
+    pub simd_speedup: f64,
+    /// Fixed OpenCL dispatch overhead per command batch, µs (the paper's
+    /// `Tdisp`).
+    pub dispatch_base_us: f64,
+    /// Additional dispatch cost per megabyte of argument/transfer setup.
+    pub dispatch_us_per_mb: f64,
+}
+
+impl CpuCostModel {
+    /// Intel i7-2600K @ 3.4 GHz (machines 1–2 of Table 1).
+    pub fn i7_2600k() -> Self {
+        CpuCostModel {
+            name: "i7-2600K",
+            clock_ghz: 3.4,
+            // Calibrated to Fig. 7's best-fit line (≈1.3 + 9.4·d ns/px):
+            // the per-block constant covers the DC/EOB minimum work that
+            // keeps the rate positive at d → 0.
+            huff_cycles_per_bit: 2.0,
+            huff_cycles_per_symbol: 12.0,
+            huff_cycles_per_block: 100.0,
+            idct_cycles_per_block: 600.0,
+            upsample_cycles_per_sample: 4.0,
+            color_cycles_per_pixel: 12.0,
+            simd_speedup: 3.0,
+            dispatch_base_us: 15.0,
+            dispatch_us_per_mb: 1.0,
+        }
+    }
+
+    /// Intel i7-3770K @ 3.5 GHz (machine 3 of Table 1). Ivy Bridge is a
+    /// touch faster per clock as well.
+    pub fn i7_3770k() -> Self {
+        CpuCostModel {
+            clock_ghz: 3.5,
+            name: "i7-3770K",
+            huff_cycles_per_bit: 1.9,
+            huff_cycles_per_symbol: 11.5,
+            huff_cycles_per_block: 96.0,
+            idct_cycles_per_block: 580.0,
+            upsample_cycles_per_sample: 3.9,
+            color_cycles_per_pixel: 11.6,
+            simd_speedup: 3.0,
+            dispatch_base_us: 14.0,
+            dispatch_us_per_mb: 1.0,
+        }
+    }
+
+    #[inline]
+    fn cycles_to_seconds(&self, cycles: f64) -> f64 {
+        cycles / (self.clock_ghz * 1e9)
+    }
+
+    /// Huffman (entropy) decoding time for the given work metrics — the
+    /// sequential phase that pins everything else (paper §1).
+    pub fn huff_time(&self, m: &RowMetrics) -> f64 {
+        let cycles = m.bits as f64 * self.huff_cycles_per_bit
+            + m.symbols as f64 * self.huff_cycles_per_symbol
+            + m.blocks as f64 * self.huff_cycles_per_block;
+        self.cycles_to_seconds(cycles)
+    }
+
+    /// Parallel-phase time (dequant + IDCT + upsample + color) for a band's
+    /// work, on the scalar or SIMD path.
+    pub fn parallel_time(&self, w: &ParallelWork, simd: bool) -> f64 {
+        let cycles = w.idct_blocks as f64 * self.idct_cycles_per_block
+            + w.upsampled_samples as f64 * self.upsample_cycles_per_sample
+            + w.color_pixels as f64 * self.color_cycles_per_pixel;
+        let cycles = if simd { cycles / self.simd_speedup } else { cycles };
+        self.cycles_to_seconds(cycles)
+    }
+
+    /// Host-side OpenCL dispatch time (`Tdisp` in Eq. 9a) for commands
+    /// covering MCU rows `[start, end)`.
+    pub fn dispatch_time(&self, geom: &Geometry, start: usize, end: usize) -> f64 {
+        let bytes = geom.coef_bytes_in_mcu_rows(start, end) + geom.rgb_bytes_in_mcu_rows(start, end);
+        let mb = bytes as f64 / (1024.0 * 1024.0);
+        (self.dispatch_base_us + self.dispatch_us_per_mb * mb) * 1e-6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetjpeg_jpeg::types::Subsampling;
+
+    /// Work metrics of a synthetic 1-megapixel 4:2:2 image at a given
+    /// entropy density (bytes/pixel).
+    fn metrics_at_density(pixels: u64, d: f64) -> RowMetrics {
+        let bits = (d * 8.0 * pixels as f64) as u64;
+        RowMetrics {
+            bits,
+            symbols: (bits as f64 / 5.5) as u64, // ~5.5 bits/symbol typical
+            nonzero_coefs: 0,
+            blocks: pixels * 2 / 64,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn huffman_rate_lands_in_fig7_range() {
+        let cpu = CpuCostModel::i7_2600k();
+        let px = 1_000_000u64;
+        // d = 0.05 B/px → ~1-2 ns/px; d = 0.45 → ~5-8 ns/px.
+        let lo = cpu.huff_time(&metrics_at_density(px, 0.05)) / px as f64 * 1e9;
+        let hi = cpu.huff_time(&metrics_at_density(px, 0.45)) / px as f64 * 1e9;
+        assert!((0.5..2.5).contains(&lo), "low-density rate {lo:.2} ns/px");
+        assert!((4.0..8.5).contains(&hi), "high-density rate {hi:.2} ns/px");
+        // Linear in density: doubling d roughly doubles the variable part.
+        let mid = cpu.huff_time(&metrics_at_density(px, 0.225)) / px as f64 * 1e9;
+        assert!(mid > lo && mid < hi);
+    }
+
+    #[test]
+    fn simd_parallel_phase_near_fig6_anchor() {
+        let cpu = CpuCostModel::i7_2600k();
+        let geom = Geometry::new(2048, 2048, Subsampling::S422).unwrap();
+        let work = ParallelWork::for_mcu_rows(&geom, 0, geom.mcus_y);
+        let t = cpu.parallel_time(&work, true);
+        let ns_per_px = t / geom.pixels() as f64 * 1e9;
+        // Fig. 6 anchor: ≈3.2 ns/px (80 ms / 25 MP).
+        assert!((2.0..5.0).contains(&ns_per_px), "SIMD parallel {ns_per_px:.2} ns/px");
+    }
+
+    #[test]
+    fn scalar_is_about_three_times_simd_parallel() {
+        let cpu = CpuCostModel::i7_2600k();
+        let geom = Geometry::new(1024, 1024, Subsampling::S444).unwrap();
+        let work = ParallelWork::for_mcu_rows(&geom, 0, geom.mcus_y);
+        let ratio = cpu.parallel_time(&work, false) / cpu.parallel_time(&work, true);
+        assert!((ratio - cpu.simd_speedup).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overall_simd_speedup_is_about_two() {
+        // §1: "the SIMD-version of libjpeg-turbo decodes an image twice as
+        // fast as the sequential version on an Intel i7".
+        let cpu = CpuCostModel::i7_2600k();
+        let geom = Geometry::new(2048, 2048, Subsampling::S422).unwrap();
+        let work = ParallelWork::for_mcu_rows(&geom, 0, geom.mcus_y);
+        let m = metrics_at_density(geom.pixels() as u64, 0.18);
+        let seq = cpu.huff_time(&m) + cpu.parallel_time(&work, false);
+        let simd = cpu.huff_time(&m) + cpu.parallel_time(&work, true);
+        let speedup = seq / simd;
+        assert!((1.6..2.6).contains(&speedup), "overall SIMD speedup {speedup:.2}");
+        // Huffman should be a large fraction (~half) of the SIMD total.
+        let frac = cpu.huff_time(&m) / simd;
+        assert!((0.3..0.6).contains(&frac), "Huffman fraction {frac:.2}");
+    }
+
+    #[test]
+    fn dispatch_time_grows_with_volume() {
+        let cpu = CpuCostModel::i7_2600k();
+        let geom = Geometry::new(4096, 4096, Subsampling::S422).unwrap();
+        let small = cpu.dispatch_time(&geom, 0, 1);
+        let large = cpu.dispatch_time(&geom, 0, geom.mcus_y);
+        assert!(large > small);
+        assert!(small >= cpu.dispatch_base_us * 1e-6);
+    }
+}

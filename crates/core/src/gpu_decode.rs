@@ -1,0 +1,375 @@
+//! GPU decode orchestration: buffers, kernel sequence, timing.
+//!
+//! One [`GpuRegionDecoder`] decodes a band of MCU rows on the simulated
+//! GPU, following the paper's kernel plans:
+//!
+//! * 4:4:4 — single merged IDCT×3+color kernel (§4.4),
+//! * 4:2:2 / 4:2:0 — IDCT per component into planes, then the merged
+//!   upsample+color kernel (§4.4),
+//! * optionally the unmerged plan (IDCT, upsample, color as separate
+//!   kernels) for the §4.4 ablation.
+//!
+//! The result carries both the functional RGB bytes and the *simulated*
+//! stage durations (H2D, per-kernel, D2H) that the schedulers place on the
+//! command-queue timeline.
+
+use crate::kernels::color::ColorKernel;
+use crate::kernels::idct::IdctKernel;
+use crate::kernels::merged::{IdctColorKernel444, UpsampleColorKernel};
+use crate::kernels::upsample::UpsampleKernel422;
+use crate::kernels::RegionLayout;
+use crate::platform::Platform;
+use hetjpeg_gpusim::{GpuSim, LaunchStats, TimingModel};
+use hetjpeg_jpeg::coef::CoefBuffer;
+use hetjpeg_jpeg::decoder::Prepared;
+use hetjpeg_jpeg::types::Subsampling;
+
+/// Simulated timings and functional output of one GPU region decode.
+#[derive(Debug, Clone)]
+pub struct GpuRegionResult {
+    /// Interleaved RGB for the region's (clipped) pixel rows.
+    pub rgb: Vec<u8>,
+    /// Host→device transfer time (coefficients), seconds.
+    pub h2d_time: f64,
+    /// Device→host transfer time (RGB), seconds.
+    pub d2h_time: f64,
+    /// Per-kernel simulated durations.
+    pub kernel_times: Vec<(&'static str, f64)>,
+    /// Merged launch statistics of all kernels.
+    pub stats: LaunchStats,
+    /// Bytes shipped host→device.
+    pub h2d_bytes: usize,
+    /// Bytes shipped device→host.
+    pub d2h_bytes: usize,
+}
+
+impl GpuRegionResult {
+    /// Total kernel time.
+    pub fn kernels_total(&self) -> f64 {
+        self.kernel_times.iter().map(|(_, t)| t).sum()
+    }
+
+    /// Total device-side time (transfers + kernels) — the paper's
+    /// `PGPU` (Eq. 7): `Ow + Tkernel + Or`.
+    pub fn device_total(&self) -> f64 {
+        self.h2d_time + self.kernels_total() + self.d2h_time
+    }
+}
+
+/// Kernel plan selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelPlan {
+    /// The paper's production plan with merged kernels (§4.4).
+    Merged,
+    /// Separate IDCT / upsample / color kernels (ablation baseline).
+    Unmerged,
+}
+
+/// Decode MCU rows `[row0, row1)` on the simulated GPU.
+///
+/// `wg_blocks` is the tuned work-group size in blocks (paper §5.1 sweeps 4
+/// to 32 MCUs); it is used for the IDCT-family kernels.
+pub fn decode_region_gpu(
+    prep: &Prepared<'_>,
+    coefbuf: &CoefBuffer,
+    row0: usize,
+    row1: usize,
+    platform: &Platform,
+    wg_blocks: usize,
+    plan: KernelPlan,
+) -> GpuRegionResult {
+    let packed = coefbuf.pack_mcu_rows(&prep.geom, row0, row1);
+    decode_packed_region_gpu(prep, &packed, row0, row1, platform, wg_blocks, plan)
+}
+
+/// Like [`decode_region_gpu`] but takes an already-packed coefficient chunk
+/// — the form the real-thread pipelined executor sends through its channel
+/// (so the entropy thread and the GPU thread never alias the coefficient
+/// buffer).
+pub fn decode_packed_region_gpu(
+    prep: &Prepared<'_>,
+    packed: &[i16],
+    row0: usize,
+    row1: usize,
+    platform: &Platform,
+    wg_blocks: usize,
+    plan: KernelPlan,
+) -> GpuRegionResult {
+    let geom = &prep.geom;
+    let layout = RegionLayout::new(geom, row0, row1);
+    let mut sim = GpuSim::new(platform.gpu.clone());
+
+    // Buffers.
+    let coef = sim.create_buffer(layout.coef_bytes);
+    let planes = sim.create_buffer(layout.planes_len.max(1));
+    let rgb = sim.create_buffer(layout.rgb_len);
+
+    // H2D: ship the packed coefficients (pinned buffers, §5.1).
+    let bytes: Vec<u8> = packed.iter().flat_map(|v| v.to_le_bytes()).collect();
+    debug_assert_eq!(bytes.len(), layout.coef_bytes);
+    sim.write_buffer(coef, 0, &bytes);
+    let h2d_time = platform.pcie.transfer_time(bytes.len(), true);
+
+    let mut kernel_times: Vec<(&'static str, f64)> = Vec::new();
+    let mut stats = LaunchStats::default();
+    let mut run =
+        |sim: &GpuSim, name: &'static str, k: &dyn hetjpeg_gpusim::Kernel, groups: usize| {
+            let s = sim.launch(k, groups);
+            let t = TimingModel::kernel_time(&platform.gpu, &s, k.items_per_group());
+            stats.merge(&s);
+            kernel_times.push((name, t));
+        };
+
+    match (geom.subsampling, plan) {
+        (Subsampling::S444, KernelPlan::Merged) => {
+            let k = IdctColorKernel444 {
+                coef,
+                rgb,
+                layout: layout.clone(),
+                quant: [prep.quant[0].values, prep.quant[1].values, prep.quant[2].values],
+                blocks_per_group: wg_blocks,
+            };
+            run(&sim, "idct+color", &k, k.num_groups());
+        }
+        (Subsampling::S444, KernelPlan::Unmerged) => {
+            for c in 0..3 {
+                let k = IdctKernel {
+                    coef,
+                    planes,
+                    layout: layout.clone(),
+                    comp: c,
+                    quant: prep.quant[c].values,
+                    blocks_per_group: wg_blocks,
+                    pad_lmem: true,
+                };
+                run(&sim, "idct", &k, k.num_groups());
+            }
+            let k = ColorKernel {
+                y_buf: planes,
+                y_base: layout.plane_base[0],
+                y_stride: layout.plane_stride[0],
+                cb_buf: planes,
+                cb_base: layout.plane_base[1],
+                cr_buf: planes,
+                cr_base: layout.plane_base[2],
+                c_stride: layout.plane_stride[1],
+                rgb,
+                width: layout.width,
+                rows: layout.pixel_rows,
+                segments_per_group: 64,
+                block_order: true,
+            };
+            run(&sim, "color", &k, k.num_groups());
+        }
+        (sub, plan) => {
+            // 4:2:2 / 4:2:0: IDCT into planes first.
+            for c in 0..3 {
+                let k = IdctKernel {
+                    coef,
+                    planes,
+                    layout: layout.clone(),
+                    comp: c,
+                    quant: prep.quant[c].values,
+                    blocks_per_group: wg_blocks,
+                    pad_lmem: true,
+                };
+                run(&sim, "idct", &k, k.num_groups());
+            }
+            match plan {
+                KernelPlan::Merged => {
+                    let k = UpsampleColorKernel {
+                        planes,
+                        rgb,
+                        layout: layout.clone(),
+                        v2: sub == Subsampling::S420,
+                        blocks_per_group: if sub == Subsampling::S420 { 4 } else { 8 },
+                        parity_major: true,
+                    };
+                    run(&sim, "upsample+color", &k, k.num_groups());
+                }
+                KernelPlan::Unmerged => {
+                    if sub != Subsampling::S422 {
+                        unimplemented!("unmerged plan is implemented for 4:2:2 only");
+                    }
+                    let lw = layout.plane_stride[0];
+                    let lrows = layout.comp_block_rows[0] * 8;
+                    let mut sim2 = sim; // need a new buffer: rebind mutably
+                    let upsampled = sim2.create_buffer(2 * lw * lrows);
+                    for (comp, out_base) in [(1usize, 0usize), (2, lw * lrows)] {
+                        let k = UpsampleKernel422 {
+                            planes,
+                            upsampled,
+                            layout: layout.clone(),
+                            comp,
+                            out_base,
+                            out_stride: lw,
+                            blocks_per_group: 8,
+                        };
+                        run(&sim2, "upsample", &k, k.num_groups());
+                    }
+                    let k = ColorKernel {
+                        y_buf: planes,
+                        y_base: layout.plane_base[0],
+                        y_stride: lw,
+                        cb_buf: upsampled,
+                        cb_base: 0,
+                        cr_buf: upsampled,
+                        cr_base: lw * lrows,
+                        c_stride: lw,
+                        rgb,
+                        width: layout.width,
+                        rows: layout.pixel_rows,
+                        segments_per_group: 64,
+                        block_order: true,
+                    };
+                    run(&sim2, "color", &k, k.num_groups());
+                    let out = sim2.read_buffer(rgb).to_vec();
+                    let d2h_time = platform.pcie.transfer_time(out.len(), true);
+                    return GpuRegionResult {
+                        d2h_bytes: out.len(),
+                        rgb: out,
+                        h2d_time,
+                        d2h_time,
+                        kernel_times,
+                        stats,
+                        h2d_bytes: bytes.len(),
+                    };
+                }
+            }
+        }
+    }
+
+    // D2H: read back the region's RGB rows.
+    let out = sim.read_buffer(rgb).to_vec();
+    let d2h_time = platform.pcie.transfer_time(out.len(), true);
+    GpuRegionResult {
+        d2h_bytes: out.len(),
+        rgb: out,
+        h2d_time,
+        d2h_time,
+        kernel_times,
+        stats,
+        h2d_bytes: bytes.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetjpeg_jpeg::decoder::stages;
+    use hetjpeg_jpeg::encoder::{encode_rgb, EncodeParams};
+
+    fn jpeg_of(w: usize, h: usize, sub: Subsampling) -> Vec<u8> {
+        let mut rgb = Vec::with_capacity(w * h * 3);
+        for i in 0..w * h {
+            rgb.extend_from_slice(&[
+                ((i * 7) % 256) as u8,
+                ((i * 13) % 256) as u8,
+                ((i * 3) % 256) as u8,
+            ]);
+        }
+        encode_rgb(
+            &rgb,
+            w as u32,
+            h as u32,
+            &EncodeParams { quality: 83, subsampling: sub, restart_interval: 0 },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn gpu_region_decode_matches_cpu_for_all_plans() {
+        let platform = Platform::gtx560();
+        for sub in [Subsampling::S444, Subsampling::S422, Subsampling::S420] {
+            let jpeg = jpeg_of(48, 48, sub);
+            let prep = Prepared::new(&jpeg).unwrap();
+            let (coef, _) = prep.entropy_decode_all().unwrap();
+            let mut want = vec![0u8; prep.geom.rgb_bytes_in_mcu_rows(0, prep.geom.mcus_y)];
+            stages::decode_region_rgb(&prep, &coef, 0, prep.geom.mcus_y, &mut want).unwrap();
+
+            let res = decode_region_gpu(
+                &prep,
+                &coef,
+                0,
+                prep.geom.mcus_y,
+                &platform,
+                4,
+                KernelPlan::Merged,
+            );
+            assert_eq!(res.rgb, want, "merged {}", sub.notation());
+            assert!(res.h2d_time > 0.0 && res.d2h_time > 0.0);
+            assert!(res.kernels_total() > 0.0);
+
+            if sub != Subsampling::S420 {
+                let res2 = decode_region_gpu(
+                    &prep,
+                    &coef,
+                    0,
+                    prep.geom.mcus_y,
+                    &platform,
+                    4,
+                    KernelPlan::Unmerged,
+                );
+                assert_eq!(res2.rgb, want, "unmerged {}", sub.notation());
+            }
+        }
+    }
+
+    #[test]
+    fn partial_region_decode_matches_cpu_band() {
+        let platform = Platform::gtx680();
+        let jpeg = jpeg_of(64, 64, Subsampling::S422);
+        let prep = Prepared::new(&jpeg).unwrap();
+        let (coef, _) = prep.entropy_decode_all().unwrap();
+        for (a, b) in [(0usize, 2usize), (2, 5), (5, 8)] {
+            let mut want = vec![0u8; prep.geom.rgb_bytes_in_mcu_rows(a, b)];
+            stages::decode_region_rgb(&prep, &coef, a, b, &mut want).unwrap();
+            let res = decode_region_gpu(&prep, &coef, a, b, &platform, 4, KernelPlan::Merged);
+            assert_eq!(res.rgb, want, "band {a}..{b}");
+        }
+    }
+
+    #[test]
+    fn merged_plan_moves_less_memory_than_unmerged() {
+        // §4.4's entire point: merging avoids round-tripping intermediates
+        // through global memory.
+        let platform = Platform::gtx560();
+        let jpeg = jpeg_of(128, 128, Subsampling::S444);
+        let prep = Prepared::new(&jpeg).unwrap();
+        let (coef, _) = prep.entropy_decode_all().unwrap();
+        let merged =
+            decode_region_gpu(&prep, &coef, 0, prep.geom.mcus_y, &platform, 4, KernelPlan::Merged);
+        let unmerged = decode_region_gpu(
+            &prep,
+            &coef,
+            0,
+            prep.geom.mcus_y,
+            &platform,
+            4,
+            KernelPlan::Unmerged,
+        );
+        assert!(
+            merged.stats.bus_bytes() < unmerged.stats.bus_bytes(),
+            "merged {} vs unmerged {}",
+            merged.stats.bus_bytes(),
+            unmerged.stats.bus_bytes()
+        );
+        assert!(merged.kernels_total() < unmerged.kernels_total());
+    }
+
+    #[test]
+    fn bigger_devices_are_faster_on_same_region() {
+        let jpeg = jpeg_of(256, 256, Subsampling::S422);
+        let prep = Prepared::new(&jpeg).unwrap();
+        let (coef, _) = prep.entropy_decode_all().unwrap();
+        let t = |p: &Platform| {
+            decode_region_gpu(&prep, &coef, 0, prep.geom.mcus_y, p, 4, KernelPlan::Merged)
+                .kernels_total()
+        };
+        let t430 = t(&Platform::gt430());
+        let t560 = t(&Platform::gtx560());
+        let t680 = t(&Platform::gtx680());
+        assert!(t430 > t560, "GT430 {t430} vs GTX560 {t560}");
+        assert!(t560 > t680, "GTX560 {t560} vs GTX680 {t680}");
+    }
+}

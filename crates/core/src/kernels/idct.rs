@@ -1,0 +1,274 @@
+//! The IDCT kernel (paper §4.1).
+//!
+//! "We employ eight OpenCL work-items per block. The input data is
+//! de-quantized after being loaded from global memory. Each work-item
+//! performs the column pass followed by the row pass. A work-item stores an
+//! eight-pixel column directly to its registers ... The intermediate results
+//! from the column pass are shared among work-items within a group to
+//! process the row pass. Thus, local memory is the suitable choice. ...
+//! a work-group performs IDCT on a multiple of four blocks to ensure that
+//! the number of work-items per group is a multiple of 32."
+
+use super::ops;
+use super::RegionLayout;
+use hetjpeg_gpusim::{BufId, GroupCtx, Kernel};
+use hetjpeg_jpeg::dct::islow::{idct_pass1, idct_row};
+
+/// Local-memory stride per block in i64 units; padded from 64 to reduce
+/// shared-memory bank conflicts between the column and row passes. The
+/// `ablations` bench compares this against the unpadded layout.
+pub const BLOCK_LMEM_STRIDE: usize = 65;
+
+/// Dequantize + 2-D IDCT of one component's blocks into its sample plane.
+pub struct IdctKernel {
+    /// Packed coefficient buffer (i16).
+    pub coef: BufId,
+    /// Sample planes buffer (u8).
+    pub planes: BufId,
+    /// Region geometry.
+    pub layout: RegionLayout,
+    /// Which component this launch covers.
+    pub comp: usize,
+    /// Quantization table (natural order) — constant memory.
+    pub quant: [u16; 64],
+    /// Blocks per work-group (a multiple of 4; tuned in profiling, §5.1).
+    pub blocks_per_group: usize,
+    /// Pad local memory rows (the optimized layout). `false` only for the
+    /// ablation bench.
+    pub pad_lmem: bool,
+}
+
+impl IdctKernel {
+    /// Number of work-groups needed for this launch.
+    pub fn num_groups(&self) -> usize {
+        self.layout.comp_blocks[self.comp].div_ceil(self.blocks_per_group)
+    }
+
+    #[inline]
+    fn lmem_stride(&self) -> usize {
+        if self.pad_lmem {
+            BLOCK_LMEM_STRIDE
+        } else {
+            64
+        }
+    }
+}
+
+impl Kernel for IdctKernel {
+    fn name(&self) -> &'static str {
+        "idct"
+    }
+
+    fn items_per_group(&self) -> usize {
+        self.blocks_per_group * 8
+    }
+
+    fn local_bytes(&self) -> usize {
+        self.blocks_per_group * self.lmem_stride() * 8
+    }
+
+    fn run_group(&self, ctx: &mut GroupCtx<'_>) {
+        let nblocks = self.layout.comp_blocks[self.comp];
+        let wb = self.layout.comp_width_blocks[self.comp];
+        let coef_base = self.layout.coef_base[self.comp];
+        let plane_base = self.layout.plane_base[self.comp];
+        let stride = self.layout.plane_stride[self.comp];
+        let lstride = self.lmem_stride();
+        let first_block = ctx.group_id * self.blocks_per_group;
+        let (coef, planes) = (self.coef, self.planes);
+
+        // Phase 1 — column pass: item = (local block, column).
+        ctx.phase(|it| {
+            let lb = it.id() / 8;
+            let col = it.id() % 8;
+            let bidx = first_block + lb;
+            if !it.branch(bidx < nblocks) {
+                return;
+            }
+            let mut v = [0i64; 8];
+            for (r, slot) in v.iter_mut().enumerate() {
+                let addr = (coef_base + bidx * 64 + r * 8 + col) * 2;
+                let c = it.gload_i16(coef, addr) as i64;
+                it.charge(ops::DEQUANT);
+                *slot = c * self.quant[r * 8 + col] as i64;
+            }
+            it.charge(ops::IDCT_1D);
+            let out = idct_pass1(v);
+            for (r, &val) in out.iter().enumerate() {
+                it.lstore_i64((lb * lstride + r * 8 + col) * 8, val);
+            }
+        });
+
+        // Phase 2 — row pass (after the local-memory barrier): item =
+        // (local block, row).
+        ctx.phase(|it| {
+            let lb = it.id() / 8;
+            let row = it.id() % 8;
+            let bidx = first_block + lb;
+            if !it.branch(bidx < nblocks) {
+                return;
+            }
+            let mut v = [0i64; 8];
+            for (c, slot) in v.iter_mut().enumerate() {
+                *slot = it.lload_i64((lb * lstride + row * 8 + c) * 8);
+            }
+            it.charge(ops::IDCT_1D + ops::PACK_ROW);
+            let px = idct_row(&v);
+            let by = bidx / wb;
+            let bx = bidx % wb;
+            let addr = plane_base + (by * 8 + row) * stride + bx * 8;
+            it.gstore_vec8(planes, addr, px);
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetjpeg_gpusim::{DeviceSpec, GpuSim};
+    use hetjpeg_jpeg::decoder::{stages, Prepared};
+    use hetjpeg_jpeg::encoder::{encode_rgb, EncodeParams};
+    use hetjpeg_jpeg::planes::SamplePlanes;
+    use hetjpeg_jpeg::types::Subsampling;
+
+    fn make_image(w: usize, h: usize, sub: Subsampling) -> Vec<u8> {
+        let mut rgb = Vec::with_capacity(w * h * 3);
+        for y in 0..h {
+            for x in 0..w {
+                rgb.extend_from_slice(&[
+                    ((x * 5 + y * 3) % 256) as u8,
+                    ((x * 2 + y * 7) % 256) as u8,
+                    ((x * 11 + y) % 256) as u8,
+                ]);
+            }
+        }
+        encode_rgb(
+            &rgb,
+            w as u32,
+            h as u32,
+            &EncodeParams { quality: 82, subsampling: sub, restart_interval: 0 },
+        )
+        .unwrap()
+    }
+
+    /// Run the IDCT kernel for all components and compare every plane byte
+    /// against the CPU `dequant_idct_region` stage.
+    #[test]
+    fn idct_kernel_matches_cpu_stage_bitexact() {
+        for sub in [Subsampling::S444, Subsampling::S422] {
+            let jpeg = make_image(48, 32, sub);
+            let prep = Prepared::new(&jpeg).unwrap();
+            let (coefbuf, _) = prep.entropy_decode_all().unwrap();
+            let geom = &prep.geom;
+            let layout = RegionLayout::new(geom, 0, geom.mcus_y);
+
+            let mut sim = GpuSim::new(DeviceSpec::gtx560ti());
+            let coef = sim.create_buffer(layout.coef_bytes);
+            let planes = sim.create_buffer(layout.planes_len);
+            let packed = coefbuf.pack_mcu_rows(geom, 0, geom.mcus_y);
+            let bytes: Vec<u8> = packed.iter().flat_map(|v| v.to_le_bytes()).collect();
+            sim.write_buffer(coef, 0, &bytes);
+
+            for c in 0..3 {
+                let k = IdctKernel {
+                    coef,
+                    planes,
+                    layout: layout.clone(),
+                    comp: c,
+                    quant: prep.quant[c].values,
+                    blocks_per_group: 4,
+                    pad_lmem: true,
+                };
+                let stats = sim.launch(&k, k.num_groups());
+                assert!(stats.compute_ops > 0);
+                assert_eq!(stats.divergent_branches, 0, "uniform guard expected");
+            }
+
+            // CPU reference.
+            let mut ref_planes = SamplePlanes::new(geom);
+            stages::dequant_idct_region(&prep, &coefbuf, 0, geom.mcus_y, &mut ref_planes);
+
+            let out = sim.read_buffer(planes);
+            for c in 0..3 {
+                let comp = &geom.comps[c];
+                let stride = layout.plane_stride[c];
+                for row in 0..comp.plane_height() {
+                    let got = &out[layout.plane_base[c] + row * stride
+                        ..layout.plane_base[c] + row * stride + stride];
+                    let want = ref_planes.row(c, row);
+                    assert_eq!(got, want, "{} comp {c} row {row}", sub.notation());
+                }
+            }
+        }
+    }
+
+    /// A ragged launch (blocks not a multiple of the group size) must guard
+    /// with a (divergent) branch rather than write out of bounds.
+    #[test]
+    fn ragged_tail_group_diverges_but_stays_in_bounds() {
+        let jpeg = make_image(24, 16, Subsampling::S444); // 3x2 blocks per comp
+        let prep = Prepared::new(&jpeg).unwrap();
+        let geom = &prep.geom;
+        let (coefbuf, _) = prep.entropy_decode_all().unwrap();
+        let layout = RegionLayout::new(geom, 0, geom.mcus_y);
+
+        let mut sim = GpuSim::new(DeviceSpec::gt430());
+        let coef = sim.create_buffer(layout.coef_bytes);
+        let planes = sim.create_buffer(layout.planes_len);
+        let packed = coefbuf.pack_mcu_rows(geom, 0, geom.mcus_y);
+        let bytes: Vec<u8> = packed.iter().flat_map(|v| v.to_le_bytes()).collect();
+        sim.write_buffer(coef, 0, &bytes);
+
+        // 6 blocks with groups of 4 -> second group is half empty.
+        let k = IdctKernel {
+            coef,
+            planes,
+            layout: layout.clone(),
+            comp: 0,
+            quant: prep.quant[0].values,
+            blocks_per_group: 4,
+            pad_lmem: true,
+        };
+        assert_eq!(k.num_groups(), 2);
+        let stats = sim.launch(&k, k.num_groups());
+        // The tail group's guard is warp-divergent (items 0..16 active).
+        assert!(stats.divergent_branches > 0);
+    }
+
+    /// Padding the local buffer must reduce bank conflicts.
+    #[test]
+    fn lmem_padding_reduces_conflicts() {
+        let jpeg = make_image(64, 32, Subsampling::S444);
+        let prep = Prepared::new(&jpeg).unwrap();
+        let geom = &prep.geom;
+        let (coefbuf, _) = prep.entropy_decode_all().unwrap();
+        let layout = RegionLayout::new(geom, 0, geom.mcus_y);
+        let packed = coefbuf.pack_mcu_rows(geom, 0, geom.mcus_y);
+        let bytes: Vec<u8> = packed.iter().flat_map(|v| v.to_le_bytes()).collect();
+
+        let run = |pad: bool| {
+            let mut sim = GpuSim::new(DeviceSpec::gtx560ti());
+            let coef = sim.create_buffer(layout.coef_bytes);
+            let planes = sim.create_buffer(layout.planes_len);
+            sim.write_buffer(coef, 0, &bytes);
+            let k = IdctKernel {
+                coef,
+                planes,
+                layout: layout.clone(),
+                comp: 0,
+                quant: prep.quant[0].values,
+                blocks_per_group: 4,
+                pad_lmem: pad,
+            };
+            sim.launch(&k, k.num_groups())
+        };
+        let padded = run(true);
+        let unpadded = run(false);
+        assert!(
+            padded.lmem_conflict_cycles <= unpadded.lmem_conflict_cycles,
+            "padded {} vs unpadded {}",
+            padded.lmem_conflict_cycles,
+            unpadded.lmem_conflict_cycles
+        );
+    }
+}

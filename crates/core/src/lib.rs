@@ -1,0 +1,59 @@
+//! # hetjpeg-core — dynamic partitioning-based heterogeneous JPEG decoding
+//!
+//! The primary contribution of Sodsong et al., *Dynamic Partitioning-based
+//! JPEG Decompression on Heterogeneous Multicore Architectures*
+//! (PMAM/PPoPP 2014), implemented on top of:
+//!
+//! * `hetjpeg-jpeg` — the libjpeg-turbo-equivalent codec substrate, and
+//! * `hetjpeg-gpusim` — the OpenCL-style GPU simulator.
+//!
+//! The pieces map one-to-one onto the paper:
+//!
+//! | Module | Paper |
+//! |---|---|
+//! | [`platform`] | Table 1 machines (CPU + GPU + PCIe) |
+//! | [`cost`] | CPU work-metric cost model behind Figs. 6–7 |
+//! | [`kernels`] | §4.1–4.4 GPU kernels (IDCT, upsampling, color, merged) |
+//! | [`gpu_decode`] | §4 GPU decode orchestration + §4.5 chunking |
+//! | [`regress`] | §5.1 multivariate polynomial regression, AIC, Horner |
+//! | [`profile`] | §5.1 offline profiling, §4.5 chunk tuning, work-group tuning |
+//! | [`model`] | §5.1 closed forms `THuff`, `PCPU`, `PGPU`, `Tdisp` |
+//! | [`partition`] | §5.2 SPS / PPS load balancing, Newton's method, Eq. 16–17 re-partitioning |
+//! | [`schedule`] | §6 the six decode modes (sequential, SIMD, GPU, pipelined, SPS, PPS) |
+//! | [`exec`] | real-thread pipelined execution (host demonstration) |
+//! | [`report`] | §6.2 Amdahl bound (Eq. 18–19) and speedup statistics |
+//! | [`timeline`] | Fig. 5 / Fig. 8 execution timelines |
+//!
+//! ## Quick example
+//!
+//! ```
+//! use hetjpeg_core::platform::Platform;
+//! use hetjpeg_core::schedule::{decode_with_mode, Mode};
+//! use hetjpeg_corpus::{generate_jpeg, ImageSpec, Pattern};
+//! use hetjpeg_jpeg::types::Subsampling;
+//!
+//! let spec = ImageSpec { width: 128, height: 128,
+//!                        pattern: Pattern::PhotoLike { detail: 0.6 }, seed: 7 };
+//! let jpeg = generate_jpeg(&spec, 85, Subsampling::S422).unwrap();
+//! let platform = Platform::gtx560();
+//! let model = platform.untrained_model(); // or run profile::train(...)
+//! let out = decode_with_mode(&jpeg, Mode::Pps, &platform, &model).unwrap();
+//! assert_eq!(out.image.width, 128);
+//! assert!(out.times.total > 0.0);
+//! ```
+
+pub mod cost;
+pub mod exec;
+pub mod gpu_decode;
+pub mod kernels;
+pub mod model;
+pub mod partition;
+pub mod platform;
+pub mod profile;
+pub mod regress;
+pub mod report;
+pub mod schedule;
+pub mod timeline;
+
+pub use platform::Platform;
+pub use schedule::{decode_with_mode, DecodeOutcome, Mode};

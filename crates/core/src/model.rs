@@ -1,0 +1,266 @@
+//! The closed-form performance model (paper §5.1).
+//!
+//! "The variables to our performance model are image width, height and
+//! entropy data size." The model holds four closed forms, all evaluated in
+//! Horner form at run time:
+//!
+//! * `THuffPerPixel(d)` — Huffman ns/pixel as a polynomial of the entropy
+//!   density `d = file_size / (w·h)` (Eq. 3); whole-image Huffman time is
+//!   `THuff(w,h,d) = THuffPerPixel(d) · w · h` (Eq. 4);
+//! * `PCPU(w, h)` — SIMD parallel-phase seconds for an h-row band;
+//! * `PGPU(w, h)` — GPU transfers + kernels for an h-row band (Eq. 7);
+//! * `Tdisp(w, h)` — host-side dispatch overhead.
+//!
+//! Models are persisted in a tiny `key = value` text format to stay inside
+//! the offline dependency set (no serde_json).
+
+use crate::platform::Platform;
+use crate::regress::{Poly1, Poly2};
+use hetjpeg_jpeg::Subsampling;
+
+/// Calibrated closed forms for one (platform, subsampling) pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerformanceModel {
+    /// Platform name (Table 1 machine).
+    pub platform: String,
+    /// Subsampling this model was trained for.
+    pub subsampling: Subsampling,
+    /// Huffman ns/pixel as a function of density (bytes/pixel).
+    pub thuff_ns_per_px: Poly1,
+    /// SIMD parallel phase, seconds, as f(width, rows).
+    pub p_cpu: Poly2,
+    /// GPU transfers + kernels, seconds, as f(width, rows).
+    pub p_gpu: Poly2,
+    /// Dispatch overhead, seconds, as f(width, rows).
+    pub t_disp: Poly2,
+    /// Tuned pipeline chunk height in MCU rows (§4.5).
+    pub chunk_mcu_rows: usize,
+    /// Tuned work-group size in blocks (§5.1).
+    pub wg_blocks: usize,
+}
+
+impl PerformanceModel {
+    /// Eq. (4): whole-image (or band) Huffman time for `pixels` pixels at
+    /// density `d` bytes/pixel.
+    pub fn huff_time(&self, pixels: f64, d: f64) -> f64 {
+        (self.thuff_ns_per_px.eval(d) * 1e-9 * pixels).max(0.0)
+    }
+
+    /// SIMD parallel-phase estimate for a `width × rows` band.
+    pub fn p_cpu(&self, width: f64, rows: f64) -> f64 {
+        if rows <= 0.0 {
+            0.0
+        } else {
+            self.p_cpu.eval(width, rows).max(0.0)
+        }
+    }
+
+    /// GPU estimate (transfers + kernels) for a `width × rows` band.
+    pub fn p_gpu(&self, width: f64, rows: f64) -> f64 {
+        if rows <= 0.0 {
+            0.0
+        } else {
+            self.p_gpu.eval(width, rows).max(0.0)
+        }
+    }
+
+    /// Dispatch-overhead estimate for a `width × rows` band.
+    pub fn t_disp(&self, width: f64, rows: f64) -> f64 {
+        if rows <= 0.0 {
+            0.0
+        } else {
+            self.t_disp.eval(width, rows).max(0.0)
+        }
+    }
+
+    /// An analytic bootstrap model derived from the platform's cost
+    /// constants rather than offline profiling; replaced by
+    /// [`crate::profile::train`] for the experiments. Assumes 4:2:2-ish
+    /// work ratios.
+    pub fn analytic_seed(platform: &Platform) -> Self {
+        let cpu = &platform.cpu;
+        // Huffman ns/px at density d (see cost.rs): bits/px = 8d,
+        // symbols/px ≈ 8d / 5.5, blocks/px = 2/64.
+        let per_bit = cpu.huff_cycles_per_bit / cpu.clock_ghz; // ns per bit
+        let per_sym = cpu.huff_cycles_per_symbol / cpu.clock_ghz;
+        let per_blk = cpu.huff_cycles_per_block / cpu.clock_ghz;
+        let c0 = per_blk * 2.0 / 64.0;
+        let c1 = 8.0 * per_bit + (8.0 / 5.5) * per_sym;
+        let thuff = Poly1::new(vec![c0, c1]);
+
+        // SIMD parallel phase ns/px (4:2:2 ratios, see cost.rs).
+        let scalar_cycles_per_px = cpu.idct_cycles_per_block * 2.0 / 64.0
+            + cpu.upsample_cycles_per_sample * 1.0
+            + cpu.color_cycles_per_pixel;
+        let simd_ns_per_px = scalar_cycles_per_px / cpu.simd_speedup / cpu.clock_ghz;
+        // p_cpu(w, rows) = simd_ns_per_px * w * rows * 1e-9: pure cross term.
+        let mut p_cpu = Poly2::zero(2);
+        p_cpu.coefs[1][1] = simd_ns_per_px * 1e-9;
+
+        // GPU: transfers dominate; rough per-byte + per-pixel kernel cost.
+        let bytes_per_px = 2.0 * 2.0 + 3.0; // i16 coefs (~2 samp/px) + RGB out
+        let pcie_s_per_px = bytes_per_px / (platform.pcie.pinned_gbps * 1e9);
+        // Rough instrumented-kernel op count per pixel (IDCT column+row
+        // passes, upsampling, conversion, loads/stores); the trained model
+        // measures the real value.
+        let kernel_ops_per_px = 70.0;
+        let kernel_s_per_px = kernel_ops_per_px / platform.gpu.peak_ops_per_sec();
+        let mem_s_per_px = 12.0 / (platform.gpu.gmem_bandwidth_gbps * 1e9);
+        let gpu_s_per_px = pcie_s_per_px + kernel_s_per_px.max(mem_s_per_px);
+        let mut p_gpu = Poly2::zero(2);
+        p_gpu.coefs[0][0] = platform.pcie.latency_us * 2e-6
+            + platform.gpu.launch_overhead_us * 4e-6;
+        p_gpu.coefs[1][1] = gpu_s_per_px;
+
+        let mut t_disp = Poly2::zero(1);
+        t_disp.coefs[0][0] = cpu.dispatch_base_us * 1e-6;
+
+        PerformanceModel {
+            platform: platform.name.to_string(),
+            subsampling: Subsampling::S422,
+            thuff_ns_per_px: thuff,
+            p_cpu,
+            p_gpu,
+            t_disp,
+            chunk_mcu_rows: 16,
+            wg_blocks: 8,
+        }
+    }
+
+    /// Serialize to the `key = value` text format.
+    pub fn save_str(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("platform = {}\n", self.platform));
+        out.push_str(&format!("subsampling = {}\n", self.subsampling.notation()));
+        out.push_str(&format!("chunk_mcu_rows = {}\n", self.chunk_mcu_rows));
+        out.push_str(&format!("wg_blocks = {}\n", self.wg_blocks));
+        let p1 = |name: &str, p: &Poly1, out: &mut String| {
+            out.push_str(&format!("{name}.x_scale = {:e}\n", p.x_scale));
+            let list: Vec<String> = p.coefs.iter().map(|c| format!("{c:e}")).collect();
+            out.push_str(&format!("{name}.coefs = {}\n", list.join(",")));
+        };
+        let p2 = |name: &str, p: &Poly2, out: &mut String| {
+            out.push_str(&format!("{name}.degree = {}\n", p.degree));
+            out.push_str(&format!("{name}.x_scale = {:e}\n", p.x_scale));
+            out.push_str(&format!("{name}.y_scale = {:e}\n", p.y_scale));
+            let mut list = Vec::new();
+            for row in &p.coefs {
+                for &c in row {
+                    list.push(format!("{c:e}"));
+                }
+            }
+            out.push_str(&format!("{name}.coefs = {}\n", list.join(",")));
+        };
+        p1("thuff", &self.thuff_ns_per_px, &mut out);
+        p2("p_cpu", &self.p_cpu, &mut out);
+        p2("p_gpu", &self.p_gpu, &mut out);
+        p2("t_disp", &self.t_disp, &mut out);
+        out
+    }
+
+    /// Parse the text format back.
+    pub fn load_str(text: &str) -> Option<Self> {
+        let mut map = std::collections::HashMap::new();
+        for line in text.lines() {
+            if let Some((k, v)) = line.split_once('=') {
+                map.insert(k.trim().to_string(), v.trim().to_string());
+            }
+        }
+        let get = |k: &str| map.get(k).cloned();
+        let parse_f = |s: &str| s.parse::<f64>().ok();
+        let parse_list = |s: &str| -> Option<Vec<f64>> {
+            s.split(',').map(|t| t.trim().parse::<f64>().ok()).collect()
+        };
+        let p1 = |name: &str| -> Option<Poly1> {
+            Some(Poly1 {
+                coefs: parse_list(&get(&format!("{name}.coefs"))?)?,
+                x_scale: parse_f(&get(&format!("{name}.x_scale"))?)?,
+            })
+        };
+        let p2 = |name: &str| -> Option<Poly2> {
+            let degree: usize = get(&format!("{name}.degree"))?.parse().ok()?;
+            let flat = parse_list(&get(&format!("{name}.coefs"))?)?;
+            if flat.len() != (degree + 1) * (degree + 1) {
+                return None;
+            }
+            let mut p = Poly2::zero(degree);
+            p.x_scale = parse_f(&get(&format!("{name}.x_scale"))?)?;
+            p.y_scale = parse_f(&get(&format!("{name}.y_scale"))?)?;
+            for i in 0..=degree {
+                for j in 0..=degree {
+                    p.coefs[i][j] = flat[i * (degree + 1) + j];
+                }
+            }
+            Some(p)
+        };
+        let subsampling = match get("subsampling")?.as_str() {
+            "4:4:4" => Subsampling::S444,
+            "4:2:2" => Subsampling::S422,
+            "4:2:0" => Subsampling::S420,
+            _ => return None,
+        };
+        Some(PerformanceModel {
+            platform: get("platform")?,
+            subsampling,
+            thuff_ns_per_px: p1("thuff")?,
+            p_cpu: p2("p_cpu")?,
+            p_gpu: p2("p_gpu")?,
+            t_disp: p2("t_disp")?,
+            chunk_mcu_rows: get("chunk_mcu_rows")?.parse().ok()?,
+            wg_blocks: get("wg_blocks")?.parse().ok()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_model_is_sane() {
+        let m = PerformanceModel::analytic_seed(&Platform::gtx560());
+        // Huffman at d=0.2 on a megapixel: low single-digit milliseconds.
+        let t = m.huff_time(1e6, 0.2);
+        assert!((5e-4..1e-2).contains(&t), "huff {t}");
+        // CPU band time grows with rows.
+        assert!(m.p_cpu(1024.0, 512.0) > m.p_cpu(1024.0, 256.0));
+        // GPU time grows with rows and has a fixed floor.
+        assert!(m.p_gpu(1024.0, 8.0) > 0.0);
+        assert!(m.p_gpu(1024.0, 1024.0) > m.p_gpu(1024.0, 64.0));
+        // Dispatch is microseconds.
+        assert!(m.t_disp(4096.0, 4096.0) < 1e-3);
+    }
+
+    #[test]
+    fn weak_gpu_seed_prefers_cpu() {
+        // On the GT 430 seed model, GPU band time should exceed CPU SIMD
+        // band time for large bands (the paper's §6.1 observation).
+        let m = PerformanceModel::analytic_seed(&Platform::gt430());
+        assert!(m.p_gpu(2048.0, 2048.0) > m.p_cpu(2048.0, 2048.0));
+        // On the GTX 680 it is the reverse.
+        let m = PerformanceModel::analytic_seed(&Platform::gtx680());
+        assert!(m.p_gpu(2048.0, 2048.0) < m.p_cpu(2048.0, 2048.0));
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let m = PerformanceModel::analytic_seed(&Platform::gtx680());
+        let text = m.save_str();
+        let back = PerformanceModel::load_str(&text).expect("parse");
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        assert!(PerformanceModel::load_str("").is_none());
+        assert!(PerformanceModel::load_str("platform = x\n").is_none());
+    }
+
+    #[test]
+    fn negative_rows_clamp_to_zero() {
+        let m = PerformanceModel::analytic_seed(&Platform::gtx560());
+        assert_eq!(m.p_cpu(1000.0, -5.0), 0.0);
+        assert_eq!(m.p_gpu(1000.0, 0.0), 0.0);
+        assert_eq!(m.t_disp(1000.0, -1.0), 0.0);
+    }
+}

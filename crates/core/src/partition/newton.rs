@@ -1,0 +1,120 @@
+//! Newton's method root solving (paper Eq. 11).
+//!
+//! "At run-time, the root can be estimated using Newton's method ...
+//! performed recursively until no better partition can be found."
+
+/// Outcome of a Newton solve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NewtonResult {
+    /// The root estimate.
+    pub x: f64,
+    /// Iterations taken.
+    pub iterations: usize,
+    /// |f(x)| at the estimate.
+    pub residual: f64,
+}
+
+/// Solve `f(x) = 0` on `[lo, hi]` with Newton iterations from `x0`,
+/// clamping each step into the interval. Falls back to bisection steps when
+/// the derivative is tiny or the step leaves the bracket unhelpfully.
+pub fn newton_solve(
+    f: impl Fn(f64) -> f64,
+    df: impl Fn(f64) -> f64,
+    x0: f64,
+    lo: f64,
+    hi: f64,
+    tol_x: f64,
+    max_iter: usize,
+) -> NewtonResult {
+    debug_assert!(lo <= hi);
+    // Boundary short-circuits: if f has one sign over the whole interval,
+    // the balanced point is at an end (all-CPU or all-GPU).
+    let flo = f(lo);
+    let fhi = f(hi);
+    if flo >= 0.0 && fhi >= 0.0 {
+        let x = if flo.abs() <= fhi.abs() { lo } else { hi };
+        return NewtonResult { x, iterations: 0, residual: f(x).abs() };
+    }
+    if flo <= 0.0 && fhi <= 0.0 {
+        let x = if flo.abs() <= fhi.abs() { lo } else { hi };
+        return NewtonResult { x, iterations: 0, residual: f(x).abs() };
+    }
+
+    let mut x = x0.clamp(lo, hi);
+    let (mut blo, mut bhi) = (lo, hi);
+    for it in 0..max_iter {
+        let fx = f(x);
+        if fx == 0.0 {
+            return NewtonResult { x, iterations: it, residual: 0.0 };
+        }
+        // Maintain the bracket (f(blo) < 0 <= f(bhi) given monotone-ish f).
+        if (fx < 0.0) == (flo < 0.0) {
+            blo = x;
+        } else {
+            bhi = x;
+        }
+        let d = df(x);
+        let mut next = if d.abs() > 1e-30 { x - fx / d } else { f64::NAN };
+        if !next.is_finite() || next < blo || next > bhi {
+            next = 0.5 * (blo + bhi); // bisection fallback
+        }
+        if (next - x).abs() < tol_x {
+            return NewtonResult { x: next, iterations: it + 1, residual: f(next).abs() };
+        }
+        x = next;
+    }
+    NewtonResult { x, iterations: max_iter, residual: f(x).abs() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_linear() {
+        let r = newton_solve(|x| 2.0 * x - 10.0, |_| 2.0, 1.0, 0.0, 100.0, 1e-9, 50);
+        assert!((r.x - 5.0).abs() < 1e-8);
+        assert!(r.iterations <= 2);
+    }
+
+    #[test]
+    fn solves_cubic_within_bracket() {
+        let f = |x: f64| x * x * x - 27.0;
+        let df = |x: f64| 3.0 * x * x;
+        let r = newton_solve(f, df, 1.0, 0.0, 10.0, 1e-10, 60);
+        assert!((r.x - 3.0).abs() < 1e-6, "{}", r.x);
+    }
+
+    #[test]
+    fn all_positive_function_returns_best_endpoint() {
+        // f > 0 everywhere: the root is outside; pick the smaller endpoint
+        // residual (here lo).
+        let r = newton_solve(|x| x + 1.0, |_| 1.0, 5.0, 0.0, 10.0, 1e-9, 10);
+        assert_eq!(r.x, 0.0);
+        assert_eq!(r.iterations, 0);
+    }
+
+    #[test]
+    fn all_negative_function_returns_best_endpoint() {
+        let r = newton_solve(|x| -x - 1.0, |_| -1.0, 5.0, 0.0, 10.0, 1e-9, 10);
+        assert_eq!(r.x, 0.0);
+    }
+
+    #[test]
+    fn flat_derivative_falls_back_to_bisection() {
+        // Step function-ish: derivative ~0 away from the root.
+        let f = |x: f64| if x < 7.0 { -1.0 } else { 1.0 };
+        let df = |_x: f64| 0.0;
+        let r = newton_solve(f, df, 0.5, 0.0, 10.0, 1e-6, 80);
+        assert!((r.x - 7.0).abs() < 1e-3, "{}", r.x);
+    }
+
+    #[test]
+    fn iterations_are_bounded() {
+        let f = |x: f64| (x - 3.3).tanh();
+        let df = |x: f64| 1.0 - (x - 3.3).tanh().powi(2);
+        let r = newton_solve(f, df, 9.9, 0.0, 10.0, 1e-12, 25);
+        assert!(r.iterations <= 25);
+        assert!((r.x - 3.3).abs() < 1e-6);
+    }
+}

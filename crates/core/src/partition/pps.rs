@@ -1,0 +1,188 @@
+//! Pipelined Partitioning Scheme (paper §5.2.2).
+//!
+//! PPS overlaps the GPU's share with Huffman decoding: the GPU's rows are
+//! entropy-decoded chunk by chunk and dispatched asynchronously, so the CPU
+//! balance equation includes the whole Huffman time (Eq. 15):
+//!
+//! ```text
+//! f(x) = THuff(w, h−c, d) + PCPU(w, x) + Tdisp(w, h−x) − PGPU(w, h−x)
+//! ```
+//!
+//! and, because "the density of entropy data is unlikely to be evenly
+//! distributed in practice", the split is **re-computed before the last GPU
+//! chunk** (Eq. 16) with a corrected density (Eq. 17).
+
+use super::newton::newton_solve;
+use super::Partition;
+use crate::model::PerformanceModel;
+use hetjpeg_jpeg::geometry::Geometry;
+
+/// Initial PPS split for an image with density `d`, given the tuned chunk
+/// height in pixel rows (`c` in Eq. 15).
+pub fn initial_partition(
+    model: &PerformanceModel,
+    geom: &Geometry,
+    d: f64,
+    chunk_pixel_rows: f64,
+) -> Partition {
+    let w = geom.width as f64;
+    let h = geom.height as f64;
+    let c = chunk_pixel_rows.min(h);
+    // THuff of all rows after the first chunk: the CPU keeps Huffman-decoding
+    // while the GPU works, so only the first chunk's latency is exposed.
+    let huff_rest = model.huff_time(w * (h - c), d);
+    let f = |x: f64| {
+        huff_rest + model.p_cpu(w, x) + model.t_disp(w, h - x) - model.p_gpu(w, h - x)
+    };
+    let df = |x: f64| {
+        model.p_cpu.eval_dy(w, x) - model.t_disp.eval_dy(w, h - x)
+            + model.p_gpu.eval_dy(w, h - x)
+    };
+    let r = newton_solve(f, df, h / 2.0, 0.0, h, 0.5, 30);
+    let cpu = huff_rest + model.p_cpu(w, r.x) + model.t_disp(w, h - r.x);
+    let gpu = model.p_gpu(w, h - r.x);
+    Partition::from_x(geom, r.x, r.iterations, cpu, gpu)
+}
+
+/// Density correction (Eq. 17): scale the global density by how much
+/// Huffman time remains relative to how many rows remain.
+///
+/// * `est_total_huff` — model-estimated Huffman time of the full image,
+/// * `actual_huff_so_far` — measured Huffman time of the rows decoded,
+/// * `rows_left` / `rows_total` — unprocessed vs total pixel rows.
+pub fn corrected_density(
+    d: f64,
+    est_total_huff: f64,
+    actual_huff_so_far: f64,
+    rows_left: f64,
+    rows_total: f64,
+) -> f64 {
+    if est_total_huff <= 0.0 || rows_total <= 0.0 || rows_left <= 0.0 {
+        return d;
+    }
+    let time_ratio = ((est_total_huff - actual_huff_so_far) / est_total_huff).max(0.0);
+    let height_ratio = rows_left / rows_total;
+    (time_ratio / height_ratio) * d
+}
+
+/// Re-partition before the last GPU chunk (Eq. 16): `h_left` pixel rows are
+/// still unprocessed, the GPU still owes `prev_gpu_backlog` seconds of
+/// queued work, and the density estimate has been corrected to `d_new`.
+///
+/// Returns the new split of the *remaining* rows (CPU gets the final
+/// `cpu_mcu_rows` of those).
+pub fn repartition(
+    model: &PerformanceModel,
+    geom: &Geometry,
+    h_left: f64,
+    d_new: f64,
+    prev_gpu_backlog: f64,
+) -> Partition {
+    let w = geom.width as f64;
+    let f = |x: f64| {
+        model.huff_time(w * h_left, d_new)
+            + model.p_cpu(w, x)
+            + model.t_disp(w, h_left - x)
+            - model.p_gpu(w, h_left - x)
+            - prev_gpu_backlog
+    };
+    let df = |x: f64| {
+        model.p_cpu.eval_dy(w, x) - model.t_disp.eval_dy(w, h_left - x)
+            + model.p_gpu.eval_dy(w, h_left - x)
+    };
+    let r = newton_solve(f, df, h_left / 2.0, 0.0, h_left, 0.5, 30);
+    let cpu = model.huff_time(w * h_left, d_new) + model.p_cpu(w, r.x);
+    let gpu = prev_gpu_backlog + model.p_gpu(w, h_left - r.x);
+    // Note: rounding is done against the full-image geometry (MCU height).
+    let cpu_mcu_rows = geom.round_rows_to_mcu(r.x);
+    let left_mcu_rows = geom.round_rows_to_mcu(h_left);
+    Partition {
+        gpu_mcu_rows: left_mcu_rows.saturating_sub(cpu_mcu_rows),
+        cpu_mcu_rows: cpu_mcu_rows.min(left_mcu_rows),
+        x_pixel_rows: r.x,
+        iterations: r.iterations,
+        predicted_cpu: cpu,
+        predicted_gpu: gpu,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::Platform;
+    use hetjpeg_jpeg::types::Subsampling;
+
+    fn geom(w: usize, h: usize) -> Geometry {
+        Geometry::new(w, h, Subsampling::S422).unwrap()
+    }
+
+    #[test]
+    fn pps_gives_gpu_more_than_sps() {
+        // Because Huffman time sits on the CPU side of the PPS balance, the
+        // GPU's share must grow relative to SPS (compare Eq. 10 vs Eq. 15).
+        let model = PerformanceModel::analytic_seed(&Platform::gtx560());
+        let g = geom(2048, 2048);
+        let sps = crate::partition::sps::partition(&model, &g);
+        let pps = initial_partition(&model, &g, 0.2, 128.0);
+        assert!(
+            pps.gpu_mcu_rows >= sps.gpu_mcu_rows,
+            "pps gpu {} vs sps gpu {}",
+            pps.gpu_mcu_rows,
+            sps.gpu_mcu_rows
+        );
+    }
+
+    #[test]
+    fn denser_images_shift_work_to_gpu() {
+        // More entropy => longer Huffman => the CPU is busier => the GPU
+        // should receive at least as many rows.
+        let model = PerformanceModel::analytic_seed(&Platform::gtx560());
+        let g = geom(1024, 1024);
+        let sparse = initial_partition(&model, &g, 0.05, 64.0);
+        let dense = initial_partition(&model, &g, 0.45, 64.0);
+        assert!(dense.gpu_mcu_rows >= sparse.gpu_mcu_rows);
+    }
+
+    #[test]
+    fn corrected_density_directions() {
+        // Remaining time ratio > height ratio => denser tail (Eq. 17's
+        // "more workload should be allocated to the GPU").
+        let d = corrected_density(0.2, 1.0, 0.3, 0.5, 1.0);
+        assert!(d > 0.2, "denser tail: {d}");
+        // Remaining time ratio < height ratio => sparser tail.
+        let d = corrected_density(0.2, 1.0, 0.7, 0.5, 1.0);
+        assert!(d < 0.2, "sparser tail: {d}");
+        // Perfectly uniform => unchanged.
+        let d = corrected_density(0.2, 1.0, 0.5, 0.5, 1.0);
+        assert!((d - 0.2).abs() < 1e-12);
+        // Degenerate inputs pass through.
+        assert_eq!(corrected_density(0.2, 0.0, 0.0, 0.5, 1.0), 0.2);
+    }
+
+    #[test]
+    fn backlog_shifts_work_to_cpu() {
+        let model = PerformanceModel::analytic_seed(&Platform::gtx560());
+        let g = geom(1024, 1024);
+        let no_backlog = repartition(&model, &g, 512.0, 0.2, 0.0);
+        let backlog = repartition(&model, &g, 512.0, 0.2, 0.05);
+        assert!(
+            backlog.cpu_mcu_rows >= no_backlog.cpu_mcu_rows,
+            "backlogged GPU should shed rows: {} vs {}",
+            backlog.cpu_mcu_rows,
+            no_backlog.cpu_mcu_rows
+        );
+    }
+
+    #[test]
+    fn repartition_never_exceeds_remaining_rows() {
+        let model = PerformanceModel::analytic_seed(&Platform::gt430());
+        let g = geom(640, 480);
+        for h_left in [48.0, 160.0, 480.0] {
+            for backlog in [0.0, 0.001, 0.1] {
+                let p = repartition(&model, &g, h_left, 0.3, backlog);
+                assert!(p.cpu_mcu_rows + p.gpu_mcu_rows <= g.mcus_y);
+                assert!(p.x_pixel_rows >= 0.0 && p.x_pixel_rows <= h_left);
+            }
+        }
+    }
+}

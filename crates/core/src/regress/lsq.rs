@@ -1,0 +1,194 @@
+//! Least squares via Householder QR, from scratch.
+//!
+//! The design matrices here are small (≤ a few thousand rows × ≤ 36
+//! columns for degree-7 bivariate fits), so a dense QR is plenty. QR is
+//! used instead of the normal equations because high-degree monomial bases
+//! are badly conditioned even after input scaling.
+
+/// Dense row-major matrix.
+#[derive(Debug, Clone)]
+pub struct Matrix {
+    /// Rows.
+    pub m: usize,
+    /// Columns.
+    pub n: usize,
+    /// Row-major storage, `m * n` entries.
+    pub data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Zeroed matrix.
+    pub fn zeros(m: usize, n: usize) -> Self {
+        Matrix { m, n, data: vec![0.0; m * n] }
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn at(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.n + j]
+    }
+
+    /// Mutable element accessor.
+    #[inline]
+    pub fn at_mut(&mut self, i: usize, j: usize) -> &mut f64 {
+        &mut self.data[i * self.n + j]
+    }
+}
+
+/// Solve `min ‖A x − b‖₂` for `x` (A: m×n, m ≥ n, full column rank
+/// assumed; rank-deficient columns get zero coefficients).
+///
+/// Returns `(x, rss)` where `rss` is the residual sum of squares.
+pub fn lstsq(a: &Matrix, b: &[f64]) -> (Vec<f64>, f64) {
+    assert_eq!(a.m, b.len(), "rhs length");
+    assert!(a.m >= a.n, "need at least as many rows as columns");
+    let (m, n) = (a.m, a.n);
+    let mut r = a.clone();
+    let mut y = b.to_vec();
+
+    // Householder transformations applied column by column.
+    for k in 0..n {
+        // Norm of the k-th column below the diagonal.
+        let mut norm = 0.0f64;
+        for i in k..m {
+            norm += r.at(i, k) * r.at(i, k);
+        }
+        let norm = norm.sqrt();
+        if norm < 1e-300 {
+            continue; // dependent column; leave as zero
+        }
+        let alpha = if r.at(k, k) > 0.0 { -norm } else { norm };
+        // v = x - alpha * e1, stored in place of the column.
+        let mut v = vec![0.0; m - k];
+        v[0] = r.at(k, k) - alpha;
+        for i in k + 1..m {
+            v[i - k] = r.at(i, k);
+        }
+        let vtv: f64 = v.iter().map(|&t| t * t).sum();
+        if vtv < 1e-300 {
+            continue;
+        }
+        // Apply H = I - 2 v vᵀ / (vᵀv) to R's remaining columns and to y.
+        for j in k..n {
+            let mut dot = 0.0;
+            for i in k..m {
+                dot += v[i - k] * r.at(i, j);
+            }
+            let scale = 2.0 * dot / vtv;
+            for i in k..m {
+                *r.at_mut(i, j) -= scale * v[i - k];
+            }
+        }
+        let mut dot = 0.0;
+        for i in k..m {
+            dot += v[i - k] * y[i];
+        }
+        let scale = 2.0 * dot / vtv;
+        for i in k..m {
+            y[i] -= scale * v[i - k];
+        }
+        // Force exact upper-triangular structure.
+        *r.at_mut(k, k) = alpha;
+        for i in k + 1..m {
+            *r.at_mut(i, k) = 0.0;
+        }
+    }
+
+    // Back substitution on the n×n upper-triangular system.
+    let mut x = vec![0.0; n];
+    for k in (0..n).rev() {
+        let mut acc = y[k];
+        for j in k + 1..n {
+            acc -= r.at(k, j) * x[j];
+        }
+        let diag = r.at(k, k);
+        x[k] = if diag.abs() < 1e-300 { 0.0 } else { acc / diag };
+    }
+
+    // Residual: the tail of the transformed rhs.
+    let rss: f64 = y[n..].iter().map(|&t| t * t).sum();
+    (x, rss)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_system_recovers_solution() {
+        // x + 2y = 5; 3x + 4y = 11 -> x = 1, y = 2.
+        let mut a = Matrix::zeros(2, 2);
+        *a.at_mut(0, 0) = 1.0;
+        *a.at_mut(0, 1) = 2.0;
+        *a.at_mut(1, 0) = 3.0;
+        *a.at_mut(1, 1) = 4.0;
+        let (x, rss) = lstsq(&a, &[5.0, 11.0]);
+        assert!((x[0] - 1.0).abs() < 1e-10);
+        assert!((x[1] - 2.0).abs() < 1e-10);
+        assert!(rss < 1e-18);
+    }
+
+    #[test]
+    fn overdetermined_line_fit() {
+        // y = 3 + 2t with noise-free samples: exact recovery.
+        let ts = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let mut a = Matrix::zeros(5, 2);
+        let mut b = vec![0.0; 5];
+        for (i, &t) in ts.iter().enumerate() {
+            *a.at_mut(i, 0) = 1.0;
+            *a.at_mut(i, 1) = t;
+            b[i] = 3.0 + 2.0 * t;
+        }
+        let (x, rss) = lstsq(&a, &b);
+        assert!((x[0] - 3.0).abs() < 1e-10);
+        assert!((x[1] - 2.0).abs() < 1e-10);
+        assert!(rss < 1e-16);
+    }
+
+    #[test]
+    fn residual_matches_direct_computation() {
+        // Inconsistent system: fit minimizes rss; verify against brute force.
+        let mut a = Matrix::zeros(3, 1);
+        *a.at_mut(0, 0) = 1.0;
+        *a.at_mut(1, 0) = 1.0;
+        *a.at_mut(2, 0) = 1.0;
+        let b = [1.0, 2.0, 6.0];
+        let (x, rss) = lstsq(&a, &b);
+        assert!((x[0] - 3.0).abs() < 1e-10); // mean
+        let direct: f64 = b.iter().map(|&v| (v - 3.0) * (v - 3.0)).sum();
+        assert!((rss - direct).abs() < 1e-10);
+    }
+
+    #[test]
+    fn rank_deficient_column_yields_zero() {
+        // Second column is all zeros.
+        let mut a = Matrix::zeros(3, 2);
+        for i in 0..3 {
+            *a.at_mut(i, 0) = (i + 1) as f64;
+        }
+        let b = [2.0, 4.0, 6.0];
+        let (x, rss) = lstsq(&a, &b);
+        assert!((x[0] - 2.0).abs() < 1e-10);
+        assert_eq!(x[1], 0.0);
+        assert!(rss < 1e-18);
+    }
+
+    #[test]
+    fn quadratic_fit_with_noise_is_close() {
+        // y = 1 - 0.5 t + 0.25 t^2 plus deterministic "noise".
+        let n = 40;
+        let mut a = Matrix::zeros(n, 3);
+        let mut b = vec![0.0; n];
+        for i in 0..n {
+            let t = i as f64 / 4.0;
+            *a.at_mut(i, 0) = 1.0;
+            *a.at_mut(i, 1) = t;
+            *a.at_mut(i, 2) = t * t;
+            b[i] = 1.0 - 0.5 * t + 0.25 * t * t + 0.01 * ((i * 37 % 7) as f64 - 3.0);
+        }
+        let (x, _) = lstsq(&a, &b);
+        assert!((x[0] - 1.0).abs() < 0.05);
+        assert!((x[1] + 0.5).abs() < 0.05);
+        assert!((x[2] - 0.25).abs() < 0.01);
+    }
+}

@@ -1,0 +1,86 @@
+//! Evaluation statistics (paper §6.2).
+
+/// Eq. (19): the maximum attainable speedup over the SIMD baseline is
+/// bounded by its sequential (Huffman) fraction:
+/// `Speedup_max = Ttotal / THuff`.
+pub fn amdahl_max_speedup(t_total_simd: f64, t_huff: f64) -> f64 {
+    if t_huff <= 0.0 {
+        f64::INFINITY
+    } else {
+        t_total_simd / t_huff
+    }
+}
+
+/// Percentage of the theoretical bound achieved (Fig. 11).
+pub fn percent_of_bound(speedup: f64, bound: f64) -> f64 {
+    if bound <= 0.0 {
+        0.0
+    } else {
+        100.0 * speedup / bound
+    }
+}
+
+/// Sample statistics used in Tables 2–3 (mean ± coefficient of variation).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stats {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub std: f64,
+    /// Coefficient of variation as a percentage (the "± x%" columns).
+    pub cv_percent: f64,
+    /// Sample count.
+    pub n: usize,
+}
+
+/// Compute [`Stats`] over a slice.
+pub fn stats(values: &[f64]) -> Stats {
+    let n = values.len();
+    if n == 0 {
+        return Stats { mean: 0.0, std: 0.0, cv_percent: 0.0, n: 0 };
+    }
+    let mean = values.iter().sum::<f64>() / n as f64;
+    let var = if n > 1 {
+        values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n - 1) as f64
+    } else {
+        0.0
+    };
+    let std = var.sqrt();
+    let cv = if mean.abs() > 0.0 { 100.0 * std / mean } else { 0.0 };
+    Stats { mean, std, cv_percent: cv, n }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn amdahl_bound_from_fraction() {
+        // Huffman = half the total -> bound of 2x.
+        assert!((amdahl_max_speedup(10.0, 5.0) - 2.0).abs() < 1e-12);
+        assert!(amdahl_max_speedup(10.0, 0.0).is_infinite());
+    }
+
+    #[test]
+    fn percent_of_bound_basics() {
+        assert!((percent_of_bound(1.8, 2.0) - 90.0).abs() < 1e-12);
+        assert_eq!(percent_of_bound(1.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn stats_on_known_sample() {
+        let s = stats(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.std - 2.138089935299395).abs() < 1e-9);
+        assert!((s.cv_percent - 42.7617987).abs() < 1e-3);
+        assert_eq!(s.n, 8);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(stats(&[]).n, 0);
+        let one = stats(&[3.0]);
+        assert_eq!(one.std, 0.0);
+        assert_eq!(one.cv_percent, 0.0);
+    }
+}

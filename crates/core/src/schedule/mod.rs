@@ -1,0 +1,127 @@
+//! The six decode modes evaluated in the paper (§6): sequential, SIMD,
+//! GPU, pipelined GPU, SPS and PPS.
+//!
+//! Every mode really decodes the image (the outputs of all six are
+//! byte-identical — enforced by `tests/modes_agree.rs`) and simultaneously
+//! builds the virtual-time execution trace from which the paper's figures
+//! are regenerated.
+
+pub mod hetero;
+pub mod single;
+
+use crate::model::PerformanceModel;
+use crate::partition::Partition;
+use crate::platform::Platform;
+use crate::timeline::{Breakdown, Trace};
+use hetjpeg_jpeg::coef::CoefBuffer;
+use hetjpeg_jpeg::decoder::Prepared;
+use hetjpeg_jpeg::error::Result;
+use hetjpeg_jpeg::types::RgbImage;
+
+/// Decode mode selector (the paper's six decoder versions, §6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mode {
+    /// Scalar CPU decoding (libjpeg-turbo without SIMD).
+    Sequential,
+    /// Optimized CPU decoding (libjpeg-turbo's SIMD yardstick).
+    Simd,
+    /// Whole-image GPU offload after Huffman decoding (Fig. 5a).
+    Gpu,
+    /// Chunked GPU offload overlapped with Huffman decoding (Fig. 5b).
+    PipelinedGpu,
+    /// Simple Partitioning Scheme: CPU+GPU split after Huffman (§5.2.1).
+    Sps,
+    /// Pipelined Partitioning Scheme: split + overlap + re-partitioning
+    /// (§5.2.2).
+    Pps,
+}
+
+impl Mode {
+    /// All modes in the paper's presentation order.
+    pub fn all() -> [Mode; 6] {
+        [Mode::Sequential, Mode::Simd, Mode::Gpu, Mode::PipelinedGpu, Mode::Sps, Mode::Pps]
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Mode::Sequential => "sequential",
+            Mode::Simd => "SIMD",
+            Mode::Gpu => "GPU",
+            Mode::PipelinedGpu => "pipeline",
+            Mode::Sps => "SPS",
+            Mode::Pps => "PPS",
+        }
+    }
+}
+
+/// Result of decoding with one mode.
+#[derive(Debug, Clone)]
+pub struct DecodeOutcome {
+    /// The decoded image (bit-identical across modes).
+    pub image: RgbImage,
+    /// Per-stage totals.
+    pub times: Breakdown,
+    /// Full execution trace (Fig. 5/8-style).
+    pub trace: Trace,
+    /// The partition used, for SPS/PPS.
+    pub partition: Option<Partition>,
+    /// The mode that produced this outcome.
+    pub mode: Mode,
+}
+
+impl DecodeOutcome {
+    /// End-to-end virtual time.
+    pub fn total(&self) -> f64 {
+        self.times.total
+    }
+}
+
+/// Decode `data` under `mode` on `platform`, using `model` for the
+/// partitioning decisions.
+pub fn decode_with_mode(
+    data: &[u8],
+    mode: Mode,
+    platform: &Platform,
+    model: &PerformanceModel,
+) -> Result<DecodeOutcome> {
+    let prep = Prepared::new(data)?;
+    match mode {
+        Mode::Sequential => single::decode_cpu(&prep, platform, false),
+        Mode::Simd => single::decode_cpu(&prep, platform, true),
+        Mode::Gpu => single::decode_gpu(&prep, platform, model),
+        Mode::PipelinedGpu => single::decode_pipelined_gpu(&prep, platform, model),
+        Mode::Sps => hetero::decode_sps(&prep, platform, model),
+        Mode::Pps => hetero::decode_pps(&prep, platform, model),
+    }
+}
+
+/// Entropy-decode every MCU row, returning the coefficient buffer, per-row
+/// Huffman times under the platform cost model, and the total.
+pub(crate) fn entropy_with_times(
+    prep: &Prepared<'_>,
+    platform: &Platform,
+) -> Result<(CoefBuffer, Vec<f64>, f64)> {
+    let mut coef = CoefBuffer::new(&prep.geom);
+    let mut dec = prep.entropy_decoder()?;
+    let mut row_times = Vec::with_capacity(prep.geom.mcus_y);
+    let mut total = 0.0;
+    while !dec.is_finished() {
+        let m = dec.decode_mcu_row(&mut coef)?;
+        let t = platform.cpu.huff_time(&m);
+        row_times.push(t);
+        total += t;
+    }
+    Ok((coef, row_times, total))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_names_and_order() {
+        let names: Vec<&str> = Mode::all().iter().map(|m| m.name()).collect();
+        assert_eq!(names, vec!["sequential", "SIMD", "GPU", "pipeline", "SPS", "PPS"]);
+    }
+}

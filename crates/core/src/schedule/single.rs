@@ -1,0 +1,265 @@
+//! Single-device decode modes: sequential, SIMD, GPU, pipelined GPU.
+
+use super::{entropy_with_times, DecodeOutcome, Mode};
+use crate::gpu_decode::{decode_region_gpu, KernelPlan};
+use crate::model::PerformanceModel;
+use crate::platform::Platform;
+use crate::timeline::{Breakdown, Resource, Trace};
+use hetjpeg_gpusim::CommandQueue;
+use hetjpeg_jpeg::decoder::{simd, stages, Prepared};
+use hetjpeg_jpeg::error::Result;
+use hetjpeg_jpeg::metrics::ParallelWork;
+use hetjpeg_jpeg::types::RgbImage;
+
+/// CPU-only decoding, scalar or SIMD path.
+pub fn decode_cpu(
+    prep: &Prepared<'_>,
+    platform: &Platform,
+    use_simd: bool,
+) -> Result<DecodeOutcome> {
+    let geom = &prep.geom;
+    let (coef, _rows, t_huff) = entropy_with_times(prep, platform)?;
+
+    let mut image = RgbImage::new(geom.width, geom.height);
+    let work = if use_simd {
+        simd::decode_region_rgb_simd(prep, &coef, 0, geom.mcus_y, &mut image.data)?
+    } else {
+        stages::decode_region_rgb(prep, &coef, 0, geom.mcus_y, &mut image.data)?
+    };
+    debug_assert_eq!(work, ParallelWork::for_mcu_rows(geom, 0, geom.mcus_y));
+    let t_par = platform.cpu.parallel_time(&work, use_simd);
+
+    let mut trace = Trace::default();
+    trace.push("huffman", Resource::Cpu, 0.0, t_huff);
+    trace.push(
+        if use_simd { "cpu-simd" } else { "cpu-scalar" },
+        Resource::Cpu,
+        t_huff,
+        t_huff + t_par,
+    );
+
+    Ok(DecodeOutcome {
+        image,
+        times: Breakdown {
+            huffman: t_huff,
+            cpu_parallel: t_par,
+            total: t_huff + t_par,
+            ..Default::default()
+        },
+        trace,
+        partition: None,
+        mode: if use_simd { Mode::Simd } else { Mode::Sequential },
+    })
+}
+
+/// GPU mode (Fig. 5a): whole-image Huffman on the CPU, then the full
+/// parallel phase as one transfer + kernel sequence on the GPU.
+pub fn decode_gpu(
+    prep: &Prepared<'_>,
+    platform: &Platform,
+    model: &PerformanceModel,
+) -> Result<DecodeOutcome> {
+    let geom = &prep.geom;
+    let (coef, _rows, t_huff) = entropy_with_times(prep, platform)?;
+    let t_disp = platform.cpu.dispatch_time(geom, 0, geom.mcus_y);
+
+    let res =
+        decode_region_gpu(prep, &coef, 0, geom.mcus_y, platform, model.wg_blocks, KernelPlan::Merged);
+
+    let mut trace = Trace::default();
+    trace.push("huffman", Resource::Cpu, 0.0, t_huff);
+    trace.push("dispatch", Resource::Cpu, t_huff, t_huff + t_disp);
+    let mut q = CommandQueue::new();
+    let h2d = q.enqueue("h2d", t_huff + t_disp, res.h2d_time);
+    trace.push("h2d", Resource::Gpu, h2d.start, h2d.end);
+    let mut kernels_total = 0.0;
+    for &(name, t) in &res.kernel_times {
+        let ev = q.enqueue(name, h2d.end, t);
+        trace.push("kernel", Resource::Gpu, ev.start, ev.end);
+        kernels_total += t;
+    }
+    let d2h = q.enqueue("d2h", q.drain_time(), res.d2h_time);
+    trace.push("d2h", Resource::Gpu, d2h.start, d2h.end);
+
+    let mut image = RgbImage::new(geom.width, geom.height);
+    image.data.copy_from_slice(&res.rgb);
+
+    Ok(DecodeOutcome {
+        image,
+        times: Breakdown {
+            huffman: t_huff,
+            dispatch: t_disp,
+            h2d: res.h2d_time,
+            kernels: kernels_total,
+            d2h: res.d2h_time,
+            total: q.drain_time(),
+            ..Default::default()
+        },
+        trace,
+        partition: None,
+        mode: Mode::Gpu,
+    })
+}
+
+/// Pipelined GPU mode (Fig. 5b, §4.5): the image is sliced into chunks;
+/// each chunk's entropy data is shipped to the GPU as soon as it is
+/// decoded, overlapping Huffman with kernels.
+pub fn decode_pipelined_gpu(
+    prep: &Prepared<'_>,
+    platform: &Platform,
+    model: &PerformanceModel,
+) -> Result<DecodeOutcome> {
+    let geom = &prep.geom;
+    let chunk = model.chunk_mcu_rows.max(1);
+
+    let mut coef = hetjpeg_jpeg::coef::CoefBuffer::new(geom);
+    let mut dec = prep.entropy_decoder()?;
+    let mut trace = Trace::default();
+    let mut q = CommandQueue::new();
+    let mut image = RgbImage::new(geom.width, geom.height);
+
+    let mut cpu_now = 0.0;
+    let mut b = Breakdown::default();
+    let mut row = 0usize;
+    while row < geom.mcus_y {
+        let end = (row + chunk).min(geom.mcus_y);
+        // Huffman for this chunk (sequential, on the CPU).
+        let huff_start = cpu_now;
+        for _ in row..end {
+            let m = dec.decode_mcu_row(&mut coef)?;
+            cpu_now += platform.cpu.huff_time(&m);
+        }
+        b.huffman += cpu_now - huff_start;
+        trace.push("huffman", Resource::Cpu, huff_start, cpu_now);
+
+        // Asynchronous dispatch; the CPU resumes immediately after.
+        let t_disp = platform.cpu.dispatch_time(geom, row, end);
+        trace.push("dispatch", Resource::Cpu, cpu_now, cpu_now + t_disp);
+        cpu_now += t_disp;
+        b.dispatch += t_disp;
+
+        let res =
+            decode_region_gpu(prep, &coef, row, end, platform, model.wg_blocks, KernelPlan::Merged);
+        let h2d = q.enqueue("h2d", cpu_now, res.h2d_time);
+        trace.push("h2d", Resource::Gpu, h2d.start, h2d.end);
+        b.h2d += res.h2d_time;
+        for &(_, t) in &res.kernel_times {
+            let ev = q.enqueue("kernel", q.drain_time(), t);
+            trace.push("kernel", Resource::Gpu, ev.start, ev.end);
+            b.kernels += t;
+        }
+        let d2h = q.enqueue("d2h", q.drain_time(), res.d2h_time);
+        trace.push("d2h", Resource::Gpu, d2h.start, d2h.end);
+        b.d2h += res.d2h_time;
+
+        // Functional output assembly.
+        let (p0, p1) = geom.mcu_rows_to_pixel_rows(row, end);
+        image.data[p0 * geom.width * 3..p1 * geom.width * 3].copy_from_slice(&res.rgb);
+        row = end;
+    }
+
+    b.total = cpu_now.max(q.drain_time());
+    Ok(DecodeOutcome { image, times: b, trace, partition: None, mode: Mode::PipelinedGpu })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetjpeg_jpeg::encoder::{encode_rgb, EncodeParams};
+    use hetjpeg_jpeg::types::Subsampling;
+
+    fn jpeg_of(w: usize, h: usize) -> Vec<u8> {
+        let mut rgb = Vec::with_capacity(w * h * 3);
+        for i in 0..w * h {
+            rgb.extend_from_slice(&[(i % 256) as u8, (i / 3 % 256) as u8, (i * 5 % 256) as u8]);
+        }
+        encode_rgb(
+            &rgb,
+            w as u32,
+            h as u32,
+            &EncodeParams { quality: 84, subsampling: Subsampling::S422, restart_interval: 0 },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn simd_is_faster_than_sequential() {
+        let jpeg = jpeg_of(256, 256);
+        let platform = Platform::gtx560();
+        let prep = Prepared::new(&jpeg).unwrap();
+        let seq = decode_cpu(&prep, &platform, false).unwrap();
+        let simd = decode_cpu(&prep, &platform, true).unwrap();
+        assert_eq!(seq.image.data, simd.image.data);
+        let speedup = seq.total() / simd.total();
+        // §1: "twice as fast" overall.
+        assert!((1.4..2.9).contains(&speedup), "SIMD speedup {speedup:.2}");
+    }
+
+    #[test]
+    fn gpu_outcome_matches_cpu_bytes() {
+        let jpeg = jpeg_of(128, 128);
+        let platform = Platform::gtx680();
+        let model = platform.untrained_model();
+        let prep = Prepared::new(&jpeg).unwrap();
+        let cpu = decode_cpu(&prep, &platform, true).unwrap();
+        let gpu = decode_gpu(&prep, &platform, &model).unwrap();
+        assert_eq!(cpu.image.data, gpu.image.data);
+        // GPU breakdown contains transfers and kernels.
+        assert!(gpu.times.h2d > 0.0 && gpu.times.kernels > 0.0 && gpu.times.d2h > 0.0);
+        assert!(gpu.times.total >= gpu.times.huffman);
+    }
+
+    #[test]
+    fn pipelining_beats_plain_gpu_mode() {
+        // §6.2: "The pipelined execution is always faster than a single
+        // large GPU kernel invocation" (for multi-chunk images).
+        let jpeg = jpeg_of(256, 512);
+        let platform = Platform::gtx560();
+        let model = platform.untrained_model();
+        let prep = Prepared::new(&jpeg).unwrap();
+        let gpu = decode_gpu(&prep, &platform, &model).unwrap();
+        let pipe = decode_pipelined_gpu(&prep, &platform, &model).unwrap();
+        assert_eq!(gpu.image.data, pipe.image.data);
+        assert!(
+            pipe.total() < gpu.total(),
+            "pipeline {:.4}ms vs gpu {:.4}ms",
+            pipe.total() * 1e3,
+            gpu.total() * 1e3
+        );
+    }
+
+    #[test]
+    fn single_chunk_image_degenerates_to_gpu_mode() {
+        // "When the decoded image has a size smaller than the pre-determined
+        // chunk size, the image is executed as one GPU kernel invocation."
+        let jpeg = jpeg_of(64, 32); // 4 MCU rows < default chunk of 16
+        let platform = Platform::gtx560();
+        let model = platform.untrained_model();
+        let prep = Prepared::new(&jpeg).unwrap();
+        let gpu = decode_gpu(&prep, &platform, &model).unwrap();
+        let pipe = decode_pipelined_gpu(&prep, &platform, &model).unwrap();
+        let diff = (pipe.total() - gpu.total()).abs();
+        assert!(diff / gpu.total() < 0.05, "should be nearly identical");
+    }
+
+    #[test]
+    fn traces_have_consistent_makespan() {
+        let jpeg = jpeg_of(128, 256);
+        let platform = Platform::gt430();
+        let model = platform.untrained_model();
+        let prep = Prepared::new(&jpeg).unwrap();
+        for out in [
+            decode_cpu(&prep, &platform, true).unwrap(),
+            decode_gpu(&prep, &platform, &model).unwrap(),
+            decode_pipelined_gpu(&prep, &platform, &model).unwrap(),
+        ] {
+            assert!(
+                (out.trace.makespan() - out.times.total).abs() < 1e-9,
+                "{:?}: trace {} vs total {}",
+                out.mode,
+                out.trace.makespan(),
+                out.times.total
+            );
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Cropping master renders into size grids.
+//!
+//! "Polynomial regression poorly estimates performance for images with the
+//! dimensions outside of the training set range. Thus, the training-set
+//! baseline images are cropped to create combinations of width and height"
+//! (paper §5.1). We render each base pattern once at the maximum size and
+//! crop windows out of it, which both matches the paper's procedure and
+//! amortizes synthesis cost.
+
+/// Crop a `cw x ch` window at (`x0`, `y0`) out of a `w x h` RGB image.
+///
+/// # Panics
+/// Panics if the window exceeds the source bounds.
+pub fn crop_rgb(
+    src: &[u8],
+    w: usize,
+    h: usize,
+    x0: usize,
+    y0: usize,
+    cw: usize,
+    ch: usize,
+) -> Vec<u8> {
+    assert!(x0 + cw <= w && y0 + ch <= h, "crop window out of bounds");
+    assert_eq!(src.len(), w * h * 3, "source buffer size");
+    let mut out = Vec::with_capacity(cw * ch * 3);
+    for row in 0..ch {
+        let off = ((y0 + row) * w + x0) * 3;
+        out.extend_from_slice(&src[off..off + cw * 3]);
+    }
+    out
+}
+
+/// The width/height grid used to build corpora: geometric steps from
+/// `min_dim` up to `max_dim` (inclusive), mimicking the paper's crop
+/// combinations "up to 25 megapixels".
+pub fn size_grid(min_dim: usize, max_dim: usize, steps: usize) -> Vec<usize> {
+    assert!(steps >= 1 && max_dim >= min_dim && min_dim > 0);
+    if steps == 1 {
+        return vec![max_dim];
+    }
+    let ratio = (max_dim as f64 / min_dim as f64).powf(1.0 / (steps - 1) as f64);
+    let mut out = Vec::with_capacity(steps);
+    let mut v = min_dim as f64;
+    for _ in 0..steps {
+        // Round to a multiple of 16 so every subsampling gets whole MCUs.
+        let d = ((v / 16.0).round() as usize * 16).clamp(16, max_dim);
+        if out.last() != Some(&d) {
+            out.push(d);
+        }
+        v *= ratio;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crop_extracts_expected_pixels() {
+        // 4x3 image with pixel value = x*10 + y in the red channel.
+        let (w, h) = (4usize, 3usize);
+        let mut src = vec![0u8; w * h * 3];
+        for y in 0..h {
+            for x in 0..w {
+                src[(y * w + x) * 3] = (x * 10 + y) as u8;
+            }
+        }
+        let out = crop_rgb(&src, w, h, 1, 1, 2, 2);
+        assert_eq!(out.len(), 12);
+        assert_eq!(out[0], 11); // (1,1)
+        assert_eq!(out[3], 21); // (2,1)
+        assert_eq!(out[6], 12); // (1,2)
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn crop_rejects_oob() {
+        let src = vec![0u8; 4 * 3 * 3];
+        crop_rgb(&src, 4, 3, 3, 0, 2, 2);
+    }
+
+    #[test]
+    fn size_grid_is_monotonic_mcu_aligned() {
+        let grid = size_grid(64, 1024, 6);
+        assert!(grid.len() >= 4);
+        assert!(grid.windows(2).all(|w| w[0] < w[1]));
+        assert!(grid.iter().all(|&d| d % 16 == 0));
+        assert_eq!(*grid.first().unwrap(), 64);
+        assert_eq!(*grid.last().unwrap(), 1024);
+    }
+
+    #[test]
+    fn size_grid_single_step() {
+        assert_eq!(size_grid(64, 512, 1), vec![512]);
+    }
+}

@@ -1,0 +1,93 @@
+//! # hetjpeg-corpus — synthetic image corpora with controllable entropy
+//!
+//! The paper trains its performance model on 4449 images (12 benchmark + 7
+//! self-taken photographs, cropped to a grid of width × height combinations
+//! up to 25 megapixels) and evaluates on a disjoint set of 3597 images
+//! (§5.1, §6). Photographs cannot ship with this repository, so this crate
+//! synthesizes deterministic images whose *entropy density* — the paper's
+//! model input `d = file_size / (w·h)`, Eq. (3) — spans the same range
+//! (roughly 0.02–0.5 bytes/pixel), and crops them into comparable size
+//! grids.
+//!
+//! The train/test split mirrors the paper's disjoint image sets by using
+//! disjoint generator families and seeds.
+
+pub mod crop;
+pub mod set;
+pub mod synth;
+
+pub use set::{test_set, training_set, CorpusImage, CorpusParams};
+pub use synth::{generate_rgb, ImageSpec, Pattern};
+
+use hetjpeg_jpeg::encoder::{encode_rgb, EncodeParams};
+use hetjpeg_jpeg::types::Subsampling;
+
+/// Render a spec and encode it to a JPEG byte stream.
+pub fn generate_jpeg(
+    spec: &ImageSpec,
+    quality: u8,
+    subsampling: Subsampling,
+) -> hetjpeg_jpeg::Result<Vec<u8>> {
+    let rgb = generate_rgb(spec);
+    encode_rgb(
+        &rgb,
+        spec.width as u32,
+        spec.height as u32,
+        &EncodeParams { quality, subsampling, restart_interval: 0 },
+    )
+}
+
+/// Entropy density of an encoded JPEG in bytes per pixel (paper Eq. (3)).
+pub fn entropy_density(jpeg: &[u8]) -> f64 {
+    match hetjpeg_jpeg::markers::parse_jpeg(jpeg) {
+        Ok(p) => p.entropy_density(),
+        Err(_) => f64::NAN,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn density_increases_with_detail() {
+        let mk = |pattern| {
+            let spec = ImageSpec { width: 128, height: 128, pattern, seed: 42 };
+            entropy_density(&generate_jpeg(&spec, 85, Subsampling::S422).unwrap())
+        };
+        let smooth = mk(Pattern::Gradient);
+        let medium = mk(Pattern::ValueNoise { octaves: 4, detail: 0.5 });
+        let noisy = mk(Pattern::WhiteNoise { amount: 1.0 });
+        assert!(smooth < medium, "gradient {smooth:.3} vs value-noise {medium:.3}");
+        assert!(medium < noisy, "value-noise {medium:.3} vs white-noise {noisy:.3}");
+    }
+
+    #[test]
+    fn densities_span_paper_range() {
+        // Fig. 7's x-axis runs to ~0.45 bytes/pixel; our corpus must be able
+        // to reach both tails.
+        let lo = entropy_density(
+            &generate_jpeg(
+                &ImageSpec { width: 256, height: 256, pattern: Pattern::Gradient, seed: 1 },
+                60,
+                Subsampling::S420,
+            )
+            .unwrap(),
+        );
+        let hi = entropy_density(
+            &generate_jpeg(
+                &ImageSpec {
+                    width: 256,
+                    height: 256,
+                    pattern: Pattern::WhiteNoise { amount: 1.0 },
+                    seed: 1,
+                },
+                95,
+                Subsampling::S444,
+            )
+            .unwrap(),
+        );
+        assert!(lo < 0.1, "smooth floor {lo:.3}");
+        assert!(hi > 0.4, "noisy ceiling {hi:.3}");
+    }
+}

@@ -1,0 +1,185 @@
+//! Training and test corpus builders.
+//!
+//! The paper: "Our training set consists of twelve images from an online
+//! image benchmark and seven self-taken images ... cropped to create
+//! combinations of width and height up to 25 megapixels. The total number of
+//! images in the training set is 4449" (§5.1), and a disjoint test set of
+//! 3597 images (§6). This module reproduces the *structure* — base patterns
+//! × size grid × subsampling — at a configurable scale so unit tests stay
+//! fast while benches can approach the paper's volume.
+
+use crate::crop::{crop_rgb, size_grid};
+use crate::synth::{generate_rgb, ImageSpec, Pattern};
+use hetjpeg_jpeg::encoder::{encode_rgb, EncodeParams};
+use hetjpeg_jpeg::types::Subsampling;
+
+/// One corpus member: an encoded JPEG plus its provenance.
+#[derive(Debug, Clone)]
+pub struct CorpusImage {
+    /// Encoded bytes.
+    pub jpeg: Vec<u8>,
+    /// Width in pixels.
+    pub width: usize,
+    /// Height in pixels.
+    pub height: usize,
+    /// Pattern family name.
+    pub pattern: &'static str,
+    /// Subsampling of the encoding.
+    pub subsampling: Subsampling,
+    /// Entropy density in bytes/pixel (paper Eq. (3)).
+    pub density: f64,
+}
+
+/// Corpus scale knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct CorpusParams {
+    /// Smallest image dimension in the grid.
+    pub min_dim: usize,
+    /// Largest image dimension in the grid.
+    pub max_dim: usize,
+    /// Number of geometric steps per axis.
+    pub steps: usize,
+    /// Subsampling for the encoded files.
+    pub subsampling: Subsampling,
+    /// JPEG quality for the encoded files.
+    pub quality: u8,
+}
+
+impl Default for CorpusParams {
+    fn default() -> Self {
+        CorpusParams {
+            min_dim: 64,
+            max_dim: 512,
+            steps: 4,
+            subsampling: Subsampling::S422,
+            quality: 85,
+        }
+    }
+}
+
+/// The training-set pattern families (disjoint from [`test_patterns`]).
+fn training_patterns() -> Vec<(Pattern, u64)> {
+    vec![
+        (Pattern::Gradient, 101),
+        (Pattern::SmoothField, 102),
+        (Pattern::ValueNoise { octaves: 3, detail: 0.3 }, 103),
+        (Pattern::ValueNoise { octaves: 5, detail: 0.55 }, 104),
+        (Pattern::ValueNoise { octaves: 7, detail: 0.8 }, 105),
+        (Pattern::WhiteNoise { amount: 0.25 }, 106),
+        (Pattern::WhiteNoise { amount: 0.7 }, 107),
+        (Pattern::PhotoLike { detail: 0.4 }, 108),
+        (Pattern::PhotoLike { detail: 0.75 }, 109),
+    ]
+}
+
+/// The test-set pattern families: same statistics family, disjoint
+/// parameters and seeds (the paper's test set shares no image with the
+/// training set).
+fn test_patterns() -> Vec<(Pattern, u64)> {
+    vec![
+        (Pattern::Gradient, 201),
+        (Pattern::SmoothField, 202),
+        (Pattern::ValueNoise { octaves: 4, detail: 0.45 }, 203),
+        (Pattern::ValueNoise { octaves: 6, detail: 0.7 }, 204),
+        (Pattern::WhiteNoise { amount: 0.45 }, 205),
+        (Pattern::Checker { cell: 6 }, 206),
+        (Pattern::PhotoLike { detail: 0.6 }, 207),
+    ]
+}
+
+fn build(patterns: Vec<(Pattern, u64)>, params: &CorpusParams) -> Vec<CorpusImage> {
+    let dims = size_grid(params.min_dim, params.max_dim, params.steps);
+    let max = *dims.last().expect("non-empty grid");
+    let mut out = Vec::new();
+    for (pattern, seed) in patterns {
+        // Render the master once at full size, crop the grid out of it.
+        let master = generate_rgb(&ImageSpec { width: max, height: max, pattern, seed });
+        for &w in &dims {
+            for &h in &dims {
+                let rgb = if w == max && h == max {
+                    master.clone()
+                } else {
+                    crop_rgb(&master, max, max, 0, 0, w, h)
+                };
+                let jpeg = encode_rgb(
+                    &rgb,
+                    w as u32,
+                    h as u32,
+                    &EncodeParams {
+                        quality: params.quality,
+                        subsampling: params.subsampling,
+                        restart_interval: 0,
+                    },
+                )
+                .expect("corpus encode");
+                let density = jpeg.len() as f64 / (w * h) as f64;
+                out.push(CorpusImage {
+                    jpeg,
+                    width: w,
+                    height: h,
+                    pattern: pattern.name(),
+                    subsampling: params.subsampling,
+                    density,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Build the training corpus (pattern families × size grid).
+pub fn training_set(params: &CorpusParams) -> Vec<CorpusImage> {
+    build(training_patterns(), params)
+}
+
+/// Build the evaluation corpus; shares no pattern instance with training.
+pub fn test_set(params: &CorpusParams) -> Vec<CorpusImage> {
+    build(test_patterns(), params)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> CorpusParams {
+        CorpusParams { min_dim: 32, max_dim: 64, steps: 2, ..CorpusParams::default() }
+    }
+
+    #[test]
+    fn corpus_counts_match_grid() {
+        let p = tiny();
+        let train = training_set(&p);
+        // 9 patterns x 2 widths x 2 heights.
+        assert_eq!(train.len(), 9 * 4);
+        let test = test_set(&p);
+        assert_eq!(test.len(), 7 * 4);
+    }
+
+    #[test]
+    fn members_decode_and_report_density() {
+        for img in training_set(&tiny()).into_iter().take(6) {
+            let decoded = hetjpeg_jpeg::decoder::decode(&img.jpeg).unwrap();
+            assert_eq!((decoded.width, decoded.height), (img.width, img.height));
+            assert!(img.density > 0.0 && img.density < 4.0);
+        }
+    }
+
+    #[test]
+    fn train_and_test_bytes_are_disjoint() {
+        let p = tiny();
+        let train = training_set(&p);
+        let test = test_set(&p);
+        for t in &test {
+            assert!(train.iter().all(|tr| tr.jpeg != t.jpeg));
+        }
+    }
+
+    #[test]
+    fn densities_vary_across_patterns() {
+        let p = tiny();
+        let train = training_set(&p);
+        let min = train.iter().map(|i| i.density).fold(f64::MAX, f64::min);
+        let max = train.iter().map(|i| i.density).fold(f64::MIN, f64::max);
+        assert!(max / min > 3.0, "density spread too small: {min:.3}..{max:.3}");
+    }
+}

@@ -1,0 +1,386 @@
+//! Parametric image synthesis.
+//!
+//! Each [`Pattern`] family produces deterministic RGB content whose spatial
+//! detail — and therefore post-quantization entropy — is tunable. The
+//! families are intentionally photograph-like in their statistics: smooth
+//! regions, edges, and band-limited texture, because the Huffman-rate model
+//! (paper Fig. 7) is only meaningful if entropy varies with content the way
+//! it does in photographs.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic synthetic image description.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ImageSpec {
+    /// Width in pixels.
+    pub width: usize,
+    /// Height in pixels.
+    pub height: usize,
+    /// Content family.
+    pub pattern: Pattern,
+    /// Seed; same spec ⇒ same bytes.
+    pub seed: u64,
+}
+
+/// Content families, ordered roughly by entropy density.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Pattern {
+    /// Bilinear color gradient: minimal entropy.
+    Gradient,
+    /// Sum of a few low-frequency sine fields: low entropy.
+    SmoothField,
+    /// Fractal value noise; `detail` (0..=1) is the octave persistence.
+    ValueNoise {
+        /// Number of octaves (1..=8 sensible).
+        octaves: u8,
+        /// Persistence: higher keeps more high-frequency energy.
+        detail: f64,
+    },
+    /// Smooth base plus white noise; `amount` (0..=1) scales the noise.
+    WhiteNoise {
+        /// Noise amplitude fraction.
+        amount: f64,
+    },
+    /// Axis-aligned checkerboard with `cell`-pixel squares: edge-heavy.
+    Checker {
+        /// Square size in pixels.
+        cell: usize,
+    },
+    /// Composite "photograph": sky gradient, textured ground, hard skyline.
+    PhotoLike {
+        /// Texture persistence of the ground region.
+        detail: f64,
+    },
+    /// Detail ramps from `top` at row 0 to `bottom` at the last row —
+    /// deliberately *non-uniform entropy* along the scan direction, the
+    /// case the paper's Eq. 16/17 re-partitioning exists for ("the density
+    /// of entropy data is unlikely to be evenly distributed in practice").
+    DetailRamp {
+        /// Texture persistence at the top of the image.
+        top: f64,
+        /// Texture persistence at the bottom.
+        bottom: f64,
+    },
+}
+
+impl Pattern {
+    /// Short name used in reports and corpus listings.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Pattern::Gradient => "gradient",
+            Pattern::SmoothField => "smooth-field",
+            Pattern::ValueNoise { .. } => "value-noise",
+            Pattern::WhiteNoise { .. } => "white-noise",
+            Pattern::Checker { .. } => "checker",
+            Pattern::PhotoLike { .. } => "photo-like",
+            Pattern::DetailRamp { .. } => "detail-ramp",
+        }
+    }
+}
+
+/// Render a spec to interleaved RGB.
+pub fn generate_rgb(spec: &ImageSpec) -> Vec<u8> {
+    let (w, h) = (spec.width, spec.height);
+    match spec.pattern {
+        Pattern::Gradient => gradient(w, h, spec.seed),
+        Pattern::SmoothField => smooth_field(w, h, spec.seed),
+        Pattern::ValueNoise { octaves, detail } => value_noise(w, h, spec.seed, octaves, detail),
+        Pattern::WhiteNoise { amount } => white_noise(w, h, spec.seed, amount),
+        Pattern::Checker { cell } => checker(w, h, spec.seed, cell.max(1)),
+        Pattern::PhotoLike { detail } => photo_like(w, h, spec.seed, detail),
+        Pattern::DetailRamp { top, bottom } => detail_ramp(w, h, spec.seed, top, bottom),
+    }
+}
+
+fn gradient(w: usize, h: usize, seed: u64) -> Vec<u8> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let (r0, g0, b0): (f64, f64, f64) = (rng.gen(), rng.gen(), rng.gen());
+    let (r1, g1, b1): (f64, f64, f64) = (rng.gen(), rng.gen(), rng.gen());
+    let mut out = Vec::with_capacity(w * h * 3);
+    for y in 0..h {
+        let fy = y as f64 / h.max(1) as f64;
+        for x in 0..w {
+            let fx = x as f64 / w.max(1) as f64;
+            let t = (fx + fy) / 2.0;
+            out.push((255.0 * (r0 + (r1 - r0) * t)) as u8);
+            out.push((255.0 * (g0 + (g1 - g0) * t)) as u8);
+            out.push((255.0 * (b0 + (b1 - b0) * t)) as u8);
+        }
+    }
+    out
+}
+
+fn smooth_field(w: usize, h: usize, seed: u64) -> Vec<u8> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    // Three channels, each a sum of 3 low-frequency plane waves.
+    let mut waves = [[(0.0f64, 0.0f64, 0.0f64); 3]; 3];
+    for ch in waves.iter_mut() {
+        for wv in ch.iter_mut() {
+            *wv = (
+                rng.gen_range(0.5..3.0),  // cycles across the image
+                rng.gen_range(0.5..3.0),
+                rng.gen_range(0.0..std::f64::consts::TAU),
+            );
+        }
+    }
+    let mut out = Vec::with_capacity(w * h * 3);
+    for y in 0..h {
+        let fy = y as f64 / h.max(1) as f64;
+        for x in 0..w {
+            let fx = x as f64 / w.max(1) as f64;
+            for ch in &waves {
+                let mut v = 0.0;
+                for &(kx, ky, phase) in ch {
+                    v += ((fx * kx + fy * ky) * std::f64::consts::TAU + phase).sin();
+                }
+                out.push((128.0 + v * 40.0).clamp(0.0, 255.0) as u8);
+            }
+        }
+    }
+    out
+}
+
+/// Hash-based lattice gradient for value noise (no stored lattice, so any
+/// size is cheap).
+#[inline]
+fn lattice(seed: u64, xi: i64, yi: i64, ch: u64) -> f64 {
+    let mut v = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add((xi as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9))
+        .wrapping_add((yi as u64).wrapping_mul(0x94D0_49BB_1331_11EB))
+        .wrapping_add(ch.wrapping_mul(0xD6E8_FEB8_6659_FD93));
+    v ^= v >> 29;
+    v = v.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    v ^= v >> 32;
+    (v & 0xFFFF) as f64 / 65535.0
+}
+
+#[inline]
+fn smoothstep(t: f64) -> f64 {
+    t * t * (3.0 - 2.0 * t)
+}
+
+fn value_noise_at(seed: u64, x: f64, y: f64, ch: u64, octaves: u8, persistence: f64) -> f64 {
+    let mut amp = 1.0;
+    let mut freq = 4.0; // base cells across the image
+    let mut total = 0.0;
+    let mut norm = 0.0;
+    for _ in 0..octaves.max(1) {
+        let fx = x * freq;
+        let fy = y * freq;
+        let (x0, y0) = (fx.floor() as i64, fy.floor() as i64);
+        let (tx, ty) = (smoothstep(fx - x0 as f64), smoothstep(fy - y0 as f64));
+        let v00 = lattice(seed, x0, y0, ch);
+        let v10 = lattice(seed, x0 + 1, y0, ch);
+        let v01 = lattice(seed, x0, y0 + 1, ch);
+        let v11 = lattice(seed, x0 + 1, y0 + 1, ch);
+        let v = v00 * (1.0 - tx) * (1.0 - ty)
+            + v10 * tx * (1.0 - ty)
+            + v01 * (1.0 - tx) * ty
+            + v11 * tx * ty;
+        total += v * amp;
+        norm += amp;
+        amp *= persistence;
+        freq *= 2.0;
+    }
+    total / norm
+}
+
+fn value_noise(w: usize, h: usize, seed: u64, octaves: u8, detail: f64) -> Vec<u8> {
+    let persistence = detail.clamp(0.0, 1.0);
+    let mut out = Vec::with_capacity(w * h * 3);
+    for y in 0..h {
+        let fy = y as f64 / h.max(1) as f64;
+        for x in 0..w {
+            let fx = x as f64 / w.max(1) as f64;
+            for ch in 0..3u64 {
+                let v = value_noise_at(seed, fx, fy, ch, octaves, persistence);
+                out.push((v * 255.0) as u8);
+            }
+        }
+    }
+    out
+}
+
+fn white_noise(w: usize, h: usize, seed: u64, amount: f64) -> Vec<u8> {
+    let amount = amount.clamp(0.0, 1.0);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let base = gradient(w, h, seed.wrapping_add(1));
+    base.into_iter()
+        .map(|b| {
+            let n: f64 = rng.gen_range(-128.0..128.0);
+            (b as f64 * (1.0 - amount) + (128.0 + n) * amount).clamp(0.0, 255.0) as u8
+        })
+        .collect()
+}
+
+fn checker(w: usize, h: usize, seed: u64, cell: usize) -> Vec<u8> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let a: [u8; 3] = [rng.gen(), rng.gen(), rng.gen()];
+    let b: [u8; 3] = [rng.gen(), rng.gen(), rng.gen()];
+    let mut out = Vec::with_capacity(w * h * 3);
+    for y in 0..h {
+        for x in 0..w {
+            let c = if (x / cell + y / cell) % 2 == 0 { a } else { b };
+            out.extend_from_slice(&c);
+        }
+    }
+    out
+}
+
+fn photo_like(w: usize, h: usize, seed: u64, detail: f64) -> Vec<u8> {
+    let persistence = detail.clamp(0.0, 1.0);
+    let skyline = 0.35 + lattice(seed, 7, 7, 9) * 0.3; // fraction of height
+    let mut out = Vec::with_capacity(w * h * 3);
+    for y in 0..h {
+        let fy = y as f64 / h.max(1) as f64;
+        for x in 0..w {
+            let fx = x as f64 / w.max(1) as f64;
+            // Gentle horizon wobble so the skyline is not a pure horizontal
+            // edge (those quantize to nothing under DCT).
+            let wobble = value_noise_at(seed, fx, 0.0, 5, 3, 0.6) * 0.08;
+            if fy < skyline + wobble {
+                // Sky: vertical gradient with faint texture.
+                let t = fy / (skyline + wobble).max(1e-6);
+                let haze = value_noise_at(seed, fx, fy, 3, 2, 0.4) * 20.0;
+                out.push((120.0 + t * 60.0 + haze).clamp(0.0, 255.0) as u8);
+                out.push((160.0 + t * 40.0 + haze).clamp(0.0, 255.0) as u8);
+                out.push((220.0 - t * 30.0 + haze).clamp(0.0, 255.0) as u8);
+            } else {
+                // Ground: textured greens/browns.
+                let g = value_noise_at(seed, fx, fy, 0, 5, persistence);
+                let r = value_noise_at(seed, fx, fy, 1, 5, persistence);
+                out.push((60.0 + r * 120.0) as u8);
+                out.push((80.0 + g * 140.0) as u8);
+                out.push((40.0 + g * 60.0) as u8);
+            }
+        }
+    }
+    out
+}
+
+fn detail_ramp(w: usize, h: usize, seed: u64, top: f64, bottom: f64) -> Vec<u8> {
+    let top = top.clamp(0.0, 1.0);
+    let bottom = bottom.clamp(0.0, 1.0);
+    let mut out = Vec::with_capacity(w * h * 3);
+    for y in 0..h {
+        let fy = y as f64 / h.max(1) as f64;
+        // Mix a smooth field with white-ish high-octave noise; the noise
+        // share ramps with the row, so entropy density does too.
+        let noise_share = top + (bottom - top) * fy;
+        for x in 0..w {
+            let fx = x as f64 / w.max(1) as f64;
+            for ch in 0..3u64 {
+                let smooth = value_noise_at(seed, fx, fy, ch, 2, 0.4);
+                let rough = value_noise_at(seed.wrapping_add(7), fx, fy, ch + 3, 7, 0.95);
+                let v = smooth * (1.0 - noise_share) + rough * noise_share;
+                out.push((v * 255.0) as u8);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detail_ramp_entropy_really_ramps() {
+        // Encode the top and bottom halves separately; the bottom must be
+        // denser when bottom detail > top detail.
+        use hetjpeg_jpeg::encoder::{encode_rgb, EncodeParams};
+        let (w, h) = (128usize, 128usize);
+        let rgb = generate_rgb(&ImageSpec {
+            width: w,
+            height: h,
+            pattern: Pattern::DetailRamp { top: 0.05, bottom: 0.9 },
+            seed: 5,
+        });
+        let params = EncodeParams {
+            quality: 85,
+            subsampling: hetjpeg_jpeg::types::Subsampling::S422,
+            restart_interval: 0,
+        };
+        let top_half =
+            encode_rgb(&rgb[..w * (h / 2) * 3], w as u32, (h / 2) as u32, &params).unwrap();
+        let bottom_half =
+            encode_rgb(&rgb[w * (h / 2) * 3..], w as u32, (h / 2) as u32, &params).unwrap();
+        assert!(
+            bottom_half.len() as f64 > top_half.len() as f64 * 1.5,
+            "bottom {} vs top {}",
+            bottom_half.len(),
+            top_half.len()
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = ImageSpec {
+            width: 33,
+            height: 21,
+            pattern: Pattern::PhotoLike { detail: 0.7 },
+            seed: 99,
+        };
+        assert_eq!(generate_rgb(&spec), generate_rgb(&spec));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mk = |seed| {
+            generate_rgb(&ImageSpec {
+                width: 32,
+                height: 32,
+                pattern: Pattern::ValueNoise { octaves: 4, detail: 0.5 },
+                seed,
+            })
+        };
+        assert_ne!(mk(1), mk(2));
+    }
+
+    #[test]
+    fn output_sizes_are_exact() {
+        for (w, h) in [(1, 1), (17, 3), (64, 48)] {
+            for pattern in [
+                Pattern::Gradient,
+                Pattern::SmoothField,
+                Pattern::ValueNoise { octaves: 3, detail: 0.4 },
+                Pattern::WhiteNoise { amount: 0.5 },
+                Pattern::Checker { cell: 4 },
+                Pattern::PhotoLike { detail: 0.5 },
+            ] {
+                let spec = ImageSpec { width: w, height: h, pattern, seed: 5 };
+                assert_eq!(generate_rgb(&spec).len(), w * h * 3, "{}", pattern.name());
+            }
+        }
+    }
+
+    #[test]
+    fn value_noise_detail_raises_variance() {
+        let var = |detail: f64| {
+            let rgb = generate_rgb(&ImageSpec {
+                width: 64,
+                height: 64,
+                pattern: Pattern::ValueNoise { octaves: 6, detail },
+                seed: 11,
+            });
+            // High-frequency energy: mean absolute horizontal delta.
+            rgb.chunks_exact(3)
+                .map(|p| p[0] as f64)
+                .collect::<Vec<_>>()
+                .windows(2)
+                .map(|w| (w[0] - w[1]).abs())
+                .sum::<f64>()
+        };
+        assert!(var(0.9) > var(0.2) * 1.5);
+    }
+
+    #[test]
+    fn lattice_is_in_unit_range() {
+        for i in 0..100 {
+            let v = lattice(3, i, -i, (i % 3) as u64);
+            assert!((0.0..=1.0).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Device specifications (paper Table 1).
+
+/// Static description of a simulated GPU.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceSpec {
+    /// Marketing name, e.g. "GTX 560 Ti".
+    pub name: &'static str,
+    /// Number of streaming multiprocessors.
+    pub sm_count: usize,
+    /// Scalar cores per SM (total cores = `sm_count * cores_per_sm`).
+    pub cores_per_sm: usize,
+    /// Core clock in MHz.
+    pub clock_mhz: f64,
+    /// Work-items per warp.
+    pub warp_size: usize,
+    /// Global memory bandwidth in GB/s.
+    pub gmem_bandwidth_gbps: f64,
+    /// Local (shared) memory per SM in bytes.
+    pub lmem_bytes_per_sm: usize,
+    /// Architectural registers per SM — constrains how many work-groups can
+    /// be resident, which is why the paper does not merge all three kernels
+    /// into one (§4.4).
+    pub registers_per_sm: usize,
+    /// Kernel launch overhead in microseconds.
+    pub launch_overhead_us: f64,
+    /// CUDA compute capability (major, minor) — ≥ 2.x enables the 1/2/4/8/16
+    /// byte vectorized global writes the paper's color kernel uses (§4.3).
+    pub compute_capability: (u8, u8),
+    /// Average instructions-per-clock efficiency per core (models dual-issue
+    /// limits, memory stalls not covered by the bandwidth term, etc.).
+    pub ipc_efficiency: f64,
+}
+
+impl DeviceSpec {
+    /// Total scalar cores.
+    #[inline]
+    pub fn total_cores(&self) -> usize {
+        self.sm_count * self.cores_per_sm
+    }
+
+    /// Peak scalar ops per second.
+    #[inline]
+    pub fn peak_ops_per_sec(&self) -> f64 {
+        self.total_cores() as f64 * self.clock_mhz * 1e6 * self.ipc_efficiency
+    }
+
+    /// NVIDIA GT 430 (Fermi, 96 cores): the paper's low-end device, the one
+    /// whose GPU-only decode *loses* to CPU SIMD (§6.1).
+    pub fn gt430() -> Self {
+        DeviceSpec {
+            name: "GT 430",
+            sm_count: 2,
+            cores_per_sm: 48,
+            clock_mhz: 1400.0, // shader clock (2x the 700 MHz core clock)
+            warp_size: 32,
+            gmem_bandwidth_gbps: 28.8,
+            lmem_bytes_per_sm: 48 * 1024,
+            registers_per_sm: 32 * 1024,
+            launch_overhead_us: 8.0,
+            compute_capability: (2, 1),
+            // Calibrated so GPU-mode decoding *loses* to CPU SIMD on this
+            // machine (paper Table 2: 0.72x): two SMs cannot cover integer
+            // ALU latency for these kernels, and the low-end board also has
+            // the slow transfers the paper observed ("27% slower", §6.1).
+            ipc_efficiency: 0.21,
+        }
+    }
+
+    /// NVIDIA GTX 560 Ti (Fermi, 384 cores): the paper's mid-range device.
+    pub fn gtx560ti() -> Self {
+        DeviceSpec {
+            name: "GTX 560 Ti",
+            sm_count: 8,
+            cores_per_sm: 48,
+            clock_mhz: 1644.0, // shader clock (2x 822 MHz)
+            warp_size: 32,
+            gmem_bandwidth_gbps: 128.0,
+            lmem_bytes_per_sm: 48 * 1024,
+            registers_per_sm: 32 * 1024,
+            launch_overhead_us: 6.0,
+            compute_capability: (2, 1),
+            // Calibrated to the paper's §6.1 anchor: kernel-only ≈ 10x the
+            // CPU SIMD parallel phase on a 2048x2048 4:2:2 image.
+            ipc_efficiency: 0.47,
+        }
+    }
+
+    /// NVIDIA GTX 680 (Kepler, 1536 cores): the paper's high-end device.
+    pub fn gtx680() -> Self {
+        DeviceSpec {
+            name: "GTX 680",
+            sm_count: 8,
+            cores_per_sm: 192,
+            clock_mhz: 1006.0, // Kepler unified clock
+            warp_size: 32,
+            gmem_bandwidth_gbps: 192.3,
+            lmem_bytes_per_sm: 48 * 1024,
+            registers_per_sm: 64 * 1024,
+            launch_overhead_us: 5.0,
+            compute_capability: (3, 0),
+            // Kepler's static dual-issue scheduler feeds its 192-core SMX
+            // far below peak on integer workloads; calibrated to the §6.1
+            // anchor kernel-only ≈ 13.7x CPU SIMD.
+            ipc_efficiency: 0.26,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_core_counts() {
+        assert_eq!(DeviceSpec::gt430().total_cores(), 96);
+        assert_eq!(DeviceSpec::gtx560ti().total_cores(), 384);
+        assert_eq!(DeviceSpec::gtx680().total_cores(), 1536);
+    }
+
+    #[test]
+    fn peak_ops_ordering_matches_hardware_tier() {
+        let a = DeviceSpec::gt430().peak_ops_per_sec();
+        let b = DeviceSpec::gtx560ti().peak_ops_per_sec();
+        let c = DeviceSpec::gtx680().peak_ops_per_sec();
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn bandwidth_ratio_matches_published_specs() {
+        // GTX 680 : GTX 560 Ti bandwidth ≈ 1.5 — this ratio is what bounds
+        // the paper's 13.7x vs 10x kernel speedups (both memory-bound).
+        let r = DeviceSpec::gtx680().gmem_bandwidth_gbps
+            / DeviceSpec::gtx560ti().gmem_bandwidth_gbps;
+        assert!((1.4..1.6).contains(&r));
+    }
+}

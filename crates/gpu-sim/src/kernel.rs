@@ -1,0 +1,466 @@
+//! Kernel execution contexts: work-groups, work-items, lockstep phases.
+//!
+//! A kernel runs one work-group at a time via [`Kernel::run_group`]. Inside,
+//! the group executes a sequence of **phases**; each phase runs the phase
+//! closure once per work-item. Phase boundaries are the barriers: local
+//! memory written in phase *k* is visible to all items in phase *k+1* —
+//! exactly the `barrier(CLK_LOCAL_MEM_FENCE)` structure of the paper's
+//! IDCT kernel (column pass → barrier → row pass, §4.1).
+//!
+//! All global/local accesses and arithmetic go through [`ItemCtx`] so the
+//! executor can meter coalescing, bank conflicts, divergence and compute.
+
+use crate::memory::{Buffer, LocalMem, WarpTracker};
+use crate::stats::LaunchStats;
+
+/// A simulated GPU kernel.
+pub trait Kernel: Sync {
+    /// Kernel name for reports.
+    fn name(&self) -> &'static str;
+    /// Work-items per work-group (the paper tunes this between 4 and 32
+    /// MCUs' worth, §5.1).
+    fn items_per_group(&self) -> usize;
+    /// Local memory bytes to allocate per group.
+    fn local_bytes(&self) -> usize {
+        0
+    }
+    /// Execute one work-group.
+    fn run_group(&self, ctx: &mut GroupCtx<'_>);
+}
+
+/// Divergence tracking slot: has any lane taken / not taken the branch?
+#[derive(Debug, Clone, Copy, Default)]
+struct BranchSlot {
+    taken: bool,
+    not_taken: bool,
+}
+
+/// Per-group execution context.
+pub struct GroupCtx<'a> {
+    /// Index of this group in the NDRange.
+    pub group_id: usize,
+    items: usize,
+    warp_size: usize,
+    buffers: &'a [Buffer],
+    local: LocalMem,
+    warps: Vec<WarpTracker>,
+    branch_slots: Vec<Vec<BranchSlot>>,
+    stats: LaunchStats,
+}
+
+impl<'a> GroupCtx<'a> {
+    pub(crate) fn new(
+        group_id: usize,
+        items: usize,
+        warp_size: usize,
+        local_bytes: usize,
+        buffers: &'a [Buffer],
+    ) -> Self {
+        let warps = items.div_ceil(warp_size);
+        GroupCtx {
+            group_id,
+            items,
+            warp_size,
+            buffers,
+            local: LocalMem::new(local_bytes, warps, warp_size),
+            warps: (0..warps).map(|_| WarpTracker::default()).collect(),
+            branch_slots: vec![Vec::new(); warps],
+            stats: LaunchStats { groups: 1, items: items as u64, ..Default::default() },
+        }
+    }
+
+    /// Number of work-items in this group.
+    #[inline]
+    pub fn items(&self) -> usize {
+        self.items
+    }
+
+    /// Run one lockstep phase over all work-items, then retire the phase's
+    /// coalescing / conflict / divergence accounting (the implicit barrier).
+    pub fn phase<F: FnMut(&mut ItemCtx<'_, 'a>)>(&mut self, mut f: F) {
+        for item in 0..self.items {
+            let mut ictx = ItemCtx { grp: self, item, seq: 0, ops: 0 };
+            f(&mut ictx);
+            let ops = ictx.ops;
+            self.stats.compute_ops += ops;
+        }
+        self.finish_phase();
+    }
+
+    fn finish_phase(&mut self) {
+        for w in self.warps.iter_mut() {
+            let (r, wtx) = w.finish_phase();
+            self.stats.gmem_read_transactions += r;
+            self.stats.gmem_write_transactions += wtx;
+        }
+        for slots in self.branch_slots.iter_mut() {
+            for s in slots.iter_mut() {
+                if s.taken && s.not_taken {
+                    self.stats.divergent_branches += 1;
+                }
+                *s = BranchSlot::default();
+            }
+            slots.clear();
+        }
+        self.local.finish_phase();
+    }
+
+    /// Finalize and return this group's statistics.
+    pub(crate) fn into_stats(mut self) -> LaunchStats {
+        for w in &self.warps {
+            self.stats.gmem_read_bytes += w.read_bytes;
+            self.stats.gmem_write_bytes += w.write_bytes;
+        }
+        self.stats.lmem_accesses = self.local.accesses;
+        self.stats.lmem_conflict_cycles = self.local.conflict_cycles;
+        self.stats
+    }
+}
+
+/// Per-work-item view during a phase.
+pub struct ItemCtx<'g, 'a> {
+    grp: &'g mut GroupCtx<'a>,
+    item: usize,
+    seq: usize,
+    ops: u64,
+}
+
+impl<'g, 'a> ItemCtx<'g, 'a> {
+    /// Local work-item id within the group.
+    #[inline]
+    pub fn id(&self) -> usize {
+        self.item
+    }
+
+    /// Group id in the NDRange.
+    #[inline]
+    pub fn group_id(&self) -> usize {
+        self.grp.group_id
+    }
+
+    /// Global work-item id.
+    #[inline]
+    pub fn global_id(&self) -> usize {
+        self.grp.group_id * self.grp.items + self.item
+    }
+
+    #[inline]
+    fn warp(&self) -> usize {
+        self.item / self.grp.warp_size
+    }
+
+    /// Charge `n` scalar compute operations.
+    #[inline]
+    pub fn charge(&mut self, n: u64) {
+        self.ops += n;
+    }
+
+    /// Record a potentially divergent branch; returns `taken` unchanged so
+    /// it can wrap a condition inline.
+    #[inline]
+    pub fn branch(&mut self, taken: bool) -> bool {
+        let warp = self.warp();
+        let seq = self.seq;
+        self.seq += 1;
+        self.ops += 1;
+        let slots = &mut self.grp.branch_slots[warp];
+        if slots.len() <= seq {
+            slots.resize_with(seq + 1, Default::default);
+        }
+        if taken {
+            slots[seq].taken = true;
+        } else {
+            slots[seq].not_taken = true;
+        }
+        taken
+    }
+
+    #[inline]
+    fn record_gmem(&mut self, buf: usize, addr: usize, len: usize, write: bool) {
+        let warp = self.warp();
+        let seq = self.seq;
+        self.seq += 1;
+        self.ops += 1;
+        self.grp.warps[warp].record(seq, buf, addr, len, write);
+    }
+
+    /// Global load: one `i16` at byte address `addr`.
+    #[inline]
+    pub fn gload_i16(&mut self, buf: crate::BufId, addr: usize) -> i16 {
+        self.record_gmem(buf.0, addr, 2, false);
+        i16::from_le_bytes(self.grp.buffers[buf.0].load::<2>(addr))
+    }
+
+    /// Global load: one byte.
+    #[inline]
+    pub fn gload_u8(&mut self, buf: crate::BufId, addr: usize) -> u8 {
+        self.record_gmem(buf.0, addr, 1, false);
+        self.grp.buffers[buf.0].load::<1>(addr)[0]
+    }
+
+    /// Global vectorized load of 8 bytes (`uchar8`) — the wide loads the
+    /// paper's kernels use for row segments.
+    #[inline]
+    pub fn gload_vec8(&mut self, buf: crate::BufId, addr: usize) -> [u8; 8] {
+        self.record_gmem(buf.0, addr, 8, false);
+        self.grp.buffers[buf.0].load::<8>(addr)
+    }
+
+    /// Global store: one byte (uncoalesced-friendly scalar store).
+    #[inline]
+    pub fn gstore_u8(&mut self, buf: crate::BufId, addr: usize, v: u8) {
+        self.record_gmem(buf.0, addr, 1, true);
+        unsafe { self.grp.buffers[buf.0].store::<1>(addr, [v]) }
+    }
+
+    /// Global vectorized store of 4 bytes (`uchar4` in OpenCL terms) — the
+    /// paper's Fig. 4 vectorization unit.
+    #[inline]
+    pub fn gstore_vec4(&mut self, buf: crate::BufId, addr: usize, v: [u8; 4]) {
+        self.record_gmem(buf.0, addr, 4, true);
+        unsafe { self.grp.buffers[buf.0].store::<4>(addr, v) }
+    }
+
+    /// Global vectorized store of 8 bytes (`uchar8`).
+    #[inline]
+    pub fn gstore_vec8(&mut self, buf: crate::BufId, addr: usize, v: [u8; 8]) {
+        self.record_gmem(buf.0, addr, 8, true);
+        unsafe { self.grp.buffers[buf.0].store::<8>(addr, v) }
+    }
+
+    /// Global vectorized store of 16 bytes (`uchar16`).
+    #[inline]
+    pub fn gstore_vec16(&mut self, buf: crate::BufId, addr: usize, v: [u8; 16]) {
+        self.record_gmem(buf.0, addr, 16, true);
+        unsafe { self.grp.buffers[buf.0].store::<16>(addr, v) }
+    }
+
+    /// Global store of one `i16`.
+    #[inline]
+    pub fn gstore_i16(&mut self, buf: crate::BufId, addr: usize, v: i16) {
+        self.record_gmem(buf.0, addr, 2, true);
+        unsafe { self.grp.buffers[buf.0].store::<2>(addr, v.to_le_bytes()) }
+    }
+
+    /// Local-memory load of an `i64` word (byte address).
+    #[inline]
+    pub fn lload_i64(&mut self, addr: usize) -> i64 {
+        let seq = self.seq;
+        self.seq += 1;
+        self.ops += 1;
+        let item = self.item;
+        self.grp.local.load_i64(item, seq, addr)
+    }
+
+    /// Local-memory store of an `i64` word.
+    #[inline]
+    pub fn lstore_i64(&mut self, addr: usize, v: i64) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.ops += 1;
+        let item = self.item;
+        self.grp.local.store_i64(item, seq, addr, v);
+    }
+
+    /// Local-memory load of an `i32` word.
+    #[inline]
+    pub fn lload_i32(&mut self, addr: usize) -> i32 {
+        let seq = self.seq;
+        self.seq += 1;
+        self.ops += 1;
+        let item = self.item;
+        self.grp.local.load_i32(item, seq, addr)
+    }
+
+    /// Local-memory store of an `i32` word.
+    #[inline]
+    pub fn lstore_i32(&mut self, addr: usize, v: i32) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.ops += 1;
+        let item = self.item;
+        self.grp.local.store_i32(item, seq, addr, v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::GpuSim;
+    use crate::device::DeviceSpec;
+
+    /// Copies an i16 buffer to another, one item per element.
+    struct CopyKernel {
+        n: usize,
+        src: crate::BufId,
+        dst: crate::BufId,
+    }
+
+    impl Kernel for CopyKernel {
+        fn name(&self) -> &'static str {
+            "copy"
+        }
+        fn items_per_group(&self) -> usize {
+            32
+        }
+        fn run_group(&self, ctx: &mut GroupCtx<'_>) {
+            let (src, dst, n) = (self.src, self.dst, self.n);
+            ctx.phase(|it| {
+                let gid = it.global_id();
+                if gid < n {
+                    let v = it.gload_i16(src, gid * 2);
+                    it.charge(1);
+                    it.gstore_i16(dst, gid * 2, v.wrapping_add(1));
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn copy_kernel_is_functional_and_coalesced() {
+        let mut sim = GpuSim::new(DeviceSpec::gtx560ti());
+        let n = 256usize;
+        let src = sim.create_buffer(n * 2);
+        let dst = sim.create_buffer(n * 2);
+        let data: Vec<u8> = (0..n).flat_map(|i| (i as i16).to_le_bytes()).collect();
+        sim.write_buffer(src, 0, &data);
+
+        let k = CopyKernel { n, src, dst };
+        let stats = sim.launch(&k, n / 32);
+
+        // Functional result.
+        let out = sim.read_buffer(dst);
+        for i in 0..n {
+            let v = i16::from_le_bytes([out[i * 2], out[i * 2 + 1]]);
+            assert_eq!(v, i as i16 + 1);
+        }
+        // 32 items x 2 bytes = 64 bytes per warp -> 1 transaction each way
+        // per warp (64 <= 128).
+        assert_eq!(stats.groups, 8);
+        assert_eq!(stats.items, 256);
+        assert_eq!(stats.gmem_read_transactions, 8);
+        assert_eq!(stats.gmem_write_transactions, 8);
+        assert_eq!(stats.gmem_read_bytes, 512);
+        assert_eq!(stats.divergent_branches, 0);
+    }
+
+    /// Strided reads: every item reads 128 bytes apart.
+    struct StridedKernel {
+        src: crate::BufId,
+    }
+    impl Kernel for StridedKernel {
+        fn name(&self) -> &'static str {
+            "strided"
+        }
+        fn items_per_group(&self) -> usize {
+            32
+        }
+        fn run_group(&self, ctx: &mut GroupCtx<'_>) {
+            let src = self.src;
+            ctx.phase(|it| {
+                let _ = it.gload_u8(src, it.id() * 128);
+            });
+        }
+    }
+
+    #[test]
+    fn strided_access_costs_32_transactions() {
+        let mut sim = GpuSim::new(DeviceSpec::gtx560ti());
+        let src = sim.create_buffer(32 * 128);
+        let stats = sim.launch(&StridedKernel { src }, 1);
+        assert_eq!(stats.gmem_read_transactions, 32);
+        assert!(stats.coalescing_efficiency() < 0.01 + 32.0 / (32.0 * 128.0));
+    }
+
+    /// Local memory passes data between phases (the barrier semantics).
+    struct BarrierKernel {
+        dst: crate::BufId,
+    }
+    impl Kernel for BarrierKernel {
+        fn name(&self) -> &'static str {
+            "barrier"
+        }
+        fn items_per_group(&self) -> usize {
+            32
+        }
+        fn local_bytes(&self) -> usize {
+            32 * 8
+        }
+        fn run_group(&self, ctx: &mut GroupCtx<'_>) {
+            // Phase 1: item i writes i^2 to local[i].
+            ctx.phase(|it| {
+                let v = (it.id() * it.id()) as i64;
+                it.lstore_i64(it.id() * 8, v);
+            });
+            // Phase 2: item i reads its neighbour's value (needs barrier).
+            let dst = self.dst;
+            ctx.phase(|it| {
+                let n = (it.id() + 1) % 32;
+                let v = it.lload_i64(n * 8);
+                it.gstore_i16(dst, it.id() * 2, v as i16);
+            });
+        }
+    }
+
+    #[test]
+    fn phases_act_as_barriers() {
+        let mut sim = GpuSim::new(DeviceSpec::gt430());
+        let dst = sim.create_buffer(64);
+        sim.launch(&BarrierKernel { dst }, 1);
+        let out = sim.read_buffer(dst);
+        for i in 0..32usize {
+            let v = i16::from_le_bytes([out[i * 2], out[i * 2 + 1]]);
+            let n = ((i + 1) % 32) as i16;
+            assert_eq!(v, n * n);
+        }
+    }
+
+    /// Divergence: half the warp takes a different path.
+    struct DivergentKernel;
+    impl Kernel for DivergentKernel {
+        fn name(&self) -> &'static str {
+            "divergent"
+        }
+        fn items_per_group(&self) -> usize {
+            32
+        }
+        fn run_group(&self, ctx: &mut GroupCtx<'_>) {
+            ctx.phase(|it| {
+                if it.branch(it.id() % 2 == 0) {
+                    it.charge(10);
+                } else {
+                    it.charge(20);
+                }
+            });
+        }
+    }
+
+    /// Uniform branch: whole warp agrees.
+    struct UniformKernel;
+    impl Kernel for UniformKernel {
+        fn name(&self) -> &'static str {
+            "uniform"
+        }
+        fn items_per_group(&self) -> usize {
+            64
+        }
+        fn run_group(&self, ctx: &mut GroupCtx<'_>) {
+            ctx.phase(|it| {
+                // Warp 0 takes it, warp 1 doesn't — but within each warp the
+                // decision is uniform, so no divergence.
+                if it.branch(it.id() < 32) {
+                    it.charge(5);
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn divergence_detected_only_within_warps() {
+        let sim = GpuSim::new(DeviceSpec::gtx680());
+        let s1 = sim.launch(&DivergentKernel, 4);
+        assert_eq!(s1.divergent_branches, 4); // one per group's single warp
+        let s2 = sim.launch(&UniformKernel, 4);
+        assert_eq!(s2.divergent_branches, 0);
+    }
+}

@@ -1,0 +1,314 @@
+//! Device global memory with warp-granular access tracking.
+//!
+//! Global buffers are untyped byte arrays (as in OpenCL). Typed accessors on
+//! [`crate::ItemCtx`] record `(sequence, address, width)` per access;
+//! [`WarpTracker`] folds them into 128-byte transactions per warp per
+//! lockstep instruction slot — the coalescing rule the paper's buffer
+//! layouts and vectorized writes are designed around (§4).
+
+use crate::TRANSACTION_BYTES;
+use std::cell::UnsafeCell;
+
+/// One device buffer. Interior-mutable so disjoint work-groups can write in
+/// parallel from the executor's thread pool.
+pub struct Buffer {
+    data: UnsafeCell<Vec<u8>>,
+}
+
+// SAFETY: the executor guarantees work-groups write disjoint ranges (the
+// same requirement a real GPU kernel has for correctness); reads of bytes
+// written by other groups within one launch are not allowed either.
+unsafe impl Sync for Buffer {}
+
+impl Buffer {
+    /// Allocate a zeroed buffer.
+    pub fn new(len: usize) -> Self {
+        Buffer { data: UnsafeCell::new(vec![0; len]) }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        unsafe { (*self.data.get()).len() }
+    }
+
+    /// True when the buffer holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Host-side read access (not tracked; use between launches only).
+    ///
+    /// # Safety contract (enforced by the executor's structure)
+    /// Must not be called while a launch is writing the buffer.
+    pub fn host_slice(&self) -> &[u8] {
+        unsafe { &*self.data.get() }
+    }
+
+    /// Host-side write access.
+    #[allow(clippy::mut_from_ref)]
+    pub(crate) fn host_slice_mut(&self) -> &mut [u8] {
+        unsafe { &mut *self.data.get() }
+    }
+
+    /// Device-side load of `N` bytes at `addr`.
+    #[inline]
+    pub(crate) fn load<const N: usize>(&self, addr: usize) -> [u8; N] {
+        let data = unsafe { &*self.data.get() };
+        data[addr..addr + N].try_into().expect("gmem load in bounds")
+    }
+
+    /// Device-side store of `N` bytes at `addr`.
+    ///
+    /// # Safety
+    /// Caller (the kernel) must ensure no other work-group writes an
+    /// overlapping range during the same launch.
+    #[inline]
+    pub(crate) unsafe fn store<const N: usize>(&self, addr: usize, v: [u8; N]) {
+        let data = &mut *self.data.get();
+        data[addr..addr + N].copy_from_slice(&v);
+    }
+}
+
+/// Per-warp coalescing tracker for one lockstep phase.
+///
+/// **Writes** are charged per lockstep slot: the `k`-th store of every item
+/// in a warp issues together, and the distinct 128-byte segments touched in
+/// that slot become transactions (Fermi's L1 is write-through, so stores
+/// always pay). **Reads** are charged per *phase*: distinct segments
+/// touched by the warp across the whole phase — modelling the L1 cache
+/// that serves repeated and neighbouring loads within a phase's working
+/// set (this is the "optimized for GPU memory hierarchies" assumption of
+/// paper §4; without it, byte-granular loads would be charged as if every
+/// issue slot missed cache).
+#[derive(Debug, Default)]
+pub struct WarpTracker {
+    /// Distinct segments read during the current phase (L1-resident).
+    read_segments: Vec<u64>,
+    /// `slots[seq]` = distinct segment ids for this warp's seq-th store.
+    write_slots: Vec<Vec<u64>>,
+    /// Useful bytes.
+    pub read_bytes: u64,
+    pub write_bytes: u64,
+}
+
+impl WarpTracker {
+    /// Record an access of `len` bytes at byte address `addr` (including the
+    /// buffer id in the upper bits so different buffers never coalesce).
+    #[inline]
+    pub fn record(&mut self, seq: usize, buf: usize, addr: usize, len: usize, write: bool) {
+        let first_seg = ((buf as u64) << 40) | (addr as u64 / TRANSACTION_BYTES);
+        let last_seg = ((buf as u64) << 40) | ((addr + len - 1) as u64 / TRANSACTION_BYTES);
+        if write {
+            if self.write_slots.len() <= seq {
+                self.write_slots.resize_with(seq + 1, Vec::new);
+            }
+            let set = &mut self.write_slots[seq];
+            for seg in first_seg..=last_seg {
+                if !set.contains(&seg) {
+                    set.push(seg);
+                }
+            }
+            self.write_bytes += len as u64;
+        } else {
+            for seg in first_seg..=last_seg {
+                if !self.read_segments.contains(&seg) {
+                    self.read_segments.push(seg);
+                }
+            }
+            self.read_bytes += len as u64;
+        }
+    }
+
+    /// Transactions accumulated (reads, writes), consuming the slots.
+    pub fn finish_phase(&mut self) -> (u64, u64) {
+        let r = self.read_segments.len() as u64;
+        let w: u64 = self.write_slots.iter().map(|s| s.len() as u64).sum();
+        self.read_segments.clear();
+        self.write_slots.clear();
+        (r, w)
+    }
+}
+
+/// Work-group local (shared) memory with bank-conflict accounting.
+#[derive(Debug)]
+pub struct LocalMem {
+    data: Vec<u8>,
+    /// `bank_slots[warp][seq]` = banks touched (bank, addr) pairs.
+    bank_slots: Vec<Vec<Vec<(usize, usize)>>>,
+    /// Total accesses.
+    pub accesses: u64,
+    /// Extra serialized cycles from conflicts.
+    pub conflict_cycles: u64,
+    warp_size: usize,
+}
+
+impl LocalMem {
+    /// Allocate `len` bytes of local memory for a group of `warps` warps.
+    pub fn new(len: usize, warps: usize, warp_size: usize) -> Self {
+        LocalMem {
+            data: vec![0; len],
+            bank_slots: vec![Vec::new(); warps.max(1)],
+            accesses: 0,
+            conflict_cycles: 0,
+            warp_size,
+        }
+    }
+
+    #[inline]
+    fn track(&mut self, item: usize, seq: usize, addr: usize) {
+        self.accesses += 1;
+        let warp = item / self.warp_size;
+        let slots = &mut self.bank_slots[warp];
+        if slots.len() <= seq {
+            slots.resize_with(seq + 1, Vec::new);
+        }
+        // Bank = word address modulo 32 (cc 2.x mapping).
+        let bank = (addr / 4) % crate::LMEM_BANKS;
+        slots[seq].push((bank, addr / 4));
+    }
+
+    /// Load a 4-byte word (i32) at word-aligned byte address.
+    #[inline]
+    pub fn load_i32(&mut self, item: usize, seq: usize, addr: usize) -> i32 {
+        self.track(item, seq, addr);
+        i32::from_le_bytes(self.data[addr..addr + 4].try_into().expect("lmem load"))
+    }
+
+    /// Store a 4-byte word.
+    #[inline]
+    pub fn store_i32(&mut self, item: usize, seq: usize, addr: usize, v: i32) {
+        self.track(item, seq, addr);
+        self.data[addr..addr + 4].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Load an 8-byte word (i64 — the islow IDCT intermediate).
+    #[inline]
+    pub fn load_i64(&mut self, item: usize, seq: usize, addr: usize) -> i64 {
+        self.track(item, seq, addr);
+        i64::from_le_bytes(self.data[addr..addr + 8].try_into().expect("lmem load"))
+    }
+
+    /// Store an 8-byte word.
+    #[inline]
+    pub fn store_i64(&mut self, item: usize, seq: usize, addr: usize, v: i64) {
+        self.track(item, seq, addr);
+        self.data[addr..addr + 8].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Fold this phase's per-warp bank accesses into conflict cycles: a warp
+    /// access that hits the same bank at `k` distinct addresses serializes
+    /// into `k` cycles (k−1 extra); same-address hits broadcast for free.
+    pub fn finish_phase(&mut self) {
+        for warp_slots in self.bank_slots.iter_mut() {
+            for slot in warp_slots.iter_mut() {
+                if slot.is_empty() {
+                    continue;
+                }
+                let mut max_multiplicity = 1usize;
+                for bank in 0..crate::LMEM_BANKS {
+                    let mut addrs: Vec<usize> = slot
+                        .iter()
+                        .filter(|&&(b, _)| b == bank)
+                        .map(|&(_, a)| a)
+                        .collect();
+                    addrs.sort_unstable();
+                    addrs.dedup();
+                    max_multiplicity = max_multiplicity.max(addrs.len().max(1));
+                }
+                self.conflict_cycles += (max_multiplicity - 1) as u64;
+                slot.clear();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffer_host_roundtrip() {
+        let b = Buffer::new(8);
+        b.host_slice_mut()[3] = 42;
+        assert_eq!(b.host_slice()[3], 42);
+        assert_eq!(b.len(), 8);
+    }
+
+    #[test]
+    fn fully_coalesced_warp_is_minimal_transactions() {
+        // 32 items reading consecutive 4-byte words: 128 bytes = 1 segment.
+        let mut t = WarpTracker::default();
+        for item in 0..32usize {
+            t.record(0, 0, item * 4, 4, false);
+        }
+        let (r, w) = t.finish_phase();
+        assert_eq!((r, w), (1, 0));
+    }
+
+    #[test]
+    fn strided_warp_explodes_transactions() {
+        // 32 items reading 4 bytes each, 128 bytes apart: 32 segments.
+        let mut t = WarpTracker::default();
+        for item in 0..32usize {
+            t.record(0, 0, item * 128, 4, false);
+        }
+        let (r, _) = t.finish_phase();
+        assert_eq!(r, 32);
+    }
+
+    #[test]
+    fn different_buffers_never_coalesce() {
+        let mut t = WarpTracker::default();
+        t.record(0, 0, 0, 4, false);
+        t.record(0, 1, 0, 4, false);
+        let (r, _) = t.finish_phase();
+        assert_eq!(r, 2);
+    }
+
+    #[test]
+    fn unaligned_access_spans_two_segments() {
+        let mut t = WarpTracker::default();
+        t.record(0, 0, 126, 4, true);
+        let (_, w) = t.finish_phase();
+        assert_eq!(w, 2);
+    }
+
+    #[test]
+    fn bank_conflicts_counted() {
+        let mut l = LocalMem::new(33 * 4 * 4, 1, 32);
+        // Two items hitting bank 0 at distinct addresses (0 and 128 bytes
+        // = word 0 and word 32, both bank 0): 1 extra cycle.
+        l.load_i32(0, 0, 0);
+        l.load_i32(1, 0, 128);
+        l.finish_phase();
+        assert_eq!(l.conflict_cycles, 1);
+
+        // Broadcast: same address from many items is free.
+        let mut l = LocalMem::new(256, 1, 32);
+        for item in 0..8 {
+            l.load_i32(item, 0, 64);
+        }
+        l.finish_phase();
+        assert_eq!(l.conflict_cycles, 0);
+    }
+
+    #[test]
+    fn conflict_free_padded_layout() {
+        // Classic 33-word row padding: column accesses hit distinct banks.
+        let mut l = LocalMem::new(33 * 4 * 32, 1, 32);
+        for item in 0..32 {
+            l.load_i32(item, 0, item * 33 * 4); // row-major stride of 33 words
+        }
+        l.finish_phase();
+        assert_eq!(l.conflict_cycles, 0, "33-stride should be conflict-free");
+    }
+
+    #[test]
+    fn lmem_data_roundtrips() {
+        let mut l = LocalMem::new(64, 1, 32);
+        l.store_i64(0, 0, 8, -123456789);
+        assert_eq!(l.load_i64(0, 1, 8), -123456789);
+        l.store_i32(1, 2, 0, 77);
+        assert_eq!(l.load_i32(1, 3, 0), 77);
+    }
+}

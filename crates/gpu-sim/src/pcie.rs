@@ -1,0 +1,71 @@
+//! PCIe transfer cost model.
+//!
+//! "The PCI bus that connects the GPU to the CPU represents a
+//! bandwidth-bottleneck that incurs significant overhead to computations on
+//! the GPU" (paper §1); the paper pins its buffers for faster transfers
+//! (§5.1, citing the NVIDIA OpenCL guide). The model is affine:
+//! `t = latency + bytes / bandwidth`, with pinned memory getting the full
+//! DMA bandwidth and pageable memory roughly half (the staging copy).
+
+/// Host↔device transfer model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PcieModel {
+    /// Per-transfer fixed latency in microseconds (driver + DMA setup).
+    pub latency_us: f64,
+    /// Bandwidth with pinned host memory, GB/s.
+    pub pinned_gbps: f64,
+    /// Bandwidth with pageable host memory, GB/s.
+    pub pageable_gbps: f64,
+}
+
+impl PcieModel {
+    /// PCIe 2.0 x16: the paper's three machines (Fermi/Kepler era boards).
+    pub fn gen2_x16() -> Self {
+        PcieModel { latency_us: 10.0, pinned_gbps: 6.0, pageable_gbps: 3.0 }
+    }
+
+    /// Transfer time in seconds for `bytes`, using pinned buffers or not.
+    pub fn transfer_time(&self, bytes: usize, pinned: bool) -> f64 {
+        let bw = if pinned { self.pinned_gbps } else { self.pageable_gbps };
+        self.latency_us * 1e-6 + bytes as f64 / (bw * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_bytes_costs_latency() {
+        let p = PcieModel::gen2_x16();
+        assert!((p.transfer_time(0, true) - 10e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pinned_is_faster() {
+        let p = PcieModel::gen2_x16();
+        let mb = 1 << 20;
+        assert!(p.transfer_time(mb, true) < p.transfer_time(mb, false));
+    }
+
+    #[test]
+    fn big_transfer_approaches_bandwidth() {
+        let p = PcieModel::gen2_x16();
+        let gb = 1usize << 30;
+        let t = p.transfer_time(gb, true);
+        let ideal = (1u64 << 30) as f64 / 6e9;
+        assert!((t - ideal) / ideal < 0.01);
+    }
+
+    #[test]
+    fn batching_beats_many_small_transfers() {
+        // The §3 rationale for whole-image buffers: one big transfer beats
+        // row-by-row transfers because latency amortizes.
+        let p = PcieModel::gen2_x16();
+        let row = 4096usize * 3;
+        let rows = 1024usize;
+        let many: f64 = (0..rows).map(|_| p.transfer_time(row, true)).sum();
+        let one = p.transfer_time(row * rows, true);
+        assert!(one < many / 3.0, "one={one:.6} many={many:.6}");
+    }
+}

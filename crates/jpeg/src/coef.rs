@@ -1,0 +1,125 @@
+//! The whole-image coefficient buffer.
+//!
+//! Paper §3 replaces libjpeg-turbo's MCU-row buffers with whole-image
+//! buffers "large enough to keep an image as a whole in memory", and §4
+//! fixes the layout as "Y blocks followed by Cb blocks followed by Cr
+//! blocks" so the upsampling kernel never has to skip over interleaved luma
+//! data — the property the coalescing ablation bench measures.
+
+use crate::geometry::Geometry;
+
+/// Whole-image DCT coefficient storage: one contiguous `i16` allocation,
+/// blocks of 64 natural-order coefficients, planar per component.
+#[derive(Debug, Clone)]
+pub struct CoefBuffer {
+    data: Vec<i16>,
+}
+
+impl CoefBuffer {
+    /// Allocate a zeroed buffer for an image's geometry.
+    pub fn new(geom: &Geometry) -> Self {
+        CoefBuffer { data: vec![0; geom.total_blocks * 64] }
+    }
+
+    /// Borrow the coefficients of one block (natural order).
+    #[inline]
+    pub fn block(&self, block_index: usize) -> &[i16; 64] {
+        let off = block_index * 64;
+        self.data[off..off + 64].try_into().expect("block slice")
+    }
+
+    /// Mutably borrow one block.
+    #[inline]
+    pub fn block_mut(&mut self, block_index: usize) -> &mut [i16; 64] {
+        let off = block_index * 64;
+        (&mut self.data[off..off + 64]).try_into().expect("block slice")
+    }
+
+    /// The raw flat storage (e.g. for simulated PCIe transfer sizing).
+    #[inline]
+    pub fn as_slice(&self) -> &[i16] {
+        &self.data
+    }
+
+    /// Mutable access to the raw flat storage.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [i16] {
+        &mut self.data
+    }
+
+    /// Byte length of the buffer (what a host→device write would ship).
+    #[inline]
+    pub fn byte_len(&self) -> usize {
+        self.data.len() * 2
+    }
+
+    /// Copy the coefficient range covering MCU rows `[start, end)` of every
+    /// component into a packed staging vector, in component order. This is
+    /// the chunk payload of the pipelined execution mode (§4.5): each
+    /// Huffman-decoded chunk ships only its own blocks.
+    pub fn pack_mcu_rows(&self, geom: &Geometry, start: usize, end: usize) -> Vec<i16> {
+        let mut out = Vec::with_capacity(geom.blocks_in_mcu_rows(start, end) * 64);
+        for (c, comp) in geom.comps.iter().enumerate() {
+            let by0 = start * comp.v_samp;
+            let by1 = (end * comp.v_samp).min(comp.height_blocks);
+            for by in by0..by1 {
+                let first = geom.block_index(c, 0, by) * 64;
+                let last = first + comp.width_blocks * 64;
+                out.extend_from_slice(&self.data[first..last]);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Subsampling;
+
+    #[test]
+    fn allocation_matches_geometry() {
+        let g = Geometry::new(32, 16, Subsampling::S422).unwrap();
+        let buf = CoefBuffer::new(&g);
+        assert_eq!(buf.as_slice().len(), g.total_blocks * 64);
+        assert_eq!(buf.byte_len(), g.total_blocks * 128);
+    }
+
+    #[test]
+    fn block_views_are_disjoint_and_stable() {
+        let g = Geometry::new(32, 16, Subsampling::S444).unwrap();
+        let mut buf = CoefBuffer::new(&g);
+        buf.block_mut(0)[0] = 11;
+        buf.block_mut(1)[0] = 22;
+        assert_eq!(buf.block(0)[0], 11);
+        assert_eq!(buf.block(1)[0], 22);
+        assert_eq!(buf.block(0)[1], 0);
+    }
+
+    #[test]
+    fn pack_mcu_rows_collects_all_components() {
+        let g = Geometry::new(16, 16, Subsampling::S422).unwrap();
+        let mut buf = CoefBuffer::new(&g);
+        // Tag each block with its index.
+        for b in 0..g.total_blocks {
+            buf.block_mut(b)[0] = b as i16;
+        }
+        // MCU row 0 of a 16x16 4:2:2 image: Y row 0 (2 blocks), Cb row 0
+        // (1 block), Cr row 0 (1 block).
+        let packed = buf.pack_mcu_rows(&g, 0, 1);
+        assert_eq!(packed.len(), 4 * 64);
+        let tags: Vec<i16> = packed.chunks_exact(64).map(|b| b[0]).collect();
+        let y_off = 0;
+        let cb_off = g.comps[1].plane_block_offset as i16;
+        let cr_off = g.comps[2].plane_block_offset as i16;
+        assert_eq!(tags, vec![y_off, y_off + 1, cb_off, cr_off]);
+    }
+
+    #[test]
+    fn pack_full_image_equals_whole_buffer_size() {
+        let g = Geometry::new(24, 24, Subsampling::S444).unwrap();
+        let buf = CoefBuffer::new(&g);
+        let packed = buf.pack_mcu_rows(&g, 0, g.mcus_y);
+        assert_eq!(packed.len(), buf.as_slice().len());
+    }
+}

@@ -1,0 +1,199 @@
+//! YCbCr ↔ RGB color-space conversion (paper Algorithm 2).
+//!
+//! The decode direction implements Algorithm 2 exactly:
+//!
+//! ```text
+//! R = Y + 1.402 (Cr - 128)
+//! G = Y - 0.34414 (Cb - 128) - 0.71414 (Cr - 128)
+//! B = Y + 1.772 (Cb - 128)
+//! ```
+//!
+//! Two implementations are provided and are bit-identical:
+//! * a table-driven fixed-point path (libjpeg's `jdcolor` scheme) used by
+//!   the optimized "SIMD-mode" decoder, and
+//! * a straightforward fixed-point path used by the scalar decoder and the
+//!   GPU kernels.
+//! Bit-identity across paths keeps all six scheduler modes byte-equal.
+
+/// Fixed-point fraction bits used by the integer conversion.
+pub const SCALE_BITS: i32 = 16;
+const ONE_HALF: i32 = 1 << (SCALE_BITS - 1);
+
+#[inline(always)]
+const fn fix(x: f64) -> i32 {
+    (x * (1i64 << SCALE_BITS) as f64 + 0.5) as i32
+}
+
+const FIX_1_40200: i32 = fix(1.40200);
+const FIX_1_77200: i32 = fix(1.77200);
+const FIX_0_71414: i32 = fix(0.71414);
+const FIX_0_34414: i32 = fix(0.34414);
+
+/// Precomputed per-value conversion tables (one entry per possible chroma
+/// byte), the layout libjpeg's `build_ycc_rgb_table` uses.
+pub struct YccTables {
+    /// `1.402 (cr - 128)`, rounded.
+    pub cr_r: [i32; 256],
+    /// `1.772 (cb - 128)`, rounded.
+    pub cb_b: [i32; 256],
+    /// `-0.71414 (cr - 128)` scaled by `2^SCALE_BITS`.
+    pub cr_g: [i32; 256],
+    /// `-0.34414 (cb - 128)` scaled by `2^SCALE_BITS`, biased by ONE_HALF.
+    pub cb_g: [i32; 256],
+}
+
+impl YccTables {
+    /// Build the tables; cheap enough to do per decode, or share one.
+    pub fn new() -> Self {
+        let mut t = YccTables {
+            cr_r: [0; 256],
+            cb_b: [0; 256],
+            cr_g: [0; 256],
+            cb_g: [0; 256],
+        };
+        for i in 0..256usize {
+            let x = i as i32 - 128;
+            t.cr_r[i] = (FIX_1_40200 * x + ONE_HALF) >> SCALE_BITS;
+            t.cb_b[i] = (FIX_1_77200 * x + ONE_HALF) >> SCALE_BITS;
+            t.cr_g[i] = -FIX_0_71414 * x;
+            t.cb_g[i] = -FIX_0_34414 * x + ONE_HALF;
+        }
+        t
+    }
+}
+
+impl Default for YccTables {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Convert one pixel using the precomputed tables.
+#[inline(always)]
+pub fn ycc_to_rgb_tab(t: &YccTables, y: u8, cb: u8, cr: u8) -> [u8; 3] {
+    let yv = y as i32;
+    let r = yv + t.cr_r[cr as usize];
+    let g = yv + ((t.cb_g[cb as usize] + t.cr_g[cr as usize]) >> SCALE_BITS);
+    let b = yv + t.cb_b[cb as usize];
+    [r.clamp(0, 255) as u8, g.clamp(0, 255) as u8, b.clamp(0, 255) as u8]
+}
+
+/// Convert one pixel with inline fixed-point arithmetic (no tables).
+///
+/// Produces exactly the same bytes as [`ycc_to_rgb_tab`]; this is the form
+/// the GPU color-conversion kernel (§4.3) computes per work-item.
+#[inline(always)]
+pub fn ycc_to_rgb(y: u8, cb: u8, cr: u8) -> [u8; 3] {
+    let yv = y as i32;
+    let cb = cb as i32 - 128;
+    let cr = cr as i32 - 128;
+    let r = yv + ((FIX_1_40200 * cr + ONE_HALF) >> SCALE_BITS);
+    let b = yv + ((FIX_1_77200 * cb + ONE_HALF) >> SCALE_BITS);
+    let g = yv + ((-FIX_0_34414 * cb - FIX_0_71414 * cr + ONE_HALF) >> SCALE_BITS);
+    [r.clamp(0, 255) as u8, g.clamp(0, 255) as u8, b.clamp(0, 255) as u8]
+}
+
+/// Float reference for Algorithm 2, used in tests.
+pub fn ycc_to_rgb_f64(y: f64, cb: f64, cr: f64) -> [f64; 3] {
+    [
+        y + 1.402 * (cr - 128.0),
+        y - 0.34414 * (cb - 128.0) - 0.71414 * (cr - 128.0),
+        y + 1.772 * (cb - 128.0),
+    ]
+}
+
+const FIX_0_29900: i32 = fix(0.29900);
+const FIX_0_58700: i32 = fix(0.58700);
+const FIX_0_11400: i32 = fix(0.11400);
+const FIX_0_16874: i32 = fix(0.16874);
+const FIX_0_33126: i32 = fix(0.33126);
+const FIX_0_50000: i32 = fix(0.50000);
+const FIX_0_41869: i32 = fix(0.41869);
+const FIX_0_08131: i32 = fix(0.08131);
+const CBCR_OFFSET: i32 = 128 << SCALE_BITS;
+
+/// Encoder direction: RGB to YCbCr (libjpeg `jccolor` constants).
+#[inline(always)]
+pub fn rgb_to_ycc(r: u8, g: u8, b: u8) -> [u8; 3] {
+    let (r, g, b) = (r as i32, g as i32, b as i32);
+    let y = (FIX_0_29900 * r + FIX_0_58700 * g + FIX_0_11400 * b + ONE_HALF) >> SCALE_BITS;
+    let cb = (-FIX_0_16874 * r - FIX_0_33126 * g + FIX_0_50000 * b + CBCR_OFFSET + ONE_HALF - 1)
+        >> SCALE_BITS;
+    let cr = (FIX_0_50000 * r - FIX_0_41869 * g - FIX_0_08131 * b + CBCR_OFFSET + ONE_HALF - 1)
+        >> SCALE_BITS;
+    [y.clamp(0, 255) as u8, cb.clamp(0, 255) as u8, cr.clamp(0, 255) as u8]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_and_inline_paths_are_bit_identical() {
+        let t = YccTables::new();
+        for y in (0..256).step_by(7) {
+            for cb in (0..256).step_by(11) {
+                for cr in (0..256).step_by(13) {
+                    let a = ycc_to_rgb_tab(&t, y as u8, cb as u8, cr as u8);
+                    let b = ycc_to_rgb(y as u8, cb as u8, cr as u8);
+                    assert_eq!(a, b, "y={y} cb={cb} cr={cr}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_point_tracks_float_reference() {
+        for y in (0..256).step_by(5) {
+            for cb in (0..256).step_by(17) {
+                for cr in (0..256).step_by(19) {
+                    let got = ycc_to_rgb(y as u8, cb as u8, cr as u8);
+                    let want = ycc_to_rgb_f64(y as f64, cb as f64, cr as f64);
+                    for k in 0..3 {
+                        let w = want[k].round().clamp(0.0, 255.0);
+                        assert!(
+                            (got[k] as f64 - w).abs() <= 1.0,
+                            "y={y} cb={cb} cr={cr} ch={k}: got {} want {w}",
+                            got[k]
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn neutral_chroma_is_grayscale() {
+        for y in 0..=255u8 {
+            assert_eq!(ycc_to_rgb(y, 128, 128), [y, y, y]);
+        }
+    }
+
+    #[test]
+    fn rgb_ycc_roundtrip_close() {
+        for r in (0..256).step_by(23) {
+            for g in (0..256).step_by(29) {
+                for b in (0..256).step_by(31) {
+                    let [y, cb, cr] = rgb_to_ycc(r as u8, g as u8, b as u8);
+                    let back = ycc_to_rgb(y, cb, cr);
+                    assert!((back[0] as i32 - r as i32).abs() <= 2);
+                    assert!((back[1] as i32 - g as i32).abs() <= 2);
+                    assert!((back[2] as i32 - b as i32).abs() <= 2);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn primary_colors_map_to_expected_ycc() {
+        // White.
+        assert_eq!(rgb_to_ycc(255, 255, 255), [255, 128, 128]);
+        // Black.
+        assert_eq!(rgb_to_ycc(0, 0, 0), [0, 128, 128]);
+        // Pure red: Y ≈ 76, Cb ≈ 85, Cr = 255.
+        let [y, cb, cr] = rgb_to_ycc(255, 0, 0);
+        assert!((y as i32 - 76).abs() <= 1);
+        assert!((cb as i32 - 85).abs() <= 1);
+        assert_eq!(cr, 255);
+    }
+}

@@ -1,0 +1,181 @@
+//! AAN (Arai–Agui–Nakajima) float IDCT with quantization prescaling.
+//!
+//! This is the algorithm the paper cites for its IDCT kernels (§2, reference
+//! [26]; "The libjpeg and libjpeg-turbo libraries apply a series of 1D IDCTs
+//! based on the AAN algorithm"). The AAN trick folds five of the eight
+//! per-pass multiplies into the dequantization table, leaving 5 multiplies
+//! and 29 additions per 1-D pass.
+//!
+//! The heterogeneous scheduler defaults to the integer islow transform for
+//! cross-device bit-exactness; the AAN path is provided as the
+//! float-kernel variant and is validated against the reference transform to
+//! within ±1 intensity level.
+
+/// AAN scale factor: `s(0) = 1`, `s(k) = cos(k·π/16)·√2` for `k > 0`.
+fn aan_scale(k: usize) -> f32 {
+    if k == 0 {
+        1.0
+    } else {
+        ((k as f32) * std::f32::consts::PI / 16.0).cos() * std::f32::consts::SQRT_2
+    }
+}
+
+/// Build the prescaled dequantization table for [`idct_block_aan`]:
+/// `pre[v*8+u] = quant[v*8+u] · s(u) · s(v) / 8`.
+pub fn prescale_quant(quant: &[u16; 64]) -> [f32; 64] {
+    let mut out = [0.0f32; 64];
+    for v in 0..8 {
+        for u in 0..8 {
+            out[v * 8 + u] = quant[v * 8 + u] as f32 * aan_scale(u) * aan_scale(v) / 8.0;
+        }
+    }
+    out
+}
+
+const F_1_414: f32 = std::f32::consts::SQRT_2; // 2·cos(π/4)
+const F_1_847: f32 = 1.847_759_1; // 2·cos(π/8)
+const F_1_082: f32 = 1.082_392_2; // 2·(cos(π/8) − cos(3π/8))
+const F_2_613: f32 = 2.613_126; // 2·(cos(π/8) + cos(3π/8))
+
+/// One 1-D AAN IDCT butterfly (jidctflt structure).
+#[inline(always)]
+fn aan_1d(v: [f32; 8]) -> [f32; 8] {
+    // Even part.
+    let tmp0 = v[0];
+    let tmp1 = v[2];
+    let tmp2 = v[4];
+    let tmp3 = v[6];
+
+    let tmp10 = tmp0 + tmp2;
+    let tmp11 = tmp0 - tmp2;
+    let tmp13 = tmp1 + tmp3;
+    let tmp12 = (tmp1 - tmp3) * F_1_414 - tmp13;
+
+    let e0 = tmp10 + tmp13;
+    let e3 = tmp10 - tmp13;
+    let e1 = tmp11 + tmp12;
+    let e2 = tmp11 - tmp12;
+
+    // Odd part.
+    let tmp4 = v[1];
+    let tmp5 = v[3];
+    let tmp6 = v[5];
+    let tmp7 = v[7];
+
+    let z13 = tmp6 + tmp5;
+    let z10 = tmp6 - tmp5;
+    let z11 = tmp4 + tmp7;
+    let z12 = tmp4 - tmp7;
+
+    let o7 = z11 + z13;
+    let t11 = (z11 - z13) * F_1_414;
+    let z5 = (z10 + z12) * F_1_847;
+    let t10 = F_1_082 * z12 - z5;
+    let t12 = -F_2_613 * z10 + z5;
+
+    let o6 = t12 - o7;
+    let o5 = t11 - o6;
+    let o4 = t10 + o5;
+
+    [e0 + o7, e1 + o6, e2 + o5, e3 - o4, e3 + o4, e2 - o5, e1 - o6, e0 - o7]
+}
+
+/// Full 2-D AAN IDCT: raw (still-quantized) coefficients plus the prescaled
+/// table from [`prescale_quant`]; returns level-shifted 8-bit samples.
+pub fn idct_block_aan(coefs: &[i16; 64], prescale: &[f32; 64]) -> [u8; 64] {
+    // Dequantize + column pass.
+    let mut ws = [0.0f32; 64];
+    for col in 0..8 {
+        let mut v = [0.0f32; 8];
+        for (r, slot) in v.iter_mut().enumerate() {
+            *slot = coefs[r * 8 + col] as f32 * prescale[r * 8 + col];
+        }
+        let all_zero_ac = coefs[8 + col] == 0
+            && coefs[16 + col] == 0
+            && coefs[24 + col] == 0
+            && coefs[32 + col] == 0
+            && coefs[40 + col] == 0
+            && coefs[48 + col] == 0
+            && coefs[56 + col] == 0;
+        let o = if all_zero_ac { [v[0]; 8] } else { aan_1d(v) };
+        for (r, &val) in o.iter().enumerate() {
+            ws[r * 8 + col] = val;
+        }
+    }
+    // Row pass + rounding.
+    let mut out = [0u8; 64];
+    for r in 0..8 {
+        let mut v = [0.0f32; 8];
+        v.copy_from_slice(&ws[r * 8..r * 8 + 8]);
+        let o = aan_1d(v);
+        for (c, &val) in o.iter().enumerate() {
+            let px = (val + 128.5).floor() as i32;
+            out[r * 8 + c] = px.clamp(0, 255) as u8;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dct::reference;
+    use crate::quant::QuantTable;
+
+    fn pseudo_coefs(seed: i32) -> [i16; 64] {
+        let mut b = [0i16; 64];
+        let mut state = seed.wrapping_mul(0x9E3779B9u32 as i32) | 1;
+        for (i, v) in b.iter_mut().enumerate() {
+            state = state.wrapping_mul(1103515245).wrapping_add(12345);
+            // Sparser high-frequency content, like real quantized data.
+            if i == 0 || state % 3 == 0 {
+                *v = ((state >> 16) % 64) as i16;
+            }
+        }
+        b
+    }
+
+    #[test]
+    fn prescale_matches_definition() {
+        let q = QuantTable::luma_for_quality(50).unwrap();
+        let pre = prescale_quant(&q.values);
+        // DC: quant/8 exactly.
+        assert!((pre[0] - q.values[0] as f32 / 8.0).abs() < 1e-6);
+        // (u=4, v=0): s(4) = cos(pi/4)*sqrt(2) = 1.
+        assert!((pre[4] - q.values[4] as f32 / 8.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn aan_matches_reference_within_one_level() {
+        let q = QuantTable::luma_for_quality(85).unwrap();
+        let pre = prescale_quant(&q.values);
+        for seed in 0..25 {
+            let coefs = pseudo_coefs(seed);
+            let got = idct_block_aan(&coefs, &pre);
+            // Reference on dequantized ints.
+            let dq = q.dequantize(&coefs);
+            let want = reference::idct_to_samples(&dq);
+            for i in 0..64 {
+                assert!(
+                    (got[i] as i32 - want[i] as i32).abs() <= 1,
+                    "seed {seed} px {i}: got {} want {}",
+                    got[i],
+                    want[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dc_only_is_flat() {
+        let q = QuantTable::luma_for_quality(50).unwrap();
+        let pre = prescale_quant(&q.values);
+        let mut coefs = [0i16; 64];
+        coefs[0] = 10;
+        let px = idct_block_aan(&coefs, &pre);
+        let expect = ((10 * q.values[0] as i32) as f32 / 8.0 + 128.5).floor() as i32;
+        for &p in px.iter() {
+            assert_eq!(p as i32, expect.clamp(0, 255));
+        }
+    }
+}

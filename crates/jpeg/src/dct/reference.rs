@@ -1,0 +1,147 @@
+//! Direct f64 DCT/IDCT used as the correctness oracle.
+//!
+//! These evaluate paper Equations (1) and (2) (and their forward duals)
+//! literally: a 1-D pass over columns followed by a 1-D pass over rows.
+
+use std::f64::consts::PI;
+
+/// Precomputed cos((2x+1) u pi / 16) table; `COS[x][u]`.
+fn cos_table() -> [[f64; 8]; 8] {
+    let mut t = [[0.0f64; 8]; 8];
+    for (x, row) in t.iter_mut().enumerate() {
+        for (u, v) in row.iter_mut().enumerate() {
+            *v = ((2.0 * x as f64 + 1.0) * u as f64 * PI / 16.0).cos();
+        }
+    }
+    t
+}
+
+#[inline]
+fn c(u: usize) -> f64 {
+    if u == 0 {
+        1.0 / 2f64.sqrt()
+    } else {
+        1.0
+    }
+}
+
+/// Forward 2-D DCT-II of a level-shifted 8x8 sample block (f64 in, f64 out).
+///
+/// Uses the JPEG normalization: `F(u,v) = 1/4 C(u) C(v) Σ Σ f(x,y) cos.. cos..`
+pub fn fdct_f64(samples: &[f64; 64]) -> [f64; 64] {
+    let cos = cos_table();
+    let mut out = [0.0f64; 64];
+    for v in 0..8 {
+        for u in 0..8 {
+            let mut acc = 0.0;
+            for y in 0..8 {
+                for x in 0..8 {
+                    acc += samples[y * 8 + x] * cos[x][u] * cos[y][v];
+                }
+            }
+            out[v * 8 + u] = 0.25 * c(u) * c(v) * acc;
+        }
+    }
+    out
+}
+
+/// Inverse 2-D DCT (paper Eq. (1) then Eq. (2)): coefficients to samples.
+pub fn idct_f64(coefs: &[f64; 64]) -> [f64; 64] {
+    let cos = cos_table();
+    // Column pass: f(u, y) = Σ_v C(v) F(u, v) cos((2y+1) v pi / 16)  (Eq. 1)
+    let mut tmp = [0.0f64; 64];
+    for u in 0..8 {
+        for y in 0..8 {
+            let mut acc = 0.0;
+            for v in 0..8 {
+                acc += c(v) * coefs[v * 8 + u] * cos[y][v];
+            }
+            tmp[y * 8 + u] = acc;
+        }
+    }
+    // Row pass: f(x, y) = Σ_u C(u) f(u, y) cos((2x+1) u pi / 16)  (Eq. 2)
+    let mut out = [0.0f64; 64];
+    for y in 0..8 {
+        for x in 0..8 {
+            let mut acc = 0.0;
+            for u in 0..8 {
+                acc += c(u) * tmp[y * 8 + u] * cos[x][u];
+            }
+            out[y * 8 + x] = acc / 4.0;
+        }
+    }
+    out
+}
+
+/// Convenience: integer-coefficient IDCT producing rounded, range-limited
+/// samples (for comparing against fast integer implementations).
+pub fn idct_to_samples(coefs: &[i32; 64]) -> [u8; 64] {
+    let mut f = [0.0f64; 64];
+    for (dst, &src) in f.iter_mut().zip(coefs.iter()) {
+        *dst = src as f64;
+    }
+    let spatial = idct_f64(&f);
+    let mut out = [0u8; 64];
+    for (o, &s) in out.iter_mut().zip(spatial.iter()) {
+        *o = (s.round() as i32 + 128).clamp(0, 255) as u8;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dc_only_block_is_flat() {
+        let mut coefs = [0.0f64; 64];
+        coefs[0] = 80.0;
+        let spatial = idct_f64(&coefs);
+        // DC term spreads as F(0,0) / 8 per sample.
+        for &s in spatial.iter() {
+            assert!((s - 10.0).abs() < 1e-9, "got {s}");
+        }
+    }
+
+    #[test]
+    fn fdct_idct_roundtrip() {
+        let mut samples = [0.0f64; 64];
+        for (i, s) in samples.iter_mut().enumerate() {
+            *s = ((i * 37) % 255) as f64 - 128.0;
+        }
+        let coefs = fdct_f64(&samples);
+        let back = idct_f64(&coefs);
+        for i in 0..64 {
+            assert!((back[i] - samples[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fdct_is_orthonormal_energy_preserving() {
+        // Parseval: sum of squares preserved by the orthonormal transform.
+        let mut samples = [0.0f64; 64];
+        for (i, s) in samples.iter_mut().enumerate() {
+            *s = ((i * 13 + 5) % 201) as f64 - 100.0;
+        }
+        let coefs = fdct_f64(&samples);
+        let es: f64 = samples.iter().map(|v| v * v).sum();
+        let ec: f64 = coefs.iter().map(|v| v * v).sum();
+        assert!((es - ec).abs() / es < 1e-12);
+    }
+
+    #[test]
+    fn single_basis_function_recovers_cosine() {
+        // F(u=1, v=0) = 1: Eq. (1) gives f(1, y) = C(0)·1 = 1/√2, then
+        // Eq. (2) gives f(x,y) = C(1)·(1/√2)·cos((2x+1)π/16)/4.
+        let mut coefs = [0.0f64; 64];
+        coefs[1] = 1.0; // u = 1, v = 0
+        let spatial = idct_f64(&coefs);
+        for y in 0..8 {
+            for x in 0..8 {
+                let expect =
+                    0.25 / 2f64.sqrt() * ((2.0 * x as f64 + 1.0) * PI / 16.0).cos();
+                assert!((spatial[y * 8 + x] - expect).abs() < 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,257 @@
+//! Optimized ("SIMD-mode") parallel phase.
+//!
+//! Libjpeg-turbo accelerates everything but Huffman decoding with
+//! hand-written SIMD (paper §1: about 2× the sequential decoder overall).
+//! This module is our stand-in: the same arithmetic as [`super::stages`]
+//! restructured for throughput — MCU-row-local scratch buffers instead of
+//! whole-image planes, table-driven color conversion, flat
+//! `chunks_exact` loops the compiler can autovectorize, and fused
+//! upsample+convert per row (the CPU analogue of the merged GPU kernel of
+//! §4.4). Output bytes are **identical** to the scalar path; only host-side
+//! speed differs. The platform cost model charges this path with the
+//! calibrated SIMD per-unit costs (see `hetjpeg-core`).
+
+use crate::coef::CoefBuffer;
+use crate::color::{ycc_to_rgb_tab, YccTables};
+use crate::dct::islow::idct_block;
+use crate::decoder::Prepared;
+use crate::error::{Error, Result};
+use crate::metrics::ParallelWork;
+use crate::sample::{upsample_row_h2v1_blockwise, upsample_v2_pair};
+use crate::types::Subsampling;
+
+/// MCU-row-local scratch buffers, reused across the band.
+struct RowScratch {
+    /// Luma samples: `luma_width x mcu_h`.
+    y: Vec<u8>,
+    /// Subsampled chroma: `chroma_width x (8 * v_chroma)` each.
+    cb: Vec<u8>,
+    cr: Vec<u8>,
+    /// One full-resolution upsampled chroma row each.
+    cb_row: Vec<u8>,
+    cr_row: Vec<u8>,
+    /// Vertically upsampled (still horizontally subsampled) row for 4:2:0.
+    vtmp: Vec<u8>,
+}
+
+impl RowScratch {
+    fn new(prep: &Prepared<'_>) -> Self {
+        let lw = prep.geom.comps[0].plane_width();
+        let cw = prep.geom.comps[1].plane_width();
+        let mcu_h = prep.geom.mcu_h;
+        RowScratch {
+            y: vec![0; lw * mcu_h],
+            cb: vec![0; cw * 8],
+            cr: vec![0; cw * 8],
+            cb_row: vec![0; lw],
+            cr_row: vec![0; lw],
+            vtmp: vec![0; cw],
+        }
+    }
+}
+
+/// The optimized parallel phase over MCU rows `[start, end)`; `out` receives
+/// the band's interleaved RGB rows (same contract as
+/// [`super::stages::decode_region_rgb`]).
+pub fn decode_region_rgb_simd(
+    prep: &Prepared<'_>,
+    coef: &CoefBuffer,
+    start: usize,
+    end: usize,
+    out: &mut [u8],
+) -> Result<ParallelWork> {
+    let geom = &prep.geom;
+    let (r0, r1) = geom.mcu_rows_to_pixel_rows(start, end);
+    let w = geom.width;
+    if out.len() != (r1 - r0) * w * 3 {
+        return Err(Error::BufferSize { expected: (r1 - r0) * w * 3, got: out.len() });
+    }
+
+    let mut scratch = RowScratch::new(prep);
+    let lw = geom.comps[0].plane_width();
+    let cw = geom.comps[1].plane_width();
+    let ycc = &prep.ycc;
+
+    for mcu_row in start..end {
+        idct_mcu_row(prep, coef, mcu_row, &mut scratch);
+
+        let (py0, py1) = geom.mcu_rows_to_pixel_rows(mcu_row, mcu_row + 1);
+        for y in py0..py1 {
+            let local = y - mcu_row * geom.mcu_h;
+            let yrow = &scratch.y[local * lw..local * lw + lw];
+
+            // Upsample chroma for this pixel row into the row buffers.
+            match geom.subsampling {
+                Subsampling::S444 => {
+                    scratch.cb_row.copy_from_slice(&scratch.cb[local * cw..local * cw + cw]);
+                    scratch.cr_row.copy_from_slice(&scratch.cr[local * cw..local * cw + cw]);
+                }
+                Subsampling::S422 => {
+                    upsample_row_h2v1_blockwise(
+                        &scratch.cb[local * cw..local * cw + cw],
+                        &mut scratch.cb_row,
+                    );
+                    upsample_row_h2v1_blockwise(
+                        &scratch.cr[local * cw..local * cw + cw],
+                        &mut scratch.cr_row,
+                    );
+                }
+                Subsampling::S420 => {
+                    let cy = local / 2;
+                    let neighbour = if local % 2 == 0 {
+                        cy.saturating_sub(1)
+                    } else {
+                        (cy + 1).min(7)
+                    };
+                    for c in 0..2 {
+                        let (plane, dst) = if c == 0 {
+                            (&scratch.cb, &mut scratch.cb_row)
+                        } else {
+                            (&scratch.cr, &mut scratch.cr_row)
+                        };
+                        let near = &plane[cy * cw..cy * cw + cw];
+                        let far = &plane[neighbour * cw..neighbour * cw + cw];
+                        for ((t, &n), &f) in
+                            scratch.vtmp.iter_mut().zip(near.iter()).zip(far.iter())
+                        {
+                            *t = upsample_v2_pair(n, f);
+                        }
+                        upsample_row_h2v1_blockwise(&scratch.vtmp, dst);
+                    }
+                }
+            }
+
+            // Fused color conversion with LUTs.
+            let row_out = &mut out[(y - r0) * w * 3..(y - r0 + 1) * w * 3];
+            convert_row(ycc, yrow, &scratch.cb_row, &scratch.cr_row, row_out);
+        }
+    }
+    Ok(ParallelWork::for_mcu_rows(geom, start, end))
+}
+
+/// Dequantize + IDCT all blocks of one MCU row into the scratch planes.
+fn idct_mcu_row(prep: &Prepared<'_>, coef: &CoefBuffer, mcu_row: usize, scratch: &mut RowScratch) {
+    let geom = &prep.geom;
+    for (ci, comp) in geom.comps.iter().enumerate() {
+        let quant = &prep.quant[ci];
+        let plane_w = comp.plane_width();
+        let by0 = mcu_row * comp.v_samp;
+        for dv in 0..comp.v_samp {
+            let by = by0 + dv;
+            if by >= comp.height_blocks {
+                continue;
+            }
+            for bx in 0..comp.width_blocks {
+                let block = coef.block(geom.block_index(ci, bx, by));
+                let dq = quant.dequantize(block);
+                let px = idct_block(&dq);
+                let dst = match ci {
+                    0 => &mut scratch.y,
+                    1 => &mut scratch.cb,
+                    _ => &mut scratch.cr,
+                };
+                let base = (dv * 8) * plane_w + bx * 8;
+                for (r, srow) in px.chunks_exact(8).enumerate() {
+                    let off = base + r * plane_w;
+                    dst[off..off + 8].copy_from_slice(srow);
+                }
+            }
+        }
+    }
+}
+
+/// Table-driven YCbCr→RGB for one row; bit-identical to
+/// [`crate::color::ycc_to_rgb`].
+#[inline]
+fn convert_row(ycc: &YccTables, yrow: &[u8], cb: &[u8], cr: &[u8], out: &mut [u8]) {
+    let w = out.len() / 3;
+    // Iterate without bounds checks: zip the exact-width slices.
+    for (((&yv, &cbv), &crv), px) in yrow[..w]
+        .iter()
+        .zip(cb[..w].iter())
+        .zip(cr[..w].iter())
+        .zip(out.chunks_exact_mut(3))
+    {
+        let rgb = ycc_to_rgb_tab(ycc, yv, cbv, crv);
+        px.copy_from_slice(&rgb);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decoder::stages;
+    use crate::encoder::{encode_rgb, EncodeParams};
+
+    fn textured_rgb(w: usize, h: usize) -> Vec<u8> {
+        let mut rgb = Vec::with_capacity(w * h * 3);
+        let mut s = 0x1234_5678u32;
+        for _ in 0..w * h {
+            s = s.wrapping_mul(1664525).wrapping_add(1013904223);
+            rgb.push((s >> 8) as u8);
+            rgb.push((s >> 16) as u8);
+            rgb.push((s >> 24) as u8);
+        }
+        rgb
+    }
+
+    #[test]
+    fn simd_band_equals_scalar_band() {
+        for sub in [Subsampling::S444, Subsampling::S422, Subsampling::S420] {
+            let (w, h) = (48usize, 48usize);
+            let jpeg = encode_rgb(
+                &textured_rgb(w, h),
+                w as u32,
+                h as u32,
+                &EncodeParams { quality: 60, subsampling: sub, restart_interval: 0 },
+            )
+            .unwrap();
+            let prep = Prepared::new(&jpeg).unwrap();
+            let (coef, _) = prep.entropy_decode_all().unwrap();
+            for (a, b) in [(0usize, 1usize), (1, 3), (0, prep.geom.mcus_y)] {
+                let bytes = prep.geom.rgb_bytes_in_mcu_rows(a, b);
+                let mut scalar = vec![0u8; bytes];
+                let mut simd = vec![0u8; bytes];
+                stages::decode_region_rgb(&prep, &coef, a, b, &mut scalar).unwrap();
+                decode_region_rgb_simd(&prep, &coef, a, b, &mut simd).unwrap();
+                assert_eq!(scalar, simd, "{} band {a}..{b}", sub.notation());
+            }
+        }
+    }
+
+    #[test]
+    fn work_metrics_match_scalar() {
+        let (w, h) = (32usize, 32usize);
+        let jpeg = encode_rgb(
+            &textured_rgb(w, h),
+            w as u32,
+            h as u32,
+            &EncodeParams { quality: 85, subsampling: Subsampling::S422, restart_interval: 0 },
+        )
+        .unwrap();
+        let prep = Prepared::new(&jpeg).unwrap();
+        let (coef, _) = prep.entropy_decode_all().unwrap();
+        let bytes = prep.geom.rgb_bytes_in_mcu_rows(0, 2);
+        let mut a = vec![0u8; bytes];
+        let mut b = vec![0u8; bytes];
+        let wa = stages::decode_region_rgb(&prep, &coef, 0, 2, &mut a).unwrap();
+        let wb = decode_region_rgb_simd(&prep, &coef, 0, 2, &mut b).unwrap();
+        assert_eq!(wa, wb);
+    }
+
+    #[test]
+    fn rejects_bad_output_buffer() {
+        let (w, h) = (16usize, 16usize);
+        let jpeg = encode_rgb(
+            &textured_rgb(w, h),
+            w as u32,
+            h as u32,
+            &EncodeParams { quality: 85, subsampling: Subsampling::S444, restart_interval: 0 },
+        )
+        .unwrap();
+        let prep = Prepared::new(&jpeg).unwrap();
+        let (coef, _) = prep.entropy_decode_all().unwrap();
+        let mut tiny = vec![0u8; 10];
+        assert!(decode_region_rgb_simd(&prep, &coef, 0, 1, &mut tiny).is_err());
+    }
+}

@@ -1,0 +1,46 @@
+//! Error type shared by the codec.
+
+use std::fmt;
+
+/// Errors produced while parsing, decoding or encoding JPEG data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The byte stream ended before a complete syntactic unit was read.
+    UnexpectedEof,
+    /// A marker segment was malformed; the string names the offending field.
+    Malformed(&'static str),
+    /// A feature of the JPEG standard this baseline codec does not support
+    /// (progressive scans, arithmetic coding, 12-bit precision, ...).
+    Unsupported(&'static str),
+    /// A Huffman code was read that is absent from the active table.
+    BadHuffmanCode,
+    /// A restart marker was expected but something else was found.
+    RestartMismatch { expected: u8, found: u8 },
+    /// Image dimensions are zero or exceed the supported 65535 limit.
+    BadDimensions,
+    /// The caller supplied a buffer of the wrong length.
+    BufferSize { expected: usize, got: usize },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnexpectedEof => write!(f, "unexpected end of JPEG stream"),
+            Error::Malformed(what) => write!(f, "malformed JPEG: {what}"),
+            Error::Unsupported(what) => write!(f, "unsupported JPEG feature: {what}"),
+            Error::BadHuffmanCode => write!(f, "invalid Huffman code in entropy stream"),
+            Error::RestartMismatch { expected, found } => {
+                write!(f, "restart marker mismatch: expected RST{expected}, found {found:#x}")
+            }
+            Error::BadDimensions => write!(f, "invalid image dimensions"),
+            Error::BufferSize { expected, got } => {
+                write!(f, "buffer size mismatch: expected {expected}, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, Error>;

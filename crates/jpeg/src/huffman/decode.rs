@@ -1,0 +1,193 @@
+//! Huffman symbol decoding over a bit reader.
+
+use super::table::{DecodeTable, LOOKAHEAD_BITS};
+use super::extend;
+use crate::bitio::BitReader;
+use crate::error::{Error, Result};
+use crate::zigzag::ZIGZAG;
+
+/// Stateless decoder operations bundled for convenience; DC prediction state
+/// lives in the caller ([`crate::entropy::EntropyDecoder`]).
+pub struct HuffDecoder;
+
+impl HuffDecoder {
+    /// Decode one Huffman symbol: LUT fast path, canonical slow path beyond
+    /// [`LOOKAHEAD_BITS`] bits.
+    #[inline]
+    pub fn decode_symbol(reader: &mut BitReader<'_>, table: &DecodeTable) -> Result<u8> {
+        let peek = reader.peek_bits(LOOKAHEAD_BITS);
+        let la = table.lookahead[peek as usize];
+        if la.nbits != 0 {
+            reader.skip_bits(la.nbits as u32);
+            return Ok(la.value);
+        }
+        // Slow path: extend bit by bit past the lookahead width.
+        let mut code = peek as i32;
+        reader.skip_bits(LOOKAHEAD_BITS);
+        let mut l = LOOKAHEAD_BITS;
+        while code > table.maxcode[l as usize] {
+            if l >= 16 {
+                return Err(Error::BadHuffmanCode);
+            }
+            code = (code << 1) | reader.get_bits(1) as i32;
+            l += 1;
+        }
+        let idx = table.valoff[l as usize] + code;
+        table
+            .values
+            .get(idx as usize)
+            .copied()
+            .ok_or(Error::BadHuffmanCode)
+    }
+
+    /// Decode a DC coefficient difference: category symbol then extended
+    /// magnitude bits (T.81 F.2.2.1).
+    #[inline]
+    pub fn decode_dc_diff(reader: &mut BitReader<'_>, table: &DecodeTable) -> Result<i32> {
+        let s = Self::decode_symbol(reader, table)? as u32;
+        if s > 11 {
+            return Err(Error::Malformed("DC category > 11"));
+        }
+        let raw = reader.get_bits(s);
+        Ok(extend(raw, s))
+    }
+
+    /// Decode the 63 AC coefficients of one block into `block` (natural
+    /// order, de-zigzagged on the fly). Returns `(symbols, nonzero)` — the
+    /// number of Huffman symbols read and of nonzero AC coefficients
+    /// produced; both feed the performance model's work metrics.
+    #[inline]
+    pub fn decode_ac_block(
+        reader: &mut BitReader<'_>,
+        table: &DecodeTable,
+        block: &mut [i16; 64],
+    ) -> Result<(u32, u32)> {
+        let mut k = 1usize;
+        let mut nonzero = 0u32;
+        let mut symbols = 0u32;
+        while k < 64 {
+            let rs = Self::decode_symbol(reader, table)?;
+            symbols += 1;
+            let r = (rs >> 4) as usize;
+            let s = (rs & 0x0F) as u32;
+            if s == 0 {
+                if r == 15 {
+                    k += 16; // ZRL: sixteen zeros
+                    continue;
+                }
+                break; // EOB
+            }
+            k += r;
+            if k >= 64 {
+                return Err(Error::Malformed("AC run past block end"));
+            }
+            let raw = reader.get_bits(s);
+            block[ZIGZAG[k]] = extend(raw, s) as i16;
+            nonzero += 1;
+            k += 1;
+        }
+        Ok((symbols, nonzero))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitio::BitWriter;
+    use crate::huffman::encode::HuffEncoder;
+    use crate::huffman::spec;
+    use crate::huffman::table::EncodeTable;
+
+    #[test]
+    fn symbol_roundtrip_all_lengths() {
+        let s = spec::ac_luma();
+        let enc = EncodeTable::build(&s).unwrap();
+        let dec = DecodeTable::build(&s).unwrap();
+        // Encode every symbol in the table once, decode them back.
+        let mut w = BitWriter::new();
+        for &sym in &s.values {
+            w.put_bits(enc.code[sym as usize] as u32, enc.size[sym as usize] as u32);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &sym in &s.values {
+            assert_eq!(HuffDecoder::decode_symbol(&mut r, &dec).unwrap(), sym);
+        }
+    }
+
+    #[test]
+    fn dc_diff_roundtrip() {
+        let s = spec::dc_luma();
+        let enc = EncodeTable::build(&s).unwrap();
+        let dec = DecodeTable::build(&s).unwrap();
+        let values = [-2047, -1024, -255, -1, 0, 1, 2, 31, 512, 2047];
+        let mut w = BitWriter::new();
+        for &v in &values {
+            HuffEncoder::encode_dc_diff(&mut w, &enc, v).unwrap();
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &v in &values {
+            assert_eq!(HuffDecoder::decode_dc_diff(&mut r, &dec).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn ac_block_roundtrip_sparse() {
+        let s = spec::ac_chroma();
+        let enc = EncodeTable::build(&s).unwrap();
+        let dec = DecodeTable::build(&s).unwrap();
+        // A sparse block with runs, a ZRL-requiring gap, and a trailing EOB.
+        let mut block = [0i16; 64];
+        block[ZIGZAG[1]] = -3;
+        block[ZIGZAG[5]] = 17;
+        block[ZIGZAG[30]] = -120; // gap of 24 zeros => ZRL + run
+        block[ZIGZAG[31]] = 1;
+        let mut w = BitWriter::new();
+        HuffEncoder::encode_ac_block(&mut w, &enc, &block).unwrap();
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        let mut out = [0i16; 64];
+        let (symbols, nz) = HuffDecoder::decode_ac_block(&mut r, &dec, &mut out).unwrap();
+        assert_eq!(out, block);
+        assert_eq!(nz, 4);
+        // 4 value symbols + 1 ZRL + 1 EOB.
+        assert_eq!(symbols, 6);
+    }
+
+    #[test]
+    fn ac_block_roundtrip_dense() {
+        let s = spec::ac_luma();
+        let enc = EncodeTable::build(&s).unwrap();
+        let dec = DecodeTable::build(&s).unwrap();
+        let mut block = [0i16; 64];
+        for k in 1..64 {
+            block[ZIGZAG[k]] = if k % 2 == 0 { k as i16 } else { -(k as i16) };
+        }
+        let mut w = BitWriter::new();
+        HuffEncoder::encode_ac_block(&mut w, &enc, &block).unwrap();
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        let mut out = [0i16; 64];
+        HuffDecoder::decode_ac_block(&mut r, &dec, &mut out).unwrap();
+        assert_eq!(out, block);
+    }
+
+    #[test]
+    fn garbage_input_errors_not_panics() {
+        let s = spec::dc_luma();
+        let dec = DecodeTable::build(&s).unwrap();
+        // All-ones is the longest-code prefix; with zero padding afterwards
+        // the decoder must hit BadHuffmanCode rather than panic.
+        let bytes = [0xFFu8, 0x00, 0xFF, 0x00];
+        let mut r = BitReader::new(&bytes);
+        let mut saw_error = false;
+        for _ in 0..8 {
+            if HuffDecoder::decode_symbol(&mut r, &dec).is_err() {
+                saw_error = true;
+                break;
+            }
+        }
+        assert!(saw_error);
+    }
+}

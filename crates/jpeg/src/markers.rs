@@ -1,0 +1,454 @@
+//! JFIF marker segment parsing and writing.
+//!
+//! Only the baseline feature set is supported (SOF0, one interleaved scan,
+//! 8-bit precision, Huffman coding) — the same subset the paper's evaluation
+//! uses. Everything else is rejected with a descriptive error.
+
+use crate::error::{Error, Result};
+use crate::huffman::HuffSpec;
+use crate::quant::QuantTable;
+use crate::types::{ComponentSpec, FrameInfo};
+
+/// Marker byte values (the byte following 0xFF).
+pub mod m {
+    pub const SOI: u8 = 0xD8;
+    pub const EOI: u8 = 0xD9;
+    pub const SOS: u8 = 0xDA;
+    pub const DQT: u8 = 0xDB;
+    pub const DHT: u8 = 0xC4;
+    pub const SOF0: u8 = 0xC0;
+    pub const SOF1: u8 = 0xC1;
+    pub const SOF2: u8 = 0xC2;
+    pub const DRI: u8 = 0xDD;
+    pub const APP0: u8 = 0xE0;
+    pub const COM: u8 = 0xFE;
+}
+
+/// Everything the decoder needs, parsed from a JPEG byte stream.
+#[derive(Debug, Clone)]
+pub struct ParsedJpeg<'a> {
+    /// Frame header info (dimensions, components, restart interval).
+    pub frame: FrameInfo,
+    /// Quantization tables by DQT slot.
+    pub quant: [Option<QuantTable>; 4],
+    /// DC Huffman specs by DHT slot.
+    pub dc_specs: [Option<HuffSpec>; 4],
+    /// AC Huffman specs by DHT slot.
+    pub ac_specs: [Option<HuffSpec>; 4],
+    /// The entropy-coded scan data (starts right after the SOS header; ends
+    /// at EOI — restart markers remain embedded).
+    pub scan_data: &'a [u8],
+    /// Total file size in bytes; with width and height this yields the
+    /// entropy-density estimate `d` of paper Eq. (3).
+    pub file_size: usize,
+}
+
+impl<'a> ParsedJpeg<'a> {
+    /// The paper's entropy density approximation (Eq. (3)):
+    /// `d = file_size / (w * h)` in bytes per pixel.
+    pub fn entropy_density(&self) -> f64 {
+        self.file_size as f64 / (self.frame.width as f64 * self.frame.height as f64)
+    }
+}
+
+fn read_u16(data: &[u8], pos: usize) -> Result<u16> {
+    if pos + 1 >= data.len() {
+        return Err(Error::UnexpectedEof);
+    }
+    Ok(u16::from_be_bytes([data[pos], data[pos + 1]]))
+}
+
+/// Parse the marker structure of a complete JPEG byte stream.
+pub fn parse_jpeg(data: &[u8]) -> Result<ParsedJpeg<'_>> {
+    if data.len() < 4 || data[0] != 0xFF || data[1] != m::SOI {
+        return Err(Error::Malformed("missing SOI"));
+    }
+    let mut pos = 2usize;
+    let mut frame: Option<FrameInfo> = None;
+    let mut quant: [Option<QuantTable>; 4] = [None, None, None, None];
+    let mut dc_specs: [Option<HuffSpec>; 4] = [None, None, None, None];
+    let mut ac_specs: [Option<HuffSpec>; 4] = [None, None, None, None];
+    let mut restart_interval = 0usize;
+
+    loop {
+        // Seek the next marker (skip fill bytes 0xFF).
+        if pos + 1 >= data.len() {
+            return Err(Error::UnexpectedEof);
+        }
+        if data[pos] != 0xFF {
+            return Err(Error::Malformed("expected marker"));
+        }
+        let mut marker = data[pos + 1];
+        pos += 2;
+        while marker == 0xFF {
+            marker = *data.get(pos).ok_or(Error::UnexpectedEof)?;
+            pos += 1;
+        }
+        match marker {
+            m::SOF0 | m::SOF1 => {
+                let len = read_u16(data, pos)? as usize;
+                let seg = data.get(pos + 2..pos + len).ok_or(Error::UnexpectedEof)?;
+                frame = Some(parse_sof(seg)?);
+                pos += len;
+            }
+            m::SOF2 => return Err(Error::Unsupported("progressive JPEG")),
+            0xC3 | 0xC5..=0xC7 | 0xC9..=0xCB | 0xCD..=0xCF => {
+                return Err(Error::Unsupported("non-baseline SOF"));
+            }
+            m::DQT => {
+                let len = read_u16(data, pos)? as usize;
+                let seg = data.get(pos + 2..pos + len).ok_or(Error::UnexpectedEof)?;
+                parse_dqt(seg, &mut quant)?;
+                pos += len;
+            }
+            m::DHT => {
+                let len = read_u16(data, pos)? as usize;
+                let seg = data.get(pos + 2..pos + len).ok_or(Error::UnexpectedEof)?;
+                parse_dht(seg, &mut dc_specs, &mut ac_specs)?;
+                pos += len;
+            }
+            m::DRI => {
+                let len = read_u16(data, pos)? as usize;
+                if len != 4 {
+                    return Err(Error::Malformed("DRI length"));
+                }
+                restart_interval = read_u16(data, pos + 2)? as usize;
+                pos += len;
+            }
+            m::SOS => {
+                let len = read_u16(data, pos)? as usize;
+                let seg = data.get(pos + 2..pos + len).ok_or(Error::UnexpectedEof)?;
+                let mut fr = frame.ok_or(Error::Malformed("SOS before SOF"))?;
+                parse_sos(seg, &mut fr)?;
+                fr.restart_interval = restart_interval;
+                let scan_start = pos + len;
+                let scan_data = data.get(scan_start..).ok_or(Error::UnexpectedEof)?;
+                return Ok(ParsedJpeg {
+                    frame: fr,
+                    quant,
+                    dc_specs,
+                    ac_specs,
+                    scan_data,
+                    file_size: data.len(),
+                });
+            }
+            m::EOI => return Err(Error::Malformed("EOI before SOS")),
+            // Skippable segments: APPn, COM, and anything with a length.
+            0xE0..=0xEF | m::COM | 0x01 => {
+                let len = read_u16(data, pos)? as usize;
+                pos += len;
+            }
+            _ => {
+                // Unknown but length-prefixed segment: skip conservatively.
+                let len = read_u16(data, pos)? as usize;
+                if len < 2 {
+                    return Err(Error::Malformed("segment length"));
+                }
+                pos += len;
+            }
+        }
+    }
+}
+
+fn parse_sof(seg: &[u8]) -> Result<FrameInfo> {
+    if seg.len() < 6 {
+        return Err(Error::Malformed("SOF too short"));
+    }
+    let precision = seg[0];
+    if precision != 8 {
+        return Err(Error::Unsupported("12-bit precision"));
+    }
+    let height = u16::from_be_bytes([seg[1], seg[2]]) as usize;
+    let width = u16::from_be_bytes([seg[3], seg[4]]) as usize;
+    if width == 0 || height == 0 {
+        return Err(Error::BadDimensions);
+    }
+    let ncomp = seg[5] as usize;
+    if seg.len() < 6 + 3 * ncomp {
+        return Err(Error::Malformed("SOF component list"));
+    }
+    let mut components = Vec::with_capacity(ncomp);
+    for i in 0..ncomp {
+        let b = &seg[6 + 3 * i..9 + 3 * i];
+        components.push(ComponentSpec {
+            id: b[0],
+            h_samp: (b[1] >> 4) as usize,
+            v_samp: (b[1] & 0x0F) as usize,
+            quant_idx: b[2] as usize,
+            dc_tbl: 0,
+            ac_tbl: 0,
+        });
+    }
+    let subsampling = FrameInfo::classify_subsampling(&components)?;
+    Ok(FrameInfo { width, height, components, subsampling, restart_interval: 0 })
+}
+
+fn parse_dqt(mut seg: &[u8], quant: &mut [Option<QuantTable>; 4]) -> Result<()> {
+    while !seg.is_empty() {
+        let pq = seg[0] >> 4;
+        let tq = (seg[0] & 0x0F) as usize;
+        if tq > 3 {
+            return Err(Error::Malformed("DQT table id"));
+        }
+        if pq != 0 {
+            return Err(Error::Unsupported("16-bit quantization table"));
+        }
+        if seg.len() < 65 {
+            return Err(Error::Malformed("DQT too short"));
+        }
+        let mut zz = [0u16; 64];
+        for (dst, &src) in zz.iter_mut().zip(seg[1..65].iter()) {
+            *dst = src as u16;
+        }
+        quant[tq] = Some(QuantTable::from_zigzag(&zz));
+        seg = &seg[65..];
+    }
+    Ok(())
+}
+
+fn parse_dht(
+    mut seg: &[u8],
+    dc: &mut [Option<HuffSpec>; 4],
+    ac: &mut [Option<HuffSpec>; 4],
+) -> Result<()> {
+    while !seg.is_empty() {
+        if seg.len() < 17 {
+            return Err(Error::Malformed("DHT too short"));
+        }
+        let class = seg[0] >> 4;
+        let id = (seg[0] & 0x0F) as usize;
+        if id > 3 || class > 1 {
+            return Err(Error::Malformed("DHT table id/class"));
+        }
+        let mut bits = [0u8; 17];
+        bits[1..17].copy_from_slice(&seg[1..17]);
+        let count: usize = bits[1..17].iter().map(|&b| b as usize).sum();
+        if seg.len() < 17 + count {
+            return Err(Error::Malformed("DHT value list"));
+        }
+        let values = seg[17..17 + count].to_vec();
+        let spec = HuffSpec { bits, values };
+        spec.validate()?;
+        if class == 0 {
+            dc[id] = Some(spec);
+        } else {
+            ac[id] = Some(spec);
+        }
+        seg = &seg[17 + count..];
+    }
+    Ok(())
+}
+
+fn parse_sos(seg: &[u8], frame: &mut FrameInfo) -> Result<()> {
+    if seg.is_empty() {
+        return Err(Error::Malformed("SOS empty"));
+    }
+    let ns = seg[0] as usize;
+    if ns != frame.components.len() {
+        return Err(Error::Unsupported("multi-scan JPEG"));
+    }
+    if seg.len() < 1 + 2 * ns + 3 {
+        return Err(Error::Malformed("SOS too short"));
+    }
+    for i in 0..ns {
+        let cs = seg[1 + 2 * i];
+        let tables = seg[2 + 2 * i];
+        let comp = frame
+            .components
+            .iter_mut()
+            .find(|c| c.id == cs)
+            .ok_or(Error::Malformed("SOS references unknown component"))?;
+        comp.dc_tbl = (tables >> 4) as usize;
+        comp.ac_tbl = (tables & 0x0F) as usize;
+        if comp.dc_tbl > 3 || comp.ac_tbl > 3 {
+            return Err(Error::Malformed("SOS table selector"));
+        }
+    }
+    // Spectral selection / successive approximation must be baseline.
+    let tail = &seg[1 + 2 * ns..];
+    if tail[0] != 0 || tail[1] != 63 || tail[2] != 0 {
+        return Err(Error::Unsupported("spectral selection"));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Segment writers (used by the encoder).
+// ---------------------------------------------------------------------------
+
+fn push_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+fn push_marker(out: &mut Vec<u8>, marker: u8) {
+    out.push(0xFF);
+    out.push(marker);
+}
+
+/// Write SOI.
+pub fn write_soi(out: &mut Vec<u8>) {
+    push_marker(out, m::SOI);
+}
+
+/// Write EOI.
+pub fn write_eoi(out: &mut Vec<u8>) {
+    push_marker(out, m::EOI);
+}
+
+/// Write a minimal JFIF APP0 segment.
+pub fn write_app0_jfif(out: &mut Vec<u8>) {
+    push_marker(out, m::APP0);
+    push_u16(out, 16);
+    out.extend_from_slice(b"JFIF\0");
+    out.extend_from_slice(&[1, 1]); // version 1.1
+    out.push(0); // aspect ratio units
+    push_u16(out, 1); // x density
+    push_u16(out, 1); // y density
+    out.push(0); // no thumbnail
+    out.push(0);
+}
+
+/// Write one DQT segment containing a single 8-bit table.
+pub fn write_dqt(out: &mut Vec<u8>, slot: u8, table: &QuantTable) {
+    push_marker(out, m::DQT);
+    push_u16(out, 2 + 1 + 64);
+    out.push(slot & 0x0F);
+    for v in table.to_zigzag() {
+        out.push(v as u8);
+    }
+}
+
+/// Write a SOF0 segment.
+pub fn write_sof0(out: &mut Vec<u8>, frame: &FrameInfo) {
+    push_marker(out, m::SOF0);
+    push_u16(out, (8 + 3 * frame.components.len()) as u16);
+    out.push(8); // precision
+    push_u16(out, frame.height as u16);
+    push_u16(out, frame.width as u16);
+    out.push(frame.components.len() as u8);
+    for c in &frame.components {
+        out.push(c.id);
+        out.push(((c.h_samp as u8) << 4) | c.v_samp as u8);
+        out.push(c.quant_idx as u8);
+    }
+}
+
+/// Write one DHT segment containing a single table.
+pub fn write_dht(out: &mut Vec<u8>, class: u8, slot: u8, spec: &HuffSpec) {
+    push_marker(out, m::DHT);
+    push_u16(out, (2 + 17 + spec.values.len()) as u16);
+    out.push((class << 4) | (slot & 0x0F));
+    out.extend_from_slice(&spec.bits[1..17]);
+    out.extend_from_slice(&spec.values);
+}
+
+/// Write a DRI segment.
+pub fn write_dri(out: &mut Vec<u8>, interval: u16) {
+    push_marker(out, m::DRI);
+    push_u16(out, 4);
+    push_u16(out, interval);
+}
+
+/// Write a SOS header (scan data follows immediately after).
+pub fn write_sos(out: &mut Vec<u8>, frame: &FrameInfo) {
+    push_marker(out, m::SOS);
+    push_u16(out, (6 + 2 * frame.components.len()) as u16);
+    out.push(frame.components.len() as u8);
+    for c in &frame.components {
+        out.push(c.id);
+        out.push(((c.dc_tbl as u8) << 4) | c.ac_tbl as u8);
+    }
+    out.push(0); // spectral start
+    out.push(63); // spectral end
+    out.push(0); // successive approximation
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::huffman::spec;
+    use crate::types::Subsampling;
+
+    fn test_frame() -> FrameInfo {
+        FrameInfo {
+            width: 48,
+            height: 32,
+            components: vec![
+                ComponentSpec { id: 1, h_samp: 2, v_samp: 1, quant_idx: 0, dc_tbl: 0, ac_tbl: 0 },
+                ComponentSpec { id: 2, h_samp: 1, v_samp: 1, quant_idx: 1, dc_tbl: 1, ac_tbl: 1 },
+                ComponentSpec { id: 3, h_samp: 1, v_samp: 1, quant_idx: 1, dc_tbl: 1, ac_tbl: 1 },
+            ],
+            subsampling: Subsampling::S422,
+            restart_interval: 0,
+        }
+    }
+
+    /// Build a header-only JPEG and parse it back.
+    #[test]
+    fn header_roundtrip() {
+        let frame = test_frame();
+        let ql = QuantTable::luma_for_quality(80).unwrap();
+        let qc = QuantTable::chroma_for_quality(80).unwrap();
+        let mut out = Vec::new();
+        write_soi(&mut out);
+        write_app0_jfif(&mut out);
+        write_dqt(&mut out, 0, &ql);
+        write_dqt(&mut out, 1, &qc);
+        write_sof0(&mut out, &frame);
+        write_dht(&mut out, 0, 0, &spec::dc_luma());
+        write_dht(&mut out, 1, 0, &spec::ac_luma());
+        write_dht(&mut out, 0, 1, &spec::dc_chroma());
+        write_dht(&mut out, 1, 1, &spec::ac_chroma());
+        write_dri(&mut out, 7);
+        write_sos(&mut out, &frame);
+        out.extend_from_slice(&[0x12, 0x34]); // fake scan bytes
+        write_eoi(&mut out);
+
+        let parsed = parse_jpeg(&out).unwrap();
+        assert_eq!(parsed.frame.width, 48);
+        assert_eq!(parsed.frame.height, 32);
+        assert_eq!(parsed.frame.subsampling, Subsampling::S422);
+        assert_eq!(parsed.frame.restart_interval, 7);
+        assert_eq!(parsed.quant[0].as_ref().unwrap(), &ql);
+        assert_eq!(parsed.quant[1].as_ref().unwrap(), &qc);
+        assert_eq!(parsed.dc_specs[0].as_ref().unwrap(), &spec::dc_luma());
+        assert_eq!(parsed.ac_specs[1].as_ref().unwrap(), &spec::ac_chroma());
+        assert_eq!(parsed.scan_data, &[0x12, 0x34, 0xFF, m::EOI]);
+        assert_eq!(parsed.frame.components[0].dc_tbl, 0);
+        assert_eq!(parsed.frame.components[1].ac_tbl, 1);
+        assert_eq!(parsed.file_size, out.len());
+    }
+
+    #[test]
+    fn rejects_truncated_and_bogus_files() {
+        assert!(parse_jpeg(&[]).is_err());
+        assert!(parse_jpeg(&[0xFF, 0xD8]).is_err());
+        assert!(parse_jpeg(b"not a jpeg at all").is_err());
+        // SOI then EOI without SOS.
+        assert!(parse_jpeg(&[0xFF, 0xD8, 0xFF, 0xD9]).is_err());
+    }
+
+    #[test]
+    fn rejects_progressive() {
+        let mut out = Vec::new();
+        write_soi(&mut out);
+        // SOF2 with a minimal body.
+        out.extend_from_slice(&[0xFF, 0xC2, 0x00, 0x0B, 8, 0, 16, 0, 16, 1, 1, 0x11, 0]);
+        write_eoi(&mut out);
+        assert_eq!(parse_jpeg(&out).unwrap_err(), Error::Unsupported("progressive JPEG"));
+    }
+
+    #[test]
+    fn entropy_density_is_file_size_over_pixels() {
+        let frame = test_frame();
+        let mut out = Vec::new();
+        write_soi(&mut out);
+        write_sof0(&mut out, &frame);
+        write_sos(&mut out, &frame);
+        out.extend_from_slice(&[0u8; 100]);
+        write_eoi(&mut out);
+        let parsed = parse_jpeg(&out).unwrap();
+        let expect = out.len() as f64 / (48.0 * 32.0);
+        assert!((parsed.entropy_density() - expect).abs() < 1e-12);
+    }
+}

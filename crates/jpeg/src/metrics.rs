@@ -1,0 +1,150 @@
+//! Work metrics collected during decoding.
+//!
+//! The paper's performance model (§5.1) is driven by image width, height and
+//! *entropy density* (bytes of entropy-coded data per pixel, Eq. (3)). Our
+//! cost model goes one level deeper: the entropy decoder reports exactly how
+//! many bits and symbols each MCU row consumed, so the Fig. 7 relation
+//! (Huffman ns/pixel vs density) **emerges** from real counts instead of
+//! being assumed.
+
+/// Entropy-decoding work for one MCU row.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RowMetrics {
+    /// Bits consumed from the entropy stream.
+    pub bits: u64,
+    /// Huffman symbols decoded (DC categories + AC run/size codes).
+    pub symbols: u64,
+    /// Nonzero coefficients produced (drives IDCT column shortcuts).
+    pub nonzero_coefs: u64,
+    /// Blocks decoded.
+    pub blocks: u64,
+}
+
+impl RowMetrics {
+    /// Accumulate another row's counts.
+    pub fn add(&mut self, other: &RowMetrics) {
+        self.bits += other.bits;
+        self.symbols += other.symbols;
+        self.nonzero_coefs += other.nonzero_coefs;
+        self.blocks += other.blocks;
+    }
+}
+
+/// Entropy-decoding work for a whole image, resolvable per MCU row.
+#[derive(Debug, Clone, Default)]
+pub struct EntropyMetrics {
+    /// One entry per MCU row, in decode order.
+    pub per_row: Vec<RowMetrics>,
+}
+
+impl EntropyMetrics {
+    /// Sum over all rows.
+    pub fn total(&self) -> RowMetrics {
+        let mut t = RowMetrics::default();
+        for r in &self.per_row {
+            t.add(r);
+        }
+        t
+    }
+
+    /// Sum over MCU rows `[start, end)`.
+    pub fn range_total(&self, start: usize, end: usize) -> RowMetrics {
+        let mut t = RowMetrics::default();
+        for r in &self.per_row[start..end.min(self.per_row.len())] {
+            t.add(r);
+        }
+        t
+    }
+
+    /// Entropy bytes per pixel over the whole image — the paper's `d`
+    /// (Eq. (3)) computed from actual decoded bits rather than file size.
+    pub fn measured_density(&self, pixels: usize) -> f64 {
+        self.total().bits as f64 / 8.0 / pixels as f64
+    }
+}
+
+/// Work in the parallelizable phase for a region, computable from geometry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ParallelWork {
+    /// Blocks put through dequant + IDCT.
+    pub idct_blocks: u64,
+    /// Chroma samples produced by upsampling.
+    pub upsampled_samples: u64,
+    /// Pixels color-converted.
+    pub color_pixels: u64,
+}
+
+impl ParallelWork {
+    /// Work metrics for MCU rows `[start, end)` of an image.
+    pub fn for_mcu_rows(geom: &crate::geometry::Geometry, start: usize, end: usize) -> Self {
+        let rows = end.saturating_sub(start) as u64;
+        let blocks = geom.blocks_in_mcu_rows(start, end) as u64;
+        let (p0, p1) = geom.mcu_rows_to_pixel_rows(start, end);
+        let pixels = ((p1 - p0) * geom.width) as u64;
+        let upsampled = match geom.subsampling {
+            crate::types::Subsampling::S444 => 0,
+            // Each chroma component doubles (4:2:2) or quadruples (4:2:0).
+            crate::types::Subsampling::S422 | crate::types::Subsampling::S420 => {
+                let chroma_blocks =
+                    (geom.comps[1].width_blocks * geom.comps[1].v_samp) as u64 * rows
+                        + (geom.comps[2].width_blocks * geom.comps[2].v_samp) as u64 * rows;
+                let in_samples = chroma_blocks * 64;
+                match geom.subsampling {
+                    crate::types::Subsampling::S422 => in_samples * 2,
+                    _ => in_samples * 4,
+                }
+            }
+        };
+        ParallelWork { idct_blocks: blocks, upsampled_samples: upsampled, color_pixels: pixels }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Geometry;
+    use crate::types::Subsampling;
+
+    #[test]
+    fn row_metrics_accumulate() {
+        let mut a = RowMetrics { bits: 10, symbols: 2, nonzero_coefs: 1, blocks: 1 };
+        a.add(&RowMetrics { bits: 5, symbols: 3, nonzero_coefs: 2, blocks: 1 });
+        assert_eq!(a, RowMetrics { bits: 15, symbols: 5, nonzero_coefs: 3, blocks: 2 });
+    }
+
+    #[test]
+    fn entropy_totals_and_ranges() {
+        let m = EntropyMetrics {
+            per_row: vec![
+                RowMetrics { bits: 100, symbols: 10, nonzero_coefs: 5, blocks: 4 },
+                RowMetrics { bits: 200, symbols: 20, nonzero_coefs: 8, blocks: 4 },
+                RowMetrics { bits: 50, symbols: 5, nonzero_coefs: 2, blocks: 4 },
+            ],
+        };
+        assert_eq!(m.total().bits, 350);
+        assert_eq!(m.range_total(1, 3).bits, 250);
+        assert_eq!(m.range_total(1, 99).bits, 250);
+        // Density: 350 bits / 8 / 100 px.
+        assert!((m.measured_density(100) - 0.4375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_work_444() {
+        let g = Geometry::new(32, 32, Subsampling::S444).unwrap();
+        let w = ParallelWork::for_mcu_rows(&g, 0, g.mcus_y);
+        assert_eq!(w.idct_blocks, (g.total_blocks) as u64);
+        assert_eq!(w.upsampled_samples, 0);
+        assert_eq!(w.color_pixels, 32 * 32);
+    }
+
+    #[test]
+    fn parallel_work_422_upsamples_chroma() {
+        let g = Geometry::new(32, 32, Subsampling::S422).unwrap();
+        let w = ParallelWork::for_mcu_rows(&g, 0, 1);
+        // One MCU row: Y 4 blocks, Cb 2, Cr 2.
+        assert_eq!(w.idct_blocks, 8);
+        // Chroma in-samples = 4 blocks * 64 = 256; doubled = 512.
+        assert_eq!(w.upsampled_samples, 512);
+        assert_eq!(w.color_pixels, 8 * 32);
+    }
+}

@@ -1,0 +1,169 @@
+//! Quantization tables and IJG quality scaling.
+//!
+//! The decoder folds dequantization into the IDCT load (paper §4.1: "The
+//! input data is de-quantized after being loaded from global memory"), so
+//! this module only has to supply tables and the elementwise multiply.
+
+use crate::error::{Error, Result};
+use crate::zigzag::ZIGZAG;
+
+/// The Annex K.1 luminance base quantization table (zigzag order).
+pub const BASE_LUMA_ZZ: [u16; 64] = [
+    16, 11, 12, 14, 12, 10, 16, 14, 13, 14, 18, 17, 16, 19, 24, 40, 26, 24, 22, 22, 24, 49, 35,
+    37, 29, 40, 58, 51, 61, 60, 57, 51, 56, 55, 64, 72, 92, 78, 64, 68, 87, 69, 55, 56, 80, 109,
+    81, 87, 95, 98, 103, 104, 103, 62, 77, 113, 121, 112, 100, 120, 92, 101, 103, 99,
+];
+
+/// The Annex K.2 chrominance base quantization table (zigzag order).
+pub const BASE_CHROMA_ZZ: [u16; 64] = [
+    17, 18, 18, 24, 21, 24, 47, 26, 26, 47, 99, 66, 56, 66, 99, 99, 99, 99, 99, 99, 99, 99, 99,
+    99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99,
+    99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99,
+];
+
+/// A quantization table in natural (row-major) order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuantTable {
+    /// Divisors, natural order, each in 1..=255 for 8-bit precision.
+    pub values: [u16; 64],
+}
+
+impl QuantTable {
+    /// Build from zigzag-ordered values as they appear in a DQT segment.
+    pub fn from_zigzag(zz: &[u16; 64]) -> Self {
+        let mut values = [0u16; 64];
+        for (k, &v) in zz.iter().enumerate() {
+            values[ZIGZAG[k]] = v;
+        }
+        QuantTable { values }
+    }
+
+    /// Export to zigzag order for writing a DQT segment.
+    pub fn to_zigzag(&self) -> [u16; 64] {
+        let mut zz = [0u16; 64];
+        for (k, slot) in zz.iter_mut().enumerate() {
+            *slot = self.values[ZIGZAG[k]];
+        }
+        zz
+    }
+
+    /// The standard luminance table scaled to `quality` (1..=100) with the
+    /// IJG formula used by libjpeg's `jpeg_set_quality`.
+    pub fn luma_for_quality(quality: u8) -> Result<Self> {
+        Ok(QuantTable::from_zigzag(&scale_table(&BASE_LUMA_ZZ, quality)?))
+    }
+
+    /// The standard chrominance table scaled to `quality` (1..=100).
+    pub fn chroma_for_quality(quality: u8) -> Result<Self> {
+        Ok(QuantTable::from_zigzag(&scale_table(&BASE_CHROMA_ZZ, quality)?))
+    }
+
+    /// Quantize one block of raw DCT coefficients (natural order), with
+    /// symmetric rounding as in libjpeg's `jcdctmgr`.
+    pub fn quantize(&self, coefs: &[i32; 64]) -> [i16; 64] {
+        let mut out = [0i16; 64];
+        for ((o, &c), &q) in out.iter_mut().zip(coefs.iter()).zip(self.values.iter()) {
+            let q = q as i32;
+            let v = if c < 0 { -((-c + q / 2) / q) } else { (c + q / 2) / q };
+            *o = v as i16;
+        }
+        out
+    }
+
+    /// Dequantize a block in place (natural order). Widening to i32 keeps
+    /// the result exact: |coef| <= 32767 and q <= 255 fit in 24 bits.
+    #[inline]
+    pub fn dequantize(&self, coefs: &[i16; 64]) -> [i32; 64] {
+        let mut out = [0i32; 64];
+        for ((o, &c), &q) in out.iter_mut().zip(coefs.iter()).zip(self.values.iter()) {
+            *o = c as i32 * q as i32;
+        }
+        out
+    }
+}
+
+/// IJG quality scaling: quality 50 keeps the base table, 100 forces all-ones,
+/// lower qualities scale divisors up.
+fn scale_table(base_zz: &[u16; 64], quality: u8) -> Result<[u16; 64]> {
+    if quality == 0 || quality > 100 {
+        return Err(Error::Malformed("quality must be in 1..=100"));
+    }
+    let q = quality as u32;
+    let scale = if q < 50 { 5000 / q } else { 200 - 2 * q };
+    let mut out = [0u16; 64];
+    for (o, &b) in out.iter_mut().zip(base_zz.iter()) {
+        let v = (b as u32 * scale + 50) / 100;
+        *o = v.clamp(1, 255) as u16;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quality_50_is_base_table() {
+        let t = QuantTable::luma_for_quality(50).unwrap();
+        assert_eq!(t.to_zigzag(), BASE_LUMA_ZZ);
+    }
+
+    #[test]
+    fn quality_100_is_all_ones() {
+        let t = QuantTable::luma_for_quality(100).unwrap();
+        assert!(t.values.iter().all(|&v| v == 1));
+    }
+
+    #[test]
+    fn lower_quality_means_larger_divisors() {
+        let q20 = QuantTable::luma_for_quality(20).unwrap();
+        let q80 = QuantTable::luma_for_quality(80).unwrap();
+        for i in 0..64 {
+            assert!(q20.values[i] >= q80.values[i]);
+        }
+    }
+
+    #[test]
+    fn invalid_quality_rejected() {
+        assert!(QuantTable::luma_for_quality(0).is_err());
+        assert!(QuantTable::luma_for_quality(101).is_err());
+    }
+
+    #[test]
+    fn quantize_dequantize_bounds_error() {
+        let t = QuantTable::luma_for_quality(75).unwrap();
+        let mut raw = [0i32; 64];
+        for (i, r) in raw.iter_mut().enumerate() {
+            *r = (i as i32 - 32) * 100;
+        }
+        let q = t.quantize(&raw);
+        let dq = t.dequantize(&q);
+        for i in 0..64 {
+            // Quantization error is at most half the divisor.
+            assert!((dq[i] - raw[i]).abs() <= t.values[i] as i32 / 2 + 1);
+        }
+    }
+
+    #[test]
+    fn zigzag_roundtrip() {
+        let t = QuantTable::chroma_for_quality(35).unwrap();
+        let back = QuantTable::from_zigzag(&t.to_zigzag());
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn quantize_is_symmetric_for_negatives() {
+        let t = QuantTable::luma_for_quality(50).unwrap();
+        let mut pos = [0i32; 64];
+        let mut neg = [0i32; 64];
+        for i in 0..64 {
+            pos[i] = 777;
+            neg[i] = -777;
+        }
+        let qp = t.quantize(&pos);
+        let qn = t.quantize(&neg);
+        for i in 0..64 {
+            assert_eq!(qp[i], -qn[i]);
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Zigzag coefficient ordering (ITU-T T.81 Figure 5).
+//!
+//! Entropy-coded coefficients appear in zigzag order in the bitstream; the
+//! rest of the pipeline works in natural (row-major) order.
+
+/// `ZIGZAG[k]` is the natural (row-major) index of the k-th coefficient in
+/// zigzag scan order.
+pub const ZIGZAG: [usize; 64] = [
+    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5, 12, 19, 26, 33, 40, 48, 41, 34, 27,
+    20, 13, 6, 7, 14, 21, 28, 35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51, 58,
+    59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
+];
+
+/// `NATURAL_TO_ZIGZAG[n]` is the zigzag position of natural index `n`
+/// (the inverse permutation of [`ZIGZAG`]).
+pub const NATURAL_TO_ZIGZAG: [usize; 64] = {
+    let mut inv = [0usize; 64];
+    let mut k = 0;
+    while k < 64 {
+        inv[ZIGZAG[k]] = k;
+        k += 1;
+    }
+    inv
+};
+
+/// Reorder a block from zigzag order to natural order.
+#[inline]
+pub fn dezigzag(zz: &[i16; 64]) -> [i16; 64] {
+    let mut nat = [0i16; 64];
+    for (k, &v) in zz.iter().enumerate() {
+        nat[ZIGZAG[k]] = v;
+    }
+    nat
+}
+
+/// Reorder a block from natural order to zigzag order.
+#[inline]
+pub fn zigzag_order(nat: &[i16; 64]) -> [i16; 64] {
+    let mut zz = [0i16; 64];
+    for (k, slot) in zz.iter_mut().enumerate() {
+        *slot = nat[ZIGZAG[k]];
+    }
+    zz
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zigzag_is_a_permutation() {
+        let mut seen = [false; 64];
+        for &n in ZIGZAG.iter() {
+            assert!(!seen[n], "duplicate natural index {n}");
+            seen[n] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn inverse_permutation_roundtrips() {
+        for k in 0..64 {
+            assert_eq!(NATURAL_TO_ZIGZAG[ZIGZAG[k]], k);
+        }
+    }
+
+    #[test]
+    fn spec_corner_values() {
+        // First row of the T.81 zigzag matrix.
+        assert_eq!(ZIGZAG[0], 0);
+        assert_eq!(ZIGZAG[1], 1);
+        assert_eq!(ZIGZAG[2], 8);
+        assert_eq!(ZIGZAG[63], 63);
+        // Zigzag position 35 is the start of row 7's diagonal: natural 56.
+        assert_eq!(ZIGZAG[35], 56);
+    }
+
+    #[test]
+    fn dezigzag_then_zigzag_roundtrips() {
+        let mut block = [0i16; 64];
+        for (i, v) in block.iter_mut().enumerate() {
+            *v = (i as i16) * 3 - 50;
+        }
+        assert_eq!(zigzag_order(&dezigzag(&block)), block);
+        assert_eq!(dezigzag(&zigzag_order(&block)), block);
+    }
+}

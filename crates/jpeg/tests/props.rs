@@ -1,0 +1,161 @@
+//! Property-based tests for the JPEG codec substrate.
+
+use hetjpeg_jpeg::bitio::{BitReader, BitWriter};
+use hetjpeg_jpeg::decoder::{decode, decode_simd};
+use hetjpeg_jpeg::dct::{islow, reference};
+use hetjpeg_jpeg::encoder::{encode_rgb, EncodeParams};
+use hetjpeg_jpeg::huffman::{spec, DecodeTable, EncodeTable, HuffDecoder, HuffEncoder};
+use hetjpeg_jpeg::types::Subsampling;
+use hetjpeg_jpeg::zigzag::{dezigzag, zigzag_order};
+use proptest::prelude::*;
+
+fn subsampling_strategy() -> impl Strategy<Value = Subsampling> {
+    prop_oneof![
+        Just(Subsampling::S444),
+        Just(Subsampling::S422),
+        Just(Subsampling::S420),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any RGB image of any small size encodes and decodes back to the same
+    /// dimensions, under any quality and subsampling, without panicking.
+    #[test]
+    fn encode_decode_preserves_dimensions(
+        w in 1usize..80,
+        h in 1usize..60,
+        quality in 1u8..=100,
+        sub in subsampling_strategy(),
+        seed in any::<u32>(),
+    ) {
+        let mut state = seed | 1;
+        let rgb: Vec<u8> = (0..w * h * 3).map(|_| {
+            state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+            (state >> 24) as u8
+        }).collect();
+        let jpeg = encode_rgb(&rgb, w as u32, h as u32,
+            &EncodeParams { quality, subsampling: sub, restart_interval: 0 }).unwrap();
+        let img = decode(&jpeg).unwrap();
+        prop_assert_eq!((img.width, img.height), (w, h));
+    }
+
+    /// Scalar and SIMD-style decoders are byte-identical on arbitrary input.
+    #[test]
+    fn scalar_and_simd_agree(
+        w in 1usize..64,
+        h in 1usize..48,
+        quality in 5u8..=98,
+        sub in subsampling_strategy(),
+        restart in 0usize..4,
+        seed in any::<u32>(),
+    ) {
+        let mut state = seed | 1;
+        let rgb: Vec<u8> = (0..w * h * 3).map(|_| {
+            state = state.wrapping_mul(22695477).wrapping_add(1);
+            (state >> 23) as u8
+        }).collect();
+        let jpeg = encode_rgb(&rgb, w as u32, h as u32,
+            &EncodeParams { quality, subsampling: sub, restart_interval: restart }).unwrap();
+        let a = decode(&jpeg).unwrap();
+        let b = decode_simd(&jpeg).unwrap();
+        prop_assert_eq!(a.data, b.data);
+    }
+
+    /// Zigzag reorderings are mutually inverse permutations.
+    #[test]
+    fn zigzag_involution(coefs in prop::array::uniform32(any::<i16>())) {
+        let mut block = [0i16; 64];
+        block[..32].copy_from_slice(&coefs);
+        prop_assert_eq!(zigzag_order(&dezigzag(&block)), block);
+        prop_assert_eq!(dezigzag(&zigzag_order(&block)), block);
+    }
+
+    /// Integer FDCT → IDCT returns the original samples within ±2 levels.
+    #[test]
+    fn fdct_idct_roundtrip(samples in prop::array::uniform32(-128i32..128)) {
+        let mut block = [0i32; 64];
+        block[..32].copy_from_slice(&samples);
+        let coefs = islow::fdct_block(&block);
+        let px = islow::idct_block(&coefs);
+        for i in 0..64 {
+            let want = (block[i] + 128).clamp(0, 255);
+            prop_assert!((px[i] as i32 - want).abs() <= 2,
+                "i={} got {} want {}", i, px[i], want);
+        }
+    }
+
+    /// Integer IDCT tracks the float reference within ±1 level on
+    /// arbitrary bounded coefficients.
+    #[test]
+    fn islow_tracks_reference(raw in prop::array::uniform32(-512i32..512)) {
+        let mut coefs = [0i32; 64];
+        coefs[..32].copy_from_slice(&raw);
+        let fast = islow::idct_block(&coefs);
+        let slow = reference::idct_to_samples(&coefs);
+        for i in 0..64 {
+            prop_assert!((fast[i] as i32 - slow[i] as i32).abs() <= 1);
+        }
+    }
+
+    /// Arbitrary bit sequences survive the stuffed writer/reader pair.
+    #[test]
+    fn bitio_roundtrip(chunks in prop::collection::vec((any::<u32>(), 1u32..=24), 1..64)) {
+        let mut w = BitWriter::new();
+        for &(v, n) in &chunks {
+            w.put_bits(v & ((1u32 << n) - 1), n);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &(v, n) in &chunks {
+            prop_assert_eq!(r.get_bits(n), v & ((1u32 << n) - 1));
+        }
+    }
+
+    /// Arbitrary sparse AC blocks roundtrip through Huffman coding.
+    #[test]
+    fn huffman_ac_roundtrip(
+        entries in prop::collection::vec((1usize..64, -1023i16..=1023), 0..20)
+    ) {
+        let mut block = [0i16; 64];
+        for &(k, v) in &entries {
+            block[k] = v;
+        }
+        let enc = EncodeTable::build(&spec::ac_luma()).unwrap();
+        let dec = DecodeTable::build(&spec::ac_luma()).unwrap();
+        let mut w = BitWriter::new();
+        HuffEncoder::encode_ac_block(&mut w, &enc, &block).unwrap();
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        let mut out = [0i16; 64];
+        HuffDecoder::decode_ac_block(&mut r, &dec, &mut out).unwrap();
+        prop_assert_eq!(out, block);
+    }
+
+    /// The decoder never panics on arbitrary bytes (errors are fine).
+    #[test]
+    fn decoder_is_panic_free_on_garbage(data in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = decode(&data);
+    }
+
+    /// The decoder never panics on a corrupted valid file.
+    #[test]
+    fn decoder_is_panic_free_on_bitflips(
+        seed in any::<u32>(),
+        flip_at in any::<u16>(),
+        flip_bit in 0u8..8,
+    ) {
+        let mut state = seed | 1;
+        let rgb: Vec<u8> = (0..24 * 16 * 3).map(|_| {
+            state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+            (state >> 24) as u8
+        }).collect();
+        let mut jpeg = encode_rgb(&rgb, 24, 16,
+            &EncodeParams { quality: 80, subsampling: Subsampling::S422,
+                            restart_interval: 0 }).unwrap();
+        let pos = flip_at as usize % jpeg.len();
+        jpeg[pos] ^= 1 << flip_bit;
+        let _ = decode(&jpeg);
+    }
+}

@@ -1,0 +1,70 @@
+//! The paper's motivating workload: a browser-style photo gallery.
+//!
+//! "Desktops, tablets and smartphones constitute the vast majority of
+//! hardware platforms used for displaying JPEG images" (§1) — this example
+//! decodes a gallery of differently sized, differently detailed photos on
+//! all three Table 1 machines and reports how much wall time each decode
+//! mode would need for the whole gallery.
+//!
+//! ```sh
+//! cargo run --release --example photo_gallery
+//! ```
+
+use hetjpeg_core::platform::Platform;
+use hetjpeg_core::schedule::{decode_with_mode, Mode};
+use hetjpeg_corpus::{generate_jpeg, ImageSpec, Pattern};
+use hetjpeg_jpeg::types::Subsampling;
+
+fn main() {
+    // A gallery of nine "photos": thumbnails up to full-screen images.
+    let shots = [
+        (320usize, 240usize, 0.4f64),
+        (640, 480, 0.55),
+        (800, 600, 0.7),
+        (1024, 768, 0.5),
+        (512, 512, 0.8),
+        (960, 540, 0.6),
+        (400, 300, 0.3),
+        (768, 1024, 0.65),
+        (1280, 720, 0.45),
+    ];
+    let gallery: Vec<Vec<u8>> = shots
+        .iter()
+        .enumerate()
+        .map(|(i, &(w, h, detail))| {
+            let spec = ImageSpec {
+                width: w,
+                height: h,
+                pattern: Pattern::PhotoLike { detail },
+                seed: 100 + i as u64,
+            };
+            generate_jpeg(&spec, 88, Subsampling::S422).expect("encode")
+        })
+        .collect();
+    let total_px: usize = shots.iter().map(|&(w, h, _)| w * h).sum();
+    println!(
+        "gallery: {} images, {:.1} Mpixel total\n",
+        gallery.len(),
+        total_px as f64 / 1e6
+    );
+
+    println!(
+        "{:<10} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "machine", "sequential", "SIMD", "GPU", "pipeline", "SPS", "PPS"
+    );
+    for platform in Platform::all() {
+        let model = platform.untrained_model();
+        let mut row = format!("{:<10}", platform.name);
+        for mode in Mode::all() {
+            let total: f64 = gallery
+                .iter()
+                .map(|jpeg| {
+                    decode_with_mode(jpeg, mode, &platform, &model).expect("decode").total()
+                })
+                .sum();
+            row.push_str(&format!(" {:>11.1}ms", total * 1e3));
+        }
+        println!("{row}");
+    }
+    println!("\n(virtual time on the simulated Table 1 machines; lower is better)");
+}

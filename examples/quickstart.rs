@@ -1,0 +1,71 @@
+//! Quickstart: decode one JPEG with the dynamic-partitioning scheduler and
+//! inspect where the time went.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use hetjpeg_core::platform::Platform;
+use hetjpeg_core::report::amdahl_max_speedup;
+use hetjpeg_core::schedule::{decode_with_mode, Mode};
+use hetjpeg_corpus::{generate_jpeg, ImageSpec, Pattern};
+use hetjpeg_jpeg::types::Subsampling;
+
+fn main() {
+    // 1. Get a JPEG. (Self-contained: synthesize a photo-like image and
+    //    encode it with the built-in encoder. Any baseline JPEG works.)
+    let spec = ImageSpec {
+        width: 768,
+        height: 512,
+        pattern: Pattern::PhotoLike { detail: 0.65 },
+        seed: 2014,
+    };
+    let jpeg = generate_jpeg(&spec, 88, Subsampling::S422).expect("encode");
+    println!(
+        "input: {}x{} 4:2:2, {} bytes ({:.3} B/px entropy density)\n",
+        spec.width,
+        spec.height,
+        jpeg.len(),
+        jpeg.len() as f64 / (spec.width * spec.height) as f64
+    );
+
+    // 2. Pick a platform (Table 1 machine) and a performance model. The
+    //    analytic seed works out of the box; `hetjpeg_core::profile::train`
+    //    fits a better one from a training corpus.
+    let platform = Platform::gtx560();
+    let model = platform.untrained_model();
+
+    // 3. Decode under each mode; all six produce byte-identical pixels.
+    println!("{:<12} {:>12} {:>10}", "mode", "time (ms)", "speedup");
+    let simd_total =
+        decode_with_mode(&jpeg, Mode::Simd, &platform, &model).expect("decode").total();
+    let mut reference: Option<Vec<u8>> = None;
+    for mode in Mode::all() {
+        let out = decode_with_mode(&jpeg, mode, &platform, &model).expect("decode");
+        match &reference {
+            None => reference = Some(out.image.data.clone()),
+            Some(r) => assert_eq!(r, &out.image.data, "modes must agree bit-exactly"),
+        }
+        println!(
+            "{:<12} {:>12.3} {:>9.2}x",
+            mode.name(),
+            out.total() * 1e3,
+            simd_total / out.total()
+        );
+    }
+
+    // 4. Look inside the PPS schedule: the Fig. 8(c) timeline.
+    let pps = decode_with_mode(&jpeg, Mode::Pps, &platform, &model).expect("decode");
+    let part = pps.partition.expect("pps partitions");
+    println!(
+        "\nPPS partition: GPU {} MCU rows, CPU {} MCU rows (Newton x = {:.1} px rows, {} iterations)",
+        part.gpu_mcu_rows, part.cpu_mcu_rows, part.x_pixel_rows, part.iterations
+    );
+    let bound = amdahl_max_speedup(simd_total, pps.times.huffman);
+    println!(
+        "Amdahl bound {:.2}x; PPS achieved {:.1}% of it\n",
+        bound,
+        100.0 * (simd_total / pps.total()) / bound
+    );
+    print!("{}", pps.trace.ascii());
+}

@@ -1,0 +1,249 @@
+//! `hetjpeg` — command-line front end.
+//!
+//! ```text
+//! hetjpeg decode photo.jpg -o photo.ppm --mode pps --platform gtx560
+//! hetjpeg encode photo.ppm -o photo.jpg --quality 85 --subsampling 422
+//! hetjpeg info   photo.jpg
+//! ```
+//!
+//! `decode` runs the requested scheduler mode, writes a binary PPM (P6) and
+//! prints the virtual-time stage breakdown for the chosen Table 1 machine.
+
+use hetjpeg_core::platform::Platform;
+use hetjpeg_core::schedule::{decode_with_mode, Mode};
+use hetjpeg_jpeg::encoder::{encode_rgb, EncodeParams};
+use hetjpeg_jpeg::markers::parse_jpeg;
+use hetjpeg_jpeg::types::Subsampling;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  hetjpeg decode <in.jpg> [-o out.ppm] [--mode seq|simd|gpu|pipeline|sps|pps]\n\
+         \u{20}                [--platform gt430|gtx560|gtx680] [--model model.txt]\n\
+         \u{20} hetjpeg encode <in.ppm> [-o out.jpg] [--quality N] [--subsampling 444|422|420]\n\
+         \u{20}                [--restart N]\n\
+         \u{20} hetjpeg info <in.jpg>"
+    );
+    ExitCode::from(2)
+}
+
+fn arg_value(args: &[String], key: &str) -> Option<String> {
+    args.iter().position(|a| a == key).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, input) = match (args.first(), args.get(1)) {
+        (Some(c), Some(i)) if !i.starts_with("--") => (c.clone(), i.clone()),
+        _ => return usage(),
+    };
+    match cmd.as_str() {
+        "decode" => cmd_decode(&input, &args),
+        "encode" => cmd_encode(&input, &args),
+        "info" => cmd_info(&input),
+        _ => usage(),
+    }
+}
+
+fn cmd_decode(input: &str, args: &[String]) -> ExitCode {
+    let data = match std::fs::read(input) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("cannot read {input}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mode = match arg_value(args, "--mode").as_deref().unwrap_or("pps") {
+        "seq" | "sequential" => Mode::Sequential,
+        "simd" => Mode::Simd,
+        "gpu" => Mode::Gpu,
+        "pipeline" => Mode::PipelinedGpu,
+        "sps" => Mode::Sps,
+        "pps" => Mode::Pps,
+        other => {
+            eprintln!("unknown mode {other}");
+            return usage();
+        }
+    };
+    let platform = match arg_value(args, "--platform").as_deref().unwrap_or("gtx560") {
+        "gt430" => Platform::gt430(),
+        "gtx560" => Platform::gtx560(),
+        "gtx680" => Platform::gtx680(),
+        other => {
+            eprintln!("unknown platform {other}");
+            return usage();
+        }
+    };
+    let model = match arg_value(args, "--model") {
+        Some(path) => match std::fs::read_to_string(&path)
+            .ok()
+            .and_then(|t| hetjpeg_core::model::PerformanceModel::load_str(&t))
+        {
+            Some(m) => m,
+            None => {
+                eprintln!("cannot load model from {path}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => platform.untrained_model(),
+    };
+
+    let out = match decode_with_mode(&data, mode, &platform, &model) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("decode failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let output = arg_value(args, "-o").unwrap_or_else(|| format!("{input}.ppm"));
+    if let Err(e) = write_ppm(&output, out.image.width, out.image.height, &out.image.data) {
+        eprintln!("cannot write {output}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "{} {}x{} decoded with {} on {} -> {}",
+        input,
+        out.image.width,
+        out.image.height,
+        out.mode.name(),
+        platform.name,
+        output
+    );
+    let b = out.times;
+    println!(
+        "virtual time {:.3} ms  (huffman {:.3}, h2d {:.3}, kernels {:.3}, d2h {:.3}, cpu {:.3}, dispatch {:.3})",
+        b.total * 1e3,
+        b.huffman * 1e3,
+        b.h2d * 1e3,
+        b.kernels * 1e3,
+        b.d2h * 1e3,
+        b.cpu_parallel * 1e3,
+        b.dispatch * 1e3
+    );
+    if let Some(p) = out.partition {
+        println!(
+            "partition: {} MCU rows on GPU, {} on CPU ({} Newton iterations)",
+            p.gpu_mcu_rows, p.cpu_mcu_rows, p.iterations
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_encode(input: &str, args: &[String]) -> ExitCode {
+    let (w, h, rgb) = match read_ppm(input) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("cannot read PPM {input}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let quality: u8 = arg_value(args, "--quality").and_then(|v| v.parse().ok()).unwrap_or(85);
+    let subsampling = match arg_value(args, "--subsampling").as_deref().unwrap_or("422") {
+        "444" => Subsampling::S444,
+        "422" => Subsampling::S422,
+        "420" => Subsampling::S420,
+        other => {
+            eprintln!("unknown subsampling {other}");
+            return usage();
+        }
+    };
+    let restart: usize = arg_value(args, "--restart").and_then(|v| v.parse().ok()).unwrap_or(0);
+    let jpeg = match encode_rgb(
+        &rgb,
+        w as u32,
+        h as u32,
+        &EncodeParams { quality, subsampling, restart_interval: restart },
+    ) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("encode failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let output = arg_value(args, "-o").unwrap_or_else(|| format!("{input}.jpg"));
+    if let Err(e) = std::fs::write(&output, &jpeg) {
+        eprintln!("cannot write {output}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "{input} {w}x{h} -> {output} ({} bytes, q{quality}, {}, {:.3} B/px)",
+        jpeg.len(),
+        subsampling.notation(),
+        jpeg.len() as f64 / (w * h) as f64
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_info(input: &str) -> ExitCode {
+    let data = match std::fs::read(input) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("cannot read {input}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let parsed = match parse_jpeg(&data) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("not a decodable baseline JPEG: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("{input}:");
+    println!("  {}x{} {}", parsed.frame.width, parsed.frame.height, parsed.frame.subsampling.notation());
+    println!("  file size      {} bytes", parsed.file_size);
+    println!("  entropy density {:.4} bytes/pixel (Eq. 3)", parsed.entropy_density());
+    println!("  restart interval {}", parsed.frame.restart_interval);
+    if let Ok(geom) = hetjpeg_jpeg::geometry::Geometry::new(
+        parsed.frame.width,
+        parsed.frame.height,
+        parsed.frame.subsampling,
+    ) {
+        println!("  {} x {} MCUs ({} blocks)", geom.mcus_x, geom.mcus_y, geom.total_blocks);
+        let segs = hetjpeg_jpeg::entropy::split_restart_segments(&parsed, &geom);
+        println!("  {} independently decodable entropy segment(s)", segs.len());
+    }
+    ExitCode::SUCCESS
+}
+
+fn write_ppm(path: &str, w: usize, h: usize, rgb: &[u8]) -> std::io::Result<()> {
+    let mut out = Vec::with_capacity(rgb.len() + 32);
+    out.extend_from_slice(format!("P6\n{w} {h}\n255\n").as_bytes());
+    out.extend_from_slice(rgb);
+    std::fs::write(path, out)
+}
+
+fn read_ppm(path: &str) -> Result<(usize, usize, Vec<u8>), String> {
+    let data = std::fs::read(path).map_err(|e| e.to_string())?;
+    // Parse the P6 header: magic, width, height, maxval, then raw bytes.
+    let mut fields = Vec::new();
+    let mut pos = 0usize;
+    while fields.len() < 4 && pos < data.len() {
+        // Skip whitespace and comments.
+        while pos < data.len() && (data[pos].is_ascii_whitespace()) {
+            pos += 1;
+        }
+        if pos < data.len() && data[pos] == b'#' {
+            while pos < data.len() && data[pos] != b'\n' {
+                pos += 1;
+            }
+            continue;
+        }
+        let start = pos;
+        while pos < data.len() && !data[pos].is_ascii_whitespace() {
+            pos += 1;
+        }
+        fields.push(String::from_utf8_lossy(&data[start..pos]).to_string());
+    }
+    if fields.len() < 4 || fields[0] != "P6" {
+        return Err("expected binary PPM (P6)".into());
+    }
+    let w: usize = fields[1].parse().map_err(|_| "bad width")?;
+    let h: usize = fields[2].parse().map_err(|_| "bad height")?;
+    if fields[3] != "255" {
+        return Err("only maxval 255 supported".into());
+    }
+    pos += 1; // single whitespace after maxval
+    let body = data.get(pos..pos + w * h * 3).ok_or("truncated pixel data")?;
+    Ok((w, h, body.to_vec()))
+}

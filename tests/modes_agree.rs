@@ -1,0 +1,94 @@
+//! Cross-crate invariant: every decode mode, on every platform, produces
+//! byte-identical pixels — the property that lets the scheduler place the
+//! partition boundary anywhere without visible seams.
+
+use hetjpeg_core::platform::Platform;
+use hetjpeg_core::schedule::{decode_with_mode, Mode};
+use hetjpeg_corpus::{generate_jpeg, ImageSpec, Pattern};
+use hetjpeg_jpeg::decoder::decode;
+use hetjpeg_jpeg::types::Subsampling;
+
+fn gallery() -> Vec<(String, Vec<u8>)> {
+    let mut out = Vec::new();
+    for (i, (w, h, pattern)) in [
+        (200usize, 120usize, Pattern::PhotoLike { detail: 0.7 }),
+        (127, 93, Pattern::WhiteNoise { amount: 0.5 }), // odd dims
+        (256, 64, Pattern::Gradient),                   // extreme aspect
+        (64, 256, Pattern::ValueNoise { octaves: 5, detail: 0.6 }),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        for sub in [Subsampling::S444, Subsampling::S422, Subsampling::S420] {
+            let spec = ImageSpec { width: w, height: h, pattern, seed: 900 + i as u64 };
+            let jpeg = generate_jpeg(&spec, 82, sub).expect("encode");
+            out.push((format!("{w}x{h}-{}", sub.notation()), jpeg));
+        }
+    }
+    out
+}
+
+#[test]
+fn all_modes_all_platforms_bit_identical() {
+    for (name, jpeg) in gallery() {
+        let reference = decode(&jpeg).expect("reference decode").data;
+        for platform in Platform::all() {
+            let model = platform.untrained_model();
+            for mode in Mode::all() {
+                let out = decode_with_mode(&jpeg, mode, &platform, &model)
+                    .unwrap_or_else(|e| panic!("{name} {mode:?} on {}: {e}", platform.name));
+                assert_eq!(
+                    out.image.data, reference,
+                    "{name}: {} under {:?} differs from reference",
+                    platform.name, mode
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn doctored_models_cannot_break_correctness() {
+    // Whatever nonsense the performance model predicts, partitioning only
+    // moves the boundary — the pixels must stay right.
+    let spec =
+        ImageSpec { width: 160, height: 160, pattern: Pattern::PhotoLike { detail: 0.5 }, seed: 3 };
+    let jpeg = generate_jpeg(&spec, 85, Subsampling::S422).expect("encode");
+    let reference = decode(&jpeg).expect("reference").data;
+    let platform = Platform::gtx560();
+
+    let mut skew_gpu = platform.untrained_model();
+    skew_gpu.p_gpu.coefs[0][0] += 10.0; // GPU looks 10s slower: all-CPU split
+    let mut skew_cpu = platform.untrained_model();
+    skew_cpu.p_cpu.coefs[0][0] += 10.0; // CPU looks awful: all-GPU split
+    let mut tiny_chunks = platform.untrained_model();
+    tiny_chunks.chunk_mcu_rows = 1;
+
+    for model in [skew_gpu, skew_cpu, tiny_chunks] {
+        for mode in [Mode::Sps, Mode::Pps, Mode::PipelinedGpu] {
+            let out = decode_with_mode(&jpeg, mode, &platform, &model).expect("decode");
+            assert_eq!(out.image.data, reference, "{mode:?}");
+        }
+    }
+}
+
+#[test]
+fn breakdown_totals_are_consistent() {
+    let spec =
+        ImageSpec { width: 192, height: 128, pattern: Pattern::PhotoLike { detail: 0.6 }, seed: 8 };
+    let jpeg = generate_jpeg(&spec, 85, Subsampling::S422).expect("encode");
+    for platform in Platform::all() {
+        let model = platform.untrained_model();
+        for mode in Mode::all() {
+            let out = decode_with_mode(&jpeg, mode, &platform, &model).expect("decode");
+            // Stages can overlap but never exceed their serial sum, and the
+            // total must cover the sequential Huffman stage.
+            assert!(out.times.total <= out.times.serial_sum() + 1e-12, "{mode:?}");
+            assert!(out.times.total >= out.times.huffman - 1e-12, "{mode:?}");
+            assert!(
+                (out.trace.makespan() - out.times.total).abs() < 1e-9,
+                "{mode:?} trace/total mismatch"
+            );
+        }
+    }
+}

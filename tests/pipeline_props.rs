@@ -1,0 +1,108 @@
+//! Property-based tests across the whole stack.
+
+use hetjpeg_core::partition::{pps, sps};
+use hetjpeg_core::platform::Platform;
+use hetjpeg_core::schedule::{decode_with_mode, Mode};
+use hetjpeg_corpus::{generate_jpeg, ImageSpec, Pattern};
+use hetjpeg_jpeg::decoder::decode;
+use hetjpeg_jpeg::geometry::Geometry;
+use hetjpeg_jpeg::types::Subsampling;
+use proptest::prelude::*;
+
+fn subsampling_strategy() -> impl Strategy<Value = Subsampling> {
+    prop_oneof![
+        Just(Subsampling::S444),
+        Just(Subsampling::S422),
+        Just(Subsampling::S420),
+    ]
+}
+
+fn pattern_strategy() -> impl Strategy<Value = Pattern> {
+    prop_oneof![
+        Just(Pattern::Gradient),
+        (2u8..7, 0.1f64..0.9).prop_map(|(o, d)| Pattern::ValueNoise { octaves: o, detail: d }),
+        (0.1f64..1.0).prop_map(|a| Pattern::WhiteNoise { amount: a }),
+        (0.2f64..0.9).prop_map(|d| Pattern::PhotoLike { detail: d }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every (image, platform, mode) combination decodes to the reference
+    /// bytes.
+    #[test]
+    fn random_images_decode_identically_under_all_modes(
+        w in 24usize..140,
+        h in 24usize..140,
+        sub in subsampling_strategy(),
+        pattern in pattern_strategy(),
+        quality in 40u8..=95,
+        seed in any::<u64>(),
+    ) {
+        let spec = ImageSpec { width: w, height: h, pattern, seed };
+        let jpeg = generate_jpeg(&spec, quality, sub).expect("encode");
+        let reference = decode(&jpeg).expect("reference").data;
+        let platform = Platform::gtx560();
+        let model = platform.untrained_model();
+        for mode in [Mode::Gpu, Mode::PipelinedGpu, Mode::Sps, Mode::Pps] {
+            let out = decode_with_mode(&jpeg, mode, &platform, &model).expect("decode");
+            prop_assert_eq!(&out.image.data, &reference, "{:?}", mode);
+        }
+    }
+
+    /// Partitions always cover the image exactly, whatever the geometry.
+    #[test]
+    fn partitions_cover_image(
+        w in 16usize..4000,
+        h in 16usize..4000,
+        sub in subsampling_strategy(),
+        platform_idx in 0usize..3,
+    ) {
+        let geom = Geometry::new(w, h, sub).expect("geometry");
+        let platform = &Platform::all()[platform_idx];
+        let model = platform.untrained_model();
+        let p = sps::partition(&model, &geom);
+        prop_assert_eq!(p.cpu_mcu_rows + p.gpu_mcu_rows, geom.mcus_y);
+        let q = pps::initial_partition(&model, &geom, 0.2, (geom.mcu_h * 8) as f64);
+        prop_assert_eq!(q.cpu_mcu_rows + q.gpu_mcu_rows, geom.mcus_y);
+    }
+
+    /// The density correction (Eq. 17) is monotone in the remaining-time
+    /// ratio and exact at uniformity.
+    #[test]
+    fn density_correction_properties(
+        d in 0.01f64..1.0,
+        spent_frac in 0.0f64..1.0,
+        rows_left_frac in 0.01f64..1.0,
+    ) {
+        let est_total = 1.0;
+        let corrected = pps::corrected_density(
+            d, est_total, spent_frac, rows_left_frac, 1.0);
+        prop_assert!(corrected >= 0.0);
+        // At perfect uniformity (time spent == rows consumed) it's exact.
+        let uniform = pps::corrected_density(
+            d, est_total, 1.0 - rows_left_frac, rows_left_frac, 1.0);
+        prop_assert!((uniform - d).abs() < 1e-9);
+    }
+
+    /// Virtual time is deterministic: decoding twice gives identical
+    /// schedules and totals.
+    #[test]
+    fn schedules_are_deterministic(
+        seed in any::<u64>(),
+        sub in subsampling_strategy(),
+    ) {
+        let spec = ImageSpec {
+            width: 96, height: 80,
+            pattern: Pattern::PhotoLike { detail: 0.6 }, seed,
+        };
+        let jpeg = generate_jpeg(&spec, 85, sub).expect("encode");
+        let platform = Platform::gtx680();
+        let model = platform.untrained_model();
+        let a = decode_with_mode(&jpeg, Mode::Pps, &platform, &model).expect("a");
+        let b = decode_with_mode(&jpeg, Mode::Pps, &platform, &model).expect("b");
+        prop_assert_eq!(a.total(), b.total());
+        prop_assert_eq!(a.trace.spans.len(), b.trace.spans.len());
+    }
+}
