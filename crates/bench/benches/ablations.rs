@@ -21,9 +21,16 @@ use hetjpeg_jpeg::decoder::Prepared;
 use hetjpeg_jpeg::types::Subsampling;
 
 fn setup() -> (Vec<u8>, Platform) {
-    let spec =
-        ImageSpec { width: 256, height: 256, pattern: Pattern::PhotoLike { detail: 0.6 }, seed: 8 };
-    (generate_jpeg(&spec, 85, Subsampling::S422).unwrap(), Platform::gtx560())
+    let spec = ImageSpec {
+        width: 256,
+        height: 256,
+        pattern: Pattern::PhotoLike { detail: 0.6 },
+        seed: 8,
+    };
+    (
+        generate_jpeg(&spec, 85, Subsampling::S422).unwrap(),
+        Platform::gtx560(),
+    )
 }
 
 fn bench_merged_vs_unmerged(c: &mut Criterion) {
@@ -32,10 +39,24 @@ fn bench_merged_vs_unmerged(c: &mut Criterion) {
     let (coef, _) = prep.entropy_decode_all().unwrap();
 
     // Report simulated times once, outside the timing loop.
-    let merged =
-        decode_region_gpu(&prep, &coef, 0, prep.geom.mcus_y, &platform, 8, KernelPlan::Merged);
-    let unmerged =
-        decode_region_gpu(&prep, &coef, 0, prep.geom.mcus_y, &platform, 8, KernelPlan::Unmerged);
+    let merged = decode_region_gpu(
+        &prep,
+        &coef,
+        0,
+        prep.geom.mcus_y,
+        &platform,
+        8,
+        KernelPlan::Merged,
+    );
+    let unmerged = decode_region_gpu(
+        &prep,
+        &coef,
+        0,
+        prep.geom.mcus_y,
+        &platform,
+        8,
+        KernelPlan::Unmerged,
+    );
     eprintln!(
         "[ablation] merged kernels: {:.3} ms simulated, {} bus bytes; unmerged: {:.3} ms, {} bus bytes",
         merged.kernels_total() * 1e3,
@@ -174,22 +195,29 @@ fn bench_parity_order(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("ablation_parity_order");
     for parity_major in [true, false] {
-        g.bench_function(if parity_major { "parity_major" } else { "interleaved" }, |b| {
-            let k = UpsampleColorKernel {
-                planes,
-                rgb,
-                layout: layout.clone(),
-                v2: false,
-                blocks_per_group: 8,
-                parity_major,
-            };
-            b.iter(|| black_box(sim.launch(&k, k.num_groups())));
-        });
+        g.bench_function(
+            if parity_major {
+                "parity_major"
+            } else {
+                "interleaved"
+            },
+            |b| {
+                let k = UpsampleColorKernel {
+                    planes,
+                    rgb,
+                    layout: layout.clone(),
+                    v2: false,
+                    blocks_per_group: 8,
+                    parity_major,
+                };
+                b.iter(|| black_box(sim.launch(&k, k.num_groups())));
+            },
+        );
     }
     g.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default()
         .sample_size(10)

@@ -13,8 +13,12 @@ use hetjpeg_jpeg::decoder::Prepared;
 use hetjpeg_jpeg::types::Subsampling;
 
 fn bench_idct_kernel(c: &mut Criterion) {
-    let spec =
-        ImageSpec { width: 256, height: 256, pattern: Pattern::PhotoLike { detail: 0.6 }, seed: 3 };
+    let spec = ImageSpec {
+        width: 256,
+        height: 256,
+        pattern: Pattern::PhotoLike { detail: 0.6 },
+        seed: 3,
+    };
     let jpeg = generate_jpeg(&spec, 85, Subsampling::S422).unwrap();
     let prep = Prepared::new(&jpeg).unwrap();
     let (coefbuf, _) = prep.entropy_decode_all().unwrap();
@@ -72,24 +76,27 @@ fn bench_full_gpu_region(c: &mut Criterion) {
                 ))
             })
         });
-        g.bench_function(format!("unmerged_{}", sub.notation().replace(':', "")), |b| {
-            b.iter(|| {
-                black_box(decode_region_gpu(
-                    &prep,
-                    &coef,
-                    0,
-                    prep.geom.mcus_y,
-                    &platform,
-                    8,
-                    KernelPlan::Unmerged,
-                ))
-            })
-        });
+        g.bench_function(
+            format!("unmerged_{}", sub.notation().replace(':', "")),
+            |b| {
+                b.iter(|| {
+                    black_box(decode_region_gpu(
+                        &prep,
+                        &coef,
+                        0,
+                        prep.geom.mcus_y,
+                        &platform,
+                        8,
+                        KernelPlan::Unmerged,
+                    ))
+                })
+            },
+        );
     }
     g.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default()
         .sample_size(10)

@@ -9,8 +9,12 @@ use hetjpeg_corpus::{generate_jpeg, ImageSpec, Pattern};
 use hetjpeg_jpeg::types::Subsampling;
 
 fn bench_modes(c: &mut Criterion) {
-    let spec =
-        ImageSpec { width: 256, height: 256, pattern: Pattern::PhotoLike { detail: 0.6 }, seed: 2 };
+    let spec = ImageSpec {
+        width: 256,
+        height: 256,
+        pattern: Pattern::PhotoLike { detail: 0.6 },
+        seed: 2,
+    };
     let jpeg = generate_jpeg(&spec, 85, Subsampling::S422).unwrap();
     let platform = Platform::gtx560();
     let model = platform.untrained_model();
@@ -26,8 +30,12 @@ fn bench_modes(c: &mut Criterion) {
 }
 
 fn bench_threaded_exec(c: &mut Criterion) {
-    let spec =
-        ImageSpec { width: 256, height: 256, pattern: Pattern::PhotoLike { detail: 0.6 }, seed: 2 };
+    let spec = ImageSpec {
+        width: 256,
+        height: 256,
+        pattern: Pattern::PhotoLike { detail: 0.6 },
+        seed: 2,
+    };
     let jpeg = generate_jpeg(&spec, 85, Subsampling::S422).unwrap();
     let platform = Platform::gtx560();
     let model = platform.untrained_model();
@@ -44,7 +52,7 @@ fn bench_threaded_exec(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default()
         .sample_size(10)

@@ -13,7 +13,9 @@ use hetjpeg_jpeg::types::Subsampling;
 
 fn dense_poly(degree: usize) -> Poly2 {
     let mons = Poly2::monomials(degree);
-    let flat: Vec<f64> = (0..mons.len()).map(|i| ((i * 31 % 17) as f64 - 8.0) * 1e-6).collect();
+    let flat: Vec<f64> = (0..mons.len())
+        .map(|i| ((i * 31 % 17) as f64 - 8.0) * 1e-6)
+        .collect();
     Poly2::from_flat(degree, &flat, 4096.0, 4096.0)
 }
 
@@ -36,17 +38,27 @@ fn bench_partitioning(c: &mut Criterion) {
     let model = PerformanceModel::analytic_seed(&platform);
     let geom = Geometry::new(3840, 2160, Subsampling::S422).unwrap();
     let mut g = c.benchmark_group("partition");
-    g.bench_function("sps_newton", |b| b.iter(|| black_box(sps::partition(&model, &geom))));
+    g.bench_function("sps_newton", |b| {
+        b.iter(|| black_box(sps::partition(&model, &geom)))
+    });
     g.bench_function("pps_initial", |b| {
         b.iter(|| black_box(pps::initial_partition(&model, &geom, black_box(0.2), 128.0)))
     });
     g.bench_function("pps_repartition", |b| {
-        b.iter(|| black_box(pps::repartition(&model, &geom, 1080.0, black_box(0.25), 0.001)))
+        b.iter(|| {
+            black_box(pps::repartition(
+                &model,
+                &geom,
+                1080.0,
+                black_box(0.25),
+                0.001,
+            ))
+        })
     });
     g.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default()
         .sample_size(10)

@@ -15,8 +15,12 @@ use hetjpeg_jpeg::sample::{upsample_row_h2v1_blockwise, upsample_row_h2v1_rowwid
 use hetjpeg_jpeg::types::Subsampling;
 
 fn test_jpeg(dim: usize) -> Vec<u8> {
-    let spec =
-        ImageSpec { width: dim, height: dim, pattern: Pattern::PhotoLike { detail: 0.6 }, seed: 5 };
+    let spec = ImageSpec {
+        width: dim,
+        height: dim,
+        pattern: Pattern::PhotoLike { detail: 0.6 },
+        seed: 5,
+    };
     generate_jpeg(&spec, 85, Subsampling::S422).expect("encode")
 }
 
@@ -47,7 +51,9 @@ fn bench_idct(c: &mut Criterion) {
     let quant = QuantTable::luma_for_quality(85).unwrap();
     let pre = prescale_quant(&quant.values);
     let mut g = c.benchmark_group("idct");
-    g.bench_function("islow_block", |b| b.iter(|| black_box(idct_block(black_box(&block)))));
+    g.bench_function("islow_block", |b| {
+        b.iter(|| black_box(idct_block(black_box(&block))))
+    });
     g.bench_function("aan_float_block", |b| {
         b.iter(|| black_box(idct_block_aan(black_box(&coef16), &pre)))
     });
@@ -55,7 +61,9 @@ fn bench_idct(c: &mut Criterion) {
     for (i, v) in samples.iter_mut().enumerate() {
         *v = (i as i32 * 3) % 255 - 128;
     }
-    g.bench_function("fdct_islow_block", |b| b.iter(|| black_box(fdct_block(black_box(&samples)))));
+    g.bench_function("fdct_islow_block", |b| {
+        b.iter(|| black_box(fdct_block(black_box(&samples))))
+    });
     g.finish();
 }
 
@@ -91,8 +99,12 @@ fn bench_color(c: &mut Criterion) {
         b.iter(|| {
             let mut acc = 0u32;
             for i in 0..4096u32 {
-                let p =
-                    ycc_to_rgb_tab(&tabs, (i % 256) as u8, (i / 7 % 256) as u8, (i / 3 % 256) as u8);
+                let p = ycc_to_rgb_tab(
+                    &tabs,
+                    (i % 256) as u8,
+                    (i / 7 % 256) as u8,
+                    (i / 3 % 256) as u8,
+                );
                 acc = acc.wrapping_add(p[0] as u32);
             }
             black_box(acc)
@@ -124,7 +136,7 @@ fn bench_parallel_phase(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default()
         .sample_size(10)

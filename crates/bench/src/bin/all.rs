@@ -5,7 +5,9 @@
 use std::process::Command;
 
 fn main() {
-    let exes = ["profile", "fig6", "fig7", "fig9", "fig10", "fig11", "fig12", "table2", "table3"];
+    let exes = [
+        "profile", "fig6", "fig7", "fig9", "fig10", "fig11", "fig12", "table2", "table3",
+    ];
     let me = std::env::current_exe().expect("own path");
     let dir = me.parent().expect("bin dir");
     for exe in exes {

@@ -1,0 +1,263 @@
+//! PR-1 hot-path benchmark: per-stage ns/pixel, before vs after.
+//!
+//! "Before" reconstructs the seed's per-block chain from the primitives the
+//! crate still exports — `QuantTable::dequantize` → dense `islow::idct_block`
+//! → `SamplePlanes::store_block`, with per-band allocations — while "after"
+//! runs the shipped fused, EOB-dispatched, scratch-reusing path. Both are
+//! timed on the same entropy-decoded coefficients, so the comparison
+//! isolates exactly the dequant+IDCT(+store) stage the acceptance gate
+//! names, plus whole-parallel-phase and Huffman context numbers.
+//!
+//! Output: human-readable table on stdout and machine-readable
+//! `BENCH_PR1.json` in the working directory (committed at the repo root to
+//! seed the bench trajectory).
+
+use hetjpeg_corpus::{generate_jpeg, ImageSpec, Pattern};
+use hetjpeg_jpeg::coef::CoefBuffer;
+use hetjpeg_jpeg::dct::islow::idct_block;
+use hetjpeg_jpeg::decoder::{simd, stages, Prepared};
+use hetjpeg_jpeg::planes::SamplePlanes;
+use hetjpeg_jpeg::types::Subsampling;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One prepared measurement image.
+struct Case {
+    jpeg: Vec<u8>,
+    pixels: usize,
+}
+
+fn corpus(quality: u8, sub: Subsampling, detail: f64) -> Vec<Case> {
+    [(512usize, 512usize, 1u64), (768, 512, 2), (512, 768, 3)]
+        .into_iter()
+        .map(|(w, h, seed)| {
+            let spec = ImageSpec {
+                width: w,
+                height: h,
+                pattern: Pattern::PhotoLike { detail },
+                seed,
+            };
+            Case {
+                jpeg: generate_jpeg(&spec, quality, sub).expect("encode"),
+                pixels: w * h,
+            }
+        })
+        .collect()
+}
+
+/// Best-of-`reps` wall time of `f`, in seconds.
+fn time_best<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// The seed's dequant+IDCT chain: per-block temporaries, dense transform,
+/// separate store. This is the "before" oracle for the stage gate.
+fn dequant_idct_region_baseline(prep: &Prepared<'_>, coef: &CoefBuffer, planes: &mut SamplePlanes) {
+    let geom = &prep.geom;
+    for (ci, comp) in geom.comps.iter().enumerate() {
+        let quant = &prep.quant[ci];
+        for by in 0..comp.height_blocks {
+            for bx in 0..comp.width_blocks {
+                let block = coef.block(geom.block_index(ci, bx, by));
+                let dq = quant.dequantize(block);
+                let px = idct_block(&dq);
+                planes.store_block(ci, bx, by, &px);
+            }
+        }
+    }
+}
+
+#[derive(Default)]
+struct StageResult {
+    baseline_ns_per_px: Option<f64>,
+    optimized_ns_per_px: f64,
+}
+
+impl StageResult {
+    fn speedup(&self) -> Option<f64> {
+        self.baseline_ns_per_px
+            .map(|b| b / self.optimized_ns_per_px)
+    }
+}
+
+fn measure_corpus(cases: &[Case], reps: usize) -> Vec<(&'static str, StageResult)> {
+    let total_px: usize = cases.iter().map(|c| c.pixels).sum();
+    let preps: Vec<Prepared<'_>> = cases
+        .iter()
+        .map(|c| Prepared::new(&c.jpeg).expect("parse"))
+        .collect();
+    let decoded: Vec<CoefBuffer> = preps
+        .iter()
+        .map(|p| p.entropy_decode_all().expect("entropy").0)
+        .collect();
+
+    let per_px = |secs: f64| secs * 1e9 / total_px as f64;
+
+    // Huffman (entropy) phase: current implementation only — the bulk-refill
+    // reader replaced the old one in place.
+    let huffman = time_best(reps, || {
+        for p in &preps {
+            let _ = p.entropy_decode_all().expect("entropy");
+        }
+    });
+
+    // Dequant + IDCT stage, before vs after.
+    let mut planes: Vec<SamplePlanes> = preps.iter().map(|p| SamplePlanes::new(&p.geom)).collect();
+    let idct_before = time_best(reps, || {
+        for (i, p) in preps.iter().enumerate() {
+            dequant_idct_region_baseline(p, &decoded[i], &mut planes[i]);
+        }
+    });
+    let idct_after = time_best(reps, || {
+        for (i, p) in preps.iter().enumerate() {
+            stages::dequant_idct_region(p, &decoded[i], 0, p.geom.mcus_y, &mut planes[i]);
+        }
+    });
+
+    // Whole parallel phase (scalar stage pipeline): fresh allocations per
+    // band (seed behaviour) vs reused scratch.
+    let mut outs: Vec<Vec<u8>> = preps
+        .iter()
+        .map(|p| vec![0u8; p.geom.rgb_bytes_in_mcu_rows(0, p.geom.mcus_y)])
+        .collect();
+    let scalar_before = time_best(reps, || {
+        for (i, p) in preps.iter().enumerate() {
+            stages::decode_region_rgb(p, &decoded[i], 0, p.geom.mcus_y, &mut outs[i]).unwrap();
+        }
+    });
+    let mut scratches: Vec<stages::Scratch> = preps.iter().map(stages::Scratch::new).collect();
+    let scalar_after = time_best(reps, || {
+        for (i, p) in preps.iter().enumerate() {
+            stages::decode_region_rgb_with(
+                p,
+                &decoded[i],
+                0,
+                p.geom.mcus_y,
+                &mut outs[i],
+                &mut scratches[i],
+            )
+            .unwrap();
+        }
+    });
+
+    // SIMD-style parallel phase with reused scratch.
+    let mut simd_scratches: Vec<simd::SimdScratch> =
+        preps.iter().map(simd::SimdScratch::new).collect();
+    let simd_after = time_best(reps, || {
+        for (i, p) in preps.iter().enumerate() {
+            simd::decode_region_rgb_simd_with(
+                p,
+                &decoded[i],
+                0,
+                p.geom.mcus_y,
+                &mut outs[i],
+                &mut simd_scratches[i],
+            )
+            .unwrap();
+        }
+    });
+
+    vec![
+        (
+            "huffman",
+            StageResult {
+                baseline_ns_per_px: None,
+                optimized_ns_per_px: per_px(huffman),
+            },
+        ),
+        (
+            "dequant_idct",
+            StageResult {
+                baseline_ns_per_px: Some(per_px(idct_before)),
+                optimized_ns_per_px: per_px(idct_after),
+            },
+        ),
+        (
+            "parallel_phase_scalar",
+            StageResult {
+                baseline_ns_per_px: Some(per_px(scalar_before)),
+                optimized_ns_per_px: per_px(scalar_after),
+            },
+        ),
+        (
+            "parallel_phase_simd",
+            StageResult {
+                baseline_ns_per_px: None,
+                optimized_ns_per_px: per_px(simd_after),
+            },
+        ),
+    ]
+}
+
+fn main() {
+    let reps: usize = std::env::var("BENCH_PR1_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5);
+    let corpora: Vec<(&str, Vec<Case>)> = vec![
+        // Sparse-heavy: the acceptance corpus (quality 80, 4:2:0).
+        ("q80_420_sparse", corpus(80, Subsampling::S420, 0.5)),
+        // Dense guard: quality 95 keeps most coefficients alive.
+        ("q95_420_dense", corpus(95, Subsampling::S420, 0.9)),
+        // Dense 4:4:4 for the no-chroma-subsampling path.
+        ("q95_444_dense", corpus(95, Subsampling::S444, 0.9)),
+    ];
+
+    let mut json = String::from("{\n  \"pr\": 1,\n");
+    let _ = writeln!(
+        json,
+        "  \"description\": \"per-stage ns/pixel; dequant_idct baseline = seed's dense unfused chain, parallel_phase_scalar baseline = fresh per-band allocations (both vs the shipped EOB-dispatched fused hot path)\","
+    );
+    let _ = writeln!(json, "  \"reps_best_of\": {reps},");
+    let _ = writeln!(json, "  \"corpora\": {{");
+
+    for (ci, (name, cases)) in corpora.iter().enumerate() {
+        let pixels: usize = cases.iter().map(|c| c.pixels).sum();
+        println!("== corpus {name} ({} images, {pixels} px) ==", cases.len());
+        let results = measure_corpus(cases, reps);
+        let _ = writeln!(json, "    \"{name}\": {{");
+        let _ = writeln!(
+            json,
+            "      \"images\": {}, \"pixels\": {pixels},",
+            cases.len()
+        );
+        let _ = writeln!(json, "      \"stages\": {{");
+        for (si, (stage, r)) in results.iter().enumerate() {
+            let sep = if si + 1 == results.len() { "" } else { "," };
+            match (r.baseline_ns_per_px, r.speedup()) {
+                (Some(b), Some(s)) => {
+                    println!(
+                        "{stage:<24} before {b:8.2} ns/px   after {:8.2} ns/px   speedup {s:.2}x",
+                        r.optimized_ns_per_px
+                    );
+                    let _ = writeln!(
+                        json,
+                        "        \"{stage}\": {{\"baseline_ns_per_px\": {b:.3}, \"optimized_ns_per_px\": {:.3}, \"speedup\": {s:.3}}}{sep}",
+                        r.optimized_ns_per_px
+                    );
+                }
+                _ => {
+                    println!("{stage:<24} {:>40.2} ns/px", r.optimized_ns_per_px);
+                    let _ = writeln!(
+                        json,
+                        "        \"{stage}\": {{\"optimized_ns_per_px\": {:.3}}}{sep}",
+                        r.optimized_ns_per_px
+                    );
+                }
+            }
+        }
+        let _ = writeln!(json, "      }}");
+        let sep = if ci + 1 == corpora.len() { "" } else { "," };
+        let _ = writeln!(json, "    }}{sep}");
+    }
+    let _ = writeln!(json, "  }}\n}}");
+
+    std::fs::write("BENCH_PR1.json", &json).expect("write BENCH_PR1.json");
+    println!("wrote BENCH_PR1.json");
+}

@@ -25,8 +25,9 @@ fn main() {
         let mut series: Vec<(&str, Vec<(f64, f64)>)> =
             modes.iter().map(|m| (m.name(), Vec::new())).collect();
         for img in &corpus {
-            let simd =
-                decode_with_mode(&img.jpeg, Mode::Simd, &platform, &model).expect("simd").total();
+            let simd = decode_with_mode(&img.jpeg, Mode::Simd, &platform, &model)
+                .expect("simd")
+                .total();
             let px = (img.width * img.height) as f64;
             for (mi, &mode) in modes.iter().enumerate() {
                 let t = decode_with_mode(&img.jpeg, mode, &platform, &model)

@@ -25,7 +25,10 @@ fn main() {
         corpus.len(),
         scale
     );
-    println!("{:>12} {:>10} {:>10} {:>10}", "pixels", "speedup", "bound", "% achvd");
+    println!(
+        "{:>12} {:>10} {:>10} {:>10}",
+        "pixels", "speedup", "bound", "% achvd"
+    );
     let mut rows = Vec::new();
     let mut pts = Vec::new();
     let mut percents = Vec::new();
@@ -38,7 +41,10 @@ fn main() {
         let px = (img.width * img.height) as f64;
         pts.push((px, pct));
         percents.push(pct);
-        rows.push(format!("{},{},{speedup},{bound},{pct}", img.width, img.height));
+        rows.push(format!(
+            "{},{},{speedup},{bound},{pct}",
+            img.width, img.height
+        ));
     }
     for &(px, pct) in &bucket_mean(&pts, 8) {
         println!("{:>12.0} {:>10} {:>10} {:>9.1}%", px, "-", "-", pct);
@@ -49,7 +55,15 @@ fn main() {
         "mean {:.1}% of bound, peak {:.1}%  (paper: mean ~88%, peak 95%)",
         s.mean, peak
     );
-    println!("{}", ascii_chart("% of Amdahl bound (y) vs pixels (x)", &[("PPS", bucket_mean(&pts, 10))], 60, 12));
+    println!(
+        "{}",
+        ascii_chart(
+            "% of Amdahl bound (y) vs pixels (x)",
+            &[("PPS", bucket_mean(&pts, 10))],
+            60,
+            12
+        )
+    );
     let path = write_csv("fig11.csv", "width,height,speedup,bound,percent", &rows);
     println!("wrote {}", path.display());
 }

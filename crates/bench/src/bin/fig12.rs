@@ -65,7 +65,10 @@ fn main() {
                 ));
             }
             println!("\n== {} / {} ==", platform.name, mode.name());
-            println!("{:>12} {:>12} {:>12} {:>8}", "pixels", "CPU (ms)", "GPU (ms)", "ratio");
+            println!(
+                "{:>12} {:>12} {:>12} {:>8}",
+                "pixels", "CPU (ms)", "GPU (ms)", "ratio"
+            );
             let cb = bucket_mean(&cpu_pts, 6);
             let gb = bucket_mean(&gpu_pts, 6);
             for (&(px, c), &(_, g)) in cb.iter().zip(gb.iter()) {

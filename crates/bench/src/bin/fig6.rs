@@ -30,8 +30,14 @@ fn main() {
         v
     };
 
-    println!("Figure 6 — parallel-phase scaling on {} ({:?} scale)", platform.name, scale);
-    println!("{:<10} {:>12} {:>12} {:>12}", "subsamp", "pixels", "SIMD (ms)", "GPU (ms)");
+    println!(
+        "Figure 6 — parallel-phase scaling on {} ({:?} scale)",
+        platform.name, scale
+    );
+    println!(
+        "{:<10} {:>12} {:>12} {:>12}",
+        "subsamp", "pixels", "SIMD (ms)", "GPU (ms)"
+    );
 
     let mut rows = Vec::new();
     for sub in [Subsampling::S422, Subsampling::S444] {
@@ -55,8 +61,15 @@ fn main() {
 
             // GPU parallel phase (Eq. 7: transfers + kernels).
             let (coef, _) = prep.entropy_decode_all().expect("decode");
-            let res =
-                decode_region_gpu(&prep, &coef, 0, geom.mcus_y, &platform, 8, KernelPlan::Merged);
+            let res = decode_region_gpu(
+                &prep,
+                &coef,
+                0,
+                geom.mcus_y,
+                &platform,
+                8,
+                KernelPlan::Merged,
+            );
             let t_gpu = res.device_total();
 
             println!(
@@ -66,7 +79,13 @@ fn main() {
                 t_simd * 1e3,
                 t_gpu * 1e3
             );
-            rows.push(format!("{},{},{},{}", sub.notation(), geom.pixels(), t_simd, t_gpu));
+            rows.push(format!(
+                "{},{},{},{}",
+                sub.notation(),
+                geom.pixels(),
+                t_simd,
+                t_gpu
+            ));
             simd_pts.push((px, t_simd * 1e3));
             gpu_pts.push((px, t_gpu * 1e3));
         }

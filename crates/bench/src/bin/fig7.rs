@@ -22,10 +22,22 @@ fn main() {
     let patterns: Vec<Pattern> = vec![
         Pattern::Gradient,
         Pattern::SmoothField,
-        Pattern::ValueNoise { octaves: 3, detail: 0.3 },
-        Pattern::ValueNoise { octaves: 5, detail: 0.5 },
-        Pattern::ValueNoise { octaves: 6, detail: 0.7 },
-        Pattern::ValueNoise { octaves: 7, detail: 0.9 },
+        Pattern::ValueNoise {
+            octaves: 3,
+            detail: 0.3,
+        },
+        Pattern::ValueNoise {
+            octaves: 5,
+            detail: 0.5,
+        },
+        Pattern::ValueNoise {
+            octaves: 6,
+            detail: 0.7,
+        },
+        Pattern::ValueNoise {
+            octaves: 7,
+            detail: 0.9,
+        },
         Pattern::WhiteNoise { amount: 0.3 },
         Pattern::WhiteNoise { amount: 0.6 },
         Pattern::WhiteNoise { amount: 1.0 },
@@ -35,16 +47,26 @@ fn main() {
     ];
     let qualities = [60u8, 75, 85, 95];
 
-    println!("Figure 7 — Huffman rate vs entropy density on {}", platform.name);
-    println!("{:<10} {:>10} {:>14}", "subsamp", "d (B/px)", "rate (ns/px)");
+    println!(
+        "Figure 7 — Huffman rate vs entropy density on {}",
+        platform.name
+    );
+    println!(
+        "{:<10} {:>10} {:>14}",
+        "subsamp", "d (B/px)", "rate (ns/px)"
+    );
     let mut rows = Vec::new();
     let mut all_series = Vec::new();
     for sub in [Subsampling::S422, Subsampling::S444] {
         let mut pts = Vec::new();
         for (pi, &pattern) in patterns.iter().enumerate() {
             for &q in &qualities {
-                let spec =
-                    ImageSpec { width: dim, height: dim, pattern, seed: 7000 + pi as u64 };
+                let spec = ImageSpec {
+                    width: dim,
+                    height: dim,
+                    pattern,
+                    seed: 7000 + pi as u64,
+                };
                 let jpeg = generate_jpeg(&spec, q, sub).expect("encode");
                 let prep = Prepared::new(&jpeg).expect("parse");
                 let d = prep.parsed.entropy_density();
@@ -79,7 +101,10 @@ fn main() {
         "{}",
         ascii_chart(
             "Huffman rate (y = ns/px) vs density (x = B/px)",
-            &all_series.iter().map(|(n, p)| (*n, p.clone())).collect::<Vec<_>>(),
+            &all_series
+                .iter()
+                .map(|(n, p)| (*n, p.clone()))
+                .collect::<Vec<_>>(),
             64,
             14,
         )

@@ -17,8 +17,12 @@ use hetjpeg_jpeg::types::Subsampling;
 fn main() {
     let scale = Scale::from_env();
     let dim = scale.large_dim();
-    let spec =
-        ImageSpec { width: dim, height: dim, pattern: Pattern::PhotoLike { detail: 0.6 }, seed: 9 };
+    let spec = ImageSpec {
+        width: dim,
+        height: dim,
+        pattern: Pattern::PhotoLike { detail: 0.6 },
+        seed: 9,
+    };
     let jpeg = generate_jpeg(&spec, 85, Subsampling::S422).expect("encode");
 
     println!("Figure 9 — stage breakdown on a {dim}x{dim} 4:2:2 image (normalized to SIMD total)");

@@ -9,7 +9,11 @@ use hetjpeg_jpeg::types::Subsampling;
 
 fn main() {
     let scale = Scale::from_env();
-    println!("Offline profiling ({:?} scale); models cached in {}", scale, results_dir().display());
+    println!(
+        "Offline profiling ({:?} scale); models cached in {}",
+        scale,
+        results_dir().display()
+    );
     for platform in Platform::all() {
         for sub in [Subsampling::S422, Subsampling::S444] {
             let m = ensure_model(&platform, sub, scale);
@@ -26,7 +30,10 @@ fn main() {
             );
             // A few illustrative predictions.
             for d in [0.05, 0.15, 0.3] {
-                println!("    THuffPerPixel({d:.2} B/px) = {:.2} ns/px", m.thuff_ns_per_px.eval(d));
+                println!(
+                    "    THuffPerPixel({d:.2} B/px) = {:.2} ns/px",
+                    m.thuff_ns_per_px.eval(d)
+                );
             }
             for dim in [512.0, 1024.0] {
                 println!(

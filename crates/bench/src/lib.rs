@@ -58,7 +58,13 @@ impl Scale {
             Scale::Default => (128, 1024, 3),
             Scale::Full => (128, 1536, 5),
         };
-        CorpusParams { min_dim: min, max_dim: max, steps, subsampling: sub, quality: 85 }
+        CorpusParams {
+            min_dim: min,
+            max_dim: max,
+            steps,
+            subsampling: sub,
+            quality: 85,
+        }
     }
 
     /// Evaluation corpus parameters at this scale. The size range stays
@@ -72,7 +78,13 @@ impl Scale {
             Scale::Default => (128, 1024, 3),
             Scale::Full => (128, 1536, 5),
         };
-        CorpusParams { min_dim: min, max_dim: max, steps, subsampling: sub, quality: 85 }
+        CorpusParams {
+            min_dim: min,
+            max_dim: max,
+            steps,
+            subsampling: sub,
+            quality: 85,
+        }
     }
 
     /// The "large image" dimension used by Fig. 9-style single-image runs.
@@ -94,7 +106,11 @@ pub fn results_dir() -> PathBuf {
 
 fn model_path(platform: &Platform, sub: Subsampling) -> PathBuf {
     let sub_tag = sub.notation().replace(':', "");
-    results_dir().join(format!("model-{}-{}.txt", platform.name.replace(' ', ""), sub_tag))
+    results_dir().join(format!(
+        "model-{}-{}.txt",
+        platform.name.replace(' ', ""),
+        sub_tag
+    ))
 }
 
 /// Load a previously trained model for (platform, subsampling), or train
@@ -154,9 +170,17 @@ pub fn write_csv(name: &str, header: &str, rows: &[String]) -> PathBuf {
 
 /// Render an ASCII scatter/line chart of (x, y) series — keeps figure
 /// binaries self-contained in a terminal.
-pub fn ascii_chart(title: &str, series: &[(&str, Vec<(f64, f64)>)], width: usize, height: usize) -> String {
+pub fn ascii_chart(
+    title: &str,
+    series: &[(&str, Vec<(f64, f64)>)],
+    width: usize,
+    height: usize,
+) -> String {
     let mut out = format!("{title}\n");
-    let all: Vec<(f64, f64)> = series.iter().flat_map(|(_, pts)| pts.iter().copied()).collect();
+    let all: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|(_, pts)| pts.iter().copied())
+        .collect();
     if all.is_empty() {
         return out;
     }
@@ -265,11 +289,13 @@ pub fn run_table(
     for (pi, platform) in platforms.iter().enumerate() {
         let model = ensure_model(platform, sub, scale);
         for img in &corpus {
-            let simd =
-                decode_with_mode(&img.jpeg, Mode::Simd, platform, &model).expect("simd").total();
+            let simd = decode_with_mode(&img.jpeg, Mode::Simd, platform, &model)
+                .expect("simd")
+                .total();
             for (mi, &mode) in modes.iter().enumerate() {
-                let t =
-                    decode_with_mode(&img.jpeg, mode, platform, &model).expect("decode").total();
+                let t = decode_with_mode(&img.jpeg, mode, platform, &model)
+                    .expect("decode")
+                    .total();
                 measured[mi][pi].push(simd / t);
                 rows.push(format!(
                     "{},{},{},{},{}",
@@ -294,7 +320,13 @@ pub fn run_table(
                 format!("{:.2} ± {:>5.2}%", s.mean, s.cv_percent)
             })
             .collect();
-        println!("{:<10} {:>22} {:>22} {:>22}", mode.name(), cells[0], cells[1], cells[2]);
+        println!(
+            "{:<10} {:>22} {:>22} {:>22}",
+            mode.name(),
+            cells[0],
+            cells[1],
+            cells[2]
+        );
         let (_rname, r430, r560, r680) = reference[mi];
         println!(
             "{:<10} {:>22} {:>22} {:>22}",

@@ -108,14 +108,19 @@ impl CpuCostModel {
         let cycles = w.idct_blocks as f64 * self.idct_cycles_per_block
             + w.upsampled_samples as f64 * self.upsample_cycles_per_sample
             + w.color_pixels as f64 * self.color_cycles_per_pixel;
-        let cycles = if simd { cycles / self.simd_speedup } else { cycles };
+        let cycles = if simd {
+            cycles / self.simd_speedup
+        } else {
+            cycles
+        };
         self.cycles_to_seconds(cycles)
     }
 
     /// Host-side OpenCL dispatch time (`Tdisp` in Eq. 9a) for commands
     /// covering MCU rows `[start, end)`.
     pub fn dispatch_time(&self, geom: &Geometry, start: usize, end: usize) -> f64 {
-        let bytes = geom.coef_bytes_in_mcu_rows(start, end) + geom.rgb_bytes_in_mcu_rows(start, end);
+        let bytes =
+            geom.coef_bytes_in_mcu_rows(start, end) + geom.rgb_bytes_in_mcu_rows(start, end);
         let mb = bytes as f64 / (1024.0 * 1024.0);
         (self.dispatch_base_us + self.dispatch_us_per_mb * mb) * 1e-6
     }
@@ -135,7 +140,6 @@ mod tests {
             symbols: (bits as f64 / 5.5) as u64, // ~5.5 bits/symbol typical
             nonzero_coefs: 0,
             blocks: pixels * 2 / 64,
-            ..Default::default()
         }
     }
 
@@ -161,7 +165,10 @@ mod tests {
         let t = cpu.parallel_time(&work, true);
         let ns_per_px = t / geom.pixels() as f64 * 1e9;
         // Fig. 6 anchor: ≈3.2 ns/px (80 ms / 25 MP).
-        assert!((2.0..5.0).contains(&ns_per_px), "SIMD parallel {ns_per_px:.2} ns/px");
+        assert!(
+            (2.0..5.0).contains(&ns_per_px),
+            "SIMD parallel {ns_per_px:.2} ns/px"
+        );
     }
 
     #[test]
@@ -184,7 +191,10 @@ mod tests {
         let seq = cpu.huff_time(&m) + cpu.parallel_time(&work, false);
         let simd = cpu.huff_time(&m) + cpu.parallel_time(&work, true);
         let speedup = seq / simd;
-        assert!((1.6..2.6).contains(&speedup), "overall SIMD speedup {speedup:.2}");
+        assert!(
+            (1.6..2.6).contains(&speedup),
+            "overall SIMD speedup {speedup:.2}"
+        );
         // Huffman should be a large fraction (~half) of the SIMD total.
         let frac = cpu.huff_time(&m) / simd;
         assert!((0.3..0.6).contains(&frac), "Huffman fraction {frac:.2}");

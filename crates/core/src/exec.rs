@@ -8,7 +8,13 @@
 //! kernels (functionally, on the simulator's thread pool), while the CPU
 //! band is decoded with the SIMD-style path. This is the "re-engineering
 //! legacy code for heterogeneous multicores" half of the paper (§3) made
-//! concrete with crossbeam channels instead of OpenCL async commands.
+//! concrete with channels instead of OpenCL async commands.
+//!
+//! The pipeline is allocation-free per chunk in the steady state: the
+//! chunk channel is **bounded** (back-pressure instead of unbounded queue
+//! growth when the GPU worker falls behind), and consumed chunk buffers are
+//! recycled to the entropy thread through a return channel acting as a
+//! free-list, so `pack_mcu_rows_into` reuses their capacity.
 
 use crate::gpu_decode::{decode_packed_region_gpu, KernelPlan};
 use crate::model::PerformanceModel;
@@ -19,6 +25,11 @@ use hetjpeg_jpeg::decoder::{simd, Prepared};
 use hetjpeg_jpeg::error::Result;
 use hetjpeg_jpeg::types::RgbImage;
 use std::time::{Duration, Instant};
+
+/// In-flight chunk bound of the pipeline channel: enough to keep the GPU
+/// worker busy while the entropy thread decodes the next chunk, small
+/// enough to cap staging memory at a few chunks.
+const PIPELINE_DEPTH: usize = 2;
 
 /// Outcome of a real-thread decode.
 #[derive(Debug)]
@@ -32,7 +43,8 @@ pub struct ThreadedOutcome {
 }
 
 /// Decode with a real two-thread pipeline: entropy+CPU-band on the calling
-/// thread, GPU kernels on a worker fed through a channel.
+/// thread, GPU kernels on a worker fed through a bounded channel with
+/// pooled chunk buffers.
 pub fn decode_pps_threaded(
     data: &[u8],
     platform: &Platform,
@@ -51,10 +63,13 @@ pub fn decode_pps_threaded(
     let width = geom.width;
 
     crossbeam::scope(|s| -> Result<()> {
-        let (tx, rx) = crossbeam::channel::unbounded::<(usize, usize, Vec<i16>)>();
+        let (tx, rx) = crossbeam::channel::bounded::<(usize, usize, Vec<i16>)>(PIPELINE_DEPTH);
+        // Free-list of consumed chunk buffers flowing back to the producer.
+        let (pool_tx, pool_rx) = crossbeam::channel::unbounded::<Vec<i16>>();
         let prep_ref = &prep;
 
-        // GPU worker: functional kernel execution per chunk.
+        // GPU worker: functional kernel execution per chunk, returning each
+        // chunk buffer to the pool once decoded.
         let worker = s.spawn(move |_| {
             let mut parts: Vec<(usize, usize, Vec<u8>)> = Vec::new();
             for (row0, row1, packed) in rx.iter() {
@@ -67,6 +82,7 @@ pub fn decode_pps_threaded(
                     model.wg_blocks,
                     KernelPlan::Merged,
                 );
+                let _ = pool_tx.send(packed); // producer may already be done
                 parts.push((row0, row1, res.rgb));
             }
             parts
@@ -81,7 +97,8 @@ pub fn decode_pps_threaded(
             for _ in row..end {
                 dec.decode_mcu_row(&mut coef)?;
             }
-            let packed = coef.pack_mcu_rows(geom, row, end);
+            let mut packed = pool_rx.try_recv().unwrap_or_default();
+            coef.pack_mcu_rows_into(geom, row, end, &mut packed);
             tx.send((row, end, packed)).expect("gpu worker alive");
             row = end;
         }
@@ -112,7 +129,11 @@ pub fn decode_pps_threaded(
     })
     .expect("scope panicked")?;
 
-    Ok(ThreadedOutcome { image, wall: start.elapsed(), gpu_mcu_rows: gpu_end })
+    Ok(ThreadedOutcome {
+        image,
+        wall: start.elapsed(),
+        gpu_mcu_rows: gpu_end,
+    })
 }
 
 /// Parallel Huffman decoding over restart segments.
@@ -122,16 +143,22 @@ pub fn decode_pps_threaded(
 /// Restart markers, however, *are* synchronization points: when the encoder
 /// emitted DRI, each interval is byte-aligned with reset predictors and can
 /// be decoded independently. This extension decodes the segments on a
-/// crossbeam thread pool — the future-work direction the paper's
-/// related-work discussion (Klein & Wiseman [12]) points at.
+/// scoped thread pool — the future-work direction the paper's related-work
+/// discussion (Klein & Wiseman [12]) points at.
+///
+/// Workers write every decoded block (coefficients + EOB) straight into its
+/// disjoint region of the shared [`CoefBuffer`] through a
+/// [`hetjpeg_jpeg::coef::CoefWriter`] — no per-worker accumulation vectors,
+/// no copy after the join.
 ///
 /// Falls back to sequential decoding when the image has no restart markers.
 pub fn decode_entropy_parallel(
     prep: &Prepared<'_>,
     threads: usize,
 ) -> Result<hetjpeg_jpeg::coef::CoefBuffer> {
-    use hetjpeg_jpeg::entropy::{decode_mcu_segment, split_restart_segments};
+    use hetjpeg_jpeg::entropy::{decode_mcu_segment_into, split_restart_segments};
     use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
 
     let geom = &prep.geom;
     let segments = split_restart_segments(&prep.parsed, geom);
@@ -144,34 +171,40 @@ pub fn decode_entropy_parallel(
 
     let threads = threads.min(segments.len());
     let next = AtomicUsize::new(0);
-    let results = crossbeam::scope(|s| {
-        let mut handles = Vec::with_capacity(threads);
+    let failed = std::sync::atomic::AtomicBool::new(false);
+    let first_err: Mutex<Option<hetjpeg_jpeg::Error>> = Mutex::new(None);
+    let writer = coef.writer();
+    crossbeam::scope(|s| {
         for _ in 0..threads {
             let next = &next;
+            let failed = &failed;
             let segments = &segments;
-            handles.push(s.spawn(move |_| {
-                let mut mine = Vec::new();
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= segments.len() {
-                        break;
-                    }
-                    mine.push(decode_mcu_segment(&prep.parsed, geom, &segments[i]));
+            let writer = &writer;
+            let first_err = &first_err;
+            s.spawn(move |_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                // Once any segment failed the decode is doomed; don't burn
+                // time decoding the rest of a large image.
+                if i >= segments.len() || failed.load(Ordering::Relaxed) {
+                    break;
                 }
-                mine
-            }));
+                // SAFETY: each segment index is claimed by exactly one
+                // worker (the atomic ticket), and segments partition the
+                // MCU sequence, so concurrent writes target disjoint
+                // blocks.
+                let res =
+                    unsafe { decode_mcu_segment_into(&prep.parsed, geom, &segments[i], writer) };
+                if let Err(e) = res {
+                    first_err.lock().expect("error mutex").get_or_insert(e);
+                    failed.store(true, Ordering::Relaxed);
+                }
+            });
         }
-        handles.into_iter().map(|h| h.join().expect("entropy worker")).collect::<Vec<_>>()
     })
-    .expect("scope");
+    .expect("entropy worker panicked");
 
-    for worker in results {
-        for res in worker {
-            let (blocks, _metrics) = res?;
-            for (idx, block) in blocks {
-                *coef.block_mut(idx) = block;
-            }
-        }
+    if let Some(e) = first_err.into_inner().expect("error mutex") {
+        return Err(e);
     }
     Ok(coef)
 }
@@ -194,7 +227,11 @@ mod tests {
             &rgb,
             w as u32,
             h as u32,
-            &EncodeParams { quality: 80, subsampling: Subsampling::S422, restart_interval: 0 },
+            &EncodeParams {
+                quality: 80,
+                subsampling: Subsampling::S422,
+                restart_interval: 0,
+            },
         )
         .unwrap()
     }
@@ -240,8 +277,33 @@ mod tests {
                     want.as_slice(),
                     "interval {interval}, {threads} threads"
                 );
+                // EOBs must match too — the sparse IDCT dispatch reads them.
+                for b in 0..want.num_blocks() {
+                    assert_eq!(got.eob(b), want.eob(b), "block {b} EOB");
+                }
             }
         }
+    }
+
+    #[test]
+    fn parallel_entropy_surfaces_errors() {
+        let (w, h) = (64usize, 64usize);
+        let rgb = vec![128u8; w * h * 3];
+        let jpeg = encode_rgb(
+            &rgb,
+            w as u32,
+            h as u32,
+            &EncodeParams {
+                quality: 80,
+                subsampling: Subsampling::S422,
+                restart_interval: 2,
+            },
+        )
+        .unwrap();
+        let mut prep = Prepared::new(&jpeg).unwrap();
+        // Remove the AC tables so every segment fails to decode.
+        prep.parsed.ac_specs = [None, None, None, None];
+        assert!(decode_entropy_parallel(&prep, 4).is_err());
     }
 
     #[test]

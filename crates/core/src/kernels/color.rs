@@ -58,12 +58,17 @@ impl ColorKernel {
 
     /// Work-groups needed.
     pub fn num_groups(&self) -> usize {
-        let rows = if self.block_order { self.rows.div_ceil(8) * 8 } else { self.rows };
+        let rows = if self.block_order {
+            self.rows.div_ceil(8) * 8
+        } else {
+            self.rows
+        };
         (self.segs_per_row() * rows).div_ceil(self.segments_per_group)
     }
 
     /// Convert one 8-pixel segment; shared with the merged kernels.
     #[inline]
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn convert_segment(
         it: &mut ItemCtx<'_, '_>,
         rgb: BufId,
@@ -114,7 +119,12 @@ impl Kernel for ColorKernel {
     fn run_group(&self, ctx: &mut GroupCtx<'_>) {
         let segs_per_row = self.segs_per_row();
         let block_rows = self.rows.div_ceil(8);
-        let total = segs_per_row * if self.block_order { block_rows * 8 } else { self.rows };
+        let total = segs_per_row
+            * if self.block_order {
+                block_rows * 8
+            } else {
+                self.rows
+            };
         let first = ctx.group_id * self.segments_per_group;
         let rows = self.rows;
         ctx.phase(|it| {

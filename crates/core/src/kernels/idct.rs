@@ -146,7 +146,11 @@ mod tests {
             &rgb,
             w as u32,
             h as u32,
-            &EncodeParams { quality: 82, subsampling: sub, restart_interval: 0 },
+            &EncodeParams {
+                quality: 82,
+                subsampling: sub,
+                restart_interval: 0,
+            },
         )
         .unwrap()
     }

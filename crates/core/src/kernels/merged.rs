@@ -107,14 +107,14 @@ impl Kernel for IdctColorKernel444 {
                 return;
             }
             let mut rows = [[0u8; 8]; 3];
-            for c in 0..3 {
+            for (c, row_out) in rows.iter_mut().enumerate() {
                 let lmem_base = (lb * 3 + c) * lstride;
                 let mut v = [0i64; 8];
                 for (k, slot) in v.iter_mut().enumerate() {
                     *slot = it.lload_i64((lmem_base + row * 8 + k) * 8);
                 }
                 it.charge(ops::IDCT_1D + ops::PACK_ROW);
-                rows[c] = idct_row(&v);
+                *row_out = idct_row(&v);
             }
             let by = bidx / wb;
             let bx = bidx % wb;
@@ -263,9 +263,15 @@ impl Kernel for UpsampleColorKernel {
             }
             it.charge(16 * ops::UPSAMPLE_OUT);
             let (cb, cr) = if odd {
-                (upsample_h2v1_odd_half(&cb_seg), upsample_h2v1_odd_half(&cr_seg))
+                (
+                    upsample_h2v1_odd_half(&cb_seg),
+                    upsample_h2v1_odd_half(&cr_seg),
+                )
             } else {
-                (upsample_h2v1_even_half(&cb_seg), upsample_h2v1_even_half(&cr_seg))
+                (
+                    upsample_h2v1_even_half(&cb_seg),
+                    upsample_h2v1_even_half(&cr_seg),
+                )
             };
 
             // Load the 8 luma samples for this half-row and convert.
@@ -300,7 +306,11 @@ mod tests {
             &rgb,
             w as u32,
             h as u32,
-            &EncodeParams { quality: 78, subsampling: sub, restart_interval: 0 },
+            &EncodeParams {
+                quality: 78,
+                subsampling: sub,
+                restart_interval: 0,
+            },
         )
         .unwrap()
     }
@@ -325,7 +335,11 @@ mod tests {
                 coef,
                 rgb,
                 layout: layout.clone(),
-                quant: [prep.quant[0].values, prep.quant[1].values, prep.quant[2].values],
+                quant: [
+                    prep.quant[0].values,
+                    prep.quant[1].values,
+                    prep.quant[2].values,
+                ],
                 blocks_per_group: 4,
             };
             sim.launch(&k, k.num_groups());
@@ -380,7 +394,11 @@ mod tests {
 
         let mut want = vec![0u8; layout.rgb_len];
         stages::decode_region_rgb(&prep, &coefbuf, 0, geom.mcus_y, &mut want).unwrap();
-        (sim.read_buffer(rgb).to_vec(), want, stats.divergent_branches)
+        (
+            sim.read_buffer(rgb).to_vec(),
+            want,
+            stats.divergent_branches,
+        )
     }
 
     #[test]

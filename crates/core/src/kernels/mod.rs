@@ -86,7 +86,10 @@ pub struct RegionLayout {
 impl RegionLayout {
     /// Compute the layout for MCU rows `[row0, row1)` of an image.
     pub fn new(geom: &Geometry, row0: usize, row1: usize) -> Self {
-        assert!(row0 < row1 && row1 <= geom.mcus_y, "invalid region {row0}..{row1}");
+        assert!(
+            row0 < row1 && row1 <= geom.mcus_y,
+            "invalid region {row0}..{row1}"
+        );
         let mut coef_base = [0usize; 3];
         let mut comp_blocks = [0usize; 3];
         let mut comp_width_blocks = [0usize; 3];

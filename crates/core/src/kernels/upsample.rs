@@ -110,7 +110,11 @@ mod tests {
             &rgb,
             w as u32,
             h as u32,
-            &EncodeParams { quality: 80, subsampling: Subsampling::S422, restart_interval: 0 },
+            &EncodeParams {
+                quality: 80,
+                subsampling: Subsampling::S422,
+                restart_interval: 0,
+            },
         )
         .unwrap();
         let prep = Prepared::new(&jpeg).unwrap();
@@ -157,6 +161,10 @@ mod tests {
 
         let out = sim.read_buffer(upsampled);
         assert_eq!(&out[..ref_cb.len()], &ref_cb[..], "Cb mismatch");
-        assert_eq!(&out[lw * lrows..lw * lrows + ref_cr.len()], &ref_cr[..], "Cr mismatch");
+        assert_eq!(
+            &out[lw * lrows..lw * lrows + ref_cr.len()],
+            &ref_cr[..],
+            "Cr mismatch"
+        );
     }
 }

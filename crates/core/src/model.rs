@@ -108,8 +108,8 @@ impl PerformanceModel {
         let mem_s_per_px = 12.0 / (platform.gpu.gmem_bandwidth_gbps * 1e9);
         let gpu_s_per_px = pcie_s_per_px + kernel_s_per_px.max(mem_s_per_px);
         let mut p_gpu = Poly2::zero(2);
-        p_gpu.coefs[0][0] = platform.pcie.latency_us * 2e-6
-            + platform.gpu.launch_overhead_us * 4e-6;
+        p_gpu.coefs[0][0] =
+            platform.pcie.latency_us * 2e-6 + platform.gpu.launch_overhead_us * 4e-6;
         p_gpu.coefs[1][1] = gpu_s_per_px;
 
         let mut t_disp = Poly2::zero(1);

@@ -33,11 +33,19 @@ pub fn newton_solve(
     let fhi = f(hi);
     if flo >= 0.0 && fhi >= 0.0 {
         let x = if flo.abs() <= fhi.abs() { lo } else { hi };
-        return NewtonResult { x, iterations: 0, residual: f(x).abs() };
+        return NewtonResult {
+            x,
+            iterations: 0,
+            residual: f(x).abs(),
+        };
     }
     if flo <= 0.0 && fhi <= 0.0 {
         let x = if flo.abs() <= fhi.abs() { lo } else { hi };
-        return NewtonResult { x, iterations: 0, residual: f(x).abs() };
+        return NewtonResult {
+            x,
+            iterations: 0,
+            residual: f(x).abs(),
+        };
     }
 
     let mut x = x0.clamp(lo, hi);
@@ -45,7 +53,11 @@ pub fn newton_solve(
     for it in 0..max_iter {
         let fx = f(x);
         if fx == 0.0 {
-            return NewtonResult { x, iterations: it, residual: 0.0 };
+            return NewtonResult {
+                x,
+                iterations: it,
+                residual: 0.0,
+            };
         }
         // Maintain the bracket (f(blo) < 0 <= f(bhi) given monotone-ish f).
         if (fx < 0.0) == (flo < 0.0) {
@@ -54,16 +66,28 @@ pub fn newton_solve(
             bhi = x;
         }
         let d = df(x);
-        let mut next = if d.abs() > 1e-30 { x - fx / d } else { f64::NAN };
+        let mut next = if d.abs() > 1e-30 {
+            x - fx / d
+        } else {
+            f64::NAN
+        };
         if !next.is_finite() || next < blo || next > bhi {
             next = 0.5 * (blo + bhi); // bisection fallback
         }
         if (next - x).abs() < tol_x {
-            return NewtonResult { x: next, iterations: it + 1, residual: f(next).abs() };
+            return NewtonResult {
+                x: next,
+                iterations: it + 1,
+                residual: f(next).abs(),
+            };
         }
         x = next;
     }
-    NewtonResult { x, iterations: max_iter, residual: f(x).abs() }
+    NewtonResult {
+        x,
+        iterations: max_iter,
+        residual: f(x).abs(),
+    }
 }
 
 #[cfg(test)]

@@ -31,12 +31,9 @@ pub fn initial_partition(
     // THuff of all rows after the first chunk: the CPU keeps Huffman-decoding
     // while the GPU works, so only the first chunk's latency is exposed.
     let huff_rest = model.huff_time(w * (h - c), d);
-    let f = |x: f64| {
-        huff_rest + model.p_cpu(w, x) + model.t_disp(w, h - x) - model.p_gpu(w, h - x)
-    };
+    let f = |x: f64| huff_rest + model.p_cpu(w, x) + model.t_disp(w, h - x) - model.p_gpu(w, h - x);
     let df = |x: f64| {
-        model.p_cpu.eval_dy(w, x) - model.t_disp.eval_dy(w, h - x)
-            + model.p_gpu.eval_dy(w, h - x)
+        model.p_cpu.eval_dy(w, x) - model.t_disp.eval_dy(w, h - x) + model.p_gpu.eval_dy(w, h - x)
     };
     let r = newton_solve(f, df, h / 2.0, 0.0, h, 0.5, 30);
     let cpu = huff_rest + model.p_cpu(w, r.x) + model.t_disp(w, h - r.x);
@@ -80,9 +77,7 @@ pub fn repartition(
 ) -> Partition {
     let w = geom.width as f64;
     let f = |x: f64| {
-        model.huff_time(w * h_left, d_new)
-            + model.p_cpu(w, x)
-            + model.t_disp(w, h_left - x)
+        model.huff_time(w * h_left, d_new) + model.p_cpu(w, x) + model.t_disp(w, h_left - x)
             - model.p_gpu(w, h_left - x)
             - prev_gpu_backlog
     };

@@ -18,12 +18,9 @@ use hetjpeg_jpeg::geometry::Geometry;
 pub fn partition(model: &PerformanceModel, geom: &Geometry) -> Partition {
     let w = geom.width as f64;
     let h = geom.height as f64;
-    let f = |x: f64| {
-        model.t_disp(w, h - x) + model.p_cpu(w, x) - model.p_gpu(w, h - x)
-    };
+    let f = |x: f64| model.t_disp(w, h - x) + model.p_cpu(w, x) - model.p_gpu(w, h - x);
     let df = |x: f64| {
-        -model.t_disp.eval_dy(w, h - x) + model.p_cpu.eval_dy(w, x)
-            + model.p_gpu.eval_dy(w, h - x)
+        -model.t_disp.eval_dy(w, h - x) + model.p_cpu.eval_dy(w, x) + model.p_gpu.eval_dy(w, h - x)
     };
     let r = newton_solve(f, df, h / 2.0, 0.0, h, 0.5, 30);
     let cpu = model.t_disp(w, h - r.x) + model.p_cpu(w, r.x);
@@ -54,7 +51,11 @@ mod tests {
             p.cpu_mcu_rows
         );
         // Balanced prediction.
-        assert!(p.predicted_imbalance() < 0.15, "imbalance {}", p.predicted_imbalance());
+        assert!(
+            p.predicted_imbalance() < 0.15,
+            "imbalance {}",
+            p.predicted_imbalance()
+        );
     }
 
     #[test]
@@ -94,9 +95,12 @@ mod tests {
         let p = partition(&model, &g);
         let (w, h) = (1920.0, 1080.0);
         let makespan = p.predicted_cpu.max(p.predicted_gpu);
-        let naive = (model.t_disp(w, h / 2.0) + model.p_cpu(w, h / 2.0))
-            .max(model.p_gpu(w, h / 2.0));
-        assert!(makespan <= naive + 1e-12, "newton {makespan} vs naive {naive}");
+        let naive =
+            (model.t_disp(w, h / 2.0) + model.p_cpu(w, h / 2.0)).max(model.p_gpu(w, h / 2.0));
+        assert!(
+            makespan <= naive + 1e-12,
+            "newton {makespan} vs naive {naive}"
+        );
     }
 
     #[test]

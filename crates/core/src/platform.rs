@@ -31,7 +31,11 @@ impl Platform {
             gpu: DeviceSpec::gt430(),
             // The paper observed distinctly slower transfers on this
             // machine ("a 27% slower data transfer", §6.1).
-            pcie: PcieModel { latency_us: 12.0, pinned_gbps: 3.5, pageable_gbps: 1.8 },
+            pcie: PcieModel {
+                latency_us: 12.0,
+                pinned_gbps: 3.5,
+                pageable_gbps: 1.8,
+            },
         }
     }
 
@@ -51,7 +55,11 @@ impl Platform {
             name: "GTX 680",
             cpu: CpuCostModel::i7_3770k(),
             gpu: DeviceSpec::gtx680(),
-            pcie: PcieModel { latency_us: 8.0, pinned_gbps: 11.0, pageable_gbps: 5.5 },
+            pcie: PcieModel {
+                latency_us: 8.0,
+                pinned_gbps: 11.0,
+                pageable_gbps: 5.5,
+            },
         }
     }
 

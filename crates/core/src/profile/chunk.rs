@@ -78,7 +78,11 @@ mod tests {
             &rgb,
             128,
             256,
-            &EncodeParams { quality: 85, subsampling: Subsampling::S422, restart_interval: 0 },
+            &EncodeParams {
+                quality: 85,
+                subsampling: Subsampling::S422,
+                restart_interval: 0,
+            },
         )
         .unwrap();
         let platform = Platform::gtx560();
@@ -90,7 +94,10 @@ mod tests {
         let time_with = |c: usize| {
             let mut m = model.clone();
             m.chunk_mcu_rows = c;
-            decode_pipelined_gpu(&prep, &platform, &m).unwrap().times.total
+            decode_pipelined_gpu(&prep, &platform, &m)
+                .unwrap()
+                .times
+                .total
         };
         assert!(time_with(chunk) <= time_with(prep.geom.mcus_y) + 1e-12);
     }

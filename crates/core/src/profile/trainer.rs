@@ -27,7 +27,11 @@ pub struct TrainOptions {
 
 impl Default for TrainOptions {
     fn default() -> Self {
-        TrainOptions { max_degree: 7, wg_blocks: None, chunk_mcu_rows: None }
+        TrainOptions {
+            max_degree: 7,
+            wg_blocks: None,
+            chunk_mcu_rows: None,
+        }
     }
 }
 
@@ -47,11 +51,14 @@ pub fn train(
     let largest = images
         .iter()
         .max_by_key(|img| {
-            Prepared::new(img.as_ref()).map(|p| p.geom.pixels()).unwrap_or(0)
+            Prepared::new(img.as_ref())
+                .map(|p| p.geom.pixels())
+                .unwrap_or(0)
         })
         .expect("non-empty");
-    let wg_blocks =
-        opts.wg_blocks.unwrap_or_else(|| tune_wg_blocks(platform, largest.as_ref()));
+    let wg_blocks = opts
+        .wg_blocks
+        .unwrap_or_else(|| tune_wg_blocks(platform, largest.as_ref()));
 
     let mut density_samples = Vec::with_capacity(images.len());
     let mut huff_rate_samples = Vec::with_capacity(images.len());
@@ -81,8 +88,15 @@ pub fn train(
         pcpu_samples.push(t_cpu);
 
         // Parallel phase on the GPU: transfers + kernels (Eq. 7).
-        let res =
-            decode_region_gpu(&prep, &coef, 0, geom.mcus_y, platform, wg_blocks, KernelPlan::Merged);
+        let res = decode_region_gpu(
+            &prep,
+            &coef,
+            0,
+            geom.mcus_y,
+            platform,
+            wg_blocks,
+            KernelPlan::Merged,
+        );
         pgpu_samples.push(res.device_total());
 
         // Dispatch overhead.
@@ -93,8 +107,10 @@ pub fn train(
     // coarse size grid many samples share (w, h), so cap the degree by the
     // number of *distinct* sizes or the fit interpolates the grid and
     // mispredicts between its points.
-    let mut distinct: Vec<(u64, u64)> =
-        size_samples.iter().map(|&(w, h)| (w as u64, h as u64)).collect();
+    let mut distinct: Vec<(u64, u64)> = size_samples
+        .iter()
+        .map(|&(w, h)| (w as u64, h as u64))
+        .collect();
     distinct.sort_unstable();
     distinct.dedup();
     let mut size_degree_cap = 1;
@@ -156,7 +172,11 @@ mod tests {
         let model = train(
             &platform,
             &corpus,
-            TrainOptions { max_degree: 4, wg_blocks: Some(8), chunk_mcu_rows: Some(8) },
+            TrainOptions {
+                max_degree: 4,
+                wg_blocks: Some(8),
+                chunk_mcu_rows: Some(8),
+            },
         );
         assert_eq!(model.subsampling, Subsampling::S422);
 
@@ -182,7 +202,11 @@ mod tests {
         let model = train(
             &platform,
             &corpus,
-            TrainOptions { max_degree: 3, wg_blocks: Some(8), chunk_mcu_rows: Some(8) },
+            TrainOptions {
+                max_degree: 3,
+                wg_blocks: Some(8),
+                chunk_mcu_rows: Some(8),
+            },
         );
         let a = model.p_gpu(128.0, 128.0);
         let b = model.p_gpu(256.0, 256.0);

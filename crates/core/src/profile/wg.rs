@@ -19,8 +19,15 @@ pub fn tune_wg_blocks(platform: &Platform, profiling_jpeg: &[u8]) -> usize {
     let (coef, _) = prep.entropy_decode_all().expect("profiling image decodes");
     let mut best = (f64::INFINITY, WG_CANDIDATES[0]);
     for &wg in &WG_CANDIDATES {
-        let res =
-            decode_region_gpu(&prep, &coef, 0, prep.geom.mcus_y, platform, wg, KernelPlan::Merged);
+        let res = decode_region_gpu(
+            &prep,
+            &coef,
+            0,
+            prep.geom.mcus_y,
+            platform,
+            wg,
+            KernelPlan::Merged,
+        );
         let t = res.kernels_total();
         if t < best.0 {
             best = (t, wg);
@@ -45,7 +52,11 @@ mod tests {
             &rgb,
             128,
             128,
-            &EncodeParams { quality: 85, subsampling: Subsampling::S422, restart_interval: 0 },
+            &EncodeParams {
+                quality: 85,
+                subsampling: Subsampling::S422,
+                restart_interval: 0,
+            },
         )
         .unwrap();
         let wg = tune_wg_blocks(&Platform::gtx560(), &jpeg);

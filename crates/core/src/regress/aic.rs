@@ -54,7 +54,10 @@ pub fn fit_poly1_aic(xs: &[f64], ys: &[f64], max_degree: usize) -> (Poly1, f64) 
         }
         let (coefs, rss) = lstsq(&a, ys);
         let score = aic_score_floored(xs.len(), rss, cols, floor);
-        let poly = Poly1 { coefs, x_scale: scale };
+        let poly = Poly1 {
+            coefs,
+            x_scale: scale,
+        };
         if best.as_ref().map(|(s, _, _)| score < *s).unwrap_or(true) {
             best = Some((score, poly, rss));
         }
@@ -68,8 +71,14 @@ pub fn fit_poly1_aic(xs: &[f64], ys: &[f64], max_degree: usize) -> (Poly1, f64) 
 pub fn fit_poly2_aic(xys: &[(f64, f64)], zs: &[f64], max_degree: usize) -> (Poly2, f64) {
     assert_eq!(xys.len(), zs.len());
     assert!(!xys.is_empty());
-    let x_scale = xys.iter().fold(0.0f64, |a, &(x, _)| a.max(x.abs())).max(1e-12);
-    let y_scale = xys.iter().fold(0.0f64, |a, &(_, y)| a.max(y.abs())).max(1e-12);
+    let x_scale = xys
+        .iter()
+        .fold(0.0f64, |a, &(x, _)| a.max(x.abs()))
+        .max(1e-12);
+    let y_scale = xys
+        .iter()
+        .fold(0.0f64, |a, &(_, y)| a.max(y.abs()))
+        .max(1e-12);
     let floor = rss_floor_for(zs);
     let mut best: Option<(f64, Poly2, f64)> = None;
     for degree in 1..=max_degree {
@@ -121,7 +130,10 @@ mod tests {
     #[test]
     fn cubic_data_needs_degree_three() {
         let xs: Vec<f64> = (0..100).map(|i| i as f64 / 10.0).collect();
-        let ys: Vec<f64> = xs.iter().map(|&x| 1.0 + x - 0.3 * x * x + 0.05 * x * x * x).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|&x| 1.0 + x - 0.3 * x * x + 0.05 * x * x * x)
+            .collect();
         let (poly, _) = fit_poly1_aic(&xs, &ys, 7);
         assert!(poly.degree() >= 3);
         for &x in &[0.5, 3.3, 8.8] {
@@ -167,10 +179,16 @@ mod tests {
     fn noisy_data_does_not_explode_to_max_degree() {
         // Linear + deterministic pseudo-noise: AIC should resist degree 7.
         let xs: Vec<f64> = (0..300).map(|i| i as f64).collect();
-        let ys: Vec<f64> =
-            xs.iter().map(|&x| 5.0 + 2.0 * x + ((x * 997.0).sin()) * 0.5).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|&x| 5.0 + 2.0 * x + ((x * 997.0).sin()) * 0.5)
+            .collect();
         let (poly, _) = fit_poly1_aic(&xs, &ys, 7);
-        assert!(poly.degree() <= 5, "noise chased to degree {}", poly.degree());
+        assert!(
+            poly.degree() <= 5,
+            "noise chased to degree {}",
+            poly.degree()
+        );
         assert!((poly.eval(150.0) - (5.0 + 300.0)).abs() < 1.0);
     }
 }

@@ -19,7 +19,11 @@ pub struct Matrix {
 impl Matrix {
     /// Zeroed matrix.
     pub fn zeros(m: usize, n: usize) -> Self {
-        Matrix { m, n, data: vec![0.0; m * n] }
+        Matrix {
+            m,
+            n,
+            data: vec![0.0; m * n],
+        }
     }
 
     /// Element accessor.
@@ -98,8 +102,8 @@ pub fn lstsq(a: &Matrix, b: &[f64]) -> (Vec<f64>, f64) {
     let mut x = vec![0.0; n];
     for k in (0..n).rev() {
         let mut acc = y[k];
-        for j in k + 1..n {
-            acc -= r.at(k, j) * x[j];
+        for (j, &xj) in x.iter().enumerate().skip(k + 1) {
+            acc -= r.at(k, j) * xj;
         }
         let diag = r.at(k, k);
         x[k] = if diag.abs() < 1e-300 { 0.0 } else { acc / diag };
@@ -179,12 +183,12 @@ mod tests {
         let n = 40;
         let mut a = Matrix::zeros(n, 3);
         let mut b = vec![0.0; n];
-        for i in 0..n {
+        for (i, bi) in b.iter_mut().enumerate() {
             let t = i as f64 / 4.0;
             *a.at_mut(i, 0) = 1.0;
             *a.at_mut(i, 1) = t;
             *a.at_mut(i, 2) = t * t;
-            b[i] = 1.0 - 0.5 * t + 0.25 * t * t + 0.01 * ((i * 37 % 7) as f64 - 3.0);
+            *bi = 1.0 - 0.5 * t + 0.25 * t * t + 0.01 * ((i * 37 % 7) as f64 - 3.0);
         }
         let (x, _) = lstsq(&a, &b);
         assert!((x[0] - 1.0).abs() < 0.05);

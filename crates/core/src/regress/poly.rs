@@ -14,7 +14,10 @@ pub struct Poly1 {
 impl Poly1 {
     /// Construct with unit scale.
     pub fn new(coefs: Vec<f64>) -> Self {
-        Poly1 { coefs, x_scale: 1.0 }
+        Poly1 {
+            coefs,
+            x_scale: 1.0,
+        }
     }
 
     /// Degree of the polynomial.
@@ -62,7 +65,10 @@ impl Poly1 {
         if coefs.is_empty() {
             coefs.push(0.0);
         }
-        Poly1 { coefs, x_scale: self.x_scale }
+        Poly1 {
+            coefs,
+            x_scale: self.x_scale,
+        }
     }
 }
 
@@ -178,7 +184,10 @@ mod tests {
 
     #[test]
     fn poly1_horner_equals_naive() {
-        let p = Poly1 { coefs: vec![2.0, -1.0, 0.5, 3.0], x_scale: 2.0 };
+        let p = Poly1 {
+            coefs: vec![2.0, -1.0, 0.5, 3.0],
+            x_scale: 2.0,
+        };
         for &x in &[-3.0, -0.5, 0.0, 1.0, 7.25] {
             assert!((p.eval(x) - p.eval_naive(x)).abs() < 1e-12);
         }
@@ -193,12 +202,19 @@ mod tests {
 
     #[test]
     fn poly1_derivative_matches_finite_difference() {
-        let p = Poly1 { coefs: vec![0.3, -2.0, 1.5, 0.7], x_scale: 3.0 };
+        let p = Poly1 {
+            coefs: vec![0.3, -2.0, 1.5, 0.7],
+            x_scale: 3.0,
+        };
         let d = p.derivative();
         for &x in &[-1.0, 0.0, 2.0, 5.0] {
             let h = 1e-6;
             let fd = (p.eval(x + h) - p.eval(x - h)) / (2.0 * h);
-            assert!((d.eval(x) - fd).abs() < 1e-5, "x={x}: {} vs {fd}", d.eval(x));
+            assert!(
+                (d.eval(x) - fd).abs() < 1e-5,
+                "x={x}: {} vs {fd}",
+                d.eval(x)
+            );
         }
     }
 
@@ -238,7 +254,9 @@ mod tests {
     #[test]
     fn poly2_dy_matches_finite_difference() {
         let mons = Poly2::monomials(4);
-        let flat: Vec<f64> = (0..mons.len()).map(|i| ((i * 7 % 11) as f64 - 5.0) * 0.1).collect();
+        let flat: Vec<f64> = (0..mons.len())
+            .map(|i| ((i * 7 % 11) as f64 - 5.0) * 0.1)
+            .collect();
         let p = Poly2::from_flat(4, &flat, 2.0, 30.0);
         for &(x, y) in &[(1.0, 10.0), (3.0, -20.0), (0.5, 45.0)] {
             let h = 1e-5;

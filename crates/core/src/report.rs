@@ -37,7 +37,12 @@ pub struct Stats {
 pub fn stats(values: &[f64]) -> Stats {
     let n = values.len();
     if n == 0 {
-        return Stats { mean: 0.0, std: 0.0, cv_percent: 0.0, n: 0 };
+        return Stats {
+            mean: 0.0,
+            std: 0.0,
+            cv_percent: 0.0,
+            n: 0,
+        };
     }
     let mean = values.iter().sum::<f64>() / n as f64;
     let var = if n > 1 {
@@ -46,8 +51,17 @@ pub fn stats(values: &[f64]) -> Stats {
         0.0
     };
     let std = var.sqrt();
-    let cv = if mean.abs() > 0.0 { 100.0 * std / mean } else { 0.0 };
-    Stats { mean, std, cv_percent: cv, n }
+    let cv = if mean.abs() > 0.0 {
+        100.0 * std / mean
+    } else {
+        0.0
+    };
+    Stats {
+        mean,
+        std,
+        cv_percent: cv,
+        n,
+    }
 }
 
 #[cfg(test)]

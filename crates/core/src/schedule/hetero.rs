@@ -27,7 +27,10 @@ pub fn decode_sps(
     let mut trace = Trace::default();
     trace.push("huffman", Resource::Cpu, 0.0, t_huff);
     let mut image = RgbImage::new(geom.width, geom.height);
-    let mut b = Breakdown { huffman: t_huff, ..Default::default() };
+    let mut b = Breakdown {
+        huffman: t_huff,
+        ..Default::default()
+    };
     let mut q = CommandQueue::new();
     let mut cpu_now = t_huff;
 
@@ -38,8 +41,15 @@ pub fn decode_sps(
         cpu_now += t_disp;
         b.dispatch = t_disp;
 
-        let res =
-            decode_region_gpu(prep, &coef, 0, g_rows, platform, model.wg_blocks, KernelPlan::Merged);
+        let res = decode_region_gpu(
+            prep,
+            &coef,
+            0,
+            g_rows,
+            platform,
+            model.wg_blocks,
+            KernelPlan::Merged,
+        );
         let h2d = q.enqueue("h2d", cpu_now, res.h2d_time);
         trace.push("h2d", Resource::Gpu, h2d.start, h2d.end);
         b.h2d = res.h2d_time;
@@ -68,7 +78,13 @@ pub fn decode_sps(
     }
 
     b.total = cpu_now.max(q.drain_time());
-    Ok(DecodeOutcome { image, times: b, trace, partition: Some(part), mode: Mode::Sps })
+    Ok(DecodeOutcome {
+        image,
+        times: b,
+        trace,
+        partition: Some(part),
+        mode: Mode::Sps,
+    })
 }
 
 /// PPS: the GPU share is entropy-decoded in chunks and dispatched
@@ -116,20 +132,27 @@ pub fn decode_pps_with(
     let mut repartitioned = false;
 
     let enqueue_gpu_chunk = |prep: &Prepared<'_>,
-                                 coef: &hetjpeg_jpeg::coef::CoefBuffer,
-                                 row0: usize,
-                                 row1: usize,
-                                 cpu_now: &mut f64,
-                                 trace: &mut Trace,
-                                 q: &mut CommandQueue,
-                                 b: &mut Breakdown,
-                                 image: &mut RgbImage| {
+                             coef: &hetjpeg_jpeg::coef::CoefBuffer,
+                             row0: usize,
+                             row1: usize,
+                             cpu_now: &mut f64,
+                             trace: &mut Trace,
+                             q: &mut CommandQueue,
+                             b: &mut Breakdown,
+                             image: &mut RgbImage| {
         let t_disp = platform.cpu.dispatch_time(geom, row0, row1);
         trace.push("dispatch", Resource::Cpu, *cpu_now, *cpu_now + t_disp);
         *cpu_now += t_disp;
         b.dispatch += t_disp;
-        let res =
-            decode_region_gpu(prep, coef, row0, row1, platform, model.wg_blocks, KernelPlan::Merged);
+        let res = decode_region_gpu(
+            prep,
+            coef,
+            row0,
+            row1,
+            platform,
+            model.wg_blocks,
+            KernelPlan::Merged,
+        );
         let h2d = q.enqueue("h2d", *cpu_now, res.h2d_time);
         trace.push("h2d", Resource::Gpu, h2d.start, h2d.end);
         b.h2d += res.h2d_time;
@@ -174,7 +197,17 @@ pub fn decode_pps_with(
         }
         b.huffman += cpu_now - huff_start;
         trace.push("huffman", Resource::Cpu, huff_start, cpu_now);
-        enqueue_gpu_chunk(prep, &coef, row, end, &mut cpu_now, &mut trace, &mut q, &mut b, &mut image);
+        enqueue_gpu_chunk(
+            prep,
+            &coef,
+            row,
+            end,
+            &mut cpu_now,
+            &mut trace,
+            &mut q,
+            &mut b,
+            &mut image,
+        );
         row = end;
     }
 
@@ -207,7 +240,13 @@ pub fn decode_pps_with(
         predicted_cpu: init.predicted_cpu,
         predicted_gpu: init.predicted_gpu,
     };
-    Ok(DecodeOutcome { image, times: b, trace, partition: Some(part), mode: Mode::Pps })
+    Ok(DecodeOutcome {
+        image,
+        times: b,
+        trace,
+        partition: Some(part),
+        mode: Mode::Pps,
+    })
 }
 
 #[cfg(test)]
@@ -224,17 +263,17 @@ mod tests {
             s = s.wrapping_mul(1664525).wrapping_add(1013904223);
             let noise = (s >> 24) as u8;
             let base = ((i * 3) % 256) as u8;
-            rgb.extend_from_slice(&[
-                base.wrapping_add(noise / 4),
-                base,
-                noise,
-            ]);
+            rgb.extend_from_slice(&[base.wrapping_add(noise / 4), base, noise]);
         }
         encode_rgb(
             &rgb,
             w as u32,
             h as u32,
-            &EncodeParams { quality: 85, subsampling: Subsampling::S422, restart_interval: 0 },
+            &EncodeParams {
+                quality: 85,
+                subsampling: Subsampling::S422,
+                restart_interval: 0,
+            },
         )
         .unwrap()
     }
@@ -331,7 +370,10 @@ mod tests {
         let spec = ImageSpec {
             width: 384,
             height: 512,
-            pattern: Pattern::DetailRamp { top: 0.05, bottom: 0.95 },
+            pattern: Pattern::DetailRamp {
+                top: 0.05,
+                bottom: 0.95,
+            },
             seed: 11,
         };
         let jpeg = generate_jpeg(&spec, 85, Subsampling::S422).unwrap();
@@ -362,14 +404,31 @@ mod tests {
         let model = platform.untrained_model();
         let prep = Prepared::new(&jpeg).unwrap();
         let totals: Vec<(Mode, f64)> = vec![
-            (Mode::Simd, single::decode_cpu(&prep, &platform, true).unwrap().total()),
-            (Mode::Gpu, single::decode_gpu(&prep, &platform, &model).unwrap().total()),
-            (Mode::Sps, decode_sps(&prep, &platform, &model).unwrap().total()),
-            (Mode::Pps, decode_pps(&prep, &platform, &model).unwrap().total()),
+            (
+                Mode::Simd,
+                single::decode_cpu(&prep, &platform, true).unwrap().total(),
+            ),
+            (
+                Mode::Gpu,
+                single::decode_gpu(&prep, &platform, &model)
+                    .unwrap()
+                    .total(),
+            ),
+            (
+                Mode::Sps,
+                decode_sps(&prep, &platform, &model).unwrap().total(),
+            ),
+            (
+                Mode::Pps,
+                decode_pps(&prep, &platform, &model).unwrap().total(),
+            ),
         ];
         let pps_total = totals.last().unwrap().1;
         for &(m, t) in &totals[..totals.len() - 1] {
-            assert!(pps_total <= t * 1.02, "PPS {pps_total} should beat {m:?} {t}");
+            assert!(
+                pps_total <= t * 1.02,
+                "PPS {pps_total} should beat {m:?} {t}"
+            );
         }
     }
 }

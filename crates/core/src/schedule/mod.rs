@@ -39,7 +39,14 @@ pub enum Mode {
 impl Mode {
     /// All modes in the paper's presentation order.
     pub fn all() -> [Mode; 6] {
-        [Mode::Sequential, Mode::Simd, Mode::Gpu, Mode::PipelinedGpu, Mode::Sps, Mode::Pps]
+        [
+            Mode::Sequential,
+            Mode::Simd,
+            Mode::Gpu,
+            Mode::PipelinedGpu,
+            Mode::Sps,
+            Mode::Pps,
+        ]
     }
 
     /// Display name.
@@ -122,6 +129,9 @@ mod tests {
     #[test]
     fn mode_names_and_order() {
         let names: Vec<&str> = Mode::all().iter().map(|m| m.name()).collect();
-        assert_eq!(names, vec!["sequential", "SIMD", "GPU", "pipeline", "SPS", "PPS"]);
+        assert_eq!(
+            names,
+            vec!["sequential", "SIMD", "GPU", "pipeline", "SPS", "PPS"]
+        );
     }
 }

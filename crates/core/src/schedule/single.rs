@@ -48,7 +48,11 @@ pub fn decode_cpu(
         },
         trace,
         partition: None,
-        mode: if use_simd { Mode::Simd } else { Mode::Sequential },
+        mode: if use_simd {
+            Mode::Simd
+        } else {
+            Mode::Sequential
+        },
     })
 }
 
@@ -63,8 +67,15 @@ pub fn decode_gpu(
     let (coef, _rows, t_huff) = entropy_with_times(prep, platform)?;
     let t_disp = platform.cpu.dispatch_time(geom, 0, geom.mcus_y);
 
-    let res =
-        decode_region_gpu(prep, &coef, 0, geom.mcus_y, platform, model.wg_blocks, KernelPlan::Merged);
+    let res = decode_region_gpu(
+        prep,
+        &coef,
+        0,
+        geom.mcus_y,
+        platform,
+        model.wg_blocks,
+        KernelPlan::Merged,
+    );
 
     let mut trace = Trace::default();
     trace.push("huffman", Resource::Cpu, 0.0, t_huff);
@@ -138,8 +149,15 @@ pub fn decode_pipelined_gpu(
         cpu_now += t_disp;
         b.dispatch += t_disp;
 
-        let res =
-            decode_region_gpu(prep, &coef, row, end, platform, model.wg_blocks, KernelPlan::Merged);
+        let res = decode_region_gpu(
+            prep,
+            &coef,
+            row,
+            end,
+            platform,
+            model.wg_blocks,
+            KernelPlan::Merged,
+        );
         let h2d = q.enqueue("h2d", cpu_now, res.h2d_time);
         trace.push("h2d", Resource::Gpu, h2d.start, h2d.end);
         b.h2d += res.h2d_time;
@@ -159,7 +177,13 @@ pub fn decode_pipelined_gpu(
     }
 
     b.total = cpu_now.max(q.drain_time());
-    Ok(DecodeOutcome { image, times: b, trace, partition: None, mode: Mode::PipelinedGpu })
+    Ok(DecodeOutcome {
+        image,
+        times: b,
+        trace,
+        partition: None,
+        mode: Mode::PipelinedGpu,
+    })
 }
 
 #[cfg(test)]
@@ -177,7 +201,11 @@ mod tests {
             &rgb,
             w as u32,
             h as u32,
-            &EncodeParams { quality: 84, subsampling: Subsampling::S422, restart_interval: 0 },
+            &EncodeParams {
+                quality: 84,
+                subsampling: Subsampling::S422,
+                restart_interval: 0,
+            },
         )
         .unwrap()
     }

@@ -45,7 +45,12 @@ impl Trace {
     /// Append a span and return its end time.
     pub fn push(&mut self, label: &'static str, resource: Resource, start: f64, end: f64) -> f64 {
         debug_assert!(end >= start, "span {label} ends before it starts");
-        self.spans.push(Span { label, resource, start, end });
+        self.spans.push(Span {
+            label,
+            resource,
+            start,
+            end,
+        });
         end
     }
 
@@ -56,12 +61,20 @@ impl Trace {
 
     /// Total busy time of one resource.
     pub fn busy(&self, r: Resource) -> f64 {
-        self.spans.iter().filter(|s| s.resource == r).map(Span::duration).sum()
+        self.spans
+            .iter()
+            .filter(|s| s.resource == r)
+            .map(Span::duration)
+            .sum()
     }
 
     /// Sum of durations for all spans with a label.
     pub fn stage_total(&self, label: &str) -> f64 {
-        self.spans.iter().filter(|s| s.label == label).map(Span::duration).sum()
+        self.spans
+            .iter()
+            .filter(|s| s.label == label)
+            .map(Span::duration)
+            .sum()
     }
 
     /// Render an ASCII timeline (for examples and debugging), mimicking the
@@ -69,14 +82,26 @@ impl Trace {
     pub fn ascii(&self) -> String {
         let mut out = String::new();
         let t_end = self.makespan().max(1e-9);
-        out.push_str(&format!("{:<14} {:>9} {:>9}  timeline (makespan {:.3} ms)\n", "stage", "start", "end", t_end * 1e3));
+        out.push_str(&format!(
+            "{:<14} {:>9} {:>9}  timeline (makespan {:.3} ms)\n",
+            "stage",
+            "start",
+            "end",
+            t_end * 1e3
+        ));
         for s in &self.spans {
             let width = 44usize;
             let a = ((s.start / t_end) * width as f64) as usize;
-            let b = (((s.end / t_end) * width as f64) as usize).max(a + 1).min(width);
+            let b = (((s.end / t_end) * width as f64) as usize)
+                .max(a + 1)
+                .min(width);
             let mut bar = vec![' '; width];
             for c in bar.iter_mut().take(b).skip(a) {
-                *c = if s.resource == Resource::Cpu { '#' } else { '=' };
+                *c = if s.resource == Resource::Cpu {
+                    '#'
+                } else {
+                    '='
+                };
             }
             out.push_str(&format!(
                 "{:<14} {:>8.3}m {:>8.3}m |{}|\n",

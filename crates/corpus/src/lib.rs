@@ -33,7 +33,11 @@ pub fn generate_jpeg(
         &rgb,
         spec.width as u32,
         spec.height as u32,
-        &EncodeParams { quality, subsampling, restart_interval: 0 },
+        &EncodeParams {
+            quality,
+            subsampling,
+            restart_interval: 0,
+        },
     )
 }
 
@@ -52,14 +56,28 @@ mod tests {
     #[test]
     fn density_increases_with_detail() {
         let mk = |pattern| {
-            let spec = ImageSpec { width: 128, height: 128, pattern, seed: 42 };
+            let spec = ImageSpec {
+                width: 128,
+                height: 128,
+                pattern,
+                seed: 42,
+            };
             entropy_density(&generate_jpeg(&spec, 85, Subsampling::S422).unwrap())
         };
         let smooth = mk(Pattern::Gradient);
-        let medium = mk(Pattern::ValueNoise { octaves: 4, detail: 0.5 });
+        let medium = mk(Pattern::ValueNoise {
+            octaves: 4,
+            detail: 0.5,
+        });
         let noisy = mk(Pattern::WhiteNoise { amount: 1.0 });
-        assert!(smooth < medium, "gradient {smooth:.3} vs value-noise {medium:.3}");
-        assert!(medium < noisy, "value-noise {medium:.3} vs white-noise {noisy:.3}");
+        assert!(
+            smooth < medium,
+            "gradient {smooth:.3} vs value-noise {medium:.3}"
+        );
+        assert!(
+            medium < noisy,
+            "value-noise {medium:.3} vs white-noise {noisy:.3}"
+        );
     }
 
     #[test]
@@ -68,7 +86,12 @@ mod tests {
         // to reach both tails.
         let lo = entropy_density(
             &generate_jpeg(
-                &ImageSpec { width: 256, height: 256, pattern: Pattern::Gradient, seed: 1 },
+                &ImageSpec {
+                    width: 256,
+                    height: 256,
+                    pattern: Pattern::Gradient,
+                    seed: 1,
+                },
                 60,
                 Subsampling::S420,
             )

@@ -62,9 +62,27 @@ fn training_patterns() -> Vec<(Pattern, u64)> {
     vec![
         (Pattern::Gradient, 101),
         (Pattern::SmoothField, 102),
-        (Pattern::ValueNoise { octaves: 3, detail: 0.3 }, 103),
-        (Pattern::ValueNoise { octaves: 5, detail: 0.55 }, 104),
-        (Pattern::ValueNoise { octaves: 7, detail: 0.8 }, 105),
+        (
+            Pattern::ValueNoise {
+                octaves: 3,
+                detail: 0.3,
+            },
+            103,
+        ),
+        (
+            Pattern::ValueNoise {
+                octaves: 5,
+                detail: 0.55,
+            },
+            104,
+        ),
+        (
+            Pattern::ValueNoise {
+                octaves: 7,
+                detail: 0.8,
+            },
+            105,
+        ),
         (Pattern::WhiteNoise { amount: 0.25 }, 106),
         (Pattern::WhiteNoise { amount: 0.7 }, 107),
         (Pattern::PhotoLike { detail: 0.4 }, 108),
@@ -79,8 +97,20 @@ fn test_patterns() -> Vec<(Pattern, u64)> {
     vec![
         (Pattern::Gradient, 201),
         (Pattern::SmoothField, 202),
-        (Pattern::ValueNoise { octaves: 4, detail: 0.45 }, 203),
-        (Pattern::ValueNoise { octaves: 6, detail: 0.7 }, 204),
+        (
+            Pattern::ValueNoise {
+                octaves: 4,
+                detail: 0.45,
+            },
+            203,
+        ),
+        (
+            Pattern::ValueNoise {
+                octaves: 6,
+                detail: 0.7,
+            },
+            204,
+        ),
         (Pattern::WhiteNoise { amount: 0.45 }, 205),
         (Pattern::Checker { cell: 6 }, 206),
         (Pattern::PhotoLike { detail: 0.6 }, 207),
@@ -93,7 +123,12 @@ fn build(patterns: Vec<(Pattern, u64)>, params: &CorpusParams) -> Vec<CorpusImag
     let mut out = Vec::new();
     for (pattern, seed) in patterns {
         // Render the master once at full size, crop the grid out of it.
-        let master = generate_rgb(&ImageSpec { width: max, height: max, pattern, seed });
+        let master = generate_rgb(&ImageSpec {
+            width: max,
+            height: max,
+            pattern,
+            seed,
+        });
         for &w in &dims {
             for &h in &dims {
                 let rgb = if w == max && h == max {
@@ -142,7 +177,12 @@ mod tests {
     use super::*;
 
     fn tiny() -> CorpusParams {
-        CorpusParams { min_dim: 32, max_dim: 64, steps: 2, ..CorpusParams::default() }
+        CorpusParams {
+            min_dim: 32,
+            max_dim: 64,
+            steps: 2,
+            ..CorpusParams::default()
+        }
     }
 
     #[test]
@@ -180,6 +220,9 @@ mod tests {
         let train = training_set(&p);
         let min = train.iter().map(|i| i.density).fold(f64::MAX, f64::min);
         let max = train.iter().map(|i| i.density).fold(f64::MIN, f64::max);
-        assert!(max / min > 3.0, "density spread too small: {min:.3}..{max:.3}");
+        assert!(
+            max / min > 3.0,
+            "density spread too small: {min:.3}..{max:.3}"
+        );
     }
 }

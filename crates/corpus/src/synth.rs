@@ -118,7 +118,7 @@ fn smooth_field(w: usize, h: usize, seed: u64) -> Vec<u8> {
     for ch in waves.iter_mut() {
         for wv in ch.iter_mut() {
             *wv = (
-                rng.gen_range(0.5..3.0),  // cycles across the image
+                rng.gen_range(0.5..3.0), // cycles across the image
                 rng.gen_range(0.5..3.0),
                 rng.gen_range(0.0..std::f64::consts::TAU),
             );
@@ -222,7 +222,11 @@ fn checker(w: usize, h: usize, seed: u64, cell: usize) -> Vec<u8> {
     let mut out = Vec::with_capacity(w * h * 3);
     for y in 0..h {
         for x in 0..w {
-            let c = if (x / cell + y / cell) % 2 == 0 { a } else { b };
+            let c = if (x / cell + y / cell).is_multiple_of(2) {
+                a
+            } else {
+                b
+            };
             out.extend_from_slice(&c);
         }
     }
@@ -295,7 +299,10 @@ mod tests {
         let rgb = generate_rgb(&ImageSpec {
             width: w,
             height: h,
-            pattern: Pattern::DetailRamp { top: 0.05, bottom: 0.9 },
+            pattern: Pattern::DetailRamp {
+                top: 0.05,
+                bottom: 0.9,
+            },
             seed: 5,
         });
         let params = EncodeParams {
@@ -332,7 +339,10 @@ mod tests {
             generate_rgb(&ImageSpec {
                 width: 32,
                 height: 32,
-                pattern: Pattern::ValueNoise { octaves: 4, detail: 0.5 },
+                pattern: Pattern::ValueNoise {
+                    octaves: 4,
+                    detail: 0.5,
+                },
                 seed,
             })
         };
@@ -345,12 +355,20 @@ mod tests {
             for pattern in [
                 Pattern::Gradient,
                 Pattern::SmoothField,
-                Pattern::ValueNoise { octaves: 3, detail: 0.4 },
+                Pattern::ValueNoise {
+                    octaves: 3,
+                    detail: 0.4,
+                },
                 Pattern::WhiteNoise { amount: 0.5 },
                 Pattern::Checker { cell: 4 },
                 Pattern::PhotoLike { detail: 0.5 },
             ] {
-                let spec = ImageSpec { width: w, height: h, pattern, seed: 5 };
+                let spec = ImageSpec {
+                    width: w,
+                    height: h,
+                    pattern,
+                    seed: 5,
+                };
                 assert_eq!(generate_rgb(&spec).len(), w * h * 3, "{}", pattern.name());
             }
         }

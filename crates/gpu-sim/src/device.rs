@@ -129,8 +129,8 @@ mod tests {
     fn bandwidth_ratio_matches_published_specs() {
         // GTX 680 : GTX 560 Ti bandwidth ≈ 1.5 — this ratio is what bounds
         // the paper's 13.7x vs 10x kernel speedups (both memory-bound).
-        let r = DeviceSpec::gtx680().gmem_bandwidth_gbps
-            / DeviceSpec::gtx560ti().gmem_bandwidth_gbps;
+        let r =
+            DeviceSpec::gtx680().gmem_bandwidth_gbps / DeviceSpec::gtx560ti().gmem_bandwidth_gbps;
         assert!((1.4..1.6).contains(&r));
     }
 }

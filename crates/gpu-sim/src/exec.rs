@@ -4,8 +4,8 @@ use crate::device::DeviceSpec;
 use crate::kernel::{GroupCtx, Kernel};
 use crate::memory::Buffer;
 use crate::stats::LaunchStats;
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Handle to a device buffer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -28,8 +28,14 @@ pub struct GpuSim {
 impl GpuSim {
     /// Create a simulator for `device` with a default host pool.
     pub fn new(device: DeviceSpec) -> Self {
-        let host_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-        GpuSim { device, buffers: Vec::new(), host_threads }
+        let host_threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        GpuSim {
+            device,
+            buffers: Vec::new(),
+            host_threads,
+        }
     }
 
     /// Allocate a zeroed device buffer of `len` bytes.
@@ -96,12 +102,12 @@ impl GpuSim {
                         kernel.run_group(&mut ctx);
                         local_total.merge(&ctx.into_stats());
                     }
-                    total.lock().merge(&local_total);
+                    total.lock().expect("stats mutex").merge(&local_total);
                 });
             }
         })
         .expect("gpu-sim worker panicked");
-        total.into_inner()
+        total.into_inner().expect("stats mutex")
     }
 }
 

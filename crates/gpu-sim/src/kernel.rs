@@ -65,7 +65,11 @@ impl<'a> GroupCtx<'a> {
             local: LocalMem::new(local_bytes, warps, warp_size),
             warps: (0..warps).map(|_| WarpTracker::default()).collect(),
             branch_slots: vec![Vec::new(); warps],
-            stats: LaunchStats { groups: 1, items: items as u64, ..Default::default() },
+            stats: LaunchStats {
+                groups: 1,
+                items: items as u64,
+                ..Default::default()
+            },
         }
     }
 
@@ -79,7 +83,12 @@ impl<'a> GroupCtx<'a> {
     /// coalescing / conflict / divergence accounting (the implicit barrier).
     pub fn phase<F: FnMut(&mut ItemCtx<'_, 'a>)>(&mut self, mut f: F) {
         for item in 0..self.items {
-            let mut ictx = ItemCtx { grp: self, item, seq: 0, ops: 0 };
+            let mut ictx = ItemCtx {
+                grp: self,
+                item,
+                seq: 0,
+                ops: 0,
+            };
             f(&mut ictx);
             let ops = ictx.ops;
             self.stats.compute_ops += ops;
@@ -286,8 +295,8 @@ impl<'g, 'a> ItemCtx<'g, 'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::exec::GpuSim;
     use crate::device::DeviceSpec;
+    use crate::exec::GpuSim;
 
     /// Copies an i16 buffer to another, one item per element.
     struct CopyKernel {

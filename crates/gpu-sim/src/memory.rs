@@ -23,7 +23,9 @@ unsafe impl Sync for Buffer {}
 impl Buffer {
     /// Allocate a zeroed buffer.
     pub fn new(len: usize) -> Self {
-        Buffer { data: UnsafeCell::new(vec![0; len]) }
+        Buffer {
+            data: UnsafeCell::new(vec![0; len]),
+        }
     }
 
     /// Length in bytes.
@@ -54,7 +56,9 @@ impl Buffer {
     #[inline]
     pub(crate) fn load<const N: usize>(&self, addr: usize) -> [u8; N] {
         let data = unsafe { &*self.data.get() };
-        data[addr..addr + N].try_into().expect("gmem load in bounds")
+        data[addr..addr + N]
+            .try_into()
+            .expect("gmem load in bounds")
     }
 
     /// Device-side store of `N` bytes at `addr`.

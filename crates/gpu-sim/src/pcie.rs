@@ -21,12 +21,20 @@ pub struct PcieModel {
 impl PcieModel {
     /// PCIe 2.0 x16: the paper's three machines (Fermi/Kepler era boards).
     pub fn gen2_x16() -> Self {
-        PcieModel { latency_us: 10.0, pinned_gbps: 6.0, pageable_gbps: 3.0 }
+        PcieModel {
+            latency_us: 10.0,
+            pinned_gbps: 6.0,
+            pageable_gbps: 3.0,
+        }
     }
 
     /// Transfer time in seconds for `bytes`, using pinned buffers or not.
     pub fn transfer_time(&self, bytes: usize, pinned: bool) -> f64 {
-        let bw = if pinned { self.pinned_gbps } else { self.pageable_gbps };
+        let bw = if pinned {
+            self.pinned_gbps
+        } else {
+            self.pageable_gbps
+        };
         self.latency_us * 1e-6 + bytes as f64 / (bw * 1e9)
     }
 }

@@ -68,7 +68,11 @@ mod tests {
 
     #[test]
     fn merge_sums_everything() {
-        let mut a = LaunchStats { groups: 1, compute_ops: 10, ..Default::default() };
+        let mut a = LaunchStats {
+            groups: 1,
+            compute_ops: 10,
+            ..Default::default()
+        };
         let b = LaunchStats {
             groups: 2,
             compute_ops: 5,

@@ -41,8 +41,7 @@ impl TimingModel {
         // Idle lanes in partially filled warps still consume issue slots.
         let occupancy = (items_per_group as f64 / lanes as f64).clamp(1.0 / warp as f64, 1.0);
         // Per-group scheduling stalls occupy a whole SM's issue slots.
-        let group_ops =
-            stats.groups as f64 * GROUP_OVERHEAD_CYCLES * device.cores_per_sm as f64;
+        let group_ops = stats.groups as f64 * GROUP_OVERHEAD_CYCLES * device.cores_per_sm as f64;
         let effective_ops = stats.compute_ops as f64 / occupancy
             + stats.lmem_conflict_cycles as f64 * warp as f64
             + stats.divergent_branches as f64 * DIVERGENCE_PENALTY_OPS
@@ -103,8 +102,8 @@ mod tests {
         let t680 = TimingModel::kernel_time(&DeviceSpec::gtx680(), &s, 32)
             - DeviceSpec::gtx680().launch_overhead_us * 1e-6;
         let ratio = t560 / t680;
-        let bw_ratio = DeviceSpec::gtx680().gmem_bandwidth_gbps
-            / DeviceSpec::gtx560ti().gmem_bandwidth_gbps;
+        let bw_ratio =
+            DeviceSpec::gtx680().gmem_bandwidth_gbps / DeviceSpec::gtx560ti().gmem_bandwidth_gbps;
         assert!((ratio - bw_ratio).abs() < 0.01);
     }
 
@@ -144,6 +143,10 @@ mod tests {
     fn boundedness_classifier() {
         let d = DeviceSpec::gtx680();
         assert!(TimingModel::is_memory_bound(&d, &stats(10, 100_000, 0), 32));
-        assert!(!TimingModel::is_memory_bound(&d, &stats(100_000_000, 1, 0), 32));
+        assert!(!TimingModel::is_memory_bound(
+            &d,
+            &stats(100_000_000, 1, 0),
+            32
+        ));
     }
 }

@@ -5,6 +5,12 @@
 //! unstuffs transparently, stops at markers, and counts the bits it consumes
 //! — those counts are the raw material of the Huffman-rate model in paper §5.1
 //! (Fig. 7 plots exactly this: decoded bits per pixel).
+//!
+//! The refill is bulk: 0xFF-free runs are loaded six bytes at a time from an
+//! unaligned big-endian `u64` (detected with a SWAR byte-equality test), and
+//! only windows containing 0xFF take the byte-at-a-time unstuffing slow
+//! path. This keeps the strictly sequential Huffman phase — the paper's
+//! serial bottleneck — as short as possible.
 
 use crate::error::{Error, Result};
 
@@ -34,7 +40,14 @@ impl<'a> BitReader<'a> {
     /// Create a reader over an entropy-coded segment (marker-free prefix of
     /// `data` will be consumed; the first marker terminates bit supply).
     pub fn new(data: &'a [u8]) -> Self {
-        BitReader { data, pos: 0, acc: 0, acc_len: 0, marker: None, bits_consumed: 0 }
+        BitReader {
+            data,
+            pos: 0,
+            acc: 0,
+            acc_len: 0,
+            marker: None,
+            bits_consumed: 0,
+        }
     }
 
     /// Total number of bits consumed by `get_bits`/`receive` so far.
@@ -58,43 +71,70 @@ impl<'a> BitReader<'a> {
     /// Pull bytes until the accumulator holds at least `need` bits or the
     /// stream is exhausted. Stuffed zero bytes are skipped; markers stop
     /// refilling.
+    ///
+    /// Fast path: most of a scan is 0xFF-free, so the refill loads six bytes
+    /// per iteration from an unaligned big-endian `u64` whenever the window
+    /// contains no 0xFF. Only windows touching a stuffed byte, a marker, or
+    /// the stream tail fall back to the byte-at-a-time slow path. Both paths
+    /// buffer identical bit sequences, so decode output is bit-exact.
     #[inline]
     fn refill(&mut self, need: u32) {
+        debug_assert!(need <= 24);
         while self.acc_len < need {
-            if self.marker.is_some() || self.pos >= self.data.len() {
-                // Pad with zero bits; callers that overrun real data will
-                // produce wrong symbols and hit BadHuffmanCode soon after,
-                // mirroring libjpeg's behaviour on truncated files.
-                self.acc <<= 8;
-                self.acc_len += 8;
-                continue;
-            }
-            let b = self.data[self.pos];
-            self.pos += 1;
-            if b == 0xFF {
-                match self.data.get(self.pos) {
-                    Some(0x00) => {
-                        // Stuffed data byte.
-                        self.pos += 1;
-                        self.acc = (self.acc << 8) | 0xFF;
-                        self.acc_len += 8;
-                    }
-                    Some(&m) => {
-                        self.marker = Some(m);
-                        self.pos += 1;
-                        self.acc <<= 8;
-                        self.acc_len += 8;
-                    }
-                    None => {
-                        self.marker = Some(0x00);
-                        self.acc <<= 8;
-                        self.acc_len += 8;
-                    }
+            // 48 fresh bits always fit while acc_len <= 16, and `need` is at
+            // most 24, so one bulk load finishes the refill.
+            if self.acc_len <= 16 && self.marker.is_none() && self.pos + 8 <= self.data.len() {
+                let window =
+                    u64::from_be_bytes(self.data[self.pos..self.pos + 8].try_into().unwrap());
+                let six = window >> 16;
+                if !contains_ff_byte6(six) {
+                    self.acc = (self.acc << 48) | six;
+                    self.acc_len += 48;
+                    self.pos += 6;
+                    return;
                 }
-            } else {
-                self.acc = (self.acc << 8) | b as u64;
-                self.acc_len += 8;
             }
+            self.refill_one_byte();
+        }
+    }
+
+    /// Slow-path refill: buffer one byte (or eight padding bits), handling
+    /// 0xFF unstuffing and marker detection.
+    #[cold]
+    fn refill_one_byte(&mut self) {
+        if self.marker.is_some() || self.pos >= self.data.len() {
+            // Pad with zero bits; callers that overrun real data will
+            // produce wrong symbols and hit BadHuffmanCode soon after,
+            // mirroring libjpeg's behaviour on truncated files.
+            self.acc <<= 8;
+            self.acc_len += 8;
+            return;
+        }
+        let b = self.data[self.pos];
+        self.pos += 1;
+        if b == 0xFF {
+            match self.data.get(self.pos) {
+                Some(0x00) => {
+                    // Stuffed data byte.
+                    self.pos += 1;
+                    self.acc = (self.acc << 8) | 0xFF;
+                    self.acc_len += 8;
+                }
+                Some(&m) => {
+                    self.marker = Some(m);
+                    self.pos += 1;
+                    self.acc <<= 8;
+                    self.acc_len += 8;
+                }
+                None => {
+                    self.marker = Some(0x00);
+                    self.acc <<= 8;
+                    self.acc_len += 8;
+                }
+            }
+        } else {
+            self.acc = (self.acc << 8) | b as u64;
+            self.acc_len += 8;
         }
     }
 
@@ -158,10 +198,13 @@ impl<'a> BitReader<'a> {
             if (0xD0..=0xD7).contains(&m) {
                 return Ok(m - 0xD0);
             }
-            return Err(Error::RestartMismatch { expected: 0xFF, found: m });
+            return Err(Error::RestartMismatch {
+                expected: 0xFF,
+                found: m,
+            });
         }
         // Marker not yet pulled from the byte stream: read it directly.
-        if self.pos + 1 >= self.data.len() + 1 {
+        if self.pos + 1 > self.data.len() {
             return Err(Error::UnexpectedEof);
         }
         if self.data.get(self.pos) != Some(&0xFF) {
@@ -172,9 +215,24 @@ impl<'a> BitReader<'a> {
         if (0xD0..=0xD7).contains(&m) {
             Ok(m - 0xD0)
         } else {
-            Err(Error::RestartMismatch { expected: 0xFF, found: m })
+            Err(Error::RestartMismatch {
+                expected: 0xFF,
+                found: m,
+            })
         }
     }
+}
+
+/// True if any of the low six bytes of `v` equals 0xFF (top two bytes must
+/// be zero). Branch-free SWAR byte-equality test: XOR maps 0xFF bytes to
+/// 0x00, then the classic zero-byte detector flags them.
+#[inline(always)]
+fn contains_ff_byte6(v: u64) -> bool {
+    const LOW6: u64 = 0x0000_FFFF_FFFF_FFFF;
+    const ONES: u64 = 0x0000_0101_0101_0101;
+    const HIGH: u64 = 0x0000_8080_8080_8080;
+    let x = v ^ LOW6;
+    x.wrapping_sub(ONES) & !x & HIGH != 0
 }
 
 /// Big-endian bit writer producing a byte-stuffed entropy segment.

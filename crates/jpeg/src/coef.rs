@@ -5,20 +5,43 @@
 //! fixes the layout as "Y blocks followed by Cb blocks followed by Cr
 //! blocks" so the upsampling kernel never has to skip over interleaved luma
 //! data — the property the coalescing ablation bench measures.
+//!
+//! Alongside the coefficients the buffer carries one **end-of-block index**
+//! per block: the highest zigzag position that may hold a nonzero
+//! coefficient, recorded for free during entropy decode. Downstream IDCT
+//! stages dispatch on it to sparse fast paths (see [`crate::dct::sparse`])
+//! without rescanning the block. The stored value is an *upper bound* —
+//! using a larger EOB is always correct, just slower — and every write path
+//! that bypasses entropy decode resets it to the dense-safe 63.
 
 use crate::geometry::Geometry;
 
 /// Whole-image DCT coefficient storage: one contiguous `i16` allocation,
-/// blocks of 64 natural-order coefficients, planar per component.
+/// blocks of 64 natural-order coefficients, planar per component, plus a
+/// per-block EOB side array.
 #[derive(Debug, Clone)]
 pub struct CoefBuffer {
     data: Vec<i16>,
+    /// Per-block EOB upper bound (highest possibly-nonzero zigzag index).
+    eob: Vec<u8>,
 }
+
+/// Dense-safe EOB: assume every coefficient may be nonzero.
+pub const EOB_DENSE: u8 = 63;
 
 impl CoefBuffer {
     /// Allocate a zeroed buffer for an image's geometry.
     pub fn new(geom: &Geometry) -> Self {
-        CoefBuffer { data: vec![0; geom.total_blocks * 64] }
+        CoefBuffer {
+            data: vec![0; geom.total_blocks * 64],
+            eob: vec![EOB_DENSE; geom.total_blocks],
+        }
+    }
+
+    /// Number of blocks the buffer holds.
+    #[inline]
+    pub fn num_blocks(&self) -> usize {
+        self.eob.len()
     }
 
     /// Borrow the coefficients of one block (natural order).
@@ -28,11 +51,31 @@ impl CoefBuffer {
         self.data[off..off + 64].try_into().expect("block slice")
     }
 
-    /// Mutably borrow one block.
+    /// Mutably borrow one block. Resets the block's EOB to the dense-safe
+    /// maximum, since the caller may write anywhere; use [`Self::set_eob`]
+    /// afterwards to restore a tighter bound.
     #[inline]
     pub fn block_mut(&mut self, block_index: usize) -> &mut [i16; 64] {
+        self.eob[block_index] = EOB_DENSE;
         let off = block_index * 64;
-        (&mut self.data[off..off + 64]).try_into().expect("block slice")
+        (&mut self.data[off..off + 64])
+            .try_into()
+            .expect("block slice")
+    }
+
+    /// The block's EOB upper bound (highest possibly-nonzero zigzag index).
+    #[inline]
+    pub fn eob(&self, block_index: usize) -> u8 {
+        self.eob[block_index]
+    }
+
+    /// Record a block's EOB. `eob` must bound the highest nonzero zigzag
+    /// position actually present, or sparse IDCT dispatch will drop
+    /// coefficients.
+    #[inline]
+    pub fn set_eob(&mut self, block_index: usize, eob: u8) {
+        debug_assert!(eob <= EOB_DENSE);
+        self.eob[block_index] = eob;
     }
 
     /// The raw flat storage (e.g. for simulated PCIe transfer sizing).
@@ -41,9 +84,12 @@ impl CoefBuffer {
         &self.data
     }
 
-    /// Mutable access to the raw flat storage.
+    /// Mutable access to the raw flat storage. The caller may write any
+    /// coefficient, so every block's EOB is reset to the dense-safe
+    /// maximum — previously recorded sparsity is discarded.
     #[inline]
     pub fn as_mut_slice(&mut self) -> &mut [i16] {
+        self.eob.fill(EOB_DENSE);
         &mut self.data
     }
 
@@ -58,7 +104,23 @@ impl CoefBuffer {
     /// the chunk payload of the pipelined execution mode (§4.5): each
     /// Huffman-decoded chunk ships only its own blocks.
     pub fn pack_mcu_rows(&self, geom: &Geometry, start: usize, end: usize) -> Vec<i16> {
-        let mut out = Vec::with_capacity(geom.blocks_in_mcu_rows(start, end) * 64);
+        let mut out = Vec::new();
+        self.pack_mcu_rows_into(geom, start, end, &mut out);
+        out
+    }
+
+    /// Like [`Self::pack_mcu_rows`] but reuses `out`'s allocation — the
+    /// pipelined executor recycles chunk buffers through a pool so
+    /// steady-state decode performs no per-chunk heap allocation.
+    pub fn pack_mcu_rows_into(
+        &self,
+        geom: &Geometry,
+        start: usize,
+        end: usize,
+        out: &mut Vec<i16>,
+    ) {
+        out.clear();
+        out.reserve(geom.blocks_in_mcu_rows(start, end) * 64);
         for (c, comp) in geom.comps.iter().enumerate() {
             let by0 = start * comp.v_samp;
             let by1 = (end * comp.v_samp).min(comp.height_blocks);
@@ -68,7 +130,59 @@ impl CoefBuffer {
                 out.extend_from_slice(&self.data[first..last]);
             }
         }
-        out
+    }
+
+    /// Create a shared handle for concurrent block writes from multiple
+    /// threads (the parallel restart-segment entropy decoder). The handle
+    /// borrows the buffer exclusively, so no other access can overlap it.
+    pub fn writer(&mut self) -> CoefWriter<'_> {
+        CoefWriter {
+            data: self.data.as_mut_ptr(),
+            eob: self.eob.as_mut_ptr(),
+            blocks: self.eob.len(),
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+/// Shared-write handle over a [`CoefBuffer`], allowing worker threads to
+/// store decoded blocks directly into their disjoint regions instead of
+/// accumulating `(index, block)` pairs and copying after a join.
+///
+/// Block granularity is the unit of disjointness: writes to *different*
+/// block indices never alias (each block owns its 64 coefficients and its
+/// EOB slot), so threads decoding disjoint MCU ranges — e.g. distinct
+/// restart segments — can write concurrently without synchronization.
+pub struct CoefWriter<'a> {
+    data: *mut i16,
+    eob: *mut u8,
+    blocks: usize,
+    _marker: std::marker::PhantomData<&'a mut CoefBuffer>,
+}
+
+// SAFETY: the writer only exposes `write_block`, whose contract (below)
+// requires callers to keep concurrently written block indices disjoint;
+// under that contract all pointer accesses are race-free.
+unsafe impl Send for CoefWriter<'_> {}
+unsafe impl Sync for CoefWriter<'_> {}
+
+impl CoefWriter<'_> {
+    /// Store one block's coefficients and EOB.
+    ///
+    /// # Safety
+    ///
+    /// No two threads may call this concurrently with the same
+    /// `block_index`. Callers decoding restart segments satisfy this by
+    /// construction: segments partition the MCU sequence, and every block
+    /// index belongs to exactly one MCU.
+    #[inline]
+    pub unsafe fn write_block(&self, block_index: usize, block: &[i16; 64], eob: u8) {
+        assert!(block_index < self.blocks, "block index out of range");
+        // SAFETY: in-bounds per the assert; disjointness per the contract.
+        unsafe {
+            std::ptr::copy_nonoverlapping(block.as_ptr(), self.data.add(block_index * 64), 64);
+            *self.eob.add(block_index) = eob;
+        }
     }
 }
 
@@ -97,6 +211,42 @@ mod tests {
     }
 
     #[test]
+    fn eob_defaults_dense_and_block_mut_resets_it() {
+        let g = Geometry::new(16, 16, Subsampling::S444).unwrap();
+        let mut buf = CoefBuffer::new(&g);
+        assert_eq!(buf.eob(0), EOB_DENSE);
+        buf.set_eob(0, 3);
+        assert_eq!(buf.eob(0), 3);
+        // Any raw rewrite must fall back to the dense-safe bound.
+        buf.block_mut(0)[63] = 5;
+        assert_eq!(buf.eob(0), EOB_DENSE);
+        buf.set_eob(1, 9);
+        let _ = buf.as_mut_slice();
+        assert_eq!(buf.eob(1), EOB_DENSE);
+    }
+
+    #[test]
+    fn writer_stores_blocks_and_eobs() {
+        let g = Geometry::new(32, 32, Subsampling::S444).unwrap();
+        let mut buf = CoefBuffer::new(&g);
+        let mut block = [0i16; 64];
+        block[0] = 7;
+        block[9] = -3;
+        {
+            let w = buf.writer();
+            // SAFETY: single thread, distinct indices.
+            unsafe {
+                w.write_block(2, &block, 9);
+                w.write_block(5, &block, 9);
+            }
+        }
+        assert_eq!(buf.block(2)[0], 7);
+        assert_eq!(buf.block(5)[9], -3);
+        assert_eq!(buf.eob(2), 9);
+        assert_eq!(buf.block(3)[0], 0);
+    }
+
+    #[test]
     fn pack_mcu_rows_collects_all_components() {
         let g = Geometry::new(16, 16, Subsampling::S422).unwrap();
         let mut buf = CoefBuffer::new(&g);
@@ -113,6 +263,20 @@ mod tests {
         let cb_off = g.comps[1].plane_block_offset as i16;
         let cr_off = g.comps[2].plane_block_offset as i16;
         assert_eq!(tags, vec![y_off, y_off + 1, cb_off, cr_off]);
+    }
+
+    #[test]
+    fn pack_into_reuses_allocation() {
+        let g = Geometry::new(32, 32, Subsampling::S420).unwrap();
+        let buf = CoefBuffer::new(&g);
+        let mut out = Vec::new();
+        buf.pack_mcu_rows_into(&g, 0, 1, &mut out);
+        let first = out.len();
+        let cap = out.capacity();
+        buf.pack_mcu_rows_into(&g, 1, 2, &mut out);
+        assert_eq!(out.len(), first);
+        assert_eq!(out.capacity(), cap);
+        assert_eq!(out, buf.pack_mcu_rows(&g, 1, 2));
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //!   the optimized "SIMD-mode" decoder, and
 //! * a straightforward fixed-point path used by the scalar decoder and the
 //!   GPU kernels.
+//!
 //! Bit-identity across paths keeps all six scheduler modes byte-equal.
 
 /// Fixed-point fraction bits used by the integer conversion.
@@ -75,7 +76,11 @@ pub fn ycc_to_rgb_tab(t: &YccTables, y: u8, cb: u8, cr: u8) -> [u8; 3] {
     let r = yv + t.cr_r[cr as usize];
     let g = yv + ((t.cb_g[cb as usize] + t.cr_g[cr as usize]) >> SCALE_BITS);
     let b = yv + t.cb_b[cb as usize];
-    [r.clamp(0, 255) as u8, g.clamp(0, 255) as u8, b.clamp(0, 255) as u8]
+    [
+        r.clamp(0, 255) as u8,
+        g.clamp(0, 255) as u8,
+        b.clamp(0, 255) as u8,
+    ]
 }
 
 /// Convert one pixel with inline fixed-point arithmetic (no tables).
@@ -90,7 +95,11 @@ pub fn ycc_to_rgb(y: u8, cb: u8, cr: u8) -> [u8; 3] {
     let r = yv + ((FIX_1_40200 * cr + ONE_HALF) >> SCALE_BITS);
     let b = yv + ((FIX_1_77200 * cb + ONE_HALF) >> SCALE_BITS);
     let g = yv + ((-FIX_0_34414 * cb - FIX_0_71414 * cr + ONE_HALF) >> SCALE_BITS);
-    [r.clamp(0, 255) as u8, g.clamp(0, 255) as u8, b.clamp(0, 255) as u8]
+    [
+        r.clamp(0, 255) as u8,
+        g.clamp(0, 255) as u8,
+        b.clamp(0, 255) as u8,
+    ]
 }
 
 /// Float reference for Algorithm 2, used in tests.
@@ -121,7 +130,11 @@ pub fn rgb_to_ycc(r: u8, g: u8, b: u8) -> [u8; 3] {
         >> SCALE_BITS;
     let cr = (FIX_0_50000 * r - FIX_0_41869 * g - FIX_0_08131 * b + CBCR_OFFSET + ONE_HALF - 1)
         >> SCALE_BITS;
-    [y.clamp(0, 255) as u8, cb.clamp(0, 255) as u8, cr.clamp(0, 255) as u8]
+    [
+        y.clamp(0, 255) as u8,
+        cb.clamp(0, 255) as u8,
+        cr.clamp(0, 255) as u8,
+    ]
 }
 
 #[cfg(test)]
@@ -176,9 +189,9 @@ mod tests {
                 for b in (0..256).step_by(31) {
                     let [y, cb, cr] = rgb_to_ycc(r as u8, g as u8, b as u8);
                     let back = ycc_to_rgb(y, cb, cr);
-                    assert!((back[0] as i32 - r as i32).abs() <= 2);
-                    assert!((back[1] as i32 - g as i32).abs() <= 2);
-                    assert!((back[2] as i32 - b as i32).abs() <= 2);
+                    assert!((back[0] as i32 - r).abs() <= 2);
+                    assert!((back[1] as i32 - g).abs() <= 2);
+                    assert!((back[2] as i32 - b).abs() <= 2);
                 }
             }
         }

@@ -77,7 +77,16 @@ fn aan_1d(v: [f32; 8]) -> [f32; 8] {
     let o5 = t11 - o6;
     let o4 = t10 + o5;
 
-    [e0 + o7, e1 + o6, e2 + o5, e3 - o4, e3 + o4, e2 - o5, e1 - o6, e0 - o7]
+    [
+        e0 + o7,
+        e1 + o6,
+        e2 + o5,
+        e3 - o4,
+        e3 + o4,
+        e2 - o5,
+        e1 - o6,
+        e0 - o7,
+    ]
 }
 
 /// Full 2-D AAN IDCT: raw (still-quantized) coefficients plus the prescaled

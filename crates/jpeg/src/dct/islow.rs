@@ -30,20 +30,26 @@ fn descale(x: i64, n: i32) -> i64 {
     (x + (1i64 << (n - 1))) >> n
 }
 
-/// One 1-D islow IDCT butterfly over eight values.
+/// One 1-D islow IDCT butterfly over eight values, of which only the first
+/// `K` may be nonzero (`K = 8` is the dense case).
 ///
-/// `shift_in` applies to the even-part DC path (values are `<< CONST_BITS`
-/// before combination); the caller chooses the output descale.
+/// With `K < 8` the compiler constant-folds the zero inputs away, which is
+/// what makes the EOB-dispatched sparse paths in [`crate::dct::sparse`]
+/// cheap — and because dropped terms are exact zeros, the descaled results
+/// are **bit-identical** to the dense butterfly. The caller chooses the
+/// output descale; the even-part DC path is `<< CONST_BITS` before
+/// combination.
 #[inline(always)]
-fn idct_1d(v: [i64; 8], out_descale: i32) -> [i64; 8] {
+fn idct_1d_k<const K: usize>(v: [i64; 8], out_descale: i32) -> [i64; 8] {
+    let at = |i: usize| if i < K { v[i] } else { 0 };
     // Even part.
-    let z2 = v[2];
-    let z3 = v[6];
+    let z2 = at(2);
+    let z3 = at(6);
     let z1 = (z2 + z3) * FIX_0_541196100;
     let tmp2 = z1 - z3 * FIX_1_847759065;
     let tmp3 = z1 + z2 * FIX_0_765366865;
-    let z2 = v[0];
-    let z3 = v[4];
+    let z2 = at(0);
+    let z3 = at(4);
     let tmp0 = (z2 + z3) << CONST_BITS;
     let tmp1 = (z2 - z3) << CONST_BITS;
     let tmp10 = tmp0 + tmp3;
@@ -52,10 +58,10 @@ fn idct_1d(v: [i64; 8], out_descale: i32) -> [i64; 8] {
     let tmp12 = tmp1 - tmp2;
 
     // Odd part.
-    let t0 = v[7];
-    let t1 = v[5];
-    let t2 = v[3];
-    let t3 = v[1];
+    let t0 = at(7);
+    let t1 = at(5);
+    let t2 = at(3);
+    let t3 = at(1);
     let z1 = t0 + t3;
     let z2 = t1 + t2;
     let z3 = t0 + t2;
@@ -86,6 +92,36 @@ fn idct_1d(v: [i64; 8], out_descale: i32) -> [i64; 8] {
     ]
 }
 
+/// Column pass with only the first `K` inputs possibly nonzero; bit-exact
+/// with [`idct_pass1`] on such inputs (same flat-column shortcut, same
+/// arithmetic minus the terms that are provably zero).
+#[inline(always)]
+pub(crate) fn idct_pass1_k<const K: usize>(v: [i64; 8]) -> [i64; 8] {
+    let mut all_ac_zero = true;
+    let mut i = 1;
+    while i < K {
+        all_ac_zero &= v[i] == 0;
+        i += 1;
+    }
+    if all_ac_zero {
+        let dc = v[0] << PASS1_BITS;
+        return [dc; 8];
+    }
+    idct_1d_k::<K>(v, CONST_BITS - PASS1_BITS)
+}
+
+/// Row pass with only the first `K` inputs possibly nonzero; bit-exact with
+/// [`idct_row`] on such inputs.
+#[inline(always)]
+pub(crate) fn idct_row_k<const K: usize>(row: &[i64; 8]) -> [u8; 8] {
+    let vals = idct_1d_k::<K>(*row, CONST_BITS + PASS1_BITS + 3);
+    let mut out = [0u8; 8];
+    for (o, &v) in out.iter_mut().zip(vals.iter()) {
+        *o = range_limit(v as i32);
+    }
+    out
+}
+
 /// Column pass of the islow IDCT (paper Eq. (1)) on one column of eight
 /// dequantized values; the result keeps `PASS1_BITS` fractional bits.
 ///
@@ -93,12 +129,7 @@ fn idct_1d(v: [i64; 8], out_descale: i32) -> [i64; 8] {
 /// and stores this intermediate in local memory before the row pass.
 #[inline]
 pub fn idct_pass1(v: [i64; 8]) -> [i64; 8] {
-    // All-AC-zero shortcut as in jidctint.c: a flat column.
-    if v[1] == 0 && v[2] == 0 && v[3] == 0 && v[4] == 0 && v[5] == 0 && v[6] == 0 && v[7] == 0 {
-        let dc = v[0] << PASS1_BITS;
-        return [dc; 8];
-    }
-    idct_1d(v, CONST_BITS - PASS1_BITS)
+    idct_pass1_k::<8>(v)
 }
 
 /// Column pass over column `col` of a full dequantized block.
@@ -115,12 +146,7 @@ pub fn idct_column(coefs: &[i32; 64], col: usize) -> [i64; 8] {
 /// producing level-shifted, range-limited samples.
 #[inline]
 pub fn idct_row(row: &[i64; 8]) -> [u8; 8] {
-    let vals = idct_1d(*row, CONST_BITS + PASS1_BITS + 3);
-    let mut out = [0u8; 8];
-    for (o, &v) in out.iter_mut().zip(vals.iter()) {
-        *o = range_limit(v as i32);
-    }
-    out
+    idct_row_k::<8>(row)
 }
 
 /// Full 2-D islow IDCT of one dequantized block: column pass then row pass.
@@ -171,7 +197,11 @@ fn fdct_1d(v: [i64; 8], pass2: bool) -> [i64; 8] {
         out[0] = descale(tmp10 + tmp11, PASS1_BITS + 3);
         out[4] = descale(tmp10 - tmp11, PASS1_BITS + 3);
     }
-    let even_descale = if pass2 { CONST_BITS + PASS1_BITS + 3 } else { CONST_BITS - PASS1_BITS };
+    let even_descale = if pass2 {
+        CONST_BITS + PASS1_BITS + 3
+    } else {
+        CONST_BITS - PASS1_BITS
+    };
     let z1 = (tmp12 + tmp13) * FIX_0_541196100;
     out[2] = descale(z1 + tmp13 * FIX_0_765366865, even_descale);
     out[6] = descale(z1 - tmp12 * FIX_1_847759065, even_descale);

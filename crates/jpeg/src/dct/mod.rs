@@ -12,11 +12,15 @@
 //!   transforms used by every decode mode so that CPU and GPU partitions
 //!   produce identical pixels,
 //! * [`aan`] — the AAN float IDCT with quantization-table prescaling, the
-//!   algorithm the paper's GPU kernel implements.
+//!   algorithm the paper's GPU kernel implements,
+//! * [`sparse`] — EOB-dispatched pruned islow variants (DC-only flat fill,
+//!   2×2 / 4×4 corner butterflies) with fused dequantize+IDCT+store; the
+//!   per-block dispatch the CPU hot paths run, bit-identical to [`islow`].
 
 pub mod aan;
 pub mod islow;
 pub mod reference;
+pub mod sparse;
 
 /// Clamp a level-shifted IDCT output value to the 8-bit sample range.
 ///

@@ -138,8 +138,7 @@ mod tests {
         let spatial = idct_f64(&coefs);
         for y in 0..8 {
             for x in 0..8 {
-                let expect =
-                    0.25 / 2f64.sqrt() * ((2.0 * x as f64 + 1.0) * PI / 16.0).cos();
+                let expect = 0.25 / 2f64.sqrt() * ((2.0 * x as f64 + 1.0) * PI / 16.0).cos();
                 assert!((spatial[y * 8 + x] - expect).abs() < 1e-12);
             }
         }

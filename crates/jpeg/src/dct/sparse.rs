@@ -1,0 +1,276 @@
+//! EOB-dispatched sparse IDCT with fused dequantization and plane store.
+//!
+//! Typical photographic JPEGs quantize most high-frequency coefficients to
+//! zero: at quality 80 the majority of blocks end well inside the first
+//! zigzag diagonal or two, and chroma blocks are frequently DC-only.
+//! GPU decoders exploit this aggressively (Weißenberger & Schmidt,
+//! *Accelerating JPEG Decompression on GPUs*); this module brings the same
+//! discipline to the CPU paths.
+//!
+//! Entropy decode records each block's end-of-block index into
+//! [`crate::coef::CoefBuffer`] for free; [`dequant_idct_to`] dispatches on
+//! it:
+//!
+//! * **EOB 0** — DC-only: the whole block is one flat sample,
+//!   `range_limit(descale(dc, 3))`; no butterflies at all.
+//! * **EOB ≤ 2** — nonzeros confined to the top-left 2×2: two pruned
+//!   column passes + eight 2-input row passes.
+//! * **EOB ≤ 9** — nonzeros confined to the top-left 4×4: four pruned
+//!   column passes + eight 4-input row passes.
+//! * otherwise — the dense islow path.
+//!
+//! Every path produces **bit-identical** samples to the dense
+//! [`crate::dct::islow::idct_block`]: the pruned butterflies drop only
+//! terms that are exactly zero (see `idct_1d_k`), and the thresholds are
+//! derived from the zigzag layout (checked by a unit test here). The
+//! dispatch therefore never affects output, only speed — the property the
+//! cross-mode equivalence tests pin down.
+//!
+//! Dequantization is fused into the coefficient load (paper §4.1: "the
+//! input data is de-quantized after being loaded from global memory") and
+//! the row pass stores straight into the caller's sample plane, so one
+//! block goes coefficients → pixels in a single pass with no intermediate
+//! `[u8; 64]` temporary.
+
+use super::islow::{idct_pass1_k, idct_row_k};
+use super::range_limit;
+use crate::zigzag::ZIGZAG;
+
+/// Sparse-dispatch class of a block, derived from its EOB.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SparseClass {
+    /// Only the DC coefficient may be nonzero.
+    DcOnly,
+    /// Nonzeros confined to rows 0..2 × cols 0..2.
+    Corner2,
+    /// Nonzeros confined to rows 0..4 × cols 0..4.
+    Corner4,
+    /// Anything else: dense 8×8.
+    Dense,
+}
+
+/// Highest zigzag index whose natural position stays inside the top-left
+/// `k`×`k` corner, computed from the zigzag layout at compile time.
+const fn corner_eob_limit(k: usize) -> usize {
+    let mut limit = 0;
+    let mut i = 0;
+    while i < 64 {
+        let (row, col) = (ZIGZAG[i] / 8, ZIGZAG[i] % 8);
+        if row >= k || col >= k {
+            break;
+        }
+        limit = i;
+        i += 1;
+    }
+    limit
+}
+
+/// EOB bound for [`SparseClass::Corner2`] (= 2 for the T.81 zigzag).
+pub const EOB_CORNER2: u8 = corner_eob_limit(2) as u8;
+/// EOB bound for [`SparseClass::Corner4`] (= 9 for the T.81 zigzag).
+pub const EOB_CORNER4: u8 = corner_eob_limit(4) as u8;
+
+/// Classify a block by its EOB (highest possibly-nonzero zigzag index).
+#[inline(always)]
+pub fn class_for_eob(eob: u8) -> SparseClass {
+    if eob == 0 {
+        SparseClass::DcOnly
+    } else if eob <= EOB_CORNER2 {
+        SparseClass::Corner2
+    } else if eob <= EOB_CORNER4 {
+        SparseClass::Corner4
+    } else {
+        SparseClass::Dense
+    }
+}
+
+/// Dequantize only the top-left `K`×`K` corner (all a sparse block can
+/// populate) into a zeroed natural-order workspace.
+#[inline(always)]
+fn dequant_corner<const K: usize>(coefs: &[i16; 64], quant: &[u16; 64]) -> [i32; 64] {
+    let mut dq = [0i32; 64];
+    for r in 0..K {
+        for c in 0..K {
+            let i = r * 8 + c;
+            dq[i] = coefs[i] as i32 * quant[i] as i32;
+        }
+    }
+    dq
+}
+
+/// Pruned 2-D islow IDCT: only the top-left `K`×`K` of `dq` may be nonzero.
+/// Row `r` of the 8×8 output lands at `dst[base + r * stride ..][..8]`.
+#[inline(always)]
+fn idct_corner_to<const K: usize>(dq: &[i32; 64], dst: &mut [u8], base: usize, stride: usize) {
+    // Column pass over the K live columns; the other columns of the
+    // workspace stay zero, exactly as the dense path computes them.
+    let mut ws = [0i64; 64];
+    for col in 0..K {
+        let mut v = [0i64; 8];
+        for (r, slot) in v.iter_mut().take(K).enumerate() {
+            *slot = dq[r * 8 + col] as i64;
+        }
+        let out = idct_pass1_k::<K>(v);
+        for (r, &val) in out.iter().enumerate() {
+            ws[r * 8 + col] = val;
+        }
+    }
+    // Row pass: each row has at most K live entries (cols 0..K).
+    for r in 0..8 {
+        let mut row = [0i64; 8];
+        row.copy_from_slice(&ws[r * 8..r * 8 + 8]);
+        let px = idct_row_k::<K>(&row);
+        let off = base + r * stride;
+        dst[off..off + 8].copy_from_slice(&px);
+    }
+}
+
+/// Fused dequantize + EOB-dispatched IDCT + store of one block.
+///
+/// Row `r` of the 8×8 result is written to `dst[base + r * stride ..][..8]`.
+/// `eob` must bound the block's highest nonzero zigzag position (the value
+/// [`crate::coef::CoefBuffer`] records); output is bit-identical to
+/// `dequantize` → `idct_block` → copy for any valid bound.
+#[inline]
+pub fn dequant_idct_to(
+    coefs: &[i16; 64],
+    quant: &[u16; 64],
+    eob: u8,
+    dst: &mut [u8],
+    base: usize,
+    stride: usize,
+) {
+    match class_for_eob(eob) {
+        SparseClass::DcOnly => {
+            // Flat block: the dense path descales the lone DC term to
+            // descale(dc << 15, 18) per sample, which reduces to
+            // (dc + 4) >> 3 exactly.
+            let dc = coefs[0] as i64 * quant[0] as i64;
+            let px = range_limit(((dc + 4) >> 3) as i32);
+            for r in 0..8 {
+                let off = base + r * stride;
+                dst[off..off + 8].fill(px);
+            }
+        }
+        SparseClass::Corner2 => {
+            let dq = dequant_corner::<2>(coefs, quant);
+            idct_corner_to::<2>(&dq, dst, base, stride);
+        }
+        SparseClass::Corner4 => {
+            let dq = dequant_corner::<4>(coefs, quant);
+            idct_corner_to::<4>(&dq, dst, base, stride);
+        }
+        SparseClass::Dense => {
+            let dq = dequant_corner::<8>(coefs, quant);
+            idct_corner_to::<8>(&dq, dst, base, stride);
+        }
+    }
+}
+
+/// EOB-dispatched IDCT of an already-dequantized block (test/oracle entry
+/// point; the hot paths use the fused [`dequant_idct_to`]).
+pub fn idct_block_sparse(dq: &[i32; 64], eob: u8) -> [u8; 64] {
+    let mut out = [0u8; 64];
+    match class_for_eob(eob) {
+        SparseClass::DcOnly => {
+            let px = range_limit(((dq[0] as i64 + 4) >> 3) as i32);
+            out.fill(px);
+        }
+        SparseClass::Corner2 => idct_corner_to::<2>(dq, &mut out, 0, 8),
+        SparseClass::Corner4 => idct_corner_to::<4>(dq, &mut out, 0, 8),
+        SparseClass::Dense => idct_corner_to::<8>(dq, &mut out, 0, 8),
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dct::islow::idct_block;
+    use crate::zigzag::ZIGZAG;
+
+    /// The corner bounds must match the actual zigzag layout.
+    #[test]
+    fn corner_limits_match_zigzag() {
+        assert_eq!(EOB_CORNER2, 2);
+        assert_eq!(EOB_CORNER4, 9);
+        for (k, limit) in [(2usize, EOB_CORNER2), (4, EOB_CORNER4)] {
+            for (i, &nat) in ZIGZAG.iter().enumerate().take(limit as usize + 1) {
+                let (row, col) = (nat / 8, nat % 8);
+                assert!(
+                    row < k && col < k,
+                    "zigzag {i} = ({row},{col}) escapes {k}x{k}"
+                );
+            }
+            let next = limit as usize + 1;
+            let (row, col) = (ZIGZAG[next] / 8, ZIGZAG[next] % 8);
+            assert!(row >= k || col >= k, "bound {limit} not tight for {k}x{k}");
+        }
+    }
+
+    fn sparse_block(seed: u64, eob: usize) -> [i32; 64] {
+        let mut dq = [0i32; 64];
+        let mut state = seed | 1;
+        for item in ZIGZAG.iter().take(eob + 1) {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            dq[*item] = ((state >> 33) as i32 % 1024) - 512;
+        }
+        dq
+    }
+
+    /// Every class is bit-identical to the dense islow path.
+    #[test]
+    fn all_classes_match_dense_idct() {
+        for eob in 0..64usize {
+            for seed in 0..8u64 {
+                let dq = sparse_block(seed * 64 + eob as u64, eob);
+                let want = idct_block(&dq);
+                let got = idct_block_sparse(&dq, eob as u8);
+                assert_eq!(got, want, "eob {eob} seed {seed}");
+            }
+        }
+    }
+
+    /// A larger-than-necessary EOB bound is still exact (upper-bound
+    /// semantics).
+    #[test]
+    fn looser_bound_is_still_exact() {
+        let dq = sparse_block(17, 2);
+        let want = idct_block(&dq);
+        for eob in 2..64 {
+            assert_eq!(idct_block_sparse(&dq, eob), want, "bound {eob}");
+        }
+    }
+
+    /// The fused entry point writes through stride correctly and matches
+    /// the oracle.
+    #[test]
+    fn fused_store_respects_stride() {
+        let mut coefs = [0i16; 64];
+        coefs[0] = 37;
+        coefs[1] = -12;
+        coefs[8] = 5;
+        let quant = [3u16; 64];
+        let mut dq = [0i32; 64];
+        for i in 0..64 {
+            dq[i] = coefs[i] as i32 * quant[i] as i32;
+        }
+        let want = idct_block(&dq);
+
+        let stride = 24;
+        let mut plane = vec![0u8; stride * 16];
+        let base = 3 * stride + 8;
+        dequant_idct_to(&coefs, &quant, 2, &mut plane, base, stride);
+        for r in 0..8 {
+            assert_eq!(
+                &plane[base + r * stride..base + r * stride + 8],
+                &want[r * 8..r * 8 + 8]
+            );
+        }
+        // Neighbouring bytes untouched.
+        assert_eq!(plane[base - 1], 0);
+        assert_eq!(plane[base + 8], 0);
+    }
+}

@@ -44,14 +44,35 @@ impl<'a> Prepared<'a> {
     /// Parse headers and resolve tables.
     pub fn new(data: &'a [u8]) -> Result<Self> {
         let parsed = parse_jpeg(data)?;
-        let geom = Geometry::new(parsed.frame.width, parsed.frame.height, parsed.frame.subsampling)?;
+        let geom = Geometry::new(
+            parsed.frame.width,
+            parsed.frame.height,
+            parsed.frame.subsampling,
+        )?;
         let resolve = |ci: usize| -> Result<QuantTable> {
-            let slot = parsed.frame.components.get(ci).map(|c| c.quant_idx).unwrap_or(0);
-            parsed.quant[slot].clone().ok_or(Error::Malformed("missing quantization table"))
+            let slot = parsed
+                .frame
+                .components
+                .get(ci)
+                .map(|c| c.quant_idx)
+                .unwrap_or(0);
+            parsed
+                .quant
+                .get(slot)
+                .and_then(|q| q.clone())
+                .ok_or(Error::Malformed("missing quantization table"))
         };
-        let quant = [resolve(0)?, resolve(1.min(parsed.frame.components.len() - 1))?,
-                     resolve(2.min(parsed.frame.components.len() - 1))?];
-        Ok(Prepared { parsed, geom, quant, ycc: YccTables::new() })
+        let quant = [
+            resolve(0)?,
+            resolve(1.min(parsed.frame.components.len() - 1))?,
+            resolve(2.min(parsed.frame.components.len() - 1))?,
+        ];
+        Ok(Prepared {
+            parsed,
+            geom,
+            quant,
+            ycc: YccTables::new(),
+        })
     }
 
     /// Create the sequential entropy decoder for this image.
@@ -120,14 +141,26 @@ mod tests {
                 &rgb,
                 w as u32,
                 h as u32,
-                &EncodeParams { quality: 92, subsampling: sub, restart_interval: 0 },
+                &EncodeParams {
+                    quality: 92,
+                    subsampling: sub,
+                    restart_interval: 0,
+                },
             )
             .unwrap();
             let img = decode(&jpeg).unwrap();
             assert_eq!((img.width, img.height), (w, h));
-            let orig = RgbImage { width: w, height: h, data: rgb.clone() };
+            let orig = RgbImage {
+                width: w,
+                height: h,
+                data: rgb.clone(),
+            };
             let psnr = img.psnr(&orig);
-            assert!(psnr > min_psnr, "{} PSNR too low: {psnr:.1} dB", sub.notation());
+            assert!(
+                psnr > min_psnr,
+                "{} PSNR too low: {psnr:.1} dB",
+                sub.notation()
+            );
         }
     }
 
@@ -142,18 +175,30 @@ mod tests {
                 rgb.extend_from_slice(&[(x * 4) as u8, (y * 4) as u8, 128]);
             }
         }
-        let orig = RgbImage { width: w, height: h, data: rgb.clone() };
+        let orig = RgbImage {
+            width: w,
+            height: h,
+            data: rgb.clone(),
+        };
         for sub in [Subsampling::S444, Subsampling::S422, Subsampling::S420] {
             let jpeg = encode_rgb(
                 &rgb,
                 w as u32,
                 h as u32,
-                &EncodeParams { quality: 90, subsampling: sub, restart_interval: 0 },
+                &EncodeParams {
+                    quality: 90,
+                    subsampling: sub,
+                    restart_interval: 0,
+                },
             )
             .unwrap();
             let img = decode(&jpeg).unwrap();
             let psnr = img.psnr(&orig);
-            assert!(psnr > 32.0, "{} smooth PSNR too low: {psnr:.1} dB", sub.notation());
+            assert!(
+                psnr > 32.0,
+                "{} smooth PSNR too low: {psnr:.1} dB",
+                sub.notation()
+            );
         }
     }
 
@@ -166,7 +211,11 @@ mod tests {
                 &rgb,
                 w as u32,
                 h as u32,
-                &EncodeParams { quality: 77, subsampling: sub, restart_interval: 3 },
+                &EncodeParams {
+                    quality: 77,
+                    subsampling: sub,
+                    restart_interval: 3,
+                },
             )
             .unwrap();
             let a = decode(&jpeg).unwrap();
@@ -183,7 +232,11 @@ mod tests {
             &rgb,
             w as u32,
             h as u32,
-            &EncodeParams { quality: 80, subsampling: Subsampling::S422, restart_interval: 0 },
+            &EncodeParams {
+                quality: 80,
+                subsampling: Subsampling::S422,
+                restart_interval: 0,
+            },
         )
         .unwrap();
         let prep = Prepared::new(&jpeg).unwrap();

@@ -4,24 +4,33 @@
 //! hand-written SIMD (paper §1: about 2× the sequential decoder overall).
 //! This module is our stand-in: the same arithmetic as [`super::stages`]
 //! restructured for throughput — MCU-row-local scratch buffers instead of
-//! whole-image planes, table-driven color conversion, flat
-//! `chunks_exact` loops the compiler can autovectorize, and fused
-//! upsample+convert per row (the CPU analogue of the merged GPU kernel of
-//! §4.4). Output bytes are **identical** to the scalar path; only host-side
-//! speed differs. The platform cost model charges this path with the
-//! calibrated SIMD per-unit costs (see `hetjpeg-core`).
+//! whole-image planes, EOB-dispatched sparse IDCT fused with
+//! dequantization and the plane store ([`crate::dct::sparse`]),
+//! table-driven color conversion, flat `chunks_exact` loops the compiler
+//! can autovectorize, and fused upsample+convert per row (the CPU analogue
+//! of the merged GPU kernel of §4.4). Output bytes are **identical** to the
+//! scalar path; only host-side speed differs. The platform cost model
+//! charges this path with the calibrated SIMD per-unit costs (see
+//! `hetjpeg-core`).
+//!
+//! The scratch is public ([`SimdScratch`]) so callers that decode many
+//! bands in a loop can hold one workspace across calls via
+//! [`decode_region_rgb_simd_with`] and keep their steady state
+//! allocation-free; the single-band-per-decode callers (the schedulers,
+//! the threaded executor's CPU band) use the allocating wrapper, where
+//! reuse has nothing to amortize.
 
 use crate::coef::CoefBuffer;
 use crate::color::{ycc_to_rgb_tab, YccTables};
-use crate::dct::islow::idct_block;
+use crate::dct::sparse::dequant_idct_to;
 use crate::decoder::Prepared;
 use crate::error::{Error, Result};
 use crate::metrics::ParallelWork;
 use crate::sample::{upsample_row_h2v1_blockwise, upsample_v2_pair};
 use crate::types::Subsampling;
 
-/// MCU-row-local scratch buffers, reused across the band.
-struct RowScratch {
+/// MCU-row-local scratch buffers, reused across bands and decodes.
+pub struct SimdScratch {
     /// Luma samples: `luma_width x mcu_h`.
     y: Vec<u8>,
     /// Subsampled chroma: `chroma_width x (8 * v_chroma)` each.
@@ -34,12 +43,13 @@ struct RowScratch {
     vtmp: Vec<u8>,
 }
 
-impl RowScratch {
-    fn new(prep: &Prepared<'_>) -> Self {
+impl SimdScratch {
+    /// Allocate scratch sized for one MCU row of `prep`'s geometry.
+    pub fn new(prep: &Prepared<'_>) -> Self {
         let lw = prep.geom.comps[0].plane_width();
         let cw = prep.geom.comps[1].plane_width();
         let mcu_h = prep.geom.mcu_h;
-        RowScratch {
+        SimdScratch {
             y: vec![0; lw * mcu_h],
             cb: vec![0; cw * 8],
             cr: vec![0; cw * 8],
@@ -50,30 +60,33 @@ impl RowScratch {
     }
 }
 
-/// The optimized parallel phase over MCU rows `[start, end)`; `out` receives
-/// the band's interleaved RGB rows (same contract as
-/// [`super::stages::decode_region_rgb`]).
-pub fn decode_region_rgb_simd(
+/// The optimized parallel phase over MCU rows `[start, end)`, reusing
+/// `scratch`; `out` receives the band's interleaved RGB rows (same contract
+/// as [`super::stages::decode_region_rgb`]).
+pub fn decode_region_rgb_simd_with(
     prep: &Prepared<'_>,
     coef: &CoefBuffer,
     start: usize,
     end: usize,
     out: &mut [u8],
+    scratch: &mut SimdScratch,
 ) -> Result<ParallelWork> {
     let geom = &prep.geom;
     let (r0, r1) = geom.mcu_rows_to_pixel_rows(start, end);
     let w = geom.width;
     if out.len() != (r1 - r0) * w * 3 {
-        return Err(Error::BufferSize { expected: (r1 - r0) * w * 3, got: out.len() });
+        return Err(Error::BufferSize {
+            expected: (r1 - r0) * w * 3,
+            got: out.len(),
+        });
     }
 
-    let mut scratch = RowScratch::new(prep);
     let lw = geom.comps[0].plane_width();
     let cw = geom.comps[1].plane_width();
     let ycc = &prep.ycc;
 
     for mcu_row in start..end {
-        idct_mcu_row(prep, coef, mcu_row, &mut scratch);
+        idct_mcu_row(prep, coef, mcu_row, scratch);
 
         let (py0, py1) = geom.mcu_rows_to_pixel_rows(mcu_row, mcu_row + 1);
         for y in py0..py1 {
@@ -83,8 +96,12 @@ pub fn decode_region_rgb_simd(
             // Upsample chroma for this pixel row into the row buffers.
             match geom.subsampling {
                 Subsampling::S444 => {
-                    scratch.cb_row.copy_from_slice(&scratch.cb[local * cw..local * cw + cw]);
-                    scratch.cr_row.copy_from_slice(&scratch.cr[local * cw..local * cw + cw]);
+                    scratch
+                        .cb_row
+                        .copy_from_slice(&scratch.cb[local * cw..local * cw + cw]);
+                    scratch
+                        .cr_row
+                        .copy_from_slice(&scratch.cr[local * cw..local * cw + cw]);
                 }
                 Subsampling::S422 => {
                     upsample_row_h2v1_blockwise(
@@ -98,7 +115,7 @@ pub fn decode_region_rgb_simd(
                 }
                 Subsampling::S420 => {
                     let cy = local / 2;
-                    let neighbour = if local % 2 == 0 {
+                    let neighbour = if local.is_multiple_of(2) {
                         cy.saturating_sub(1)
                     } else {
                         (cy + 1).min(7)
@@ -129,32 +146,49 @@ pub fn decode_region_rgb_simd(
     Ok(ParallelWork::for_mcu_rows(geom, start, end))
 }
 
-/// Dequantize + IDCT all blocks of one MCU row into the scratch planes.
-fn idct_mcu_row(prep: &Prepared<'_>, coef: &CoefBuffer, mcu_row: usize, scratch: &mut RowScratch) {
+/// The optimized parallel phase with a freshly allocated scratch. Callers
+/// decoding many bands should hold a [`SimdScratch`] and use
+/// [`decode_region_rgb_simd_with`].
+pub fn decode_region_rgb_simd(
+    prep: &Prepared<'_>,
+    coef: &CoefBuffer,
+    start: usize,
+    end: usize,
+    out: &mut [u8],
+) -> Result<ParallelWork> {
+    let mut scratch = SimdScratch::new(prep);
+    decode_region_rgb_simd_with(prep, coef, start, end, out, &mut scratch)
+}
+
+/// Dequantize + IDCT all blocks of one MCU row into the scratch planes,
+/// one fused EOB-dispatched pass per block.
+fn idct_mcu_row(prep: &Prepared<'_>, coef: &CoefBuffer, mcu_row: usize, scratch: &mut SimdScratch) {
     let geom = &prep.geom;
     for (ci, comp) in geom.comps.iter().enumerate() {
-        let quant = &prep.quant[ci];
+        let quant = &prep.quant[ci].values;
         let plane_w = comp.plane_width();
         let by0 = mcu_row * comp.v_samp;
+        let dst = match ci {
+            0 => &mut scratch.y,
+            1 => &mut scratch.cb,
+            _ => &mut scratch.cr,
+        };
         for dv in 0..comp.v_samp {
             let by = by0 + dv;
             if by >= comp.height_blocks {
                 continue;
             }
+            let row_base = (dv * 8) * plane_w;
             for bx in 0..comp.width_blocks {
-                let block = coef.block(geom.block_index(ci, bx, by));
-                let dq = quant.dequantize(block);
-                let px = idct_block(&dq);
-                let dst = match ci {
-                    0 => &mut scratch.y,
-                    1 => &mut scratch.cb,
-                    _ => &mut scratch.cr,
-                };
-                let base = (dv * 8) * plane_w + bx * 8;
-                for (r, srow) in px.chunks_exact(8).enumerate() {
-                    let off = base + r * plane_w;
-                    dst[off..off + 8].copy_from_slice(srow);
-                }
+                let idx = geom.block_index(ci, bx, by);
+                dequant_idct_to(
+                    coef.block(idx),
+                    quant,
+                    coef.eob(idx),
+                    dst,
+                    row_base + bx * 8,
+                    plane_w,
+                );
             }
         }
     }
@@ -203,18 +237,32 @@ mod tests {
                 &textured_rgb(w, h),
                 w as u32,
                 h as u32,
-                &EncodeParams { quality: 60, subsampling: sub, restart_interval: 0 },
+                &EncodeParams {
+                    quality: 60,
+                    subsampling: sub,
+                    restart_interval: 0,
+                },
             )
             .unwrap();
             let prep = Prepared::new(&jpeg).unwrap();
             let (coef, _) = prep.entropy_decode_all().unwrap();
+            let mut scratch = SimdScratch::new(&prep);
             for (a, b) in [(0usize, 1usize), (1, 3), (0, prep.geom.mcus_y)] {
                 let bytes = prep.geom.rgb_bytes_in_mcu_rows(a, b);
                 let mut scalar = vec![0u8; bytes];
                 let mut simd = vec![0u8; bytes];
+                let mut simd_reused = vec![0u8; bytes];
                 stages::decode_region_rgb(&prep, &coef, a, b, &mut scalar).unwrap();
                 decode_region_rgb_simd(&prep, &coef, a, b, &mut simd).unwrap();
+                decode_region_rgb_simd_with(&prep, &coef, a, b, &mut simd_reused, &mut scratch)
+                    .unwrap();
                 assert_eq!(scalar, simd, "{} band {a}..{b}", sub.notation());
+                assert_eq!(
+                    scalar,
+                    simd_reused,
+                    "{} reused band {a}..{b}",
+                    sub.notation()
+                );
             }
         }
     }
@@ -226,7 +274,11 @@ mod tests {
             &textured_rgb(w, h),
             w as u32,
             h as u32,
-            &EncodeParams { quality: 85, subsampling: Subsampling::S422, restart_interval: 0 },
+            &EncodeParams {
+                quality: 85,
+                subsampling: Subsampling::S422,
+                restart_interval: 0,
+            },
         )
         .unwrap();
         let prep = Prepared::new(&jpeg).unwrap();
@@ -246,7 +298,11 @@ mod tests {
             &textured_rgb(w, h),
             w as u32,
             h as u32,
-            &EncodeParams { quality: 85, subsampling: Subsampling::S444, restart_interval: 0 },
+            &EncodeParams {
+                quality: 85,
+                subsampling: Subsampling::S444,
+                restart_interval: 0,
+            },
         )
         .unwrap();
         let prep = Prepared::new(&jpeg).unwrap();

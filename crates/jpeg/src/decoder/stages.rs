@@ -5,10 +5,17 @@
 //! the paper's partitioning "splits images horizontally such that the
 //! initial x rows ... are assigned to the GPU, and the remaining h − x rows
 //! are assigned to the CPU" (§5.2).
+//!
+//! The hot path is allocation-free per block and per band: dequantization,
+//! IDCT and the plane store are fused into one pass dispatched on each
+//! block's recorded EOB ([`crate::dct::sparse`]), and all band-sized
+//! temporaries (sample planes, upsampled chroma rasters) live in a reusable
+//! [`Scratch`] that callers decoding many bands carry across calls. The
+//! allocating entry points remain as thin wrappers.
 
 use crate::coef::CoefBuffer;
 use crate::color::ycc_to_rgb;
-use crate::dct::islow::idct_block;
+use crate::dct::sparse::dequant_idct_to;
 use crate::decoder::Prepared;
 use crate::error::{Error, Result};
 use crate::metrics::ParallelWork;
@@ -16,10 +23,39 @@ use crate::planes::SamplePlanes;
 use crate::sample::{upsample_row_h2v1_blockwise, upsample_v2_pair};
 use crate::types::Subsampling;
 
+/// Reusable band-decoding workspace: whole-image sample planes plus
+/// band-sized upsampled chroma rasters. Create once, pass to
+/// [`decode_region_rgb_with`] for every band — steady-state decoding then
+/// performs no heap allocation per band.
+pub struct Scratch {
+    /// Post-IDCT sample planes spanning the whole image.
+    pub planes: SamplePlanes,
+    /// Full-resolution upsampled Cb for the current band.
+    cb: Vec<u8>,
+    /// Full-resolution upsampled Cr for the current band.
+    cr: Vec<u8>,
+    /// Vertically upsampled (still horizontally subsampled) row for 4:2:0.
+    vtmp: Vec<u8>,
+}
+
+impl Scratch {
+    /// Allocate a workspace for an image.
+    pub fn new(prep: &Prepared<'_>) -> Self {
+        Scratch {
+            planes: SamplePlanes::new(&prep.geom),
+            cb: Vec::new(),
+            cr: Vec::new(),
+            vtmp: vec![0u8; prep.geom.comps[1].plane_width()],
+        }
+    }
+}
+
 /// Dequantize + IDCT every block of MCU rows `[start, end)` into `planes`.
 ///
 /// `planes` must span the whole image; only the band's block rows are
-/// written, so disjoint bands can be processed independently.
+/// written, so disjoint bands can be processed independently. Each block is
+/// dequantized, transformed and stored in a single fused pass, dispatched
+/// on its recorded EOB (DC-only / 2×2 / 4×4 / dense — all bit-identical).
 pub fn dequant_idct_region(
     prep: &Prepared<'_>,
     coef: &CoefBuffer,
@@ -29,36 +65,51 @@ pub fn dequant_idct_region(
 ) {
     let geom = &prep.geom;
     for (ci, comp) in geom.comps.iter().enumerate() {
-        let quant = &prep.quant[ci];
+        let quant = &prep.quant[ci].values;
+        let stride = planes.strides[ci];
+        let plane = &mut planes.planes[ci];
         let by0 = start * comp.v_samp;
         let by1 = (end * comp.v_samp).min(comp.height_blocks);
         for by in by0..by1 {
+            let row_base = by * 8 * stride;
             for bx in 0..comp.width_blocks {
-                let block = coef.block(geom.block_index(ci, bx, by));
-                let dq = quant.dequantize(block);
-                let px = idct_block(&dq);
-                planes.store_block(ci, bx, by, &px);
+                let idx = geom.block_index(ci, bx, by);
+                dequant_idct_to(
+                    coef.block(idx),
+                    quant,
+                    coef.eob(idx),
+                    plane,
+                    row_base + bx * 8,
+                    stride,
+                );
             }
         }
     }
 }
 
-/// Upsample the chroma planes of MCU rows `[start, end)` to full resolution.
-///
-/// Returns full-resolution Cb/Cr rasters for the band's pixel rows
-/// (band-local row indexing). 4:4:4 input is copied through unchanged.
-pub fn upsample_region(
+/// Upsample the chroma planes of MCU rows `[start, end)` to full
+/// resolution, into the scratch's band rasters (band-local row indexing).
+/// 4:4:4 input is copied through unchanged.
+fn upsample_region_into(
     prep: &Prepared<'_>,
     planes: &SamplePlanes,
     start: usize,
     end: usize,
-) -> (Vec<u8>, Vec<u8>) {
+    cb: &mut Vec<u8>,
+    cr: &mut Vec<u8>,
+    vtmp: &mut [u8],
+) {
     let geom = &prep.geom;
     let lw = geom.comps[0].plane_width();
-    let (p0, p1) = (start * geom.mcu_h, (end * geom.mcu_h).min(geom.comps[0].plane_height()));
+    let (p0, p1) = (
+        start * geom.mcu_h,
+        (end * geom.mcu_h).min(geom.comps[0].plane_height()),
+    );
     let band_rows = p1 - p0;
-    let mut cb = vec![0u8; band_rows * lw];
-    let mut cr = vec![0u8; band_rows * lw];
+    cb.clear();
+    cb.resize(band_rows * lw, 0);
+    cr.clear();
+    cr.resize(band_rows * lw, 0);
 
     match geom.subsampling {
         Subsampling::S444 => {
@@ -79,8 +130,6 @@ pub fn upsample_region(
         Subsampling::S420 => {
             // Vertical (blockwise triangular) then horizontal (Algorithm 1).
             let ch = geom.comps[1].plane_height();
-            let cw = geom.comps[1].plane_width();
-            let mut tmp = vec![0u8; cw];
             for r in 0..band_rows {
                 let y = p0 + r; // luma row
                 let cy = (y / 2).min(ch - 1);
@@ -94,16 +143,36 @@ pub fn upsample_region(
                 for c in 0..2usize {
                     let near = planes.row(1 + c, cy);
                     let far = planes.row(1 + c, neighbour);
-                    for ((t, &n), &f) in tmp.iter_mut().zip(near.iter()).zip(far.iter()) {
+                    for ((t, &n), &f) in vtmp.iter_mut().zip(near.iter()).zip(far.iter()) {
                         *t = upsample_v2_pair(n, f);
                     }
-                    let dst =
-                        if c == 0 { &mut cb[r * lw..(r + 1) * lw] } else { &mut cr[r * lw..(r + 1) * lw] };
-                    upsample_row_h2v1_blockwise(&tmp, dst);
+                    let dst = if c == 0 {
+                        &mut cb[r * lw..(r + 1) * lw]
+                    } else {
+                        &mut cr[r * lw..(r + 1) * lw]
+                    };
+                    upsample_row_h2v1_blockwise(vtmp, dst);
                 }
             }
         }
     }
+}
+
+/// Upsample the chroma planes of MCU rows `[start, end)` to full resolution.
+///
+/// Returns full-resolution Cb/Cr rasters for the band's pixel rows
+/// (band-local row indexing). Allocating wrapper around the scratch-based
+/// path used by [`decode_region_rgb_with`].
+pub fn upsample_region(
+    prep: &Prepared<'_>,
+    planes: &SamplePlanes,
+    start: usize,
+    end: usize,
+) -> (Vec<u8>, Vec<u8>) {
+    let mut cb = Vec::new();
+    let mut cr = Vec::new();
+    let mut vtmp = vec![0u8; prep.geom.comps[1].plane_width()];
+    upsample_region_into(prep, planes, start, end, &mut cb, &mut cr, &mut vtmp);
     (cb, cr)
 }
 
@@ -122,7 +191,10 @@ pub fn color_convert_region(
     let (r0, r1) = geom.mcu_rows_to_pixel_rows(start, end);
     let w = geom.width;
     if out.len() != (r1 - r0) * w * 3 {
-        return Err(Error::BufferSize { expected: (r1 - r0) * w * 3, got: out.len() });
+        return Err(Error::BufferSize {
+            expected: (r1 - r0) * w * 3,
+            got: out.len(),
+        });
     }
     let lw = geom.comps[0].plane_width();
     let band_p0 = start * geom.mcu_h;
@@ -140,10 +212,44 @@ pub fn color_convert_region(
     Ok(())
 }
 
-/// The whole parallel phase for a band: dequant + IDCT + upsample + color
-/// conversion, writing interleaved RGB for the band's pixel rows into `out`.
+/// The whole parallel phase for a band, reusing `scratch` across calls:
+/// dequant + IDCT + upsample + color conversion, writing interleaved RGB
+/// for the band's pixel rows into `out`.
 ///
 /// Returns the work metrics the cost model charges for the band.
+pub fn decode_region_rgb_with(
+    prep: &Prepared<'_>,
+    coef: &CoefBuffer,
+    start: usize,
+    end: usize,
+    out: &mut [u8],
+    scratch: &mut Scratch,
+) -> Result<ParallelWork> {
+    dequant_idct_region(prep, coef, start, end, &mut scratch.planes);
+    upsample_region_into(
+        prep,
+        &scratch.planes,
+        start,
+        end,
+        &mut scratch.cb,
+        &mut scratch.cr,
+        &mut scratch.vtmp,
+    );
+    color_convert_region(
+        prep,
+        &scratch.planes,
+        &scratch.cb,
+        &scratch.cr,
+        start,
+        end,
+        out,
+    )?;
+    Ok(ParallelWork::for_mcu_rows(&prep.geom, start, end))
+}
+
+/// The whole parallel phase for a band with a freshly allocated workspace.
+/// Callers decoding many bands should hold a [`Scratch`] and call
+/// [`decode_region_rgb_with`] instead.
 pub fn decode_region_rgb(
     prep: &Prepared<'_>,
     coef: &CoefBuffer,
@@ -151,13 +257,8 @@ pub fn decode_region_rgb(
     end: usize,
     out: &mut [u8],
 ) -> Result<ParallelWork> {
-    // Allocate planes spanning the whole image but touch only the band.
-    // (Cheap: zeroed pages; bands are typically decoded once each.)
-    let mut planes = SamplePlanes::new(&prep.geom);
-    dequant_idct_region(prep, coef, start, end, &mut planes);
-    let (cb, cr) = upsample_region(prep, &planes, start, end);
-    color_convert_region(prep, &planes, &cb, &cr, start, end, out)?;
-    Ok(ParallelWork::for_mcu_rows(&prep.geom, start, end))
+    let mut scratch = Scratch::new(prep);
+    decode_region_rgb_with(prep, coef, start, end, out, &mut scratch)
 }
 
 #[cfg(test)]
@@ -182,7 +283,11 @@ mod tests {
             &rgb,
             w as u32,
             h as u32,
-            &EncodeParams { quality: 88, subsampling: sub, restart_interval: 0 },
+            &EncodeParams {
+                quality: 88,
+                subsampling: sub,
+                restart_interval: 0,
+            },
         )
         .unwrap();
         (rgb, jpeg)
@@ -236,5 +341,44 @@ mod tests {
         let w2 = decode_region_rgb(&prep, &coef, 0, 2, &mut out2).unwrap();
         assert_eq!(w2.idct_blocks, 2 * w1.idct_blocks);
         assert_eq!(w2.color_pixels, 2 * w1.color_pixels);
+    }
+
+    #[test]
+    fn reused_scratch_matches_fresh_allocations() {
+        for sub in [Subsampling::S444, Subsampling::S422, Subsampling::S420] {
+            let (_, jpeg) = setup(sub, 48, 56);
+            let prep = Prepared::new(&jpeg).unwrap();
+            let (coef, _) = prep.entropy_decode_all().unwrap();
+            let mut scratch = Scratch::new(&prep);
+            for (a, b) in [(0usize, 2usize), (2, 3), (0, prep.geom.mcus_y)] {
+                let bytes = prep.geom.rgb_bytes_in_mcu_rows(a, b);
+                let mut fresh = vec![0u8; bytes];
+                let mut reused = vec![0u8; bytes];
+                decode_region_rgb(&prep, &coef, a, b, &mut fresh).unwrap();
+                decode_region_rgb_with(&prep, &coef, a, b, &mut reused, &mut scratch).unwrap();
+                assert_eq!(fresh, reused, "{} band {a}..{b}", sub.notation());
+            }
+        }
+    }
+
+    #[test]
+    fn dense_eob_fallback_decodes_identically() {
+        // Blocks written through `block_mut` lose their sparse EOB and fall
+        // back to the dense bound; pixels must not change.
+        let (_, jpeg) = setup(Subsampling::S420, 40, 40);
+        let prep = Prepared::new(&jpeg).unwrap();
+        let (coef, _) = prep.entropy_decode_all().unwrap();
+        let mut dense = coef.clone();
+        for idx in 0..dense.num_blocks() {
+            let copy = *dense.block(idx);
+            *dense.block_mut(idx) = copy; // resets EOB to 63
+            assert_eq!(dense.eob(idx), crate::coef::EOB_DENSE);
+        }
+        let bytes = prep.geom.rgb_bytes_in_mcu_rows(0, prep.geom.mcus_y);
+        let mut a = vec![0u8; bytes];
+        let mut b = vec![0u8; bytes];
+        decode_region_rgb(&prep, &coef, 0, prep.geom.mcus_y, &mut a).unwrap();
+        decode_region_rgb(&prep, &dense, 0, prep.geom.mcus_y, &mut b).unwrap();
+        assert_eq!(a, b);
     }
 }

@@ -33,7 +33,11 @@ pub struct EncodeParams {
 
 impl Default for EncodeParams {
     fn default() -> Self {
-        EncodeParams { quality: 85, subsampling: Subsampling::S422, restart_interval: 0 }
+        EncodeParams {
+            quality: 85,
+            subsampling: Subsampling::S422,
+            restart_interval: 0,
+        }
     }
 }
 
@@ -41,7 +45,10 @@ impl Default for EncodeParams {
 pub fn encode_rgb(rgb: &[u8], width: u32, height: u32, params: &EncodeParams) -> Result<Vec<u8>> {
     let (w, h) = (width as usize, height as usize);
     if rgb.len() != w * h * 3 {
-        return Err(Error::BufferSize { expected: w * h * 3, got: rgb.len() });
+        return Err(Error::BufferSize {
+            expected: w * h * 3,
+            got: rgb.len(),
+        });
     }
     let geom = Geometry::new(w, h, params.subsampling)?;
     let planes = build_component_planes(rgb, &geom);
@@ -81,8 +88,12 @@ fn build_component_planes(rgb: &[u8], geom: &Geometry) -> SamplePlanes {
     match geom.subsampling {
         Subsampling::S444 => {
             for py in 0..ch {
-                planes.row_mut(1, py).copy_from_slice(&cb_full[py * yw..py * yw + cw]);
-                planes.row_mut(2, py).copy_from_slice(&cr_full[py * yw..py * yw + cw]);
+                planes
+                    .row_mut(1, py)
+                    .copy_from_slice(&cb_full[py * yw..py * yw + cw]);
+                planes
+                    .row_mut(2, py)
+                    .copy_from_slice(&cr_full[py * yw..py * yw + cw]);
             }
         }
         Subsampling::S422 => {
@@ -149,9 +160,30 @@ fn frame_info(geom: &Geometry, params: &EncodeParams) -> FrameInfo {
         width: geom.width,
         height: geom.height,
         components: vec![
-            ComponentSpec { id: 1, h_samp: hs, v_samp: vs, quant_idx: 0, dc_tbl: 0, ac_tbl: 0 },
-            ComponentSpec { id: 2, h_samp: 1, v_samp: 1, quant_idx: 1, dc_tbl: 1, ac_tbl: 1 },
-            ComponentSpec { id: 3, h_samp: 1, v_samp: 1, quant_idx: 1, dc_tbl: 1, ac_tbl: 1 },
+            ComponentSpec {
+                id: 1,
+                h_samp: hs,
+                v_samp: vs,
+                quant_idx: 0,
+                dc_tbl: 0,
+                ac_tbl: 0,
+            },
+            ComponentSpec {
+                id: 2,
+                h_samp: 1,
+                v_samp: 1,
+                quant_idx: 1,
+                dc_tbl: 1,
+                ac_tbl: 1,
+            },
+            ComponentSpec {
+                id: 3,
+                h_samp: 1,
+                v_samp: 1,
+                quant_idx: 1,
+                dc_tbl: 1,
+                ac_tbl: 1,
+            },
         ],
         subsampling: geom.subsampling,
         restart_interval: params.restart_interval,
@@ -172,16 +204,18 @@ fn entropy_encode(coef: &CoefBuffer, geom: &Geometry, frame: &FrameInfo) -> Resu
 
     for row in 0..geom.mcus_y {
         for mcu_x in 0..geom.mcus_x {
-            if frame.restart_interval > 0
-                && mcus_since_restart == frame.restart_interval
-            {
+            if frame.restart_interval > 0 && mcus_since_restart == frame.restart_interval {
                 w.put_restart_marker(next_restart);
                 next_restart = (next_restart + 1) & 7;
                 mcus_since_restart = 0;
                 dc_pred = [0; 3];
             }
             for (ci, comp) in geom.comps.iter().enumerate() {
-                let (dc_t, ac_t) = if ci == 0 { (&dc_l, &ac_l) } else { (&dc_c, &ac_c) };
+                let (dc_t, ac_t) = if ci == 0 {
+                    (&dc_l, &ac_l)
+                } else {
+                    (&dc_c, &ac_c)
+                };
                 for v in 0..comp.v_samp {
                     for hx in 0..comp.h_samp {
                         let bx = mcu_x * comp.h_samp + hx;
@@ -247,7 +281,11 @@ mod tests {
                 &noise_rgb(40, 24, 3),
                 40,
                 24,
-                &EncodeParams { quality: 70, subsampling: sub, restart_interval: 0 },
+                &EncodeParams {
+                    quality: 70,
+                    subsampling: sub,
+                    restart_interval: 0,
+                },
             )
             .unwrap();
             let parsed = parse_jpeg(&jpeg).unwrap();
@@ -260,7 +298,13 @@ mod tests {
     #[test]
     fn rejects_wrong_buffer_size() {
         let err = encode_rgb(&[0u8; 10], 4, 4, &EncodeParams::default()).unwrap_err();
-        assert_eq!(err, Error::BufferSize { expected: 48, got: 10 });
+        assert_eq!(
+            err,
+            Error::BufferSize {
+                expected: 48,
+                got: 10
+            }
+        );
     }
 
     #[test]
@@ -271,7 +315,11 @@ mod tests {
                 &rgb,
                 64,
                 64,
-                &EncodeParams { quality: q, subsampling: Subsampling::S444, restart_interval: 0 },
+                &EncodeParams {
+                    quality: q,
+                    subsampling: Subsampling::S444,
+                    restart_interval: 0,
+                },
             )
             .unwrap()
             .len()
@@ -289,7 +337,11 @@ mod tests {
                 &rgb,
                 64,
                 64,
-                &EncodeParams { quality: 85, subsampling: sub, restart_interval: 0 },
+                &EncodeParams {
+                    quality: 85,
+                    subsampling: sub,
+                    restart_interval: 0,
+                },
             )
             .unwrap()
             .len()
@@ -305,7 +357,11 @@ mod tests {
                 &noise_rgb(w, h, 11),
                 w as u32,
                 h as u32,
-                &EncodeParams { quality: 80, subsampling: Subsampling::S420, restart_interval: 0 },
+                &EncodeParams {
+                    quality: 80,
+                    subsampling: Subsampling::S420,
+                    restart_interval: 0,
+                },
             )
             .unwrap();
             let parsed = parse_jpeg(&jpeg).unwrap();

@@ -132,8 +132,9 @@ impl<'a> EntropyDecoder<'a> {
                         self.dc_pred[ci] += diff;
                         block[0] = self.dc_pred[ci] as i16;
 
-                        let (symbols, nonzero) =
+                        let (symbols, nonzero, eob) =
                             HuffDecoder::decode_ac_block(&mut self.reader, ac, block)?;
+                        coef.set_eob(idx, eob);
                         metrics.symbols += symbols as u64 + 1; // +1 DC symbol
                         metrics.nonzero_coefs += nonzero as u64 + (diff != 0) as u64;
                         metrics.blocks += 1;
@@ -187,7 +188,12 @@ pub fn split_restart_segments(parsed: &ParsedJpeg<'_>, geom: &Geometry) -> Vec<R
     let interval = parsed.frame.restart_interval;
     let scan = parsed.scan_data;
     if interval == 0 {
-        return vec![RestartSegment { offset: 0, len: scan.len(), start_mcu: 0, mcu_count: total_mcus }];
+        return vec![RestartSegment {
+            offset: 0,
+            len: scan.len(),
+            start_mcu: 0,
+            mcu_count: total_mcus,
+        }];
     }
     let mut segments = Vec::with_capacity(total_mcus.div_ceil(interval));
     let mut seg_start = 0usize;
@@ -225,15 +231,14 @@ pub fn split_restart_segments(parsed: &ParsedJpeg<'_>, geom: &Geometry) -> Vec<R
     segments
 }
 
-/// Decode one restart segment into `(block_index, coefficients)` pairs.
-///
-/// The segment's bitstream is self-contained: byte-aligned start, reset DC
-/// predictors, no interior restart markers.
-pub fn decode_mcu_segment(
+/// Core of the segment decoders: decode every block of `segment`, handing
+/// `(block_index, coefficients, eob)` to `emit` as each block completes.
+fn decode_segment_with(
     parsed: &ParsedJpeg<'_>,
     geom: &Geometry,
     segment: &RestartSegment,
-) -> Result<(Vec<(usize, [i16; 64])>, RowMetrics)> {
+    mut emit: impl FnMut(usize, &[i16; 64], u8),
+) -> Result<RowMetrics> {
     let data = parsed
         .scan_data
         .get(segment.offset..segment.offset + segment.len)
@@ -258,9 +263,9 @@ pub fn decode_mcu_segment(
         }
     }
 
-    let mut out = Vec::new();
     let mut metrics = RowMetrics::default();
     let mut dc_pred = [0i32; 4];
+    let mut block;
     for k in 0..segment.mcu_count {
         let mcu = segment.start_mcu + k;
         let mcu_x = mcu % geom.mcus_x;
@@ -273,22 +278,65 @@ pub fn decode_mcu_segment(
                     let bx = mcu_x * comp.h_samp + h;
                     let by = row * comp.v_samp + v;
                     let idx = geom.block_index(ci, bx, by);
-                    let mut block = [0i16; 64];
+                    block = [0i16; 64];
                     let diff = HuffDecoder::decode_dc_diff(&mut reader, dc)?;
                     dc_pred[ci] += diff;
                     block[0] = dc_pred[ci] as i16;
-                    let (symbols, nonzero) =
+                    let (symbols, nonzero, eob) =
                         HuffDecoder::decode_ac_block(&mut reader, ac, &mut block)?;
                     metrics.symbols += symbols as u64 + 1;
                     metrics.nonzero_coefs += nonzero as u64 + (diff != 0) as u64;
                     metrics.blocks += 1;
-                    out.push((idx, block));
+                    emit(idx, &block, eob);
                 }
             }
         }
     }
     metrics.bits = reader.bits_consumed();
+    Ok(metrics)
+}
+
+/// `(block_index, coefficients)` pairs of a decoded segment.
+pub type SegmentBlocks = Vec<(usize, [i16; 64])>;
+
+/// Decode one restart segment into `(block_index, coefficients)` pairs.
+///
+/// The segment's bitstream is self-contained: byte-aligned start, reset DC
+/// predictors, no interior restart markers. Prefer
+/// [`decode_mcu_segment_into`] in parallel drivers — it skips this
+/// function's per-segment accumulation vector and the copy after the join.
+pub fn decode_mcu_segment(
+    parsed: &ParsedJpeg<'_>,
+    geom: &Geometry,
+    segment: &RestartSegment,
+) -> Result<(SegmentBlocks, RowMetrics)> {
+    let mut out = Vec::with_capacity(segment.mcu_count * geom.blocks_per_mcu());
+    let metrics = decode_segment_with(parsed, geom, segment, |idx, block, _eob| {
+        out.push((idx, *block))
+    })?;
     Ok((out, metrics))
+}
+
+/// Decode one restart segment, storing each block (coefficients + EOB)
+/// directly into its slot of the shared coefficient buffer.
+///
+/// # Safety
+///
+/// Concurrent calls must target disjoint segments (no shared block
+/// indices). Segments produced by [`split_restart_segments`], each passed to
+/// exactly one call, satisfy this by construction: they partition the MCU
+/// sequence.
+pub unsafe fn decode_mcu_segment_into(
+    parsed: &ParsedJpeg<'_>,
+    geom: &Geometry,
+    segment: &RestartSegment,
+    out: &crate::coef::CoefWriter<'_>,
+) -> Result<RowMetrics> {
+    decode_segment_with(parsed, geom, segment, |idx, block, eob| {
+        // SAFETY: forwarded from this function's contract — disjoint
+        // segments yield disjoint block indices.
+        unsafe { out.write_block(idx, block, eob) }
+    })
 }
 
 #[cfg(test)]
@@ -317,13 +365,20 @@ mod tests {
             &gradient_rgb(w, h),
             w as u32,
             h as u32,
-            &EncodeParams { quality: 85, subsampling: Subsampling::S422, restart_interval: 0 },
+            &EncodeParams {
+                quality: 85,
+                subsampling: Subsampling::S422,
+                restart_interval: 0,
+            },
         )
         .unwrap();
         let parsed = parse_jpeg(&jpeg).unwrap();
-        let geom =
-            Geometry::new(parsed.frame.width, parsed.frame.height, parsed.frame.subsampling)
-                .unwrap();
+        let geom = Geometry::new(
+            parsed.frame.width,
+            parsed.frame.height,
+            parsed.frame.subsampling,
+        )
+        .unwrap();
 
         let mut dec1 = EntropyDecoder::new(&parsed, &geom).unwrap();
         let mut coef1 = CoefBuffer::new(&geom);
@@ -348,7 +403,11 @@ mod tests {
             &gradient_rgb(w, h),
             w as u32,
             h as u32,
-            &EncodeParams { quality: 75, subsampling: Subsampling::S444, restart_interval: 0 },
+            &EncodeParams {
+                quality: 75,
+                subsampling: Subsampling::S444,
+                restart_interval: 0,
+            },
         )
         .unwrap();
         let parsed = parse_jpeg(&jpeg).unwrap();
@@ -369,14 +428,22 @@ mod tests {
             &rgb,
             w as u32,
             h as u32,
-            &EncodeParams { quality: 90, subsampling: Subsampling::S422, restart_interval: 0 },
+            &EncodeParams {
+                quality: 90,
+                subsampling: Subsampling::S422,
+                restart_interval: 0,
+            },
         )
         .unwrap();
         let with_rst = encode_rgb(
             &rgb,
             w as u32,
             h as u32,
-            &EncodeParams { quality: 90, subsampling: Subsampling::S422, restart_interval: 2 },
+            &EncodeParams {
+                quality: 90,
+                subsampling: Subsampling::S422,
+                restart_interval: 2,
+            },
         )
         .unwrap();
         assert_ne!(no_rst, with_rst);
@@ -400,7 +467,11 @@ mod tests {
             &gradient_rgb(w, h),
             w as u32,
             h as u32,
-            &EncodeParams { quality: 85, subsampling: Subsampling::S422, restart_interval: 3 },
+            &EncodeParams {
+                quality: 85,
+                subsampling: Subsampling::S422,
+                restart_interval: 3,
+            },
         )
         .unwrap();
         let parsed = parse_jpeg(&jpeg).unwrap();
@@ -411,7 +482,9 @@ mod tests {
         assert_eq!(segments.len(), 8);
         let covered: usize = segments.iter().map(|s| s.mcu_count).sum();
         assert_eq!(covered, geom.mcus_x * geom.mcus_y);
-        assert!(segments.windows(2).all(|w| w[0].start_mcu + w[0].mcu_count == w[1].start_mcu));
+        assert!(segments
+            .windows(2)
+            .all(|w| w[0].start_mcu + w[0].mcu_count == w[1].start_mcu));
 
         // Segment-wise decode must equal the sequential decode.
         let mut seq = EntropyDecoder::new(&parsed, &geom).unwrap();
@@ -436,7 +509,11 @@ mod tests {
             &gradient_rgb(w, h),
             w as u32,
             h as u32,
-            &EncodeParams { quality: 85, subsampling: Subsampling::S444, restart_interval: 0 },
+            &EncodeParams {
+                quality: 85,
+                subsampling: Subsampling::S444,
+                restart_interval: 0,
+            },
         )
         .unwrap();
         let parsed = parse_jpeg(&jpeg).unwrap();
@@ -453,7 +530,11 @@ mod tests {
             &gradient_rgb(w, h),
             w as u32,
             h as u32,
-            &EncodeParams { quality: 50, subsampling: Subsampling::S444, restart_interval: 0 },
+            &EncodeParams {
+                quality: 50,
+                subsampling: Subsampling::S444,
+                restart_interval: 0,
+            },
         )
         .unwrap();
         let mut parsed = parse_jpeg(&jpeg).unwrap();

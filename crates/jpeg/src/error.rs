@@ -30,7 +30,10 @@ impl fmt::Display for Error {
             Error::Unsupported(what) => write!(f, "unsupported JPEG feature: {what}"),
             Error::BadHuffmanCode => write!(f, "invalid Huffman code in entropy stream"),
             Error::RestartMismatch { expected, found } => {
-                write!(f, "restart marker mismatch: expected RST{expected}, found {found:#x}")
+                write!(
+                    f,
+                    "restart marker mismatch: expected RST{expected}, found {found:#x}"
+                )
             }
             Error::BadDimensions => write!(f, "invalid image dimensions"),
             Error::BufferSize { expected, got } => {

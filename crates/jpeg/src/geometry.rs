@@ -121,7 +121,10 @@ impl Geometry {
     /// image height.
     #[inline]
     pub fn mcu_rows_to_pixel_rows(&self, start: usize, end: usize) -> (usize, usize) {
-        ((start * self.mcu_h).min(self.height), (end * self.mcu_h).min(self.height))
+        (
+            (start * self.mcu_h).min(self.height),
+            (end * self.mcu_h).min(self.height),
+        )
     }
 
     /// Number of MCU rows covering `pixel_rows` rows, i.e. the partition
@@ -142,7 +145,16 @@ impl Geometry {
     /// Blocks contained in MCU rows `[start, end)` for all components.
     pub fn blocks_in_mcu_rows(&self, start: usize, end: usize) -> usize {
         let rows = end.saturating_sub(start);
-        self.comps.iter().map(|c| c.width_blocks * c.v_samp * rows).sum()
+        self.comps
+            .iter()
+            .map(|c| c.width_blocks * c.v_samp * rows)
+            .sum()
+    }
+
+    /// Blocks contained in one interleaved MCU across all components.
+    #[inline]
+    pub fn blocks_per_mcu(&self) -> usize {
+        self.comps.iter().map(|c| c.h_samp * c.v_samp).sum()
     }
 
     /// Coefficient-buffer block index of block (`bx`, `by`) of component `c`.
@@ -237,7 +249,7 @@ mod tests {
         assert_eq!(g.rgb_bytes_in_mcu_rows(0, 1), 8 * 32 * 3);
         // Clipping: last MCU row of a 17px-high image covers 1 pixel row.
         let g = Geometry::new(32, 17, Subsampling::S444).unwrap();
-        assert_eq!(g.rgb_bytes_in_mcu_rows(2, 3), 1 * 32 * 3);
+        assert_eq!(g.rgb_bytes_in_mcu_rows(2, 3), 32 * 3);
     }
 
     #[test]

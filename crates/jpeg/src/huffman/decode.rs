@@ -1,7 +1,7 @@
 //! Huffman symbol decoding over a bit reader.
 
-use super::table::{DecodeTable, LOOKAHEAD_BITS};
 use super::extend;
+use super::table::{DecodeTable, LOOKAHEAD_BITS};
 use crate::bitio::BitReader;
 use crate::error::{Error, Result};
 use crate::zigzag::ZIGZAG;
@@ -53,18 +53,23 @@ impl HuffDecoder {
     }
 
     /// Decode the 63 AC coefficients of one block into `block` (natural
-    /// order, de-zigzagged on the fly). Returns `(symbols, nonzero)` — the
-    /// number of Huffman symbols read and of nonzero AC coefficients
-    /// produced; both feed the performance model's work metrics.
+    /// order, de-zigzagged on the fly). Returns `(symbols, nonzero, eob)` —
+    /// the number of Huffman symbols read, the number of nonzero AC
+    /// coefficients produced (both feed the performance model's work
+    /// metrics), and the end-of-block index: the highest zigzag position
+    /// holding a nonzero AC coefficient, 0 for an all-zero AC block. The EOB
+    /// is recorded per block so downstream IDCT stages can dispatch to
+    /// sparse fast paths without rescanning coefficients.
     #[inline]
     pub fn decode_ac_block(
         reader: &mut BitReader<'_>,
         table: &DecodeTable,
         block: &mut [i16; 64],
-    ) -> Result<(u32, u32)> {
+    ) -> Result<(u32, u32, u8)> {
         let mut k = 1usize;
         let mut nonzero = 0u32;
         let mut symbols = 0u32;
+        let mut eob = 0usize;
         while k < 64 {
             let rs = Self::decode_symbol(reader, table)?;
             symbols += 1;
@@ -84,9 +89,10 @@ impl HuffDecoder {
             let raw = reader.get_bits(s);
             block[ZIGZAG[k]] = extend(raw, s) as i16;
             nonzero += 1;
+            eob = k;
             k += 1;
         }
-        Ok((symbols, nonzero))
+        Ok((symbols, nonzero, eob as u8))
     }
 }
 
@@ -148,11 +154,12 @@ mod tests {
         let bytes = w.finish();
         let mut r = BitReader::new(&bytes);
         let mut out = [0i16; 64];
-        let (symbols, nz) = HuffDecoder::decode_ac_block(&mut r, &dec, &mut out).unwrap();
+        let (symbols, nz, eob) = HuffDecoder::decode_ac_block(&mut r, &dec, &mut out).unwrap();
         assert_eq!(out, block);
         assert_eq!(nz, 4);
         // 4 value symbols + 1 ZRL + 1 EOB.
         assert_eq!(symbols, 6);
+        assert_eq!(eob, 31); // last nonzero zigzag position written above
     }
 
     #[test]
@@ -169,8 +176,9 @@ mod tests {
         let bytes = w.finish();
         let mut r = BitReader::new(&bytes);
         let mut out = [0i16; 64];
-        HuffDecoder::decode_ac_block(&mut r, &dec, &mut out).unwrap();
+        let (_, _, eob) = HuffDecoder::decode_ac_block(&mut r, &dec, &mut out).unwrap();
         assert_eq!(out, block);
+        assert_eq!(eob, 63);
     }
 
     #[test]

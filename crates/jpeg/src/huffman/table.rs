@@ -113,12 +113,20 @@ impl DecodeTable {
                 let shift = LOOKAHEAD_BITS - size as u32;
                 let base = (code as usize) << shift;
                 for entry in lookahead.iter_mut().skip(base).take(1 << shift) {
-                    *entry = Lookahead { nbits: size, value: spec.values[sym_idx] };
+                    *entry = Lookahead {
+                        nbits: size,
+                        value: spec.values[sym_idx],
+                    };
                 }
             }
         }
 
-        Ok(DecodeTable { lookahead, maxcode, valoff, values: spec.values.clone() })
+        Ok(DecodeTable {
+            lookahead,
+            maxcode,
+            valoff,
+            values: spec.values.clone(),
+        })
     }
 }
 
@@ -157,7 +165,12 @@ mod tests {
 
     #[test]
     fn canonical_codes_are_prefix_free() {
-        for s in [spec::dc_luma(), spec::dc_chroma(), spec::ac_luma(), spec::ac_chroma()] {
+        for s in [
+            spec::dc_luma(),
+            spec::dc_chroma(),
+            spec::ac_luma(),
+            spec::ac_chroma(),
+        ] {
             let list = s.code_list();
             for (i, &(la, ca)) in list.iter().enumerate() {
                 for &(lb, cb) in list.iter().skip(i + 1) {
@@ -209,18 +222,31 @@ mod tests {
         // Count mismatch.
         let mut bits = [0u8; 17];
         bits[2] = 2;
-        assert!(HuffSpec { bits, values: vec![1] }.validate().is_err());
+        assert!(HuffSpec {
+            bits,
+            values: vec![1]
+        }
+        .validate()
+        .is_err());
         // Kraft violation: three 1-bit codes.
         let mut bits = [0u8; 17];
         bits[1] = 3;
-        assert!(HuffSpec { bits, values: vec![1, 2, 3] }.validate().is_err());
+        assert!(HuffSpec {
+            bits,
+            values: vec![1, 2, 3]
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]
     fn duplicate_symbol_rejected_by_encoder() {
         let mut bits = [0u8; 17];
         bits[2] = 2;
-        let s = HuffSpec { bits, values: vec![7, 7] };
+        let s = HuffSpec {
+            bits,
+            values: vec![7, 7],
+        };
         assert!(EncodeTable::build(&s).is_err());
     }
 }

@@ -180,7 +180,13 @@ fn parse_sof(seg: &[u8]) -> Result<FrameInfo> {
         });
     }
     let subsampling = FrameInfo::classify_subsampling(&components)?;
-    Ok(FrameInfo { width, height, components, subsampling, restart_interval: 0 })
+    Ok(FrameInfo {
+        width,
+        height,
+        components,
+        subsampling,
+        restart_interval: 0,
+    })
 }
 
 fn parse_dqt(mut seg: &[u8], quant: &mut [Option<QuantTable>; 4]) -> Result<()> {
@@ -374,9 +380,30 @@ mod tests {
             width: 48,
             height: 32,
             components: vec![
-                ComponentSpec { id: 1, h_samp: 2, v_samp: 1, quant_idx: 0, dc_tbl: 0, ac_tbl: 0 },
-                ComponentSpec { id: 2, h_samp: 1, v_samp: 1, quant_idx: 1, dc_tbl: 1, ac_tbl: 1 },
-                ComponentSpec { id: 3, h_samp: 1, v_samp: 1, quant_idx: 1, dc_tbl: 1, ac_tbl: 1 },
+                ComponentSpec {
+                    id: 1,
+                    h_samp: 2,
+                    v_samp: 1,
+                    quant_idx: 0,
+                    dc_tbl: 0,
+                    ac_tbl: 0,
+                },
+                ComponentSpec {
+                    id: 2,
+                    h_samp: 1,
+                    v_samp: 1,
+                    quant_idx: 1,
+                    dc_tbl: 1,
+                    ac_tbl: 1,
+                },
+                ComponentSpec {
+                    id: 3,
+                    h_samp: 1,
+                    v_samp: 1,
+                    quant_idx: 1,
+                    dc_tbl: 1,
+                    ac_tbl: 1,
+                },
             ],
             subsampling: Subsampling::S422,
             restart_interval: 0,
@@ -435,7 +462,10 @@ mod tests {
         // SOF2 with a minimal body.
         out.extend_from_slice(&[0xFF, 0xC2, 0x00, 0x0B, 8, 0, 16, 0, 16, 1, 1, 0x11, 0]);
         write_eoi(&mut out);
-        assert_eq!(parse_jpeg(&out).unwrap_err(), Error::Unsupported("progressive JPEG"));
+        assert_eq!(
+            parse_jpeg(&out).unwrap_err(),
+            Error::Unsupported("progressive JPEG")
+        );
     }
 
     #[test]

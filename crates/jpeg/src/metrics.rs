@@ -85,9 +85,9 @@ impl ParallelWork {
             crate::types::Subsampling::S444 => 0,
             // Each chroma component doubles (4:2:2) or quadruples (4:2:0).
             crate::types::Subsampling::S422 | crate::types::Subsampling::S420 => {
-                let chroma_blocks =
-                    (geom.comps[1].width_blocks * geom.comps[1].v_samp) as u64 * rows
-                        + (geom.comps[2].width_blocks * geom.comps[2].v_samp) as u64 * rows;
+                let chroma_blocks = (geom.comps[1].width_blocks * geom.comps[1].v_samp) as u64
+                    * rows
+                    + (geom.comps[2].width_blocks * geom.comps[2].v_samp) as u64 * rows;
                 let in_samples = chroma_blocks * 64;
                 match geom.subsampling {
                     crate::types::Subsampling::S422 => in_samples * 2,
@@ -95,7 +95,11 @@ impl ParallelWork {
                 }
             }
         };
-        ParallelWork { idct_blocks: blocks, upsampled_samples: upsampled, color_pixels: pixels }
+        ParallelWork {
+            idct_blocks: blocks,
+            upsampled_samples: upsampled,
+            color_pixels: pixels,
+        }
     }
 }
 
@@ -107,18 +111,51 @@ mod tests {
 
     #[test]
     fn row_metrics_accumulate() {
-        let mut a = RowMetrics { bits: 10, symbols: 2, nonzero_coefs: 1, blocks: 1 };
-        a.add(&RowMetrics { bits: 5, symbols: 3, nonzero_coefs: 2, blocks: 1 });
-        assert_eq!(a, RowMetrics { bits: 15, symbols: 5, nonzero_coefs: 3, blocks: 2 });
+        let mut a = RowMetrics {
+            bits: 10,
+            symbols: 2,
+            nonzero_coefs: 1,
+            blocks: 1,
+        };
+        a.add(&RowMetrics {
+            bits: 5,
+            symbols: 3,
+            nonzero_coefs: 2,
+            blocks: 1,
+        });
+        assert_eq!(
+            a,
+            RowMetrics {
+                bits: 15,
+                symbols: 5,
+                nonzero_coefs: 3,
+                blocks: 2
+            }
+        );
     }
 
     #[test]
     fn entropy_totals_and_ranges() {
         let m = EntropyMetrics {
             per_row: vec![
-                RowMetrics { bits: 100, symbols: 10, nonzero_coefs: 5, blocks: 4 },
-                RowMetrics { bits: 200, symbols: 20, nonzero_coefs: 8, blocks: 4 },
-                RowMetrics { bits: 50, symbols: 5, nonzero_coefs: 2, blocks: 4 },
+                RowMetrics {
+                    bits: 100,
+                    symbols: 10,
+                    nonzero_coefs: 5,
+                    blocks: 4,
+                },
+                RowMetrics {
+                    bits: 200,
+                    symbols: 20,
+                    nonzero_coefs: 8,
+                    blocks: 4,
+                },
+                RowMetrics {
+                    bits: 50,
+                    symbols: 5,
+                    nonzero_coefs: 2,
+                    blocks: 4,
+                },
             ],
         };
         assert_eq!(m.total().bits, 350);

@@ -9,16 +9,16 @@ use crate::zigzag::ZIGZAG;
 
 /// The Annex K.1 luminance base quantization table (zigzag order).
 pub const BASE_LUMA_ZZ: [u16; 64] = [
-    16, 11, 12, 14, 12, 10, 16, 14, 13, 14, 18, 17, 16, 19, 24, 40, 26, 24, 22, 22, 24, 49, 35,
-    37, 29, 40, 58, 51, 61, 60, 57, 51, 56, 55, 64, 72, 92, 78, 64, 68, 87, 69, 55, 56, 80, 109,
-    81, 87, 95, 98, 103, 104, 103, 62, 77, 113, 121, 112, 100, 120, 92, 101, 103, 99,
+    16, 11, 12, 14, 12, 10, 16, 14, 13, 14, 18, 17, 16, 19, 24, 40, 26, 24, 22, 22, 24, 49, 35, 37,
+    29, 40, 58, 51, 61, 60, 57, 51, 56, 55, 64, 72, 92, 78, 64, 68, 87, 69, 55, 56, 80, 109, 81,
+    87, 95, 98, 103, 104, 103, 62, 77, 113, 121, 112, 100, 120, 92, 101, 103, 99,
 ];
 
 /// The Annex K.2 chrominance base quantization table (zigzag order).
 pub const BASE_CHROMA_ZZ: [u16; 64] = [
-    17, 18, 18, 24, 21, 24, 47, 26, 26, 47, 99, 66, 56, 66, 99, 99, 99, 99, 99, 99, 99, 99, 99,
-    99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99,
-    99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99,
+    17, 18, 18, 24, 21, 24, 47, 26, 26, 47, 99, 66, 56, 66, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99,
+    99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99,
+    99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99,
 ];
 
 /// A quantization table in natural (row-major) order.
@@ -50,12 +50,18 @@ impl QuantTable {
     /// The standard luminance table scaled to `quality` (1..=100) with the
     /// IJG formula used by libjpeg's `jpeg_set_quality`.
     pub fn luma_for_quality(quality: u8) -> Result<Self> {
-        Ok(QuantTable::from_zigzag(&scale_table(&BASE_LUMA_ZZ, quality)?))
+        Ok(QuantTable::from_zigzag(&scale_table(
+            &BASE_LUMA_ZZ,
+            quality,
+        )?))
     }
 
     /// The standard chrominance table scaled to `quality` (1..=100).
     pub fn chroma_for_quality(quality: u8) -> Result<Self> {
-        Ok(QuantTable::from_zigzag(&scale_table(&BASE_CHROMA_ZZ, quality)?))
+        Ok(QuantTable::from_zigzag(&scale_table(
+            &BASE_CHROMA_ZZ,
+            quality,
+        )?))
     }
 
     /// Quantize one block of raw DCT coefficients (natural order), with
@@ -64,7 +70,11 @@ impl QuantTable {
         let mut out = [0i16; 64];
         for ((o, &c), &q) in out.iter_mut().zip(coefs.iter()).zip(self.values.iter()) {
             let q = q as i32;
-            let v = if c < 0 { -((-c + q / 2) / q) } else { (c + q / 2) / q };
+            let v = if c < 0 {
+                -((-c + q / 2) / q)
+            } else {
+                (c + q / 2) / q
+            };
             *o = v as i16;
         }
         out

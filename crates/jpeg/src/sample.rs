@@ -121,7 +121,7 @@ pub fn upsample_row_h2v1_replicate(input: &[u8], output: &mut [u8]) {
 pub fn downsample_row_h2v1(input: &[u8], output: &mut [u8]) {
     debug_assert_eq!(input.len(), output.len() * 2);
     for (o, pair) in output.iter_mut().zip(input.chunks_exact(2)) {
-        *o = ((pair[0] as u16 + pair[1] as u16 + 1) / 2) as u8;
+        *o = (pair[0] as u16 + pair[1] as u16).div_ceil(2) as u8;
     }
 }
 
@@ -130,7 +130,9 @@ pub fn downsample_h2v2(row0: &[u8], row1: &[u8], output: &mut [u8]) {
     debug_assert_eq!(row0.len(), row1.len());
     debug_assert_eq!(row0.len(), output.len() * 2);
     for (i, o) in output.iter_mut().enumerate() {
-        let s = row0[2 * i] as u16 + row0[2 * i + 1] as u16 + row1[2 * i] as u16
+        let s = row0[2 * i] as u16
+            + row0[2 * i + 1] as u16
+            + row1[2 * i] as u16
             + row1[2 * i + 1] as u16;
         *o = ((s + 2) / 4) as u8;
     }
@@ -153,8 +155,8 @@ mod tests {
         let inp = [0u8, 40, 80, 120, 160, 200, 240, 255];
         let out = upsample_h2v1_block8(&inp);
         assert_eq!(out[0], 0); // Out[0] = In[0]
-        assert_eq!(out[1], ((0 + 40 + 2) / 4) as u8); // (In[0]*3 + In[1] + 2)/4 = 10
-        assert_eq!(out[2], ((40 * 3 + 0 + 1) / 4) as u8); // = 30
+        assert_eq!(out[1], ((40 + 2) / 4) as u8); // (In[0]*3 + In[1] + 2)/4 = 10
+        assert_eq!(out[2], (((40 * 3) + 1) / 4) as u8); // = 30
         assert_eq!(out[8], ((160 * 3 + 120 + 1) / 4) as u8);
         assert_eq!(out[15], 255); // Out[15] = In[7]
     }

@@ -124,7 +124,11 @@ pub struct RgbImage {
 impl RgbImage {
     /// Allocate a black image of the given size.
     pub fn new(width: usize, height: usize) -> Self {
-        RgbImage { width, height, data: vec![0; width * height * 3] }
+        RgbImage {
+            width,
+            height,
+            data: vec![0; width * height * 3],
+        }
     }
 
     /// Borrow the pixel at (x, y) as an `[r, g, b]` slice.
@@ -178,14 +182,44 @@ mod tests {
     fn classify_subsampling_variants() {
         let mk = |h, v| {
             vec![
-                ComponentSpec { id: 1, h_samp: h, v_samp: v, quant_idx: 0, dc_tbl: 0, ac_tbl: 0 },
-                ComponentSpec { id: 2, h_samp: 1, v_samp: 1, quant_idx: 1, dc_tbl: 1, ac_tbl: 1 },
-                ComponentSpec { id: 3, h_samp: 1, v_samp: 1, quant_idx: 1, dc_tbl: 1, ac_tbl: 1 },
+                ComponentSpec {
+                    id: 1,
+                    h_samp: h,
+                    v_samp: v,
+                    quant_idx: 0,
+                    dc_tbl: 0,
+                    ac_tbl: 0,
+                },
+                ComponentSpec {
+                    id: 2,
+                    h_samp: 1,
+                    v_samp: 1,
+                    quant_idx: 1,
+                    dc_tbl: 1,
+                    ac_tbl: 1,
+                },
+                ComponentSpec {
+                    id: 3,
+                    h_samp: 1,
+                    v_samp: 1,
+                    quant_idx: 1,
+                    dc_tbl: 1,
+                    ac_tbl: 1,
+                },
             ]
         };
-        assert_eq!(FrameInfo::classify_subsampling(&mk(1, 1)).unwrap(), Subsampling::S444);
-        assert_eq!(FrameInfo::classify_subsampling(&mk(2, 1)).unwrap(), Subsampling::S422);
-        assert_eq!(FrameInfo::classify_subsampling(&mk(2, 2)).unwrap(), Subsampling::S420);
+        assert_eq!(
+            FrameInfo::classify_subsampling(&mk(1, 1)).unwrap(),
+            Subsampling::S444
+        );
+        assert_eq!(
+            FrameInfo::classify_subsampling(&mk(2, 1)).unwrap(),
+            Subsampling::S422
+        );
+        assert_eq!(
+            FrameInfo::classify_subsampling(&mk(2, 2)).unwrap(),
+            Subsampling::S420
+        );
         assert!(FrameInfo::classify_subsampling(&mk(4, 1)).is_err());
     }
 

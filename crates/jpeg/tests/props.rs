@@ -1,8 +1,8 @@
 //! Property-based tests for the JPEG codec substrate.
 
 use hetjpeg_jpeg::bitio::{BitReader, BitWriter};
-use hetjpeg_jpeg::decoder::{decode, decode_simd};
 use hetjpeg_jpeg::dct::{islow, reference};
+use hetjpeg_jpeg::decoder::{decode, decode_simd};
 use hetjpeg_jpeg::encoder::{encode_rgb, EncodeParams};
 use hetjpeg_jpeg::huffman::{spec, DecodeTable, EncodeTable, HuffDecoder, HuffEncoder};
 use hetjpeg_jpeg::types::Subsampling;

@@ -1,0 +1,228 @@
+//! Minimal offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset the workspace's benches use — `Criterion` with
+//! `sample_size` / `warm_up_time` / `measurement_time`, benchmark groups
+//! with throughput annotation, `Bencher::iter`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros. Timing is a plain
+//! monotonic-clock loop reporting mean ± stddev per iteration; there is no
+//! statistical regression analysis or HTML report.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of the std black box.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Work-per-iteration annotation, used to derive a rate.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Benchmark driver configuration.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_millis(900),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Time spent running the closure before measuring.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Total time budget for the timed samples.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        BenchmarkGroup {
+            config: self.clone(),
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+
+    /// Benchmark outside any group.
+    pub fn bench_function<I: std::fmt::Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Self {
+        run_bench(&self.clone(), &id.to_string(), None, f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing throughput settings.
+pub struct BenchmarkGroup {
+    config: Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Set the per-iteration work for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<I: std::fmt::Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_bench(&self.config, &full, self.throughput, f);
+        self
+    }
+
+    /// Finish the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; `iter` does the timing.
+pub struct Bencher<'a> {
+    config: &'a Criterion,
+    samples: Vec<f64>,
+}
+
+impl Bencher<'_> {
+    /// Time `f`, recording `sample_size` samples after a warm-up.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up while estimating the per-call cost.
+        let warm_start = Instant::now();
+        let mut calls = 0u64;
+        while warm_start.elapsed() < self.config.warm_up || calls == 0 {
+            black_box(f());
+            calls += 1;
+        }
+        let per_call = warm_start.elapsed().as_secs_f64() / calls as f64;
+
+        // Choose a batch size so one sample is measurable but the whole
+        // measurement stays inside the configured budget.
+        let budget = self.config.measurement.as_secs_f64() / self.config.sample_size as f64;
+        let batch = ((budget / per_call.max(1e-9)) as u64).clamp(1, 1_000_000);
+
+        self.samples.clear();
+        for _ in 0..self.config.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.samples.push(t0.elapsed().as_secs_f64() / batch as f64);
+        }
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    config: &Criterion,
+    id: &str,
+    tp: Option<Throughput>,
+    mut f: F,
+) {
+    let mut b = Bencher {
+        config,
+        samples: Vec::new(),
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{id:<40} (no samples)");
+        return;
+    }
+    let n = b.samples.len() as f64;
+    let mean = b.samples.iter().sum::<f64>() / n;
+    let var = b
+        .samples
+        .iter()
+        .map(|s| (s - mean) * (s - mean))
+        .sum::<f64>()
+        / n;
+    let sd = var.sqrt();
+    let rate = match tp {
+        Some(Throughput::Elements(e)) => format!("  {:>12.1} elem/s", e as f64 / mean),
+        Some(Throughput::Bytes(by)) => {
+            format!("  {:>12.1} MiB/s", by as f64 / mean / (1 << 20) as f64)
+        }
+        None => String::new(),
+    };
+    println!(
+        "{id:<40} {:>12.0} ns/iter (± {:.0}){rate}",
+        mean * 1e9,
+        sd * 1e9
+    );
+}
+
+/// Bundle benchmark functions under one entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut g = c.benchmark_group("shim");
+        g.throughput(Throughput::Elements(64));
+        let mut ran = 0u64;
+        g.bench_function("noop", |b| b.iter(|| ran = ran.wrapping_add(1)));
+        g.finish();
+        assert!(ran > 0);
+    }
+}

@@ -1,0 +1,190 @@
+//! Minimal offline stand-in for the `crossbeam` crate.
+//!
+//! The build environment has no crates.io access, so this shim provides the
+//! small API surface the workspace uses — [`scope`] with crossbeam's
+//! closure-takes-`&Scope` signature, and [`channel`] with `unbounded` /
+//! `bounded` constructors — implemented entirely on `std::thread::scope` and
+//! `std::sync::mpsc`. Semantics match crossbeam for the supported subset:
+//! `scope` joins every spawned thread before returning, senders block when a
+//! bounded channel is full, and dropping all senders terminates
+//! `Receiver::iter`.
+
+use std::thread;
+
+/// Scope handle passed to the [`scope`] closure and to every spawned thread.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+/// Join handle for a thread spawned inside a [`scope`].
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    /// Wait for the thread to finish, returning its result (or its panic
+    /// payload as `Err`).
+    pub fn join(self) -> thread::Result<T> {
+        self.inner.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a thread inside the scope. The closure receives the scope so it
+    /// can spawn further threads, mirroring crossbeam's signature.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        ScopedJoinHandle {
+            inner: inner.spawn(move || f(&Scope { inner })),
+        }
+    }
+}
+
+/// Run `f` with a scope in which borrowing, non-`'static` threads can be
+/// spawned; every spawned thread is joined before `scope` returns.
+///
+/// Unlike crossbeam this cannot observe child panics as an `Err` (std's
+/// scoped threads propagate them), so the `Ok` wrapper exists purely for
+/// call-site compatibility.
+pub fn scope<'env, F, R>(f: F) -> thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(thread::scope(|s| f(&Scope { inner: s })))
+}
+
+/// Multi-producer channels with crossbeam's `unbounded`/`bounded`
+/// constructors, backed by `std::sync::mpsc`.
+pub mod channel {
+    use std::sync::mpsc;
+
+    /// Sending half; blocks on a full bounded channel.
+    pub struct Sender<T>(Inner<T>);
+
+    enum Inner<T> {
+        Unbounded(mpsc::Sender<T>),
+        Bounded(mpsc::SyncSender<T>),
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(match &self.0 {
+                Inner::Unbounded(s) => Inner::Unbounded(s.clone()),
+                Inner::Bounded(s) => Inner::Bounded(s.clone()),
+            })
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Send a value, blocking while a bounded channel is at capacity.
+        /// Fails only when the receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), mpsc::SendError<T>> {
+            match &self.0 {
+                Inner::Unbounded(s) => s.send(value),
+                Inner::Bounded(s) => s.send(value),
+            }
+        }
+    }
+
+    /// Receiving half; `iter` yields until every sender is dropped.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Blocking receive.
+        pub fn recv(&self) -> Result<T, mpsc::RecvError> {
+            self.0.recv()
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, mpsc::TryRecvError> {
+            self.0.try_recv()
+        }
+
+        /// Blocking iterator over received values.
+        pub fn iter(&self) -> mpsc::Iter<'_, T> {
+            self.0.iter()
+        }
+    }
+
+    impl<'a, T> IntoIterator for &'a Receiver<T> {
+        type Item = T;
+        type IntoIter = mpsc::Iter<'a, T>;
+        fn into_iter(self) -> Self::IntoIter {
+            self.0.iter()
+        }
+    }
+
+    impl<T> IntoIterator for Receiver<T> {
+        type Item = T;
+        type IntoIter = mpsc::IntoIter<T>;
+        fn into_iter(self) -> Self::IntoIter {
+            self.0.into_iter()
+        }
+    }
+
+    /// Channel with unlimited buffering.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(Inner::Unbounded(tx)), Receiver(rx))
+    }
+
+    /// Channel that holds at most `cap` in-flight values; senders block when
+    /// it is full (the pipeline back-pressure the executor relies on).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender(Inner::Bounded(tx)), Receiver(rx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_joins_all_threads() {
+        let counter = AtomicUsize::new(0);
+        crate::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| counter.fetch_add(1, Ordering::Relaxed));
+            }
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn explicit_join_returns_value() {
+        let v = crate::scope(|s| {
+            let h = s.spawn(|_| 41 + 1);
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn channels_roundtrip_and_close() {
+        let (tx, rx) = crate::channel::unbounded::<u32>();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        drop(tx);
+        let got: Vec<u32> = rx.iter().collect();
+        assert_eq!(got, vec![1, 2]);
+
+        let (tx, rx) = crate::channel::bounded::<u32>(1);
+        crate::scope(|s| {
+            let h = s.spawn(move |_| {
+                tx.send(1).unwrap();
+                tx.send(2).unwrap(); // blocks until the first is consumed
+            });
+            assert_eq!(rx.recv().unwrap(), 1);
+            assert_eq!(rx.recv().unwrap(), 2);
+            h.join().unwrap();
+        })
+        .unwrap();
+    }
+}

@@ -1,0 +1,189 @@
+//! Minimal offline stand-in for the `rand` crate.
+//!
+//! Provides the subset the corpus generator uses: `SmallRng` seeded through
+//! `SeedableRng::seed_from_u64`, and `Rng::{gen, gen_range}` for the
+//! primitive types that appear in this workspace. The generator is
+//! xorshift64* over a splitmix64-expanded seed — deterministic across
+//! platforms, which is all the synthetic corpora require (statistical
+//! quality is irrelevant; the streams differ from upstream rand's).
+
+use std::ops::Range;
+
+/// Core 64-bit generator interface.
+pub trait RngCore {
+    /// Next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction from a seed.
+pub trait SeedableRng: Sized {
+    /// Build a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types samplable uniformly from the full bit stream (rand's `Standard`).
+pub trait Standard: Sized {
+    /// Derive a value from 64 uniformly random bits.
+    fn from_random_bits(bits: u64) -> Self;
+}
+
+impl Standard for u8 {
+    fn from_random_bits(bits: u64) -> Self {
+        (bits >> 56) as u8
+    }
+}
+impl Standard for u16 {
+    fn from_random_bits(bits: u64) -> Self {
+        (bits >> 48) as u16
+    }
+}
+impl Standard for u32 {
+    fn from_random_bits(bits: u64) -> Self {
+        (bits >> 32) as u32
+    }
+}
+impl Standard for u64 {
+    fn from_random_bits(bits: u64) -> Self {
+        bits
+    }
+}
+impl Standard for bool {
+    fn from_random_bits(bits: u64) -> Self {
+        bits >> 63 != 0
+    }
+}
+impl Standard for f64 {
+    /// Uniform in [0, 1) with 53 mantissa bits.
+    fn from_random_bits(bits: u64) -> Self {
+        (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+impl Standard for f32 {
+    fn from_random_bits(bits: u64) -> Self {
+        (bits >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// Ranges samplable by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draw one value from the range.
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        self.start + <f64 as Standard>::from_random_bits(rng.next_u64()) * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = (rng.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Convenience methods over any [`RngCore`], mirroring rand's `Rng`.
+pub trait Rng: RngCore {
+    /// Sample a value of an inferred primitive type.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::from_random_bits(self.next_u64())
+    }
+
+    /// Sample uniformly from a range.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Small, fast generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xorshift64* seeded through one round of splitmix64.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        state: u64,
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // splitmix64 scrambles low-entropy seeds (0, 1, 2, ...) apart.
+            let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            SmallRng {
+                state: (z ^ (z >> 31)) | 1,
+            }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        let mut c = SmallRng::seed_from_u64(8);
+        let va: Vec<u8> = (0..16).map(|_| a.gen()).collect();
+        let vb: Vec<u8> = (0..16).map(|_| b.gen()).collect();
+        let vc: Vec<u8> = (0..16).map(|_| c.gen()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let f = rng.gen_range(0.5..3.0);
+            assert!((0.5..3.0).contains(&f));
+            let i = rng.gen_range(-5i32..7);
+            assert!((-5..7).contains(&i));
+            let u = rng.gen_range(2u8..=9);
+            assert!((2..=9).contains(&u));
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+}

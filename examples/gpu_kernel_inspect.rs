@@ -32,7 +32,10 @@ fn main() {
     let packed = coefbuf.pack_mcu_rows(&prep.geom, 0, prep.geom.mcus_y);
     let bytes: Vec<u8> = packed.iter().flat_map(|v| v.to_le_bytes()).collect();
 
-    println!("== per-kernel statistics on {} (512x512 4:2:2) ==\n", platform.gpu.name);
+    println!(
+        "== per-kernel statistics on {} (512x512 4:2:2) ==\n",
+        platform.gpu.name
+    );
     let mut sim = GpuSim::new(platform.gpu.clone());
     let coef = sim.create_buffer(layout.coef_bytes);
     let planes = sim.create_buffer(layout.planes_len);
@@ -98,9 +101,11 @@ fn main() {
     }
 
     println!("\n== merged vs unmerged plan (§4.4) ==\n");
-    for (name, plan) in [("merged", KernelPlan::Merged), ("unmerged", KernelPlan::Unmerged)] {
-        let res =
-            decode_region_gpu(&prep, &coefbuf, 0, prep.geom.mcus_y, &platform, 8, plan);
+    for (name, plan) in [
+        ("merged", KernelPlan::Merged),
+        ("unmerged", KernelPlan::Unmerged),
+    ] {
+        let res = decode_region_gpu(&prep, &coefbuf, 0, prep.geom.mcus_y, &platform, 8, plan);
         println!(
             "{name:<9}: kernels {:.3} ms, bus {:.2} MB, h2d {:.3} ms, d2h {:.3} ms",
             res.kernels_total() * 1e3,
@@ -124,6 +129,9 @@ fn main() {
             wg,
             KernelPlan::Merged,
         );
-        println!("wg {wg:>2} blocks: kernels {:.3} ms", res.kernels_total() * 1e3);
+        println!(
+            "wg {wg:>2} blocks: kernels {:.3} ms",
+            res.kernels_total() * 1e3
+        );
     }
 }

@@ -59,7 +59,9 @@ fn main() {
             let total: f64 = gallery
                 .iter()
                 .map(|jpeg| {
-                    decode_with_mode(jpeg, mode, &platform, &model).expect("decode").total()
+                    decode_with_mode(jpeg, mode, &platform, &model)
+                        .expect("decode")
+                        .total()
                 })
                 .sum();
             row.push_str(&format!(" {:>11.1}ms", total * 1e3));

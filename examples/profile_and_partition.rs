@@ -10,7 +10,7 @@
 use hetjpeg_core::partition::{pps, sps};
 use hetjpeg_core::platform::Platform;
 use hetjpeg_core::profile::{train, TrainOptions};
-use hetjpeg_corpus::{training_set, CorpusParams, generate_jpeg, ImageSpec, Pattern};
+use hetjpeg_corpus::{generate_jpeg, training_set, CorpusParams, ImageSpec, Pattern};
 use hetjpeg_jpeg::decoder::Prepared;
 use hetjpeg_jpeg::types::Subsampling;
 
@@ -30,7 +30,11 @@ fn main() {
     let model = train(
         &platform,
         &jpegs,
-        TrainOptions { max_degree: 4, wg_blocks: None, chunk_mcu_rows: None },
+        TrainOptions {
+            max_degree: 4,
+            wg_blocks: None,
+            chunk_mcu_rows: None,
+        },
     );
     println!(
         "fitted: THuff degree {}, PCPU degree {}, PGPU degree {}; wg = {} blocks, chunk = {} MCU rows",
@@ -41,14 +45,29 @@ fn main() {
         model.chunk_mcu_rows
     );
     for d in [0.05, 0.15, 0.30, 0.45] {
-        println!("  THuffPerPixel({d:.2}) = {:.2} ns/px", model.thuff_ns_per_px.eval(d));
+        println!(
+            "  THuffPerPixel({d:.2}) = {:.2} ns/px",
+            model.thuff_ns_per_px.eval(d)
+        );
     }
 
     // 2. Partition decisions across image shapes (§5.2).
     println!("\nSPS and PPS splits (GPU share of MCU rows):");
-    println!("{:<12} {:>10} {:>10} {:>10}", "image", "d (B/px)", "SPS gpu%", "PPS gpu%");
-    for (w, h, detail) in [(512usize, 384usize, 0.3f64), (448, 448, 0.6), (512, 512, 0.9)] {
-        let spec = ImageSpec { width: w, height: h, pattern: Pattern::PhotoLike { detail }, seed: 1 };
+    println!(
+        "{:<12} {:>10} {:>10} {:>10}",
+        "image", "d (B/px)", "SPS gpu%", "PPS gpu%"
+    );
+    for (w, h, detail) in [
+        (512usize, 384usize, 0.3f64),
+        (448, 448, 0.6),
+        (512, 512, 0.9),
+    ] {
+        let spec = ImageSpec {
+            width: w,
+            height: h,
+            pattern: Pattern::PhotoLike { detail },
+            seed: 1,
+        };
         let jpeg = generate_jpeg(&spec, 88, Subsampling::S422).expect("encode");
         let prep = Prepared::new(&jpeg).expect("parse");
         let d = prep.parsed.entropy_density();
@@ -71,9 +90,16 @@ fn main() {
     // 3. The Eq. 17 density correction: when the bottom of an image is
     //    busier than the top, the re-partitioning shifts work to the GPU.
     println!("\nEq. 17 density correction (half the image decoded):");
-    for (spent_frac, label) in [(0.3, "tail denser"), (0.5, "uniform"), (0.7, "tail sparser")] {
+    for (spent_frac, label) in [
+        (0.3, "tail denser"),
+        (0.5, "uniform"),
+        (0.7, "tail sparser"),
+    ] {
         let d0 = 0.2;
         let d_new = pps::corrected_density(d0, 1.0, spent_frac, 0.5, 1.0);
-        println!("  huffman {:.0}% spent at half-height ({label}): d 0.200 -> {d_new:.3}", spent_frac * 100.0);
+        println!(
+            "  huffman {:.0}% spent at half-height ({label}): d 0.200 -> {d_new:.3}",
+            spent_frac * 100.0
+        );
     }
 }

@@ -37,8 +37,9 @@ fn main() {
 
     // 3. Decode under each mode; all six produce byte-identical pixels.
     println!("{:<12} {:>12} {:>10}", "mode", "time (ms)", "speedup");
-    let simd_total =
-        decode_with_mode(&jpeg, Mode::Simd, &platform, &model).expect("decode").total();
+    let simd_total = decode_with_mode(&jpeg, Mode::Simd, &platform, &model)
+        .expect("decode")
+        .total();
     let mut reference: Option<Vec<u8>> = None;
     for mode in Mode::all() {
         let out = decode_with_mode(&jpeg, mode, &platform, &model).expect("decode");

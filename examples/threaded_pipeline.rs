@@ -31,15 +31,29 @@ fn main() {
     let t_ref = t0.elapsed();
 
     let out = decode_pps_threaded(&jpeg, &platform, &model).expect("threaded decode");
-    assert_eq!(out.image.data, reference.data, "threaded result must be bit-identical");
+    assert_eq!(
+        out.image.data, reference.data,
+        "threaded result must be bit-identical"
+    );
 
-    println!("image: {}x{} 4:2:2, {} KiB", spec.width, spec.height, jpeg.len() / 1024);
-    println!("single-thread reference decode: {:>8.1} ms", t_ref.as_secs_f64() * 1e3);
+    println!(
+        "image: {}x{} 4:2:2, {} KiB",
+        spec.width,
+        spec.height,
+        jpeg.len() / 1024
+    );
+    println!(
+        "single-thread reference decode: {:>8.1} ms",
+        t_ref.as_secs_f64() * 1e3
+    );
     println!(
         "threaded pipeline (entropy ‖ kernels): {:>8.1} ms  ({} of {} MCU rows via GPU path)",
         out.wall.as_secs_f64() * 1e3,
         out.gpu_mcu_rows,
-        hetjpeg_jpeg::decoder::Prepared::new(&jpeg).unwrap().geom.mcus_y
+        hetjpeg_jpeg::decoder::Prepared::new(&jpeg)
+            .unwrap()
+            .geom
+            .mcus_y
     );
     println!("\n(wall-clock on this host; the GPU worker runs the instrumented simulator,");
     println!(" so the pipeline demonstrates overlap structure, not raw GPU speed)");

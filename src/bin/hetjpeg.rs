@@ -28,7 +28,9 @@ fn usage() -> ExitCode {
 }
 
 fn arg_value(args: &[String], key: &str) -> Option<String> {
-    args.iter().position(|a| a == key).and_then(|i| args.get(i + 1).cloned())
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1).cloned())
 }
 
 fn main() -> ExitCode {
@@ -137,7 +139,9 @@ fn cmd_encode(input: &str, args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let quality: u8 = arg_value(args, "--quality").and_then(|v| v.parse().ok()).unwrap_or(85);
+    let quality: u8 = arg_value(args, "--quality")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(85);
     let subsampling = match arg_value(args, "--subsampling").as_deref().unwrap_or("422") {
         "444" => Subsampling::S444,
         "422" => Subsampling::S422,
@@ -147,12 +151,18 @@ fn cmd_encode(input: &str, args: &[String]) -> ExitCode {
             return usage();
         }
     };
-    let restart: usize = arg_value(args, "--restart").and_then(|v| v.parse().ok()).unwrap_or(0);
+    let restart: usize = arg_value(args, "--restart")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
     let jpeg = match encode_rgb(
         &rgb,
         w as u32,
         h as u32,
-        &EncodeParams { quality, subsampling, restart_interval: restart },
+        &EncodeParams {
+            quality,
+            subsampling,
+            restart_interval: restart,
+        },
     ) {
         Ok(j) => j,
         Err(e) => {
@@ -190,18 +200,32 @@ fn cmd_info(input: &str) -> ExitCode {
         }
     };
     println!("{input}:");
-    println!("  {}x{} {}", parsed.frame.width, parsed.frame.height, parsed.frame.subsampling.notation());
+    println!(
+        "  {}x{} {}",
+        parsed.frame.width,
+        parsed.frame.height,
+        parsed.frame.subsampling.notation()
+    );
     println!("  file size      {} bytes", parsed.file_size);
-    println!("  entropy density {:.4} bytes/pixel (Eq. 3)", parsed.entropy_density());
+    println!(
+        "  entropy density {:.4} bytes/pixel (Eq. 3)",
+        parsed.entropy_density()
+    );
     println!("  restart interval {}", parsed.frame.restart_interval);
     if let Ok(geom) = hetjpeg_jpeg::geometry::Geometry::new(
         parsed.frame.width,
         parsed.frame.height,
         parsed.frame.subsampling,
     ) {
-        println!("  {} x {} MCUs ({} blocks)", geom.mcus_x, geom.mcus_y, geom.total_blocks);
+        println!(
+            "  {} x {} MCUs ({} blocks)",
+            geom.mcus_x, geom.mcus_y, geom.total_blocks
+        );
         let segs = hetjpeg_jpeg::entropy::split_restart_segments(&parsed, &geom);
-        println!("  {} independently decodable entropy segment(s)", segs.len());
+        println!(
+            "  {} independently decodable entropy segment(s)",
+            segs.len()
+        );
     }
     ExitCode::SUCCESS
 }
@@ -244,6 +268,8 @@ fn read_ppm(path: &str) -> Result<(usize, usize, Vec<u8>), String> {
         return Err("only maxval 255 supported".into());
     }
     pos += 1; // single whitespace after maxval
-    let body = data.get(pos..pos + w * h * 3).ok_or("truncated pixel data")?;
+    let body = data
+        .get(pos..pos + w * h * 3)
+        .ok_or("truncated pixel data")?;
     Ok((w, h, body.to_vec()))
 }

@@ -1,1 +1,50 @@
-//! Facade crate.
+//! # hetjpeg — dynamic partitioning-based JPEG decompression
+//!
+//! Facade over the workspace crates, re-exported under one roof:
+//!
+//! * [`jpeg`] (`hetjpeg-jpeg`) — the baseline JPEG codec substrate with
+//!   region-addressable decode stages and the EOB-dispatched sparse hot
+//!   path,
+//! * [`gpusim`] (`hetjpeg-gpu-sim`) — the functional + analytic
+//!   OpenCL-style GPU simulator,
+//! * [`core`] (`hetjpeg-core`) — performance model, partitioners, the six
+//!   decode modes, and the real-thread pipelined executor,
+//! * [`corpus`] (`hetjpeg-corpus`) — synthetic corpora with controllable
+//!   entropy density.
+//!
+//! The `hetjpeg` binary (`src/bin/hetjpeg.rs`) is the command-line front
+//! end; see `docs/PERF.md` for the hot-path architecture and bench
+//! methodology.
+
+pub use hetjpeg_core as core;
+pub use hetjpeg_corpus as corpus;
+pub use hetjpeg_gpusim as gpusim;
+pub use hetjpeg_jpeg as jpeg;
+
+/// Decode a JPEG byte stream with the reference scalar pipeline.
+pub fn decode(data: &[u8]) -> hetjpeg_jpeg::Result<hetjpeg_jpeg::RgbImage> {
+    hetjpeg_jpeg::decoder::decode(data)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_decodes() {
+        use hetjpeg_jpeg::encoder::{encode_rgb, EncodeParams};
+        use hetjpeg_jpeg::types::Subsampling;
+        let rgb = vec![100u8; 16 * 8 * 3];
+        let jpeg = encode_rgb(
+            &rgb,
+            16,
+            8,
+            &EncodeParams {
+                quality: 90,
+                subsampling: Subsampling::S444,
+                restart_interval: 0,
+            },
+        )
+        .unwrap();
+        let img = super::decode(&jpeg).unwrap();
+        assert_eq!((img.width, img.height), (16, 8));
+    }
+}

@@ -21,14 +21,22 @@ fn trained(platform: &Platform) -> hetjpeg_core::model::PerformanceModel {
     train(
         platform,
         &jpegs,
-        TrainOptions { max_degree: 3, wg_blocks: Some(8), chunk_mcu_rows: Some(8) },
+        TrainOptions {
+            max_degree: 3,
+            wg_blocks: Some(8),
+            chunk_mcu_rows: Some(8),
+        },
     )
 }
 
 #[test]
 fn trained_pps_beats_simd_on_every_machine() {
-    let spec =
-        ImageSpec { width: 448, height: 448, pattern: Pattern::PhotoLike { detail: 0.7 }, seed: 1 };
+    let spec = ImageSpec {
+        width: 448,
+        height: 448,
+        pattern: Pattern::PhotoLike { detail: 0.7 },
+        seed: 1,
+    };
     let jpeg = generate_jpeg(&spec, 88, Subsampling::S422).expect("encode");
     for platform in Platform::all() {
         let model = trained(&platform);
@@ -56,11 +64,24 @@ fn mode_ordering_matches_paper_on_gtx560() {
     // PPS > pipeline > GPU and PPS > SPS > GPU.
     let platform = Platform::gtx560();
     let model = trained(&platform);
-    let spec =
-        ImageSpec { width: 448, height: 448, pattern: Pattern::PhotoLike { detail: 0.7 }, seed: 4 };
+    let spec = ImageSpec {
+        width: 448,
+        height: 448,
+        pattern: Pattern::PhotoLike { detail: 0.7 },
+        seed: 4,
+    };
     let jpeg = generate_jpeg(&spec, 88, Subsampling::S422).expect("encode");
-    let t = |mode| decode_with_mode(&jpeg, mode, &platform, &model).unwrap().total();
-    let (gpu, pipe, sps, pps) = (t(Mode::Gpu), t(Mode::PipelinedGpu), t(Mode::Sps), t(Mode::Pps));
+    let t = |mode| {
+        decode_with_mode(&jpeg, mode, &platform, &model)
+            .unwrap()
+            .total()
+    };
+    let (gpu, pipe, sps, pps) = (
+        t(Mode::Gpu),
+        t(Mode::PipelinedGpu),
+        t(Mode::Sps),
+        t(Mode::Pps),
+    );
     assert!(pps <= pipe * 1.02, "PPS {pps} vs pipeline {pipe}");
     assert!(pps <= sps * 1.02, "PPS {pps} vs SPS {sps}");
     assert!(pipe < gpu, "pipeline {pipe} vs GPU {gpu}");
@@ -72,10 +93,18 @@ fn weak_gpu_loses_alone_but_helps_in_partnership() {
     // The GT 430 story of §6.1/§6.2 in one test.
     let platform = Platform::gt430();
     let model = trained(&platform);
-    let spec =
-        ImageSpec { width: 448, height: 448, pattern: Pattern::PhotoLike { detail: 0.7 }, seed: 6 };
+    let spec = ImageSpec {
+        width: 448,
+        height: 448,
+        pattern: Pattern::PhotoLike { detail: 0.7 },
+        seed: 6,
+    };
     let jpeg = generate_jpeg(&spec, 88, Subsampling::S422).expect("encode");
-    let t = |mode| decode_with_mode(&jpeg, mode, &platform, &model).unwrap().total();
+    let t = |mode| {
+        decode_with_mode(&jpeg, mode, &platform, &model)
+            .unwrap()
+            .total()
+    };
     let (simd, gpu, sps, pps) = (t(Mode::Simd), t(Mode::Gpu), t(Mode::Sps), t(Mode::Pps));
     assert!(gpu > simd, "GPU-only should lose to SIMD on GT 430");
     assert!(sps < simd, "SPS should still win");
@@ -83,7 +112,10 @@ fn weak_gpu_loses_alone_but_helps_in_partnership() {
     // And the partition should favour the CPU.
     let out = decode_with_mode(&jpeg, Mode::Sps, &platform, &model).unwrap();
     let part = out.partition.unwrap();
-    assert!(part.cpu_mcu_rows > part.gpu_mcu_rows, "GT 430 keeps the larger share on the CPU");
+    assert!(
+        part.cpu_mcu_rows > part.gpu_mcu_rows,
+        "GT 430 keeps the larger share on the CPU"
+    );
 }
 
 #[test]
@@ -92,8 +124,12 @@ fn saved_model_reproduces_decisions() {
     let model = trained(&platform);
     let text = model.save_str();
     let loaded = hetjpeg_core::model::PerformanceModel::load_str(&text).expect("parse");
-    let spec =
-        ImageSpec { width: 320, height: 320, pattern: Pattern::PhotoLike { detail: 0.5 }, seed: 2 };
+    let spec = ImageSpec {
+        width: 320,
+        height: 320,
+        pattern: Pattern::PhotoLike { detail: 0.5 },
+        seed: 2,
+    };
     let jpeg = generate_jpeg(&spec, 88, Subsampling::S422).expect("encode");
     let a = decode_with_mode(&jpeg, Mode::Pps, &platform, &model).unwrap();
     let b = decode_with_mode(&jpeg, Mode::Pps, &platform, &loaded).unwrap();

@@ -14,13 +14,25 @@ fn gallery() -> Vec<(String, Vec<u8>)> {
         (200usize, 120usize, Pattern::PhotoLike { detail: 0.7 }),
         (127, 93, Pattern::WhiteNoise { amount: 0.5 }), // odd dims
         (256, 64, Pattern::Gradient),                   // extreme aspect
-        (64, 256, Pattern::ValueNoise { octaves: 5, detail: 0.6 }),
+        (
+            64,
+            256,
+            Pattern::ValueNoise {
+                octaves: 5,
+                detail: 0.6,
+            },
+        ),
     ]
     .into_iter()
     .enumerate()
     {
         for sub in [Subsampling::S444, Subsampling::S422, Subsampling::S420] {
-            let spec = ImageSpec { width: w, height: h, pattern, seed: 900 + i as u64 };
+            let spec = ImageSpec {
+                width: w,
+                height: h,
+                pattern,
+                seed: 900 + i as u64,
+            };
             let jpeg = generate_jpeg(&spec, 82, sub).expect("encode");
             out.push((format!("{w}x{h}-{}", sub.notation()), jpeg));
         }
@@ -51,8 +63,12 @@ fn all_modes_all_platforms_bit_identical() {
 fn doctored_models_cannot_break_correctness() {
     // Whatever nonsense the performance model predicts, partitioning only
     // moves the boundary — the pixels must stay right.
-    let spec =
-        ImageSpec { width: 160, height: 160, pattern: Pattern::PhotoLike { detail: 0.5 }, seed: 3 };
+    let spec = ImageSpec {
+        width: 160,
+        height: 160,
+        pattern: Pattern::PhotoLike { detail: 0.5 },
+        seed: 3,
+    };
     let jpeg = generate_jpeg(&spec, 85, Subsampling::S422).expect("encode");
     let reference = decode(&jpeg).expect("reference").data;
     let platform = Platform::gtx560();
@@ -73,9 +89,75 @@ fn doctored_models_cannot_break_correctness() {
 }
 
 #[test]
+fn sparse_dispatch_agrees_across_modes() {
+    // Sweep the quality axis so every sparse-IDCT class dominates somewhere:
+    // q25 4:2:0 smooth gradients are DC-only/corner-heavy, q95 dense. Every
+    // mode (including the sparse-dispatching CPU paths and the dense GPU
+    // kernels) must produce the reference bytes.
+    for (quality, pattern) in [
+        (25u8, Pattern::Gradient),
+        (50, Pattern::PhotoLike { detail: 0.3 }),
+        (80, Pattern::PhotoLike { detail: 0.6 }),
+        (95, Pattern::WhiteNoise { amount: 0.8 }),
+    ] {
+        for sub in [Subsampling::S444, Subsampling::S422, Subsampling::S420] {
+            let spec = ImageSpec {
+                width: 120,
+                height: 88,
+                pattern,
+                seed: 42,
+            };
+            let jpeg = generate_jpeg(&spec, quality, sub).expect("encode");
+            let reference = decode(&jpeg).expect("reference").data;
+            let platform = Platform::gtx560();
+            let model = platform.untrained_model();
+            for mode in Mode::all() {
+                let out = decode_with_mode(&jpeg, mode, &platform, &model).expect("decode");
+                assert_eq!(
+                    out.image.data,
+                    reference,
+                    "q{quality} {} {:?} differs from reference",
+                    sub.notation(),
+                    mode
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn threaded_pooled_pipeline_agrees() {
+    // The real-thread executor exercises the bounded channel + pooled chunk
+    // buffers; tiny chunks force many pool round-trips.
+    let spec = ImageSpec {
+        width: 160,
+        height: 200,
+        pattern: Pattern::PhotoLike { detail: 0.5 },
+        seed: 11,
+    };
+    for quality in [30u8, 80, 95] {
+        let jpeg = generate_jpeg(&spec, quality, Subsampling::S420).expect("encode");
+        let reference = decode(&jpeg).expect("reference").data;
+        let platform = Platform::gtx680();
+        let mut model = platform.untrained_model();
+        model.chunk_mcu_rows = 1;
+        let out = hetjpeg_core::exec::decode_pps_threaded(&jpeg, &platform, &model)
+            .expect("threaded decode");
+        assert_eq!(
+            out.image.data, reference,
+            "q{quality} threaded decode differs"
+        );
+    }
+}
+
+#[test]
 fn breakdown_totals_are_consistent() {
-    let spec =
-        ImageSpec { width: 192, height: 128, pattern: Pattern::PhotoLike { detail: 0.6 }, seed: 8 };
+    let spec = ImageSpec {
+        width: 192,
+        height: 128,
+        pattern: Pattern::PhotoLike { detail: 0.6 },
+        seed: 8,
+    };
     let jpeg = generate_jpeg(&spec, 85, Subsampling::S422).expect("encode");
     for platform in Platform::all() {
         let model = platform.untrained_model();
@@ -83,7 +165,10 @@ fn breakdown_totals_are_consistent() {
             let out = decode_with_mode(&jpeg, mode, &platform, &model).expect("decode");
             // Stages can overlap but never exceed their serial sum, and the
             // total must cover the sequential Huffman stage.
-            assert!(out.times.total <= out.times.serial_sum() + 1e-12, "{mode:?}");
+            assert!(
+                out.times.total <= out.times.serial_sum() + 1e-12,
+                "{mode:?}"
+            );
             assert!(out.times.total >= out.times.huffman - 1e-12, "{mode:?}");
             assert!(
                 (out.trace.makespan() - out.times.total).abs() < 1e-9,

@@ -20,7 +20,10 @@ fn subsampling_strategy() -> impl Strategy<Value = Subsampling> {
 fn pattern_strategy() -> impl Strategy<Value = Pattern> {
     prop_oneof![
         Just(Pattern::Gradient),
-        (2u8..7, 0.1f64..0.9).prop_map(|(o, d)| Pattern::ValueNoise { octaves: o, detail: d }),
+        (2u8..7, 0.1f64..0.9).prop_map(|(o, d)| Pattern::ValueNoise {
+            octaves: o,
+            detail: d
+        }),
         (0.1f64..1.0).prop_map(|a| Pattern::WhiteNoise { amount: a }),
         (0.2f64..0.9).prop_map(|d| Pattern::PhotoLike { detail: d }),
     ]
