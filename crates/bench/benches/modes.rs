@@ -1,10 +1,12 @@
-//! Criterion benchmark of the six end-to-end decode modes (the §6
-//! evaluation axis), measuring the host wall-clock of the full
-//! decode + schedule simulation per mode.
+//! Criterion benchmark of the seven end-to-end decode modes (the §6
+//! evaluation axis plus restart-parallel entropy), measuring the host
+//! wall-clock of the full decode + schedule simulation per mode through
+//! the session API.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use hetjpeg_core::platform::Platform;
-use hetjpeg_core::schedule::{decode_with_mode, Mode};
+use hetjpeg_core::schedule::Mode;
+use hetjpeg_core::{DecodeOptions, Decoder};
 use hetjpeg_corpus::{generate_jpeg, ImageSpec, Pattern};
 use hetjpeg_jpeg::types::Subsampling;
 
@@ -16,14 +18,22 @@ fn bench_modes(c: &mut Criterion) {
         seed: 2,
     };
     let jpeg = generate_jpeg(&spec, 85, Subsampling::S422).unwrap();
-    let platform = Platform::gtx560();
-    let model = platform.untrained_model();
+    let decoder = Decoder::builder()
+        .platform(Platform::gtx560())
+        .build()
+        .unwrap();
 
     let mut g = c.benchmark_group("modes");
     g.throughput(Throughput::Bytes(jpeg.len() as u64));
     for mode in Mode::all() {
         g.bench_function(mode.name(), |b| {
-            b.iter(|| black_box(decode_with_mode(&jpeg, mode, &platform, &model).unwrap()))
+            b.iter(|| {
+                black_box(
+                    decoder
+                        .decode(&jpeg, DecodeOptions::with_mode(mode))
+                        .unwrap(),
+                )
+            })
         });
     }
     g.finish();
@@ -37,14 +47,14 @@ fn bench_threaded_exec(c: &mut Criterion) {
         seed: 2,
     };
     let jpeg = generate_jpeg(&spec, 85, Subsampling::S422).unwrap();
-    let platform = Platform::gtx560();
-    let model = platform.untrained_model();
+    let decoder = Decoder::builder()
+        .platform(Platform::gtx560())
+        .build()
+        .unwrap();
 
     let mut g = c.benchmark_group("threaded");
     g.bench_function("pps_threaded_256", |b| {
-        b.iter(|| {
-            black_box(hetjpeg_core::exec::decode_pps_threaded(&jpeg, &platform, &model).unwrap())
-        })
+        b.iter(|| black_box(decoder.decode_threaded(&jpeg).unwrap()))
     });
     g.bench_function("reference_decode_256", |b| {
         b.iter(|| black_box(hetjpeg_jpeg::decoder::decode(&jpeg).unwrap()))

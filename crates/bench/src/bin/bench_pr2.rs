@@ -1,0 +1,169 @@
+//! PR-2 session benchmark: batch-decode amortization, before vs after.
+//!
+//! "Before" is the pre-session calling convention — one decode per image
+//! with nothing carried over (a fresh `Decoder`, and therefore fresh pools
+//! and a fresh `Auto` evaluation, per call), which is exactly what the
+//! deprecated free functions did. "After" is one session reused across the
+//! whole batch with the same streaming consumption: pooled coefficient
+//! buffer, band scratches, GPU chunk staging and cached `Auto` decisions
+//! amortized across images. (`decode_batch` performs the identical pooled
+//! work but additionally materializes every outcome at once — convenience
+//! traded for peak memory; the structural pool counters it produces are
+//! recorded under `pools` per corpus.)
+//!
+//! Output: human-readable table on stdout and machine-readable
+//! `BENCH_PR2.json` in the `BENCH_PR1.json` schema (per-stage ns/pixel with
+//! baseline/optimized/speedup), committed at the repo root to extend the
+//! bench trajectory.
+
+use hetjpeg_core::schedule::Mode;
+use hetjpeg_core::{DecodeOptions, Decoder, Platform};
+use hetjpeg_corpus::{generate_jpeg, ImageSpec, Pattern};
+use hetjpeg_jpeg::types::Subsampling;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct Corpus {
+    name: &'static str,
+    jpegs: Vec<Vec<u8>>,
+    pixels: usize,
+}
+
+fn corpus(name: &'static str, quality: u8, sub: Subsampling, n: usize) -> Corpus {
+    let (w, h) = (512usize, 512usize);
+    let jpegs: Vec<Vec<u8>> = (0..n)
+        .map(|i| {
+            let spec = ImageSpec {
+                width: w,
+                height: h,
+                pattern: Pattern::PhotoLike { detail: 0.55 },
+                seed: 40 + i as u64,
+            };
+            generate_jpeg(&spec, quality, sub).expect("encode")
+        })
+        .collect();
+    Corpus {
+        name,
+        pixels: w * h * jpegs.len(),
+        jpegs,
+    }
+}
+
+/// Best-of-`reps` wall time of `f`, in seconds.
+fn time_best<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn session() -> Decoder {
+    Decoder::builder()
+        .platform(Platform::gtx560())
+        .threads(4)
+        .build()
+        .expect("valid configuration")
+}
+
+fn main() {
+    let reps: usize = std::env::var("BENCH_PR2_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5);
+    let corpora = [
+        corpus("q85_422_batch", 85, Subsampling::S422, 6),
+        corpus("q80_420_sparse_batch", 80, Subsampling::S420, 6),
+    ];
+    let stages: Vec<(&str, DecodeOptions)> = vec![
+        ("session_simd", DecodeOptions::with_mode(Mode::Simd)),
+        ("session_pps", DecodeOptions::with_mode(Mode::Pps)),
+        ("session_auto", DecodeOptions::default()),
+    ];
+
+    let mut json = String::from("{\n  \"pr\": 2,\n");
+    let _ = writeln!(
+        json,
+        "  \"description\": \"end-to-end ns/pixel over an image batch; baseline = a fresh Decoder (fresh pools, fresh Auto evaluation) per image, i.e. the deprecated free-function convention; optimized = one session's decode_batch with pooled buffers and cached Auto decisions\","
+    );
+    let _ = writeln!(json, "  \"reps_best_of\": {reps},");
+    let _ = writeln!(json, "  \"corpora\": {{");
+
+    for (ci, c) in corpora.iter().enumerate() {
+        println!(
+            "== corpus {} ({} images, {} px) ==",
+            c.name,
+            c.jpegs.len(),
+            c.pixels
+        );
+        let _ = writeln!(json, "    \"{}\": {{", c.name);
+        let _ = writeln!(
+            json,
+            "      \"images\": {}, \"pixels\": {},",
+            c.jpegs.len(),
+            c.pixels
+        );
+        let _ = writeln!(json, "      \"stages\": {{");
+        let per_px = |secs: f64| secs * 1e9 / c.pixels as f64;
+
+        for (si, (stage, opts)) in stages.iter().enumerate() {
+            // Baseline: fresh session (= fresh pools, fresh Auto
+            // evaluation) per image — the free-function convention.
+            let before = time_best(reps, || {
+                for jpeg in &c.jpegs {
+                    let dec = session();
+                    let _ = dec.decode(jpeg, *opts).expect("decode");
+                }
+            });
+            // Optimized: one session across the batch, same streaming
+            // consumption.
+            let dec = session();
+            let after = time_best(reps, || {
+                for jpeg in &c.jpegs {
+                    let _ = dec.decode(jpeg, *opts).expect("decode");
+                }
+            });
+            let (b, a) = (per_px(before), per_px(after));
+            let speedup = b / a;
+            println!(
+                "{stage:<24} before {b:8.2} ns/px   after {a:8.2} ns/px   speedup {speedup:.2}x"
+            );
+            let sep = if si + 1 == stages.len() { "" } else { "," };
+            let _ = writeln!(
+                json,
+                "        \"{stage}\": {{\"baseline_ns_per_px\": {b:.3}, \"optimized_ns_per_px\": {a:.3}, \"speedup\": {speedup:.3}}}{sep}"
+            );
+        }
+        let _ = writeln!(json, "      }},");
+        // Structural amortization: the pool/cache counters of one
+        // decode_batch over the corpus (the allocation-count story the
+        // wall-clock numbers above can understate on fast allocators).
+        let dec = session();
+        for out in dec.decode_batch(&c.jpegs, DecodeOptions::default()) {
+            let _ = out.expect("decode");
+        }
+        let stats = dec.pool_stats();
+        println!(
+            "{:<24} decode_batch pools: {} alloc / {} reuse, auto: {} eval / {} cached",
+            "", stats.coef_allocs, stats.coef_reuses, stats.auto_evals, stats.auto_cache_hits
+        );
+        let _ = writeln!(
+            json,
+            "      \"pools\": {{\"coef_allocs\": {}, \"coef_reuses\": {}, \"scratch_allocs\": {}, \"scratch_reuses\": {}, \"auto_evals\": {}, \"auto_cache_hits\": {}}}",
+            stats.coef_allocs,
+            stats.coef_reuses,
+            stats.scratch_allocs,
+            stats.scratch_reuses,
+            stats.auto_evals,
+            stats.auto_cache_hits
+        );
+        let sep = if ci + 1 == corpora.len() { "" } else { "," };
+        let _ = writeln!(json, "    }}{sep}");
+    }
+    let _ = writeln!(json, "  }}\n}}");
+
+    std::fs::write("BENCH_PR2.json", &json).expect("write BENCH_PR2.json");
+    println!("wrote BENCH_PR2.json");
+}

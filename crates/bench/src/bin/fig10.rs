@@ -4,7 +4,8 @@
 
 use hetjpeg_bench::{ascii_chart, bucket_mean, ensure_model, evaluation_corpus, write_csv, Scale};
 use hetjpeg_core::platform::Platform;
-use hetjpeg_core::schedule::{decode_with_mode, Mode};
+use hetjpeg_core::schedule::Mode;
+use hetjpeg_core::DecodeOptions;
 use hetjpeg_jpeg::types::Subsampling;
 
 fn main() {
@@ -21,16 +22,18 @@ fn main() {
     let modes = [Mode::Gpu, Mode::PipelinedGpu, Mode::Sps, Mode::Pps];
     let mut rows = Vec::new();
     for platform in Platform::all() {
-        let model = ensure_model(&platform, sub, scale);
+        let decoder = hetjpeg_bench::decoder_for(&platform, ensure_model(&platform, sub, scale));
         let mut series: Vec<(&str, Vec<(f64, f64)>)> =
             modes.iter().map(|m| (m.name(), Vec::new())).collect();
         for img in &corpus {
-            let simd = decode_with_mode(&img.jpeg, Mode::Simd, &platform, &model)
+            let simd = decoder
+                .decode(&img.jpeg, DecodeOptions::with_mode(Mode::Simd))
                 .expect("simd")
                 .total();
             let px = (img.width * img.height) as f64;
             for (mi, &mode) in modes.iter().enumerate() {
-                let t = decode_with_mode(&img.jpeg, mode, &platform, &model)
+                let t = decoder
+                    .decode(&img.jpeg, DecodeOptions::with_mode(mode))
                     .expect("decode")
                     .total();
                 let speedup = simd / t;

@@ -9,14 +9,15 @@
 use hetjpeg_bench::{ascii_chart, bucket_mean, ensure_model, evaluation_corpus, write_csv, Scale};
 use hetjpeg_core::platform::Platform;
 use hetjpeg_core::report::{amdahl_max_speedup, percent_of_bound, stats};
-use hetjpeg_core::schedule::{decode_with_mode, Mode};
+use hetjpeg_core::schedule::Mode;
+use hetjpeg_core::DecodeOptions;
 use hetjpeg_jpeg::types::Subsampling;
 
 fn main() {
     let scale = Scale::from_env();
     let sub = Subsampling::S444;
     let platform = Platform::gtx680();
-    let model = ensure_model(&platform, sub, scale);
+    let decoder = hetjpeg_bench::decoder_for(&platform, ensure_model(&platform, sub, scale));
     let corpus = evaluation_corpus(sub, scale);
 
     println!(
@@ -33,8 +34,12 @@ fn main() {
     let mut pts = Vec::new();
     let mut percents = Vec::new();
     for img in &corpus {
-        let simd = decode_with_mode(&img.jpeg, Mode::Simd, &platform, &model).expect("simd");
-        let pps = decode_with_mode(&img.jpeg, Mode::Pps, &platform, &model).expect("pps");
+        let simd = decoder
+            .decode(&img.jpeg, DecodeOptions::with_mode(Mode::Simd))
+            .expect("simd");
+        let pps = decoder
+            .decode(&img.jpeg, DecodeOptions::with_mode(Mode::Pps))
+            .expect("pps");
         let speedup = simd.total() / pps.total();
         let bound = amdahl_max_speedup(simd.total(), simd.times.huffman);
         let pct = percent_of_bound(speedup, bound);

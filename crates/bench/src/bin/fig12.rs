@@ -8,8 +8,9 @@
 
 use hetjpeg_bench::{bucket_mean, ensure_model, evaluation_corpus, write_csv, Scale};
 use hetjpeg_core::platform::Platform;
-use hetjpeg_core::schedule::{decode_with_mode, Mode};
+use hetjpeg_core::schedule::Mode;
 use hetjpeg_core::timeline::Resource;
+use hetjpeg_core::DecodeOptions;
 use hetjpeg_jpeg::types::Subsampling;
 
 fn main() {
@@ -24,12 +25,14 @@ fn main() {
 
     let mut rows = Vec::new();
     for platform in Platform::all() {
-        let model = ensure_model(&platform, sub, scale);
+        let decoder = hetjpeg_bench::decoder_for(&platform, ensure_model(&platform, sub, scale));
         for mode in [Mode::Sps, Mode::Pps] {
             let mut cpu_pts = Vec::new();
             let mut gpu_pts = Vec::new();
             for img in &corpus {
-                let out = decode_with_mode(&img.jpeg, mode, &platform, &model).expect("decode");
+                let out = decoder
+                    .decode(&img.jpeg, DecodeOptions::with_mode(mode))
+                    .expect("decode");
                 let px = (img.width * img.height) as f64;
                 // GPU side: total device busy time.
                 let gpu = out.trace.busy(Resource::Gpu);

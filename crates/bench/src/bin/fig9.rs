@@ -10,7 +10,8 @@
 
 use hetjpeg_bench::{ensure_model, write_csv, Scale};
 use hetjpeg_core::platform::Platform;
-use hetjpeg_core::schedule::{decode_with_mode, Mode};
+use hetjpeg_core::schedule::Mode;
+use hetjpeg_core::DecodeOptions;
 use hetjpeg_corpus::{generate_jpeg, ImageSpec, Pattern};
 use hetjpeg_jpeg::types::Subsampling;
 
@@ -33,12 +34,17 @@ fn main() {
     let mut rows = Vec::new();
     for platform in Platform::all() {
         let model = ensure_model(&platform, Subsampling::S422, scale);
-        let simd = decode_with_mode(&jpeg, Mode::Simd, &platform, &model).expect("simd");
+        let decoder = hetjpeg_bench::decoder_for(&platform, model);
+        let simd = decoder
+            .decode(&jpeg, DecodeOptions::with_mode(Mode::Simd))
+            .expect("simd");
         let simd_total = simd.total();
         let mut kernel_only_speedup = 0.0;
         let mut with_transfer_speedup = 0.0;
         for mode in [Mode::Sequential, Mode::Simd, Mode::Gpu] {
-            let out = decode_with_mode(&jpeg, mode, &platform, &model).expect("decode");
+            let out = decoder
+                .decode(&jpeg, DecodeOptions::with_mode(mode))
+                .expect("decode");
             let b = out.times;
             println!(
                 "{:<9} {:<6} {:>9.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>9.3}",

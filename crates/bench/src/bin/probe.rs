@@ -4,22 +4,32 @@
 fn main() {
     use hetjpeg_bench::{ensure_model, Scale};
     use hetjpeg_core::platform::Platform;
-    use hetjpeg_core::schedule::{decode_with_mode, Mode};
+    use hetjpeg_core::schedule::Mode;
+    use hetjpeg_core::DecodeOptions;
     use hetjpeg_corpus::test_set;
     use hetjpeg_jpeg::types::Subsampling;
     let scale = Scale::from_env();
     let corpus = test_set(&scale.test_params(Subsampling::S422));
     let platform = Platform::gtx560();
-    let model = ensure_model(&platform, Subsampling::S422, scale);
+    let decoder =
+        hetjpeg_bench::decoder_for(&platform, ensure_model(&platform, Subsampling::S422, scale));
     println!(
         "{:<14} {:>6}x{:<6} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
         "pattern", "w", "h", "d", "SIMD ms", "huff%", "GPUx", "SPSx", "PPSx"
     );
     for img in corpus.iter() {
-        let simd = decode_with_mode(&img.jpeg, Mode::Simd, &platform, &model).unwrap();
-        let gpu = decode_with_mode(&img.jpeg, Mode::Gpu, &platform, &model).unwrap();
-        let pps = decode_with_mode(&img.jpeg, Mode::Pps, &platform, &model).unwrap();
-        let sps = decode_with_mode(&img.jpeg, Mode::Sps, &platform, &model).unwrap();
+        let simd = decoder
+            .decode(&img.jpeg, DecodeOptions::with_mode(Mode::Simd))
+            .unwrap();
+        let gpu = decoder
+            .decode(&img.jpeg, DecodeOptions::with_mode(Mode::Gpu))
+            .unwrap();
+        let pps = decoder
+            .decode(&img.jpeg, DecodeOptions::with_mode(Mode::Pps))
+            .unwrap();
+        let sps = decoder
+            .decode(&img.jpeg, DecodeOptions::with_mode(Mode::Sps))
+            .unwrap();
         println!(
             "{:<14} {:>6}x{:<6} {:>8.3} {:>8.2} {:>7.0}% {:>8.2} {:>8.2} {:>8.2}",
             img.pattern,

@@ -262,6 +262,16 @@ pub fn exists(p: &Path) -> bool {
     p.exists()
 }
 
+/// Build a decode session for a (platform, model) pair — the bench
+/// harness's standard way into the session API.
+pub fn decoder_for(platform: &Platform, model: PerformanceModel) -> hetjpeg_core::Decoder {
+    hetjpeg_core::Decoder::builder()
+        .platform(platform.clone())
+        .model(model)
+        .build()
+        .expect("bench decoder configuration")
+}
+
 /// Shared driver for Tables 2 and 3: evaluate the four accelerated modes
 /// against SIMD over the whole evaluation corpus on every machine, printing
 /// mean speedup ± CV next to the paper's reference values.
@@ -272,7 +282,8 @@ pub fn run_table(
     csv_name: &str,
 ) {
     use hetjpeg_core::report::stats;
-    use hetjpeg_core::schedule::{decode_with_mode, Mode};
+    use hetjpeg_core::schedule::Mode;
+    use hetjpeg_core::DecodeOptions;
 
     let scale = Scale::from_env();
     let corpus = evaluation_corpus(sub, scale);
@@ -287,13 +298,15 @@ pub fn run_table(
     let mut measured = vec![vec![Vec::new(); platforms.len()]; modes.len()];
     let mut rows = Vec::new();
     for (pi, platform) in platforms.iter().enumerate() {
-        let model = ensure_model(platform, sub, scale);
+        let decoder = decoder_for(platform, ensure_model(platform, sub, scale));
         for img in &corpus {
-            let simd = decode_with_mode(&img.jpeg, Mode::Simd, platform, &model)
+            let simd = decoder
+                .decode(&img.jpeg, DecodeOptions::with_mode(Mode::Simd))
                 .expect("simd")
                 .total();
             for (mi, &mode) in modes.iter().enumerate() {
-                let t = decode_with_mode(&img.jpeg, mode, platform, &model)
+                let t = decoder
+                    .decode(&img.jpeg, DecodeOptions::with_mode(mode))
                     .expect("decode")
                     .total();
                 measured[mi][pi].push(simd / t);

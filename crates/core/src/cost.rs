@@ -116,6 +116,59 @@ impl CpuCostModel {
         self.cycles_to_seconds(cycles)
     }
 
+    /// Relative dequant+IDCT cost of each sparse-dispatch class (DC-only,
+    /// 2×2, 4×4, dense) against the dense transform, anchored to the PR-1
+    /// hot-path bench (`BENCH_PR1.json`: ~2.25× on a q80 4:2:0 corpus whose
+    /// blocks are mostly DC-only/2×2).
+    pub const SPARSE_CLASS_FACTORS: [f64; 4] = [0.12, 0.28, 0.55, 1.0];
+
+    /// [`Self::parallel_time`] with the IDCT term priced per EOB class
+    /// instead of assuming every block pays the dense transform.
+    ///
+    /// `classes` is the band's EOB-class histogram
+    /// ([`RowMetrics::eob_classes`]); if it is empty (all zeros) the dense
+    /// assumption is kept, so callers without entropy metrics degrade to
+    /// [`Self::parallel_time`]. This is the sparse-aware per-unit cost the
+    /// ROADMAP's retraining item asks for; the six paper modes keep the
+    /// dense pricing their calibration anchors were set against, and the
+    /// restart-aware parallel-entropy mode (which postdates the paper) is
+    /// its first consumer.
+    pub fn parallel_time_sparse(&self, w: &ParallelWork, classes: &[u64; 4], simd: bool) -> f64 {
+        let histogram_blocks: u64 = classes.iter().sum();
+        if histogram_blocks == 0 {
+            return self.parallel_time(w, simd);
+        }
+        let mut idct_blocks_eff = 0.0;
+        for (count, factor) in classes.iter().zip(Self::SPARSE_CLASS_FACTORS) {
+            idct_blocks_eff += *count as f64 * factor;
+        }
+        // The histogram may cover only part of the band's blocks (e.g. a
+        // salvaged truncated image); price the remainder as dense.
+        idct_blocks_eff += w.idct_blocks.saturating_sub(histogram_blocks) as f64;
+        let cycles = idct_blocks_eff * self.idct_cycles_per_block
+            + w.upsampled_samples as f64 * self.upsample_cycles_per_sample
+            + w.color_pixels as f64 * self.color_cycles_per_pixel;
+        let cycles = if simd {
+            cycles / self.simd_speedup
+        } else {
+            cycles
+        };
+        self.cycles_to_seconds(cycles)
+    }
+
+    /// Parallel-phase time *without* the color-conversion term — what the
+    /// planar-YCbCr output path performs (dequant + IDCT + upsample only).
+    pub fn parallel_time_planar(&self, w: &ParallelWork, simd: bool) -> f64 {
+        let cycles = w.idct_blocks as f64 * self.idct_cycles_per_block
+            + w.upsampled_samples as f64 * self.upsample_cycles_per_sample;
+        let cycles = if simd {
+            cycles / self.simd_speedup
+        } else {
+            cycles
+        };
+        self.cycles_to_seconds(cycles)
+    }
+
     /// Host-side OpenCL dispatch time (`Tdisp` in Eq. 9a) for commands
     /// covering MCU rows `[start, end)`.
     pub fn dispatch_time(&self, geom: &Geometry, start: usize, end: usize) -> f64 {
@@ -140,6 +193,7 @@ mod tests {
             symbols: (bits as f64 / 5.5) as u64, // ~5.5 bits/symbol typical
             nonzero_coefs: 0,
             blocks: pixels * 2 / 64,
+            ..Default::default()
         }
     }
 
@@ -198,6 +252,31 @@ mod tests {
         // Huffman should be a large fraction (~half) of the SIMD total.
         let frac = cpu.huff_time(&m) / simd;
         assert!((0.3..0.6).contains(&frac), "Huffman fraction {frac:.2}");
+    }
+
+    #[test]
+    fn sparse_pricing_discounts_sparse_blocks_only() {
+        let cpu = CpuCostModel::i7_2600k();
+        let geom = Geometry::new(512, 512, Subsampling::S420).unwrap();
+        let work = ParallelWork::for_mcu_rows(&geom, 0, geom.mcus_y);
+        let blocks = work.idct_blocks;
+        // All-dense histogram reproduces the dense price exactly.
+        let dense = cpu.parallel_time_sparse(&work, &[0, 0, 0, blocks], true);
+        assert!((dense - cpu.parallel_time(&work, true)).abs() < 1e-15);
+        // Empty histogram falls back to the dense assumption.
+        let unknown = cpu.parallel_time_sparse(&work, &[0, 0, 0, 0], true);
+        assert!((unknown - cpu.parallel_time(&work, true)).abs() < 1e-15);
+        // A mostly-DC-only histogram is strictly cheaper, and monotone in
+        // sparsity.
+        let sparse = cpu.parallel_time_sparse(&work, &[blocks, 0, 0, 0], true);
+        let half = cpu.parallel_time_sparse(&work, &[blocks / 2, 0, 0, blocks - blocks / 2], true);
+        assert!(sparse < half && half < dense, "{sparse} {half} {dense}");
+        // Planar pricing drops exactly the color term.
+        let planar = cpu.parallel_time_planar(&work, true);
+        let color = cpu.cycles_to_seconds(
+            work.color_pixels as f64 * cpu.color_cycles_per_pixel / cpu.simd_speedup,
+        );
+        assert!((cpu.parallel_time(&work, true) - planar - color).abs() < 1e-12);
     }
 
     #[test]

@@ -45,7 +45,22 @@ pub struct ThreadedOutcome {
 /// Decode with a real two-thread pipeline: entropy+CPU-band on the calling
 /// thread, GPU kernels on a worker fed through a bounded channel with
 /// pooled chunk buffers.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `hetjpeg_core::Decoder::decode_threaded` — the session owns \
+            the platform and model"
+)]
 pub fn decode_pps_threaded(
+    data: &[u8],
+    platform: &Platform,
+    model: &PerformanceModel,
+) -> Result<ThreadedOutcome> {
+    decode_pps_threaded_impl(data, platform, model)
+}
+
+/// Implementation of the real-thread pipeline, shared by the session API
+/// and the deprecated free function.
+pub(crate) fn decode_pps_threaded_impl(
     data: &[u8],
     platform: &Platform,
     model: &PerformanceModel,
@@ -144,7 +159,7 @@ pub fn decode_pps_threaded(
 /// emitted DRI, each interval is byte-aligned with reset predictors and can
 /// be decoded independently. This extension decodes the segments on a
 /// scoped thread pool — the future-work direction the paper's related-work
-/// discussion (Klein & Wiseman [12]) points at.
+/// discussion (Klein & Wiseman \[12\]) points at.
 ///
 /// Workers write every decoded block (coefficients + EOB) straight into its
 /// disjoint region of the shared [`CoefBuffer`] through a
@@ -156,23 +171,39 @@ pub fn decode_entropy_parallel(
     prep: &Prepared<'_>,
     threads: usize,
 ) -> Result<hetjpeg_jpeg::coef::CoefBuffer> {
+    let mut coef = CoefBuffer::new(&prep.geom);
+    decode_entropy_parallel_into(prep, threads, &mut coef)?;
+    Ok(coef)
+}
+
+/// [`decode_entropy_parallel`] into a caller-owned (pooled) buffer,
+/// returning the per-segment work metrics in segment order — what the
+/// virtual-time scheduler of `Mode::ParallelEntropy` prices each worker
+/// with. Without restart markers (or with one thread) the whole scan is a
+/// single "segment" decoded sequentially.
+pub fn decode_entropy_parallel_into(
+    prep: &Prepared<'_>,
+    threads: usize,
+    coef: &mut CoefBuffer,
+) -> Result<Vec<hetjpeg_jpeg::metrics::RowMetrics>> {
     use hetjpeg_jpeg::entropy::{decode_mcu_segment_into, split_restart_segments};
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Mutex;
 
     let geom = &prep.geom;
     let segments = split_restart_segments(&prep.parsed, geom);
-    let mut coef = CoefBuffer::new(geom);
     if segments.len() <= 1 || threads <= 1 {
         let mut dec = prep.entropy_decoder()?;
-        dec.decode_remaining(&mut coef)?;
-        return Ok(coef);
+        let all = dec.decode_remaining(coef)?;
+        return Ok(vec![all.total()]);
     }
 
     let threads = threads.min(segments.len());
     let next = AtomicUsize::new(0);
     let failed = std::sync::atomic::AtomicBool::new(false);
     let first_err: Mutex<Option<hetjpeg_jpeg::Error>> = Mutex::new(None);
+    let seg_metrics: Mutex<Vec<Option<hetjpeg_jpeg::metrics::RowMetrics>>> =
+        Mutex::new(vec![None; segments.len()]);
     let writer = coef.writer();
     crossbeam::scope(|s| {
         for _ in 0..threads {
@@ -181,6 +212,7 @@ pub fn decode_entropy_parallel(
             let segments = &segments;
             let writer = &writer;
             let first_err = &first_err;
+            let seg_metrics = &seg_metrics;
             s.spawn(move |_| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 // Once any segment failed the decode is doomed; don't burn
@@ -194,9 +226,12 @@ pub fn decode_entropy_parallel(
                 // blocks.
                 let res =
                     unsafe { decode_mcu_segment_into(&prep.parsed, geom, &segments[i], writer) };
-                if let Err(e) = res {
-                    first_err.lock().expect("error mutex").get_or_insert(e);
-                    failed.store(true, Ordering::Relaxed);
+                match res {
+                    Ok(m) => seg_metrics.lock().expect("metrics mutex")[i] = Some(m),
+                    Err(e) => {
+                        first_err.lock().expect("error mutex").get_or_insert(e);
+                        failed.store(true, Ordering::Relaxed);
+                    }
                 }
             });
         }
@@ -206,7 +241,12 @@ pub fn decode_entropy_parallel(
     if let Some(e) = first_err.into_inner().expect("error mutex") {
         return Err(e);
     }
-    Ok(coef)
+    Ok(seg_metrics
+        .into_inner()
+        .expect("metrics mutex")
+        .into_iter()
+        .map(|m| m.expect("every segment decoded"))
+        .collect())
 }
 
 #[cfg(test)]
@@ -242,7 +282,7 @@ mod tests {
         let platform = Platform::gtx560();
         let model = platform.untrained_model();
         let want = decode(&jpeg).unwrap();
-        let got = decode_pps_threaded(&jpeg, &platform, &model).unwrap();
+        let got = decode_pps_threaded_impl(&jpeg, &platform, &model).unwrap();
         assert_eq!(got.image.data, want.data);
         assert!(got.wall.as_nanos() > 0);
     }
@@ -313,12 +353,12 @@ mod tests {
         let platform = Platform::gtx680();
         let mut all_gpu = platform.untrained_model();
         all_gpu.p_cpu.coefs[1][1] *= 1e3; // CPU looks terrible => all GPU
-        let out = decode_pps_threaded(&jpeg, &platform, &all_gpu).unwrap();
+        let out = decode_pps_threaded_impl(&jpeg, &platform, &all_gpu).unwrap();
         assert_eq!(out.image.data, decode(&jpeg).unwrap().data);
 
         let mut all_cpu = platform.untrained_model();
         all_cpu.p_gpu.coefs[1][1] *= 1e3; // GPU looks terrible => all CPU
-        let out = decode_pps_threaded(&jpeg, &platform, &all_cpu).unwrap();
+        let out = decode_pps_threaded_impl(&jpeg, &platform, &all_cpu).unwrap();
         assert_eq!(out.image.data, decode(&jpeg).unwrap().data);
     }
 }

@@ -1,6 +1,6 @@
 //! GPU decode orchestration: buffers, kernel sequence, timing.
 //!
-//! One [`GpuRegionDecoder`] decodes a band of MCU rows on the simulated
+//! [`decode_region_gpu_with`] decodes a band of MCU rows on the simulated
 //! GPU, following the paper's kernel plans:
 //!
 //! * 4:4:4 — single merged IDCT×3+color kernel (§4.4),
@@ -65,6 +65,16 @@ pub enum KernelPlan {
     Unmerged,
 }
 
+/// Reusable host-side staging for GPU region decodes: the packed
+/// coefficient chunk and its little-endian byte image. Holding one of these
+/// across chunks/images (the session decoder's workspace does) removes the
+/// two per-chunk heap allocations from the dispatch path.
+#[derive(Debug, Default)]
+pub struct GpuStaging {
+    packed: Vec<i16>,
+    bytes: Vec<u8>,
+}
+
 /// Decode MCU rows `[row0, row1)` on the simulated GPU.
 ///
 /// `wg_blocks` is the tuned work-group size in blocks (paper §5.1 sweeps 4
@@ -78,8 +88,35 @@ pub fn decode_region_gpu(
     wg_blocks: usize,
     plan: KernelPlan,
 ) -> GpuRegionResult {
-    let packed = coefbuf.pack_mcu_rows(&prep.geom, row0, row1);
-    decode_packed_region_gpu(prep, &packed, row0, row1, platform, wg_blocks, plan)
+    let mut staging = GpuStaging::default();
+    decode_region_gpu_with(
+        prep,
+        coefbuf,
+        row0,
+        row1,
+        platform,
+        wg_blocks,
+        plan,
+        &mut staging,
+    )
+}
+
+/// [`decode_region_gpu`] with caller-owned [`GpuStaging`], reused across
+/// chunks and images.
+#[allow(clippy::too_many_arguments)]
+pub fn decode_region_gpu_with(
+    prep: &Prepared<'_>,
+    coefbuf: &CoefBuffer,
+    row0: usize,
+    row1: usize,
+    platform: &Platform,
+    wg_blocks: usize,
+    plan: KernelPlan,
+    staging: &mut GpuStaging,
+) -> GpuRegionResult {
+    let GpuStaging { packed, bytes } = staging;
+    coefbuf.pack_mcu_rows_into(&prep.geom, row0, row1, packed);
+    decode_packed_inner(prep, packed, row0, row1, platform, wg_blocks, plan, bytes)
 }
 
 /// Like [`decode_region_gpu`] but takes an already-packed coefficient chunk
@@ -95,6 +132,23 @@ pub fn decode_packed_region_gpu(
     wg_blocks: usize,
     plan: KernelPlan,
 ) -> GpuRegionResult {
+    let mut bytes = Vec::new();
+    decode_packed_inner(
+        prep, packed, row0, row1, platform, wg_blocks, plan, &mut bytes,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn decode_packed_inner(
+    prep: &Prepared<'_>,
+    packed: &[i16],
+    row0: usize,
+    row1: usize,
+    platform: &Platform,
+    wg_blocks: usize,
+    plan: KernelPlan,
+    bytes: &mut Vec<u8>,
+) -> GpuRegionResult {
     let geom = &prep.geom;
     let layout = RegionLayout::new(geom, row0, row1);
     let mut sim = GpuSim::new(platform.gpu.clone());
@@ -105,14 +159,16 @@ pub fn decode_packed_region_gpu(
     let rgb = sim.create_buffer(layout.rgb_len);
 
     // H2D: ship the packed coefficients (pinned buffers, §5.1). One exact
-    // allocation + chunked stores; the iterator-of-arrays collect this
-    // replaces was measurably slower per chunk.
-    let mut bytes = vec![0u8; packed.len() * 2];
+    // resize + chunked stores into the reusable staging image; the
+    // iterator-of-arrays collect this replaces was measurably slower per
+    // chunk.
+    bytes.clear();
+    bytes.resize(packed.len() * 2, 0);
     for (dst, v) in bytes.chunks_exact_mut(2).zip(packed.iter()) {
         dst.copy_from_slice(&v.to_le_bytes());
     }
     debug_assert_eq!(bytes.len(), layout.coef_bytes);
-    sim.write_buffer(coef, 0, &bytes);
+    sim.write_buffer(coef, 0, bytes);
     let h2d_time = platform.pcie.transfer_time(bytes.len(), true);
 
     let mut kernel_times: Vec<(&'static str, f64)> = Vec::new();

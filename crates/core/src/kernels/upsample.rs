@@ -2,8 +2,9 @@
 //!
 //! "We utilize 16 OpenCL work-items to perform upsampling on one block. Two
 //! work-items process one row of the block. The work-item with the even ID
-//! reads In[0] to In[4] to produce ... Out[0] to Out[7], and the work-item
-//! with the odd ID ... the successive eight-pixel row Out[8] to Out[15]. ...
+//! reads `In[0]` to `In[4]` to produce ... `Out[0]` to `Out[7]`, and the
+//! work-item with the odd ID ... the successive eight-pixel row `Out[8]` to
+//! `Out[15]`. ...
 //! We chose the work-group size such that 16 work-items take the same
 //! branch."
 //!

@@ -19,27 +19,46 @@
 //! | [`profile`] | §5.1 offline profiling, §4.5 chunk tuning, work-group tuning |
 //! | [`model`] | §5.1 closed forms `THuff`, `PCPU`, `PGPU`, `Tdisp` |
 //! | [`partition`] | §5.2 SPS / PPS load balancing, Newton's method, Eq. 16–17 re-partitioning |
-//! | [`schedule`] | §6 the six decode modes (sequential, SIMD, GPU, pipelined, SPS, PPS) |
+//! | [`schedule`] | §6 decode modes (the paper's six + restart-parallel entropy + `Auto`) |
+//! | [`session`] | the `Decoder` session API: builder, pooled scratch, batch decode |
 //! | [`exec`] | real-thread pipelined execution (host demonstration) |
 //! | [`report`] | §6.2 Amdahl bound (Eq. 18–19) and speedup statistics |
 //! | [`timeline`] | Fig. 5 / Fig. 8 execution timelines |
 //!
 //! ## Quick example
 //!
+//! Build a [`Decoder`] session once, decode many images through it; the
+//! default [`Mode::Auto`] picks the cheapest mode per image from the
+//! trained §5.1 model, and the session reuses its pooled buffers across
+//! calls:
+//!
 //! ```
-//! use hetjpeg_core::platform::Platform;
-//! use hetjpeg_core::schedule::{decode_with_mode, Mode};
+//! use hetjpeg_core::{DecodeOptions, Decoder, Mode, Platform};
 //! use hetjpeg_corpus::{generate_jpeg, ImageSpec, Pattern};
 //! use hetjpeg_jpeg::types::Subsampling;
 //!
 //! let spec = ImageSpec { width: 128, height: 128,
 //!                        pattern: Pattern::PhotoLike { detail: 0.6 }, seed: 7 };
 //! let jpeg = generate_jpeg(&spec, 85, Subsampling::S422).unwrap();
+//!
 //! let platform = Platform::gtx560();
-//! let model = platform.untrained_model(); // or run profile::train(...)
-//! let out = decode_with_mode(&jpeg, Mode::Pps, &platform, &model).unwrap();
+//! let decoder = Decoder::builder()
+//!     .platform(platform.clone())
+//!     .model(platform.untrained_model()) // or profile::train(...)
+//!     .threads(4)
+//!     .build()
+//!     .expect("valid configuration");
+//!
+//! // Mode::Auto (the default) resolves to a concrete mode per image.
+//! let out = decoder.decode(&jpeg, DecodeOptions::default()).unwrap();
 //! assert_eq!(out.image.width, 128);
+//! assert_ne!(out.mode, Mode::Auto);
 //! assert!(out.times.total > 0.0);
+//!
+//! // Batches amortize the pooled buffers and the Auto decision.
+//! let batch = vec![jpeg.clone(), jpeg];
+//! let outs = decoder.decode_batch(&batch, DecodeOptions::with_mode(Mode::Pps));
+//! assert!(outs.iter().all(|o| o.is_ok()));
 //! ```
 
 pub mod cost;
@@ -53,7 +72,14 @@ pub mod profile;
 pub mod regress;
 pub mod report;
 pub mod schedule;
+pub mod session;
 pub mod timeline;
+pub mod workspace;
 
 pub use platform::Platform;
-pub use schedule::{decode_with_mode, DecodeOutcome, Mode};
+pub use schedule::{DecodeOutcome, Mode};
+pub use session::{BuildError, DecodeOptions, Decoder, DecoderBuilder, OutputFormat, Strictness};
+pub use workspace::PoolStats;
+
+#[allow(deprecated)]
+pub use schedule::decode_with_mode;

@@ -10,7 +10,8 @@
 
 use crate::model::PerformanceModel;
 use crate::platform::Platform;
-use crate::schedule::single::decode_pipelined_gpu;
+use crate::schedule::single::decode_pipelined_gpu_in;
+use crate::workspace::Workspace;
 use hetjpeg_jpeg::decoder::Prepared;
 
 /// Candidate chunk heights in MCU rows for an image with `mcus_y` rows:
@@ -35,13 +36,15 @@ pub fn tune_chunk_rows(
     profiling_jpegs: &[impl AsRef<[u8]>],
 ) -> usize {
     let mut best_per_image = Vec::new();
+    let mut ws = Workspace::default();
     for jpeg in profiling_jpegs {
         let prep = Prepared::new(jpeg.as_ref()).expect("profiling image parses");
         let mut best = (f64::INFINITY, 1usize);
         for c in candidate_chunk_rows(prep.geom.mcus_y) {
             let mut trial = proto_model.clone();
             trial.chunk_mcu_rows = c;
-            let out = decode_pipelined_gpu(&prep, platform, &trial).expect("pipelined decode");
+            let out = decode_pipelined_gpu_in(&prep, platform, &trial, &mut ws)
+                .expect("pipelined decode");
             if out.times.total < best.0 {
                 best = (out.times.total, c);
             }
@@ -94,7 +97,7 @@ mod tests {
         let time_with = |c: usize| {
             let mut m = model.clone();
             m.chunk_mcu_rows = c;
-            decode_pipelined_gpu(&prep, &platform, &m)
+            decode_pipelined_gpu_in(&prep, &platform, &m, &mut Workspace::default())
                 .unwrap()
                 .times
                 .total

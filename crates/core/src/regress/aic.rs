@@ -1,5 +1,5 @@
 //! Akaike-information-criterion model selection (paper §5.1, citing
-//! Akaike [1]).
+//! Akaike \[1\]).
 //!
 //! "We model each phase using polynomial regression up to a degree of
 //! seven. The best fit model is selected by comparing Akaike information

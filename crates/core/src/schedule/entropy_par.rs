@@ -1,0 +1,190 @@
+//! `Mode::ParallelEntropy`: restart-segment-parallel Huffman decoding.
+//!
+//! The paper treats entropy decoding as strictly sequential (§1); restart
+//! markers make each interval independently decodable, and
+//! [`crate::exec::decode_entropy_parallel_into`] really decodes them on a
+//! scoped thread pool. This module wires that driver in as a first-class
+//! decode mode: the functional output comes from the real threaded decode,
+//! while the virtual-time trace list-schedules the measured per-segment
+//! Huffman work onto `threads` virtual workers (the same dynamic
+//! ticket-order the real driver uses), followed by the SIMD parallel phase.
+//!
+//! The parallel phase is priced with the **sparse-aware** per-unit cost
+//! ([`crate::cost::CpuCostModel::parallel_time_sparse`]): this mode
+//! postdates the paper, so unlike the six calibrated modes it has no
+//! Fig. 6/7 anchor to preserve, and the EOB-class histogram the entropy
+//! decoder collects is exactly the retraining input the ROADMAP calls for.
+//!
+//! Without restart markers (or with one thread) the mode degenerates to
+//! sequential entropy + SIMD band, still byte-identical.
+
+use super::{DecodeOutcome, Mode};
+use crate::exec::decode_entropy_parallel_into;
+use crate::platform::Platform;
+use crate::timeline::{Breakdown, Resource, Trace};
+use crate::workspace::Workspace;
+use hetjpeg_jpeg::decoder::{simd, Prepared};
+use hetjpeg_jpeg::error::Result;
+use hetjpeg_jpeg::metrics::ParallelWork;
+use hetjpeg_jpeg::types::RgbImage;
+
+/// Fixed virtual-time overhead charged per restart segment (per-segment
+/// Huffman table construction and worker hand-off in the real driver).
+pub const SEGMENT_OVERHEAD_S: f64 = 2e-6;
+
+/// List-schedule measured per-segment Huffman work onto `threads` virtual
+/// workers in ticket order — each segment goes to the worker that frees up
+/// first, matching the real driver's atomic work-stealing ticket. Pushes
+/// one trace span per segment and returns the Huffman wall-time plus the
+/// accumulated EOB-class histogram.
+pub(crate) fn schedule_segments(
+    platform: &Platform,
+    seg_metrics: &[hetjpeg_jpeg::metrics::RowMetrics],
+    threads: usize,
+    trace: &mut Trace,
+) -> (f64, [u64; 4]) {
+    let workers = threads.clamp(1, seg_metrics.len().max(1));
+    let mut free_at = vec![0.0f64; workers];
+    let mut classes = [0u64; 4];
+    for m in seg_metrics {
+        let w = free_at
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .expect("at least one worker");
+        let start = free_at[w];
+        let t = platform.cpu.huff_time(m) + SEGMENT_OVERHEAD_S;
+        trace.push("huffman", Resource::Cpu, start, start + t);
+        free_at[w] = start + t;
+        for (a, b) in classes.iter_mut().zip(m.eob_classes) {
+            *a += b;
+        }
+    }
+    let wall = free_at.iter().fold(0.0f64, |a, &b| a.max(b));
+    (wall, classes)
+}
+
+/// Restart-aware parallel-entropy decode on pooled scratch.
+pub(crate) fn decode_parallel_entropy_in(
+    prep: &Prepared<'_>,
+    platform: &Platform,
+    threads: usize,
+    ws: &mut Workspace,
+) -> Result<DecodeOutcome> {
+    let geom = &prep.geom;
+    ws.ensure(prep);
+    let p = ws.parts();
+
+    // Functional decode on real threads (sequential fallback inside when
+    // the image has no restart markers), with per-segment work metrics.
+    let seg_metrics = decode_entropy_parallel_into(prep, threads, p.coef)?;
+
+    let mut trace = Trace::default();
+    let (t_huff_wall, classes) = schedule_segments(platform, &seg_metrics, threads, &mut trace);
+
+    // SIMD parallel phase over the whole image, priced sparse-aware.
+    let mut image = RgbImage::new(geom.width, geom.height);
+    let work =
+        simd::decode_region_rgb_simd_with(prep, p.coef, 0, geom.mcus_y, &mut image.data, p.simd)?;
+    debug_assert_eq!(work, ParallelWork::for_mcu_rows(geom, 0, geom.mcus_y));
+    let t_band = platform.cpu.parallel_time_sparse(&work, &classes, true);
+    trace.push("cpu-simd", Resource::Cpu, t_huff_wall, t_huff_wall + t_band);
+
+    Ok(DecodeOutcome {
+        image,
+        ycc: None,
+        times: Breakdown {
+            huffman: t_huff_wall,
+            cpu_parallel: t_band,
+            total: t_huff_wall + t_band,
+            ..Default::default()
+        },
+        trace,
+        partition: None,
+        mode: Mode::ParallelEntropy,
+        truncated: false,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::single;
+    use hetjpeg_jpeg::encoder::{encode_rgb, EncodeParams};
+    use hetjpeg_jpeg::types::Subsampling;
+
+    fn jpeg_with_restarts(w: usize, h: usize, interval: usize) -> Vec<u8> {
+        let mut rgb = Vec::with_capacity(w * h * 3);
+        let mut s = 7u32;
+        for _ in 0..w * h {
+            s = s.wrapping_mul(1664525).wrapping_add(1013904223);
+            rgb.extend_from_slice(&[(s >> 8) as u8, (s >> 16) as u8, (s >> 24) as u8]);
+        }
+        encode_rgb(
+            &rgb,
+            w as u32,
+            h as u32,
+            &EncodeParams {
+                quality: 82,
+                subsampling: Subsampling::S422,
+                restart_interval: interval,
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn parallel_entropy_is_bit_identical_and_faster_with_restarts() {
+        let jpeg = jpeg_with_restarts(256, 256, 4);
+        let platform = Platform::gtx560();
+        let prep = Prepared::new(&jpeg).unwrap();
+        let mut ws = Workspace::default();
+        let simd_out = single::decode_cpu_in(&prep, &platform, true, &mut ws).unwrap();
+        let par = decode_parallel_entropy_in(&prep, &platform, 4, &mut ws).unwrap();
+        assert_eq!(par.image.data, simd_out.image.data);
+        // Four workers over many segments shrink the Huffman wall-time well
+        // below the sequential stage.
+        assert!(
+            par.times.huffman < simd_out.times.huffman,
+            "parallel huffman {:.4}ms vs sequential {:.4}ms",
+            par.times.huffman * 1e3,
+            simd_out.times.huffman * 1e3
+        );
+        assert!(par.total() < simd_out.total());
+    }
+
+    #[test]
+    fn no_restart_markers_degenerates_to_sequential_entropy() {
+        let jpeg = jpeg_with_restarts(128, 96, 0);
+        let platform = Platform::gt430();
+        let prep = Prepared::new(&jpeg).unwrap();
+        let mut ws = Workspace::default();
+        let simd_out = single::decode_cpu_in(&prep, &platform, true, &mut ws).unwrap();
+        let par = decode_parallel_entropy_in(&prep, &platform, 8, &mut ws).unwrap();
+        assert_eq!(par.image.data, simd_out.image.data);
+        // One segment: the Huffman wall-time is the sequential time plus
+        // the fixed per-segment overhead.
+        assert!(par.times.huffman >= simd_out.times.huffman);
+        assert!(par.times.huffman <= simd_out.times.huffman + 2.0 * SEGMENT_OVERHEAD_S);
+    }
+
+    #[test]
+    fn more_virtual_workers_never_slow_the_schedule() {
+        let jpeg = jpeg_with_restarts(192, 160, 2);
+        let platform = Platform::gtx680();
+        let prep = Prepared::new(&jpeg).unwrap();
+        let mut ws = Workspace::default();
+        let mut last = f64::INFINITY;
+        for threads in [1usize, 2, 4, 8] {
+            let out = decode_parallel_entropy_in(&prep, &platform, threads, &mut ws).unwrap();
+            assert!(
+                out.times.huffman <= last * 1.0001,
+                "{threads} threads: {} vs {}",
+                out.times.huffman,
+                last
+            );
+            last = out.times.huffman;
+        }
+    }
+}

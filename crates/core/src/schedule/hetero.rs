@@ -1,11 +1,15 @@
 //! Heterogeneous decode modes: SPS (§5.2.1) and PPS (§5.2.2).
+//!
+//! The `*_in` functions are the implementations on pooled scratch; the
+//! original free functions remain as thin deprecated wrappers.
 
-use super::{entropy_with_times, DecodeOutcome, Mode};
-use crate::gpu_decode::{decode_region_gpu, KernelPlan};
+use super::{entropy_into, DecodeOutcome, Mode};
+use crate::gpu_decode::{decode_region_gpu_with, GpuStaging, KernelPlan};
 use crate::model::PerformanceModel;
 use crate::partition::{pps, sps, Partition};
 use crate::platform::Platform;
 use crate::timeline::{Breakdown, Resource, Trace};
+use crate::workspace::Workspace;
 use hetjpeg_gpusim::CommandQueue;
 use hetjpeg_jpeg::decoder::{simd, Prepared};
 use hetjpeg_jpeg::error::Result;
@@ -14,13 +18,26 @@ use hetjpeg_jpeg::types::RgbImage;
 
 /// SPS: Huffman-decode everything, then split the parallel phase between
 /// GPU (initial rows) and CPU SIMD (final rows) at the Eq. 10 balance point.
+#[deprecated(since = "0.2.0", note = "use `hetjpeg_core::Decoder` with `Mode::Sps`")]
 pub fn decode_sps(
     prep: &Prepared<'_>,
     platform: &Platform,
     model: &PerformanceModel,
 ) -> Result<DecodeOutcome> {
+    decode_sps_in(prep, platform, model, &mut Workspace::default())
+}
+
+/// SPS on pooled scratch.
+pub(crate) fn decode_sps_in(
+    prep: &Prepared<'_>,
+    platform: &Platform,
+    model: &PerformanceModel,
+    ws: &mut Workspace,
+) -> Result<DecodeOutcome> {
     let geom = &prep.geom;
-    let (coef, _row_times, t_huff) = entropy_with_times(prep, platform)?;
+    ws.ensure(prep);
+    let p = ws.parts();
+    let (_row_times, t_huff, _classes) = entropy_into(prep, platform, p.coef)?;
     let part = sps::partition(model, geom);
     let g_rows = part.gpu_mcu_rows;
 
@@ -41,14 +58,15 @@ pub fn decode_sps(
         cpu_now += t_disp;
         b.dispatch = t_disp;
 
-        let res = decode_region_gpu(
+        let res = decode_region_gpu_with(
             prep,
-            &coef,
+            p.coef,
             0,
             g_rows,
             platform,
             model.wg_blocks,
             KernelPlan::Merged,
+            p.staging,
         );
         let h2d = q.enqueue("h2d", cpu_now, res.h2d_time);
         trace.push("h2d", Resource::Gpu, h2d.start, h2d.end);
@@ -69,7 +87,8 @@ pub fn decode_sps(
     if part.cpu_mcu_rows > 0 {
         let (p0, p1) = geom.mcu_rows_to_pixel_rows(g_rows, geom.mcus_y);
         let out = &mut image.data[p0 * geom.width * 3..p1 * geom.width * 3];
-        let work = simd::decode_region_rgb_simd(prep, &coef, g_rows, geom.mcus_y, out)?;
+        let work =
+            simd::decode_region_rgb_simd_with(prep, p.coef, g_rows, geom.mcus_y, out, p.simd)?;
         debug_assert_eq!(work, ParallelWork::for_mcu_rows(geom, g_rows, geom.mcus_y));
         let t_band = platform.cpu.parallel_time(&work, true);
         trace.push("cpu-simd", Resource::Cpu, cpu_now, cpu_now + t_band);
@@ -80,10 +99,12 @@ pub fn decode_sps(
     b.total = cpu_now.max(q.drain_time());
     Ok(DecodeOutcome {
         image,
+        ycc: None,
         times: b,
         trace,
         partition: Some(part),
         mode: Mode::Sps,
+        truncated: false,
     })
 }
 
@@ -91,23 +112,45 @@ pub fn decode_sps(
 /// asynchronously (overlapping Huffman with kernels, Fig. 8c); before the
 /// last GPU chunk the split is re-balanced from the *measured* Huffman
 /// progress (Eq. 16–17).
+#[deprecated(since = "0.2.0", note = "use `hetjpeg_core::Decoder` with `Mode::Pps`")]
 pub fn decode_pps(
     prep: &Prepared<'_>,
     platform: &Platform,
     model: &PerformanceModel,
 ) -> Result<DecodeOutcome> {
-    decode_pps_with(prep, platform, model, true)
+    decode_pps_in(prep, platform, model, true, &mut Workspace::default())
 }
 
-/// [`decode_pps`] with the Eq. 16/17 re-partitioning step optionally
-/// disabled — the §5.2.2 ablation: on images whose entropy is skewed along
-/// the scan direction, disabling it leaves the initial (uniform-density)
-/// split in place and the slower side dominates.
+/// PPS with the Eq. 16/17 re-partitioning step optionally disabled — the
+/// §5.2.2 ablation: on images whose entropy is skewed along the scan
+/// direction, disabling it leaves the initial (uniform-density) split in
+/// place and the slower side dominates.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `hetjpeg_core::Decoder`; the ablation flag lives on `decode_pps_in`"
+)]
 pub fn decode_pps_with(
     prep: &Prepared<'_>,
     platform: &Platform,
     model: &PerformanceModel,
     repartition_enabled: bool,
+) -> Result<DecodeOutcome> {
+    decode_pps_in(
+        prep,
+        platform,
+        model,
+        repartition_enabled,
+        &mut Workspace::default(),
+    )
+}
+
+/// PPS on pooled scratch, with the Eq. 16/17 re-partitioning toggle.
+pub(crate) fn decode_pps_in(
+    prep: &Prepared<'_>,
+    platform: &Platform,
+    model: &PerformanceModel,
+    repartition_enabled: bool,
+    ws: &mut Workspace,
 ) -> Result<DecodeOutcome> {
     let geom = &prep.geom;
     let w = geom.width as f64;
@@ -121,7 +164,8 @@ pub fn decode_pps_with(
     let mut gpu_end = init.gpu_mcu_rows; // GPU takes MCU rows [0, gpu_end)
     let est_total_huff = model.huff_time(w * h, d);
 
-    let mut coef = hetjpeg_jpeg::coef::CoefBuffer::new(geom);
+    ws.ensure(prep);
+    let p = ws.parts();
     let mut dec = prep.entropy_decoder()?;
     let mut trace = Trace::default();
     let mut q = CommandQueue::new();
@@ -133,6 +177,7 @@ pub fn decode_pps_with(
 
     let enqueue_gpu_chunk = |prep: &Prepared<'_>,
                              coef: &hetjpeg_jpeg::coef::CoefBuffer,
+                             staging: &mut GpuStaging,
                              row0: usize,
                              row1: usize,
                              cpu_now: &mut f64,
@@ -144,7 +189,7 @@ pub fn decode_pps_with(
         trace.push("dispatch", Resource::Cpu, *cpu_now, *cpu_now + t_disp);
         *cpu_now += t_disp;
         b.dispatch += t_disp;
-        let res = decode_region_gpu(
+        let res = decode_region_gpu_with(
             prep,
             coef,
             row0,
@@ -152,6 +197,7 @@ pub fn decode_pps_with(
             platform,
             model.wg_blocks,
             KernelPlan::Merged,
+            staging,
         );
         let h2d = q.enqueue("h2d", *cpu_now, res.h2d_time);
         trace.push("h2d", Resource::Gpu, h2d.start, h2d.end);
@@ -190,7 +236,7 @@ pub fn decode_pps_with(
         let end = (row + chunk_rows).min(gpu_end);
         let huff_start = cpu_now;
         for _ in row..end {
-            let m = dec.decode_mcu_row(&mut coef)?;
+            let m = dec.decode_mcu_row(p.coef)?;
             let t = platform.cpu.huff_time(&m);
             cpu_now += t;
             huff_spent += t;
@@ -199,7 +245,8 @@ pub fn decode_pps_with(
         trace.push("huffman", Resource::Cpu, huff_start, cpu_now);
         enqueue_gpu_chunk(
             prep,
-            &coef,
+            p.coef,
+            p.staging,
             row,
             end,
             &mut cpu_now,
@@ -216,7 +263,7 @@ pub fn decode_pps_with(
     if cpu_rows0 < geom.mcus_y {
         let huff_start = cpu_now;
         while !dec.is_finished() {
-            let m = dec.decode_mcu_row(&mut coef)?;
+            let m = dec.decode_mcu_row(p.coef)?;
             cpu_now += platform.cpu.huff_time(&m);
         }
         b.huffman += cpu_now - huff_start;
@@ -224,7 +271,8 @@ pub fn decode_pps_with(
 
         let (p0, p1) = geom.mcu_rows_to_pixel_rows(cpu_rows0, geom.mcus_y);
         let out = &mut image.data[p0 * geom.width * 3..p1 * geom.width * 3];
-        let work = simd::decode_region_rgb_simd(prep, &coef, cpu_rows0, geom.mcus_y, out)?;
+        let work =
+            simd::decode_region_rgb_simd_with(prep, p.coef, cpu_rows0, geom.mcus_y, out, p.simd)?;
         let t_band = platform.cpu.parallel_time(&work, true);
         trace.push("cpu-simd", Resource::Cpu, cpu_now, cpu_now + t_band);
         cpu_now += t_band;
@@ -242,10 +290,12 @@ pub fn decode_pps_with(
     };
     Ok(DecodeOutcome {
         image,
+        ycc: None,
         times: b,
         trace,
         partition: Some(part),
         mode: Mode::Pps,
+        truncated: false,
     })
 }
 
@@ -284,8 +334,9 @@ mod tests {
         for platform in Platform::all() {
             let model = platform.untrained_model();
             let prep = Prepared::new(&jpeg).unwrap();
-            let simd_out = single::decode_cpu(&prep, &platform, true).unwrap();
-            let sps_out = decode_sps(&prep, &platform, &model).unwrap();
+            let mut ws = Workspace::default();
+            let simd_out = single::decode_cpu_in(&prep, &platform, true, &mut ws).unwrap();
+            let sps_out = decode_sps_in(&prep, &platform, &model, &mut ws).unwrap();
             assert_eq!(simd_out.image.data, sps_out.image.data, "{}", platform.name);
             let part = sps_out.partition.unwrap();
             assert_eq!(part.gpu_mcu_rows + part.cpu_mcu_rows, prep.geom.mcus_y);
@@ -298,8 +349,9 @@ mod tests {
         for platform in Platform::all() {
             let model = platform.untrained_model();
             let prep = Prepared::new(&jpeg).unwrap();
-            let simd_out = single::decode_cpu(&prep, &platform, true).unwrap();
-            let pps_out = decode_pps(&prep, &platform, &model).unwrap();
+            let mut ws = Workspace::default();
+            let simd_out = single::decode_cpu_in(&prep, &platform, true, &mut ws).unwrap();
+            let pps_out = decode_pps_in(&prep, &platform, &model, true, &mut ws).unwrap();
             assert_eq!(simd_out.image.data, pps_out.image.data, "{}", platform.name);
         }
     }
@@ -311,8 +363,9 @@ mod tests {
         let platform = Platform::gtx560();
         let model = platform.untrained_model();
         let prep = Prepared::new(&jpeg).unwrap();
-        let sps_out = decode_sps(&prep, &platform, &model).unwrap();
-        let pps_out = decode_pps(&prep, &platform, &model).unwrap();
+        let mut ws = Workspace::default();
+        let sps_out = decode_sps_in(&prep, &platform, &model, &mut ws).unwrap();
+        let pps_out = decode_pps_in(&prep, &platform, &model, true, &mut ws).unwrap();
         assert!(
             pps_out.total() < sps_out.total(),
             "pps {:.3}ms vs sps {:.3}ms",
@@ -343,15 +396,16 @@ mod tests {
         );
         let jpeg = jpeg_of(512, 512, 5);
         let prep = Prepared::new(&jpeg).unwrap();
-        let simd_out = single::decode_cpu(&prep, &platform, true).unwrap();
-        let sps_out = decode_sps(&prep, &platform, &model).unwrap();
+        let mut ws = Workspace::default();
+        let simd_out = single::decode_cpu_in(&prep, &platform, true, &mut ws).unwrap();
+        let sps_out = decode_sps_in(&prep, &platform, &model, &mut ws).unwrap();
         assert!(
             sps_out.total() < simd_out.total(),
             "SPS {:.3}ms vs SIMD {:.3}ms",
             sps_out.total() * 1e3,
             simd_out.total() * 1e3
         );
-        let pps_out = decode_pps(&prep, &platform, &model).unwrap();
+        let pps_out = decode_pps_in(&prep, &platform, &model, true, &mut ws).unwrap();
         assert!(
             pps_out.total() < simd_out.total(),
             "PPS {:.3}ms vs SIMD {:.3}ms",
@@ -380,8 +434,9 @@ mod tests {
         let platform = Platform::gt430(); // CPU-heavy machine: split matters
         let model = platform.untrained_model();
         let prep = Prepared::new(&jpeg).unwrap();
-        let with = decode_pps_with(&prep, &platform, &model, true).unwrap();
-        let without = decode_pps_with(&prep, &platform, &model, false).unwrap();
+        let mut ws = Workspace::default();
+        let with = decode_pps_in(&prep, &platform, &model, true, &mut ws).unwrap();
+        let without = decode_pps_in(&prep, &platform, &model, false, &mut ws).unwrap();
         assert_eq!(with.image.data, without.image.data);
         assert!(
             with.total() <= without.total() * 1.001,
@@ -403,24 +458,31 @@ mod tests {
         let platform = Platform::gtx680();
         let model = platform.untrained_model();
         let prep = Prepared::new(&jpeg).unwrap();
+        let mut ws = Workspace::default();
         let totals: Vec<(Mode, f64)> = vec![
             (
                 Mode::Simd,
-                single::decode_cpu(&prep, &platform, true).unwrap().total(),
+                single::decode_cpu_in(&prep, &platform, true, &mut ws)
+                    .unwrap()
+                    .total(),
             ),
             (
                 Mode::Gpu,
-                single::decode_gpu(&prep, &platform, &model)
+                single::decode_gpu_in(&prep, &platform, &model, &mut ws)
                     .unwrap()
                     .total(),
             ),
             (
                 Mode::Sps,
-                decode_sps(&prep, &platform, &model).unwrap().total(),
+                decode_sps_in(&prep, &platform, &model, &mut ws)
+                    .unwrap()
+                    .total(),
             ),
             (
                 Mode::Pps,
-                decode_pps(&prep, &platform, &model).unwrap().total(),
+                decode_pps_in(&prep, &platform, &model, true, &mut ws)
+                    .unwrap()
+                    .total(),
             ),
         ];
         let pps_total = totals.last().unwrap().1;

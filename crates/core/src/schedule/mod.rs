@@ -1,11 +1,19 @@
-//! The six decode modes evaluated in the paper (§6): sequential, SIMD,
-//! GPU, pipelined GPU, SPS and PPS.
+//! The decode modes: the paper's six (§6) — sequential, SIMD, GPU,
+//! pipelined GPU, SPS, PPS — plus the restart-aware parallel-entropy mode
+//! and the model-driven `Auto` selector.
 //!
-//! Every mode really decodes the image (the outputs of all six are
-//! byte-identical — enforced by `tests/modes_agree.rs`) and simultaneously
-//! builds the virtual-time execution trace from which the paper's figures
-//! are regenerated.
+//! Every concrete mode really decodes the image (the outputs of all seven
+//! are byte-identical — enforced by `tests/modes_agree.rs`) and
+//! simultaneously builds the virtual-time execution trace from which the
+//! paper's figures are regenerated.
+//!
+//! The entry point is the session API ([`crate::session::Decoder`]), which
+//! owns the platform, the trained model and the pooled scratch. The
+//! free-function form ([`decode_with_mode`]) remains as a deprecated
+//! wrapper for one release.
 
+pub mod auto;
+pub mod entropy_par;
 pub mod hetero;
 pub mod single;
 
@@ -13,12 +21,19 @@ use crate::model::PerformanceModel;
 use crate::partition::Partition;
 use crate::platform::Platform;
 use crate::timeline::{Breakdown, Trace};
+use crate::workspace::Workspace;
 use hetjpeg_jpeg::coef::CoefBuffer;
 use hetjpeg_jpeg::decoder::Prepared;
 use hetjpeg_jpeg::error::Result;
-use hetjpeg_jpeg::types::RgbImage;
+use hetjpeg_jpeg::types::{RgbImage, YccImage};
 
-/// Decode mode selector (the paper's six decoder versions, §6).
+/// Worker count used for [`Mode::ParallelEntropy`] when decoding through
+/// the deprecated free functions; the session API makes it configurable
+/// (`Decoder::builder().threads(n)`).
+pub const DEFAULT_ENTROPY_THREADS: usize = 4;
+
+/// Decode mode selector: the paper's six decoder versions (§6), the
+/// restart-aware parallel-entropy extension, and the model-driven selector.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Mode {
     /// Scalar CPU decoding (libjpeg-turbo without SIMD).
@@ -34,11 +49,37 @@ pub enum Mode {
     /// Pipelined Partitioning Scheme: split + overlap + re-partitioning
     /// (§5.2.2).
     Pps,
+    /// Restart-segment-parallel Huffman decoding on a thread pool, then the
+    /// SIMD parallel phase. Exploits the byte-aligned synchronization
+    /// points DRI inserts — the self-synchronization escape hatch the
+    /// paper's related work (Klein & Wiseman) points at. Falls back to
+    /// sequential entropy decoding when the image has no restart markers.
+    ParallelEntropy,
+    /// Pick among the seven concrete modes per image with the trained §5.1
+    /// model (`THuff`, `PCPU`, `PGPU`, `Tdisp`) — the paper's dynamic
+    /// partitioning idea promoted to dynamic *mode selection*. The outcome
+    /// reports the concrete mode that was chosen.
+    Auto,
 }
 
 impl Mode {
-    /// All modes in the paper's presentation order.
-    pub fn all() -> [Mode; 6] {
+    /// All concrete modes in presentation order (the paper's six plus
+    /// `ParallelEntropy`; `Auto` is a selector, not a decoder).
+    pub fn all() -> [Mode; 7] {
+        [
+            Mode::Sequential,
+            Mode::Simd,
+            Mode::Gpu,
+            Mode::PipelinedGpu,
+            Mode::Sps,
+            Mode::Pps,
+            Mode::ParallelEntropy,
+        ]
+    }
+
+    /// The paper's original six modes, for experiments that reproduce its
+    /// tables verbatim.
+    pub fn paper_six() -> [Mode; 6] {
         [
             Mode::Sequential,
             Mode::Simd,
@@ -58,23 +99,40 @@ impl Mode {
             Mode::PipelinedGpu => "pipeline",
             Mode::Sps => "SPS",
             Mode::Pps => "PPS",
+            Mode::ParallelEntropy => "par-entropy",
+            Mode::Auto => "auto",
         }
+    }
+
+    /// True for modes whose whole pipeline runs on the CPU (no simulated
+    /// GPU involvement) — the only modes that can produce planar output
+    /// without a device round-trip.
+    pub fn is_cpu_only(&self) -> bool {
+        matches!(self, Mode::Sequential | Mode::Simd | Mode::ParallelEntropy)
     }
 }
 
 /// Result of decoding with one mode.
 #[derive(Debug, Clone)]
 pub struct DecodeOutcome {
-    /// The decoded image (bit-identical across modes).
+    /// The decoded image (bit-identical across modes). Empty `data` when
+    /// planar output was requested — see [`Self::ycc`].
     pub image: RgbImage,
+    /// Planar YCbCr output, populated instead of `image` when
+    /// [`crate::session::OutputFormat::PlanarYcc`] was requested.
+    pub ycc: Option<YccImage>,
     /// Per-stage totals.
     pub times: Breakdown,
     /// Full execution trace (Fig. 5/8-style).
     pub trace: Trace,
     /// The partition used, for SPS/PPS.
     pub partition: Option<Partition>,
-    /// The mode that produced this outcome.
+    /// The concrete mode that produced this outcome (`Mode::Auto` resolves
+    /// to its selection).
     pub mode: Mode,
+    /// True when a tolerant decode salvaged a truncated/corrupt entropy
+    /// stream: rows past the damage are neutral gray.
+    pub truncated: bool,
 }
 
 impl DecodeOutcome {
@@ -82,10 +140,30 @@ impl DecodeOutcome {
     pub fn total(&self) -> f64 {
         self.times.total
     }
+
+    /// The RGB image, if RGB output was produced.
+    pub fn rgb(&self) -> Option<&RgbImage> {
+        if self.image.data.is_empty() {
+            None
+        } else {
+            Some(&self.image)
+        }
+    }
+
+    /// The planar YCbCr image, if planar output was requested.
+    pub fn planar(&self) -> Option<&YccImage> {
+        self.ycc.as_ref()
+    }
 }
 
 /// Decode `data` under `mode` on `platform`, using `model` for the
 /// partitioning decisions.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `hetjpeg_core::Decoder` session and call `decode` — it \
+            reuses pooled buffers across images and supports `Mode::Auto`; \
+            see docs/API.md for the migration table"
+)]
 pub fn decode_with_mode(
     data: &[u8],
     mode: Mode,
@@ -93,33 +171,68 @@ pub fn decode_with_mode(
     model: &PerformanceModel,
 ) -> Result<DecodeOutcome> {
     let prep = Prepared::new(data)?;
+    let mut ws = Workspace::default();
+    dispatch(
+        &prep,
+        mode,
+        platform,
+        model,
+        DEFAULT_ENTROPY_THREADS,
+        &mut ws,
+    )
+}
+
+/// Route one prepared image through the requested mode, resolving
+/// [`Mode::Auto`] via the performance model first. All decode paths share
+/// the caller's pooled [`Workspace`].
+pub(crate) fn dispatch(
+    prep: &Prepared<'_>,
+    mode: Mode,
+    platform: &Platform,
+    model: &PerformanceModel,
+    threads: usize,
+    ws: &mut Workspace,
+) -> Result<DecodeOutcome> {
+    let mode = match mode {
+        Mode::Auto => auto::select_mode(prep, platform, model, threads).mode,
+        m => m,
+    };
     match mode {
-        Mode::Sequential => single::decode_cpu(&prep, platform, false),
-        Mode::Simd => single::decode_cpu(&prep, platform, true),
-        Mode::Gpu => single::decode_gpu(&prep, platform, model),
-        Mode::PipelinedGpu => single::decode_pipelined_gpu(&prep, platform, model),
-        Mode::Sps => hetero::decode_sps(&prep, platform, model),
-        Mode::Pps => hetero::decode_pps(&prep, platform, model),
+        Mode::Sequential => single::decode_cpu_in(prep, platform, false, ws),
+        Mode::Simd => single::decode_cpu_in(prep, platform, true, ws),
+        Mode::Gpu => single::decode_gpu_in(prep, platform, model, ws),
+        Mode::PipelinedGpu => single::decode_pipelined_gpu_in(prep, platform, model, ws),
+        Mode::Sps => hetero::decode_sps_in(prep, platform, model, ws),
+        Mode::Pps => hetero::decode_pps_in(prep, platform, model, true, ws),
+        Mode::ParallelEntropy => {
+            entropy_par::decode_parallel_entropy_in(prep, platform, threads, ws)
+        }
+        Mode::Auto => unreachable!("Auto resolved above"),
     }
 }
 
-/// Entropy-decode every MCU row, returning the coefficient buffer, per-row
-/// Huffman times under the platform cost model, and the total.
-pub(crate) fn entropy_with_times(
+/// Entropy-decode every MCU row into `coef`, returning per-row Huffman
+/// times under the platform cost model, the total, and the whole-image
+/// EOB-class histogram.
+pub(crate) fn entropy_into(
     prep: &Prepared<'_>,
     platform: &Platform,
-) -> Result<(CoefBuffer, Vec<f64>, f64)> {
-    let mut coef = CoefBuffer::new(&prep.geom);
+    coef: &mut CoefBuffer,
+) -> Result<(Vec<f64>, f64, [u64; 4])> {
     let mut dec = prep.entropy_decoder()?;
     let mut row_times = Vec::with_capacity(prep.geom.mcus_y);
     let mut total = 0.0;
+    let mut classes = [0u64; 4];
     while !dec.is_finished() {
-        let m = dec.decode_mcu_row(&mut coef)?;
+        let m = dec.decode_mcu_row(coef)?;
         let t = platform.cpu.huff_time(&m);
         row_times.push(t);
         total += t;
+        for (a, b) in classes.iter_mut().zip(m.eob_classes) {
+            *a += b;
+        }
     }
-    Ok((coef, row_times, total))
+    Ok((row_times, total, classes))
 }
 
 #[cfg(test)]
@@ -131,7 +244,28 @@ mod tests {
         let names: Vec<&str> = Mode::all().iter().map(|m| m.name()).collect();
         assert_eq!(
             names,
-            vec!["sequential", "SIMD", "GPU", "pipeline", "SPS", "PPS"]
+            vec![
+                "sequential",
+                "SIMD",
+                "GPU",
+                "pipeline",
+                "SPS",
+                "PPS",
+                "par-entropy"
+            ]
         );
+        // The selector is not a concrete mode.
+        assert!(!Mode::all().contains(&Mode::Auto));
+        assert_eq!(Mode::paper_six().len(), 6);
+    }
+
+    #[test]
+    fn cpu_only_classification() {
+        assert!(Mode::Sequential.is_cpu_only());
+        assert!(Mode::Simd.is_cpu_only());
+        assert!(Mode::ParallelEntropy.is_cpu_only());
+        for m in [Mode::Gpu, Mode::PipelinedGpu, Mode::Sps, Mode::Pps] {
+            assert!(!m.is_cpu_only());
+        }
     }
 }

@@ -1,10 +1,16 @@
 //! Single-device decode modes: sequential, SIMD, GPU, pipelined GPU.
+//!
+//! The `*_in` functions are the implementations; they draw every band- and
+//! chunk-sized temporary from the caller's pooled [`Workspace`], so a
+//! session decoding many images allocates the big buffers once. The
+//! original free functions remain as thin deprecated wrappers.
 
-use super::{entropy_with_times, DecodeOutcome, Mode};
-use crate::gpu_decode::{decode_region_gpu, KernelPlan};
+use super::{entropy_into, DecodeOutcome, Mode};
+use crate::gpu_decode::{decode_region_gpu_with, KernelPlan};
 use crate::model::PerformanceModel;
 use crate::platform::Platform;
 use crate::timeline::{Breakdown, Resource, Trace};
+use crate::workspace::Workspace;
 use hetjpeg_gpusim::CommandQueue;
 use hetjpeg_jpeg::decoder::{simd, stages, Prepared};
 use hetjpeg_jpeg::error::Result;
@@ -12,19 +18,35 @@ use hetjpeg_jpeg::metrics::ParallelWork;
 use hetjpeg_jpeg::types::RgbImage;
 
 /// CPU-only decoding, scalar or SIMD path.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `hetjpeg_core::Decoder` with `Mode::Sequential`/`Mode::Simd`"
+)]
 pub fn decode_cpu(
     prep: &Prepared<'_>,
     platform: &Platform,
     use_simd: bool,
 ) -> Result<DecodeOutcome> {
+    decode_cpu_in(prep, platform, use_simd, &mut Workspace::default())
+}
+
+/// CPU-only decoding, scalar or SIMD path, on pooled scratch.
+pub(crate) fn decode_cpu_in(
+    prep: &Prepared<'_>,
+    platform: &Platform,
+    use_simd: bool,
+    ws: &mut Workspace,
+) -> Result<DecodeOutcome> {
     let geom = &prep.geom;
-    let (coef, _rows, t_huff) = entropy_with_times(prep, platform)?;
+    ws.ensure(prep);
+    let p = ws.parts();
+    let (_rows, t_huff, _classes) = entropy_into(prep, platform, p.coef)?;
 
     let mut image = RgbImage::new(geom.width, geom.height);
     let work = if use_simd {
-        simd::decode_region_rgb_simd(prep, &coef, 0, geom.mcus_y, &mut image.data)?
+        simd::decode_region_rgb_simd_with(prep, p.coef, 0, geom.mcus_y, &mut image.data, p.simd)?
     } else {
-        stages::decode_region_rgb(prep, &coef, 0, geom.mcus_y, &mut image.data)?
+        stages::decode_region_rgb_with(prep, p.coef, 0, geom.mcus_y, &mut image.data, p.scalar)?
     };
     debug_assert_eq!(work, ParallelWork::for_mcu_rows(geom, 0, geom.mcus_y));
     let t_par = platform.cpu.parallel_time(&work, use_simd);
@@ -40,6 +62,7 @@ pub fn decode_cpu(
 
     Ok(DecodeOutcome {
         image,
+        ycc: None,
         times: Breakdown {
             huffman: t_huff,
             cpu_parallel: t_par,
@@ -53,28 +76,43 @@ pub fn decode_cpu(
         } else {
             Mode::Sequential
         },
+        truncated: false,
     })
 }
 
 /// GPU mode (Fig. 5a): whole-image Huffman on the CPU, then the full
 /// parallel phase as one transfer + kernel sequence on the GPU.
+#[deprecated(since = "0.2.0", note = "use `hetjpeg_core::Decoder` with `Mode::Gpu`")]
 pub fn decode_gpu(
     prep: &Prepared<'_>,
     platform: &Platform,
     model: &PerformanceModel,
 ) -> Result<DecodeOutcome> {
+    decode_gpu_in(prep, platform, model, &mut Workspace::default())
+}
+
+/// GPU mode on pooled scratch.
+pub(crate) fn decode_gpu_in(
+    prep: &Prepared<'_>,
+    platform: &Platform,
+    model: &PerformanceModel,
+    ws: &mut Workspace,
+) -> Result<DecodeOutcome> {
     let geom = &prep.geom;
-    let (coef, _rows, t_huff) = entropy_with_times(prep, platform)?;
+    ws.ensure(prep);
+    let p = ws.parts();
+    let (_rows, t_huff, _classes) = entropy_into(prep, platform, p.coef)?;
     let t_disp = platform.cpu.dispatch_time(geom, 0, geom.mcus_y);
 
-    let res = decode_region_gpu(
+    let res = decode_region_gpu_with(
         prep,
-        &coef,
+        p.coef,
         0,
         geom.mcus_y,
         platform,
         model.wg_blocks,
         KernelPlan::Merged,
+        p.staging,
     );
 
     let mut trace = Trace::default();
@@ -97,6 +135,7 @@ pub fn decode_gpu(
 
     Ok(DecodeOutcome {
         image,
+        ycc: None,
         times: Breakdown {
             huffman: t_huff,
             dispatch: t_disp,
@@ -109,21 +148,37 @@ pub fn decode_gpu(
         trace,
         partition: None,
         mode: Mode::Gpu,
+        truncated: false,
     })
 }
 
 /// Pipelined GPU mode (Fig. 5b, §4.5): the image is sliced into chunks;
 /// each chunk's entropy data is shipped to the GPU as soon as it is
 /// decoded, overlapping Huffman with kernels.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `hetjpeg_core::Decoder` with `Mode::PipelinedGpu`"
+)]
 pub fn decode_pipelined_gpu(
     prep: &Prepared<'_>,
     platform: &Platform,
     model: &PerformanceModel,
 ) -> Result<DecodeOutcome> {
+    decode_pipelined_gpu_in(prep, platform, model, &mut Workspace::default())
+}
+
+/// Pipelined GPU mode on pooled scratch.
+pub(crate) fn decode_pipelined_gpu_in(
+    prep: &Prepared<'_>,
+    platform: &Platform,
+    model: &PerformanceModel,
+    ws: &mut Workspace,
+) -> Result<DecodeOutcome> {
     let geom = &prep.geom;
     let chunk = model.chunk_mcu_rows.max(1);
+    ws.ensure(prep);
+    let p = ws.parts();
 
-    let mut coef = hetjpeg_jpeg::coef::CoefBuffer::new(geom);
     let mut dec = prep.entropy_decoder()?;
     let mut trace = Trace::default();
     let mut q = CommandQueue::new();
@@ -137,7 +192,7 @@ pub fn decode_pipelined_gpu(
         // Huffman for this chunk (sequential, on the CPU).
         let huff_start = cpu_now;
         for _ in row..end {
-            let m = dec.decode_mcu_row(&mut coef)?;
+            let m = dec.decode_mcu_row(p.coef)?;
             cpu_now += platform.cpu.huff_time(&m);
         }
         b.huffman += cpu_now - huff_start;
@@ -149,14 +204,15 @@ pub fn decode_pipelined_gpu(
         cpu_now += t_disp;
         b.dispatch += t_disp;
 
-        let res = decode_region_gpu(
+        let res = decode_region_gpu_with(
             prep,
-            &coef,
+            p.coef,
             row,
             end,
             platform,
             model.wg_blocks,
             KernelPlan::Merged,
+            p.staging,
         );
         let h2d = q.enqueue("h2d", cpu_now, res.h2d_time);
         trace.push("h2d", Resource::Gpu, h2d.start, h2d.end);
@@ -179,10 +235,12 @@ pub fn decode_pipelined_gpu(
     b.total = cpu_now.max(q.drain_time());
     Ok(DecodeOutcome {
         image,
+        ycc: None,
         times: b,
         trace,
         partition: None,
         mode: Mode::PipelinedGpu,
+        truncated: false,
     })
 }
 
@@ -215,8 +273,9 @@ mod tests {
         let jpeg = jpeg_of(256, 256);
         let platform = Platform::gtx560();
         let prep = Prepared::new(&jpeg).unwrap();
-        let seq = decode_cpu(&prep, &platform, false).unwrap();
-        let simd = decode_cpu(&prep, &platform, true).unwrap();
+        let mut ws = Workspace::default();
+        let seq = decode_cpu_in(&prep, &platform, false, &mut ws).unwrap();
+        let simd = decode_cpu_in(&prep, &platform, true, &mut ws).unwrap();
         assert_eq!(seq.image.data, simd.image.data);
         let speedup = seq.total() / simd.total();
         // §1: "twice as fast" overall.
@@ -229,8 +288,9 @@ mod tests {
         let platform = Platform::gtx680();
         let model = platform.untrained_model();
         let prep = Prepared::new(&jpeg).unwrap();
-        let cpu = decode_cpu(&prep, &platform, true).unwrap();
-        let gpu = decode_gpu(&prep, &platform, &model).unwrap();
+        let mut ws = Workspace::default();
+        let cpu = decode_cpu_in(&prep, &platform, true, &mut ws).unwrap();
+        let gpu = decode_gpu_in(&prep, &platform, &model, &mut ws).unwrap();
         assert_eq!(cpu.image.data, gpu.image.data);
         // GPU breakdown contains transfers and kernels.
         assert!(gpu.times.h2d > 0.0 && gpu.times.kernels > 0.0 && gpu.times.d2h > 0.0);
@@ -245,8 +305,9 @@ mod tests {
         let platform = Platform::gtx560();
         let model = platform.untrained_model();
         let prep = Prepared::new(&jpeg).unwrap();
-        let gpu = decode_gpu(&prep, &platform, &model).unwrap();
-        let pipe = decode_pipelined_gpu(&prep, &platform, &model).unwrap();
+        let mut ws = Workspace::default();
+        let gpu = decode_gpu_in(&prep, &platform, &model, &mut ws).unwrap();
+        let pipe = decode_pipelined_gpu_in(&prep, &platform, &model, &mut ws).unwrap();
         assert_eq!(gpu.image.data, pipe.image.data);
         assert!(
             pipe.total() < gpu.total(),
@@ -264,8 +325,9 @@ mod tests {
         let platform = Platform::gtx560();
         let model = platform.untrained_model();
         let prep = Prepared::new(&jpeg).unwrap();
-        let gpu = decode_gpu(&prep, &platform, &model).unwrap();
-        let pipe = decode_pipelined_gpu(&prep, &platform, &model).unwrap();
+        let mut ws = Workspace::default();
+        let gpu = decode_gpu_in(&prep, &platform, &model, &mut ws).unwrap();
+        let pipe = decode_pipelined_gpu_in(&prep, &platform, &model, &mut ws).unwrap();
         let diff = (pipe.total() - gpu.total()).abs();
         assert!(diff / gpu.total() < 0.05, "should be nearly identical");
     }
@@ -276,10 +338,11 @@ mod tests {
         let platform = Platform::gt430();
         let model = platform.untrained_model();
         let prep = Prepared::new(&jpeg).unwrap();
+        let mut ws = Workspace::default();
         for out in [
-            decode_cpu(&prep, &platform, true).unwrap(),
-            decode_gpu(&prep, &platform, &model).unwrap(),
-            decode_pipelined_gpu(&prep, &platform, &model).unwrap(),
+            decode_cpu_in(&prep, &platform, true, &mut ws).unwrap(),
+            decode_gpu_in(&prep, &platform, &model, &mut ws).unwrap(),
+            decode_pipelined_gpu_in(&prep, &platform, &model, &mut ws).unwrap(),
         ] {
             assert!(
                 (out.trace.makespan() - out.times.total).abs() < 1e-9,

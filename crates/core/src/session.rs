@@ -1,0 +1,809 @@
+//! The session decode API: a builder-constructed [`Decoder`] that owns the
+//! platform, the trained performance model, the worker-thread budget and
+//! the pooled scratch, and decodes any number of images through one
+//! adaptive entry point.
+//!
+//! This is the shape the paper's contribution wants to be consumed in:
+//! *dynamic* partitioning means the caller should not pick a [`Mode`] by
+//! hand — [`Mode::Auto`] (the default) prices all seven concrete modes with
+//! the §5.1 closed forms per image and runs the cheapest. A session
+//! amortizes everything that is per-machine rather than per-image: the
+//! whole-image coefficient buffer, the band scratches, the GPU chunk
+//! staging, and the `Auto` decisions themselves (cached per image shape).
+//!
+//! ```
+//! use hetjpeg_core::{DecodeOptions, Decoder, Platform};
+//! use hetjpeg_corpus::{generate_jpeg, ImageSpec, Pattern};
+//! use hetjpeg_jpeg::types::Subsampling;
+//!
+//! let spec = ImageSpec { width: 96, height: 96,
+//!                        pattern: Pattern::PhotoLike { detail: 0.5 }, seed: 1 };
+//! let jpeg = generate_jpeg(&spec, 85, Subsampling::S420).unwrap();
+//! let decoder = Decoder::builder().platform(Platform::gtx560()).build().unwrap();
+//! let out = decoder.decode(&jpeg, DecodeOptions::default()).unwrap();
+//! assert_eq!(out.image.width, 96);
+//! ```
+
+use crate::exec::{decode_pps_threaded_impl, ThreadedOutcome};
+use crate::model::PerformanceModel;
+use crate::platform::Platform;
+use crate::schedule::{auto, dispatch, entropy_par, DecodeOutcome, Mode};
+use crate::timeline::{Breakdown, Resource, Trace};
+use crate::workspace::{PoolStats, Workspace};
+use hetjpeg_jpeg::decoder::{simd, stages, Prepared};
+use hetjpeg_jpeg::error::{Error, Result};
+use hetjpeg_jpeg::types::{RgbImage, Subsampling, YccImage};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Mutex;
+
+/// Upper bound on configurable entropy worker threads — far above any
+/// plausible host, low enough to catch garbage configuration up front.
+pub const MAX_THREADS: usize = 256;
+
+/// Pixel-format of the decoded output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OutputFormat {
+    /// Interleaved 8-bit RGB ([`DecodeOutcome::image`]).
+    #[default]
+    Rgb,
+    /// Full-resolution planar YCbCr ([`DecodeOutcome::ycc`]): chroma
+    /// upsampled, color conversion skipped — what re-encode/tone-map/ML
+    /// pipelines consume. Requires a CPU mode (the simulated GPU kernels
+    /// produce RGB).
+    PlanarYcc,
+}
+
+/// How the decoder reacts to damaged entropy streams and incompatible
+/// option combinations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Strictness {
+    /// Any error aborts the decode (library default).
+    #[default]
+    Strict,
+    /// Browser-style salvage: a truncated or corrupt entropy stream yields
+    /// a partial image (damaged rows decode to neutral gray,
+    /// [`DecodeOutcome::truncated`] set), and planar output silently falls
+    /// back to the SIMD CPU path when a GPU mode was requested.
+    Tolerant,
+}
+
+/// Per-call decode options. `Default` is `Mode::Auto`, RGB output, strict.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecodeOptions {
+    /// Decode mode; [`Mode::Auto`] (default) selects per image via the
+    /// trained model.
+    pub mode: Mode,
+    /// Output pixel format.
+    pub format: OutputFormat,
+    /// Error-handling policy.
+    pub strictness: Strictness,
+    /// Decompression-bomb guard: images with more pixels than this are
+    /// rejected before any allocation. `None` (default) disables the guard.
+    pub max_pixels: Option<usize>,
+}
+
+impl Default for DecodeOptions {
+    fn default() -> Self {
+        DecodeOptions {
+            mode: Mode::Auto,
+            format: OutputFormat::Rgb,
+            strictness: Strictness::Strict,
+            max_pixels: None,
+        }
+    }
+}
+
+impl DecodeOptions {
+    /// Options with an explicit mode (other fields default).
+    pub fn with_mode(mode: Mode) -> Self {
+        DecodeOptions {
+            mode,
+            ..Default::default()
+        }
+    }
+
+    /// Set the output format.
+    pub fn format(mut self, format: OutputFormat) -> Self {
+        self.format = format;
+        self
+    }
+
+    /// Switch to tolerant (salvaging) error handling.
+    pub fn tolerant(mut self) -> Self {
+        self.strictness = Strictness::Tolerant;
+        self
+    }
+
+    /// Set the decompression-bomb guard.
+    pub fn max_pixels(mut self, px: usize) -> Self {
+        self.max_pixels = Some(px);
+        self
+    }
+}
+
+/// Errors detected by [`DecoderBuilder::build`] — configuration problems
+/// that would otherwise surface as panics or garbage partitions mid-decode.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BuildError {
+    /// Thread count outside `1..=MAX_THREADS`.
+    InvalidThreads(usize),
+    /// The model was trained for a different platform than the session's.
+    ModelPlatformMismatch {
+        /// Platform the model was trained for.
+        model: String,
+        /// Platform the session was built with.
+        platform: String,
+    },
+    /// The model itself is unusable; the string names the defect.
+    InvalidModel(&'static str),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::InvalidThreads(n) => {
+                write!(f, "thread count {n} outside 1..={MAX_THREADS}")
+            }
+            BuildError::ModelPlatformMismatch { model, platform } => write!(
+                f,
+                "performance model was trained for {model:?} but the session targets {platform:?}"
+            ),
+            BuildError::InvalidModel(what) => write!(f, "invalid performance model: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Builder for [`Decoder`]. Platform defaults to the GTX 560 machine, the
+/// model to the platform's analytic seed, threads to 4.
+#[derive(Debug, Clone, Default)]
+pub struct DecoderBuilder {
+    platform: Option<Platform>,
+    model: Option<PerformanceModel>,
+    threads: Option<usize>,
+}
+
+impl DecoderBuilder {
+    /// Target platform (Table 1 machine).
+    pub fn platform(mut self, platform: Platform) -> Self {
+        self.platform = Some(platform);
+        self
+    }
+
+    /// Trained performance model; defaults to the platform's analytic seed
+    /// ([`Platform::untrained_model`]).
+    pub fn model(mut self, model: PerformanceModel) -> Self {
+        self.model = Some(model);
+        self
+    }
+
+    /// Entropy worker threads for `Mode::ParallelEntropy` (and its `Auto`
+    /// pricing).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Validate the configuration up front and construct the session.
+    pub fn build(self) -> std::result::Result<Decoder, BuildError> {
+        let platform = self.platform.unwrap_or_else(Platform::gtx560);
+        let model = self.model.unwrap_or_else(|| platform.untrained_model());
+        let threads = self.threads.unwrap_or(entropy_par_default_threads());
+        if threads == 0 || threads > MAX_THREADS {
+            return Err(BuildError::InvalidThreads(threads));
+        }
+        if model.platform != platform.name {
+            return Err(BuildError::ModelPlatformMismatch {
+                model: model.platform.clone(),
+                platform: platform.name.to_string(),
+            });
+        }
+        // Defects that would otherwise panic or mis-partition mid-decode:
+        // a zero work-group divides by zero inside the kernels, a zero
+        // chunk height dead-locks the chunk loop's progress assumptions,
+        // and non-finite coefficients poison every Newton solve.
+        if model.wg_blocks == 0 {
+            return Err(BuildError::InvalidModel("wg_blocks must be >= 1"));
+        }
+        if model.chunk_mcu_rows == 0 {
+            return Err(BuildError::InvalidModel("chunk_mcu_rows must be >= 1"));
+        }
+        let finite1 = |p: &crate::regress::Poly1| p.coefs.iter().all(|c| c.is_finite());
+        let finite2 = |p: &crate::regress::Poly2| {
+            p.coefs.iter().flatten().all(|c| c.is_finite())
+                && p.x_scale.is_finite()
+                && p.y_scale.is_finite()
+        };
+        if !finite1(&model.thuff_ns_per_px)
+            || !finite2(&model.p_cpu)
+            || !finite2(&model.p_gpu)
+            || !finite2(&model.t_disp)
+        {
+            return Err(BuildError::InvalidModel("non-finite coefficient"));
+        }
+        Ok(Decoder {
+            platform,
+            model,
+            threads,
+            state: Mutex::new(SessionState::default()),
+        })
+    }
+}
+
+fn entropy_par_default_threads() -> usize {
+    crate::schedule::DEFAULT_ENTROPY_THREADS
+}
+
+/// Key under which `Mode::Auto` decisions are cached: every model input
+/// that can change the prediction, plus the selection space (planar output
+/// restricts the candidates to CPU-only modes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct AutoKey {
+    width: usize,
+    height: usize,
+    subsampling: Subsampling,
+    /// Entropy density quantized to 1/4096 B/px.
+    density_q: u64,
+    restart_interval: usize,
+    /// True when the decision was restricted to CPU-only modes.
+    cpu_only: bool,
+}
+
+#[derive(Default)]
+struct SessionState {
+    ws: Workspace,
+    auto_cache: HashMap<AutoKey, Mode>,
+}
+
+/// A decode session: platform + model + thread budget + pooled scratch.
+///
+/// Construct with [`Decoder::builder`]; decode with [`Decoder::decode`] /
+/// [`Decoder::decode_batch`]. The session is `Sync` — concurrent calls
+/// serialize on the internal workspace lock.
+pub struct Decoder {
+    platform: Platform,
+    model: PerformanceModel,
+    threads: usize,
+    state: Mutex<SessionState>,
+}
+
+impl fmt::Debug for Decoder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Decoder")
+            .field("platform", &self.platform.name)
+            .field("model", &self.model.platform)
+            .field("threads", &self.threads)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Decoder {
+    /// Start building a session.
+    pub fn builder() -> DecoderBuilder {
+        DecoderBuilder::default()
+    }
+
+    /// The session's platform.
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// The session's performance model.
+    pub fn model(&self) -> &PerformanceModel {
+        &self.model
+    }
+
+    /// The session's entropy worker-thread budget.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Cumulative pool/cache counters — how many allocations the session
+    /// amortized away so far.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.state.lock().expect("decoder state lock").ws.stats()
+    }
+
+    /// Decode one image.
+    pub fn decode(&self, data: &[u8], opts: DecodeOptions) -> Result<DecodeOutcome> {
+        let mut state = self.state.lock().expect("decoder state lock");
+        self.decode_locked(&mut state, data, &opts)
+    }
+
+    /// Decode a batch of images under one workspace lock: pooled buffers,
+    /// GPU staging and cached `Auto` decisions are reused across the whole
+    /// batch. Returns one result per input, in order.
+    pub fn decode_batch(
+        &self,
+        images: &[impl AsRef<[u8]>],
+        opts: DecodeOptions,
+    ) -> Vec<Result<DecodeOutcome>> {
+        let mut state = self.state.lock().expect("decoder state lock");
+        images
+            .iter()
+            .map(|data| self.decode_locked(&mut state, data.as_ref(), &opts))
+            .collect()
+    }
+
+    /// Decode with the real two-thread PPS pipeline (wall-clock, not
+    /// virtual time) — the host demonstration of §3/§4.5.
+    pub fn decode_threaded(&self, data: &[u8]) -> Result<ThreadedOutcome> {
+        decode_pps_threaded_impl(data, &self.platform, &self.model)
+    }
+
+    /// Predict every concrete mode's total for an image without decoding
+    /// it — the ranking `Mode::Auto` decides on.
+    pub fn predict(&self, data: &[u8]) -> Result<auto::AutoDecision> {
+        let prep = Prepared::new(data)?;
+        Ok(auto::select_mode(
+            &prep,
+            &self.platform,
+            &self.model,
+            self.threads,
+        ))
+    }
+
+    fn decode_locked(
+        &self,
+        state: &mut SessionState,
+        data: &[u8],
+        opts: &DecodeOptions,
+    ) -> Result<DecodeOutcome> {
+        let prep = Prepared::new(data)?;
+        if let Some(max) = opts.max_pixels {
+            if prep.geom.pixels() > max {
+                return Err(Error::Unsupported("image exceeds the max_pixels guard"));
+            }
+        }
+        match opts.format {
+            OutputFormat::Rgb => {
+                let mode = match opts.mode {
+                    Mode::Auto => self.auto_mode(state, &prep, false),
+                    m => m,
+                };
+                let res = dispatch(
+                    &prep,
+                    mode,
+                    &self.platform,
+                    &self.model,
+                    self.threads,
+                    &mut state.ws,
+                );
+                match res {
+                    Err(e) if opts.strictness == Strictness::Tolerant && is_stream_error(&e) => {
+                        self.salvage(&mut state.ws, &prep, mode, OutputFormat::Rgb)
+                    }
+                    other => other,
+                }
+            }
+            OutputFormat::PlanarYcc => {
+                let mode =
+                    match opts.mode {
+                        // Auto restricted to the modes that can produce planar
+                        // output: cheapest of sequential / SIMD / par-entropy,
+                        // cached under its own selection-space key.
+                        Mode::Auto => self.auto_mode(state, &prep, true),
+                        m if m.is_cpu_only() => m,
+                        _ if opts.strictness == Strictness::Tolerant => Mode::Simd,
+                        _ => return Err(Error::Unsupported(
+                            "planar output requires a CPU mode (sequential, SIMD or par-entropy)",
+                        )),
+                    };
+                let res = self.decode_planar(&mut state.ws, &prep, mode);
+                match res {
+                    Err(e) if opts.strictness == Strictness::Tolerant && is_stream_error(&e) => {
+                        self.salvage(&mut state.ws, &prep, mode, OutputFormat::PlanarYcc)
+                    }
+                    other => other,
+                }
+            }
+        }
+    }
+
+    /// `Mode::Auto` with the per-shape session cache. `cpu_only` restricts
+    /// the selection space (planar output) and is part of the cache key.
+    fn auto_mode(&self, state: &mut SessionState, prep: &Prepared<'_>, cpu_only: bool) -> Mode {
+        let key = AutoKey {
+            width: prep.geom.width,
+            height: prep.geom.height,
+            subsampling: prep.geom.subsampling,
+            density_q: (prep.parsed.entropy_density() * 4096.0) as u64,
+            restart_interval: prep.parsed.frame.restart_interval,
+            cpu_only,
+        };
+        if let Some(&mode) = state.auto_cache.get(&key) {
+            state.ws.stats.auto_cache_hits += 1;
+            return mode;
+        }
+        let mode = if cpu_only {
+            auto::select_cpu_mode(prep, &self.platform, &self.model, self.threads).mode
+        } else {
+            auto::select_mode(prep, &self.platform, &self.model, self.threads).mode
+        };
+        state.ws.stats.auto_evals += 1;
+        state.auto_cache.insert(key, mode);
+        mode
+    }
+
+    /// Planar YCbCr decode on the CPU path: entropy (sequential, or
+    /// restart-parallel for `Mode::ParallelEntropy`), then dequant + IDCT +
+    /// upsample — no color conversion.
+    fn decode_planar(
+        &self,
+        ws: &mut Workspace,
+        prep: &Prepared<'_>,
+        mode: Mode,
+    ) -> Result<DecodeOutcome> {
+        let platform = &self.platform;
+        ws.ensure(prep);
+        let p = ws.parts();
+        let mut trace = Trace::default();
+        let t_huff = match mode {
+            Mode::ParallelEntropy => {
+                let seg_metrics =
+                    crate::exec::decode_entropy_parallel_into(prep, self.threads, p.coef)?;
+                let (wall, _classes) = entropy_par::schedule_segments(
+                    platform,
+                    &seg_metrics,
+                    self.threads,
+                    &mut trace,
+                );
+                wall
+            }
+            _ => {
+                let (_rows, total, _classes) =
+                    crate::schedule::entropy_into(prep, platform, p.coef)?;
+                trace.push("huffman", Resource::Cpu, 0.0, total);
+                total
+            }
+        };
+
+        let use_simd = mode != Mode::Sequential;
+        let mut p = p;
+        let (image, ycc, t_band) =
+            self.cpu_parallel_output(prep, &mut p, OutputFormat::PlanarYcc, use_simd)?;
+        trace.push(
+            if use_simd { "cpu-simd" } else { "cpu-scalar" },
+            Resource::Cpu,
+            t_huff,
+            t_huff + t_band,
+        );
+
+        Ok(DecodeOutcome {
+            image,
+            ycc,
+            times: Breakdown {
+                huffman: t_huff,
+                cpu_parallel: t_band,
+                total: t_huff + t_band,
+                ..Default::default()
+            },
+            trace,
+            partition: None,
+            mode,
+            truncated: false,
+        })
+    }
+
+    /// The whole-image CPU parallel phase for one output format, on pooled
+    /// scratch: assembles the outcome's image/planes and returns the band's
+    /// virtual time. Shared by the planar path and the tolerant salvage.
+    fn cpu_parallel_output(
+        &self,
+        prep: &Prepared<'_>,
+        p: &mut crate::workspace::WsParts<'_>,
+        format: OutputFormat,
+        use_simd: bool,
+    ) -> Result<(RgbImage, Option<YccImage>, f64)> {
+        let geom = &prep.geom;
+        let platform = &self.platform;
+        match format {
+            OutputFormat::Rgb => {
+                let mut image = RgbImage::new(geom.width, geom.height);
+                let work = if use_simd {
+                    simd::decode_region_rgb_simd_with(
+                        prep,
+                        p.coef,
+                        0,
+                        geom.mcus_y,
+                        &mut image.data,
+                        p.simd,
+                    )?
+                } else {
+                    stages::decode_region_rgb_with(
+                        prep,
+                        p.coef,
+                        0,
+                        geom.mcus_y,
+                        &mut image.data,
+                        p.scalar,
+                    )?
+                };
+                Ok((image, None, platform.cpu.parallel_time(&work, use_simd)))
+            }
+            OutputFormat::PlanarYcc => {
+                let mut ycc = YccImage::new(geom.width, geom.height);
+                let work = stages::decode_region_ycc_with(
+                    prep,
+                    p.coef,
+                    0,
+                    geom.mcus_y,
+                    &mut ycc,
+                    p.scalar,
+                )?;
+                // Planar outcomes leave `image.data` empty; `ycc` carries
+                // the pixels.
+                let image = RgbImage {
+                    width: geom.width,
+                    height: geom.height,
+                    data: Vec::new(),
+                };
+                let t = platform.cpu.parallel_time_planar(&work, use_simd);
+                Ok((image, Some(ycc), t))
+            }
+        }
+    }
+
+    /// Tolerant salvage: sequentially entropy-decode as far as the stream
+    /// allows, leave the damaged tail as zero coefficients (neutral gray),
+    /// and run the parallel phase over the whole image.
+    fn salvage(
+        &self,
+        ws: &mut Workspace,
+        prep: &Prepared<'_>,
+        mode: Mode,
+        format: OutputFormat,
+    ) -> Result<DecodeOutcome> {
+        let geom = &prep.geom;
+        let platform = &self.platform;
+        ws.ensure_zeroed(prep); // untouched blocks must render neutral gray
+        let p = ws.parts();
+        let mut dec = prep.entropy_decoder()?;
+        let mut t_huff = 0.0;
+        let mut rows_ok = 0usize;
+        while !dec.is_finished() {
+            match dec.decode_mcu_row(p.coef) {
+                Ok(m) => {
+                    t_huff += platform.cpu.huff_time(&m);
+                    rows_ok += 1;
+                }
+                Err(_) => break,
+            }
+        }
+        let truncated = rows_ok < geom.mcus_y;
+
+        let mut trace = Trace::default();
+        trace.push("huffman", Resource::Cpu, 0.0, t_huff);
+        let use_simd = mode != Mode::Sequential;
+        let mut p = p;
+        let (image, ycc, t_band) = self.cpu_parallel_output(prep, &mut p, format, use_simd)?;
+        trace.push(
+            if use_simd { "cpu-simd" } else { "cpu-scalar" },
+            Resource::Cpu,
+            t_huff,
+            t_huff + t_band,
+        );
+
+        Ok(DecodeOutcome {
+            image,
+            ycc,
+            times: Breakdown {
+                huffman: t_huff,
+                cpu_parallel: t_band,
+                total: t_huff + t_band,
+                ..Default::default()
+            },
+            trace,
+            partition: None,
+            mode: if mode.is_cpu_only() { mode } else { Mode::Simd },
+            truncated,
+        })
+    }
+}
+
+/// True for errors that indicate a damaged/truncated entropy stream — the
+/// class a tolerant decode can salvage. Header-level problems (missing
+/// tables, bad dimensions) are not salvageable.
+fn is_stream_error(e: &Error) -> bool {
+    matches!(
+        e,
+        Error::UnexpectedEof | Error::BadHuffmanCode | Error::RestartMismatch { .. }
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetjpeg_jpeg::encoder::{encode_rgb, EncodeParams};
+
+    fn jpeg_of(w: usize, h: usize, interval: usize) -> Vec<u8> {
+        let mut rgb = Vec::with_capacity(w * h * 3);
+        let mut s = 17u32;
+        for _ in 0..w * h {
+            s = s.wrapping_mul(1664525).wrapping_add(1013904223);
+            rgb.extend_from_slice(&[(s >> 8) as u8, (s >> 16) as u8, (s >> 24) as u8]);
+        }
+        encode_rgb(
+            &rgb,
+            w as u32,
+            h as u32,
+            &EncodeParams {
+                quality: 84,
+                subsampling: Subsampling::S422,
+                restart_interval: interval,
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn builder_validates_up_front() {
+        assert!(matches!(
+            Decoder::builder().threads(0).build(),
+            Err(BuildError::InvalidThreads(0))
+        ));
+        assert!(matches!(
+            Decoder::builder().threads(MAX_THREADS + 1).build(),
+            Err(BuildError::InvalidThreads(_))
+        ));
+        // Model trained for another machine is rejected.
+        let p680 = Platform::gtx680();
+        assert!(matches!(
+            Decoder::builder()
+                .platform(Platform::gt430())
+                .model(p680.untrained_model())
+                .build(),
+            Err(BuildError::ModelPlatformMismatch { .. })
+        ));
+        // A zero work-group size would divide by zero inside the kernels.
+        let mut bad = Platform::gtx560().untrained_model();
+        bad.wg_blocks = 0;
+        assert!(matches!(
+            Decoder::builder().model(bad).build(),
+            Err(BuildError::InvalidModel(_))
+        ));
+        let mut nan = Platform::gtx560().untrained_model();
+        nan.p_gpu.coefs[1][1] = f64::NAN;
+        assert!(matches!(
+            Decoder::builder().model(nan).build(),
+            Err(BuildError::InvalidModel(_))
+        ));
+        // The happy path still builds.
+        assert!(Decoder::builder()
+            .platform(Platform::gtx680())
+            .threads(8)
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn max_pixels_guard_rejects_before_decoding() {
+        let jpeg = jpeg_of(64, 64, 0);
+        let dec = Decoder::builder().build().unwrap();
+        let err = dec
+            .decode(&jpeg, DecodeOptions::default().max_pixels(1000))
+            .unwrap_err();
+        assert!(matches!(err, Error::Unsupported(_)));
+        assert!(dec
+            .decode(&jpeg, DecodeOptions::default().max_pixels(64 * 64))
+            .is_ok());
+    }
+
+    #[test]
+    fn tolerant_salvage_of_truncated_stream() {
+        // Restart markers make truncation detectable: the reader pads
+        // zero bits at EOF, but the expected RSTn can never appear.
+        let mut jpeg = jpeg_of(96, 96, 4);
+        // Chop the tail of the scan (keep the headers).
+        jpeg.truncate(jpeg.len() - jpeg.len() / 3);
+        let dec = Decoder::builder().build().unwrap();
+        // Strict fails…
+        assert!(dec
+            .decode(&jpeg, DecodeOptions::with_mode(Mode::Simd))
+            .is_err());
+        // …tolerant salvages a partial image.
+        let out = dec
+            .decode(&jpeg, DecodeOptions::with_mode(Mode::Simd).tolerant())
+            .unwrap();
+        assert!(out.truncated);
+        assert_eq!(out.image.width, 96);
+        assert_eq!(out.image.data.len(), 96 * 96 * 3);
+        // The damaged tail is neutral gray (zero coefficients).
+        let last_px = &out.image.data[96 * 95 * 3..96 * 95 * 3 + 3];
+        assert_eq!(last_px, &[128, 128, 128]);
+    }
+
+    #[test]
+    fn planar_mode_rules() {
+        let jpeg = jpeg_of(64, 48, 0);
+        let dec = Decoder::builder().build().unwrap();
+        let planar = DecodeOptions::with_mode(Mode::Pps).format(OutputFormat::PlanarYcc);
+        // Strict: GPU modes cannot produce planar output.
+        assert!(dec.decode(&jpeg, planar).is_err());
+        // Tolerant: falls back to the SIMD CPU path.
+        let out = dec.decode(&jpeg, planar.tolerant()).unwrap();
+        assert_eq!(out.mode, Mode::Simd);
+        let ycc = out.planar().expect("planar output");
+        assert_eq!(ycc.y.len(), 64 * 48);
+        assert!(out.rgb().is_none());
+        // Planar converts to the exact RGB bytes of an RGB decode.
+        let rgb = dec
+            .decode(&jpeg, DecodeOptions::with_mode(Mode::Simd))
+            .unwrap();
+        assert_eq!(ycc.to_rgb().data, rgb.image.data);
+    }
+
+    #[test]
+    fn auto_with_planar_selects_among_cpu_modes() {
+        // The default mode (Auto) must work with planar output even when
+        // the RGB ranking would pick a GPU mode: the selection is
+        // restricted to the modes that can produce planes.
+        let decoder = Decoder::builder()
+            .platform(Platform::gtx680()) // RGB Auto picks a GPU mode here
+            .threads(4)
+            .build()
+            .unwrap();
+        let jpeg = jpeg_of(96, 96, 3);
+        let out = decoder
+            .decode(
+                &jpeg,
+                DecodeOptions::default().format(OutputFormat::PlanarYcc),
+            )
+            .expect("planar auto decode");
+        assert!(out.mode.is_cpu_only(), "picked {:?}", out.mode);
+        assert!(out.planar().is_some());
+        // Restart-rich image + threads ⇒ the cpu-only ranking should favour
+        // parallel entropy over plain SIMD.
+        assert_eq!(out.mode, Mode::ParallelEntropy);
+    }
+
+    #[test]
+    fn salvage_counts_one_pool_use_per_decode() {
+        let mut jpeg = jpeg_of(96, 96, 4);
+        jpeg.truncate(jpeg.len() - jpeg.len() / 3);
+        let dec = Decoder::builder().build().unwrap();
+        let out = dec
+            .decode(&jpeg, DecodeOptions::with_mode(Mode::Simd).tolerant())
+            .unwrap();
+        assert!(out.truncated);
+        let stats = dec.pool_stats();
+        // The failed strict attempt allocated the pools; the salvage pass
+        // must not double-count the same decode.
+        assert_eq!(stats.coef_allocs + stats.coef_reuses, 1);
+        assert_eq!(stats.scratch_allocs + stats.scratch_reuses, 1);
+    }
+
+    #[test]
+    fn batch_reuses_pools_and_auto_cache() {
+        let images: Vec<Vec<u8>> = (0..5).map(|_| jpeg_of(80, 80, 0)).collect();
+        let dec = Decoder::builder()
+            .platform(Platform::gtx680())
+            .build()
+            .unwrap();
+        let outs = dec.decode_batch(&images, DecodeOptions::default());
+        assert_eq!(outs.len(), 5);
+        for o in &outs {
+            assert!(o.is_ok());
+        }
+        let stats = dec.pool_stats();
+        // One allocation, four reuses: the batch amortized the pools.
+        assert_eq!(stats.coef_allocs, 1);
+        assert_eq!(stats.coef_reuses, 4);
+        assert_eq!(stats.scratch_allocs, 1);
+        assert_eq!(stats.scratch_reuses, 4);
+        // Same shape + density ⇒ the Auto decision was computed once.
+        assert_eq!(stats.auto_evals, 1);
+        assert_eq!(stats.auto_cache_hits, 4);
+    }
+
+    #[test]
+    fn threaded_session_decode_matches_reference() {
+        let jpeg = jpeg_of(160, 128, 0);
+        let dec = Decoder::builder().build().unwrap();
+        let out = dec.decode_threaded(&jpeg).unwrap();
+        let want = hetjpeg_jpeg::decoder::decode(&jpeg).unwrap();
+        assert_eq!(out.image.data, want.data);
+    }
+}

@@ -1,0 +1,193 @@
+//! Pooled per-session scratch shared by every decode path.
+//!
+//! PR 1 made the hot path allocation-free *within* one decode; this module
+//! makes it allocation-free *across* decodes: a [`Workspace`] owns the
+//! whole-image coefficient buffer, the scalar and SIMD band scratches, the
+//! planar output staging and the GPU chunk staging, and re-shapes them for
+//! each image instead of reallocating. The session decoder
+//! ([`crate::session::Decoder`]) holds one workspace for its lifetime, so a
+//! batch of same-shaped images performs the large allocations exactly once
+//! — the property [`PoolStats`] exposes and the batch tests assert.
+
+use crate::gpu_decode::GpuStaging;
+use hetjpeg_jpeg::coef::CoefBuffer;
+use hetjpeg_jpeg::decoder::{simd, stages, Prepared};
+use hetjpeg_jpeg::geometry::Geometry;
+use hetjpeg_jpeg::types::Subsampling;
+
+/// Counters describing how often the workspace pools were (re)used. All
+/// counts are cumulative over the owning session's lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Fresh coefficient-buffer allocations.
+    pub coef_allocs: u64,
+    /// Coefficient buffers re-shaped in place (no new allocation).
+    pub coef_reuses: u64,
+    /// Fresh band-scratch allocations (scalar + SIMD combined).
+    pub scratch_allocs: u64,
+    /// Band scratches re-shaped in place.
+    pub scratch_reuses: u64,
+    /// `Mode::Auto` decisions computed from the performance model.
+    pub auto_evals: u64,
+    /// `Mode::Auto` decisions served from the session cache.
+    pub auto_cache_hits: u64,
+}
+
+/// Geometry fingerprint used to detect when pooled buffers can be reused
+/// byte-for-byte (same shape) versus re-shaped (different shape).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct GeomKey {
+    width: usize,
+    height: usize,
+    subsampling: Subsampling,
+}
+
+impl GeomKey {
+    pub(crate) fn of(geom: &Geometry) -> Self {
+        GeomKey {
+            width: geom.width,
+            height: geom.height,
+            subsampling: geom.subsampling,
+        }
+    }
+}
+
+/// Pooled scratch for one decode session. `Default` yields an empty pool;
+/// every buffer is created lazily on first use and re-shaped afterwards.
+#[derive(Default)]
+pub struct Workspace {
+    coef: Option<CoefBuffer>,
+    scalar: Option<stages::Scratch>,
+    simd: Option<simd::SimdScratch>,
+    scratch_key: Option<GeomKey>,
+    pub(crate) staging: GpuStaging,
+    pub(crate) stats: PoolStats,
+}
+
+/// Mutable views of the workspace's independent pools, so a decode path can
+/// hold the coefficient buffer and a band scratch at the same time.
+pub(crate) struct WsParts<'a> {
+    pub coef: &'a mut CoefBuffer,
+    pub scalar: &'a mut stages::Scratch,
+    pub simd: &'a mut simd::SimdScratch,
+    pub staging: &'a mut GpuStaging,
+}
+
+impl Workspace {
+    /// Prepare every pool for decoding `prep`'s image. The coefficient
+    /// buffer is re-shaped but *not* cleared — a complete entropy decode
+    /// overwrites every block and EOB, so the memset would be pure cost;
+    /// paths that can leave blocks untouched use [`Self::ensure_zeroed`].
+    /// Band scratches are re-shaped only when the geometry changed.
+    pub(crate) fn ensure(&mut self, prep: &Prepared<'_>) {
+        self.ensure_counted(prep, true);
+    }
+
+    fn ensure_counted(&mut self, prep: &Prepared<'_>, count: bool) {
+        let geom = &prep.geom;
+        match self.coef.as_mut() {
+            Some(c) => {
+                c.reset_for_entropy(geom);
+                if count {
+                    self.stats.coef_reuses += 1;
+                }
+            }
+            None => {
+                self.coef = Some(CoefBuffer::new(geom));
+                if count {
+                    self.stats.coef_allocs += 1;
+                }
+            }
+        }
+        let key = GeomKey::of(geom);
+        let same_shape = self.scratch_key == Some(key);
+        match (self.scalar.as_mut(), self.simd.as_mut()) {
+            (Some(sc), Some(si)) => {
+                if !same_shape {
+                    sc.reset_for(prep);
+                    si.reset_for(prep);
+                }
+                if count {
+                    self.stats.scratch_reuses += 1;
+                }
+            }
+            _ => {
+                self.scalar = Some(stages::Scratch::new(prep));
+                self.simd = Some(simd::SimdScratch::new(prep));
+                if count {
+                    self.stats.scratch_allocs += 1;
+                }
+            }
+        }
+        self.scratch_key = Some(key);
+    }
+
+    /// [`Self::ensure`] plus a full zero of the coefficient buffer — for
+    /// decode paths that may leave blocks untouched (tolerant salvage of a
+    /// damaged stream renders untouched blocks as neutral gray). Does not
+    /// bump the pool counters: salvage runs after a failed attempt that
+    /// already counted this decode.
+    pub(crate) fn ensure_zeroed(&mut self, prep: &Prepared<'_>) {
+        self.ensure_counted(prep, false);
+        self.coef
+            .as_mut()
+            .expect("ensure populated the pool")
+            .reset_for(&prep.geom);
+    }
+
+    /// Split the workspace into its independent pools. Call after
+    /// [`Self::ensure`]; panics otherwise.
+    pub(crate) fn parts(&mut self) -> WsParts<'_> {
+        WsParts {
+            coef: self.coef.as_mut().expect("Workspace::ensure not called"),
+            scalar: self.scalar.as_mut().expect("Workspace::ensure not called"),
+            simd: self.simd.as_mut().expect("Workspace::ensure not called"),
+            staging: &mut self.staging,
+        }
+    }
+
+    /// Cumulative pool counters.
+    pub fn stats(&self) -> PoolStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetjpeg_jpeg::encoder::{encode_rgb, EncodeParams};
+
+    fn prep_of(w: usize, h: usize) -> Vec<u8> {
+        encode_rgb(
+            &vec![90u8; w * h * 3],
+            w as u32,
+            h as u32,
+            &EncodeParams {
+                quality: 85,
+                subsampling: Subsampling::S422,
+                restart_interval: 0,
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn pools_allocate_once_and_reuse_after() {
+        let a = prep_of(64, 48);
+        let b = prep_of(32, 32);
+        let mut ws = Workspace::default();
+        let pa = Prepared::new(&a).unwrap();
+        let pb = Prepared::new(&b).unwrap();
+        ws.ensure(&pa);
+        ws.ensure(&pa);
+        ws.ensure(&pb); // shape change: re-shaped, not reallocated
+        let s = ws.stats();
+        assert_eq!(s.coef_allocs, 1);
+        assert_eq!(s.coef_reuses, 2);
+        assert_eq!(s.scratch_allocs, 1);
+        assert_eq!(s.scratch_reuses, 2);
+        // Parts are usable and sized for the latest image.
+        let parts = ws.parts();
+        assert_eq!(parts.coef.num_blocks(), pb.geom.total_blocks);
+    }
+}

@@ -159,7 +159,7 @@ impl<'a> BitReader<'a> {
         ((self.acc >> (self.acc_len - n)) & ((1u64 << n) - 1)) as u32
     }
 
-    /// Consume `n` bits previously seen via [`peek_bits`].
+    /// Consume `n` bits previously seen via [`Self::peek_bits`].
     #[inline]
     pub fn skip_bits(&mut self, n: u32) {
         debug_assert!(self.acc_len >= n);

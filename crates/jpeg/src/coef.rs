@@ -44,6 +44,28 @@ impl CoefBuffer {
         self.eob.len()
     }
 
+    /// Re-shape the buffer for another image's geometry, reusing the
+    /// existing allocations. All coefficients are zeroed and every EOB is
+    /// reset to the dense-safe maximum, exactly as a fresh buffer starts —
+    /// what callers that may leave blocks untouched (e.g. salvage of a
+    /// truncated stream) need.
+    pub fn reset_for(&mut self, geom: &Geometry) {
+        self.data.clear();
+        self.data.resize(geom.total_blocks * 64, 0);
+        self.eob.clear();
+        self.eob.resize(geom.total_blocks, EOB_DENSE);
+    }
+
+    /// Re-shape for another image *without* clearing: contents are
+    /// unspecified (stale from the previous image) until written. A full
+    /// entropy decode overwrites every block's 64 coefficients and its EOB,
+    /// so the decode paths skip the whole-buffer memset `reset_for` pays —
+    /// the difference is measurable on batch decodes (see BENCH_PR2.json).
+    pub fn reset_for_entropy(&mut self, geom: &Geometry) {
+        self.data.resize(geom.total_blocks * 64, 0);
+        self.eob.resize(geom.total_blocks, EOB_DENSE);
+    }
+
     /// Borrow the coefficients of one block (natural order).
     #[inline]
     pub fn block(&self, block_index: usize) -> &[i16; 64] {

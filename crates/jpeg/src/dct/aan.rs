@@ -1,7 +1,7 @@
 //! AAN (Arai–Agui–Nakajima) float IDCT with quantization prescaling.
 //!
 //! This is the algorithm the paper cites for its IDCT kernels (§2, reference
-//! [26]; "The libjpeg and libjpeg-turbo libraries apply a series of 1D IDCTs
+//! \[26\]; "The libjpeg and libjpeg-turbo libraries apply a series of 1D IDCTs
 //! based on the AAN algorithm"). The AAN trick folds five of the eight
 //! per-pass multiplies into the dequantization table, leaving 5 multiplies
 //! and 29 additions per 1-D pass.

@@ -2,10 +2,10 @@
 //!
 //! Paper §4.1 implements the 2-D IDCT as a 1-D column pass followed by a 1-D
 //! row pass (Equations (1) and (2)) using the AAN fast algorithm of
-//! Arai–Agui–Nakajima (paper reference [26]), the same family libjpeg-turbo
+//! Arai–Agui–Nakajima (paper reference \[26\]), the same family libjpeg-turbo
 //! uses. This module provides:
 //!
-//! * [`reference`] — a direct f64 evaluation of Equations (1)/(2); slow but
+//! * [`reference`](mod@crate::dct::reference) — a direct f64 evaluation of Equations (1)/(2); slow but
 //!   obviously correct, used as the oracle in tests,
 //! * [`islow`] — the 13-bit fixed-point "islow" integer IDCT and the matching
 //!   integer FDCT (libjpeg's accuracy-first pair); these are the *bit-exact*

@@ -84,6 +84,22 @@ pub fn class_for_eob(eob: u8) -> SparseClass {
     }
 }
 
+/// Number of sparse-dispatch classes (the length of an EOB-class histogram).
+pub const NUM_SPARSE_CLASSES: usize = 4;
+
+impl SparseClass {
+    /// Stable histogram index of the class: DC-only, 2×2, 4×4, dense.
+    #[inline(always)]
+    pub fn index(self) -> usize {
+        match self {
+            SparseClass::DcOnly => 0,
+            SparseClass::Corner2 => 1,
+            SparseClass::Corner4 => 2,
+            SparseClass::Dense => 3,
+        }
+    }
+}
+
 /// Dequantize only the top-left `K`×`K` corner (all a sparse block can
 /// populate) into a zeroed natural-order workspace.
 #[inline(always)]

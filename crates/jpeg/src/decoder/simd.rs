@@ -58,6 +58,25 @@ impl SimdScratch {
             vtmp: vec![0; cw],
         }
     }
+
+    /// Re-shape the scratch for another image, reusing the allocations —
+    /// the session decoder's pool hook.
+    pub fn reset_for(&mut self, prep: &Prepared<'_>) {
+        let lw = prep.geom.comps[0].plane_width();
+        let cw = prep.geom.comps[1].plane_width();
+        let mcu_h = prep.geom.mcu_h;
+        for (buf, len) in [
+            (&mut self.y, lw * mcu_h),
+            (&mut self.cb, cw * 8),
+            (&mut self.cr, cw * 8),
+            (&mut self.cb_row, lw),
+            (&mut self.cr_row, lw),
+            (&mut self.vtmp, cw),
+        ] {
+            buf.clear();
+            buf.resize(len, 0);
+        }
+    }
 }
 
 /// The optimized parallel phase over MCU rows `[start, end)`, reusing

@@ -48,6 +48,14 @@ impl Scratch {
             vtmp: vec![0u8; prep.geom.comps[1].plane_width()],
         }
     }
+
+    /// Re-shape the workspace for another image, reusing the allocations —
+    /// the session decoder's pool hook.
+    pub fn reset_for(&mut self, prep: &Prepared<'_>) {
+        self.planes.reset_for(&prep.geom);
+        self.vtmp.clear();
+        self.vtmp.resize(prep.geom.comps[1].plane_width(), 0);
+    }
 }
 
 /// Dequantize + IDCT every block of MCU rows `[start, end)` into `planes`.
@@ -247,6 +255,50 @@ pub fn decode_region_rgb_with(
     Ok(ParallelWork::for_mcu_rows(&prep.geom, start, end))
 }
 
+/// The parallel phase for a band, stopping *before* color conversion:
+/// dequant + IDCT + chroma upsampling, writing full-resolution Y/Cb/Cr
+/// planes for the band's pixel rows into `out` (which must span the whole
+/// image). Skipping the RGB transform is what planar consumers (re-encode,
+/// tone-mapping, ML preprocessing) want; [`crate::types::YccImage::to_rgb`]
+/// recovers the exact RGB bytes of [`decode_region_rgb`].
+pub fn decode_region_ycc_with(
+    prep: &Prepared<'_>,
+    coef: &CoefBuffer,
+    start: usize,
+    end: usize,
+    out: &mut crate::types::YccImage,
+    scratch: &mut Scratch,
+) -> Result<ParallelWork> {
+    let geom = &prep.geom;
+    if out.width != geom.width || out.height != geom.height {
+        return Err(Error::BufferSize {
+            expected: geom.width * geom.height,
+            got: out.width * out.height,
+        });
+    }
+    dequant_idct_region(prep, coef, start, end, &mut scratch.planes);
+    upsample_region_into(
+        prep,
+        &scratch.planes,
+        start,
+        end,
+        &mut scratch.cb,
+        &mut scratch.cr,
+        &mut scratch.vtmp,
+    );
+    let (r0, r1) = geom.mcu_rows_to_pixel_rows(start, end);
+    let w = geom.width;
+    let lw = geom.comps[0].plane_width();
+    let band_p0 = start * geom.mcu_h;
+    for y in r0..r1 {
+        let band_row = y - band_p0;
+        out.y[y * w..(y + 1) * w].copy_from_slice(&scratch.planes.row(0, y)[..w]);
+        out.cb[y * w..(y + 1) * w].copy_from_slice(&scratch.cb[band_row * lw..band_row * lw + w]);
+        out.cr[y * w..(y + 1) * w].copy_from_slice(&scratch.cr[band_row * lw..band_row * lw + w]);
+    }
+    Ok(ParallelWork::for_mcu_rows(geom, start, end))
+}
+
 /// The whole parallel phase for a band with a freshly allocated workspace.
 /// Callers decoding many bands should hold a [`Scratch`] and call
 /// [`decode_region_rgb_with`] instead.
@@ -358,6 +410,28 @@ mod tests {
                 decode_region_rgb_with(&prep, &coef, a, b, &mut reused, &mut scratch).unwrap();
                 assert_eq!(fresh, reused, "{} band {a}..{b}", sub.notation());
             }
+        }
+    }
+
+    #[test]
+    fn planar_ycc_converts_to_the_exact_rgb_bytes() {
+        for sub in [Subsampling::S444, Subsampling::S422, Subsampling::S420] {
+            let (_, jpeg) = setup(sub, 52, 41); // non-MCU-aligned on purpose
+            let prep = Prepared::new(&jpeg).unwrap();
+            let (coef, _) = prep.entropy_decode_all().unwrap();
+            let mut scratch = Scratch::new(&prep);
+            let mut rgb = vec![0u8; prep.geom.rgb_bytes_in_mcu_rows(0, prep.geom.mcus_y)];
+            decode_region_rgb_with(&prep, &coef, 0, prep.geom.mcus_y, &mut rgb, &mut scratch)
+                .unwrap();
+            let mut ycc = crate::types::YccImage::new(prep.geom.width, prep.geom.height);
+            // Decode in two bands to exercise band-local indexing.
+            let mid = prep.geom.mcus_y / 2;
+            for (a, b) in [(0, mid), (mid, prep.geom.mcus_y)] {
+                if a < b {
+                    decode_region_ycc_with(&prep, &coef, a, b, &mut ycc, &mut scratch).unwrap();
+                }
+            }
+            assert_eq!(ycc.to_rgb().data, rgb, "{}", sub.notation());
         }
     }
 

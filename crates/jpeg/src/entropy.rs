@@ -138,6 +138,7 @@ impl<'a> EntropyDecoder<'a> {
                         metrics.symbols += symbols as u64 + 1; // +1 DC symbol
                         metrics.nonzero_coefs += nonzero as u64 + (diff != 0) as u64;
                         metrics.blocks += 1;
+                        metrics.record_eob(eob);
                     }
                 }
             }
@@ -165,7 +166,7 @@ impl<'a> EntropyDecoder<'a> {
 ///
 /// Restart markers byte-align the stream and reset the DC predictors, which
 /// makes each interval *independently decodable* — the property the paper
-/// notes general JPEG lacks (§1, discussing self-synchronizing codes [12]):
+/// notes general JPEG lacks (§1, discussing self-synchronizing codes \[12\]):
 /// "the JPEG standard does not enforce the self-synchronization property".
 /// When the encoder emitted DRI, Huffman decoding stops being strictly
 /// sequential; `hetjpeg-core`'s parallel entropy driver exploits this.
@@ -287,6 +288,7 @@ fn decode_segment_with(
                     metrics.symbols += symbols as u64 + 1;
                     metrics.nonzero_coefs += nonzero as u64 + (diff != 0) as u64;
                     metrics.blocks += 1;
+                    metrics.record_eob(eob);
                     emit(idx, &block, eob);
                 }
             }

@@ -18,6 +18,12 @@ pub struct RowMetrics {
     pub nonzero_coefs: u64,
     /// Blocks decoded.
     pub blocks: u64,
+    /// Blocks per sparse-IDCT dispatch class (DC-only, 2×2, 4×4, dense),
+    /// indexed by [`crate::dct::sparse::SparseClass::index`]. Recorded for
+    /// free during entropy decode, this is what lets the cost model price
+    /// the EOB-dispatched IDCT explicitly instead of assuming every block
+    /// pays the dense transform.
+    pub eob_classes: [u64; crate::dct::sparse::NUM_SPARSE_CLASSES],
 }
 
 impl RowMetrics {
@@ -27,6 +33,15 @@ impl RowMetrics {
         self.symbols += other.symbols;
         self.nonzero_coefs += other.nonzero_coefs;
         self.blocks += other.blocks;
+        for (a, b) in self.eob_classes.iter_mut().zip(other.eob_classes.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Record one decoded block's EOB into the class histogram.
+    #[inline]
+    pub fn record_eob(&mut self, eob: u8) {
+        self.eob_classes[crate::dct::sparse::class_for_eob(eob).index()] += 1;
     }
 }
 
@@ -60,6 +75,11 @@ impl EntropyMetrics {
     /// (Eq. (3)) computed from actual decoded bits rather than file size.
     pub fn measured_density(&self, pixels: usize) -> f64 {
         self.total().bits as f64 / 8.0 / pixels as f64
+    }
+
+    /// Whole-image EOB-class histogram (DC-only, 2×2, 4×4, dense).
+    pub fn eob_class_totals(&self) -> [u64; crate::dct::sparse::NUM_SPARSE_CLASSES] {
+        self.total().eob_classes
     }
 }
 
@@ -116,12 +136,14 @@ mod tests {
             symbols: 2,
             nonzero_coefs: 1,
             blocks: 1,
+            ..Default::default()
         };
         a.add(&RowMetrics {
             bits: 5,
             symbols: 3,
             nonzero_coefs: 2,
             blocks: 1,
+            ..Default::default()
         });
         assert_eq!(
             a,
@@ -129,7 +151,8 @@ mod tests {
                 bits: 15,
                 symbols: 5,
                 nonzero_coefs: 3,
-                blocks: 2
+                blocks: 2,
+                ..Default::default()
             }
         );
     }
@@ -143,18 +166,21 @@ mod tests {
                     symbols: 10,
                     nonzero_coefs: 5,
                     blocks: 4,
+                    ..Default::default()
                 },
                 RowMetrics {
                     bits: 200,
                     symbols: 20,
                     nonzero_coefs: 8,
                     blocks: 4,
+                    ..Default::default()
                 },
                 RowMetrics {
                     bits: 50,
                     symbols: 5,
                     nonzero_coefs: 2,
                     blocks: 4,
+                    ..Default::default()
                 },
             ],
         };

@@ -39,7 +39,7 @@ pub fn upsample_h2v1_block8(input: &[u8; 8]) -> [u8; 16] {
 }
 
 /// The even-ID work-item half of Algorithm 1: produces `Out[0..8)` from
-/// `In[0..=4]` (§4.2: "The work-item with the even ID reads In[0] to In[4]").
+/// `In[0..=4]` (§4.2: "The work-item with the even ID reads `In[0]` to `In[4]`").
 #[inline]
 pub fn upsample_h2v1_even_half(input: &[u8]) -> [u8; 8] {
     debug_assert!(input.len() >= 5);

@@ -165,6 +165,62 @@ impl RgbImage {
     }
 }
 
+/// A decoded image in planar YCbCr form: three full-resolution planes
+/// (chroma upsampled, no color conversion applied).
+///
+/// This is the output format video and imaging pipelines that re-encode or
+/// tone-map want — converting to RGB only to convert back wastes two passes
+/// per pixel. Produced by
+/// [`crate::decoder::stages::decode_region_ycc_with`] and by the session
+/// decoder when asked for planar output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct YccImage {
+    /// Width in pixels.
+    pub width: usize,
+    /// Height in pixels.
+    pub height: usize,
+    /// `width * height` luma samples, row-major.
+    pub y: Vec<u8>,
+    /// `width * height` blue-difference chroma samples (upsampled).
+    pub cb: Vec<u8>,
+    /// `width * height` red-difference chroma samples (upsampled).
+    pub cr: Vec<u8>,
+}
+
+impl YccImage {
+    /// Allocate a zeroed planar image of the given size.
+    pub fn new(width: usize, height: usize) -> Self {
+        YccImage {
+            width,
+            height,
+            y: vec![0; width * height],
+            cb: vec![0; width * height],
+            cr: vec![0; width * height],
+        }
+    }
+
+    /// Re-shape for another image size, reusing the allocations.
+    pub fn reset_for(&mut self, width: usize, height: usize) {
+        self.width = width;
+        self.height = height;
+        for plane in [&mut self.y, &mut self.cb, &mut self.cr] {
+            plane.clear();
+            plane.resize(width * height, 0);
+        }
+    }
+
+    /// Convert to interleaved RGB with the shared fixed-point transform —
+    /// bit-identical to decoding the same stream straight to RGB.
+    pub fn to_rgb(&self) -> RgbImage {
+        let mut img = RgbImage::new(self.width, self.height);
+        for (i, px) in img.data.chunks_exact_mut(3).enumerate() {
+            let rgb = crate::color::ycc_to_rgb(self.y[i], self.cb[i], self.cr[i]);
+            px.copy_from_slice(&rgb);
+        }
+        img
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -11,7 +11,8 @@
 //! ```
 
 use hetjpeg_core::platform::Platform;
-use hetjpeg_core::schedule::{decode_with_mode, Mode};
+use hetjpeg_core::schedule::Mode;
+use hetjpeg_core::{DecodeOptions, Decoder};
 use hetjpeg_corpus::{generate_jpeg, ImageSpec, Pattern};
 use hetjpeg_jpeg::types::Subsampling;
 
@@ -49,23 +50,32 @@ fn main() {
     );
 
     println!(
-        "{:<10} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12}",
-        "machine", "sequential", "SIMD", "GPU", "pipeline", "SPS", "PPS"
+        "{:<10} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "machine", "sequential", "SIMD", "GPU", "pipeline", "SPS", "PPS", "auto"
     );
     for platform in Platform::all() {
-        let model = platform.untrained_model();
+        // One session per machine: the batch amortizes the pooled buffers
+        // and Auto decisions over the whole gallery.
+        let decoder = Decoder::builder()
+            .platform(platform.clone())
+            .build()
+            .expect("valid configuration");
         let mut row = format!("{:<10}", platform.name);
-        for mode in Mode::all() {
-            let total: f64 = gallery
-                .iter()
-                .map(|jpeg| {
-                    decode_with_mode(jpeg, mode, &platform, &model)
-                        .expect("decode")
-                        .total()
-                })
+        for mode in Mode::paper_six() {
+            let total: f64 = decoder
+                .decode_batch(&gallery, DecodeOptions::with_mode(mode))
+                .into_iter()
+                .map(|out| out.expect("decode").total())
                 .sum();
             row.push_str(&format!(" {:>11.1}ms", total * 1e3));
         }
+        // The headline: let the trained model choose per image.
+        let auto_total: f64 = decoder
+            .decode_batch(&gallery, DecodeOptions::default())
+            .into_iter()
+            .map(|out| out.expect("decode").total())
+            .sum();
+        row.push_str(&format!(" {:>11.1}ms", auto_total * 1e3));
         println!("{row}");
     }
     println!("\n(virtual time on the simulated Table 1 machines; lower is better)");

@@ -1,5 +1,6 @@
-//! Quickstart: decode one JPEG with the dynamic-partitioning scheduler and
-//! inspect where the time went.
+//! Quickstart: build a `Decoder` session, decode one JPEG with every mode
+//! (including the model-driven `Mode::Auto`), and inspect where the time
+//! went.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
@@ -7,7 +8,8 @@
 
 use hetjpeg_core::platform::Platform;
 use hetjpeg_core::report::amdahl_max_speedup;
-use hetjpeg_core::schedule::{decode_with_mode, Mode};
+use hetjpeg_core::schedule::Mode;
+use hetjpeg_core::{DecodeOptions, Decoder};
 use hetjpeg_corpus::{generate_jpeg, ImageSpec, Pattern};
 use hetjpeg_jpeg::types::Subsampling;
 
@@ -29,20 +31,29 @@ fn main() {
         jpeg.len() as f64 / (spec.width * spec.height) as f64
     );
 
-    // 2. Pick a platform (Table 1 machine) and a performance model. The
-    //    analytic seed works out of the box; `hetjpeg_core::profile::train`
-    //    fits a better one from a training corpus.
+    // 2. Build a session: platform (Table 1 machine) + performance model +
+    //    worker threads, validated up front. The analytic seed model works
+    //    out of the box; `hetjpeg_core::profile::train` fits a better one.
     let platform = Platform::gtx560();
-    let model = platform.untrained_model();
+    let decoder = Decoder::builder()
+        .platform(platform.clone())
+        .model(platform.untrained_model())
+        .threads(4)
+        .build()
+        .expect("valid configuration");
 
-    // 3. Decode under each mode; all six produce byte-identical pixels.
+    // 3. Decode under each concrete mode; all seven produce byte-identical
+    //    pixels. The session reuses its pooled buffers across calls.
     println!("{:<12} {:>12} {:>10}", "mode", "time (ms)", "speedup");
-    let simd_total = decode_with_mode(&jpeg, Mode::Simd, &platform, &model)
+    let simd_total = decoder
+        .decode(&jpeg, DecodeOptions::with_mode(Mode::Simd))
         .expect("decode")
         .total();
     let mut reference: Option<Vec<u8>> = None;
     for mode in Mode::all() {
-        let out = decode_with_mode(&jpeg, mode, &platform, &model).expect("decode");
+        let out = decoder
+            .decode(&jpeg, DecodeOptions::with_mode(mode))
+            .expect("decode");
         match &reference {
             None => reference = Some(out.image.data.clone()),
             Some(r) => assert_eq!(r, &out.image.data, "modes must agree bit-exactly"),
@@ -55,11 +66,23 @@ fn main() {
         );
     }
 
-    // 4. Look inside the PPS schedule: the Fig. 8(c) timeline.
-    let pps = decode_with_mode(&jpeg, Mode::Pps, &platform, &model).expect("decode");
+    // 4. Let the trained model pick: Mode::Auto (the session default).
+    let auto = decoder
+        .decode(&jpeg, DecodeOptions::default())
+        .expect("decode");
+    println!(
+        "\nMode::Auto selected {} ({:.3} ms)",
+        auto.mode.name(),
+        auto.total() * 1e3
+    );
+
+    // 5. Look inside the PPS schedule: the Fig. 8(c) timeline.
+    let pps = decoder
+        .decode(&jpeg, DecodeOptions::with_mode(Mode::Pps))
+        .expect("decode");
     let part = pps.partition.expect("pps partitions");
     println!(
-        "\nPPS partition: GPU {} MCU rows, CPU {} MCU rows (Newton x = {:.1} px rows, {} iterations)",
+        "PPS partition: GPU {} MCU rows, CPU {} MCU rows (Newton x = {:.1} px rows, {} iterations)",
         part.gpu_mcu_rows, part.cpu_mcu_rows, part.x_pixel_rows, part.iterations
     );
     let bound = amdahl_max_speedup(simd_total, pps.times.huffman);
@@ -69,4 +92,12 @@ fn main() {
         100.0 * (simd_total / pps.total()) / bound
     );
     print!("{}", pps.trace.ascii());
+
+    let stats = decoder.pool_stats();
+    println!(
+        "\nsession pools: {} allocation(s), {} reuse(s) across {} decodes",
+        stats.coef_allocs,
+        stats.coef_reuses,
+        stats.coef_allocs + stats.coef_reuses
+    );
 }

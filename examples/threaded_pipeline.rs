@@ -7,8 +7,8 @@
 //! cargo run --release --example threaded_pipeline
 //! ```
 
-use hetjpeg_core::exec::decode_pps_threaded;
 use hetjpeg_core::platform::Platform;
+use hetjpeg_core::Decoder;
 use hetjpeg_corpus::{generate_jpeg, ImageSpec, Pattern};
 use hetjpeg_jpeg::decoder::decode;
 use hetjpeg_jpeg::types::Subsampling;
@@ -22,15 +22,17 @@ fn main() {
         seed: 77,
     };
     let jpeg = generate_jpeg(&spec, 88, Subsampling::S422).expect("encode");
-    let platform = Platform::gtx560();
-    let model = platform.untrained_model();
+    let decoder = Decoder::builder()
+        .platform(Platform::gtx560())
+        .build()
+        .expect("valid configuration");
 
     // Warm-up + correctness reference.
     let t0 = Instant::now();
     let reference = decode(&jpeg).expect("reference decode");
     let t_ref = t0.elapsed();
 
-    let out = decode_pps_threaded(&jpeg, &platform, &model).expect("threaded decode");
+    let out = decoder.decode_threaded(&jpeg).expect("threaded decode");
     assert_eq!(
         out.image.data, reference.data,
         "threaded result must be bit-identical"

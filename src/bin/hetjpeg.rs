@@ -10,7 +10,8 @@
 //! prints the virtual-time stage breakdown for the chosen Table 1 machine.
 
 use hetjpeg_core::platform::Platform;
-use hetjpeg_core::schedule::{decode_with_mode, Mode};
+use hetjpeg_core::schedule::Mode;
+use hetjpeg_core::{DecodeOptions, Decoder, OutputFormat};
 use hetjpeg_jpeg::encoder::{encode_rgb, EncodeParams};
 use hetjpeg_jpeg::markers::parse_jpeg;
 use hetjpeg_jpeg::types::Subsampling;
@@ -18,8 +19,9 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  hetjpeg decode <in.jpg> [-o out.ppm] [--mode seq|simd|gpu|pipeline|sps|pps]\n\
+        "usage:\n  hetjpeg decode <in.jpg> [-o out.ppm] [--mode auto|seq|simd|gpu|pipeline|sps|pps|par]\n\
          \u{20}                [--platform gt430|gtx560|gtx680] [--model model.txt]\n\
+         \u{20}                [--threads N] [--planar] [--tolerant] [--max-pixels N]\n\
          \u{20} hetjpeg encode <in.ppm> [-o out.jpg] [--quality N] [--subsampling 444|422|420]\n\
          \u{20}                [--restart N]\n\
          \u{20} hetjpeg info <in.jpg>"
@@ -55,13 +57,15 @@ fn cmd_decode(input: &str, args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let mode = match arg_value(args, "--mode").as_deref().unwrap_or("pps") {
+    let mode = match arg_value(args, "--mode").as_deref().unwrap_or("auto") {
+        "auto" => Mode::Auto,
         "seq" | "sequential" => Mode::Sequential,
         "simd" => Mode::Simd,
         "gpu" => Mode::Gpu,
         "pipeline" => Mode::PipelinedGpu,
         "sps" => Mode::Sps,
         "pps" => Mode::Pps,
+        "par" | "par-entropy" => Mode::ParallelEntropy,
         other => {
             eprintln!("unknown mode {other}");
             return usage();
@@ -89,27 +93,94 @@ fn cmd_decode(input: &str, args: &[String]) -> ExitCode {
         },
         None => platform.untrained_model(),
     };
+    let threads: usize = match arg_value(args, "--threads") {
+        Some(v) => match v.parse() {
+            Ok(n) => n,
+            Err(_) => {
+                eprintln!("invalid --threads value {v:?}");
+                return usage();
+            }
+        },
+        None => 4,
+    };
 
-    let out = match decode_with_mode(&data, mode, &platform, &model) {
+    let decoder = match Decoder::builder()
+        .platform(platform.clone())
+        .model(model)
+        .threads(threads)
+        .build()
+    {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("invalid decoder configuration: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut opts = DecodeOptions::with_mode(mode);
+    if args.iter().any(|a| a == "--planar") {
+        opts = opts.format(OutputFormat::PlanarYcc);
+    }
+    if args.iter().any(|a| a == "--tolerant") {
+        opts = opts.tolerant();
+    }
+    if let Some(v) = arg_value(args, "--max-pixels") {
+        // A typo here must not silently disable the bomb guard.
+        match v.parse() {
+            Ok(px) => opts = opts.max_pixels(px),
+            Err(_) => {
+                eprintln!("invalid --max-pixels value {v:?}");
+                return usage();
+            }
+        }
+    }
+
+    let out = match decoder.decode(&data, opts) {
         Ok(o) => o,
         Err(e) => {
             eprintln!("decode failed: {e}");
             return ExitCode::FAILURE;
         }
     };
+    // Diagnostic ranking only after a successful decode, so guarded or
+    // malformed inputs never reach the (stream-scanning) predictor.
+    if mode == Mode::Auto {
+        if let Ok(decision) = decoder.predict(&data) {
+            for p in &decision.predictions {
+                eprintln!(
+                    "  predicted {:<12} {:>9.3} ms",
+                    p.mode.name(),
+                    p.seconds * 1e3
+                );
+            }
+        }
+    }
     let output = arg_value(args, "-o").unwrap_or_else(|| format!("{input}.ppm"));
-    if let Err(e) = write_ppm(&output, out.image.width, out.image.height, &out.image.data) {
+    if let Some(ycc) = out.planar() {
+        // Planar output: three binary PGMs next to the requested path.
+        for (plane, tag) in [(&ycc.y, "y"), (&ycc.cb, "cb"), (&ycc.cr, "cr")] {
+            let path = format!("{output}.{tag}.pgm");
+            if let Err(e) = write_pgm(&path, ycc.width, ycc.height, plane) {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else if let Err(e) = write_ppm(&output, out.image.width, out.image.height, &out.image.data) {
         eprintln!("cannot write {output}: {e}");
         return ExitCode::FAILURE;
     }
     println!(
-        "{} {}x{} decoded with {} on {} -> {}",
+        "{} {}x{} decoded with {} on {} -> {}{}",
         input,
         out.image.width,
         out.image.height,
         out.mode.name(),
         platform.name,
-        output
+        output,
+        if out.truncated {
+            " (truncated stream salvaged)"
+        } else {
+            ""
+        }
     );
     let b = out.times;
     println!(
@@ -228,6 +299,13 @@ fn cmd_info(input: &str) -> ExitCode {
         );
     }
     ExitCode::SUCCESS
+}
+
+fn write_pgm(path: &str, w: usize, h: usize, plane: &[u8]) -> std::io::Result<()> {
+    let mut out = Vec::with_capacity(plane.len() + 32);
+    out.extend_from_slice(format!("P5\n{w} {h}\n255\n").as_bytes());
+    out.extend_from_slice(plane);
+    std::fs::write(path, out)
 }
 
 fn write_ppm(path: &str, w: usize, h: usize, rgb: &[u8]) -> std::io::Result<()> {

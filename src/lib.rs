@@ -21,6 +21,11 @@ pub use hetjpeg_corpus as corpus;
 pub use hetjpeg_gpusim as gpusim;
 pub use hetjpeg_jpeg as jpeg;
 
+pub use hetjpeg_core::{
+    BuildError, DecodeOptions, DecodeOutcome, Decoder, DecoderBuilder, Mode, OutputFormat,
+    Platform, Strictness,
+};
+
 /// Decode a JPEG byte stream with the reference scalar pipeline.
 pub fn decode(data: &[u8]) -> hetjpeg_jpeg::Result<hetjpeg_jpeg::RgbImage> {
     hetjpeg_jpeg::decoder::decode(data)

@@ -1,0 +1,204 @@
+//! Session-API acceptance tests: `Mode::Auto` bit-identity against its own
+//! selection across subsampling/quality/restart combinations (property
+//! test), batch pool-reuse accounting, and the scenario axes
+//! (planar output, tolerant salvage, validation).
+
+use hetjpeg_core::platform::Platform;
+use hetjpeg_core::schedule::Mode;
+use hetjpeg_core::{BuildError, DecodeOptions, Decoder, OutputFormat};
+use hetjpeg_jpeg::encoder::{encode_rgb, EncodeParams};
+use hetjpeg_jpeg::types::Subsampling;
+use proptest::prelude::*;
+
+fn noise_jpeg(
+    w: usize,
+    h: usize,
+    quality: u8,
+    sub: Subsampling,
+    interval: usize,
+    seed: u32,
+) -> Vec<u8> {
+    let mut rgb = Vec::with_capacity(w * h * 3);
+    let mut s = seed | 1;
+    for _ in 0..w * h {
+        s = s.wrapping_mul(1664525).wrapping_add(1013904223);
+        rgb.extend_from_slice(&[(s >> 8) as u8, (s >> 16) as u8, (s >> 24) as u8]);
+    }
+    encode_rgb(
+        &rgb,
+        w as u32,
+        h as u32,
+        &EncodeParams {
+            quality,
+            subsampling: sub,
+            restart_interval: interval,
+        },
+    )
+    .expect("encode")
+}
+
+fn subsampling_strategy() -> impl Strategy<Value = Subsampling> {
+    prop_oneof![
+        Just(Subsampling::S444),
+        Just(Subsampling::S422),
+        Just(Subsampling::S420),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The acceptance property: whatever concrete mode `Auto` selects, its
+    /// output is bit-identical to decoding with that mode directly —
+    /// across subsampling, quality and restart-interval combinations, on
+    /// every platform.
+    #[test]
+    fn auto_is_bit_identical_to_its_selection(
+        w in 32usize..160,
+        h in 32usize..160,
+        sub in subsampling_strategy(),
+        quality in 30u8..=95,
+        interval in 0usize..8,
+        platform_idx in 0usize..3,
+        threads in 1usize..8,
+        seed in any::<u32>(),
+    ) {
+        let jpeg = noise_jpeg(w, h, quality, sub, interval, seed);
+        let platform = Platform::all()[platform_idx].clone();
+        let decoder = Decoder::builder()
+            .platform(platform)
+            .threads(threads)
+            .build()
+            .expect("valid configuration");
+        let auto = decoder.decode(&jpeg, DecodeOptions::default()).expect("auto decode");
+        prop_assert_ne!(auto.mode, Mode::Auto, "outcome must report the selection");
+        let direct = decoder
+            .decode(&jpeg, DecodeOptions::with_mode(auto.mode))
+            .expect("direct decode");
+        prop_assert_eq!(&auto.image.data, &direct.image.data, "{:?}", auto.mode);
+        prop_assert_eq!(auto.total(), direct.total());
+    }
+}
+
+#[test]
+fn batch_decode_amortizes_pools_across_many_images() {
+    // The acceptance assertion for buffer reuse: N same-shaped images, one
+    // large-buffer allocation.
+    let images: Vec<Vec<u8>> = (0..8)
+        .map(|i| noise_jpeg(128, 96, 85, Subsampling::S420, 0, 100 + i))
+        .collect();
+    let decoder = Decoder::builder()
+        .platform(Platform::gtx560())
+        .build()
+        .expect("valid configuration");
+    let outs = decoder.decode_batch(&images, DecodeOptions::with_mode(Mode::Pps));
+    assert!(outs.iter().all(|o| o.is_ok()));
+    let stats = decoder.pool_stats();
+    assert_eq!(stats.coef_allocs, 1, "one coefficient-buffer allocation");
+    assert_eq!(stats.coef_reuses, 7, "seven pool reuses");
+    assert_eq!(stats.scratch_allocs, 1);
+    assert_eq!(stats.scratch_reuses, 7);
+
+    // A shape change re-shapes in place rather than allocating a new pool.
+    let other = noise_jpeg(64, 64, 85, Subsampling::S422, 0, 9);
+    decoder
+        .decode(&other, DecodeOptions::with_mode(Mode::Simd))
+        .expect("decode");
+    let stats = decoder.pool_stats();
+    assert_eq!(stats.coef_allocs, 1);
+    assert_eq!(stats.coef_reuses, 8);
+}
+
+#[test]
+fn mixed_gallery_through_auto_matches_reference() {
+    // A heterogeneous batch (sizes, qualities, restart intervals) through
+    // the default options: every outcome byte-identical to the reference
+    // decoder, every selection a concrete mode.
+    let gallery: Vec<Vec<u8>> = vec![
+        noise_jpeg(96, 96, 40, Subsampling::S444, 0, 1),
+        noise_jpeg(200, 80, 85, Subsampling::S422, 4, 2),
+        noise_jpeg(64, 160, 95, Subsampling::S420, 2, 3),
+        noise_jpeg(144, 144, 70, Subsampling::S422, 0, 4),
+    ];
+    let decoder = Decoder::builder()
+        .platform(Platform::gt430())
+        .threads(4)
+        .build()
+        .expect("valid configuration");
+    for (out, jpeg) in decoder
+        .decode_batch(&gallery, DecodeOptions::default())
+        .into_iter()
+        .zip(&gallery)
+    {
+        let out = out.expect("decode");
+        let reference = hetjpeg_jpeg::decoder::decode(jpeg).expect("reference");
+        assert_eq!(out.image.data, reference.data);
+        assert_ne!(out.mode, Mode::Auto);
+    }
+}
+
+#[test]
+fn planar_output_converts_to_reference_rgb() {
+    for sub in [Subsampling::S444, Subsampling::S422, Subsampling::S420] {
+        let jpeg = noise_jpeg(100, 76, 85, sub, 0, 5);
+        let decoder = Decoder::builder().build().expect("valid configuration");
+        let out = decoder
+            .decode(
+                &jpeg,
+                DecodeOptions::with_mode(Mode::Simd).format(OutputFormat::PlanarYcc),
+            )
+            .expect("planar decode");
+        let ycc = out.planar().expect("planar output present");
+        assert!(out.rgb().is_none(), "no RGB when planar was requested");
+        let reference = hetjpeg_jpeg::decoder::decode(&jpeg).expect("reference");
+        assert_eq!(
+            ycc.to_rgb().data,
+            reference.data,
+            "{} planar→RGB mismatch",
+            sub.notation()
+        );
+    }
+}
+
+#[test]
+fn planar_through_parallel_entropy_matches_too() {
+    let jpeg = noise_jpeg(128, 128, 82, Subsampling::S422, 3, 6);
+    let decoder = Decoder::builder()
+        .threads(4)
+        .build()
+        .expect("valid configuration");
+    let out = decoder
+        .decode(
+            &jpeg,
+            DecodeOptions::with_mode(Mode::ParallelEntropy).format(OutputFormat::PlanarYcc),
+        )
+        .expect("planar decode");
+    let reference = hetjpeg_jpeg::decoder::decode(&jpeg).expect("reference");
+    assert_eq!(out.planar().unwrap().to_rgb().data, reference.data);
+}
+
+#[test]
+fn construction_validates_instead_of_panicking_mid_decode() {
+    // A model with wg_blocks = 0 used to panic inside the GPU kernels; the
+    // builder now rejects it up front.
+    let platform = Platform::gtx560();
+    let mut broken = platform.untrained_model();
+    broken.wg_blocks = 0;
+    let err = Decoder::builder()
+        .platform(platform.clone())
+        .model(broken)
+        .build()
+        .unwrap_err();
+    assert!(matches!(err, BuildError::InvalidModel(_)), "{err}");
+
+    // Cross-platform model mis-wiring is caught too.
+    let err = Decoder::builder()
+        .platform(Platform::gt430())
+        .model(Platform::gtx680().untrained_model())
+        .build()
+        .unwrap_err();
+    assert!(
+        matches!(err, BuildError::ModelPlatformMismatch { .. }),
+        "{err}"
+    );
+}

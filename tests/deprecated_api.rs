@@ -1,0 +1,78 @@
+//! Compile-and-run check for the deprecated pre-session entry points.
+//!
+//! PR 2 turned the seven scattered free functions into thin wrappers over
+//! the `Decoder` session; they must keep building and producing identical
+//! bytes until their removal. This file is the only place allowed to call
+//! them (CI runs clippy with `-D warnings`, so any other internal use
+//! fails the build).
+
+#![allow(deprecated)]
+
+use hetjpeg_core::platform::Platform;
+use hetjpeg_core::schedule::{decode_with_mode, Mode};
+use hetjpeg_core::{DecodeOptions, Decoder};
+use hetjpeg_corpus::{generate_jpeg, ImageSpec, Pattern};
+
+fn jpeg() -> Vec<u8> {
+    let spec = ImageSpec {
+        width: 96,
+        height: 72,
+        pattern: Pattern::PhotoLike { detail: 0.5 },
+        seed: 77,
+    };
+    generate_jpeg(&spec, 85, hetjpeg_jpeg::types::Subsampling::S422).expect("encode")
+}
+
+#[test]
+fn deprecated_decode_with_mode_matches_session() {
+    let jpeg = jpeg();
+    let platform = Platform::gtx560();
+    let model = platform.untrained_model();
+    let decoder = Decoder::builder()
+        .platform(platform.clone())
+        .model(model.clone())
+        .build()
+        .expect("valid configuration");
+    for mode in Mode::all() {
+        let old = decode_with_mode(&jpeg, mode, &platform, &model).expect("wrapper decode");
+        let new = decoder
+            .decode(&jpeg, DecodeOptions::with_mode(mode))
+            .expect("session decode");
+        assert_eq!(old.image.data, new.image.data, "{mode:?}");
+        assert_eq!(old.total(), new.total(), "{mode:?}");
+    }
+}
+
+#[test]
+fn deprecated_threaded_exec_still_works() {
+    let jpeg = jpeg();
+    let platform = Platform::gtx680();
+    let model = platform.untrained_model();
+    let out =
+        hetjpeg_core::exec::decode_pps_threaded(&jpeg, &platform, &model).expect("threaded decode");
+    let want = hetjpeg_jpeg::decoder::decode(&jpeg).expect("reference");
+    assert_eq!(out.image.data, want.data);
+}
+
+#[test]
+fn deprecated_schedule_free_functions_still_build() {
+    use hetjpeg_core::schedule::{hetero, single};
+    let jpeg = jpeg();
+    let platform = Platform::gtx560();
+    let model = platform.untrained_model();
+    let prep = hetjpeg_jpeg::decoder::Prepared::new(&jpeg).expect("parse");
+    let reference = hetjpeg_jpeg::decoder::decode(&jpeg)
+        .expect("reference")
+        .data;
+    for out in [
+        single::decode_cpu(&prep, &platform, false).expect("seq"),
+        single::decode_cpu(&prep, &platform, true).expect("simd"),
+        single::decode_gpu(&prep, &platform, &model).expect("gpu"),
+        single::decode_pipelined_gpu(&prep, &platform, &model).expect("pipe"),
+        hetero::decode_sps(&prep, &platform, &model).expect("sps"),
+        hetero::decode_pps(&prep, &platform, &model).expect("pps"),
+        hetero::decode_pps_with(&prep, &platform, &model, false).expect("pps ablation"),
+    ] {
+        assert_eq!(out.image.data, reference, "{:?}", out.mode);
+    }
+}

@@ -5,9 +5,18 @@
 use hetjpeg_core::platform::Platform;
 use hetjpeg_core::profile::{train, TrainOptions};
 use hetjpeg_core::report::amdahl_max_speedup;
-use hetjpeg_core::schedule::{decode_with_mode, Mode};
+use hetjpeg_core::schedule::Mode;
+use hetjpeg_core::{DecodeOptions, Decoder};
 use hetjpeg_corpus::{generate_jpeg, training_set, CorpusParams, ImageSpec, Pattern};
 use hetjpeg_jpeg::types::Subsampling;
+
+fn trained_session(platform: &Platform) -> Decoder {
+    Decoder::builder()
+        .platform(platform.clone())
+        .model(trained(platform))
+        .build()
+        .expect("valid configuration")
+}
 
 fn trained(platform: &Platform) -> hetjpeg_core::model::PerformanceModel {
     let corpus = training_set(&CorpusParams {
@@ -39,9 +48,13 @@ fn trained_pps_beats_simd_on_every_machine() {
     };
     let jpeg = generate_jpeg(&spec, 88, Subsampling::S422).expect("encode");
     for platform in Platform::all() {
-        let model = trained(&platform);
-        let simd = decode_with_mode(&jpeg, Mode::Simd, &platform, &model).unwrap();
-        let pps = decode_with_mode(&jpeg, Mode::Pps, &platform, &model).unwrap();
+        let decoder = trained_session(&platform);
+        let simd = decoder
+            .decode(&jpeg, DecodeOptions::with_mode(Mode::Simd))
+            .unwrap();
+        let pps = decoder
+            .decode(&jpeg, DecodeOptions::with_mode(Mode::Pps))
+            .unwrap();
         let speedup = simd.total() / pps.total();
         assert!(
             speedup > 1.0,
@@ -55,6 +68,23 @@ fn trained_pps_beats_simd_on_every_machine() {
             "{}: speedup {speedup:.2} exceeds bound {bound:.2}",
             platform.name
         );
+        // Mode::Auto on the trained model must pick something at least as
+        // good as plain SIMD (small tolerance for prediction error).
+        let auto = decoder.decode(&jpeg, DecodeOptions::default()).unwrap();
+        assert_ne!(
+            auto.mode,
+            Mode::Simd,
+            "{}: Auto should beat SIMD here",
+            platform.name
+        );
+        assert!(
+            auto.total() <= simd.total() * 1.05,
+            "{}: Auto picked {:?} at {:.3}ms vs SIMD {:.3}ms",
+            platform.name,
+            auto.mode,
+            auto.total() * 1e3,
+            simd.total() * 1e3
+        );
     }
 }
 
@@ -63,7 +93,7 @@ fn mode_ordering_matches_paper_on_gtx560() {
     // Paper Tables 2–3 ordering on the mid/high platforms:
     // PPS > pipeline > GPU and PPS > SPS > GPU.
     let platform = Platform::gtx560();
-    let model = trained(&platform);
+    let decoder = trained_session(&platform);
     let spec = ImageSpec {
         width: 448,
         height: 448,
@@ -72,7 +102,8 @@ fn mode_ordering_matches_paper_on_gtx560() {
     };
     let jpeg = generate_jpeg(&spec, 88, Subsampling::S422).expect("encode");
     let t = |mode| {
-        decode_with_mode(&jpeg, mode, &platform, &model)
+        decoder
+            .decode(&jpeg, DecodeOptions::with_mode(mode))
             .unwrap()
             .total()
     };
@@ -92,7 +123,7 @@ fn mode_ordering_matches_paper_on_gtx560() {
 fn weak_gpu_loses_alone_but_helps_in_partnership() {
     // The GT 430 story of §6.1/§6.2 in one test.
     let platform = Platform::gt430();
-    let model = trained(&platform);
+    let decoder = trained_session(&platform);
     let spec = ImageSpec {
         width: 448,
         height: 448,
@@ -101,7 +132,8 @@ fn weak_gpu_loses_alone_but_helps_in_partnership() {
     };
     let jpeg = generate_jpeg(&spec, 88, Subsampling::S422).expect("encode");
     let t = |mode| {
-        decode_with_mode(&jpeg, mode, &platform, &model)
+        decoder
+            .decode(&jpeg, DecodeOptions::with_mode(mode))
             .unwrap()
             .total()
     };
@@ -110,7 +142,9 @@ fn weak_gpu_loses_alone_but_helps_in_partnership() {
     assert!(sps < simd, "SPS should still win");
     assert!(pps < simd, "PPS should still win");
     // And the partition should favour the CPU.
-    let out = decode_with_mode(&jpeg, Mode::Sps, &platform, &model).unwrap();
+    let out = decoder
+        .decode(&jpeg, DecodeOptions::with_mode(Mode::Sps))
+        .unwrap();
     let part = out.partition.unwrap();
     assert!(
         part.cpu_mcu_rows > part.gpu_mcu_rows,
@@ -131,8 +165,19 @@ fn saved_model_reproduces_decisions() {
         seed: 2,
     };
     let jpeg = generate_jpeg(&spec, 88, Subsampling::S422).expect("encode");
-    let a = decode_with_mode(&jpeg, Mode::Pps, &platform, &model).unwrap();
-    let b = decode_with_mode(&jpeg, Mode::Pps, &platform, &loaded).unwrap();
+    let session = |m: hetjpeg_core::model::PerformanceModel| {
+        Decoder::builder()
+            .platform(platform.clone())
+            .model(m)
+            .build()
+            .expect("valid configuration")
+    };
+    let a = session(model)
+        .decode(&jpeg, DecodeOptions::with_mode(Mode::Pps))
+        .unwrap();
+    let b = session(loaded)
+        .decode(&jpeg, DecodeOptions::with_mode(Mode::Pps))
+        .unwrap();
     assert_eq!(a.partition.unwrap(), b.partition.unwrap());
     assert_eq!(a.image.data, b.image.data);
     assert!((a.total() - b.total()).abs() < 1e-12);

@@ -1,12 +1,24 @@
 //! Cross-crate invariant: every decode mode, on every platform, produces
 //! byte-identical pixels — the property that lets the scheduler place the
-//! partition boundary anywhere without visible seams.
+//! partition boundary anywhere without visible seams. Runs through the
+//! session API; all seven concrete modes (including the restart-aware
+//! parallel-entropy mode) are in the matrix.
 
 use hetjpeg_core::platform::Platform;
-use hetjpeg_core::schedule::{decode_with_mode, Mode};
+use hetjpeg_core::schedule::Mode;
+use hetjpeg_core::{DecodeOptions, Decoder};
 use hetjpeg_corpus::{generate_jpeg, ImageSpec, Pattern};
 use hetjpeg_jpeg::decoder::decode;
+use hetjpeg_jpeg::encoder::{encode_rgb, EncodeParams};
 use hetjpeg_jpeg::types::Subsampling;
+
+fn session_for(platform: &Platform) -> Decoder {
+    Decoder::builder()
+        .platform(platform.clone())
+        .threads(4)
+        .build()
+        .expect("valid configuration")
+}
 
 fn gallery() -> Vec<(String, Vec<u8>)> {
     let mut out = Vec::new();
@@ -45,14 +57,61 @@ fn all_modes_all_platforms_bit_identical() {
     for (name, jpeg) in gallery() {
         let reference = decode(&jpeg).expect("reference decode").data;
         for platform in Platform::all() {
-            let model = platform.untrained_model();
+            let decoder = session_for(&platform);
             for mode in Mode::all() {
-                let out = decode_with_mode(&jpeg, mode, &platform, &model)
+                let out = decoder
+                    .decode(&jpeg, DecodeOptions::with_mode(mode))
                     .unwrap_or_else(|e| panic!("{name} {mode:?} on {}: {e}", platform.name));
                 assert_eq!(
                     out.image.data, reference,
                     "{name}: {} under {:?} differs from reference",
                     platform.name, mode
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_entropy_agrees_across_restart_intervals() {
+    // The seventh mode's own matrix: restart-interval × threads. With DRI
+    // the segments decode on real threads; without it the mode falls back
+    // to sequential entropy. Bytes must match the reference either way.
+    let (w, h) = (160usize, 120usize);
+    let mut rgb = Vec::with_capacity(w * h * 3);
+    let mut s = 5u32;
+    for _ in 0..w * h {
+        s = s.wrapping_mul(1664525).wrapping_add(1013904223);
+        rgb.extend_from_slice(&[(s >> 8) as u8, (s >> 16) as u8, (s >> 24) as u8]);
+    }
+    for sub in [Subsampling::S444, Subsampling::S422, Subsampling::S420] {
+        for interval in [0usize, 2, 7, 16] {
+            let jpeg = encode_rgb(
+                &rgb,
+                w as u32,
+                h as u32,
+                &EncodeParams {
+                    quality: 82,
+                    subsampling: sub,
+                    restart_interval: interval,
+                },
+            )
+            .expect("encode");
+            let reference = decode(&jpeg).expect("reference").data;
+            for threads in [1usize, 2, 8] {
+                let decoder = Decoder::builder()
+                    .platform(Platform::gtx560())
+                    .threads(threads)
+                    .build()
+                    .expect("valid configuration");
+                let out = decoder
+                    .decode(&jpeg, DecodeOptions::with_mode(Mode::ParallelEntropy))
+                    .expect("decode");
+                assert_eq!(
+                    out.image.data,
+                    reference,
+                    "{} DRI {interval} with {threads} threads",
+                    sub.notation()
                 );
             }
         }
@@ -81,8 +140,16 @@ fn doctored_models_cannot_break_correctness() {
     tiny_chunks.chunk_mcu_rows = 1;
 
     for model in [skew_gpu, skew_cpu, tiny_chunks] {
-        for mode in [Mode::Sps, Mode::Pps, Mode::PipelinedGpu] {
-            let out = decode_with_mode(&jpeg, mode, &platform, &model).expect("decode");
+        let decoder = Decoder::builder()
+            .platform(platform.clone())
+            .model(model)
+            .build()
+            .expect("valid configuration");
+        // Auto must also stay correct whatever the skew makes it pick.
+        for mode in [Mode::Sps, Mode::Pps, Mode::PipelinedGpu, Mode::Auto] {
+            let out = decoder
+                .decode(&jpeg, DecodeOptions::with_mode(mode))
+                .expect("decode");
             assert_eq!(out.image.data, reference, "{mode:?}");
         }
     }
@@ -110,9 +177,11 @@ fn sparse_dispatch_agrees_across_modes() {
             let jpeg = generate_jpeg(&spec, quality, sub).expect("encode");
             let reference = decode(&jpeg).expect("reference").data;
             let platform = Platform::gtx560();
-            let model = platform.untrained_model();
+            let decoder = session_for(&platform);
             for mode in Mode::all() {
-                let out = decode_with_mode(&jpeg, mode, &platform, &model).expect("decode");
+                let out = decoder
+                    .decode(&jpeg, DecodeOptions::with_mode(mode))
+                    .expect("decode");
                 assert_eq!(
                     out.image.data,
                     reference,
@@ -141,8 +210,12 @@ fn threaded_pooled_pipeline_agrees() {
         let platform = Platform::gtx680();
         let mut model = platform.untrained_model();
         model.chunk_mcu_rows = 1;
-        let out = hetjpeg_core::exec::decode_pps_threaded(&jpeg, &platform, &model)
-            .expect("threaded decode");
+        let decoder = Decoder::builder()
+            .platform(platform)
+            .model(model)
+            .build()
+            .expect("valid configuration");
+        let out = decoder.decode_threaded(&jpeg).expect("threaded decode");
         assert_eq!(
             out.image.data, reference,
             "q{quality} threaded decode differs"
@@ -160,9 +233,11 @@ fn breakdown_totals_are_consistent() {
     };
     let jpeg = generate_jpeg(&spec, 85, Subsampling::S422).expect("encode");
     for platform in Platform::all() {
-        let model = platform.untrained_model();
+        let decoder = session_for(&platform);
         for mode in Mode::all() {
-            let out = decode_with_mode(&jpeg, mode, &platform, &model).expect("decode");
+            let out = decoder
+                .decode(&jpeg, DecodeOptions::with_mode(mode))
+                .expect("decode");
             // Stages can overlap but never exceed their serial sum, and the
             // total must cover the sequential Huffman stage.
             assert!(

@@ -2,7 +2,8 @@
 
 use hetjpeg_core::partition::{pps, sps};
 use hetjpeg_core::platform::Platform;
-use hetjpeg_core::schedule::{decode_with_mode, Mode};
+use hetjpeg_core::schedule::Mode;
+use hetjpeg_core::{DecodeOptions, Decoder};
 use hetjpeg_corpus::{generate_jpeg, ImageSpec, Pattern};
 use hetjpeg_jpeg::decoder::decode;
 use hetjpeg_jpeg::geometry::Geometry;
@@ -46,10 +47,14 @@ proptest! {
         let spec = ImageSpec { width: w, height: h, pattern, seed };
         let jpeg = generate_jpeg(&spec, quality, sub).expect("encode");
         let reference = decode(&jpeg).expect("reference").data;
-        let platform = Platform::gtx560();
-        let model = platform.untrained_model();
-        for mode in [Mode::Gpu, Mode::PipelinedGpu, Mode::Sps, Mode::Pps] {
-            let out = decode_with_mode(&jpeg, mode, &platform, &model).expect("decode");
+        let decoder = Decoder::builder()
+            .platform(Platform::gtx560())
+            .build()
+            .expect("valid configuration");
+        for mode in [Mode::Gpu, Mode::PipelinedGpu, Mode::Sps, Mode::Pps, Mode::Auto] {
+            let out = decoder
+                .decode(&jpeg, DecodeOptions::with_mode(mode))
+                .expect("decode");
             prop_assert_eq!(&out.image.data, &reference, "{:?}", mode);
         }
     }
@@ -101,10 +106,12 @@ proptest! {
             pattern: Pattern::PhotoLike { detail: 0.6 }, seed,
         };
         let jpeg = generate_jpeg(&spec, 85, sub).expect("encode");
-        let platform = Platform::gtx680();
-        let model = platform.untrained_model();
-        let a = decode_with_mode(&jpeg, Mode::Pps, &platform, &model).expect("a");
-        let b = decode_with_mode(&jpeg, Mode::Pps, &platform, &model).expect("b");
+        let decoder = Decoder::builder()
+            .platform(Platform::gtx680())
+            .build()
+            .expect("valid configuration");
+        let a = decoder.decode(&jpeg, DecodeOptions::with_mode(Mode::Pps)).expect("a");
+        let b = decoder.decode(&jpeg, DecodeOptions::with_mode(Mode::Pps)).expect("b");
         prop_assert_eq!(a.total(), b.total());
         prop_assert_eq!(a.trace.spans.len(), b.trace.spans.len());
     }
