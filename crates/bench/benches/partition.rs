@@ -52,6 +52,7 @@ fn bench_partitioning(c: &mut Criterion) {
                 1080.0,
                 black_box(0.25),
                 0.001,
+                black_box(1.2),
             ))
         })
     });

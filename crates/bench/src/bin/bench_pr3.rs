@@ -1,0 +1,307 @@
+//! PR-3 parallel-phase benchmark: the vectorized row-tile pipeline vs the
+//! scalar stage pipeline, per corpus and per kernel.
+//!
+//! Stages (all on the same entropy-decoded coefficients, reused scratch):
+//!
+//! * `parallel_phase_fused_scalar` — baseline is the scalar stage pipeline
+//!   (`stages::decode_region_rgb_with`, whole-plane passes); optimized is
+//!   the row-tile pipeline with the kernels **forced scalar** — isolates
+//!   the fusion/cache-locality gain and gates the "zero regression on the
+//!   scalar fallback" acceptance criterion.
+//! * `parallel_phase_simd` — same baseline; optimized is the row-tile
+//!   pipeline at the host's detected [`SimdLevel`] — the headline fused
+//!   SIMD number the ≥1.5× acceptance gate reads (4:2:0 corpora).
+//! * `kernel_upsample_row` / `kernel_convert_row` — row-kernel microbench,
+//!   scalar vs detected level, in ns per produced sample / pixel. These
+//!   calibrate the cost model's retrained `simd_upsample_speedup` /
+//!   `simd_color_speedup` per-stage factors.
+//!
+//! Output: human-readable table on stdout and machine-readable
+//! `BENCH_PR3.json` in the `BENCH_PR1.json` schema, committed at the repo
+//! root to extend the bench trajectory.
+
+use hetjpeg_corpus::{generate_jpeg, ImageSpec, Pattern};
+use hetjpeg_jpeg::coef::CoefBuffer;
+use hetjpeg_jpeg::color::YccTables;
+use hetjpeg_jpeg::decoder::kernels::{convert_row, upsample_row_h2v1, SimdLevel};
+use hetjpeg_jpeg::decoder::{simd, stages, Prepared};
+use hetjpeg_jpeg::types::Subsampling;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct Case {
+    jpeg: Vec<u8>,
+    pixels: usize,
+}
+
+fn corpus(quality: u8, sub: Subsampling, detail: f64) -> Vec<Case> {
+    [(512usize, 512usize, 1u64), (768, 512, 2), (512, 768, 3)]
+        .into_iter()
+        .map(|(w, h, seed)| {
+            let spec = ImageSpec {
+                width: w,
+                height: h,
+                pattern: Pattern::PhotoLike { detail },
+                seed,
+            };
+            Case {
+                jpeg: generate_jpeg(&spec, quality, sub).expect("encode"),
+                pixels: w * h,
+            }
+        })
+        .collect()
+}
+
+/// Best-of-`reps` wall time of `f`, in seconds.
+fn time_best<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+struct StageResult {
+    baseline_ns: f64,
+    optimized_ns: f64,
+}
+
+impl StageResult {
+    fn speedup(&self) -> f64 {
+        self.baseline_ns / self.optimized_ns
+    }
+}
+
+fn measure_corpus(
+    cases: &[Case],
+    reps: usize,
+    level: SimdLevel,
+) -> Vec<(&'static str, StageResult)> {
+    let total_px: usize = cases.iter().map(|c| c.pixels).sum();
+    let preps: Vec<Prepared<'_>> = cases
+        .iter()
+        .map(|c| Prepared::new(&c.jpeg).expect("parse"))
+        .collect();
+    let decoded: Vec<CoefBuffer> = preps
+        .iter()
+        .map(|p| p.entropy_decode_all().expect("entropy").0)
+        .collect();
+    let per_px = |secs: f64| secs * 1e9 / total_px as f64;
+
+    let mut outs: Vec<Vec<u8>> = preps
+        .iter()
+        .map(|p| vec![0u8; p.geom.rgb_bytes_in_mcu_rows(0, p.geom.mcus_y)])
+        .collect();
+
+    // Baseline: the scalar stage pipeline (whole-plane passes) — the PR-1
+    // `parallel_phase_scalar` quantity.
+    let mut scratches: Vec<stages::Scratch> = preps.iter().map(stages::Scratch::new).collect();
+    let scalar_stages = time_best(reps, || {
+        for (i, p) in preps.iter().enumerate() {
+            stages::decode_region_rgb_with(
+                p,
+                &decoded[i],
+                0,
+                p.geom.mcus_y,
+                &mut outs[i],
+                &mut scratches[i],
+            )
+            .unwrap();
+        }
+    });
+
+    // Row-tile pipeline, kernels forced scalar: fusion gain only.
+    let mut fused_scalar: Vec<simd::SimdScratch> = preps
+        .iter()
+        .map(|p| simd::SimdScratch::with_level(p, SimdLevel::Scalar))
+        .collect();
+    let fused_scalar_t = time_best(reps, || {
+        for (i, p) in preps.iter().enumerate() {
+            simd::decode_region_rgb_simd_with(
+                p,
+                &decoded[i],
+                0,
+                p.geom.mcus_y,
+                &mut outs[i],
+                &mut fused_scalar[i],
+            )
+            .unwrap();
+        }
+    });
+
+    // Row-tile pipeline at the detected level: the headline number.
+    let mut fused_simd: Vec<simd::SimdScratch> = preps
+        .iter()
+        .map(|p| simd::SimdScratch::with_level(p, level))
+        .collect();
+    let fused_simd_t = time_best(reps, || {
+        for (i, p) in preps.iter().enumerate() {
+            simd::decode_region_rgb_simd_with(
+                p,
+                &decoded[i],
+                0,
+                p.geom.mcus_y,
+                &mut outs[i],
+                &mut fused_simd[i],
+            )
+            .unwrap();
+        }
+    });
+
+    vec![
+        (
+            "parallel_phase_fused_scalar",
+            StageResult {
+                baseline_ns: per_px(scalar_stages),
+                optimized_ns: per_px(fused_scalar_t),
+            },
+        ),
+        (
+            "parallel_phase_simd",
+            StageResult {
+                baseline_ns: per_px(scalar_stages),
+                optimized_ns: per_px(fused_simd_t),
+            },
+        ),
+    ]
+}
+
+/// Row-kernel microbench on synthetic rows: (upsample ns/out-sample,
+/// convert ns/px), scalar vs `level`.
+fn kernel_micro(reps: usize, level: SimdLevel) -> Vec<(&'static str, StageResult)> {
+    let n = 4096usize; // samples per row
+    let rows = 256usize;
+    let mut s = 0x5EEDu32;
+    let mut noise = |len: usize| -> Vec<u8> {
+        (0..len)
+            .map(|_| {
+                s = s.wrapping_mul(1664525).wrapping_add(1013904223);
+                (s >> 24) as u8
+            })
+            .collect()
+    };
+    let chroma = noise(n / 2);
+    let mut up_out = vec![0u8; n];
+    let up = |lv: SimdLevel, out: &mut Vec<u8>, reps: usize| {
+        time_best(reps, || {
+            for _ in 0..rows {
+                upsample_row_h2v1(lv, &chroma, out);
+            }
+        })
+    };
+    let up_scalar = up(SimdLevel::Scalar, &mut up_out, reps);
+    let up_simd = up(level, &mut up_out, reps);
+    let up_samples = (n * rows) as f64;
+
+    let tab = YccTables::new();
+    let (y, cb, cr) = (noise(n), noise(n), noise(n));
+    let mut rgb = vec![0u8; n * 3];
+    let cv = |lv: SimdLevel, out: &mut Vec<u8>, reps: usize| {
+        time_best(reps, || {
+            for _ in 0..rows {
+                convert_row(lv, &tab, &y, &cb, &cr, out);
+            }
+        })
+    };
+    let cv_scalar = cv(SimdLevel::Scalar, &mut rgb, reps);
+    let cv_simd = cv(level, &mut rgb, reps);
+    let cv_px = (n * rows) as f64;
+
+    vec![
+        (
+            "kernel_upsample_row",
+            StageResult {
+                baseline_ns: up_scalar * 1e9 / up_samples,
+                optimized_ns: up_simd * 1e9 / up_samples,
+            },
+        ),
+        (
+            "kernel_convert_row",
+            StageResult {
+                baseline_ns: cv_scalar * 1e9 / cv_px,
+                optimized_ns: cv_simd * 1e9 / cv_px,
+            },
+        ),
+    ]
+}
+
+fn main() {
+    let reps: usize = std::env::var("BENCH_PR3_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5);
+    let level = SimdLevel::detect();
+    let corpora: Vec<(&str, Vec<Case>)> = vec![
+        // The acceptance corpora: 4:2:0 sparse and dense.
+        ("q80_420_sparse", corpus(80, Subsampling::S420, 0.5)),
+        ("q95_420_dense", corpus(95, Subsampling::S420, 0.9)),
+        // 4:2:2 (the cost model's reference mix) and the no-upsample guard.
+        ("q85_422", corpus(85, Subsampling::S422, 0.55)),
+        ("q95_444_dense", corpus(95, Subsampling::S444, 0.9)),
+    ];
+
+    let mut json = String::from("{\n  \"pr\": 3,\n");
+    let _ = writeln!(
+        json,
+        "  \"description\": \"parallel-phase ns/pixel; baseline = scalar stage pipeline (PR-1 parallel_phase_scalar), optimized = fused row-tile pipeline with runtime-dispatched SIMD kernels; *_fused_scalar isolates the fusion gain with kernels forced scalar; kernel_* rows are per-kernel microbenches (ns per out-sample / pixel) that calibrate the retrained per-stage cost-model factors\","
+    );
+    let _ = writeln!(json, "  \"reps_best_of\": {reps},");
+    let _ = writeln!(json, "  \"simd_level\": \"{}\",", level.name());
+    let _ = writeln!(json, "  \"corpora\": {{");
+
+    for (ci, (name, cases)) in corpora.iter().enumerate() {
+        let pixels: usize = cases.iter().map(|c| c.pixels).sum();
+        println!("== corpus {name} ({} images, {pixels} px) ==", cases.len());
+        let results = measure_corpus(cases, reps, level);
+        let _ = writeln!(json, "    \"{name}\": {{");
+        let _ = writeln!(
+            json,
+            "      \"images\": {}, \"pixels\": {pixels},",
+            cases.len()
+        );
+        let _ = writeln!(json, "      \"stages\": {{");
+        for (si, (stage, r)) in results.iter().enumerate() {
+            let sep = if si + 1 == results.len() { "" } else { "," };
+            println!(
+                "{stage:<28} before {:8.2} ns/px   after {:8.2} ns/px   speedup {:.2}x",
+                r.baseline_ns,
+                r.optimized_ns,
+                r.speedup()
+            );
+            let _ = writeln!(
+                json,
+                "        \"{stage}\": {{\"baseline_ns_per_px\": {:.3}, \"optimized_ns_per_px\": {:.3}, \"speedup\": {:.3}}}{sep}",
+                r.baseline_ns, r.optimized_ns, r.speedup()
+            );
+        }
+        let _ = writeln!(json, "      }}");
+        let sep = if ci + 1 == corpora.len() { "" } else { "," };
+        let _ = writeln!(json, "    }}{sep}");
+    }
+    let _ = writeln!(json, "  }},");
+
+    println!("== kernel microbench ({}) ==", level.name());
+    let micro = kernel_micro(reps, level);
+    let _ = writeln!(json, "  \"kernels\": {{");
+    for (si, (stage, r)) in micro.iter().enumerate() {
+        let sep = if si + 1 == micro.len() { "" } else { "," };
+        println!(
+            "{stage:<28} scalar {:8.3} ns/unit   {} {:8.3} ns/unit   speedup {:.2}x",
+            r.baseline_ns,
+            level.name(),
+            r.optimized_ns,
+            r.speedup()
+        );
+        let _ = writeln!(
+            json,
+            "    \"{stage}\": {{\"scalar_ns_per_unit\": {:.4}, \"simd_ns_per_unit\": {:.4}, \"speedup\": {:.3}}}{sep}",
+            r.baseline_ns, r.optimized_ns, r.speedup()
+        );
+    }
+    let _ = writeln!(json, "  }}\n}}");
+
+    std::fs::write("BENCH_PR3.json", &json).expect("write BENCH_PR3.json");
+    println!("wrote BENCH_PR3.json");
+}

@@ -11,10 +11,20 @@
 //! Huffman ns/pixel comes out linear in entropy density (Fig. 7) because
 //! denser images really do consume proportionally more bits.
 //!
-//! Calibration anchors (see EXPERIMENTS.md):
+//! Calibration anchors (see EXPERIMENTS.md and `docs/PERF.md`):
 //! * Huffman ≈ 1.5–6 ns/pixel over d ∈ [0.05, 0.45] B/px (Fig. 7 on i7),
-//! * SIMD parallel phase ≈ 3.2 ns/px at 4:2:2 (Fig. 6, ~80 ms at 25 MP),
-//! * SIMD ≈ 2× sequential overall, Huffman ≈ half of SIMD total (§1, §4.5).
+//! * the SIMD path's per-stage speedups are **re-anchored to the PR-3
+//!   vectorized kernels** (`BENCH_PR3.json`): the upsample and color
+//!   stages run real AVX2/SSE2 kernels (measured ≈8× and ≈4.2× over
+//!   scalar respectively), while the EOB-dispatched sparse IDCT is shared
+//!   by both paths and gains only the row-tile fusion (a few percent).
+//!   The paper's blanket "SIMD ≈ 3× on the parallel phase" assumed a
+//!   vectorized IDCT (libjpeg-turbo); our pins reflect the decoder this
+//!   repository actually ships.
+//! * On sparse corpora (q80 4:2:0) the combination of EOB dispatch and the
+//!   vector kernels lands the overall SIMD-vs-sequential speedup back at
+//!   the §1 "about 2×" (BENCH_PR3 measures ≈2.2×); on dense corpora it is
+//!   ≈1.5× because the scalar IDCT dominates.
 
 use hetjpeg_jpeg::geometry::Geometry;
 use hetjpeg_jpeg::metrics::{ParallelWork, RowMetrics};
@@ -38,10 +48,16 @@ pub struct CpuCostModel {
     pub upsample_cycles_per_sample: f64,
     /// Scalar color-conversion cycles per pixel.
     pub color_cycles_per_pixel: f64,
-    /// Speedup of the SIMD path over scalar for the parallel stages
-    /// (libjpeg-turbo's SIMD is ≈3× on the parallel phase, which yields the
-    /// ≈2× overall speedup the paper quotes once Huffman is included).
-    pub simd_speedup: f64,
+    /// SIMD-path speedup of the dequant+IDCT stage. The sparse IDCT is the
+    /// same scalar code on both paths; this factor prices only the
+    /// row-tile fusion's cache locality (BENCH_PR3).
+    pub simd_idct_speedup: f64,
+    /// SIMD-path speedup of the chroma-upsample stage (the SSE2/AVX2
+    /// Algorithm-1 kernels, BENCH_PR3).
+    pub simd_upsample_speedup: f64,
+    /// SIMD-path speedup of the color-conversion stage (the SSE2/AVX2
+    /// Algorithm-2 kernels, BENCH_PR3).
+    pub simd_color_speedup: f64,
     /// Fixed OpenCL dispatch overhead per command batch, µs (the paper's
     /// `Tdisp`).
     pub dispatch_base_us: f64,
@@ -64,7 +80,14 @@ impl CpuCostModel {
             idct_cycles_per_block: 600.0,
             upsample_cycles_per_sample: 4.0,
             color_cycles_per_pixel: 12.0,
-            simd_speedup: 3.0,
+            // PR-3 re-anchor (BENCH_PR3.json, AVX2): the row-kernel
+            // microbench measures ≈8× on Algorithm-1 upsampling and ≈4.2×
+            // on Algorithm-2 color conversion, and the corpus-level stage
+            // deltas confirm the same effective in-pipeline factors; the
+            // shared scalar IDCT gains only the row-tile fusion's ~2–5%.
+            simd_idct_speedup: 1.05,
+            simd_upsample_speedup: 8.0,
+            simd_color_speedup: 4.2,
             dispatch_base_us: 15.0,
             dispatch_us_per_mb: 1.0,
         }
@@ -82,7 +105,9 @@ impl CpuCostModel {
             idct_cycles_per_block: 580.0,
             upsample_cycles_per_sample: 3.9,
             color_cycles_per_pixel: 11.6,
-            simd_speedup: 3.0,
+            simd_idct_speedup: 1.06,
+            simd_upsample_speedup: 8.2,
+            simd_color_speedup: 4.3,
             dispatch_base_us: 14.0,
             dispatch_us_per_mb: 1.0,
         }
@@ -91,6 +116,20 @@ impl CpuCostModel {
     #[inline]
     fn cycles_to_seconds(&self, cycles: f64) -> f64 {
         cycles / (self.clock_ghz * 1e9)
+    }
+
+    /// Per-stage speedup divisors for the requested path.
+    #[inline]
+    fn stage_divisors(&self, simd: bool) -> (f64, f64, f64) {
+        if simd {
+            (
+                self.simd_idct_speedup,
+                self.simd_upsample_speedup,
+                self.simd_color_speedup,
+            )
+        } else {
+            (1.0, 1.0, 1.0)
+        }
     }
 
     /// Huffman (entropy) decoding time for the given work metrics — the
@@ -103,16 +142,13 @@ impl CpuCostModel {
     }
 
     /// Parallel-phase time (dequant + IDCT + upsample + color) for a band's
-    /// work, on the scalar or SIMD path.
+    /// work, on the scalar or SIMD path, assuming every block pays the
+    /// dense transform.
     pub fn parallel_time(&self, w: &ParallelWork, simd: bool) -> f64 {
-        let cycles = w.idct_blocks as f64 * self.idct_cycles_per_block
-            + w.upsampled_samples as f64 * self.upsample_cycles_per_sample
-            + w.color_pixels as f64 * self.color_cycles_per_pixel;
-        let cycles = if simd {
-            cycles / self.simd_speedup
-        } else {
-            cycles
-        };
+        let (di, du, dc) = self.stage_divisors(simd);
+        let cycles = w.idct_blocks as f64 * self.idct_cycles_per_block / di
+            + w.upsampled_samples as f64 * self.upsample_cycles_per_sample / du
+            + w.color_pixels as f64 * self.color_cycles_per_pixel / dc;
         self.cycles_to_seconds(cycles)
     }
 
@@ -122,51 +158,122 @@ impl CpuCostModel {
     /// blocks are mostly DC-only/2×2).
     pub const SPARSE_CLASS_FACTORS: [f64; 4] = [0.12, 0.28, 0.55, 1.0];
 
+    /// Effective dense-equivalent IDCT block count for an EOB-class
+    /// histogram: sparse classes are discounted by
+    /// [`Self::SPARSE_CLASS_FACTORS`], and blocks the histogram does not
+    /// cover (e.g. a salvaged truncated image) are priced dense.
+    fn effective_idct_blocks(w: &ParallelWork, classes: &[u64; 4]) -> f64 {
+        let histogram_blocks: u64 = classes.iter().sum();
+        if histogram_blocks == 0 {
+            return w.idct_blocks as f64;
+        }
+        let mut eff = 0.0;
+        for (count, factor) in classes.iter().zip(Self::SPARSE_CLASS_FACTORS) {
+            eff += *count as f64 * factor;
+        }
+        eff + w.idct_blocks.saturating_sub(histogram_blocks) as f64
+    }
+
     /// [`Self::parallel_time`] with the IDCT term priced per EOB class
     /// instead of assuming every block pays the dense transform.
     ///
     /// `classes` is the band's EOB-class histogram
     /// ([`RowMetrics::eob_classes`]); if it is empty (all zeros) the dense
     /// assumption is kept, so callers without entropy metrics degrade to
-    /// [`Self::parallel_time`]. This is the sparse-aware per-unit cost the
-    /// ROADMAP's retraining item asks for; the six paper modes keep the
-    /// dense pricing their calibration anchors were set against, and the
-    /// restart-aware parallel-entropy mode (which postdates the paper) is
-    /// its first consumer.
+    /// [`Self::parallel_time`]. Since the PR-3 retrain this is the price
+    /// **every CPU band pays** — all seven modes (and therefore
+    /// `Mode::Auto` and the CPU/GPU partition point) see sparsity, which
+    /// closes the ROADMAP's §5.1 retraining item. The simulated GPU
+    /// kernels remain dense (their own open item).
     pub fn parallel_time_sparse(&self, w: &ParallelWork, classes: &[u64; 4], simd: bool) -> f64 {
-        let histogram_blocks: u64 = classes.iter().sum();
-        if histogram_blocks == 0 {
-            return self.parallel_time(w, simd);
-        }
-        let mut idct_blocks_eff = 0.0;
-        for (count, factor) in classes.iter().zip(Self::SPARSE_CLASS_FACTORS) {
-            idct_blocks_eff += *count as f64 * factor;
-        }
-        // The histogram may cover only part of the band's blocks (e.g. a
-        // salvaged truncated image); price the remainder as dense.
-        idct_blocks_eff += w.idct_blocks.saturating_sub(histogram_blocks) as f64;
-        let cycles = idct_blocks_eff * self.idct_cycles_per_block
-            + w.upsampled_samples as f64 * self.upsample_cycles_per_sample
-            + w.color_pixels as f64 * self.color_cycles_per_pixel;
-        let cycles = if simd {
-            cycles / self.simd_speedup
-        } else {
-            cycles
-        };
+        let (di, du, dc) = self.stage_divisors(simd);
+        let cycles = Self::effective_idct_blocks(w, classes) * self.idct_cycles_per_block / di
+            + w.upsampled_samples as f64 * self.upsample_cycles_per_sample / du
+            + w.color_pixels as f64 * self.color_cycles_per_pixel / dc;
         self.cycles_to_seconds(cycles)
     }
 
     /// Parallel-phase time *without* the color-conversion term — what the
     /// planar-YCbCr output path performs (dequant + IDCT + upsample only).
     pub fn parallel_time_planar(&self, w: &ParallelWork, simd: bool) -> f64 {
-        let cycles = w.idct_blocks as f64 * self.idct_cycles_per_block
-            + w.upsampled_samples as f64 * self.upsample_cycles_per_sample;
-        let cycles = if simd {
-            cycles / self.simd_speedup
-        } else {
-            cycles
-        };
+        self.parallel_time_planar_sparse(w, &[0, 0, 0, 0], simd)
+    }
+
+    /// [`Self::parallel_time_planar`] with EOB-class-aware IDCT pricing —
+    /// the planar twin of [`Self::parallel_time_sparse`].
+    pub fn parallel_time_planar_sparse(
+        &self,
+        w: &ParallelWork,
+        classes: &[u64; 4],
+        simd: bool,
+    ) -> f64 {
+        let (di, du, _) = self.stage_divisors(simd);
+        let cycles = Self::effective_idct_blocks(w, classes) * self.idct_cycles_per_block / di
+            + w.upsampled_samples as f64 * self.upsample_cycles_per_sample / du;
         self.cycles_to_seconds(cycles)
+    }
+
+    /// Scalar-over-SIMD ratio of the dense parallel phase for a given work
+    /// mix — how much slower the sequential mode's band is than the SIMD
+    /// band the trained `PCPU` closed form predicts. Work-mix-dependent
+    /// because the per-stage speedups differ (the 4:4:4 ratio is lower:
+    /// no upsampling to vectorize).
+    pub fn scalar_over_simd(&self, w: &ParallelWork) -> f64 {
+        self.scalar_over_simd_at_discount(w, 1.0)
+    }
+
+    /// [`Self::scalar_over_simd`] with the IDCT term discounted on both
+    /// sides — the ratio consistent with a `PCPU` closed form that was fit
+    /// at `discount` ([`crate::model::PerformanceModel::pcpu_idct_discount`]).
+    /// Sparser content shrinks the scalar-only IDCT term, so the ratio
+    /// *grows* with sparsity (the vectorized stages dominate).
+    pub fn scalar_over_simd_at_discount(&self, w: &ParallelWork, discount: f64) -> f64 {
+        let discount = discount.clamp(Self::SPARSE_CLASS_FACTORS[0], 1.0);
+        let idct = w.idct_blocks as f64 * self.idct_cycles_per_block * discount;
+        let ups = w.upsampled_samples as f64 * self.upsample_cycles_per_sample;
+        let color = w.color_pixels as f64 * self.color_cycles_per_pixel;
+        let scalar = idct + ups + color;
+        let simd = idct / self.simd_idct_speedup
+            + ups / self.simd_upsample_speedup
+            + color / self.simd_color_speedup;
+        if simd <= 0.0 {
+            1.0
+        } else {
+            scalar / simd
+        }
+    }
+
+    /// Average IDCT discount of an EOB-class histogram: effective
+    /// dense-equivalent blocks over real blocks, in `(0, 1]` (1.0 for an
+    /// empty histogram — dense assumption).
+    pub fn idct_discount(classes: &[u64; 4]) -> f64 {
+        let blocks: u64 = classes.iter().sum();
+        if blocks == 0 {
+            return 1.0;
+        }
+        let mut eff = 0.0;
+        for (count, factor) in classes.iter().zip(Self::SPARSE_CLASS_FACTORS) {
+            eff += *count as f64 * factor;
+        }
+        eff / blocks as f64
+    }
+
+    /// How much a SIMD band's price changes when its IDCT discount is
+    /// `observed` instead of the `assumed` discount a trained `PCPU`
+    /// closed form averaged over — the sparsity twin of the paper's Eq. 17
+    /// density correction, used by the PPS re-partitioning step.
+    pub fn band_scale_for_discount(&self, w: &ParallelWork, observed: f64, assumed: f64) -> f64 {
+        let (di, du, dc) = self.stage_divisors(true);
+        let cycles_at = |discount: f64| {
+            w.idct_blocks as f64 * self.idct_cycles_per_block * discount / di
+                + w.upsampled_samples as f64 * self.upsample_cycles_per_sample / du
+                + w.color_pixels as f64 * self.color_cycles_per_pixel / dc
+        };
+        let denom = cycles_at(assumed.clamp(Self::SPARSE_CLASS_FACTORS[0], 1.0));
+        if denom <= 0.0 {
+            return 1.0;
+        }
+        cycles_at(observed.clamp(Self::SPARSE_CLASS_FACTORS[0], 1.0)) / denom
     }
 
     /// Host-side OpenCL dispatch time (`Tdisp` in Eq. 9a) for commands
@@ -212,46 +319,95 @@ mod tests {
     }
 
     #[test]
-    fn simd_parallel_phase_near_fig6_anchor() {
+    fn simd_parallel_phase_pins_the_pr3_kernels() {
+        // PR-3 re-anchor of the old Fig. 6 pin: with the vector upsample +
+        // color kernels but the shared scalar sparse IDCT, the dense 4:2:2
+        // SIMD band prices at ≈6.6 ns/px on the i7-2600K — above the
+        // paper's ≈3.2 (libjpeg-turbo vectorizes its IDCT too), and the
+        // sparse-aware price on a DC-heavy histogram comes back down to
+        // the old anchor's neighbourhood.
         let cpu = CpuCostModel::i7_2600k();
         let geom = Geometry::new(2048, 2048, Subsampling::S422).unwrap();
         let work = ParallelWork::for_mcu_rows(&geom, 0, geom.mcus_y);
-        let t = cpu.parallel_time(&work, true);
-        let ns_per_px = t / geom.pixels() as f64 * 1e9;
-        // Fig. 6 anchor: ≈3.2 ns/px (80 ms / 25 MP).
+        let dense = cpu.parallel_time(&work, true) / geom.pixels() as f64 * 1e9;
+        assert!((5.5..8.0).contains(&dense), "SIMD dense {dense:.2} ns/px");
+        // A q80-photo-like histogram (mostly DC-only/2×2 blocks).
+        let b = work.idct_blocks;
+        let classes = [b / 2, b / 4, b / 8, b - b / 2 - b / 4 - b / 8];
+        let sparse = cpu.parallel_time_sparse(&work, &classes, true) / geom.pixels() as f64 * 1e9;
         assert!(
-            (2.0..5.0).contains(&ns_per_px),
-            "SIMD parallel {ns_per_px:.2} ns/px"
+            (2.5..5.0).contains(&sparse),
+            "SIMD sparse {sparse:.2} ns/px"
         );
     }
 
     #[test]
-    fn scalar_is_about_three_times_simd_parallel() {
+    fn per_stage_simd_factors_compose_the_ratio() {
+        // The single blanket "3×" is gone: the scalar/SIMD ratio is now a
+        // work-mix-weighted blend of the per-stage factors, higher where
+        // there is more vectorizable work (4:2:0 > 4:2:2 > 4:4:4).
         let cpu = CpuCostModel::i7_2600k();
-        let geom = Geometry::new(1024, 1024, Subsampling::S444).unwrap();
-        let work = ParallelWork::for_mcu_rows(&geom, 0, geom.mcus_y);
-        let ratio = cpu.parallel_time(&work, false) / cpu.parallel_time(&work, true);
-        assert!((ratio - cpu.simd_speedup).abs() < 1e-9);
+        let mut ratios = Vec::new();
+        for sub in [Subsampling::S444, Subsampling::S422, Subsampling::S420] {
+            let geom = Geometry::new(1024, 1024, sub).unwrap();
+            let work = ParallelWork::for_mcu_rows(&geom, 0, geom.mcus_y);
+            let ratio = cpu.scalar_over_simd(&work);
+            assert!(
+                ratio > cpu.simd_idct_speedup && ratio < cpu.simd_upsample_speedup,
+                "{} ratio {ratio:.2} outside stage bounds",
+                sub.notation()
+            );
+            ratios.push(ratio);
+        }
+        assert!(
+            ratios[0] < ratios[1] && ratios[1] < ratios[2],
+            "more chroma work ⇒ bigger vector win: {ratios:?}"
+        );
+        // Dense 4:2:2 re-anchor: ≈1.7× (was the assumed 3×).
+        assert!(
+            (1.4..2.0).contains(&ratios[1]),
+            "4:2:2 ratio {:.2}",
+            ratios[1]
+        );
     }
 
     #[test]
-    fn overall_simd_speedup_is_about_two() {
+    fn overall_simd_speedup_recovers_two_x_on_sparse_content() {
         // §1: "the SIMD-version of libjpeg-turbo decodes an image twice as
-        // fast as the sequential version on an Intel i7".
+        // fast as the sequential version on an Intel i7". Re-anchored for
+        // PR-3: on *dense* work our scalar IDCT keeps the overall win at
+        // ≈1.4–1.5×, and on sparse (q80-like) histograms the EOB dispatch
+        // plus vector kernels restore ≈2× (BENCH_PR3 measures ≈2.2× on the
+        // q80 4:2:0 corpus).
         let cpu = CpuCostModel::i7_2600k();
         let geom = Geometry::new(2048, 2048, Subsampling::S422).unwrap();
         let work = ParallelWork::for_mcu_rows(&geom, 0, geom.mcus_y);
         let m = metrics_at_density(geom.pixels() as u64, 0.18);
         let seq = cpu.huff_time(&m) + cpu.parallel_time(&work, false);
         let simd = cpu.huff_time(&m) + cpu.parallel_time(&work, true);
-        let speedup = seq / simd;
+        let dense_speedup = seq / simd;
         assert!(
-            (1.6..2.6).contains(&speedup),
-            "overall SIMD speedup {speedup:.2}"
+            (1.25..1.7).contains(&dense_speedup),
+            "dense overall SIMD speedup {dense_speedup:.2}"
         );
-        // Huffman should be a large fraction (~half) of the SIMD total.
+        let b = work.idct_blocks;
+        let classes = [
+            b * 6 / 10,
+            b * 2 / 10,
+            b / 10,
+            b - b * 6 / 10 - b * 2 / 10 - b / 10,
+        ];
+        let m_sparse = metrics_at_density(geom.pixels() as u64, 0.1);
+        let seq_s = cpu.huff_time(&m_sparse) + cpu.parallel_time_sparse(&work, &classes, false);
+        let simd_s = cpu.huff_time(&m_sparse) + cpu.parallel_time_sparse(&work, &classes, true);
+        let sparse_speedup = seq_s / simd_s;
+        assert!(
+            (1.7..2.6).contains(&sparse_speedup),
+            "sparse overall SIMD speedup {sparse_speedup:.2}"
+        );
+        // Huffman stays a large fraction of the SIMD total.
         let frac = cpu.huff_time(&m) / simd;
-        assert!((0.3..0.6).contains(&frac), "Huffman fraction {frac:.2}");
+        assert!((0.2..0.6).contains(&frac), "Huffman fraction {frac:.2}");
     }
 
     #[test]
@@ -271,12 +427,15 @@ mod tests {
         let sparse = cpu.parallel_time_sparse(&work, &[blocks, 0, 0, 0], true);
         let half = cpu.parallel_time_sparse(&work, &[blocks / 2, 0, 0, blocks - blocks / 2], true);
         assert!(sparse < half && half < dense, "{sparse} {half} {dense}");
-        // Planar pricing drops exactly the color term.
+        // Planar pricing drops exactly the color term, on both the dense
+        // and the sparse form.
         let planar = cpu.parallel_time_planar(&work, true);
         let color = cpu.cycles_to_seconds(
-            work.color_pixels as f64 * cpu.color_cycles_per_pixel / cpu.simd_speedup,
+            work.color_pixels as f64 * cpu.color_cycles_per_pixel / cpu.simd_color_speedup,
         );
         assert!((cpu.parallel_time(&work, true) - planar - color).abs() < 1e-12);
+        let planar_sparse = cpu.parallel_time_planar_sparse(&work, &[blocks, 0, 0, 0], true);
+        assert!((sparse - planar_sparse - color).abs() < 1e-12);
     }
 
     #[test]

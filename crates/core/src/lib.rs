@@ -76,6 +76,7 @@ pub mod session;
 pub mod timeline;
 pub mod workspace;
 
+pub use hetjpeg_jpeg::decoder::kernels::SimdLevel;
 pub use platform::Platform;
 pub use schedule::{DecodeOutcome, Mode};
 pub use session::{BuildError, DecodeOptions, Decoder, DecoderBuilder, OutputFormat, Strictness};

@@ -18,6 +18,10 @@ use crate::platform::Platform;
 use crate::regress::{Poly1, Poly2};
 use hetjpeg_jpeg::Subsampling;
 
+/// Expected EOB-dispatch IDCT discount of a photo-like corpus, used by the
+/// analytic bootstrap model before any real profiling has happened.
+pub const SEED_SPARSE_IDCT_DISCOUNT: f64 = 0.45;
+
 /// Calibrated closed forms for one (platform, subsampling) pair.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PerformanceModel {
@@ -37,6 +41,12 @@ pub struct PerformanceModel {
     pub chunk_mcu_rows: usize,
     /// Tuned work-group size in blocks (§5.1).
     pub wg_blocks: usize,
+    /// Average EOB-dispatch IDCT discount the `PCPU` form was fit at
+    /// (effective dense-equivalent blocks / real blocks over the training
+    /// corpus; 1.0 = dense assumption). The PPS re-partitioning step uses
+    /// it to correct `PCPU` when the measured sparsity of an image departs
+    /// from the corpus average — the sparsity analogue of Eq. 17.
+    pub pcpu_idct_discount: f64,
 }
 
 impl PerformanceModel {
@@ -88,11 +98,17 @@ impl PerformanceModel {
         let c1 = 8.0 * per_bit + (8.0 / 5.5) * per_sym;
         let thuff = Poly1::new(vec![c0, c1]);
 
-        // SIMD parallel phase ns/px (4:2:2 ratios, see cost.rs).
-        let scalar_cycles_per_px = cpu.idct_cycles_per_block * 2.0 / 64.0
-            + cpu.upsample_cycles_per_sample * 1.0
-            + cpu.color_cycles_per_pixel;
-        let simd_ns_per_px = scalar_cycles_per_px / cpu.simd_speedup / cpu.clock_ghz;
+        // SIMD parallel phase ns/px (4:2:2 ratios, see cost.rs), each
+        // stage divided by its own retrained vector-kernel speedup. The
+        // IDCT term carries the expected EOB-dispatch discount of a
+        // photo-like corpus (mostly DC-only/2×2 blocks — the workload the
+        // paper's tables measure); `profile::train` replaces this bootstrap
+        // guess with each training image's *measured* histogram.
+        let simd_cycles_per_px = cpu.idct_cycles_per_block * 2.0 / 64.0 * SEED_SPARSE_IDCT_DISCOUNT
+            / cpu.simd_idct_speedup
+            + cpu.upsample_cycles_per_sample * 1.0 / cpu.simd_upsample_speedup
+            + cpu.color_cycles_per_pixel / cpu.simd_color_speedup;
+        let simd_ns_per_px = simd_cycles_per_px / cpu.clock_ghz;
         // p_cpu(w, rows) = simd_ns_per_px * w * rows * 1e-9: pure cross term.
         let mut p_cpu = Poly2::zero(2);
         p_cpu.coefs[1][1] = simd_ns_per_px * 1e-9;
@@ -124,6 +140,7 @@ impl PerformanceModel {
             t_disp,
             chunk_mcu_rows: 16,
             wg_blocks: 8,
+            pcpu_idct_discount: SEED_SPARSE_IDCT_DISCOUNT,
         }
     }
 
@@ -134,6 +151,10 @@ impl PerformanceModel {
         out.push_str(&format!("subsampling = {}\n", self.subsampling.notation()));
         out.push_str(&format!("chunk_mcu_rows = {}\n", self.chunk_mcu_rows));
         out.push_str(&format!("wg_blocks = {}\n", self.wg_blocks));
+        out.push_str(&format!(
+            "pcpu_idct_discount = {:e}\n",
+            self.pcpu_idct_discount
+        ));
         let p1 = |name: &str, p: &Poly1, out: &mut String| {
             out.push_str(&format!("{name}.x_scale = {:e}\n", p.x_scale));
             let list: Vec<String> = p.coefs.iter().map(|c| format!("{c:e}")).collect();
@@ -208,6 +229,10 @@ impl PerformanceModel {
             t_disp: p2("t_disp")?,
             chunk_mcu_rows: get("chunk_mcu_rows")?.parse().ok()?,
             wg_blocks: get("wg_blocks")?.parse().ok()?,
+            // Absent in pre-PR-3 files: those models were fit dense.
+            pcpu_idct_discount: get("pcpu_idct_discount")
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(1.0),
         })
     }
 }

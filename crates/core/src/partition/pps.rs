@@ -65,6 +65,10 @@ pub fn corrected_density(
 /// Re-partition before the last GPU chunk (Eq. 16): `h_left` pixel rows are
 /// still unprocessed, the GPU still owes `prev_gpu_backlog` seconds of
 /// queued work, and the density estimate has been corrected to `d_new`.
+/// `cpu_scale` corrects the `PCPU` closed form for the tail's measured
+/// IDCT sparsity relative to the corpus average the model was fit at
+/// (1.0 = no correction; see
+/// [`crate::cost::CpuCostModel::band_scale_for_discount`]).
 ///
 /// Returns the new split of the *remaining* rows (CPU gets the final
 /// `cpu_mcu_rows` of those).
@@ -74,19 +78,22 @@ pub fn repartition(
     h_left: f64,
     d_new: f64,
     prev_gpu_backlog: f64,
+    cpu_scale: f64,
 ) -> Partition {
     let w = geom.width as f64;
     let f = |x: f64| {
-        model.huff_time(w * h_left, d_new) + model.p_cpu(w, x) + model.t_disp(w, h_left - x)
+        model.huff_time(w * h_left, d_new)
+            + model.p_cpu(w, x) * cpu_scale
+            + model.t_disp(w, h_left - x)
             - model.p_gpu(w, h_left - x)
             - prev_gpu_backlog
     };
     let df = |x: f64| {
-        model.p_cpu.eval_dy(w, x) - model.t_disp.eval_dy(w, h_left - x)
+        model.p_cpu.eval_dy(w, x) * cpu_scale - model.t_disp.eval_dy(w, h_left - x)
             + model.p_gpu.eval_dy(w, h_left - x)
     };
     let r = newton_solve(f, df, h_left / 2.0, 0.0, h_left, 0.5, 30);
-    let cpu = model.huff_time(w * h_left, d_new) + model.p_cpu(w, r.x);
+    let cpu = model.huff_time(w * h_left, d_new) + model.p_cpu(w, r.x) * cpu_scale;
     let gpu = prev_gpu_backlog + model.p_gpu(w, h_left - r.x);
     // Note: rounding is done against the full-image geometry (MCU height).
     let cpu_mcu_rows = geom.round_rows_to_mcu(r.x);
@@ -158,8 +165,8 @@ mod tests {
     fn backlog_shifts_work_to_cpu() {
         let model = PerformanceModel::analytic_seed(&Platform::gtx560());
         let g = geom(1024, 1024);
-        let no_backlog = repartition(&model, &g, 512.0, 0.2, 0.0);
-        let backlog = repartition(&model, &g, 512.0, 0.2, 0.05);
+        let no_backlog = repartition(&model, &g, 512.0, 0.2, 0.0, 1.0);
+        let backlog = repartition(&model, &g, 512.0, 0.2, 0.05, 1.0);
         assert!(
             backlog.cpu_mcu_rows >= no_backlog.cpu_mcu_rows,
             "backlogged GPU should shed rows: {} vs {}",
@@ -169,14 +176,32 @@ mod tests {
     }
 
     #[test]
+    fn denser_tail_sparsity_shifts_work_back_to_gpu() {
+        // A cpu_scale > 1 (tail denser than the corpus the model was fit
+        // at) makes the CPU band pricier, so the CPU must keep fewer rows.
+        let model = PerformanceModel::analytic_seed(&Platform::gt430());
+        let g = geom(1024, 1024);
+        let neutral = repartition(&model, &g, 512.0, 0.25, 0.01, 1.0);
+        let dense_tail = repartition(&model, &g, 512.0, 0.25, 0.01, 1.6);
+        assert!(
+            dense_tail.cpu_mcu_rows <= neutral.cpu_mcu_rows,
+            "denser tail should shed CPU rows: {} vs {}",
+            dense_tail.cpu_mcu_rows,
+            neutral.cpu_mcu_rows
+        );
+    }
+
+    #[test]
     fn repartition_never_exceeds_remaining_rows() {
         let model = PerformanceModel::analytic_seed(&Platform::gt430());
         let g = geom(640, 480);
         for h_left in [48.0, 160.0, 480.0] {
             for backlog in [0.0, 0.001, 0.1] {
-                let p = repartition(&model, &g, h_left, 0.3, backlog);
-                assert!(p.cpu_mcu_rows + p.gpu_mcu_rows <= g.mcus_y);
-                assert!(p.x_pixel_rows >= 0.0 && p.x_pixel_rows <= h_left);
+                for cpu_scale in [0.6, 1.0, 1.8] {
+                    let p = repartition(&model, &g, h_left, 0.3, backlog, cpu_scale);
+                    assert!(p.cpu_mcu_rows + p.gpu_mcu_rows <= g.mcus_y);
+                    assert!(p.x_pixel_rows >= 0.0 && p.x_pixel_rows <= h_left);
+                }
             }
         }
     }

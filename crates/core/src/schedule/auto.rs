@@ -94,6 +94,15 @@ pub fn predict_all(
     let d = prep.parsed.entropy_density(); // Eq. (3)
     let thuff = model.huff_time(w * h, d); // Eq. (4)
     let pcpu = model.p_cpu(w, h);
+    // The scalar band costs the SIMD band times the work-mix-weighted
+    // blend of the retrained per-stage factors (the vector kernels win
+    // more where there is more chroma work to vectorize), evaluated at
+    // the IDCT discount the trained `PCPU` form was fit at so the two
+    // predictions stay consistent.
+    let whole = hetjpeg_jpeg::metrics::ParallelWork::for_mcu_rows(geom, 0, geom.mcus_y);
+    let scalar_ratio = platform
+        .cpu
+        .scalar_over_simd_at_discount(&whole, model.pcpu_idct_discount);
     let chunk_rows = model.chunk_mcu_rows.max(1);
     let chunk_px = ((chunk_rows * geom.mcu_h) as f64).min(h);
     let n_chunks = (h / chunk_px).ceil().max(1.0);
@@ -102,8 +111,8 @@ pub fn predict_all(
     let seconds_for = |mode: Mode| -> f64 {
         match mode {
             // The scalar path pays the SIMD band times the calibrated
-            // speedup factor.
-            Mode::Sequential => thuff + pcpu * platform.cpu.simd_speedup,
+            // per-stage speedup blend.
+            Mode::Sequential => thuff + pcpu * scalar_ratio,
             Mode::Simd => thuff + pcpu,
             // Fig. 5a: everything serial — Huffman, one dispatch, the whole
             // device phase.

@@ -211,28 +211,41 @@ pub(crate) fn dispatch(
     }
 }
 
-/// Entropy-decode every MCU row into `coef`, returning per-row Huffman
-/// times under the platform cost model, the total, and the whole-image
-/// EOB-class histogram.
+/// Entropy-decode every MCU row into `coef`, returning the per-row work
+/// metrics and the total Huffman time under the platform cost model. The
+/// per-row metrics carry the EOB-class histograms the sparse-aware band
+/// pricing consumes ([`crate::cost::CpuCostModel::parallel_time_sparse`]);
+/// [`eob_classes_in`] sums them over a band.
 pub(crate) fn entropy_into(
     prep: &Prepared<'_>,
     platform: &Platform,
     coef: &mut CoefBuffer,
-) -> Result<(Vec<f64>, f64, [u64; 4])> {
+) -> Result<(Vec<hetjpeg_jpeg::metrics::RowMetrics>, f64)> {
     let mut dec = prep.entropy_decoder()?;
-    let mut row_times = Vec::with_capacity(prep.geom.mcus_y);
+    let mut rows = Vec::with_capacity(prep.geom.mcus_y);
     let mut total = 0.0;
-    let mut classes = [0u64; 4];
     while !dec.is_finished() {
         let m = dec.decode_mcu_row(coef)?;
-        let t = platform.cpu.huff_time(&m);
-        row_times.push(t);
-        total += t;
+        total += platform.cpu.huff_time(&m);
+        rows.push(m);
+    }
+    Ok((rows, total))
+}
+
+/// EOB-class histogram of MCU rows `[start, end)` — the sparse-pricing
+/// input for a band of the parallel phase.
+pub(crate) fn eob_classes_in(
+    rows: &[hetjpeg_jpeg::metrics::RowMetrics],
+    start: usize,
+    end: usize,
+) -> [u64; 4] {
+    let mut classes = [0u64; 4];
+    for m in &rows[start.min(rows.len())..end.min(rows.len())] {
         for (a, b) in classes.iter_mut().zip(m.eob_classes) {
             *a += b;
         }
     }
-    Ok((row_times, total, classes))
+    classes
 }
 
 #[cfg(test)]

@@ -5,7 +5,7 @@
 //! session decoding many images allocates the big buffers once. The
 //! original free functions remain as thin deprecated wrappers.
 
-use super::{entropy_into, DecodeOutcome, Mode};
+use super::{entropy_into, eob_classes_in, DecodeOutcome, Mode};
 use crate::gpu_decode::{decode_region_gpu_with, KernelPlan};
 use crate::model::PerformanceModel;
 use crate::platform::Platform;
@@ -40,7 +40,8 @@ pub(crate) fn decode_cpu_in(
     let geom = &prep.geom;
     ws.ensure(prep);
     let p = ws.parts();
-    let (_rows, t_huff, _classes) = entropy_into(prep, platform, p.coef)?;
+    let (rows, t_huff) = entropy_into(prep, platform, p.coef)?;
+    let classes = eob_classes_in(&rows, 0, geom.mcus_y);
 
     let mut image = RgbImage::new(geom.width, geom.height);
     let work = if use_simd {
@@ -49,7 +50,7 @@ pub(crate) fn decode_cpu_in(
         stages::decode_region_rgb_with(prep, p.coef, 0, geom.mcus_y, &mut image.data, p.scalar)?
     };
     debug_assert_eq!(work, ParallelWork::for_mcu_rows(geom, 0, geom.mcus_y));
-    let t_par = platform.cpu.parallel_time(&work, use_simd);
+    let t_par = platform.cpu.parallel_time_sparse(&work, &classes, use_simd);
 
     let mut trace = Trace::default();
     trace.push("huffman", Resource::Cpu, 0.0, t_huff);
@@ -101,7 +102,7 @@ pub(crate) fn decode_gpu_in(
     let geom = &prep.geom;
     ws.ensure(prep);
     let p = ws.parts();
-    let (_rows, t_huff, _classes) = entropy_into(prep, platform, p.coef)?;
+    let (_rows, t_huff) = entropy_into(prep, platform, p.coef)?;
     let t_disp = platform.cpu.dispatch_time(geom, 0, geom.mcus_y);
 
     let res = decode_region_gpu_with(

@@ -30,6 +30,7 @@ use crate::platform::Platform;
 use crate::schedule::{auto, dispatch, entropy_par, DecodeOutcome, Mode};
 use crate::timeline::{Breakdown, Resource, Trace};
 use crate::workspace::{PoolStats, Workspace};
+use hetjpeg_jpeg::decoder::kernels::SimdLevel;
 use hetjpeg_jpeg::decoder::{simd, stages, Prepared};
 use hetjpeg_jpeg::error::{Error, Result};
 use hetjpeg_jpeg::types::{RgbImage, Subsampling, YccImage};
@@ -81,6 +82,11 @@ pub struct DecodeOptions {
     /// Decompression-bomb guard: images with more pixels than this are
     /// rejected before any allocation. `None` (default) disables the guard.
     pub max_pixels: Option<usize>,
+    /// Run the parallel-phase row kernels at [`SimdLevel::Scalar`] for this
+    /// call, overriding the session's one-time dispatch choice — the
+    /// testing hook that keeps the portable fallback exercised (output is
+    /// bit-identical at every level).
+    pub force_scalar_simd: bool,
 }
 
 impl Default for DecodeOptions {
@@ -90,6 +96,7 @@ impl Default for DecodeOptions {
             format: OutputFormat::Rgb,
             strictness: Strictness::Strict,
             max_pixels: None,
+            force_scalar_simd: false,
         }
     }
 }
@@ -118,6 +125,12 @@ impl DecodeOptions {
     /// Set the decompression-bomb guard.
     pub fn max_pixels(mut self, px: usize) -> Self {
         self.max_pixels = Some(px);
+        self
+    }
+
+    /// Force the scalar fallback kernels for this call (testing hook).
+    pub fn force_scalar_simd(mut self) -> Self {
+        self.force_scalar_simd = true;
         self
     }
 }
@@ -186,7 +199,9 @@ impl DecoderBuilder {
         self
     }
 
-    /// Validate the configuration up front and construct the session.
+    /// Validate the configuration up front and construct the session. The
+    /// parallel-phase kernel dispatch ([`SimdLevel`]) is resolved here,
+    /// once per session — decodes never re-detect CPU features.
     pub fn build(self) -> std::result::Result<Decoder, BuildError> {
         let platform = self.platform.unwrap_or_else(Platform::gtx560);
         let model = self.model.unwrap_or_else(|| platform.untrained_model());
@@ -227,6 +242,7 @@ impl DecoderBuilder {
             platform,
             model,
             threads,
+            simd_level: SimdLevel::detect(),
             state: Mutex::new(SessionState::default()),
         })
     }
@@ -244,7 +260,13 @@ struct AutoKey {
     width: usize,
     height: usize,
     subsampling: Subsampling,
-    /// Entropy density quantized to 1/4096 B/px.
+    /// Entropy density quantized to 1/16 B/px. The bucket must be coarse
+    /// enough that a batch of same-shaped, same-corpus images shares one
+    /// decision: the original 1/4096 quantization put every image of
+    /// BENCH_PR2's `q85_422_batch` in its own bucket (`auto_evals: 6,
+    /// auto_cache_hits: 0`), defeating the cache. Mode-choice boundaries
+    /// move slowly in `d` (Fig. 7 is a gentle line), so 1/16 B/px is still
+    /// far finer than any decision flip observed across the corpora.
     density_q: u64,
     restart_interval: usize,
     /// True when the decision was restricted to CPU-only modes.
@@ -266,6 +288,8 @@ pub struct Decoder {
     platform: Platform,
     model: PerformanceModel,
     threads: usize,
+    /// Parallel-phase kernel dispatch, detected once at build time.
+    simd_level: SimdLevel,
     state: Mutex<SessionState>,
 }
 
@@ -275,6 +299,7 @@ impl fmt::Debug for Decoder {
             .field("platform", &self.platform.name)
             .field("model", &self.model.platform)
             .field("threads", &self.threads)
+            .field("simd_level", &self.simd_level)
             .finish_non_exhaustive()
     }
 }
@@ -298,6 +323,12 @@ impl Decoder {
     /// The session's entropy worker-thread budget.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// The parallel-phase kernel dispatch this session resolved at build
+    /// time (best available unless capped by `HETJPEG_SIMD`).
+    pub fn simd_level(&self) -> SimdLevel {
+        self.simd_level
     }
 
     /// Cumulative pool/cache counters — how many allocations the session
@@ -357,6 +388,13 @@ impl Decoder {
                 return Err(Error::Unsupported("image exceeds the max_pixels guard"));
             }
         }
+        // The session's one-time dispatch choice (or the per-call
+        // force-scalar override) rides into the pooled band scratch.
+        state.ws.set_simd_level(if opts.force_scalar_simd {
+            SimdLevel::Scalar
+        } else {
+            self.simd_level
+        });
         match opts.format {
             OutputFormat::Rgb => {
                 let mode = match opts.mode {
@@ -409,7 +447,7 @@ impl Decoder {
             width: prep.geom.width,
             height: prep.geom.height,
             subsampling: prep.geom.subsampling,
-            density_q: (prep.parsed.entropy_density() * 4096.0) as u64,
+            density_q: (prep.parsed.entropy_density() * 16.0).round() as u64,
             restart_interval: prep.parsed.frame.restart_interval,
             cpu_only,
         };
@@ -440,30 +478,23 @@ impl Decoder {
         ws.ensure(prep);
         let p = ws.parts();
         let mut trace = Trace::default();
-        let t_huff = match mode {
+        let (t_huff, classes) = match mode {
             Mode::ParallelEntropy => {
                 let seg_metrics =
                     crate::exec::decode_entropy_parallel_into(prep, self.threads, p.coef)?;
-                let (wall, _classes) = entropy_par::schedule_segments(
-                    platform,
-                    &seg_metrics,
-                    self.threads,
-                    &mut trace,
-                );
-                wall
+                entropy_par::schedule_segments(platform, &seg_metrics, self.threads, &mut trace)
             }
             _ => {
-                let (_rows, total, _classes) =
-                    crate::schedule::entropy_into(prep, platform, p.coef)?;
+                let (rows, total) = crate::schedule::entropy_into(prep, platform, p.coef)?;
                 trace.push("huffman", Resource::Cpu, 0.0, total);
-                total
+                (total, crate::schedule::eob_classes_in(&rows, 0, rows.len()))
             }
         };
 
         let use_simd = mode != Mode::Sequential;
         let mut p = p;
         let (image, ycc, t_band) =
-            self.cpu_parallel_output(prep, &mut p, OutputFormat::PlanarYcc, use_simd)?;
+            self.cpu_parallel_output(prep, &mut p, OutputFormat::PlanarYcc, use_simd, &classes)?;
         trace.push(
             if use_simd { "cpu-simd" } else { "cpu-scalar" },
             Resource::Cpu,
@@ -489,13 +520,15 @@ impl Decoder {
 
     /// The whole-image CPU parallel phase for one output format, on pooled
     /// scratch: assembles the outcome's image/planes and returns the band's
-    /// virtual time. Shared by the planar path and the tolerant salvage.
+    /// virtual time (sparse-priced from `classes`). Shared by the planar
+    /// path and the tolerant salvage.
     fn cpu_parallel_output(
         &self,
         prep: &Prepared<'_>,
         p: &mut crate::workspace::WsParts<'_>,
         format: OutputFormat,
         use_simd: bool,
+        classes: &[u64; 4],
     ) -> Result<(RgbImage, Option<YccImage>, f64)> {
         let geom = &prep.geom;
         let platform = &self.platform;
@@ -521,18 +554,30 @@ impl Decoder {
                         p.scalar,
                     )?
                 };
-                Ok((image, None, platform.cpu.parallel_time(&work, use_simd)))
+                let t = platform.cpu.parallel_time_sparse(&work, classes, use_simd);
+                Ok((image, None, t))
             }
             OutputFormat::PlanarYcc => {
                 let mut ycc = YccImage::new(geom.width, geom.height);
-                let work = stages::decode_region_ycc_with(
-                    prep,
-                    p.coef,
-                    0,
-                    geom.mcus_y,
-                    &mut ycc,
-                    p.scalar,
-                )?;
+                let work = if use_simd {
+                    simd::decode_region_ycc_simd_with(
+                        prep,
+                        p.coef,
+                        0,
+                        geom.mcus_y,
+                        &mut ycc,
+                        p.simd,
+                    )?
+                } else {
+                    stages::decode_region_ycc_with(
+                        prep,
+                        p.coef,
+                        0,
+                        geom.mcus_y,
+                        &mut ycc,
+                        p.scalar,
+                    )?
+                };
                 // Planar outcomes leave `image.data` empty; `ycc` carries
                 // the pixels.
                 let image = RgbImage {
@@ -540,7 +585,9 @@ impl Decoder {
                     height: geom.height,
                     data: Vec::new(),
                 };
-                let t = platform.cpu.parallel_time_planar(&work, use_simd);
+                let t = platform
+                    .cpu
+                    .parallel_time_planar_sparse(&work, classes, use_simd);
                 Ok((image, Some(ycc), t))
             }
         }
@@ -563,11 +610,15 @@ impl Decoder {
         let mut dec = prep.entropy_decoder()?;
         let mut t_huff = 0.0;
         let mut rows_ok = 0usize;
+        let mut classes = [0u64; 4];
         while !dec.is_finished() {
             match dec.decode_mcu_row(p.coef) {
                 Ok(m) => {
                     t_huff += platform.cpu.huff_time(&m);
                     rows_ok += 1;
+                    for (a, b) in classes.iter_mut().zip(m.eob_classes) {
+                        *a += b;
+                    }
                 }
                 Err(_) => break,
             }
@@ -578,7 +629,10 @@ impl Decoder {
         trace.push("huffman", Resource::Cpu, 0.0, t_huff);
         let use_simd = mode != Mode::Sequential;
         let mut p = p;
-        let (image, ycc, t_band) = self.cpu_parallel_output(prep, &mut p, format, use_simd)?;
+        // The damaged tail rows are absent from the histogram and price as
+        // dense — conservative for a region that renders neutral gray.
+        let (image, ycc, t_band) =
+            self.cpu_parallel_output(prep, &mut p, format, use_simd, &classes)?;
         trace.push(
             if use_simd { "cpu-simd" } else { "cpu-scalar" },
             Resource::Cpu,
@@ -777,7 +831,31 @@ mod tests {
 
     #[test]
     fn batch_reuses_pools_and_auto_cache() {
-        let images: Vec<Vec<u8>> = (0..5).map(|_| jpeg_of(80, 80, 0)).collect();
+        // Distinct images (different seeds ⇒ slightly different entropy
+        // densities) of one shape: the BENCH_PR2 `q85_422_batch` scenario
+        // whose fine-grained density key used to miss the cache on every
+        // image (auto_evals: 6, auto_cache_hits: 0).
+        let images: Vec<Vec<u8>> = (0..5)
+            .map(|i| {
+                let mut rgb = Vec::with_capacity(80 * 80 * 3);
+                let mut s = 1000 + i as u32;
+                for _ in 0..80 * 80 {
+                    s = s.wrapping_mul(1664525).wrapping_add(1013904223);
+                    rgb.extend_from_slice(&[(s >> 8) as u8, (s >> 16) as u8, (s >> 24) as u8]);
+                }
+                encode_rgb(
+                    &rgb,
+                    80,
+                    80,
+                    &EncodeParams {
+                        quality: 84,
+                        subsampling: Subsampling::S422,
+                        restart_interval: 0,
+                    },
+                )
+                .unwrap()
+            })
+            .collect();
         let dec = Decoder::builder()
             .platform(Platform::gtx680())
             .build()
@@ -793,9 +871,10 @@ mod tests {
         assert_eq!(stats.coef_reuses, 4);
         assert_eq!(stats.scratch_allocs, 1);
         assert_eq!(stats.scratch_reuses, 4);
-        // Same shape + density ⇒ the Auto decision was computed once.
+        // Same shape + near-identical density ⇒ one model evaluation, every
+        // later image served from the cache.
         assert_eq!(stats.auto_evals, 1);
-        assert_eq!(stats.auto_cache_hits, 4);
+        assert_eq!(stats.auto_cache_hits, images.len() as u64 - 1);
     }
 
     #[test]

@@ -11,6 +11,7 @@
 
 use crate::gpu_decode::GpuStaging;
 use hetjpeg_jpeg::coef::CoefBuffer;
+use hetjpeg_jpeg::decoder::kernels::SimdLevel;
 use hetjpeg_jpeg::decoder::{simd, stages, Prepared};
 use hetjpeg_jpeg::geometry::Geometry;
 use hetjpeg_jpeg::types::Subsampling;
@@ -60,6 +61,10 @@ pub struct Workspace {
     scalar: Option<stages::Scratch>,
     simd: Option<simd::SimdScratch>,
     scratch_key: Option<GeomKey>,
+    /// Kernel level the SIMD scratch should dispatch to. `None` leaves the
+    /// scratch's own choice (host detection) in place; the session decoder
+    /// sets it per decode (one-time choice or force-scalar override).
+    simd_level: Option<SimdLevel>,
     pub(crate) staging: GpuStaging,
     pub(crate) stats: PoolStats,
 }
@@ -119,7 +124,16 @@ impl Workspace {
                 }
             }
         }
+        if let (Some(level), Some(si)) = (self.simd_level, self.simd.as_mut()) {
+            si.set_level(level);
+        }
         self.scratch_key = Some(key);
+    }
+
+    /// Pin the kernel level the pooled SIMD scratch dispatches to (applied
+    /// on the next [`Self::ensure`]).
+    pub(crate) fn set_simd_level(&mut self, level: SimdLevel) {
+        self.simd_level = Some(level);
     }
 
     /// [`Self::ensure`] plus a full zero of the coefficient buffer — for

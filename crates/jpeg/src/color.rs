@@ -18,17 +18,17 @@
 
 /// Fixed-point fraction bits used by the integer conversion.
 pub const SCALE_BITS: i32 = 16;
-const ONE_HALF: i32 = 1 << (SCALE_BITS - 1);
+pub(crate) const ONE_HALF: i32 = 1 << (SCALE_BITS - 1);
 
 #[inline(always)]
 const fn fix(x: f64) -> i32 {
     (x * (1i64 << SCALE_BITS) as f64 + 0.5) as i32
 }
 
-const FIX_1_40200: i32 = fix(1.40200);
-const FIX_1_77200: i32 = fix(1.77200);
-const FIX_0_71414: i32 = fix(0.71414);
-const FIX_0_34414: i32 = fix(0.34414);
+pub(crate) const FIX_1_40200: i32 = fix(1.40200);
+pub(crate) const FIX_1_77200: i32 = fix(1.77200);
+pub(crate) const FIX_0_71414: i32 = fix(0.71414);
+pub(crate) const FIX_0_34414: i32 = fix(0.34414);
 
 /// Precomputed per-value conversion tables (one entry per possible chroma
 /// byte), the layout libjpeg's `build_ycc_rgb_table` uses.

@@ -12,8 +12,11 @@
 //!    bit-identical) variants.
 //!
 //! [`decode`] and [`decode_simd`] are the two single-device reference
-//! decoders the paper calls "sequential" and "SIMD" mode.
+//! decoders the paper calls "sequential" and "SIMD" mode. The SIMD path
+//! runs the row-tile pipeline on runtime-dispatched vector kernels
+//! ([`kernels`]); both paths produce identical bytes.
 
+pub mod kernels;
 pub mod simd;
 pub mod stages;
 

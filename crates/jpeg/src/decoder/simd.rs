@@ -1,36 +1,43 @@
-//! Optimized ("SIMD-mode") parallel phase.
+//! Optimized ("SIMD-mode") parallel phase: the fused row-tile pipeline on
+//! runtime-dispatched vector kernels.
 //!
 //! Libjpeg-turbo accelerates everything but Huffman decoding with
 //! hand-written SIMD (paper §1: about 2× the sequential decoder overall).
-//! This module is our stand-in: the same arithmetic as [`super::stages`]
-//! restructured for throughput — MCU-row-local scratch buffers instead of
-//! whole-image planes, EOB-dispatched sparse IDCT fused with
-//! dequantization and the plane store ([`crate::dct::sparse`]),
-//! table-driven color conversion, flat `chunks_exact` loops the compiler
-//! can autovectorize, and fused upsample+convert per row (the CPU analogue
-//! of the merged GPU kernel of §4.4). Output bytes are **identical** to the
-//! scalar path; only host-side speed differs. The platform cost model
-//! charges this path with the calibrated SIMD per-unit costs (see
-//! `hetjpeg-core`).
+//! This module is our equivalent, structured as a **row-tile pipeline**:
+//! dequantize + IDCT one MCU row into MCU-row-local scratch planes (the
+//! EOB-dispatched fused pass of [`crate::dct::sparse`]), then upsample and
+//! color-convert each pixel row of that tile while it is still cache-hot —
+//! the CPU analogue of the merged GPU kernel of §4.4, with no full-image
+//! intermediate plane between the stages. The upsample and color kernels
+//! are real SSE2/AVX2 vector code ([`super::kernels`]) behind a
+//! [`SimdLevel`] chosen once per decoder session, with the scalar stage
+//! code as the portable fallback. Output bytes are **identical** to the
+//! scalar path at every level; only host-side speed differs. The platform
+//! cost model charges this path with the calibrated per-stage SIMD costs
+//! (see `hetjpeg-core`).
 //!
 //! The scratch is public ([`SimdScratch`]) so callers that decode many
 //! bands in a loop can hold one workspace across calls via
 //! [`decode_region_rgb_simd_with`] and keep their steady state
 //! allocation-free; the single-band-per-decode callers (the schedulers,
 //! the threaded executor's CPU band) use the allocating wrapper, where
-//! reuse has nothing to amortize.
+//! reuse has nothing to amortize. The planar-YCbCr output path
+//! ([`decode_region_ycc_simd_with`]) shares the same tiling and scratch.
 
 use crate::coef::CoefBuffer;
-use crate::color::{ycc_to_rgb_tab, YccTables};
 use crate::dct::sparse::dequant_idct_to;
+use crate::decoder::kernels::{self, SimdLevel};
 use crate::decoder::Prepared;
 use crate::error::{Error, Result};
 use crate::metrics::ParallelWork;
-use crate::sample::{upsample_row_h2v1_blockwise, upsample_v2_pair};
-use crate::types::Subsampling;
+use crate::types::{Subsampling, YccImage};
 
-/// MCU-row-local scratch buffers, reused across bands and decodes.
+/// MCU-row-local scratch buffers plus the session's one-time kernel
+/// dispatch choice, reused across bands and decodes.
 pub struct SimdScratch {
+    /// Vector instruction set the row kernels run on; chosen at
+    /// construction (or via [`Self::set_level`]), not per row.
+    level: SimdLevel,
     /// Luma samples: `luma_width x mcu_h`.
     y: Vec<u8>,
     /// Subsampled chroma: `chroma_width x (8 * v_chroma)` each.
@@ -44,12 +51,21 @@ pub struct SimdScratch {
 }
 
 impl SimdScratch {
-    /// Allocate scratch sized for one MCU row of `prep`'s geometry.
+    /// Allocate scratch sized for one MCU row of `prep`'s geometry, with
+    /// the host's best detected kernel level.
     pub fn new(prep: &Prepared<'_>) -> Self {
+        Self::with_level(prep, SimdLevel::detect())
+    }
+
+    /// Allocate scratch with an explicit kernel level (tests, forced-scalar
+    /// sessions). An unavailable level is clamped to the host's best
+    /// ([`SimdLevel::clamp_to_host`]), never executed.
+    pub fn with_level(prep: &Prepared<'_>, level: SimdLevel) -> Self {
         let lw = prep.geom.comps[0].plane_width();
         let cw = prep.geom.comps[1].plane_width();
         let mcu_h = prep.geom.mcu_h;
         SimdScratch {
+            level: level.clamp_to_host(),
             y: vec![0; lw * mcu_h],
             cb: vec![0; cw * 8],
             cr: vec![0; cw * 8],
@@ -59,8 +75,19 @@ impl SimdScratch {
         }
     }
 
+    /// The kernel level this scratch dispatches to.
+    pub fn level(&self) -> SimdLevel {
+        self.level
+    }
+
+    /// Override the kernel level (the session decoder's force-scalar hook);
+    /// clamped to what the host can run.
+    pub fn set_level(&mut self, level: SimdLevel) {
+        self.level = level.clamp_to_host();
+    }
+
     /// Re-shape the scratch for another image, reusing the allocations —
-    /// the session decoder's pool hook.
+    /// the session decoder's pool hook. The dispatch choice is retained.
     pub fn reset_for(&mut self, prep: &Prepared<'_>) {
         let lw = prep.geom.comps[0].plane_width();
         let cw = prep.geom.comps[1].plane_width();
@@ -75,6 +102,53 @@ impl SimdScratch {
         ] {
             buf.clear();
             buf.resize(len, 0);
+        }
+    }
+
+    /// Upsample the chroma of pixel row `local` (tile-local) into the
+    /// full-resolution row buffers, dispatched on the scratch's level.
+    fn upsample_local_row(&mut self, sub: Subsampling, cw: usize, local: usize) {
+        match sub {
+            Subsampling::S444 => {
+                self.cb_row
+                    .copy_from_slice(&self.cb[local * cw..local * cw + cw]);
+                self.cr_row
+                    .copy_from_slice(&self.cr[local * cw..local * cw + cw]);
+            }
+            Subsampling::S422 => {
+                kernels::upsample_row_h2v1(
+                    self.level,
+                    &self.cb[local * cw..local * cw + cw],
+                    &mut self.cb_row,
+                );
+                kernels::upsample_row_h2v1(
+                    self.level,
+                    &self.cr[local * cw..local * cw + cw],
+                    &mut self.cr_row,
+                );
+            }
+            Subsampling::S420 => {
+                // Blockwise vertical neighbour: stay inside the tile's
+                // 8-row chroma block (edge rows blend with themselves,
+                // i.e. replicate — same arithmetic as the scalar stage).
+                let cy = local / 2;
+                let neighbour = if local.is_multiple_of(2) {
+                    cy.saturating_sub(1)
+                } else {
+                    (cy + 1).min(7)
+                };
+                for c in 0..2 {
+                    let (plane, dst) = if c == 0 {
+                        (&self.cb, &mut self.cb_row)
+                    } else {
+                        (&self.cr, &mut self.cr_row)
+                    };
+                    let near = &plane[cy * cw..cy * cw + cw];
+                    let far = &plane[neighbour * cw..neighbour * cw + cw];
+                    kernels::blend_v2_row(self.level, near, far, &mut self.vtmp);
+                    kernels::upsample_row_h2v1(self.level, &self.vtmp, dst);
+                }
+            }
         }
     }
 }
@@ -103,6 +177,7 @@ pub fn decode_region_rgb_simd_with(
     let lw = geom.comps[0].plane_width();
     let cw = geom.comps[1].plane_width();
     let ycc = &prep.ycc;
+    let level = scratch.level;
 
     for mcu_row in start..end {
         idct_mcu_row(prep, coef, mcu_row, scratch);
@@ -110,56 +185,10 @@ pub fn decode_region_rgb_simd_with(
         let (py0, py1) = geom.mcu_rows_to_pixel_rows(mcu_row, mcu_row + 1);
         for y in py0..py1 {
             let local = y - mcu_row * geom.mcu_h;
+            scratch.upsample_local_row(geom.subsampling, cw, local);
             let yrow = &scratch.y[local * lw..local * lw + lw];
-
-            // Upsample chroma for this pixel row into the row buffers.
-            match geom.subsampling {
-                Subsampling::S444 => {
-                    scratch
-                        .cb_row
-                        .copy_from_slice(&scratch.cb[local * cw..local * cw + cw]);
-                    scratch
-                        .cr_row
-                        .copy_from_slice(&scratch.cr[local * cw..local * cw + cw]);
-                }
-                Subsampling::S422 => {
-                    upsample_row_h2v1_blockwise(
-                        &scratch.cb[local * cw..local * cw + cw],
-                        &mut scratch.cb_row,
-                    );
-                    upsample_row_h2v1_blockwise(
-                        &scratch.cr[local * cw..local * cw + cw],
-                        &mut scratch.cr_row,
-                    );
-                }
-                Subsampling::S420 => {
-                    let cy = local / 2;
-                    let neighbour = if local.is_multiple_of(2) {
-                        cy.saturating_sub(1)
-                    } else {
-                        (cy + 1).min(7)
-                    };
-                    for c in 0..2 {
-                        let (plane, dst) = if c == 0 {
-                            (&scratch.cb, &mut scratch.cb_row)
-                        } else {
-                            (&scratch.cr, &mut scratch.cr_row)
-                        };
-                        let near = &plane[cy * cw..cy * cw + cw];
-                        let far = &plane[neighbour * cw..neighbour * cw + cw];
-                        for ((t, &n), &f) in
-                            scratch.vtmp.iter_mut().zip(near.iter()).zip(far.iter())
-                        {
-                            *t = upsample_v2_pair(n, f);
-                        }
-                        upsample_row_h2v1_blockwise(&scratch.vtmp, dst);
-                    }
-                }
-            }
-
-            // Fused color conversion with LUTs.
             let row_out = &mut out[(y - r0) * w * 3..(y - r0 + 1) * w * 3];
-            convert_row(ycc, yrow, &scratch.cb_row, &scratch.cr_row, row_out);
+            kernels::convert_row(level, ycc, yrow, &scratch.cb_row, &scratch.cr_row, row_out);
         }
     }
     Ok(ParallelWork::for_mcu_rows(geom, start, end))
@@ -177,6 +206,45 @@ pub fn decode_region_rgb_simd(
 ) -> Result<ParallelWork> {
     let mut scratch = SimdScratch::new(prep);
     decode_region_rgb_simd_with(prep, coef, start, end, out, &mut scratch)
+}
+
+/// The row-tile pipeline stopping *before* color conversion: dequant +
+/// IDCT + chroma upsampling per tile, writing full-resolution Y/Cb/Cr
+/// planes for the band's pixel rows into `out` (which must span the whole
+/// image). Bit-identical to [`super::stages::decode_region_ycc_with`] —
+/// and [`crate::types::YccImage::to_rgb`] recovers the exact RGB bytes of
+/// [`decode_region_rgb_simd_with`].
+pub fn decode_region_ycc_simd_with(
+    prep: &Prepared<'_>,
+    coef: &CoefBuffer,
+    start: usize,
+    end: usize,
+    out: &mut YccImage,
+    scratch: &mut SimdScratch,
+) -> Result<ParallelWork> {
+    let geom = &prep.geom;
+    if out.width != geom.width || out.height != geom.height {
+        return Err(Error::BufferSize {
+            expected: geom.width * geom.height,
+            got: out.width * out.height,
+        });
+    }
+    let w = geom.width;
+    let lw = geom.comps[0].plane_width();
+    let cw = geom.comps[1].plane_width();
+
+    for mcu_row in start..end {
+        idct_mcu_row(prep, coef, mcu_row, scratch);
+        let (py0, py1) = geom.mcu_rows_to_pixel_rows(mcu_row, mcu_row + 1);
+        for y in py0..py1 {
+            let local = y - mcu_row * geom.mcu_h;
+            scratch.upsample_local_row(geom.subsampling, cw, local);
+            out.y[y * w..(y + 1) * w].copy_from_slice(&scratch.y[local * lw..local * lw + w]);
+            out.cb[y * w..(y + 1) * w].copy_from_slice(&scratch.cb_row[..w]);
+            out.cr[y * w..(y + 1) * w].copy_from_slice(&scratch.cr_row[..w]);
+        }
+    }
+    Ok(ParallelWork::for_mcu_rows(geom, start, end))
 }
 
 /// Dequantize + IDCT all blocks of one MCU row into the scratch planes,
@@ -213,23 +281,6 @@ fn idct_mcu_row(prep: &Prepared<'_>, coef: &CoefBuffer, mcu_row: usize, scratch:
     }
 }
 
-/// Table-driven YCbCr→RGB for one row; bit-identical to
-/// [`crate::color::ycc_to_rgb`].
-#[inline]
-fn convert_row(ycc: &YccTables, yrow: &[u8], cb: &[u8], cr: &[u8], out: &mut [u8]) {
-    let w = out.len() / 3;
-    // Iterate without bounds checks: zip the exact-width slices.
-    for (((&yv, &cbv), &crv), px) in yrow[..w]
-        .iter()
-        .zip(cb[..w].iter())
-        .zip(cr[..w].iter())
-        .zip(out.chunks_exact_mut(3))
-    {
-        let rgb = ycc_to_rgb_tab(ycc, yv, cbv, crv);
-        px.copy_from_slice(&rgb);
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -249,7 +300,7 @@ mod tests {
     }
 
     #[test]
-    fn simd_band_equals_scalar_band() {
+    fn simd_band_equals_scalar_band_at_every_level() {
         for sub in [Subsampling::S444, Subsampling::S422, Subsampling::S420] {
             let (w, h) = (48usize, 48usize);
             let jpeg = encode_rgb(
@@ -265,23 +316,69 @@ mod tests {
             .unwrap();
             let prep = Prepared::new(&jpeg).unwrap();
             let (coef, _) = prep.entropy_decode_all().unwrap();
-            let mut scratch = SimdScratch::new(&prep);
-            for (a, b) in [(0usize, 1usize), (1, 3), (0, prep.geom.mcus_y)] {
-                let bytes = prep.geom.rgb_bytes_in_mcu_rows(a, b);
-                let mut scalar = vec![0u8; bytes];
-                let mut simd = vec![0u8; bytes];
-                let mut simd_reused = vec![0u8; bytes];
-                stages::decode_region_rgb(&prep, &coef, a, b, &mut scalar).unwrap();
-                decode_region_rgb_simd(&prep, &coef, a, b, &mut simd).unwrap();
-                decode_region_rgb_simd_with(&prep, &coef, a, b, &mut simd_reused, &mut scratch)
-                    .unwrap();
-                assert_eq!(scalar, simd, "{} band {a}..{b}", sub.notation());
-                assert_eq!(
-                    scalar,
-                    simd_reused,
-                    "{} reused band {a}..{b}",
-                    sub.notation()
-                );
+            for level in SimdLevel::all_available() {
+                let mut scratch = SimdScratch::with_level(&prep, level);
+                for (a, b) in [(0usize, 1usize), (1, 3), (0, prep.geom.mcus_y)] {
+                    let bytes = prep.geom.rgb_bytes_in_mcu_rows(a, b);
+                    let mut scalar = vec![0u8; bytes];
+                    let mut simd = vec![0u8; bytes];
+                    stages::decode_region_rgb(&prep, &coef, a, b, &mut scalar).unwrap();
+                    decode_region_rgb_simd_with(&prep, &coef, a, b, &mut simd, &mut scratch)
+                        .unwrap();
+                    assert_eq!(
+                        scalar,
+                        simd,
+                        "{} {} band {a}..{b}",
+                        sub.notation(),
+                        level.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn planar_tile_path_matches_scalar_planar() {
+        for sub in [Subsampling::S444, Subsampling::S422, Subsampling::S420] {
+            let (w, h) = (52usize, 41usize); // non-MCU-aligned on purpose
+            let jpeg = encode_rgb(
+                &textured_rgb(w, h),
+                w as u32,
+                h as u32,
+                &EncodeParams {
+                    quality: 75,
+                    subsampling: sub,
+                    restart_interval: 0,
+                },
+            )
+            .unwrap();
+            let prep = Prepared::new(&jpeg).unwrap();
+            let (coef, _) = prep.entropy_decode_all().unwrap();
+            let mut want = YccImage::new(w, h);
+            let mut scalar_scratch = stages::Scratch::new(&prep);
+            stages::decode_region_ycc_with(
+                &prep,
+                &coef,
+                0,
+                prep.geom.mcus_y,
+                &mut want,
+                &mut scalar_scratch,
+            )
+            .unwrap();
+            for level in SimdLevel::all_available() {
+                let mut scratch = SimdScratch::with_level(&prep, level);
+                let mut got = YccImage::new(w, h);
+                // Two bands to exercise band composition.
+                let mid = prep.geom.mcus_y / 2;
+                for (a, b) in [(0, mid), (mid, prep.geom.mcus_y)] {
+                    if a < b {
+                        decode_region_ycc_simd_with(&prep, &coef, a, b, &mut got, &mut scratch)
+                            .unwrap();
+                    }
+                }
+                assert_eq!(got.y, want.y, "{} {} Y", sub.notation(), level.name());
+                assert_eq!(got.cb, want.cb, "{} {} Cb", sub.notation(), level.name());
+                assert_eq!(got.cr, want.cr, "{} {} Cr", sub.notation(), level.name());
             }
         }
     }
@@ -311,6 +408,35 @@ mod tests {
     }
 
     #[test]
+    fn scratch_reuse_and_level_retention() {
+        let (w, h) = (40usize, 24usize);
+        let jpeg = encode_rgb(
+            &textured_rgb(w, h),
+            w as u32,
+            h as u32,
+            &EncodeParams {
+                quality: 85,
+                subsampling: Subsampling::S420,
+                restart_interval: 0,
+            },
+        )
+        .unwrap();
+        let prep = Prepared::new(&jpeg).unwrap();
+        let (coef, _) = prep.entropy_decode_all().unwrap();
+        let mut scratch = SimdScratch::with_level(&prep, SimdLevel::Scalar);
+        assert_eq!(scratch.level(), SimdLevel::Scalar);
+        scratch.reset_for(&prep);
+        assert_eq!(scratch.level(), SimdLevel::Scalar, "reset keeps the choice");
+        let bytes = prep.geom.rgb_bytes_in_mcu_rows(0, prep.geom.mcus_y);
+        let mut fresh = vec![0u8; bytes];
+        let mut reused = vec![0u8; bytes];
+        decode_region_rgb_simd(&prep, &coef, 0, prep.geom.mcus_y, &mut fresh).unwrap();
+        decode_region_rgb_simd_with(&prep, &coef, 0, prep.geom.mcus_y, &mut reused, &mut scratch)
+            .unwrap();
+        assert_eq!(fresh, reused);
+    }
+
+    #[test]
     fn rejects_bad_output_buffer() {
         let (w, h) = (16usize, 16usize);
         let jpeg = encode_rgb(
@@ -328,5 +454,8 @@ mod tests {
         let (coef, _) = prep.entropy_decode_all().unwrap();
         let mut tiny = vec![0u8; 10];
         assert!(decode_region_rgb_simd(&prep, &coef, 0, 1, &mut tiny).is_err());
+        let mut wrong = YccImage::new(8, 8);
+        let mut scratch = SimdScratch::new(&prep);
+        assert!(decode_region_ycc_simd_with(&prep, &coef, 0, 1, &mut wrong, &mut scratch).is_err());
     }
 }

@@ -99,6 +99,19 @@ fn batch_decode_amortizes_pools_across_many_images() {
     assert_eq!(stats.scratch_allocs, 1);
     assert_eq!(stats.scratch_reuses, 7);
 
+    // The same batch through Mode::Auto: identical shape (distinct seeds,
+    // so only near-identical densities) must evaluate the model once and
+    // serve every other image from the decision cache.
+    let outs = decoder.decode_batch(&images, DecodeOptions::default());
+    assert!(outs.iter().all(|o| o.is_ok()));
+    let stats = decoder.pool_stats();
+    assert_eq!(stats.auto_evals, 1, "one Auto evaluation for the batch");
+    assert_eq!(
+        stats.auto_cache_hits,
+        images.len() as u64 - 1,
+        "every later same-shape image hits the Auto cache"
+    );
+
     // A shape change re-shapes in place rather than allocating a new pool.
     let other = noise_jpeg(64, 64, 85, Subsampling::S422, 0, 9);
     decoder
@@ -106,7 +119,7 @@ fn batch_decode_amortizes_pools_across_many_images() {
         .expect("decode");
     let stats = decoder.pool_stats();
     assert_eq!(stats.coef_allocs, 1);
-    assert_eq!(stats.coef_reuses, 8);
+    assert_eq!(stats.coef_reuses, 2 * images.len() as u64);
 }
 
 #[test]
@@ -175,6 +188,86 @@ fn planar_through_parallel_entropy_matches_too() {
         .expect("planar decode");
     let reference = hetjpeg_jpeg::decoder::decode(&jpeg).expect("reference");
     assert_eq!(out.planar().unwrap().to_rgb().data, reference.data);
+}
+
+#[test]
+fn session_dispatch_choice_is_honored_and_force_scalar_matches() {
+    // The kernel dispatch is resolved once at build time; the per-call
+    // force-scalar override swaps in the portable fallback, and both paths
+    // must produce identical bytes for every mode and output format.
+    use hetjpeg_core::SimdLevel;
+    let decoder = Decoder::builder()
+        .platform(Platform::gtx560())
+        .threads(4)
+        .build()
+        .expect("valid configuration");
+    assert_eq!(
+        decoder.simd_level(),
+        SimdLevel::detect(),
+        "session resolves the host's one-time dispatch choice at build"
+    );
+    for (jpeg_idx, jpeg) in [
+        noise_jpeg(120, 88, 80, Subsampling::S420, 3, 21),
+        noise_jpeg(97, 61, 90, Subsampling::S422, 0, 22), // odd dims
+    ]
+    .iter()
+    .enumerate()
+    {
+        for mode in [Mode::Simd, Mode::Sps, Mode::Pps, Mode::ParallelEntropy] {
+            let fast = decoder
+                .decode(jpeg, DecodeOptions::with_mode(mode))
+                .expect("decode");
+            let forced = decoder
+                .decode(jpeg, DecodeOptions::with_mode(mode).force_scalar_simd())
+                .expect("forced-scalar decode");
+            assert_eq!(
+                fast.image.data, forced.image.data,
+                "image {jpeg_idx} {mode:?}: forced-scalar bytes differ"
+            );
+        }
+        // Planar output through the row-tile SIMD path vs forced scalar.
+        let planar = DecodeOptions::with_mode(Mode::Simd).format(OutputFormat::PlanarYcc);
+        let fast = decoder.decode(jpeg, planar).expect("planar");
+        let forced = decoder
+            .decode(jpeg, planar.force_scalar_simd())
+            .expect("planar forced");
+        assert_eq!(
+            fast.planar().unwrap().to_rgb().data,
+            forced.planar().unwrap().to_rgb().data,
+            "image {jpeg_idx}: planar forced-scalar bytes differ"
+        );
+    }
+}
+
+#[test]
+fn tolerant_salvage_at_odd_dimensions_matches_forced_scalar() {
+    // Truncated streams at 1-px-odd dimensions: the salvage pass runs the
+    // row-tile pipeline over an image whose tail rows never saw entropy
+    // data (zero coefficients → neutral gray). The vector kernels must
+    // neither read past the plane edges nor diverge from the scalar
+    // fallback on the damaged tail.
+    let decoder = Decoder::builder().build().expect("valid configuration");
+    for sub in [Subsampling::S444, Subsampling::S422, Subsampling::S420] {
+        for (w, h) in [(17usize, 33usize), (33, 17), (49, 49)] {
+            let mut jpeg = noise_jpeg(w, h, 82, sub, 2, (w * 100 + h) as u32);
+            jpeg.truncate(jpeg.len() - jpeg.len() / 3);
+            let opts = DecodeOptions::with_mode(Mode::Simd).tolerant();
+            let fast = decoder.decode(&jpeg, opts).expect("tolerant decode");
+            let forced = decoder
+                .decode(&jpeg, opts.force_scalar_simd())
+                .expect("tolerant forced-scalar decode");
+            assert!(fast.truncated, "{w}x{h} {} should salvage", sub.notation());
+            assert_eq!(
+                fast.image.data,
+                forced.image.data,
+                "{w}x{h} {}: salvaged bytes differ between levels",
+                sub.notation()
+            );
+            // The damaged tail renders neutral gray.
+            let last_px = &fast.image.data[(h - 1) * w * 3..(h - 1) * w * 3 + 3];
+            assert_eq!(last_px, &[128, 128, 128], "{w}x{h} {}", sub.notation());
+        }
+    }
 }
 
 #[test]
