@@ -42,24 +42,10 @@ pub struct ThreadedOutcome {
     pub gpu_mcu_rows: usize,
 }
 
-/// Decode with a real two-thread pipeline: entropy+CPU-band on the calling
-/// thread, GPU kernels on a worker fed through a bounded channel with
-/// pooled chunk buffers.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `hetjpeg_core::Decoder::decode_threaded` — the session owns \
-            the platform and model"
-)]
-pub fn decode_pps_threaded(
-    data: &[u8],
-    platform: &Platform,
-    model: &PerformanceModel,
-) -> Result<ThreadedOutcome> {
-    decode_pps_threaded_impl(data, platform, model)
-}
-
-/// Implementation of the real-thread pipeline, shared by the session API
-/// and the deprecated free function.
+/// Implementation of the real-thread pipeline behind
+/// [`crate::session::Decoder::decode_threaded`]: entropy+CPU-band on the
+/// calling thread, GPU kernels on a worker fed through a bounded channel
+/// with pooled chunk buffers.
 pub(crate) fn decode_pps_threaded_impl(
     data: &[u8],
     platform: &Platform,

@@ -61,6 +61,8 @@
 //! assert!(outs.iter().all(|o| o.is_ok()));
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod cost;
 pub mod exec;
 pub mod gpu_decode;
@@ -79,8 +81,8 @@ pub mod workspace;
 pub use hetjpeg_jpeg::decoder::kernels::SimdLevel;
 pub use platform::Platform;
 pub use schedule::{DecodeOutcome, Mode};
-pub use session::{BuildError, DecodeOptions, Decoder, DecoderBuilder, OutputFormat, Strictness};
+pub use session::{
+    BuildError, DecodeOptions, Decoder, DecoderBuilder, OutputFormat, SessionStats, Strictness,
+    DEFAULT_AUTO_CACHE_CAP,
+};
 pub use workspace::PoolStats;
-
-#[allow(deprecated)]
-pub use schedule::decode_with_mode;

@@ -1,7 +1,6 @@
 //! Heterogeneous decode modes: SPS (§5.2.1) and PPS (§5.2.2).
 //!
-//! The `*_in` functions are the implementations on pooled scratch; the
-//! original free functions remain as thin deprecated wrappers.
+//! The `*_in` functions are the implementations on pooled scratch.
 
 use super::{entropy_into, eob_classes_in, DecodeOutcome, Mode};
 use crate::gpu_decode::{decode_region_gpu_with, GpuStaging, KernelPlan};
@@ -16,18 +15,9 @@ use hetjpeg_jpeg::error::Result;
 use hetjpeg_jpeg::metrics::ParallelWork;
 use hetjpeg_jpeg::types::RgbImage;
 
-/// SPS: Huffman-decode everything, then split the parallel phase between
-/// GPU (initial rows) and CPU SIMD (final rows) at the Eq. 10 balance point.
-#[deprecated(since = "0.2.0", note = "use `hetjpeg_core::Decoder` with `Mode::Sps`")]
-pub fn decode_sps(
-    prep: &Prepared<'_>,
-    platform: &Platform,
-    model: &PerformanceModel,
-) -> Result<DecodeOutcome> {
-    decode_sps_in(prep, platform, model, &mut Workspace::default())
-}
-
-/// SPS on pooled scratch.
+/// SPS on pooled scratch: Huffman-decode everything, then split the
+/// parallel phase between GPU (initial rows) and CPU SIMD (final rows) at
+/// the Eq. 10 balance point.
 pub(crate) fn decode_sps_in(
     prep: &Prepared<'_>,
     platform: &Platform,
@@ -109,43 +99,13 @@ pub(crate) fn decode_sps_in(
     })
 }
 
-/// PPS: the GPU share is entropy-decoded in chunks and dispatched
-/// asynchronously (overlapping Huffman with kernels, Fig. 8c); before the
-/// last GPU chunk the split is re-balanced from the *measured* Huffman
-/// progress (Eq. 16–17).
-#[deprecated(since = "0.2.0", note = "use `hetjpeg_core::Decoder` with `Mode::Pps`")]
-pub fn decode_pps(
-    prep: &Prepared<'_>,
-    platform: &Platform,
-    model: &PerformanceModel,
-) -> Result<DecodeOutcome> {
-    decode_pps_in(prep, platform, model, true, &mut Workspace::default())
-}
-
-/// PPS with the Eq. 16/17 re-partitioning step optionally disabled — the
-/// §5.2.2 ablation: on images whose entropy is skewed along the scan
-/// direction, disabling it leaves the initial (uniform-density) split in
-/// place and the slower side dominates.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `hetjpeg_core::Decoder`; the ablation flag lives on `decode_pps_in`"
-)]
-pub fn decode_pps_with(
-    prep: &Prepared<'_>,
-    platform: &Platform,
-    model: &PerformanceModel,
-    repartition_enabled: bool,
-) -> Result<DecodeOutcome> {
-    decode_pps_in(
-        prep,
-        platform,
-        model,
-        repartition_enabled,
-        &mut Workspace::default(),
-    )
-}
-
-/// PPS on pooled scratch, with the Eq. 16/17 re-partitioning toggle.
+/// PPS on pooled scratch: the GPU share is entropy-decoded in chunks and
+/// dispatched asynchronously (overlapping Huffman with kernels, Fig. 8c);
+/// before the last GPU chunk the split is re-balanced from the *measured*
+/// Huffman progress (Eq. 16–17). Setting `repartition_enabled` to false is
+/// the §5.2.2 ablation: on images whose entropy is skewed along the scan
+/// direction, the initial (uniform-density) split stays in place and the
+/// slower side dominates.
 pub(crate) fn decode_pps_in(
     prep: &Prepared<'_>,
     platform: &Platform,

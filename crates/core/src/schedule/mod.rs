@@ -8,14 +8,15 @@
 //! paper's figures are regenerated.
 //!
 //! The entry point is the session API ([`crate::session::Decoder`]), which
-//! owns the platform, the trained model and the pooled scratch. The
-//! free-function form ([`decode_with_mode`]) remains as a deprecated
-//! wrapper for one release.
+//! owns the platform, the trained model and the pooled scratch. (The
+//! pre-session free functions — `decode_with_mode` and the
+//! `single`/`hetero` wrappers — were removed in PR 4 after one release of
+//! deprecation; see docs/API.md for the migration table.)
 
 pub mod auto;
 pub mod entropy_par;
-pub mod hetero;
-pub mod single;
+pub(crate) mod hetero;
+pub(crate) mod single;
 
 use crate::model::PerformanceModel;
 use crate::partition::Partition;
@@ -27,9 +28,8 @@ use hetjpeg_jpeg::decoder::Prepared;
 use hetjpeg_jpeg::error::Result;
 use hetjpeg_jpeg::types::{RgbImage, YccImage};
 
-/// Worker count used for [`Mode::ParallelEntropy`] when decoding through
-/// the deprecated free functions; the session API makes it configurable
-/// (`Decoder::builder().threads(n)`).
+/// Default worker count for [`Mode::ParallelEntropy`]; the session API
+/// makes it configurable (`Decoder::builder().threads(n)`).
 pub const DEFAULT_ENTROPY_THREADS: usize = 4;
 
 /// Decode mode selector: the paper's six decoder versions (§6), the
@@ -154,32 +154,6 @@ impl DecodeOutcome {
     pub fn planar(&self) -> Option<&YccImage> {
         self.ycc.as_ref()
     }
-}
-
-/// Decode `data` under `mode` on `platform`, using `model` for the
-/// partitioning decisions.
-#[deprecated(
-    since = "0.2.0",
-    note = "build a `hetjpeg_core::Decoder` session and call `decode` — it \
-            reuses pooled buffers across images and supports `Mode::Auto`; \
-            see docs/API.md for the migration table"
-)]
-pub fn decode_with_mode(
-    data: &[u8],
-    mode: Mode,
-    platform: &Platform,
-    model: &PerformanceModel,
-) -> Result<DecodeOutcome> {
-    let prep = Prepared::new(data)?;
-    let mut ws = Workspace::default();
-    dispatch(
-        &prep,
-        mode,
-        platform,
-        model,
-        DEFAULT_ENTROPY_THREADS,
-        &mut ws,
-    )
 }
 
 /// Route one prepared image through the requested mode, resolving

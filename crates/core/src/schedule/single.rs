@@ -1,9 +1,8 @@
 //! Single-device decode modes: sequential, SIMD, GPU, pipelined GPU.
 //!
-//! The `*_in` functions are the implementations; they draw every band- and
-//! chunk-sized temporary from the caller's pooled [`Workspace`], so a
-//! session decoding many images allocates the big buffers once. The
-//! original free functions remain as thin deprecated wrappers.
+//! The `*_in` functions draw every band- and chunk-sized temporary from
+//! the caller's pooled [`Workspace`], so a session decoding many images
+//! allocates the big buffers once.
 
 use super::{entropy_into, eob_classes_in, DecodeOutcome, Mode};
 use crate::gpu_decode::{decode_region_gpu_with, KernelPlan};
@@ -16,19 +15,6 @@ use hetjpeg_jpeg::decoder::{simd, stages, Prepared};
 use hetjpeg_jpeg::error::Result;
 use hetjpeg_jpeg::metrics::ParallelWork;
 use hetjpeg_jpeg::types::RgbImage;
-
-/// CPU-only decoding, scalar or SIMD path.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `hetjpeg_core::Decoder` with `Mode::Sequential`/`Mode::Simd`"
-)]
-pub fn decode_cpu(
-    prep: &Prepared<'_>,
-    platform: &Platform,
-    use_simd: bool,
-) -> Result<DecodeOutcome> {
-    decode_cpu_in(prep, platform, use_simd, &mut Workspace::default())
-}
 
 /// CPU-only decoding, scalar or SIMD path, on pooled scratch.
 pub(crate) fn decode_cpu_in(
@@ -81,18 +67,9 @@ pub(crate) fn decode_cpu_in(
     })
 }
 
-/// GPU mode (Fig. 5a): whole-image Huffman on the CPU, then the full
-/// parallel phase as one transfer + kernel sequence on the GPU.
-#[deprecated(since = "0.2.0", note = "use `hetjpeg_core::Decoder` with `Mode::Gpu`")]
-pub fn decode_gpu(
-    prep: &Prepared<'_>,
-    platform: &Platform,
-    model: &PerformanceModel,
-) -> Result<DecodeOutcome> {
-    decode_gpu_in(prep, platform, model, &mut Workspace::default())
-}
-
-/// GPU mode on pooled scratch.
+/// GPU mode (Fig. 5a) on pooled scratch: whole-image Huffman on the CPU,
+/// then the full parallel phase as one transfer + kernel sequence on the
+/// GPU.
 pub(crate) fn decode_gpu_in(
     prep: &Prepared<'_>,
     platform: &Platform,
@@ -153,22 +130,9 @@ pub(crate) fn decode_gpu_in(
     })
 }
 
-/// Pipelined GPU mode (Fig. 5b, §4.5): the image is sliced into chunks;
-/// each chunk's entropy data is shipped to the GPU as soon as it is
-/// decoded, overlapping Huffman with kernels.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `hetjpeg_core::Decoder` with `Mode::PipelinedGpu`"
-)]
-pub fn decode_pipelined_gpu(
-    prep: &Prepared<'_>,
-    platform: &Platform,
-    model: &PerformanceModel,
-) -> Result<DecodeOutcome> {
-    decode_pipelined_gpu_in(prep, platform, model, &mut Workspace::default())
-}
-
-/// Pipelined GPU mode on pooled scratch.
+/// Pipelined GPU mode (Fig. 5b, §4.5) on pooled scratch: the image is
+/// sliced into chunks; each chunk's entropy data is shipped to the GPU as
+/// soon as it is decoded, overlapping Huffman with kernels.
 pub(crate) fn decode_pipelined_gpu_in(
     prep: &Prepared<'_>,
     platform: &Platform,

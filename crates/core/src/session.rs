@@ -42,6 +42,15 @@ use std::sync::Mutex;
 /// plausible host, low enough to catch garbage configuration up front.
 pub const MAX_THREADS: usize = 256;
 
+/// Default entry cap for the per-session `Mode::Auto` decision cache.
+///
+/// Each entry is one (shape, density bucket, restart interval) key mapped
+/// to a [`Mode`] — a few dozen bytes — so the cap exists to bound a
+/// pathological workload (every image a new shape, e.g. an adversarial
+/// upload stream), not memory pressure under normal traffic. 128 distinct
+/// shapes comfortably covers a real gallery/thumbnail mix.
+pub const DEFAULT_AUTO_CACHE_CAP: usize = 128;
+
 /// Pixel-format of the decoded output.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum OutputFormat {
@@ -150,6 +159,9 @@ pub enum BuildError {
     },
     /// The model itself is unusable; the string names the defect.
     InvalidModel(&'static str),
+    /// `Mode::Auto` cache cap of zero — the session could never cache a
+    /// decision and every decode would re-price all seven modes.
+    InvalidAutoCacheCap,
 }
 
 impl fmt::Display for BuildError {
@@ -163,6 +175,12 @@ impl fmt::Display for BuildError {
                 "performance model was trained for {model:?} but the session targets {platform:?}"
             ),
             BuildError::InvalidModel(what) => write!(f, "invalid performance model: {what}"),
+            BuildError::InvalidAutoCacheCap => {
+                write!(
+                    f,
+                    "auto_cache_cap must be >= 1 (use a cap of 1 to effectively disable caching)"
+                )
+            }
         }
     }
 }
@@ -176,6 +194,7 @@ pub struct DecoderBuilder {
     platform: Option<Platform>,
     model: Option<PerformanceModel>,
     threads: Option<usize>,
+    auto_cache_cap: Option<usize>,
 }
 
 impl DecoderBuilder {
@@ -199,6 +218,15 @@ impl DecoderBuilder {
         self
     }
 
+    /// Entry cap for the `Mode::Auto` decision cache (default
+    /// [`DEFAULT_AUTO_CACHE_CAP`]). When full, the least-recently-used
+    /// entry is evicted; [`SessionStats`] reports hits, evaluations and
+    /// evictions. Must be at least 1.
+    pub fn auto_cache_cap(mut self, cap: usize) -> Self {
+        self.auto_cache_cap = Some(cap);
+        self
+    }
+
     /// Validate the configuration up front and construct the session. The
     /// parallel-phase kernel dispatch ([`SimdLevel`]) is resolved here,
     /// once per session — decodes never re-detect CPU features.
@@ -208,6 +236,10 @@ impl DecoderBuilder {
         let threads = self.threads.unwrap_or(entropy_par_default_threads());
         if threads == 0 || threads > MAX_THREADS {
             return Err(BuildError::InvalidThreads(threads));
+        }
+        let auto_cache_cap = self.auto_cache_cap.unwrap_or(DEFAULT_AUTO_CACHE_CAP);
+        if auto_cache_cap == 0 {
+            return Err(BuildError::InvalidAutoCacheCap);
         }
         if model.platform != platform.name {
             return Err(BuildError::ModelPlatformMismatch {
@@ -243,7 +275,10 @@ impl DecoderBuilder {
             model,
             threads,
             simd_level: SimdLevel::detect(),
-            state: Mutex::new(SessionState::default()),
+            state: Mutex::new(SessionState {
+                ws: Workspace::default(),
+                auto_cache: AutoCache::new(auto_cache_cap),
+            }),
         })
     }
 }
@@ -273,10 +308,80 @@ struct AutoKey {
     cpu_only: bool,
 }
 
-#[derive(Default)]
+/// The `Mode::Auto` decision cache with LRU eviction.
+///
+/// Entries are tiny, so the structure optimizes for simplicity: a map from
+/// key to `(mode, last_used)` stamped by a monotone tick, with an `O(cap)`
+/// scan for the eviction victim. Caps are small (hundreds at most), every
+/// lookup already holds the session lock, and a linked-list LRU would buy
+/// nothing measurable at this size.
+struct AutoCache {
+    cap: usize,
+    tick: u64,
+    entries: HashMap<AutoKey, (Mode, u64)>,
+}
+
+impl AutoCache {
+    fn new(cap: usize) -> Self {
+        assert!(cap >= 1, "builder validated the cap");
+        AutoCache {
+            cap,
+            tick: 0,
+            entries: HashMap::with_capacity(cap.min(64)),
+        }
+    }
+
+    /// Look up a cached decision, refreshing its recency on a hit.
+    fn get(&mut self, key: &AutoKey) -> Option<Mode> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.entries.get_mut(key).map(|(mode, used)| {
+            *used = tick;
+            *mode
+        })
+    }
+
+    /// Insert a decision, evicting the least-recently-used entry when the
+    /// cache is at its cap. Returns `true` when an eviction happened.
+    fn insert(&mut self, key: AutoKey, mode: Mode) -> bool {
+        self.tick += 1;
+        let mut evicted = false;
+        if self.entries.len() >= self.cap && !self.entries.contains_key(&key) {
+            if let Some(victim) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (_, used))| *used)
+                .map(|(k, _)| *k)
+            {
+                self.entries.remove(&victim);
+                evicted = true;
+            }
+        }
+        self.entries.insert(key, (mode, self.tick));
+        evicted
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
 struct SessionState {
     ws: Workspace,
-    auto_cache: HashMap<AutoKey, Mode>,
+    auto_cache: AutoCache,
+}
+
+/// A point-in-time snapshot of a session's pool and cache counters —
+/// what the server layer aggregates into its per-shard statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Cumulative pool/cache counters (allocations amortized, `Auto`
+    /// evaluations, cache hits, evictions).
+    pub pool: PoolStats,
+    /// Current number of cached `Mode::Auto` decisions.
+    pub auto_cache_len: usize,
+    /// The session's configured cache cap.
+    pub auto_cache_cap: usize,
 }
 
 /// A decode session: platform + model + thread budget + pooled scratch.
@@ -335,6 +440,17 @@ impl Decoder {
     /// amortized away so far.
     pub fn pool_stats(&self) -> PoolStats {
         self.state.lock().expect("decoder state lock").ws.stats()
+    }
+
+    /// Snapshot of the session's statistics: the pool counters plus the
+    /// `Mode::Auto` cache occupancy and cap.
+    pub fn stats(&self) -> SessionStats {
+        let state = self.state.lock().expect("decoder state lock");
+        SessionStats {
+            pool: state.ws.stats(),
+            auto_cache_len: state.auto_cache.len(),
+            auto_cache_cap: state.auto_cache.cap,
+        }
     }
 
     /// Decode one image.
@@ -451,7 +567,7 @@ impl Decoder {
             restart_interval: prep.parsed.frame.restart_interval,
             cpu_only,
         };
-        if let Some(&mode) = state.auto_cache.get(&key) {
+        if let Some(mode) = state.auto_cache.get(&key) {
             state.ws.stats.auto_cache_hits += 1;
             return mode;
         }
@@ -461,7 +577,9 @@ impl Decoder {
             auto::select_mode(prep, &self.platform, &self.model, self.threads).mode
         };
         state.ws.stats.auto_evals += 1;
-        state.auto_cache.insert(key, mode);
+        if state.auto_cache.insert(key, mode) {
+            state.ws.stats.auto_evictions += 1;
+        }
         mode
     }
 
@@ -875,6 +993,42 @@ mod tests {
         // later image served from the cache.
         assert_eq!(stats.auto_evals, 1);
         assert_eq!(stats.auto_cache_hits, images.len() as u64 - 1);
+    }
+
+    #[test]
+    fn auto_cache_evicts_lru_first_at_cap() {
+        // Cap 2, three shapes. Access order a, b, a, c: at c's insertion
+        // the cache is full and b — not the refreshed a — is the LRU
+        // victim.
+        let dec = Decoder::builder().auto_cache_cap(2).build().unwrap();
+        let a = jpeg_of(64, 48, 0);
+        let b = jpeg_of(80, 48, 0);
+        let c = jpeg_of(96, 48, 0);
+        for j in [&a, &b, &a, &c] {
+            dec.decode(j, DecodeOptions::default()).unwrap();
+        }
+        let s = dec.stats();
+        assert_eq!((s.auto_cache_len, s.auto_cache_cap), (2, 2));
+        assert_eq!(s.pool.auto_evals, 3); // a, b, c priced
+        assert_eq!(s.pool.auto_cache_hits, 1); // the second a
+        assert_eq!(s.pool.auto_evictions, 1); // b evicted for c
+                                              // a was refreshed by its second decode, so it is still cached…
+        dec.decode(&a, DecodeOptions::default()).unwrap();
+        assert_eq!(dec.stats().pool.auto_cache_hits, 2);
+        // …while b (the LRU victim) must be re-evaluated, evicting again.
+        dec.decode(&b, DecodeOptions::default()).unwrap();
+        let s = dec.stats();
+        assert_eq!(s.pool.auto_evals, 4);
+        assert_eq!(s.pool.auto_evictions, 2);
+    }
+
+    #[test]
+    fn zero_auto_cache_cap_is_rejected() {
+        assert!(matches!(
+            Decoder::builder().auto_cache_cap(0).build(),
+            Err(BuildError::InvalidAutoCacheCap)
+        ));
+        assert!(Decoder::builder().auto_cache_cap(1).build().is_ok());
     }
 
     #[test]

@@ -32,6 +32,9 @@ pub struct PoolStats {
     pub auto_evals: u64,
     /// `Mode::Auto` decisions served from the session cache.
     pub auto_cache_hits: u64,
+    /// `Mode::Auto` cache entries evicted (LRU-first) to respect the
+    /// session's configured entry cap.
+    pub auto_evictions: u64,
 }
 
 /// Geometry fingerprint used to detect when pooled buffers can be reused

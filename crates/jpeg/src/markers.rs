@@ -11,6 +11,9 @@ use crate::types::{ComponentSpec, FrameInfo};
 
 /// Marker byte values (the byte following 0xFF).
 pub mod m {
+    pub const TEM: u8 = 0x01;
+    pub const RST0: u8 = 0xD0;
+    pub const RST7: u8 = 0xD7;
     pub const SOI: u8 = 0xD8;
     pub const EOI: u8 = 0xD9;
     pub const SOS: u8 = 0xDA;

@@ -1,0 +1,164 @@
+//! # hetjpeg-serve — multi-session decode server front end
+//!
+//! The `hetjpeg-core` [`Decoder`](hetjpeg_core::Decoder) session is the
+//! unit of scaling: it owns
+//! one platform + trained model + pooled scratch and amortizes them across
+//! images. This crate scales *across* sessions the way the paper scales
+//! across devices — where Sodsong et al. partition one image between CPU
+//! and GPU, a server partitions a **stream of requests** between session
+//! shards:
+//!
+//! * a **shard pool** ([`Server`]) of worker threads, each owning its own
+//!   `Decoder` session (same platform/model configuration, independent
+//!   pools and `Mode::Auto` caches);
+//! * an **admission queue** per shard — bounded, so a flooded server
+//!   exerts backpressure on submitters instead of growing an unbounded
+//!   backlog — whose consumer coalesces queued requests into one
+//!   [`decode_batch`](hetjpeg_core::Decoder::decode_batch) call
+//!   (deadline-aware: the first request in a batch waits at most
+//!   [`ServeConfig::flush_after`]);
+//! * **shape-keyed routing**: requests are routed to shards by a cheap
+//!   header scan of (width, height, subsampling), so images of one shape
+//!   land on one session and its per-shape `Auto` decision cache and
+//!   re-shaped pooled buffers stay hot — with overflow spill to the next
+//!   shard with queue room, so a single-shape workload still uses every
+//!   shard;
+//! * a **length-prefixed wire protocol** ([`protocol`]) served over TCP or
+//!   stdio by the `hetjpeg-serve` binary, plus the in-process
+//!   [`ServeHandle`] used by tests and benches.
+//!
+//! ```
+//! use hetjpeg_serve::{ServeConfig, Server};
+//! use hetjpeg_corpus::{generate_jpeg, ImageSpec, Pattern};
+//! use hetjpeg_jpeg::types::Subsampling;
+//!
+//! let spec = ImageSpec { width: 96, height: 96,
+//!                        pattern: Pattern::PhotoLike { detail: 0.5 }, seed: 9 };
+//! let jpeg = generate_jpeg(&spec, 85, Subsampling::S420).unwrap();
+//!
+//! let server = Server::start(ServeConfig { shards: 2, ..ServeConfig::default() }).unwrap();
+//! let handle = server.handle();
+//! let out = handle.decode(&jpeg).unwrap();          // synchronous round trip
+//! assert_eq!(out.image.width, 96);
+//! let ticket = handle.submit(jpeg).unwrap();        // or async: submit…
+//! assert!(ticket.wait().is_ok());                   // …and await the ticket
+//! let stats = server.shutdown();                    // drains in-flight batches
+//! assert_eq!(stats.requests(), 2);
+//! ```
+//!
+//! See `docs/ARCHITECTURE.md` for a request's full path through the
+//! server and how the pieces map onto the paper.
+
+#![warn(missing_docs)]
+
+pub mod pool;
+pub mod protocol;
+
+pub use pool::{ServeHandle, Server, ServerStats, ShardStats, Ticket};
+
+use hetjpeg_core::{DecodeOptions, Platform, DEFAULT_AUTO_CACHE_CAP};
+use std::fmt;
+use std::time::Duration;
+
+/// Configuration for [`Server::start`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Number of session shards (worker threads, each owning one
+    /// `Decoder`). Defaults to the host's available parallelism, capped
+    /// at 8.
+    pub shards: usize,
+    /// Per-shard admission-queue depth. A submit against a full queue
+    /// blocks — backpressure, not unbounded buffering.
+    pub queue_depth: usize,
+    /// Maximum images coalesced into one `decode_batch` call.
+    pub max_batch: usize,
+    /// How long the first request of a batch may wait for company before
+    /// the batch is flushed regardless of size.
+    pub flush_after: Duration,
+    /// `Mode::Auto` decision-cache cap for each shard's session.
+    pub auto_cache_cap: usize,
+    /// Target platform shared by every shard.
+    pub platform: Platform,
+    /// Trained performance model; `None` uses the platform's analytic
+    /// seed.
+    pub model: Option<hetjpeg_core::model::PerformanceModel>,
+    /// Entropy worker threads per session (`Mode::ParallelEntropy`).
+    pub threads: usize,
+    /// Decode options applied to every request (mode, strictness,
+    /// `max_pixels` guard). The output format must be RGB for the wire
+    /// protocol.
+    pub options: DecodeOptions,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        let shards = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(8);
+        ServeConfig {
+            shards,
+            queue_depth: 64,
+            max_batch: 8,
+            flush_after: Duration::from_micros(200),
+            auto_cache_cap: DEFAULT_AUTO_CACHE_CAP,
+            platform: Platform::gtx560(),
+            model: None,
+            threads: 4,
+            options: DecodeOptions::default(),
+        }
+    }
+}
+
+/// Errors surfaced by the server API.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The server configuration was rejected (invalid shard count, or the
+    /// underlying session builder refused the platform/model/threads).
+    Config(ConfigError),
+    /// The server is shutting down and no longer admits requests.
+    ShuttingDown,
+    /// The decode itself failed; carries the codec error verbatim.
+    Decode(hetjpeg_jpeg::error::Error),
+    /// The shard worker died before answering (a bug, not a request
+    /// error).
+    WorkerGone,
+}
+
+/// Why [`Server::start`] rejected a [`ServeConfig`].
+#[derive(Debug)]
+pub enum ConfigError {
+    /// `shards` was zero.
+    ZeroShards,
+    /// `queue_depth` was zero (every submit would deadlock).
+    ZeroQueueDepth,
+    /// `max_batch` was zero (a batch could never form).
+    ZeroMaxBatch,
+    /// The per-shard session builder rejected the configuration.
+    Session(hetjpeg_core::BuildError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Config(c) => write!(f, "invalid server configuration: {c}"),
+            ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::Decode(e) => write!(f, "decode failed: {e}"),
+            ServeError::WorkerGone => write!(f, "shard worker terminated unexpectedly"),
+        }
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroShards => write!(f, "shards must be >= 1"),
+            ConfigError::ZeroQueueDepth => write!(f, "queue_depth must be >= 1"),
+            ConfigError::ZeroMaxBatch => write!(f, "max_batch must be >= 1"),
+            ConfigError::Session(e) => write!(f, "session builder: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+impl std::error::Error for ConfigError {}

@@ -1,0 +1,558 @@
+//! The shard pool: worker threads owning one [`Decoder`] session each, fed
+//! by bounded per-shard admission queues whose consumers coalesce requests
+//! into [`Decoder::decode_batch`] calls.
+//!
+//! ## Why shards, and why shape-keyed routing
+//!
+//! A `Decoder` serializes decodes on its internal workspace lock — that is
+//! what lets it reuse one coefficient buffer and one set of band scratches
+//! across images. Throughput therefore scales by adding *sessions*, not by
+//! hammering one session from more threads. Each shard worker owns its
+//! session outright, so shards decode truly concurrently.
+//!
+//! Routing by image shape (width, height, subsampling — read by a cheap
+//! header scan, no entropy work) keeps each session's per-shape state hot:
+//! the pooled buffers are re-shaped only when the shape actually changes,
+//! and the `Mode::Auto` decision cache sees the same keys again and again
+//! instead of a shuffled mix. The same idea at a different scale as the
+//! paper's partitioning: send work where its state already lives.
+//!
+//! Affinity is a preference, not a pin: when a shape's home queue is full
+//! the request spills to the next shard with room, so a workload of one
+//! shape (all thumbnails the same size) still fans out across every shard
+//! instead of serializing behind one worker. The spilled-to session pays
+//! one extra `Auto` evaluation and a buffer re-shape — both cheap — and
+//! then is hot for that shape too.
+//!
+//! ## Batch admission
+//!
+//! Each worker blocks on its queue; on the first arrival it keeps
+//! collecting until the batch reaches [`ServeConfig::max_batch`] or
+//! [`ServeConfig::flush_after`] has elapsed, then decodes the whole batch
+//! under one session lock. Under light load the deadline keeps latency
+//! bounded (a lone request waits at most `flush_after`); under heavy load
+//! batches fill instantly and the per-image admission overhead amortizes
+//! away. The queues are bounded: a flooded server blocks submitters
+//! (backpressure) rather than queueing without limit.
+
+use crate::{ConfigError, ServeConfig, ServeError};
+use hetjpeg_core::{DecodeOutcome, Decoder, SessionStats};
+use hetjpeg_jpeg::error::Error;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::RecvTimeoutError;
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// One queued decode request: the image bytes plus the reply slot the
+/// worker answers into.
+struct Request {
+    data: Vec<u8>,
+    reply: mpsc::Sender<Result<DecodeOutcome, Error>>,
+}
+
+/// Receipt for a submitted request; [`Ticket::wait`] blocks until the
+/// shard worker has decoded the image.
+pub struct Ticket {
+    rx: mpsc::Receiver<Result<DecodeOutcome, Error>>,
+}
+
+impl Ticket {
+    /// Block until the decode finishes and return its outcome.
+    pub fn wait(self) -> Result<DecodeOutcome, ServeError> {
+        match self.rx.recv() {
+            Ok(Ok(out)) => Ok(out),
+            Ok(Err(e)) => Err(ServeError::Decode(e)),
+            Err(_) => Err(ServeError::WorkerGone),
+        }
+    }
+}
+
+/// Monotone per-shard counters, updated by the worker, read by
+/// [`Server::stats`].
+#[derive(Default)]
+struct ShardCounters {
+    requests: AtomicU64,
+    batches: AtomicU64,
+    decode_errors: AtomicU64,
+    max_batch: AtomicU64,
+}
+
+/// A snapshot of one shard's counters plus its session's statistics.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardStats {
+    /// Requests decoded by this shard.
+    pub requests: u64,
+    /// `decode_batch` calls issued (each covers one coalesced batch).
+    pub batches: u64,
+    /// Requests whose decode returned an error.
+    pub decode_errors: u64,
+    /// Largest batch the admission loop coalesced.
+    pub max_batch: u64,
+    /// The shard session's pool/cache statistics (allocations amortized,
+    /// `Auto` evaluations, cache hits, evictions, cache occupancy).
+    pub session: SessionStats,
+}
+
+/// Aggregated server statistics: one [`ShardStats`] per shard.
+#[derive(Debug, Clone)]
+pub struct ServerStats {
+    /// Per-shard snapshots, in shard order.
+    pub shards: Vec<ShardStats>,
+}
+
+impl ServerStats {
+    /// Total requests decoded.
+    pub fn requests(&self) -> u64 {
+        self.shards.iter().map(|s| s.requests).sum()
+    }
+
+    /// Total `decode_batch` calls.
+    pub fn batches(&self) -> u64 {
+        self.shards.iter().map(|s| s.batches).sum()
+    }
+
+    /// Total requests whose decode errored.
+    pub fn decode_errors(&self) -> u64 {
+        self.shards.iter().map(|s| s.decode_errors).sum()
+    }
+
+    /// Mean images per batch — the admission loop's amortization factor.
+    pub fn mean_batch(&self) -> f64 {
+        let b = self.batches();
+        if b == 0 {
+            0.0
+        } else {
+            self.requests() as f64 / b as f64
+        }
+    }
+
+    /// Total `Mode::Auto` decisions served from the per-shard caches.
+    pub fn auto_cache_hits(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.session.pool.auto_cache_hits)
+            .sum()
+    }
+
+    /// Total `Mode::Auto` decisions priced from the model.
+    pub fn auto_evals(&self) -> u64 {
+        self.shards.iter().map(|s| s.session.pool.auto_evals).sum()
+    }
+
+    /// Total `Mode::Auto` cache evictions (LRU, per-shard caps).
+    pub fn auto_evictions(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.session.pool.auto_evictions)
+            .sum()
+    }
+}
+
+struct ShardState {
+    decoder: Arc<Decoder>,
+    counters: Arc<ShardCounters>,
+}
+
+struct Inner {
+    /// Intake side of every shard queue. `None` once shutdown began —
+    /// taking the senders is what lets the workers drain and exit.
+    senders: Mutex<Option<Vec<crossbeam::channel::Sender<Request>>>>,
+    shards: Vec<ShardState>,
+}
+
+/// The server: a pool of shard workers plus the shared intake state.
+///
+/// Constructed by [`Server::start`]; hand out [`ServeHandle`]s (cheap
+/// clones) to submitters. [`Server::shutdown`] stops intake, drains every
+/// in-flight batch, joins the workers and returns the final statistics.
+/// Dropping the server without calling `shutdown` performs the same
+/// drain-and-join.
+pub struct Server {
+    inner: Arc<Inner>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// Cloneable, thread-safe submission handle to a running [`Server`].
+#[derive(Clone)]
+pub struct ServeHandle {
+    inner: Arc<Inner>,
+}
+
+impl Server {
+    /// Validate `config`, build one `Decoder` session per shard and spawn
+    /// the shard workers.
+    pub fn start(config: ServeConfig) -> Result<Server, ServeError> {
+        if config.shards == 0 {
+            return Err(ServeError::Config(ConfigError::ZeroShards));
+        }
+        if config.queue_depth == 0 {
+            return Err(ServeError::Config(ConfigError::ZeroQueueDepth));
+        }
+        if config.max_batch == 0 {
+            return Err(ServeError::Config(ConfigError::ZeroMaxBatch));
+        }
+
+        let mut senders = Vec::with_capacity(config.shards);
+        let mut shards = Vec::with_capacity(config.shards);
+        let mut workers = Vec::with_capacity(config.shards);
+        for i in 0..config.shards {
+            let model = config
+                .model
+                .clone()
+                .unwrap_or_else(|| config.platform.untrained_model());
+            let decoder = Decoder::builder()
+                .platform(config.platform.clone())
+                .model(model)
+                .threads(config.threads)
+                .auto_cache_cap(config.auto_cache_cap)
+                .build()
+                .map_err(|e| ServeError::Config(ConfigError::Session(e)))?;
+            let decoder = Arc::new(decoder);
+            let counters = Arc::new(ShardCounters::default());
+            let (tx, rx) = crossbeam::channel::bounded::<Request>(config.queue_depth);
+            senders.push(tx);
+            let worker_decoder = Arc::clone(&decoder);
+            let worker_counters = Arc::clone(&counters);
+            let opts = config.options;
+            let max_batch = config.max_batch;
+            let flush_after = config.flush_after;
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("hetjpeg-shard-{i}"))
+                    .spawn(move || {
+                        shard_worker(
+                            &worker_decoder,
+                            &rx,
+                            opts,
+                            max_batch,
+                            flush_after,
+                            &worker_counters,
+                        )
+                    })
+                    .expect("spawn shard worker"),
+            );
+            shards.push(ShardState { decoder, counters });
+        }
+
+        Ok(Server {
+            inner: Arc::new(Inner {
+                senders: Mutex::new(Some(senders)),
+                shards,
+            }),
+            workers,
+        })
+    }
+
+    /// A cloneable submission handle bound to this server.
+    pub fn handle(&self) -> ServeHandle {
+        ServeHandle {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Snapshot of every shard's counters and session statistics.
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            shards: self
+                .inner
+                .shards
+                .iter()
+                .map(|s| ShardStats {
+                    requests: s.counters.requests.load(Ordering::Relaxed),
+                    batches: s.counters.batches.load(Ordering::Relaxed),
+                    decode_errors: s.counters.decode_errors.load(Ordering::Relaxed),
+                    max_batch: s.counters.max_batch.load(Ordering::Relaxed),
+                    session: s.decoder.stats(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Graceful shutdown: stop admitting, let every worker drain the
+    /// requests already queued (their replies are still delivered), join
+    /// the workers, and return the final statistics.
+    pub fn shutdown(mut self) -> ServerStats {
+        self.close_and_join();
+        self.stats()
+    }
+
+    fn close_and_join(&mut self) {
+        // Taking the senders closes every queue once outstanding submit()
+        // clones finish their sends; workers then drain buffered requests
+        // and exit on the disconnect.
+        *self.inner.senders.lock().expect("server intake lock") = None;
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.close_and_join();
+    }
+}
+
+impl ServeHandle {
+    /// Submit an image for decoding; returns a [`Ticket`] to await.
+    ///
+    /// Admission prefers the image's home shard (shape-keyed, cache-hot)
+    /// but never serializes a homogeneous workload behind one worker: when
+    /// the home queue is full the request spills to the next shard with
+    /// room, and only when *every* queue is full does the submit block on
+    /// the home shard (backpressure).
+    pub fn submit(&self, data: Vec<u8>) -> Result<Ticket, ServeError> {
+        let shards = self.inner.shards.len();
+        let base = route(&data, shards);
+        let (reply, rx) = mpsc::channel();
+        let mut req = Request { data, reply };
+        // The non-blocking pass runs under the intake lock (try_send never
+        // blocks); the fallback blocking send happens outside it so a
+        // backpressured submitter cannot serialize other submitters or
+        // deadlock shutdown.
+        let tx = {
+            let guard = self.inner.senders.lock().expect("server intake lock");
+            let senders = match guard.as_ref() {
+                Some(senders) => senders,
+                None => return Err(ServeError::ShuttingDown),
+            };
+            let mut offset = 0;
+            loop {
+                if offset == shards {
+                    break senders[base].clone();
+                }
+                match senders[(base + offset) % shards].try_send(req) {
+                    Ok(()) => return Ok(Ticket { rx }),
+                    Err(crossbeam::channel::TrySendError::Full(r)) => {
+                        req = r;
+                        offset += 1;
+                    }
+                    Err(crossbeam::channel::TrySendError::Disconnected(_)) => {
+                        return Err(ServeError::ShuttingDown)
+                    }
+                }
+            }
+        };
+        tx.send(req).map_err(|_| ServeError::ShuttingDown)?;
+        Ok(Ticket { rx })
+    }
+
+    /// Synchronous round trip: submit and wait.
+    pub fn decode(&self, data: &[u8]) -> Result<DecodeOutcome, ServeError> {
+        self.submit(data.to_vec())?.wait()
+    }
+}
+
+/// The per-shard consumer: block for the first request, coalesce until the
+/// batch is full or the flush deadline passes, decode the batch under one
+/// session lock, answer every reply slot.
+fn shard_worker(
+    decoder: &Decoder,
+    rx: &crossbeam::channel::Receiver<Request>,
+    opts: hetjpeg_core::DecodeOptions,
+    max_batch: usize,
+    flush_after: std::time::Duration,
+    counters: &ShardCounters,
+) {
+    let mut batch: Vec<Request> = Vec::with_capacity(max_batch);
+    loop {
+        match rx.recv() {
+            Ok(first) => batch.push(first),
+            // Intake closed and queue drained: the shard is done.
+            Err(_) => return,
+        }
+        let deadline = Instant::now() + flush_after;
+        while batch.len() < max_batch {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            match rx.recv_timeout(deadline - now) {
+                Ok(r) => batch.push(r),
+                Err(RecvTimeoutError::Timeout) => break,
+                // Disconnected mid-coalesce: decode what we have, then the
+                // next outer recv() observes the disconnect and exits.
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+
+        let datas: Vec<&[u8]> = batch.iter().map(|r| r.data.as_slice()).collect();
+        let outs = decoder.decode_batch(&datas, opts);
+
+        counters.batches.fetch_add(1, Ordering::Relaxed);
+        counters
+            .requests
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        counters
+            .max_batch
+            .fetch_max(batch.len() as u64, Ordering::Relaxed);
+        let errors = outs.iter().filter(|o| o.is_err()).count() as u64;
+        if errors > 0 {
+            counters.decode_errors.fetch_add(errors, Ordering::Relaxed);
+        }
+        for (req, out) in batch.drain(..).zip(outs) {
+            // A vanished waiter (dropped Ticket) is not an error.
+            let _ = req.reply.send(out);
+        }
+    }
+}
+
+/// Home shard for an image, by its shape fingerprint ([`ServeHandle::submit`]
+/// spills to other shards when the home queue is full). Unparseable data
+/// goes to shard 0, where the decode will produce the error that is then
+/// reported through the request's own reply slot.
+fn route(data: &[u8], shards: usize) -> usize {
+    match shape_key(data) {
+        Some(key) => {
+            let mut h = DefaultHasher::new();
+            key.hash(&mut h);
+            (h.finish() % shards as u64) as usize
+        }
+        None => 0,
+    }
+}
+
+/// Cheap shape fingerprint (width, height, component count, luma sampling
+/// factors) read by scanning the marker stream for SOF0/SOF1 — no entropy
+/// decoding, no table parsing, no allocation. `None` when the bytes are
+/// not a baseline JPEG with a frame header.
+fn shape_key(data: &[u8]) -> Option<(u16, u16, u8, u8)> {
+    use hetjpeg_jpeg::markers::m;
+    if data.len() < 4 || data[0] != 0xFF || data[1] != m::SOI {
+        return None;
+    }
+    let mut pos = 2usize;
+    while pos + 3 < data.len() {
+        if data[pos] != 0xFF {
+            return None;
+        }
+        let marker = data[pos + 1];
+        match marker {
+            // Padding / RSTn / TEM: no length field.
+            0xFF => {
+                pos += 1;
+                continue;
+            }
+            m::TEM | m::RST0..=m::RST7 => {
+                pos += 2;
+                continue;
+            }
+            // SOS or EOI before any SOF: give up.
+            m::SOS | m::EOI => return None,
+            _ => {}
+        }
+        let len = u16::from_be_bytes([data[pos + 2], data[pos + 3]]) as usize;
+        if len < 2 || pos + 2 + len > data.len() {
+            return None;
+        }
+        if marker == m::SOF0 || marker == m::SOF1 {
+            // SOF segment: precision(1) height(2) width(2) ncomp(1), then
+            // per component (id, sampling, tq).
+            let seg = &data[pos + 4..pos + 2 + len];
+            if seg.len() < 6 {
+                return None;
+            }
+            let height = u16::from_be_bytes([seg[1], seg[2]]);
+            let width = u16::from_be_bytes([seg[3], seg[4]]);
+            let ncomp = seg[5];
+            let sampling = if seg.len() >= 9 { seg[7] } else { 0 };
+            return Some((width, height, ncomp, sampling));
+        }
+        pos += 2 + len;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetjpeg_corpus::{generate_jpeg, ImageSpec, Pattern};
+    use hetjpeg_jpeg::types::Subsampling;
+
+    fn jpeg(w: usize, h: usize, seed: u64) -> Vec<u8> {
+        let spec = ImageSpec {
+            width: w,
+            height: h,
+            pattern: Pattern::PhotoLike { detail: 0.5 },
+            seed,
+        };
+        generate_jpeg(&spec, 85, Subsampling::S420).unwrap()
+    }
+
+    #[test]
+    fn shape_key_reads_the_frame_header() {
+        let j = jpeg(96, 64, 1);
+        let (w, h, ncomp, sampling) = shape_key(&j).expect("baseline jpeg has a shape");
+        assert_eq!((w, h, ncomp), (96, 64, 3));
+        assert_eq!(sampling, 0x22, "4:2:0 luma sampling factors");
+        // Same shape, different pixels: identical key.
+        assert_eq!(shape_key(&j), shape_key(&jpeg(96, 64, 2)));
+        // Different shape: different key.
+        assert_ne!(shape_key(&j), shape_key(&jpeg(64, 96, 1)));
+        // Garbage is unroutable, not a panic.
+        assert_eq!(shape_key(b"not a jpeg"), None);
+        assert_eq!(shape_key(&j[..3]), None);
+    }
+
+    #[test]
+    fn routing_is_stable_and_in_range() {
+        let j = jpeg(128, 96, 3);
+        for shards in 1..5 {
+            let s = route(&j, shards);
+            assert!(s < shards);
+            assert_eq!(s, route(&j, shards), "routing is deterministic");
+        }
+        assert_eq!(route(b"garbage", 4), 0);
+    }
+
+    #[test]
+    fn same_shape_lands_on_one_shard() {
+        let shards = 4;
+        let target = route(&jpeg(96, 64, 1), shards);
+        for seed in 2..10 {
+            assert_eq!(route(&jpeg(96, 64, seed), shards), target);
+        }
+    }
+
+    #[test]
+    fn config_validation() {
+        let bad = |c: ServeConfig| matches!(Server::start(c), Err(ServeError::Config(_)));
+        assert!(bad(ServeConfig {
+            shards: 0,
+            ..ServeConfig::default()
+        }));
+        assert!(bad(ServeConfig {
+            queue_depth: 0,
+            ..ServeConfig::default()
+        }));
+        assert!(bad(ServeConfig {
+            max_batch: 0,
+            ..ServeConfig::default()
+        }));
+        assert!(bad(ServeConfig {
+            auto_cache_cap: 0,
+            ..ServeConfig::default()
+        }));
+        assert!(bad(ServeConfig {
+            threads: 0,
+            ..ServeConfig::default()
+        }));
+    }
+
+    #[test]
+    fn submit_after_shutdown_is_rejected() {
+        let server = Server::start(ServeConfig {
+            shards: 1,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let handle = server.handle();
+        let j = jpeg(64, 64, 5);
+        assert!(handle.decode(&j).is_ok());
+        server.shutdown();
+        assert!(matches!(handle.submit(j), Err(ServeError::ShuttingDown)));
+    }
+}

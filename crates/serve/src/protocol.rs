@@ -1,0 +1,361 @@
+//! The length-prefixed wire protocol and the TCP/stdio serving loops.
+//!
+//! Framing is deliberately minimal — the interesting machinery (sharding,
+//! batch admission) lives behind [`ServeHandle`]; the wire just carries
+//! bytes in and pixels out:
+//!
+//! ```text
+//! request  := u32_be length | length bytes of JPEG        (length 0 = goodbye)
+//! response := 0u8 | u32_be width | u32_be height | u32_be n | n bytes RGB
+//!           | 1u8 | u32_be n | n bytes of UTF-8 error message
+//! ```
+//!
+//! Responses are written in request order. A connection may pipeline:
+//! [`serve_connection`] submits every request as it is read and answers
+//! from a writer thread, so consecutive frames from one client can still
+//! coalesce into one shard batch.
+
+use crate::pool::{ServeHandle, Ticket};
+use crate::ServeError;
+use std::io::{self, Read, Write};
+use std::net::TcpListener;
+use std::sync::mpsc;
+
+/// Request-frame guard: a length prefix above this is treated as a
+/// protocol error rather than an allocation request (64 MiB is far beyond
+/// any baseline JPEG this codec accepts).
+pub const MAX_FRAME: u32 = 64 << 20;
+
+/// Response-payload guard. Decoded RGB is ~3 bytes per pixel, so this is a
+/// much larger bound than [`MAX_FRAME`]: 1 GiB covers ~357 megapixels. A
+/// decode whose output exceeds it is answered with an in-band error frame
+/// (the stream stays framed); a client reading a length above it treats
+/// the stream as corrupt.
+pub const MAX_RESPONSE: u32 = 1 << 30;
+
+/// A successfully decoded response frame, as read back by a client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResponseFrame {
+    /// Image width in pixels.
+    pub width: u32,
+    /// Image height in pixels.
+    pub height: u32,
+    /// Interleaved 8-bit RGB, `width * height * 3` bytes.
+    pub rgb: Vec<u8>,
+}
+
+/// Client side: write one request frame.
+pub fn write_request(w: &mut impl Write, jpeg: &[u8]) -> io::Result<()> {
+    if jpeg.len() as u64 > MAX_FRAME as u64 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "request exceeds MAX_FRAME",
+        ));
+    }
+    w.write_all(&(jpeg.len() as u32).to_be_bytes())?;
+    w.write_all(jpeg)?;
+    w.flush()
+}
+
+/// Client side: write the zero-length goodbye frame.
+pub fn write_goodbye(w: &mut impl Write) -> io::Result<()> {
+    w.write_all(&0u32.to_be_bytes())?;
+    w.flush()
+}
+
+/// Server side: read one request frame. `Ok(None)` on a clean end of
+/// stream (EOF at a frame boundary, or the zero-length goodbye).
+pub fn read_request(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    // EOF before the first length byte is a clean close. Retry EINTR here
+    // the same way read_exact does for the remaining prefix bytes — a
+    // stray signal must not tear down a healthy connection.
+    loop {
+        match r.read(&mut len_buf) {
+            Ok(0) => return Ok(None),
+            Ok(n) => {
+                r.read_exact(&mut len_buf[n..])?;
+                break;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_be_bytes(len_buf);
+    if len == 0 {
+        return Ok(None);
+    }
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "request length exceeds MAX_FRAME",
+        ));
+    }
+    let mut data = vec![0u8; len as usize];
+    r.read_exact(&mut data)?;
+    Ok(Some(data))
+}
+
+/// Server side: write one response frame from a decode result.
+pub fn write_response(
+    w: &mut impl Write,
+    result: &Result<hetjpeg_core::DecodeOutcome, ServeError>,
+) -> io::Result<()> {
+    match result {
+        Ok(out) if out.image.data.len() as u64 > MAX_RESPONSE as u64 => write_error(
+            w,
+            &format!(
+                "decoded image is {} bytes, over the {} byte response cap",
+                out.image.data.len(),
+                MAX_RESPONSE
+            ),
+        )?,
+        Ok(out) if !out.image.data.is_empty() => {
+            w.write_all(&[0u8])?;
+            w.write_all(&(out.image.width as u32).to_be_bytes())?;
+            w.write_all(&(out.image.height as u32).to_be_bytes())?;
+            w.write_all(&(out.image.data.len() as u32).to_be_bytes())?;
+            w.write_all(&out.image.data)?;
+        }
+        Ok(_) => write_error(w, "server produced no RGB output (planar options?)")?,
+        Err(e) => write_error(w, &e.to_string())?,
+    }
+    w.flush()
+}
+
+fn write_error(w: &mut impl Write, msg: &str) -> io::Result<()> {
+    let bytes = msg.as_bytes();
+    w.write_all(&[1u8])?;
+    w.write_all(&(bytes.len() as u32).to_be_bytes())?;
+    w.write_all(bytes)
+}
+
+/// Client side: read one response frame. The outer `Result` is transport
+/// failure; the inner carries the server's per-request error message.
+pub fn read_response(r: &mut impl Read) -> io::Result<Result<ResponseFrame, String>> {
+    let mut status = [0u8; 1];
+    r.read_exact(&mut status)?;
+    let mut u32_buf = [0u8; 4];
+    match status[0] {
+        0 => {
+            r.read_exact(&mut u32_buf)?;
+            let width = u32::from_be_bytes(u32_buf);
+            r.read_exact(&mut u32_buf)?;
+            let height = u32::from_be_bytes(u32_buf);
+            r.read_exact(&mut u32_buf)?;
+            let len = u32::from_be_bytes(u32_buf);
+            if len > MAX_RESPONSE {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "response length exceeds MAX_RESPONSE",
+                ));
+            }
+            let mut rgb = vec![0u8; len as usize];
+            r.read_exact(&mut rgb)?;
+            Ok(Ok(ResponseFrame { width, height, rgb }))
+        }
+        1 => {
+            r.read_exact(&mut u32_buf)?;
+            let len = u32::from_be_bytes(u32_buf);
+            if len > MAX_FRAME {
+                // A clamped partial read would desync the stream; treat an
+                // absurd error-message length the same as an absurd RGB
+                // length.
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "error-message length exceeds MAX_FRAME",
+                ));
+            }
+            let mut msg = vec![0u8; len as usize];
+            r.read_exact(&mut msg)?;
+            Ok(Err(String::from_utf8_lossy(&msg).into_owned()))
+        }
+        s => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unknown response status {s}"),
+        )),
+    }
+}
+
+/// Serve one connection: read request frames from `reader`, submit each to
+/// the shard pool as it arrives, and write responses to `writer` in
+/// request order from a companion thread — pipelined clients keep the
+/// admission queues fed, so their frames can coalesce into batches.
+/// Returns the number of requests served.
+pub fn serve_connection(
+    handle: &ServeHandle,
+    reader: &mut impl Read,
+    writer: &mut (impl Write + Send),
+) -> io::Result<u64> {
+    let mut served = 0u64;
+    std::thread::scope(|s| -> io::Result<u64> {
+        let (tx, rx) = mpsc::channel::<Result<Ticket, ServeError>>();
+        let responder = s.spawn(move || -> io::Result<u64> {
+            let mut n = 0u64;
+            for ticket in rx {
+                let result = ticket.and_then(Ticket::wait);
+                write_response(writer, &result)?;
+                n += 1;
+            }
+            Ok(n)
+        });
+        while let Some(data) = read_request(reader)? {
+            // Submission errors (shutdown) still produce an in-order
+            // response frame for this request.
+            let submitted = handle.submit(data);
+            if tx.send(submitted).is_err() {
+                break; // responder hit an I/O error and hung up
+            }
+        }
+        drop(tx);
+        served = responder.join().expect("responder thread")?;
+        Ok(served)
+    })?;
+    Ok(served)
+}
+
+/// Cap on concurrently served TCP connections. Each connection costs two
+/// OS threads (reader + responder); beyond the cap new connections are
+/// closed immediately instead of spawning unbounded threads under a
+/// connection flood. Decode throughput is bounded by the shard count, so
+/// a few hundred pipelined connections saturate any pool long before this
+/// limit costs a legitimate client anything.
+pub const MAX_CONNECTIONS: usize = 256;
+
+/// Accept loop: serve every incoming TCP connection on its own thread
+/// until the listener fails (e.g. is closed externally). Each connection
+/// gets a clone of the handle, so all connections share the shard pool.
+/// At most [`MAX_CONNECTIONS`] are served at once; excess connections are
+/// accepted and closed.
+///
+/// Per-connection accept failures (a client resetting mid-handshake,
+/// transient fd exhaustion) are skipped rather than allowed to take the
+/// whole accept loop — and with it the server — down.
+pub fn serve_tcp(handle: &ServeHandle, listener: TcpListener) -> io::Result<()> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let active = AtomicUsize::new(0);
+    let active = &active;
+    std::thread::scope(|s| {
+        for stream in listener.incoming() {
+            let mut stream = match stream {
+                Ok(stream) => stream,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::ConnectionAborted
+                            | io::ErrorKind::ConnectionReset
+                            | io::ErrorKind::Interrupted
+                            | io::ErrorKind::WouldBlock
+                    ) =>
+                {
+                    continue
+                }
+                // EMFILE/ENFILE: the fd table is full because of *other*
+                // connections; back off briefly instead of dying.
+                Err(e) if matches!(e.raw_os_error(), Some(23) | Some(24)) => {
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
+            if active.fetch_add(1, Ordering::AcqRel) >= MAX_CONNECTIONS {
+                active.fetch_sub(1, Ordering::AcqRel);
+                drop(stream);
+                continue;
+            }
+            let conn_handle = handle.clone();
+            s.spawn(move || {
+                if let Ok(mut reader) = stream.try_clone() {
+                    let _ = serve_connection(&conn_handle, &mut reader, &mut stream);
+                    let _ = stream.shutdown(std::net::Shutdown::Both);
+                }
+                active.fetch_sub(1, Ordering::AcqRel);
+            });
+        }
+        Ok(())
+    })
+}
+
+/// Serve request frames from stdin and write responses to stdout until
+/// EOF or the goodbye frame — the scripting-friendly transport
+/// (`hetjpeg-serve --stdio`). Returns the number of requests served.
+pub fn serve_stdio(handle: &ServeHandle) -> io::Result<u64> {
+    let stdin = io::stdin();
+    let mut reader = stdin.lock();
+    // `Stdout` (unlocked) is used because the responder thread needs a
+    // `Send` writer; its internal line-buffer lock is taken per write.
+    let mut writer = io::stdout();
+    serve_connection(handle, &mut reader, &mut writer)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_frames_roundtrip() {
+        let mut buf = Vec::new();
+        write_request(&mut buf, b"hello jpeg").unwrap();
+        write_goodbye(&mut buf).unwrap();
+        let mut r = io::Cursor::new(buf);
+        assert_eq!(
+            read_request(&mut r).unwrap().as_deref(),
+            Some(&b"hello jpeg"[..])
+        );
+        assert_eq!(read_request(&mut r).unwrap(), None);
+        // Clean EOF also reads as end-of-stream.
+        assert_eq!(
+            read_request(&mut io::Cursor::new(Vec::new())).unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn oversized_length_is_a_protocol_error_not_an_allocation() {
+        let mut framed = Vec::new();
+        framed.extend_from_slice(&(MAX_FRAME + 1).to_be_bytes());
+        framed.extend_from_slice(&[0u8; 16]);
+        let err = read_request(&mut io::Cursor::new(framed)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_frame_is_an_io_error() {
+        let mut framed = Vec::new();
+        framed.extend_from_slice(&100u32.to_be_bytes());
+        framed.extend_from_slice(&[7u8; 10]); // promises 100, delivers 10
+        assert!(read_request(&mut io::Cursor::new(framed)).is_err());
+    }
+
+    #[test]
+    fn oversized_response_lengths_are_protocol_errors() {
+        // Success frame promising more RGB than MAX_RESPONSE.
+        let mut buf = vec![0u8];
+        buf.extend_from_slice(&5u32.to_be_bytes());
+        buf.extend_from_slice(&5u32.to_be_bytes());
+        buf.extend_from_slice(&(MAX_RESPONSE + 1).to_be_bytes());
+        let err = read_response(&mut io::Cursor::new(buf)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        // Error frame promising an absurd message length must also be a
+        // hard error — clamping would desync the stream.
+        let mut buf = vec![1u8];
+        buf.extend_from_slice(&(MAX_FRAME + 1).to_be_bytes());
+        let err = read_response(&mut io::Cursor::new(buf)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn error_responses_roundtrip() {
+        let mut buf = Vec::new();
+        write_response(
+            &mut buf,
+            &Err(ServeError::Decode(
+                hetjpeg_jpeg::error::Error::BadHuffmanCode,
+            )),
+        )
+        .unwrap();
+        let got = read_response(&mut io::Cursor::new(buf)).unwrap();
+        let msg = got.expect_err("error frame");
+        assert!(msg.contains("decode failed"), "{msg}");
+    }
+}

@@ -62,6 +62,8 @@ where
 pub mod channel {
     use std::sync::mpsc;
 
+    pub use std::sync::mpsc::TrySendError;
+
     /// Sending half; blocks on a full bounded channel.
     pub struct Sender<T>(Inner<T>);
 
@@ -88,6 +90,18 @@ pub mod channel {
                 Inner::Bounded(s) => s.send(value),
             }
         }
+
+        /// Non-blocking send: `Full` hands the value back when a bounded
+        /// channel is at capacity (an unbounded channel is never full),
+        /// `Disconnected` when the receiver is gone.
+        pub fn try_send(&self, value: T) -> Result<(), mpsc::TrySendError<T>> {
+            match &self.0 {
+                Inner::Unbounded(s) => s
+                    .send(value)
+                    .map_err(|mpsc::SendError(v)| mpsc::TrySendError::Disconnected(v)),
+                Inner::Bounded(s) => s.try_send(value),
+            }
+        }
     }
 
     /// Receiving half; `iter` yields until every sender is dropped.
@@ -102,6 +116,18 @@ pub mod channel {
         /// Non-blocking receive.
         pub fn try_recv(&self) -> Result<T, mpsc::TryRecvError> {
             self.0.try_recv()
+        }
+
+        /// Receive with a timeout — what a batching consumer uses to
+        /// coalesce until a flush deadline. Returns
+        /// [`mpsc::RecvTimeoutError::Timeout`] when the deadline passes
+        /// with the channel still open, `Disconnected` when every sender
+        /// is gone and the queue is drained.
+        pub fn recv_timeout(
+            &self,
+            timeout: std::time::Duration,
+        ) -> Result<T, mpsc::RecvTimeoutError> {
+            self.0.recv_timeout(timeout)
         }
 
         /// Blocking iterator over received values.
@@ -164,6 +190,44 @@ mod tests {
         })
         .unwrap();
         assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn try_send_reports_full_and_hands_the_value_back() {
+        use std::sync::mpsc::TrySendError;
+        let (tx, rx) = crate::channel::bounded::<u32>(1);
+        tx.try_send(1).unwrap();
+        match tx.try_send(2) {
+            Err(TrySendError::Full(v)) => assert_eq!(v, 2),
+            other => panic!("expected Full, got {other:?}"),
+        }
+        assert_eq!(rx.recv(), Ok(1));
+        tx.try_send(3).unwrap();
+        drop(rx);
+        assert!(matches!(tx.try_send(4), Err(TrySendError::Disconnected(4))));
+    }
+
+    #[test]
+    fn recv_timeout_times_out_and_drains() {
+        use std::sync::mpsc::RecvTimeoutError;
+        use std::time::Duration;
+        let (tx, rx) = crate::channel::bounded::<u32>(4);
+        tx.send(7).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(50)), Ok(7));
+        // Empty but open: timeout.
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(1)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        // Buffered messages are still delivered after the sender is gone…
+        tx.send(8).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv_timeout(Duration::from_millis(1)), Ok(8));
+        // …and only then does the channel report disconnection.
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(1)),
+            Err(RecvTimeoutError::Disconnected)
+        );
     }
 
     #[test]
