@@ -108,8 +108,10 @@ fn bench_lmem_padding(c: &mut Criterion) {
         let coef = sim.create_buffer(layout.coef_bytes);
         let planes = sim.create_buffer(layout.planes_len);
         sim.write_buffer(coef, 0, &bytes);
+        let eobs = layout.upload_eob_sidecar(&mut sim, &coefbuf, &prep.geom);
         let k = IdctKernel {
             coef,
+            eobs,
             planes,
             layout: layout.clone(),
             comp: 0,
@@ -133,8 +135,10 @@ fn bench_lmem_padding(c: &mut Criterion) {
             let coef = sim.create_buffer(layout.coef_bytes);
             let planes = sim.create_buffer(layout.planes_len);
             sim.write_buffer(coef, 0, &bytes);
+            let eobs = layout.upload_eob_sidecar(&mut sim, &coefbuf, &prep.geom);
             let k = IdctKernel {
                 coef,
+                eobs,
                 planes,
                 layout: layout.clone(),
                 comp: 0,
@@ -162,9 +166,11 @@ fn bench_parity_order(c: &mut Criterion) {
     let packed = coefbuf.pack_mcu_rows(&prep.geom, 0, prep.geom.mcus_y);
     let bytes: Vec<u8> = packed.iter().flat_map(|v| v.to_le_bytes()).collect();
     sim.write_buffer(coef, 0, &bytes);
+    let eobs = layout.upload_eob_sidecar(&mut sim, &coefbuf, &prep.geom);
     for comp in 0..3 {
         let k = IdctKernel {
             coef,
+            eobs,
             planes,
             layout: layout.clone(),
             comp,

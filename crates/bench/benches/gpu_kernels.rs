@@ -34,8 +34,10 @@ fn bench_idct_kernel(c: &mut Criterion) {
             let coef = sim.create_buffer(layout.coef_bytes);
             let planes = sim.create_buffer(layout.planes_len);
             sim.write_buffer(coef, 0, &bytes);
+            let eobs = layout.upload_eob_sidecar(&mut sim, &coefbuf, &prep.geom);
             let k = IdctKernel {
                 coef,
+                eobs,
                 planes,
                 layout: layout.clone(),
                 comp: 0,

@@ -48,10 +48,15 @@ pub struct CpuCostModel {
     pub upsample_cycles_per_sample: f64,
     /// Scalar color-conversion cycles per pixel.
     pub color_cycles_per_pixel: f64,
-    /// SIMD-path speedup of the dequant+IDCT stage. The sparse IDCT is the
-    /// same scalar code on both paths; this factor prices only the
-    /// row-tile fusion's cache locality (BENCH_PR3).
-    pub simd_idct_speedup: f64,
+    /// SIMD-path speedup of the dequant+IDCT stage **per sparse class**
+    /// (DC-only, 2×2, 4×4, dense), anchored to the PR-5 vector islow
+    /// kernels (`BENCH_PR5.json`). DC-only blocks share the scalar flat
+    /// fill (factor 1); the corner and dense classes run the AVX2
+    /// column-parallel butterflies. The dense factor is *corpus-effective*
+    /// (the scalar baseline's flat-column shortcut fires on real blocks),
+    /// which is why it sits below the 4×4 factor — the all-coefficients
+    /// microbench alone would claim ≈5×.
+    pub simd_idct_class_speedup: [f64; 4],
     /// SIMD-path speedup of the chroma-upsample stage (the SSE2/AVX2
     /// Algorithm-1 kernels, BENCH_PR3).
     pub simd_upsample_speedup: f64,
@@ -83,9 +88,13 @@ impl CpuCostModel {
             // PR-3 re-anchor (BENCH_PR3.json, AVX2): the row-kernel
             // microbench measures ≈8× on Algorithm-1 upsampling and ≈4.2×
             // on Algorithm-2 color conversion, and the corpus-level stage
-            // deltas confirm the same effective in-pipeline factors; the
-            // shared scalar IDCT gains only the row-tile fusion's ~2–5%.
-            simd_idct_speedup: 1.05,
+            // deltas confirm the same effective in-pipeline factors.
+            // PR-5 re-anchor (BENCH_PR5.json): the EOB-dispatched vector
+            // islow IDCT replaces the fusion-only 1.05 with per-class
+            // factors — stage speedup ≈1.9× on the dense q95 4:2:0 corpus,
+            // ≈1.6–2.0× on sparse q80 (DC blocks dilute it), composed of
+            // these class factors.
+            simd_idct_class_speedup: [1.0, 1.6, 2.6, 2.0],
             simd_upsample_speedup: 8.0,
             simd_color_speedup: 4.2,
             dispatch_base_us: 15.0,
@@ -105,7 +114,7 @@ impl CpuCostModel {
             idct_cycles_per_block: 580.0,
             upsample_cycles_per_sample: 3.9,
             color_cycles_per_pixel: 11.6,
-            simd_idct_speedup: 1.06,
+            simd_idct_class_speedup: [1.0, 1.65, 2.7, 2.05],
             simd_upsample_speedup: 8.2,
             simd_color_speedup: 4.3,
             dispatch_base_us: 14.0,
@@ -118,18 +127,91 @@ impl CpuCostModel {
         cycles / (self.clock_ghz * 1e9)
     }
 
-    /// Per-stage speedup divisors for the requested path.
+    /// Upsample/color speedup divisors for the requested path (the IDCT
+    /// divisor is per class — [`Self::idct_cycles`]).
     #[inline]
-    fn stage_divisors(&self, simd: bool) -> (f64, f64, f64) {
+    fn uc_divisors(&self, simd: bool) -> (f64, f64) {
         if simd {
-            (
-                self.simd_idct_speedup,
-                self.simd_upsample_speedup,
-                self.simd_color_speedup,
-            )
+            (self.simd_upsample_speedup, self.simd_color_speedup)
         } else {
-            (1.0, 1.0, 1.0)
+            (1.0, 1.0)
         }
+    }
+
+    /// This model with its vector-stage factors capped to what `level`'s
+    /// dispatch policy actually runs — the canonical pins describe the
+    /// AVX2 path, but a session resolved at a lower level must not price
+    /// bands it cannot decode that fast. At [`hetjpeg_jpeg::decoder::kernels::SimdLevel::Sse2`] only the
+    /// 4×4 IDCT class keeps a vector win (BENCH_PR5 `idct_class_*` under
+    /// `HETJPEG_SIMD=sse2`: ≈1.47×; 2×2 and dense dispatch to scalar) and
+    /// the 128-bit upsample/color kernels run at roughly half the AVX2
+    /// factors; at [`hetjpeg_jpeg::decoder::kernels::SimdLevel::Scalar`] every factor is 1. The session
+    /// builder applies this to its platform copy, so `Mode::Auto` and the
+    /// partition points stay consistent with the kernels the session
+    /// really dispatches.
+    pub fn at_level(mut self, level: hetjpeg_jpeg::decoder::kernels::SimdLevel) -> Self {
+        use hetjpeg_jpeg::decoder::kernels::SimdLevel;
+        match level {
+            SimdLevel::Avx2 => {}
+            SimdLevel::Sse2 => {
+                self.simd_idct_class_speedup = [1.0, 1.0, 1.47, 1.0];
+                self.simd_upsample_speedup = (self.simd_upsample_speedup / 2.0).max(1.0);
+                self.simd_color_speedup = (self.simd_color_speedup / 2.0).max(1.0);
+            }
+            SimdLevel::Scalar => {
+                self.simd_idct_class_speedup = [1.0; 4];
+                self.simd_upsample_speedup = 1.0;
+                self.simd_color_speedup = 1.0;
+            }
+        }
+        self
+    }
+
+    /// The SIMD IDCT speedup at an aggregate EOB discount: the class
+    /// anchors ([`Self::SPARSE_CLASS_FACTORS`] ↦
+    /// `simd_idct_class_speedup`) interpolated linearly, clamped outside —
+    /// what callers that only carry a scalar discount (the trained
+    /// `PCPU`'s `pcpu_idct_discount`, the PPS tail extrapolation) use in
+    /// place of a full histogram.
+    pub fn simd_idct_speedup_at_discount(&self, discount: f64) -> f64 {
+        let xs = Self::SPARSE_CLASS_FACTORS;
+        let ys = self.simd_idct_class_speedup;
+        if discount <= xs[0] {
+            return ys[0];
+        }
+        for i in 1..4 {
+            if discount <= xs[i] {
+                let t = (discount - xs[i - 1]) / (xs[i] - xs[i - 1]);
+                return ys[i - 1] + t * (ys[i] - ys[i - 1]);
+            }
+        }
+        ys[3]
+    }
+
+    /// Dequant+IDCT cycles for a band: per EOB class, each class priced at
+    /// its scalar share ([`Self::SPARSE_CLASS_FACTORS`]) and, on the SIMD
+    /// path, discounted by its own vector-kernel speedup. Blocks the
+    /// histogram does not cover (e.g. a salvaged truncated image) are
+    /// priced dense; an empty histogram prices everything dense.
+    fn idct_cycles(&self, w: &ParallelWork, classes: &[u64; 4], simd: bool) -> f64 {
+        let div = |c: usize| {
+            if simd {
+                self.simd_idct_class_speedup[c]
+            } else {
+                1.0
+            }
+        };
+        let histogram_blocks: u64 = classes.iter().sum();
+        if histogram_blocks == 0 {
+            return w.idct_blocks as f64 * self.idct_cycles_per_block / div(3);
+        }
+        let mut cycles = 0.0;
+        for (c, (count, factor)) in classes.iter().zip(Self::SPARSE_CLASS_FACTORS).enumerate() {
+            cycles += *count as f64 * self.idct_cycles_per_block * factor / div(c);
+        }
+        cycles
+            + w.idct_blocks.saturating_sub(histogram_blocks) as f64 * self.idct_cycles_per_block
+                / div(3)
     }
 
     /// Huffman (entropy) decoding time for the given work metrics — the
@@ -145,11 +227,7 @@ impl CpuCostModel {
     /// work, on the scalar or SIMD path, assuming every block pays the
     /// dense transform.
     pub fn parallel_time(&self, w: &ParallelWork, simd: bool) -> f64 {
-        let (di, du, dc) = self.stage_divisors(simd);
-        let cycles = w.idct_blocks as f64 * self.idct_cycles_per_block / di
-            + w.upsampled_samples as f64 * self.upsample_cycles_per_sample / du
-            + w.color_pixels as f64 * self.color_cycles_per_pixel / dc;
-        self.cycles_to_seconds(cycles)
+        self.parallel_time_sparse(w, &[0, 0, 0, 0], simd)
     }
 
     /// Relative dequant+IDCT cost of each sparse-dispatch class (DC-only,
@@ -157,22 +235,6 @@ impl CpuCostModel {
     /// hot-path bench (`BENCH_PR1.json`: ~2.25× on a q80 4:2:0 corpus whose
     /// blocks are mostly DC-only/2×2).
     pub const SPARSE_CLASS_FACTORS: [f64; 4] = [0.12, 0.28, 0.55, 1.0];
-
-    /// Effective dense-equivalent IDCT block count for an EOB-class
-    /// histogram: sparse classes are discounted by
-    /// [`Self::SPARSE_CLASS_FACTORS`], and blocks the histogram does not
-    /// cover (e.g. a salvaged truncated image) are priced dense.
-    fn effective_idct_blocks(w: &ParallelWork, classes: &[u64; 4]) -> f64 {
-        let histogram_blocks: u64 = classes.iter().sum();
-        if histogram_blocks == 0 {
-            return w.idct_blocks as f64;
-        }
-        let mut eff = 0.0;
-        for (count, factor) in classes.iter().zip(Self::SPARSE_CLASS_FACTORS) {
-            eff += *count as f64 * factor;
-        }
-        eff + w.idct_blocks.saturating_sub(histogram_blocks) as f64
-    }
 
     /// [`Self::parallel_time`] with the IDCT term priced per EOB class
     /// instead of assuming every block pays the dense transform.
@@ -182,12 +244,14 @@ impl CpuCostModel {
     /// assumption is kept, so callers without entropy metrics degrade to
     /// [`Self::parallel_time`]. Since the PR-3 retrain this is the price
     /// **every CPU band pays** — all seven modes (and therefore
-    /// `Mode::Auto` and the CPU/GPU partition point) see sparsity, which
-    /// closes the ROADMAP's §5.1 retraining item. The simulated GPU
-    /// kernels remain dense (their own open item).
+    /// `Mode::Auto` and the CPU/GPU partition point) see sparsity. Since
+    /// PR 5 the SIMD path divides each class by its own vector-kernel
+    /// speedup (`simd_idct_class_speedup`), and the simulated GPU kernels
+    /// dispatch on the same classes, so both sides of the partition are
+    /// priced from the kernels actually running.
     pub fn parallel_time_sparse(&self, w: &ParallelWork, classes: &[u64; 4], simd: bool) -> f64 {
-        let (di, du, dc) = self.stage_divisors(simd);
-        let cycles = Self::effective_idct_blocks(w, classes) * self.idct_cycles_per_block / di
+        let (du, dc) = self.uc_divisors(simd);
+        let cycles = self.idct_cycles(w, classes, simd)
             + w.upsampled_samples as f64 * self.upsample_cycles_per_sample / du
             + w.color_pixels as f64 * self.color_cycles_per_pixel / dc;
         self.cycles_to_seconds(cycles)
@@ -207,8 +271,8 @@ impl CpuCostModel {
         classes: &[u64; 4],
         simd: bool,
     ) -> f64 {
-        let (di, du, _) = self.stage_divisors(simd);
-        let cycles = Self::effective_idct_blocks(w, classes) * self.idct_cycles_per_block / di
+        let (du, _) = self.uc_divisors(simd);
+        let cycles = self.idct_cycles(w, classes, simd)
             + w.upsampled_samples as f64 * self.upsample_cycles_per_sample / du;
         self.cycles_to_seconds(cycles)
     }
@@ -233,7 +297,7 @@ impl CpuCostModel {
         let ups = w.upsampled_samples as f64 * self.upsample_cycles_per_sample;
         let color = w.color_pixels as f64 * self.color_cycles_per_pixel;
         let scalar = idct + ups + color;
-        let simd = idct / self.simd_idct_speedup
+        let simd = idct / self.simd_idct_speedup_at_discount(discount)
             + ups / self.simd_upsample_speedup
             + color / self.simd_color_speedup;
         if simd <= 0.0 {
@@ -263,9 +327,10 @@ impl CpuCostModel {
     /// closed form averaged over — the sparsity twin of the paper's Eq. 17
     /// density correction, used by the PPS re-partitioning step.
     pub fn band_scale_for_discount(&self, w: &ParallelWork, observed: f64, assumed: f64) -> f64 {
-        let (di, du, dc) = self.stage_divisors(true);
+        let (du, dc) = self.uc_divisors(true);
         let cycles_at = |discount: f64| {
-            w.idct_blocks as f64 * self.idct_cycles_per_block * discount / di
+            w.idct_blocks as f64 * self.idct_cycles_per_block * discount
+                / self.simd_idct_speedup_at_discount(discount)
                 + w.upsampled_samples as f64 * self.upsample_cycles_per_sample / du
                 + w.color_pixels as f64 * self.color_cycles_per_pixel / dc
         };
@@ -319,26 +384,74 @@ mod tests {
     }
 
     #[test]
-    fn simd_parallel_phase_pins_the_pr3_kernels() {
-        // PR-3 re-anchor of the old Fig. 6 pin: with the vector upsample +
-        // color kernels but the shared scalar sparse IDCT, the dense 4:2:2
-        // SIMD band prices at ≈6.6 ns/px on the i7-2600K — above the
-        // paper's ≈3.2 (libjpeg-turbo vectorizes its IDCT too), and the
-        // sparse-aware price on a DC-heavy histogram comes back down to
-        // the old anchor's neighbourhood.
+    fn simd_parallel_phase_pins_the_pr5_kernels() {
+        // PR-5 re-anchor of the Fig. 6 pin: with the vector IDCT the dense
+        // 4:2:2 SIMD band prices at ≈3.7 ns/px on the i7-2600K — finally
+        // in the neighbourhood of the paper's ≈3.2 (libjpeg-turbo also
+        // vectorizes its IDCT) — and a q80-like DC-heavy histogram drops
+        // well below it.
         let cpu = CpuCostModel::i7_2600k();
         let geom = Geometry::new(2048, 2048, Subsampling::S422).unwrap();
         let work = ParallelWork::for_mcu_rows(&geom, 0, geom.mcus_y);
         let dense = cpu.parallel_time(&work, true) / geom.pixels() as f64 * 1e9;
-        assert!((5.5..8.0).contains(&dense), "SIMD dense {dense:.2} ns/px");
+        assert!((3.0..4.5).contains(&dense), "SIMD dense {dense:.2} ns/px");
         // A q80-photo-like histogram (mostly DC-only/2×2 blocks).
         let b = work.idct_blocks;
         let classes = [b / 2, b / 4, b / 8, b - b / 2 - b / 4 - b / 8];
         let sparse = cpu.parallel_time_sparse(&work, &classes, true) / geom.pixels() as f64 * 1e9;
         assert!(
-            (2.5..5.0).contains(&sparse),
+            (1.5..3.0).contains(&sparse),
             "SIMD sparse {sparse:.2} ns/px"
         );
+        // And sparse pricing must sit below the dense bound.
+        assert!(sparse < dense);
+    }
+
+    #[test]
+    fn at_level_caps_factors_to_the_dispatch_policy() {
+        use hetjpeg_jpeg::decoder::kernels::SimdLevel;
+        let cpu = CpuCostModel::i7_2600k();
+        // AVX2 is the canonical pin set — identity.
+        assert_eq!(cpu.at_level(SimdLevel::Avx2), cpu);
+        // SSE2: only the 4×4 IDCT class keeps a vector win; upsample and
+        // color halve. The SIMD band must therefore price *slower* than
+        // the AVX2 one on the same work.
+        let sse2 = cpu.at_level(SimdLevel::Sse2);
+        assert_eq!(sse2.simd_idct_class_speedup[0], 1.0);
+        assert_eq!(sse2.simd_idct_class_speedup[1], 1.0);
+        assert!(sse2.simd_idct_class_speedup[2] > 1.0);
+        assert_eq!(sse2.simd_idct_class_speedup[3], 1.0);
+        let geom = Geometry::new(1024, 1024, Subsampling::S420).unwrap();
+        let work = ParallelWork::for_mcu_rows(&geom, 0, geom.mcus_y);
+        let b = work.idct_blocks;
+        let classes = [b / 2, b / 4, b / 8, b - b / 2 - b / 4 - b / 8];
+        assert!(
+            sse2.parallel_time_sparse(&work, &classes, true)
+                > cpu.parallel_time_sparse(&work, &classes, true)
+        );
+        // Scalar: the SIMD path prices exactly like the scalar path.
+        let scalar = cpu.at_level(SimdLevel::Scalar);
+        assert_eq!(
+            scalar.parallel_time_sparse(&work, &classes, true),
+            scalar.parallel_time_sparse(&work, &classes, false)
+        );
+        assert!((scalar.scalar_over_simd(&work) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idct_speedup_interpolates_between_class_anchors() {
+        let cpu = CpuCostModel::i7_2600k();
+        let xs = CpuCostModel::SPARSE_CLASS_FACTORS;
+        let ys = cpu.simd_idct_class_speedup;
+        // Exact at the anchors, clamped outside, monotone between the
+        // sparse anchors.
+        for (x, y) in xs.iter().zip(ys.iter()) {
+            assert!((cpu.simd_idct_speedup_at_discount(*x) - y).abs() < 1e-12);
+        }
+        assert_eq!(cpu.simd_idct_speedup_at_discount(0.0), ys[0]);
+        assert_eq!(cpu.simd_idct_speedup_at_discount(2.0), ys[3]);
+        let mid = cpu.simd_idct_speedup_at_discount(0.4);
+        assert!(mid > ys[1] && mid < ys[2], "0.4 ↦ {mid:.2}");
     }
 
     #[test]
@@ -353,7 +466,7 @@ mod tests {
             let work = ParallelWork::for_mcu_rows(&geom, 0, geom.mcus_y);
             let ratio = cpu.scalar_over_simd(&work);
             assert!(
-                ratio > cpu.simd_idct_speedup && ratio < cpu.simd_upsample_speedup,
+                ratio > cpu.simd_idct_class_speedup[0] && ratio < cpu.simd_upsample_speedup,
                 "{} ratio {ratio:.2} outside stage bounds",
                 sub.notation()
             );
@@ -363,9 +476,10 @@ mod tests {
             ratios[0] < ratios[1] && ratios[1] < ratios[2],
             "more chroma work ⇒ bigger vector win: {ratios:?}"
         );
-        // Dense 4:2:2 re-anchor: ≈1.7× (was the assumed 3×).
+        // Dense 4:2:2 re-anchor with the PR-5 vector IDCT: ≈2.7× (PR 3's
+        // scalar-IDCT blend sat at ≈1.7×).
         assert!(
-            (1.4..2.0).contains(&ratios[1]),
+            (2.3..3.2).contains(&ratios[1]),
             "4:2:2 ratio {:.2}",
             ratios[1]
         );
@@ -375,10 +489,9 @@ mod tests {
     fn overall_simd_speedup_recovers_two_x_on_sparse_content() {
         // §1: "the SIMD-version of libjpeg-turbo decodes an image twice as
         // fast as the sequential version on an Intel i7". Re-anchored for
-        // PR-3: on *dense* work our scalar IDCT keeps the overall win at
-        // ≈1.4–1.5×, and on sparse (q80-like) histograms the EOB dispatch
-        // plus vector kernels restore ≈2× (BENCH_PR3 measures ≈2.2× on the
-        // q80 4:2:0 corpus).
+        // PR-5: the vector IDCT lifts the dense overall win to ≈1.8–2.2×
+        // (BENCH_PR5 parallel-phase ≈2.1–2.6× before Huffman dilution),
+        // and sparse histograms hold ≈2× as well.
         let cpu = CpuCostModel::i7_2600k();
         let geom = Geometry::new(2048, 2048, Subsampling::S422).unwrap();
         let work = ParallelWork::for_mcu_rows(&geom, 0, geom.mcus_y);
@@ -387,7 +500,7 @@ mod tests {
         let simd = cpu.huff_time(&m) + cpu.parallel_time(&work, true);
         let dense_speedup = seq / simd;
         assert!(
-            (1.25..1.7).contains(&dense_speedup),
+            (1.6..2.3).contains(&dense_speedup),
             "dense overall SIMD speedup {dense_speedup:.2}"
         );
         let b = work.idct_blocks;
@@ -405,6 +518,8 @@ mod tests {
             (1.7..2.6).contains(&sparse_speedup),
             "sparse overall SIMD speedup {sparse_speedup:.2}"
         );
+        // The vector IDCT must not price sparse content *above* dense
+        // content's speedup by construction alone — both land near 2×.
         // Huffman stays a large fraction of the SIMD total.
         let frac = cpu.huff_time(&m) / simd;
         assert!((0.2..0.6).contains(&frac), "Huffman fraction {frac:.2}");

@@ -64,26 +64,29 @@ pub(crate) fn decode_pps_threaded_impl(
     let width = geom.width;
 
     crossbeam::scope(|s| -> Result<()> {
-        let (tx, rx) = crossbeam::channel::bounded::<(usize, usize, Vec<i16>)>(PIPELINE_DEPTH);
+        type Chunk = (usize, usize, Vec<i16>, Vec<u8>);
+        let (tx, rx) = crossbeam::channel::bounded::<Chunk>(PIPELINE_DEPTH);
         // Free-list of consumed chunk buffers flowing back to the producer.
-        let (pool_tx, pool_rx) = crossbeam::channel::unbounded::<Vec<i16>>();
+        let (pool_tx, pool_rx) = crossbeam::channel::unbounded::<(Vec<i16>, Vec<u8>)>();
         let prep_ref = &prep;
 
-        // GPU worker: functional kernel execution per chunk, returning each
-        // chunk buffer to the pool once decoded.
+        // GPU worker: functional kernel execution per chunk (coefficients
+        // plus the EOB sidecar the kernels dispatch on), returning each
+        // chunk buffer pair to the pool once decoded.
         let worker = s.spawn(move |_| {
             let mut parts: Vec<(usize, usize, Vec<u8>)> = Vec::new();
-            for (row0, row1, packed) in rx.iter() {
+            for (row0, row1, packed, eobs) in rx.iter() {
                 let res = decode_packed_region_gpu(
                     prep_ref,
                     &packed,
+                    &eobs,
                     row0,
                     row1,
                     platform,
                     model.wg_blocks,
                     KernelPlan::Merged,
                 );
-                let _ = pool_tx.send(packed); // producer may already be done
+                let _ = pool_tx.send((packed, eobs)); // producer may already be done
                 parts.push((row0, row1, res.rgb));
             }
             parts
@@ -98,9 +101,10 @@ pub(crate) fn decode_pps_threaded_impl(
             for _ in row..end {
                 dec.decode_mcu_row(&mut coef)?;
             }
-            let mut packed = pool_rx.try_recv().unwrap_or_default();
+            let (mut packed, mut eobs) = pool_rx.try_recv().unwrap_or_default();
             coef.pack_mcu_rows_into(geom, row, end, &mut packed);
-            tx.send((row, end, packed)).expect("gpu worker alive");
+            coef.pack_eobs_mcu_rows_into(geom, row, end, &mut eobs);
+            tx.send((row, end, packed, eobs)).expect("gpu worker alive");
             row = end;
         }
         drop(tx);

@@ -66,13 +66,15 @@ pub enum KernelPlan {
 }
 
 /// Reusable host-side staging for GPU region decodes: the packed
-/// coefficient chunk and its little-endian byte image. Holding one of these
-/// across chunks/images (the session decoder's workspace does) removes the
-/// two per-chunk heap allocations from the dispatch path.
+/// coefficient chunk, its little-endian byte image, and the per-block EOB
+/// sidecar. Holding one of these across chunks/images (the session
+/// decoder's workspace does) removes the per-chunk heap allocations from
+/// the dispatch path.
 #[derive(Debug, Default)]
 pub struct GpuStaging {
     packed: Vec<i16>,
     bytes: Vec<u8>,
+    eobs: Vec<u8>,
 }
 
 /// Decode MCU rows `[row0, row1)` on the simulated GPU.
@@ -114,18 +116,28 @@ pub fn decode_region_gpu_with(
     plan: KernelPlan,
     staging: &mut GpuStaging,
 ) -> GpuRegionResult {
-    let GpuStaging { packed, bytes } = staging;
+    let GpuStaging {
+        packed,
+        bytes,
+        eobs,
+    } = staging;
     coefbuf.pack_mcu_rows_into(&prep.geom, row0, row1, packed);
-    decode_packed_inner(prep, packed, row0, row1, platform, wg_blocks, plan, bytes)
+    coefbuf.pack_eobs_mcu_rows_into(&prep.geom, row0, row1, eobs);
+    decode_packed_inner(
+        prep, packed, eobs, row0, row1, platform, wg_blocks, plan, bytes,
+    )
 }
 
 /// Like [`decode_region_gpu`] but takes an already-packed coefficient chunk
-/// — the form the real-thread pipelined executor sends through its channel
-/// (so the entropy thread and the GPU thread never alias the coefficient
-/// buffer).
+/// and its EOB sidecar — the form the real-thread pipelined executor sends
+/// through its channel (so the entropy thread and the GPU thread never
+/// alias the coefficient buffer). `eobs` holds one byte per block in the
+/// packed block order (`CoefBuffer::pack_eobs_mcu_rows_into`).
+#[allow(clippy::too_many_arguments)]
 pub fn decode_packed_region_gpu(
     prep: &Prepared<'_>,
     packed: &[i16],
+    eobs: &[u8],
     row0: usize,
     row1: usize,
     platform: &Platform,
@@ -134,7 +146,7 @@ pub fn decode_packed_region_gpu(
 ) -> GpuRegionResult {
     let mut bytes = Vec::new();
     decode_packed_inner(
-        prep, packed, row0, row1, platform, wg_blocks, plan, &mut bytes,
+        prep, packed, eobs, row0, row1, platform, wg_blocks, plan, &mut bytes,
     )
 }
 
@@ -142,6 +154,7 @@ pub fn decode_packed_region_gpu(
 fn decode_packed_inner(
     prep: &Prepared<'_>,
     packed: &[i16],
+    eob_sidecar: &[u8],
     row0: usize,
     row1: usize,
     platform: &Platform,
@@ -155,6 +168,7 @@ fn decode_packed_inner(
 
     // Buffers.
     let coef = sim.create_buffer(layout.coef_bytes);
+    let eobs = sim.create_buffer(layout.eob_bytes());
     let planes = sim.create_buffer(layout.planes_len.max(1));
     let rgb = sim.create_buffer(layout.rgb_len);
 
@@ -168,8 +182,13 @@ fn decode_packed_inner(
         dst.copy_from_slice(&v.to_le_bytes());
     }
     debug_assert_eq!(bytes.len(), layout.coef_bytes);
+    debug_assert_eq!(eob_sidecar.len(), layout.eob_bytes());
     sim.write_buffer(coef, 0, bytes);
-    let h2d_time = platform.pcie.transfer_time(bytes.len(), true);
+    // The EOB sidecar rides along: one byte per block (~0.8% of the
+    // coefficient payload) buys the kernels their sparse dispatch.
+    sim.write_buffer(eobs, 0, eob_sidecar);
+    let h2d_bytes = bytes.len() + eob_sidecar.len();
+    let h2d_time = platform.pcie.transfer_time(h2d_bytes, true);
 
     let mut kernel_times: Vec<(&'static str, f64)> = Vec::new();
     let mut stats = LaunchStats::default();
@@ -185,6 +204,7 @@ fn decode_packed_inner(
         (Subsampling::S444, KernelPlan::Merged) => {
             let k = IdctColorKernel444 {
                 coef,
+                eobs,
                 rgb,
                 layout: layout.clone(),
                 quant: [
@@ -200,6 +220,7 @@ fn decode_packed_inner(
             for c in 0..3 {
                 let k = IdctKernel {
                     coef,
+                    eobs,
                     planes,
                     layout: layout.clone(),
                     comp: c,
@@ -231,6 +252,7 @@ fn decode_packed_inner(
             for c in 0..3 {
                 let k = IdctKernel {
                     coef,
+                    eobs,
                     planes,
                     layout: layout.clone(),
                     comp: c,
@@ -297,7 +319,7 @@ fn decode_packed_inner(
                         d2h_time,
                         kernel_times,
                         stats,
-                        h2d_bytes: bytes.len(),
+                        h2d_bytes,
                     };
                 }
             }
@@ -314,7 +336,7 @@ fn decode_packed_inner(
         d2h_time,
         kernel_times,
         stats,
-        h2d_bytes: bytes.len(),
+        h2d_bytes,
     }
 }
 

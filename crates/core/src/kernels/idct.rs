@@ -1,4 +1,4 @@
-//! The IDCT kernel (paper §4.1).
+//! The IDCT kernel (paper §4.1), EOB-dispatched since PR 5.
 //!
 //! "We employ eight OpenCL work-items per block. The input data is
 //! de-quantized after being loaded from global memory. Each work-item
@@ -8,11 +8,29 @@
 //! process the row pass. Thus, local memory is the suitable choice. ...
 //! a work-group performs IDCT on a multiple of four blocks to ensure that
 //! the number of work-items per group is a multiple of 32."
+//!
+//! The paper's GPU baseline runs every block dense; Weißenberger & Schmidt
+//! (PAPERS.md) show sparsity-aware GPU IDCT kernels win. Since PR 5 the
+//! kernel ships a one-byte-per-block **EOB sidecar** alongside the packed
+//! coefficients and dispatches each block to the same pruned sparse
+//! classes as the CPU paths ([`hetjpeg_jpeg::dct::sparse`]): the butterfly
+//! work per 1-D pass is charged per class ([`ops::IDCT_1D_BY_CLASS`]), so
+//! the simulated kernel time — and through it the trained `PGPU` band
+//! pricing — finally sees sparsity. The **memory access pattern stays
+//! uniform** across the warp (every item issues the dense load/store
+//! sequence): pruning the loads per class would misalign the warp's
+//! access slots in mixed-class warps and serialize what the §4.1 layout
+//! carefully coalesces — on the simulator's transaction model exactly as
+//! on real hardware, the coalescing loss would cost more than the skipped
+//! bytes. The class dispatch itself is recorded as a (potentially
+//! divergent) branch, so mixed-class warps pay the honest divergence
+//! charge the dense baseline never had. Output stays bit-identical: the
+//! pruned passes drop only exact zeros.
 
 use super::ops;
 use super::RegionLayout;
 use hetjpeg_gpusim::{BufId, GroupCtx, Kernel};
-use hetjpeg_jpeg::dct::islow::{idct_pass1, idct_row};
+use hetjpeg_jpeg::dct::sparse::{class_for_eob, idct_pass1_class, idct_row_class};
 
 /// Local-memory stride per block in i64 units; padded from 64 to reduce
 /// shared-memory bank conflicts between the column and row passes. The
@@ -23,6 +41,8 @@ pub const BLOCK_LMEM_STRIDE: usize = 65;
 pub struct IdctKernel {
     /// Packed coefficient buffer (i16).
     pub coef: BufId,
+    /// Per-block EOB sidecar (u8, same block order as `coef`).
+    pub eobs: BufId,
     /// Sample planes buffer (u8).
     pub planes: BufId,
     /// Region geometry.
@@ -75,9 +95,12 @@ impl Kernel for IdctKernel {
         let stride = self.layout.plane_stride[self.comp];
         let lstride = self.lmem_stride();
         let first_block = ctx.group_id * self.blocks_per_group;
-        let (coef, planes) = (self.coef, self.planes);
+        let (coef, eobs, planes) = (self.coef, self.eobs, self.planes);
+        let eob_base = self.layout.eob_base(self.comp);
 
-        // Phase 1 — column pass: item = (local block, column).
+        // Phase 1 — column pass: item = (local block, column). Loads stay
+        // dense (coalescing, see module docs); the butterfly and its
+        // charge are EOB-dispatched per block.
         ctx.phase(|it| {
             let lb = it.id() / 8;
             let col = it.id() % 8;
@@ -85,6 +108,12 @@ impl Kernel for IdctKernel {
             if !it.branch(bidx < nblocks) {
                 return;
             }
+            let class = class_for_eob(it.gload_u8(eobs, eob_base + bidx));
+            // Data-dependent dispatch, recorded as the class's two bits so
+            // *any* class mix within the warp diverges (a single dense/
+            // sparse predicate would count DC-only next to 4x4 as uniform).
+            it.branch(class.index() & 1 != 0);
+            it.branch(class.index() & 2 != 0);
             let mut v = [0i64; 8];
             for (r, slot) in v.iter_mut().enumerate() {
                 let addr = (coef_base + bidx * 64 + r * 8 + col) * 2;
@@ -92,15 +121,16 @@ impl Kernel for IdctKernel {
                 it.charge(ops::DEQUANT);
                 *slot = c * self.quant[r * 8 + col] as i64;
             }
-            it.charge(ops::IDCT_1D);
-            let out = idct_pass1(v);
+            it.charge(ops::idct_1d_class(class));
+            let out = idct_pass1_class(v, class);
             for (r, &val) in out.iter().enumerate() {
                 it.lstore_i64((lb * lstride + r * 8 + col) * 8, val);
             }
         });
 
         // Phase 2 — row pass (after the local-memory barrier): item =
-        // (local block, row).
+        // (local block, row). Beyond the class's live columns the
+        // workspace holds exact zeros the pruned row butterfly drops.
         ctx.phase(|it| {
             let lb = it.id() / 8;
             let row = it.id() % 8;
@@ -108,12 +138,15 @@ impl Kernel for IdctKernel {
             if !it.branch(bidx < nblocks) {
                 return;
             }
+            let class = class_for_eob(it.gload_u8(eobs, eob_base + bidx));
+            it.branch(class.index() & 1 != 0);
+            it.branch(class.index() & 2 != 0);
             let mut v = [0i64; 8];
             for (c, slot) in v.iter_mut().enumerate() {
                 *slot = it.lload_i64((lb * lstride + row * 8 + c) * 8);
             }
-            it.charge(ops::IDCT_1D + ops::PACK_ROW);
-            let px = idct_row(&v);
+            it.charge(ops::idct_1d_class(class) + ops::PACK_ROW);
+            let px = idct_row_class(&v, class);
             let by = bidx / wb;
             let bx = bidx % wb;
             let addr = plane_base + (by * 8 + row) * stride + bx * 8;
@@ -172,10 +205,12 @@ mod tests {
             let packed = coefbuf.pack_mcu_rows(geom, 0, geom.mcus_y);
             let bytes: Vec<u8> = packed.iter().flat_map(|v| v.to_le_bytes()).collect();
             sim.write_buffer(coef, 0, &bytes);
+            let eobs = layout.upload_eob_sidecar(&mut sim, &coefbuf, geom);
 
             for c in 0..3 {
                 let k = IdctKernel {
                     coef,
+                    eobs,
                     planes,
                     layout: layout.clone(),
                     comp: c,
@@ -185,7 +220,6 @@ mod tests {
                 };
                 let stats = sim.launch(&k, k.num_groups());
                 assert!(stats.compute_ops > 0);
-                assert_eq!(stats.divergent_branches, 0, "uniform guard expected");
             }
 
             // CPU reference.
@@ -222,10 +256,12 @@ mod tests {
         let packed = coefbuf.pack_mcu_rows(geom, 0, geom.mcus_y);
         let bytes: Vec<u8> = packed.iter().flat_map(|v| v.to_le_bytes()).collect();
         sim.write_buffer(coef, 0, &bytes);
+        let eobs = layout.upload_eob_sidecar(&mut sim, &coefbuf, geom);
 
         // 6 blocks with groups of 4 -> second group is half empty.
         let k = IdctKernel {
             coef,
+            eobs,
             planes,
             layout: layout.clone(),
             comp: 0,
@@ -237,6 +273,62 @@ mod tests {
         let stats = sim.launch(&k, k.num_groups());
         // The tail group's guard is warp-divergent (items 0..16 active).
         assert!(stats.divergent_branches > 0);
+    }
+
+    /// The EOB dispatch must shrink the kernel's work on sparse content:
+    /// fewer compute ops and less global traffic than the dense-EOB
+    /// baseline, bit-identical output, and real divergence on mixed-class
+    /// warps.
+    #[test]
+    fn eob_dispatch_cuts_work_on_sparse_content() {
+        let jpeg = make_image(64, 64, Subsampling::S422);
+        let prep = Prepared::new(&jpeg).unwrap();
+        let geom = &prep.geom;
+        let (coefbuf, _) = prep.entropy_decode_all().unwrap();
+        let layout = RegionLayout::new(geom, 0, geom.mcus_y);
+        let packed = coefbuf.pack_mcu_rows(geom, 0, geom.mcus_y);
+        let bytes: Vec<u8> = packed.iter().flat_map(|v| v.to_le_bytes()).collect();
+
+        let run = |buf: &hetjpeg_jpeg::coef::CoefBuffer| {
+            let mut sim = GpuSim::new(DeviceSpec::gtx560ti());
+            let coef = sim.create_buffer(layout.coef_bytes);
+            let planes = sim.create_buffer(layout.planes_len);
+            sim.write_buffer(coef, 0, &bytes);
+            let eobs = layout.upload_eob_sidecar(&mut sim, buf, geom);
+            let k = IdctKernel {
+                coef,
+                eobs,
+                planes,
+                layout: layout.clone(),
+                comp: 1, // chroma: plenty of sparse blocks at q82
+                quant: prep.quant[1].values,
+                blocks_per_group: 4,
+                pad_lmem: true,
+            };
+            let stats = sim.launch(&k, k.num_groups());
+            (stats, sim.read_buffer(planes).to_vec())
+        };
+
+        let dense = coefbuf.clone_with_dense_eobs();
+        let (dense_stats, dense_out) = run(&dense);
+        let (sparse_stats, sparse_out) = run(&coefbuf);
+        assert_eq!(sparse_out, dense_out, "EOB dispatch must not change bytes");
+        assert!(
+            sparse_stats.compute_ops < dense_stats.compute_ops,
+            "sparse {} vs dense {} ops",
+            sparse_stats.compute_ops,
+            dense_stats.compute_ops
+        );
+        // The memory pattern is deliberately uniform (coalescing — module
+        // docs): traffic must not change with the class mix.
+        assert_eq!(
+            sparse_stats.bus_bytes(),
+            dense_stats.bus_bytes(),
+            "uniform access pattern regardless of classes"
+        );
+        // The class branch is data-dependent: mixed warps diverge (the
+        // all-dense sidecar is uniform, so the baseline has none).
+        assert!(sparse_stats.divergent_branches > dense_stats.divergent_branches);
     }
 
     /// Padding the local buffer must reduce bank conflicts.
@@ -255,8 +347,10 @@ mod tests {
             let coef = sim.create_buffer(layout.coef_bytes);
             let planes = sim.create_buffer(layout.planes_len);
             sim.write_buffer(coef, 0, &bytes);
+            let eobs = layout.upload_eob_sidecar(&mut sim, &coefbuf, geom);
             let k = IdctKernel {
                 coef,
+                eobs,
                 planes,
                 layout: layout.clone(),
                 comp: 0,

@@ -25,13 +25,17 @@ use super::idct::BLOCK_LMEM_STRIDE;
 use super::ops;
 use super::RegionLayout;
 use hetjpeg_gpusim::{BufId, GroupCtx, Kernel};
-use hetjpeg_jpeg::dct::islow::{idct_pass1, idct_row};
+use hetjpeg_jpeg::dct::sparse::{class_for_eob, idct_pass1_class, idct_row_class};
 use hetjpeg_jpeg::sample::{upsample_h2v1_even_half, upsample_h2v1_odd_half, upsample_v2_pair};
 
 /// Merged dequant + IDCT (×3 components) + color conversion for 4:4:4.
+/// Like [`super::idct::IdctKernel`], the IDCT halves are EOB-dispatched
+/// per component block since PR 5 (one sidecar byte per block).
 pub struct IdctColorKernel444 {
     /// Packed coefficient buffer (i16).
     pub coef: BufId,
+    /// Per-block EOB sidecar (u8, same block order as `coef`).
+    pub eobs: BufId,
     /// RGB output buffer.
     pub rgb: BufId,
     /// Region geometry.
@@ -67,13 +71,15 @@ impl Kernel for IdctColorKernel444 {
         let nblocks = self.layout.comp_blocks[0];
         let wb = self.layout.comp_width_blocks[0];
         let first_block = ctx.group_id * self.blocks_per_group;
-        let (coef, rgb) = (self.coef, self.rgb);
+        let (coef, eobs, rgb) = (self.coef, self.eobs, self.rgb);
         let width = self.layout.width;
         let pixel_rows = self.layout.pixel_rows;
         let lstride = BLOCK_LMEM_STRIDE;
 
         // Phase 1 — column pass for all three components ("the IDCT kernel
-        // repeats the computation three times for the three color spaces").
+        // repeats the computation three times for the three color spaces"),
+        // each component's block EOB-dispatched for compute while the
+        // loads stay dense (coalescing — see the idct module docs).
         ctx.phase(|it| {
             let lb = it.id() / 8;
             let col = it.id() % 8;
@@ -82,16 +88,20 @@ impl Kernel for IdctColorKernel444 {
                 return;
             }
             for c in 0..3 {
+                let class = class_for_eob(it.gload_u8(eobs, self.layout.eob_base(c) + bidx));
                 let base = self.layout.coef_base[c] + bidx * 64;
+                let lmem_base = (lb * 3 + c) * lstride;
+                // Data-dependent dispatch, two class bits (see idct.rs).
+                it.branch(class.index() & 1 != 0);
+                it.branch(class.index() & 2 != 0);
                 let mut v = [0i64; 8];
                 for (r, slot) in v.iter_mut().enumerate() {
                     let raw = it.gload_i16(coef, (base + r * 8 + col) * 2) as i64;
                     it.charge(ops::DEQUANT);
                     *slot = raw * self.quant[c][r * 8 + col] as i64;
                 }
-                it.charge(ops::IDCT_1D);
-                let out = idct_pass1(v);
-                let lmem_base = (lb * 3 + c) * lstride;
+                it.charge(ops::idct_1d_class(class));
+                let out = idct_pass1_class(v, class);
                 for (r, &val) in out.iter().enumerate() {
                     it.lstore_i64((lmem_base + r * 8 + col) * 8, val);
                 }
@@ -108,13 +118,16 @@ impl Kernel for IdctColorKernel444 {
             }
             let mut rows = [[0u8; 8]; 3];
             for (c, row_out) in rows.iter_mut().enumerate() {
+                let class = class_for_eob(it.gload_u8(eobs, self.layout.eob_base(c) + bidx));
                 let lmem_base = (lb * 3 + c) * lstride;
+                it.branch(class.index() & 1 != 0);
+                it.branch(class.index() & 2 != 0);
                 let mut v = [0i64; 8];
                 for (k, slot) in v.iter_mut().enumerate() {
                     *slot = it.lload_i64((lmem_base + row * 8 + k) * 8);
                 }
-                it.charge(ops::IDCT_1D + ops::PACK_ROW);
-                *row_out = idct_row(&v);
+                it.charge(ops::idct_1d_class(class) + ops::PACK_ROW);
+                *row_out = idct_row_class(&v, class);
             }
             let by = bidx / wb;
             let bx = bidx % wb;
@@ -330,9 +343,11 @@ mod tests {
             let packed = coefbuf.pack_mcu_rows(geom, 0, geom.mcus_y);
             let bytes: Vec<u8> = packed.iter().flat_map(|v| v.to_le_bytes()).collect();
             sim.write_buffer(coef, 0, &bytes);
+            let eobs = layout.upload_eob_sidecar(&mut sim, &coefbuf, geom);
 
             let k = IdctColorKernel444 {
                 coef,
+                eobs,
                 rgb,
                 layout: layout.clone(),
                 quant: [
@@ -369,10 +384,12 @@ mod tests {
         let packed = coefbuf.pack_mcu_rows(geom, 0, geom.mcus_y);
         let bytes: Vec<u8> = packed.iter().flat_map(|v| v.to_le_bytes()).collect();
         sim.write_buffer(coef, 0, &bytes);
+        let eobs = layout.upload_eob_sidecar(&mut sim, &coefbuf, geom);
 
         for c in 0..3 {
             let k = IdctKernel {
                 coef,
+                eobs,
                 planes,
                 layout: layout.clone(),
                 comp: c,

@@ -32,8 +32,23 @@ use hetjpeg_jpeg::geometry::Geometry;
 /// Scalar-op charges for kernel arithmetic, shared by all kernels so the
 /// timing model sees consistent work accounting.
 pub mod ops {
-    /// One 8-point islow IDCT butterfly (column or row pass).
+    use hetjpeg_jpeg::dct::sparse::SparseClass;
+
+    /// One 8-point islow IDCT butterfly (column or row pass), dense.
     pub const IDCT_1D: u64 = 50;
+    /// One pruned 1-D IDCT pass per sparse class (DC-only flat, 2-input,
+    /// 4-input, dense) — what the EOB-dispatched kernels charge since
+    /// PR 5. The ratios follow the pruned butterflies' op counts (a
+    /// DC-only pass is one shift + broadcast; the 2×2/4×4 passes keep a
+    /// proportional share of the multiplies/adds).
+    pub const IDCT_1D_BY_CLASS: [u64; 4] = [6, 16, 28, IDCT_1D];
+
+    /// The 1-D IDCT charge for a block's sparse class.
+    #[inline]
+    pub fn idct_1d_class(class: SparseClass) -> u64 {
+        IDCT_1D_BY_CLASS[class.index()]
+    }
+
     /// Dequantizing one coefficient (multiply).
     pub const DEQUANT: u64 = 1;
     /// Producing one upsampled chroma sample (Algorithm 1 line).
@@ -131,6 +146,38 @@ impl RegionLayout {
     /// MCU rows in the region.
     pub fn mcu_rows(&self) -> usize {
         self.row1 - self.row0
+    }
+
+    /// Block offset of component `c` in the packed **EOB sidecar** buffer
+    /// (one byte per block, same block order as the coefficient buffer —
+    /// `CoefBuffer::pack_eobs_mcu_rows_into`).
+    #[inline]
+    pub fn eob_base(&self, c: usize) -> usize {
+        self.coef_base[c] / 64
+    }
+
+    /// Pack `coefbuf`'s per-block EOB sidecar for this region and upload
+    /// it into a fresh device buffer — the staging shared by the kernel
+    /// tests, benches and the inspect example (the production path reuses
+    /// `crate::gpu_decode::GpuStaging` instead of allocating per launch).
+    pub fn upload_eob_sidecar(
+        &self,
+        sim: &mut hetjpeg_gpusim::GpuSim,
+        coefbuf: &hetjpeg_jpeg::coef::CoefBuffer,
+        geom: &Geometry,
+    ) -> hetjpeg_gpusim::BufId {
+        let mut eobs = Vec::new();
+        coefbuf.pack_eobs_mcu_rows_into(geom, self.row0, self.row1, &mut eobs);
+        debug_assert_eq!(eobs.len(), self.eob_bytes());
+        let buf = sim.create_buffer(eobs.len());
+        sim.write_buffer(buf, 0, &eobs);
+        buf
+    }
+
+    /// Total blocks in the region — the EOB sidecar's byte length.
+    #[inline]
+    pub fn eob_bytes(&self) -> usize {
+        self.comp_blocks.iter().sum()
     }
 }
 

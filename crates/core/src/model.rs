@@ -102,10 +102,12 @@ impl PerformanceModel {
         // stage divided by its own retrained vector-kernel speedup. The
         // IDCT term carries the expected EOB-dispatch discount of a
         // photo-like corpus (mostly DC-only/2×2 blocks — the workload the
-        // paper's tables measure); `profile::train` replaces this bootstrap
-        // guess with each training image's *measured* histogram.
+        // paper's tables measure) and, since PR 5, the vector IDCT's
+        // speedup interpolated at that discount; `profile::train` replaces
+        // this bootstrap guess with each training image's *measured*
+        // histogram.
         let simd_cycles_per_px = cpu.idct_cycles_per_block * 2.0 / 64.0 * SEED_SPARSE_IDCT_DISCOUNT
-            / cpu.simd_idct_speedup
+            / cpu.simd_idct_speedup_at_discount(SEED_SPARSE_IDCT_DISCOUNT)
             + cpu.upsample_cycles_per_sample * 1.0 / cpu.simd_upsample_speedup
             + cpu.color_cycles_per_pixel / cpu.simd_color_speedup;
         let simd_ns_per_px = simd_cycles_per_px / cpu.clock_ghz;
@@ -116,10 +118,12 @@ impl PerformanceModel {
         // GPU: transfers dominate; rough per-byte + per-pixel kernel cost.
         let bytes_per_px = 2.0 * 2.0 + 3.0; // i16 coefs (~2 samp/px) + RGB out
         let pcie_s_per_px = bytes_per_px / (platform.pcie.pinned_gbps * 1e9);
-        // Rough instrumented-kernel op count per pixel (IDCT column+row
-        // passes, upsampling, conversion, loads/stores); the trained model
-        // measures the real value.
-        let kernel_ops_per_px = 70.0;
+        // Rough instrumented-kernel op count per pixel. The IDCT share
+        // (~40 of the pre-PR-5 70) now carries the same expected EOB
+        // discount as the CPU side — the GPU kernels dispatch on the EOB
+        // sidecar since PR 5, so a dense bootstrap would mis-seed the
+        // partition point. The trained model measures the real value.
+        let kernel_ops_per_px = 40.0 * SEED_SPARSE_IDCT_DISCOUNT + 30.0;
         let kernel_s_per_px = kernel_ops_per_px / platform.gpu.peak_ops_per_sec();
         let mem_s_per_px = 12.0 / (platform.gpu.gmem_bandwidth_gbps * 1e9);
         let gpu_s_per_px = pcie_s_per_px + kernel_s_per_px.max(mem_s_per_px);

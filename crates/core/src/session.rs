@@ -96,6 +96,12 @@ pub struct DecodeOptions {
     /// testing hook that keeps the portable fallback exercised (output is
     /// bit-identical at every level).
     pub force_scalar_simd: bool,
+    /// Run the parallel-phase kernels (IDCT included since PR 5) at an
+    /// explicit [`SimdLevel`] for this call, clamped to what the host can
+    /// run — the generalization of [`Self::force_scalar_simd`] that lets
+    /// the bit-identity matrices pin SSE2 specifically on an AVX2 host.
+    /// Takes precedence over `force_scalar_simd` when set.
+    pub force_simd_level: Option<SimdLevel>,
 }
 
 impl Default for DecodeOptions {
@@ -106,6 +112,7 @@ impl Default for DecodeOptions {
             strictness: Strictness::Strict,
             max_pixels: None,
             force_scalar_simd: false,
+            force_simd_level: None,
         }
     }
 }
@@ -140,6 +147,13 @@ impl DecodeOptions {
     /// Force the scalar fallback kernels for this call (testing hook).
     pub fn force_scalar_simd(mut self) -> Self {
         self.force_scalar_simd = true;
+        self
+    }
+
+    /// Force an explicit kernel dispatch level for this call (testing
+    /// hook; clamped to the host's capability).
+    pub fn force_simd(mut self, level: SimdLevel) -> Self {
+        self.force_simd_level = Some(level);
         self
     }
 }
@@ -231,7 +245,16 @@ impl DecoderBuilder {
     /// parallel-phase kernel dispatch ([`SimdLevel`]) is resolved here,
     /// once per session — decodes never re-detect CPU features.
     pub fn build(self) -> std::result::Result<Decoder, BuildError> {
-        let platform = self.platform.unwrap_or_else(Platform::gtx560);
+        // The session prices its own bands from the kernels it really
+        // dispatches: a host (or HETJPEG_SIMD cap) resolved below AVX2
+        // caps the cost model's vector factors *before* anything is
+        // derived from it — in particular the default analytic seed model
+        // below, so Mode::Auto and the CPU/GPU partition points never
+        // assume speedups this session's dispatch policy will not deliver.
+        // (An explicitly supplied trained model is taken as-is.)
+        let simd_level = SimdLevel::detect();
+        let mut platform = self.platform.unwrap_or_else(Platform::gtx560);
+        platform.cpu = platform.cpu.at_level(simd_level);
         let model = self.model.unwrap_or_else(|| platform.untrained_model());
         let threads = self.threads.unwrap_or(entropy_par_default_threads());
         if threads == 0 || threads > MAX_THREADS {
@@ -274,7 +297,7 @@ impl DecoderBuilder {
             platform,
             model,
             threads,
-            simd_level: SimdLevel::detect(),
+            simd_level,
             state: Mutex::new(SessionState {
                 ws: Workspace::default(),
                 auto_cache: AutoCache::new(auto_cache_cap),
@@ -382,6 +405,12 @@ pub struct SessionStats {
     pub auto_cache_len: usize,
     /// The session's configured cache cap.
     pub auto_cache_cap: usize,
+    /// The kernel dispatch level that served the session's most recent
+    /// decode (the build-time resolution before any decode happens) — a
+    /// per-call force override shows up here, so the server layer can
+    /// assert which vector level actually served traffic rather than
+    /// which one was configured.
+    pub simd_level: SimdLevel,
 }
 
 /// A decode session: platform + model + thread budget + pooled scratch.
@@ -450,6 +479,7 @@ impl Decoder {
             pool: state.ws.stats(),
             auto_cache_len: state.auto_cache.len(),
             auto_cache_cap: state.auto_cache.cap,
+            simd_level: state.ws.simd_level().unwrap_or(self.simd_level),
         }
     }
 
@@ -505,12 +535,16 @@ impl Decoder {
             }
         }
         // The session's one-time dispatch choice (or the per-call
-        // force-scalar override) rides into the pooled band scratch.
-        state.ws.set_simd_level(if opts.force_scalar_simd {
-            SimdLevel::Scalar
-        } else {
-            self.simd_level
-        });
+        // force-level override) rides into the pooled band scratch.
+        state
+            .ws
+            .set_simd_level(if let Some(level) = opts.force_simd_level {
+                level
+            } else if opts.force_scalar_simd {
+                SimdLevel::Scalar
+            } else {
+                self.simd_level
+            });
         match opts.format {
             OutputFormat::Rgb => {
                 let mode = match opts.mode {

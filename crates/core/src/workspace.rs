@@ -139,6 +139,15 @@ impl Workspace {
         self.simd_level = Some(level);
     }
 
+    /// The kernel level the pooled SIMD scratch was last pinned to — what
+    /// the most recent decode actually dispatched (`None` before the first
+    /// decode). [`crate::SessionStats`] reports this rather than the
+    /// session's configured level, so a stray force override cannot hide
+    /// behind configuration.
+    pub(crate) fn simd_level(&self) -> Option<SimdLevel> {
+        self.simd_level
+    }
+
     /// [`Self::ensure`] plus a full zero of the coefficient buffer — for
     /// decode paths that may leave blocks untouched (tolerant salvage of a
     /// damaged stream renders untouched blocks as neutral gray). Does not

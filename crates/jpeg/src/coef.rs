@@ -143,14 +143,37 @@ impl CoefBuffer {
     ) {
         out.clear();
         out.reserve(geom.blocks_in_mcu_rows(start, end) * 64);
-        for (c, comp) in geom.comps.iter().enumerate() {
-            let by0 = start * comp.v_samp;
-            let by1 = (end * comp.v_samp).min(comp.height_blocks);
-            for by in by0..by1 {
-                let first = geom.block_index(c, 0, by) * 64;
-                let last = first + comp.width_blocks * 64;
-                out.extend_from_slice(&self.data[first..last]);
-            }
+        for r in packed_block_ranges(geom, start, end) {
+            out.extend_from_slice(&self.data[r.start * 64..r.end * 64]);
+        }
+    }
+
+    /// Pack the per-block EOB sidecar for MCU rows `[start, end)` in
+    /// exactly the block order of [`Self::pack_mcu_rows`] — the one extra
+    /// byte per block the GPU path ships so its IDCT kernels can dispatch
+    /// on sparsity like the CPU ones (PR 5). Both packers walk
+    /// `packed_block_ranges`, so the orders cannot drift apart.
+    pub fn pack_eobs_mcu_rows_into(
+        &self,
+        geom: &Geometry,
+        start: usize,
+        end: usize,
+        out: &mut Vec<u8>,
+    ) {
+        out.clear();
+        out.reserve(geom.blocks_in_mcu_rows(start, end));
+        for r in packed_block_ranges(geom, start, end) {
+            out.extend_from_slice(&self.eob[r]);
+        }
+    }
+
+    /// A copy of this buffer with every EOB forced to the dense-safe
+    /// maximum — the pre-PR-5 "GPU baseline is dense" behaviour, kept for
+    /// the bench ablation that measures what the GPU EOB dispatch buys.
+    pub fn clone_with_dense_eobs(&self) -> Self {
+        CoefBuffer {
+            data: self.data.clone(),
+            eob: vec![EOB_DENSE; self.eob.len()],
         }
     }
 
@@ -165,6 +188,28 @@ impl CoefBuffer {
             _marker: std::marker::PhantomData,
         }
     }
+}
+
+/// The packed block-index ranges of MCU rows `[start, end)`, in exactly
+/// the order the packed buffers store them: per component, each block
+/// row's contiguous index range. The coefficient packer and the EOB
+/// sidecar packer both iterate this one definition — the GPU kernels'
+/// `eob_base` arithmetic (byte `i` of the sidecar describes block `i` of
+/// the packed coefficients) depends on the two orders never drifting
+/// apart, so the traversal is written once.
+fn packed_block_ranges<'a>(
+    geom: &'a Geometry,
+    start: usize,
+    end: usize,
+) -> impl Iterator<Item = std::ops::Range<usize>> + 'a {
+    geom.comps.iter().enumerate().flat_map(move |(c, comp)| {
+        let by0 = start * comp.v_samp;
+        let by1 = (end * comp.v_samp).min(comp.height_blocks);
+        (by0..by1).map(move |by| {
+            let first = geom.block_index(c, 0, by);
+            first..first + comp.width_blocks
+        })
+    })
 }
 
 /// Shared-write handle over a [`CoefBuffer`], allowing worker threads to

@@ -9,20 +9,20 @@
 
 use super::{range_limit, PASS1_BITS};
 
-const CONST_BITS: i32 = 13;
+pub(crate) const CONST_BITS: i32 = 13;
 
-const FIX_0_298631336: i64 = 2446;
-const FIX_0_390180644: i64 = 3196;
-const FIX_0_541196100: i64 = 4433;
-const FIX_0_765366865: i64 = 6270;
-const FIX_0_899976223: i64 = 7373;
-const FIX_1_175875602: i64 = 9633;
-const FIX_1_501321110: i64 = 12299;
-const FIX_1_847759065: i64 = 15137;
-const FIX_1_961570560: i64 = 16069;
-const FIX_2_053119869: i64 = 16819;
-const FIX_2_562915447: i64 = 20995;
-const FIX_3_072711026: i64 = 25172;
+pub(crate) const FIX_0_298631336: i64 = 2446;
+pub(crate) const FIX_0_390180644: i64 = 3196;
+pub(crate) const FIX_0_541196100: i64 = 4433;
+pub(crate) const FIX_0_765366865: i64 = 6270;
+pub(crate) const FIX_0_899976223: i64 = 7373;
+pub(crate) const FIX_1_175875602: i64 = 9633;
+pub(crate) const FIX_1_501321110: i64 = 12299;
+pub(crate) const FIX_1_847759065: i64 = 15137;
+pub(crate) const FIX_1_961570560: i64 = 16069;
+pub(crate) const FIX_2_053119869: i64 = 16819;
+pub(crate) const FIX_2_562915447: i64 = 20995;
+pub(crate) const FIX_3_072711026: i64 = 25172;
 
 /// Round-to-nearest right shift.
 #[inline(always)]

@@ -15,11 +15,16 @@
 //!   algorithm the paper's GPU kernel implements,
 //! * [`sparse`] — EOB-dispatched pruned islow variants (DC-only flat fill,
 //!   2×2 / 4×4 corner butterflies) with fused dequantize+IDCT+store; the
-//!   per-block dispatch the CPU hot paths run, bit-identical to [`islow`].
+//!   per-block dispatch the CPU hot paths run, bit-identical to [`islow`],
+//! * [`simd_islow`] — runtime-dispatched SSE2/AVX2 vector kernels for the
+//!   same EOB-dispatched fused pass (column-parallel butterflies on i64
+//!   lanes), bit-identical to [`sparse`] at every level; what the fused
+//!   row-tile pipeline runs when the session's `SimdLevel` allows.
 
 pub mod aan;
 pub mod islow;
 pub mod reference;
+pub mod simd_islow;
 pub mod sparse;
 
 /// Clamp a level-shifted IDCT output value to the 8-bit sample range.

@@ -98,6 +98,46 @@ impl SparseClass {
             SparseClass::Dense => 3,
         }
     }
+
+    /// Number of live rows/columns of the class's corner (1, 2, 4 or 8):
+    /// how many butterfly inputs a pruned 1-D pass reads, and how many
+    /// columns of the workspace a pruned column pass populates.
+    #[inline(always)]
+    pub fn live_k(self) -> usize {
+        match self {
+            SparseClass::DcOnly => 1,
+            SparseClass::Corner2 => 2,
+            SparseClass::Corner4 => 4,
+            SparseClass::Dense => 8,
+        }
+    }
+}
+
+/// Column pass of the pruned islow IDCT for one sparse class — the
+/// per-class building block of the GPU IDCT kernels (one work-item per
+/// column), bit-identical to the dense `idct_pass1_k` when inputs beyond
+/// [`SparseClass::live_k`] are zero (which the EOB bound guarantees).
+#[inline]
+pub fn idct_pass1_class(v: [i64; 8], class: SparseClass) -> [i64; 8] {
+    match class {
+        SparseClass::DcOnly => idct_pass1_k::<1>(v),
+        SparseClass::Corner2 => idct_pass1_k::<2>(v),
+        SparseClass::Corner4 => idct_pass1_k::<4>(v),
+        SparseClass::Dense => idct_pass1_k::<8>(v),
+    }
+}
+
+/// Row pass of the pruned islow IDCT for one sparse class (see
+/// [`idct_pass1_class`]); inputs beyond the class's corner are ignored —
+/// they are provably zero in the workspace a pruned column pass built.
+#[inline]
+pub fn idct_row_class(row: &[i64; 8], class: SparseClass) -> [u8; 8] {
+    match class {
+        SparseClass::DcOnly => idct_row_k::<1>(row),
+        SparseClass::Corner2 => idct_row_k::<2>(row),
+        SparseClass::Corner4 => idct_row_k::<4>(row),
+        SparseClass::Dense => idct_row_k::<8>(row),
+    }
 }
 
 /// Dequantize only the top-left `K`×`K` corner (all a sparse block can

@@ -112,6 +112,25 @@ impl SimdLevel {
     }
 }
 
+/// Fused dequantize + EOB-dispatched IDCT + store of one block, dispatched
+/// on `level` — the IDCT member of the kernel family (PR 5), delegating to
+/// [`crate::dct::simd_islow`]. Bit-identical to
+/// [`crate::dct::sparse::dequant_idct_to`] at every level; same contract
+/// (row `r` of the 8×8 result lands at `dst[base + r * stride ..][..8]`,
+/// `eob` bounds the highest nonzero zigzag index).
+#[inline]
+pub fn dequant_idct_block(
+    level: SimdLevel,
+    coefs: &[i16; 64],
+    quant: &[u16; 64],
+    eob: u8,
+    dst: &mut [u8],
+    base: usize,
+    stride: usize,
+) {
+    crate::dct::simd_islow::dequant_idct_to_level(level, coefs, quant, eob, dst, base, stride)
+}
+
 /// Blockwise "fancy" h2v1 upsampling of a whole chroma row (Algorithm 1 on
 /// each aligned 8-sample segment), dispatched on `level`. Bit-identical to
 /// [`upsample_row_h2v1_blockwise`].

@@ -5,13 +5,14 @@
 //! hand-written SIMD (paper §1: about 2× the sequential decoder overall).
 //! This module is our equivalent, structured as a **row-tile pipeline**:
 //! dequantize + IDCT one MCU row into MCU-row-local scratch planes (the
-//! EOB-dispatched fused pass of [`crate::dct::sparse`]), then upsample and
-//! color-convert each pixel row of that tile while it is still cache-hot —
-//! the CPU analogue of the merged GPU kernel of §4.4, with no full-image
-//! intermediate plane between the stages. The upsample and color kernels
-//! are real SSE2/AVX2 vector code ([`super::kernels`]) behind a
-//! [`SimdLevel`] chosen once per decoder session, with the scalar stage
-//! code as the portable fallback. Output bytes are **identical** to the
+//! EOB-dispatched fused pass, since PR 5 itself a dispatched SSE2/AVX2
+//! kernel — [`crate::dct::simd_islow`] — with [`crate::dct::sparse`] as
+//! the scalar fallback), then upsample and color-convert each pixel row of
+//! that tile while it is still cache-hot — the CPU analogue of the merged
+//! GPU kernel of §4.4, with no full-image intermediate plane between the
+//! stages. The upsample and color kernels are real SSE2/AVX2 vector code
+//! ([`super::kernels`]) behind a [`SimdLevel`] chosen once per decoder
+//! session, with the scalar stage code as the portable fallback. Output bytes are **identical** to the
 //! scalar path at every level; only host-side speed differs. The platform
 //! cost model charges this path with the calibrated per-stage SIMD costs
 //! (see `hetjpeg-core`).
@@ -25,7 +26,6 @@
 //! ([`decode_region_ycc_simd_with`]) shares the same tiling and scratch.
 
 use crate::coef::CoefBuffer;
-use crate::dct::sparse::dequant_idct_to;
 use crate::decoder::kernels::{self, SimdLevel};
 use crate::decoder::Prepared;
 use crate::error::{Error, Result};
@@ -248,9 +248,12 @@ pub fn decode_region_ycc_simd_with(
 }
 
 /// Dequantize + IDCT all blocks of one MCU row into the scratch planes,
-/// one fused EOB-dispatched pass per block.
+/// one fused EOB-dispatched pass per block on the scratch's vector level
+/// (since PR 5 the IDCT itself is a dispatched SSE2/AVX2 kernel, not just
+/// the upsample/color stages).
 fn idct_mcu_row(prep: &Prepared<'_>, coef: &CoefBuffer, mcu_row: usize, scratch: &mut SimdScratch) {
     let geom = &prep.geom;
+    let level = scratch.level;
     for (ci, comp) in geom.comps.iter().enumerate() {
         let quant = &prep.quant[ci].values;
         let plane_w = comp.plane_width();
@@ -268,7 +271,8 @@ fn idct_mcu_row(prep: &Prepared<'_>, coef: &CoefBuffer, mcu_row: usize, scratch:
             let row_base = (dv * 8) * plane_w;
             for bx in 0..comp.width_blocks {
                 let idx = geom.block_index(ci, bx, by);
-                dequant_idct_to(
+                kernels::dequant_idct_block(
+                    level,
                     coef.block(idx),
                     quant,
                     coef.eob(idx),

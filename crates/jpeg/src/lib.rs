@@ -62,6 +62,7 @@ pub mod metrics;
 pub mod planes;
 pub mod quant;
 pub mod sample;
+pub mod testutil;
 pub mod types;
 pub mod zigzag;
 

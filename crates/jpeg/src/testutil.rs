@@ -1,0 +1,55 @@
+//! Seeded generators for test inputs, shared by this crate's unit tests,
+//! the integration suites (`tests/idct_simd_props.rs`) and the bench
+//! crate — one home for the decoder's input-domain rules (8-bit DQT,
+//! i16 coefficients, EOB = highest nonzero zigzag index) so the suites
+//! cannot drift apart when the domain changes.
+//!
+//! Everything here is deterministic (splitmix/LCG-style state from the
+//! caller's seed): failures reproduce from the seed alone.
+
+use crate::zigzag::ZIGZAG;
+
+#[inline]
+fn step(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state
+}
+
+/// Pseudo-random coefficients populating exactly the zigzag prefix
+/// `0..=eob` with values in `[-magnitude, magnitude]` (i16 domain), the
+/// final prefix position forced nonzero so the block's true EOB is
+/// exactly `eob`.
+pub fn coef_block_for_eob(seed: u64, eob: usize, magnitude: i32) -> [i16; 64] {
+    assert!(eob < 64 && magnitude >= 1 && magnitude <= i16::MAX as i32);
+    let mut c = [0i16; 64];
+    let mut state = seed | 1;
+    for (k, nat) in ZIGZAG.iter().enumerate().take(eob + 1) {
+        let v = ((step(&mut state) >> 33) as i32 % (2 * magnitude + 1)) - magnitude;
+        c[*nat] = if k == eob && v == 0 { 1 } else { v as i16 };
+    }
+    c
+}
+
+/// A quantization table in the parser-enforced 8-bit DQT domain
+/// (values in `1..=255`, natural order).
+pub fn quant_8bit(seed: u64) -> [u16; 64] {
+    let mut q = [0u16; 64];
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    for slot in q.iter_mut() {
+        *slot = ((step(&mut state) >> 40) % 255) as u16 + 1;
+    }
+    q
+}
+
+/// `pixels` worth of pseudo-random interleaved RGB bytes.
+pub fn noise_rgb(pixels: usize, seed: u32) -> Vec<u8> {
+    let mut rgb = Vec::with_capacity(pixels * 3);
+    let mut s = seed | 1;
+    for _ in 0..pixels {
+        s = s.wrapping_mul(1664525).wrapping_add(1013904223);
+        rgb.extend_from_slice(&[(s >> 8) as u8, (s >> 16) as u8, (s >> 24) as u8]);
+    }
+    rgb
+}

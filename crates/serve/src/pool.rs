@@ -129,6 +129,19 @@ impl ServerStats {
         }
     }
 
+    /// The kernel dispatch level the shard sessions decode at, when every
+    /// shard agrees (they always do — shards are built identically from
+    /// one config; `None` only for an empty shard list). The smoke test
+    /// asserts this against the host's detected level so a silent fallback
+    /// to scalar can't masquerade as a passing end-to-end run.
+    pub fn simd_level(&self) -> Option<hetjpeg_core::SimdLevel> {
+        let first = self.shards.first().map(|s| s.session.simd_level)?;
+        self.shards
+            .iter()
+            .all(|s| s.session.simd_level == first)
+            .then_some(first)
+    }
+
     /// Total `Mode::Auto` decisions served from the per-shard caches.
     pub fn auto_cache_hits(&self) -> u64 {
         self.shards

@@ -41,6 +41,7 @@ fn main() {
     let planes = sim.create_buffer(layout.planes_len);
     let rgb = sim.create_buffer(layout.rgb_len);
     sim.write_buffer(coef, 0, &bytes);
+    let eobs = layout.upload_eob_sidecar(&mut sim, &coefbuf, &prep.geom);
 
     println!(
         "{:<22} {:>9} {:>11} {:>11} {:>8} {:>9} {:>9} {:>8}",
@@ -49,6 +50,7 @@ fn main() {
     for comp in 0..3 {
         let k = IdctKernel {
             coef,
+            eobs,
             planes,
             layout: layout.clone(),
             comp,

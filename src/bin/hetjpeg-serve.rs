@@ -317,9 +317,22 @@ fn smoke(mut config: ServeConfig) -> ExitCode {
         );
         return ExitCode::FAILURE;
     }
+    // Every shard must have decoded at the host's detected kernel level
+    // (honoring HETJPEG_SIMD) — a silent scalar fallback would still
+    // produce bit-identical bytes, so only the stats can catch it.
+    let expected = hetjpeg_core::SimdLevel::detect();
+    if stats.simd_level() != Some(expected) {
+        eprintln!(
+            "smoke: shard SIMD level {:?} != detected {:?}",
+            stats.simd_level(),
+            expected
+        );
+        return ExitCode::FAILURE;
+    }
     println!(
-        "smoke OK: {total} images through {shards} shards over TCP, all payloads bit-identical \
-         to direct decode"
+        "smoke OK: {total} images through {shards} shards over TCP ({} kernels), all payloads \
+         bit-identical to direct decode",
+        expected.name()
     );
     ExitCode::SUCCESS
 }

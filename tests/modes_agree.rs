@@ -2,11 +2,15 @@
 //! byte-identical pixels — the property that lets the scheduler place the
 //! partition boundary anywhere without visible seams. Runs through the
 //! session API; all seven concrete modes (including the restart-aware
-//! parallel-entropy mode) are in the matrix.
+//! parallel-entropy mode) are in the matrix, and since PR 5 the kernel
+//! dispatch level (scalar / SSE2 / native, now covering the vector IDCT)
+//! is an explicit axis too. CI re-runs the whole suite under
+//! `HETJPEG_SIMD=scalar` *and* `HETJPEG_SIMD=sse2`, so AVX2-only
+//! divergence cannot hide behind the host's best level.
 
 use hetjpeg_core::platform::Platform;
 use hetjpeg_core::schedule::Mode;
-use hetjpeg_core::{DecodeOptions, Decoder};
+use hetjpeg_core::{DecodeOptions, Decoder, SimdLevel};
 use hetjpeg_corpus::{generate_jpeg, ImageSpec, Pattern};
 use hetjpeg_jpeg::decoder::decode;
 use hetjpeg_jpeg::encoder::{encode_rgb, EncodeParams};
@@ -66,6 +70,33 @@ fn all_modes_all_platforms_bit_identical() {
                     out.image.data, reference,
                     "{name}: {} under {:?} differs from reference",
                     platform.name, mode
+                );
+            }
+        }
+    }
+}
+
+/// The dispatch-level axis of the matrix: every mode × every level the
+/// host can run (scalar, SSE2, native) must produce the reference bytes.
+/// This is what catches SSE2-only or AVX2-only divergence in-process —
+/// the env-capped CI passes then repeat it with the cap as the native
+/// level, covering hosts this process can't emulate.
+#[test]
+fn all_modes_agree_at_every_simd_level() {
+    let platform = Platform::gtx560();
+    let decoder = session_for(&platform);
+    for (name, jpeg) in gallery().into_iter().step_by(2) {
+        let reference = decode(&jpeg).expect("reference decode").data;
+        for level in SimdLevel::all_available() {
+            for mode in Mode::all() {
+                let out = decoder
+                    .decode(&jpeg, DecodeOptions::with_mode(mode).force_simd(level))
+                    .unwrap_or_else(|e| panic!("{name} {mode:?} at {}: {e}", level.name()));
+                assert_eq!(
+                    out.image.data,
+                    reference,
+                    "{name}: {mode:?} at {} differs from reference",
+                    level.name()
                 );
             }
         }
