@@ -64,6 +64,7 @@ impl Scale {
             steps,
             subsampling: sub,
             quality: 85,
+            restart_interval: 0,
         }
     }
 
@@ -84,6 +85,7 @@ impl Scale {
             steps,
             subsampling: sub,
             quality: 85,
+            restart_interval: 0,
         }
     }
 

@@ -22,6 +22,13 @@ use hetjpeg_jpeg::Subsampling;
 /// analytic bootstrap model before any real profiling has happened.
 pub const SEED_SPARSE_IDCT_DISCOUNT: f64 = 0.45;
 
+/// Expected convergence prefix of a speculative entropy chunk, in MCUs
+/// (wasted staged MCUs + stitch re-decodes per chunk boundary), before any
+/// real profiling: Huffman streams self-synchronize within a few codewords,
+/// so a handful of MCUs is the observed order of magnitude.
+/// `profile::train` replaces this with the measured mean.
+pub const SEED_SPEC_PREFIX_MCUS: f64 = 6.0;
+
 /// Calibrated closed forms for one (platform, subsampling) pair.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PerformanceModel {
@@ -47,6 +54,12 @@ pub struct PerformanceModel {
     /// it to correct `PCPU` when the measured sparsity of an image departs
     /// from the corpus average — the sparsity analogue of Eq. 17.
     pub pcpu_idct_discount: f64,
+    /// Mean convergence prefix of a speculative entropy chunk (MCUs wasted
+    /// plus re-decoded, per chunk boundary) measured over the training
+    /// corpus — the speculation-waste term `Mode::Auto` prices the
+    /// restart-free parallel entropy path with
+    /// ([`crate::cost::CpuCostModel::speculative_entropy_time`]).
+    pub spec_prefix_mcus: f64,
 }
 
 impl PerformanceModel {
@@ -145,6 +158,7 @@ impl PerformanceModel {
             chunk_mcu_rows: 16,
             wg_blocks: 8,
             pcpu_idct_discount: SEED_SPARSE_IDCT_DISCOUNT,
+            spec_prefix_mcus: SEED_SPEC_PREFIX_MCUS,
         }
     }
 
@@ -159,6 +173,7 @@ impl PerformanceModel {
             "pcpu_idct_discount = {:e}\n",
             self.pcpu_idct_discount
         ));
+        out.push_str(&format!("spec_prefix_mcus = {:e}\n", self.spec_prefix_mcus));
         let p1 = |name: &str, p: &Poly1, out: &mut String| {
             out.push_str(&format!("{name}.x_scale = {:e}\n", p.x_scale));
             let list: Vec<String> = p.coefs.iter().map(|c| format!("{c:e}")).collect();
@@ -237,6 +252,10 @@ impl PerformanceModel {
             pcpu_idct_discount: get("pcpu_idct_discount")
                 .and_then(|s| s.parse().ok())
                 .unwrap_or(1.0),
+            // Absent in pre-PR-6 files: use the analytic seed.
+            spec_prefix_mcus: get("spec_prefix_mcus")
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(SEED_SPEC_PREFIX_MCUS),
         })
     }
 }

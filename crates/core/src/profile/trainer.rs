@@ -68,6 +68,7 @@ pub fn train(
     let mut tdisp_samples = Vec::with_capacity(images.len());
     let mut subsampling = Subsampling::S422;
     let mut corpus_classes = [0u64; 4];
+    let mut prefix_samples: Vec<f64> = Vec::new();
 
     for img in images {
         let prep = Prepared::new(img.as_ref()).expect("training image parses");
@@ -110,6 +111,23 @@ pub fn train(
 
         // Dispatch overhead.
         tdisp_samples.push(platform.cpu.dispatch_time(geom, 0, geom.mcus_y));
+
+        // Speculation-waste term (ISSUE 6): run the speculative entropy
+        // path over the image and record the measured convergence prefix
+        // per chunk boundary — the input to
+        // `CpuCostModel::speculative_entropy_time`.
+        let segments = hetjpeg_jpeg::entropy::split_restart_segments(&prep.parsed, geom);
+        let mut scratch = hetjpeg_jpeg::coef::CoefBuffer::new(geom);
+        if let Ok(out) = crate::exec::decode_entropy_speculative_into(
+            &prep,
+            &segments,
+            crate::schedule::DEFAULT_ENTROPY_THREADS,
+            &mut scratch,
+        ) {
+            if out.spec.chunks > segments.len() as u64 {
+                prefix_samples.push(out.spec.prefix_mcus_per_boundary());
+            }
+        }
     }
 
     // A degree-d bivariate polynomial has (d+1)(d+2)/2 coefficients; with a
@@ -143,6 +161,11 @@ pub fn train(
         chunk_mcu_rows: opts.chunk_mcu_rows.unwrap_or(16),
         wg_blocks,
         pcpu_idct_discount: crate::cost::CpuCostModel::idct_discount(&corpus_classes),
+        spec_prefix_mcus: if prefix_samples.is_empty() {
+            crate::model::SEED_SPEC_PREFIX_MCUS
+        } else {
+            prefix_samples.iter().sum::<f64>() / prefix_samples.len() as f64
+        },
     };
 
     if opts.chunk_mcu_rows.is_none() {
@@ -171,6 +194,7 @@ mod tests {
             steps: 3,
             subsampling: Subsampling::S422,
             quality: 85,
+            restart_interval: 0,
         };
         training_set(&params).into_iter().map(|c| c.jpeg).collect()
     }

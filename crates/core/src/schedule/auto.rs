@@ -135,17 +135,33 @@ pub fn predict_all(
                 let part = pps::initial_partition(model, geom, d, chunk_px);
                 part.predicted_cpu.max(huff_chunk + part.predicted_gpu)
             }
-            // Segments spread over the worker pool, then the SIMD band.
+            // Entropy decode spread over the worker pool, then the SIMD
+            // band. Restart markers give exact segment boundaries; without
+            // them the speculative path pays a convergence prefix per chunk
+            // boundary (the trained `spec_prefix_mcus` term) plus the
+            // stitch overhead.
             Mode::ParallelEntropy => {
                 let segments = restart_segment_count(prep);
-                if segments <= 1 || threads <= 1 {
-                    // No restart markers: strictly worse than plain SIMD
-                    // (same schedule + per-segment overhead), so Auto never
-                    // picks it.
+                if threads <= 1 {
+                    // One worker decodes sequentially either way; the mode
+                    // only adds overhead, so Auto never picks it.
                     thuff + SEGMENT_OVERHEAD_S + pcpu
-                } else {
+                } else if segments > 1 {
                     let workers = threads.min(segments) as f64;
                     thuff / workers + segments as f64 * SEGMENT_OVERHEAD_S / workers + pcpu
+                } else {
+                    let chunks = threads.min(
+                        (prep.parsed.scan_data.len() / hetjpeg_jpeg::speculate::MIN_CHUNK_BYTES)
+                            .max(1),
+                    );
+                    let total_mcus = (geom.mcus_x * geom.mcus_y) as f64;
+                    crate::cost::CpuCostModel::speculative_entropy_time(
+                        thuff,
+                        total_mcus,
+                        model.spec_prefix_mcus,
+                        chunks,
+                        SEGMENT_OVERHEAD_S,
+                    ) + pcpu
                 }
             }
             Mode::Auto => unreachable!("Auto is not a concrete mode"),
@@ -243,6 +259,39 @@ mod tests {
         let decision = select_mode(&prep, &platform, &model, 8);
         assert_eq!(decision.mode, Mode::ParallelEntropy);
         // And with one thread it must not be chosen over plain SIMD.
+        let single = select_mode(&prep, &platform, &model, 1);
+        assert_ne!(single.mode, Mode::ParallelEntropy);
+    }
+
+    #[test]
+    fn restart_free_images_price_the_speculative_path() {
+        // ISSUE 6: without restart markers, parallel entropy is priced by
+        // the speculative model — cheap when the trained convergence
+        // prefix is short, never chosen when speculation cannot pay.
+        let jpeg = jpeg_of(384, 384, 0);
+        let prep = Prepared::new(&jpeg).unwrap();
+        let platform = Platform::gt430();
+        let mut model = platform.untrained_model();
+        model.p_gpu.coefs[0][0] += 10.0; // GPU off the table
+        let decision = select_mode(&prep, &platform, &model, 8);
+        assert_eq!(decision.mode, Mode::ParallelEntropy);
+
+        // A pathological fitted prefix (most of the image re-decoded per
+        // boundary) must price speculation worse than sequential SIMD.
+        let mcus = (prep.geom.mcus_x * prep.geom.mcus_y) as f64;
+        model.spec_prefix_mcus = mcus;
+        let decision = select_mode(&prep, &platform, &model, 8);
+        assert_ne!(decision.mode, Mode::ParallelEntropy);
+        let preds = predict_all(&prep, &platform, &model, 8);
+        let pe = preds
+            .iter()
+            .find(|p| p.mode == Mode::ParallelEntropy)
+            .unwrap();
+        let simd = preds.iter().find(|p| p.mode == Mode::Simd).unwrap();
+        assert!(pe.seconds > simd.seconds, "waste term must price honestly");
+
+        // One thread never speculates.
+        model.spec_prefix_mcus = 0.0;
         let single = select_mode(&prep, &platform, &model, 1);
         assert_ne!(single.mode, Mode::ParallelEntropy);
     }

@@ -1,13 +1,18 @@
-//! `Mode::ParallelEntropy`: restart-segment-parallel Huffman decoding.
+//! `Mode::ParallelEntropy`: parallel Huffman decoding of any baseline scan.
 //!
 //! The paper treats entropy decoding as strictly sequential (§1); restart
-//! markers make each interval independently decodable, and
-//! [`crate::exec::decode_entropy_parallel_into`] really decodes them on a
-//! scoped thread pool. This module wires that driver in as a first-class
-//! decode mode: the functional output comes from the real threaded decode,
-//! while the virtual-time trace list-schedules the measured per-segment
-//! Huffman work onto `threads` virtual workers (the same dynamic
-//! ticket-order the real driver uses), followed by the SIMD parallel phase.
+//! markers make each interval independently decodable, and — since PR 6 —
+//! restart-*free* streams are split by speculative self-synchronization
+//! ([`hetjpeg_jpeg::speculate`]): chunk workers decode from evenly spaced
+//! byte offsets and a serial stitch pass reconciles their staged output
+//! into the exact sequential result.
+//! [`crate::exec::decode_entropy_parallel_into`] really decodes both paths
+//! on a scoped thread pool. This module wires that driver in as a
+//! first-class decode mode: the functional output comes from the real
+//! threaded decode, while the virtual-time trace list-schedules the
+//! measured per-unit Huffman work (segments, or speculative chunk efforts
+//! including their convergence waste) onto `threads` virtual workers,
+//! appends the serial stitch span, then the SIMD parallel phase.
 //!
 //! The parallel phase is priced with the **sparse-aware** per-unit cost
 //! ([`crate::cost::CpuCostModel::parallel_time_sparse`]): this mode
@@ -15,11 +20,11 @@
 //! Fig. 6/7 anchor to preserve, and the EOB-class histogram the entropy
 //! decoder collects is exactly the retraining input the ROADMAP calls for.
 //!
-//! Without restart markers (or with one thread) the mode degenerates to
-//! sequential entropy + SIMD band, still byte-identical.
+//! With one thread the mode degenerates to sequential entropy + SIMD band,
+//! still byte-identical.
 
 use super::{DecodeOutcome, Mode};
-use crate::exec::decode_entropy_parallel_into;
+use crate::exec::{decode_entropy_parallel_into, EntropyParallelOutcome};
 use crate::platform::Platform;
 use crate::timeline::{Breakdown, Resource, Trace};
 use crate::workspace::Workspace;
@@ -65,7 +70,31 @@ pub(crate) fn schedule_segments(
     (wall, classes)
 }
 
-/// Restart-aware parallel-entropy decode on pooled scratch.
+/// Virtual-time schedule of a full parallel entropy phase: the per-unit
+/// work (restart segments, or speculative chunk efforts with their
+/// convergence waste priced in) list-scheduled onto `threads` workers,
+/// followed by the serial stitch span when the speculative path ran.
+/// Returns the Huffman wall-time and the *written* EOB-class histogram —
+/// not the workers' own counters, which include pre-convergence garbage.
+pub(crate) fn schedule_entropy(
+    platform: &Platform,
+    out: &EntropyParallelOutcome,
+    threads: usize,
+    trace: &mut Trace,
+) -> (f64, [u64; 4]) {
+    let (mut wall, _) = schedule_segments(platform, &out.unit_metrics, threads, trace);
+    if out.spec.chunks > 0 {
+        // The stitch reconciler runs serially after the workers join.
+        let t = platform.cpu.huff_time(&out.stitch_metrics);
+        trace.push("stitch", Resource::Cpu, wall, wall + t);
+        wall += t;
+    }
+    (wall, out.classes)
+}
+
+/// Parallel-entropy decode on pooled scratch: segment-parallel on
+/// restartful streams, speculative chunk workers + stitch on restart-free
+/// ones.
 pub(crate) fn decode_parallel_entropy_in(
     prep: &Prepared<'_>,
     platform: &Platform,
@@ -76,12 +105,11 @@ pub(crate) fn decode_parallel_entropy_in(
     ws.ensure(prep);
     let p = ws.parts();
 
-    // Functional decode on real threads (sequential fallback inside when
-    // the image has no restart markers), with per-segment work metrics.
-    let seg_metrics = decode_entropy_parallel_into(prep, threads, p.coef)?;
+    // Functional decode on real threads, with per-unit work metrics.
+    let outcome = decode_entropy_parallel_into(prep, threads, p.coef)?;
 
     let mut trace = Trace::default();
-    let (t_huff_wall, classes) = schedule_segments(platform, &seg_metrics, threads, &mut trace);
+    let (t_huff_wall, classes) = schedule_entropy(platform, &outcome, threads, &mut trace);
 
     // SIMD parallel phase over the whole image, priced sparse-aware.
     let mut image = RgbImage::new(geom.width, geom.height);
@@ -91,6 +119,7 @@ pub(crate) fn decode_parallel_entropy_in(
     let t_band = platform.cpu.parallel_time_sparse(&work, &classes, true);
     trace.push("cpu-simd", Resource::Cpu, t_huff_wall, t_huff_wall + t_band);
 
+    ws.spec.merge(&outcome.spec);
     Ok(DecodeOutcome {
         image,
         ycc: None,
@@ -155,16 +184,39 @@ mod tests {
     }
 
     #[test]
-    fn no_restart_markers_degenerates_to_sequential_entropy() {
+    fn no_restart_markers_speculate_and_beat_sequential_entropy() {
+        // PR 6: the restart-free stream no longer falls back to sequential
+        // entropy — speculative chunk workers + stitch shrink the Huffman
+        // wall-time below the sequential stage while staying bit-identical.
+        let jpeg = jpeg_with_restarts(320, 240, 0);
+        let platform = Platform::gt430();
+        let prep = Prepared::new(&jpeg).unwrap();
+        let mut ws = Workspace::default();
+        let simd_out = single::decode_cpu_in(&prep, &platform, true, &mut ws).unwrap();
+        let par = decode_parallel_entropy_in(&prep, &platform, 4, &mut ws).unwrap();
+        assert_eq!(par.image.data, simd_out.image.data);
+        assert!(
+            par.times.huffman < simd_out.times.huffman,
+            "speculative huffman {:.4}ms vs sequential {:.4}ms",
+            par.times.huffman * 1e3,
+            simd_out.times.huffman * 1e3
+        );
+        // Speculation counters surfaced through the workspace.
+        let spec = ws.spec;
+        assert!(spec.chunks >= 2 && spec.synced >= 1, "{spec:?}");
+    }
+
+    #[test]
+    fn one_thread_degenerates_to_sequential_entropy() {
         let jpeg = jpeg_with_restarts(128, 96, 0);
         let platform = Platform::gt430();
         let prep = Prepared::new(&jpeg).unwrap();
         let mut ws = Workspace::default();
         let simd_out = single::decode_cpu_in(&prep, &platform, true, &mut ws).unwrap();
-        let par = decode_parallel_entropy_in(&prep, &platform, 8, &mut ws).unwrap();
+        let par = decode_parallel_entropy_in(&prep, &platform, 1, &mut ws).unwrap();
         assert_eq!(par.image.data, simd_out.image.data);
-        // One segment: the Huffman wall-time is the sequential time plus
-        // the fixed per-segment overhead.
+        // One worker: the Huffman wall-time is the sequential time plus
+        // the fixed per-unit overhead.
         assert!(par.times.huffman >= simd_out.times.huffman);
         assert!(par.times.huffman <= simd_out.times.huffman + 2.0 * SEGMENT_OVERHEAD_S);
     }

@@ -49,11 +49,13 @@ pub enum Mode {
     /// Pipelined Partitioning Scheme: split + overlap + re-partitioning
     /// (§5.2.2).
     Pps,
-    /// Restart-segment-parallel Huffman decoding on a thread pool, then the
-    /// SIMD parallel phase. Exploits the byte-aligned synchronization
-    /// points DRI inserts — the self-synchronization escape hatch the
-    /// paper's related work (Klein & Wiseman) points at. Falls back to
-    /// sequential entropy decoding when the image has no restart markers.
+    /// Intra-stream-parallel Huffman decoding on a thread pool, then the
+    /// SIMD parallel phase. With restart markers it exploits the
+    /// byte-aligned synchronization points DRI inserts; without them it
+    /// speculatively decodes evenly spaced chunks, relying on Huffman
+    /// self-synchronization (Klein & Wiseman) and a stitch pass that
+    /// re-decodes the short unconverged prefix at each boundary, so the
+    /// output stays bit-identical to sequential on restart-free streams.
     ParallelEntropy,
     /// Pick among the seven concrete modes per image with the trained §5.1
     /// model (`THuff`, `PCPU`, `PGPU`, `Tdisp`) — the paper's dynamic

@@ -411,6 +411,11 @@ pub struct SessionStats {
     /// assert which vector level actually served traffic rather than
     /// which one was configured.
     pub simd_level: SimdLevel,
+    /// Cumulative speculative-entropy counters (ISSUE 6): chunk workers
+    /// launched, convergence-prefix MCUs wasted, stitch re-decodes — how
+    /// much the restart-free parallel path speculated and how much of it
+    /// paid off.
+    pub spec: hetjpeg_jpeg::speculate::SpecStats,
 }
 
 /// A decode session: platform + model + thread budget + pooled scratch.
@@ -480,6 +485,7 @@ impl Decoder {
             auto_cache_len: state.auto_cache.len(),
             auto_cache_cap: state.auto_cache.cap,
             simd_level: state.ws.simd_level().unwrap_or(self.simd_level),
+            spec: state.ws.spec_stats(),
         }
     }
 
@@ -630,11 +636,13 @@ impl Decoder {
         ws.ensure(prep);
         let p = ws.parts();
         let mut trace = Trace::default();
+        let mut spec = hetjpeg_jpeg::speculate::SpecStats::default();
         let (t_huff, classes) = match mode {
             Mode::ParallelEntropy => {
-                let seg_metrics =
+                let outcome =
                     crate::exec::decode_entropy_parallel_into(prep, self.threads, p.coef)?;
-                entropy_par::schedule_segments(platform, &seg_metrics, self.threads, &mut trace)
+                spec = outcome.spec;
+                entropy_par::schedule_entropy(platform, &outcome, self.threads, &mut trace)
             }
             _ => {
                 let (rows, total) = crate::schedule::entropy_into(prep, platform, p.coef)?;
@@ -654,6 +662,7 @@ impl Decoder {
             t_huff + t_band,
         );
 
+        ws.spec.merge(&spec);
         Ok(DecodeOutcome {
             image,
             ycc,

@@ -70,6 +70,11 @@ pub struct Workspace {
     simd_level: Option<SimdLevel>,
     pub(crate) staging: GpuStaging,
     pub(crate) stats: PoolStats,
+    /// Cumulative speculative-entropy counters (ISSUE 6): chunk workers
+    /// launched, convergence waste, stitch re-decodes. Merged in by every
+    /// decode that runs the speculative path; surfaced through
+    /// [`crate::SessionStats`].
+    pub(crate) spec: hetjpeg_jpeg::speculate::SpecStats,
 }
 
 /// Mutable views of the workspace's independent pools, so a decode path can
@@ -175,6 +180,11 @@ impl Workspace {
     /// Cumulative pool counters.
     pub fn stats(&self) -> PoolStats {
         self.stats
+    }
+
+    /// Cumulative speculative-entropy counters.
+    pub fn spec_stats(&self) -> hetjpeg_jpeg::speculate::SpecStats {
+        self.spec
     }
 }
 

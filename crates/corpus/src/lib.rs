@@ -16,7 +16,7 @@ pub mod crop;
 pub mod set;
 pub mod synth;
 
-pub use set::{test_set, training_set, CorpusImage, CorpusParams};
+pub use set::{no_restart_matrix, test_set, training_set, CorpusImage, CorpusParams};
 pub use synth::{generate_rgb, ImageSpec, Pattern};
 
 use hetjpeg_jpeg::encoder::{encode_rgb, EncodeParams};

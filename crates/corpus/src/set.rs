@@ -26,6 +26,10 @@ pub struct CorpusImage {
     pub pattern: &'static str,
     /// Subsampling of the encoding.
     pub subsampling: Subsampling,
+    /// JPEG quality of the encoding.
+    pub quality: u8,
+    /// Restart interval of the encoding (0 = no restart markers).
+    pub restart_interval: usize,
     /// Entropy density in bytes/pixel (paper Eq. (3)).
     pub density: f64,
 }
@@ -43,6 +47,10 @@ pub struct CorpusParams {
     pub subsampling: Subsampling,
     /// JPEG quality for the encoded files.
     pub quality: u8,
+    /// Restart interval for the encoded files (0 = no restart markers —
+    /// the default, so every corpus exercises the speculative entropy
+    /// path unless a bench opts into restartful streams).
+    pub restart_interval: usize,
 }
 
 impl Default for CorpusParams {
@@ -53,6 +61,7 @@ impl Default for CorpusParams {
             steps: 4,
             subsampling: Subsampling::S422,
             quality: 85,
+            restart_interval: 0,
         }
     }
 }
@@ -143,7 +152,7 @@ fn build(patterns: Vec<(Pattern, u64)>, params: &CorpusParams) -> Vec<CorpusImag
                     &EncodeParams {
                         quality: params.quality,
                         subsampling: params.subsampling,
-                        restart_interval: 0,
+                        restart_interval: params.restart_interval,
                     },
                 )
                 .expect("corpus encode");
@@ -154,6 +163,8 @@ fn build(patterns: Vec<(Pattern, u64)>, params: &CorpusParams) -> Vec<CorpusImag
                     height: h,
                     pattern: pattern.name(),
                     subsampling: params.subsampling,
+                    quality: params.quality,
+                    restart_interval: params.restart_interval,
                     density,
                 });
             }
@@ -170,6 +181,29 @@ pub fn training_set(params: &CorpusParams) -> Vec<CorpusImage> {
 /// Build the evaluation corpus; shares no pattern instance with training.
 pub fn test_set(params: &CorpusParams) -> Vec<CorpusImage> {
     build(test_patterns(), params)
+}
+
+/// The sub × quality synthesis matrix at `restart_interval = 0`: one test
+/// corpus per (subsampling, quality) cell, every member restart-free, so
+/// no-restart streams — the common real-world case the speculative
+/// entropy path (ISSUE 6) exists for — are first-class in every sweep.
+pub fn no_restart_matrix(
+    base: &CorpusParams,
+    subsamplings: &[Subsampling],
+    qualities: &[u8],
+) -> Vec<CorpusImage> {
+    let mut out = Vec::new();
+    for &subsampling in subsamplings {
+        for &quality in qualities {
+            out.extend(test_set(&CorpusParams {
+                subsampling,
+                quality,
+                restart_interval: 0,
+                ..*base
+            }));
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -202,6 +236,30 @@ mod tests {
             assert_eq!((decoded.width, decoded.height), (img.width, img.height));
             assert!(img.density > 0.0 && img.density < 4.0);
         }
+    }
+
+    #[test]
+    fn no_restart_matrix_spans_sub_and_quality_without_markers() {
+        let p = tiny();
+        let subs = [Subsampling::S444, Subsampling::S420];
+        let quals = [75, 90];
+        let matrix = no_restart_matrix(&p, &subs, &quals);
+        // 7 test patterns x 2x2 grid per (sub, quality) cell.
+        assert_eq!(matrix.len(), 7 * 4 * subs.len() * quals.len());
+        for img in &matrix {
+            assert_eq!(img.restart_interval, 0);
+            let parsed = hetjpeg_jpeg::markers::parse_jpeg(&img.jpeg).unwrap();
+            assert_eq!(parsed.frame.restart_interval, 0, "stream has DRI");
+        }
+        // Restartful params really thread through to the stream.
+        let dri = CorpusParams {
+            restart_interval: 4,
+            ..p
+        };
+        let img = &test_set(&dri)[0];
+        assert_eq!(img.restart_interval, 4);
+        let parsed = hetjpeg_jpeg::markers::parse_jpeg(&img.jpeg).unwrap();
+        assert_eq!(parsed.frame.restart_interval, 4);
     }
 
     #[test]

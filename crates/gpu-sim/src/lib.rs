@@ -35,6 +35,7 @@ pub mod memory;
 pub mod pcie;
 pub mod queue;
 pub mod stats;
+pub mod subseq;
 pub mod timing;
 
 pub use device::DeviceSpec;
@@ -43,6 +44,7 @@ pub use kernel::{GroupCtx, ItemCtx, Kernel};
 pub use pcie::PcieModel;
 pub use queue::{CommandQueue, Event};
 pub use stats::LaunchStats;
+pub use subseq::{launch_subseq_sync, SubseqSyncKernel};
 pub use timing::TimingModel;
 
 /// Memory transaction granularity in bytes (compute capability 2.x L1 line).

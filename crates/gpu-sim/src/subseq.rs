@@ -1,0 +1,185 @@
+//! Subsequence-synchronized entropy decode on the simulated GPU.
+//!
+//! The CPU side's speculative parallel Huffman phase (ISSUE 6) splits a
+//! restart-free scan into byte-aligned chunks and relies on Huffman
+//! self-synchronization to converge after a short prefix. Weißenberger &
+//! Schmidt ("Accelerating JPEG Decompression on GPUs", PAPERS.md) run the
+//! same trick massively parallel: one thread per *subsequence*, a
+//! speculative decode pass, then a synchronization pass where each thread
+//! overflows into its successor's subsequence until its bit position
+//! matches a recorded boundary.
+//!
+//! This kernel reproduces the *cost structure* of that scheme on the
+//! simulator: the decode pass charges per-MCU work, and the sync pass runs
+//! as a predicated lockstep loop over the warp's longest convergence
+//! prefix, so work-items with unequal prefixes charge **divergent
+//! branches** on every step where the warp disagrees — the per-segment
+//! divergence price a real GPU pays for unevenly converging subsequences.
+
+use crate::kernel::{GroupCtx, Kernel};
+use crate::{BufId, GpuSim, LaunchStats};
+
+/// One work-item per subsequence: speculative decode + predicated sync.
+///
+/// Inputs are two `i16` device buffers with one entry per subsequence:
+/// `lens[i]` is the MCU count of subsequence `i` and `prefixes[i]` the
+/// convergence-prefix MCUs item `i` must re-decode into subsequence `i+1`
+/// before its bit position agrees with the recorded boundary. The output
+/// buffer receives `lens[i] + prefixes[i]`, the MCUs item `i` actually
+/// decoded (speculative coverage plus overflow).
+pub struct SubseqSyncKernel {
+    /// Number of subsequences.
+    pub n: usize,
+    /// Per-subsequence MCU counts (`i16` each).
+    pub lens: BufId,
+    /// Per-subsequence convergence-prefix MCUs (`i16` each).
+    pub prefixes: BufId,
+    /// Per-subsequence decoded-MCU totals (`i16` each), written back.
+    pub out: BufId,
+    /// Uniform host-side bound on the sync loop — every lane executes this
+    /// many predicated steps, like a grid-constant trip count.
+    pub max_prefix: usize,
+    /// Scalar ops charged per decoded MCU (Huffman symbol walk).
+    pub cost_per_mcu: u64,
+}
+
+impl Kernel for SubseqSyncKernel {
+    fn name(&self) -> &'static str {
+        "subseq_sync"
+    }
+
+    fn items_per_group(&self) -> usize {
+        32
+    }
+
+    fn run_group(&self, ctx: &mut GroupCtx<'_>) {
+        let (n, lens, prefixes, out) = (self.n, self.lens, self.prefixes, self.out);
+        let (max_prefix, cost) = (self.max_prefix, self.cost_per_mcu);
+
+        // Pass 1 — speculative decode: every item walks its own
+        // subsequence. Lengths are near-uniform by construction (the
+        // segmenter splits the payload evenly), so this pass is charged as
+        // straight-line work.
+        ctx.phase(|it| {
+            let gid = it.global_id();
+            if it.branch(gid < n) {
+                let len = it.gload_i16(lens, gid * 2);
+                it.charge(cost * len as u64);
+            }
+        });
+
+        // Pass 2 — synchronization: each item overflows into its
+        // successor's subsequence until it converges. The trip count is
+        // the item's own convergence prefix, so the warp runs the
+        // lockstep-predicated loop to the uniform bound and pays a
+        // divergent branch on every step where lanes disagree.
+        ctx.phase(|it| {
+            let gid = it.global_id();
+            if it.branch(gid < n) {
+                let len = it.gload_i16(lens, gid * 2);
+                let prefix = it.gload_i16(prefixes, gid * 2);
+                for k in 0..max_prefix {
+                    if it.branch((k as i16) < prefix) {
+                        it.charge(cost);
+                    }
+                }
+                it.gstore_i16(out, gid * 2, len.wrapping_add(prefix));
+            }
+        });
+    }
+}
+
+/// Run the subsequence-sync kernel over per-subsequence MCU counts and
+/// convergence prefixes; returns the decoded-MCU totals and the launch
+/// statistics (divergence, transactions, compute ops).
+pub fn launch_subseq_sync(
+    sim: &mut GpuSim,
+    lens: &[i16],
+    prefixes: &[i16],
+    cost_per_mcu: u64,
+) -> (Vec<i16>, LaunchStats) {
+    assert_eq!(lens.len(), prefixes.len(), "one prefix per subsequence");
+    let n = lens.len();
+    let to_bytes = |v: &[i16]| -> Vec<u8> { v.iter().flat_map(|x| x.to_le_bytes()).collect() };
+    let lens_buf = sim.create_buffer(n.max(1) * 2);
+    let prefixes_buf = sim.create_buffer(n.max(1) * 2);
+    let out = sim.create_buffer(n.max(1) * 2);
+    sim.write_buffer(lens_buf, 0, &to_bytes(lens));
+    sim.write_buffer(prefixes_buf, 0, &to_bytes(prefixes));
+    let kernel = SubseqSyncKernel {
+        n,
+        lens: lens_buf,
+        prefixes: prefixes_buf,
+        out,
+        max_prefix: prefixes.iter().copied().max().unwrap_or(0).max(0) as usize,
+        cost_per_mcu,
+    };
+    let groups = n.div_ceil(kernel.items_per_group()).max(1);
+    let stats = sim.launch(&kernel, groups);
+    let bytes = sim.read_buffer(out);
+    let ends = (0..n)
+        .map(|i| i16::from_le_bytes([bytes[i * 2], bytes[i * 2 + 1]]))
+        .collect();
+    (ends, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceSpec;
+
+    #[test]
+    fn totals_cover_subsequence_plus_prefix() {
+        let mut sim = GpuSim::new(DeviceSpec::gtx680());
+        let lens = vec![40i16; 64];
+        let prefixes: Vec<i16> = (0..64).map(|i| (i % 7) as i16).collect();
+        let (ends, stats) = launch_subseq_sync(&mut sim, &lens, &prefixes, 3);
+        for (i, &e) in ends.iter().enumerate() {
+            assert_eq!(e, 40 + (i % 7) as i16);
+        }
+        assert_eq!(stats.groups, 2);
+        assert_eq!(stats.items, 64);
+    }
+
+    #[test]
+    fn uniform_prefixes_run_convergence_free_of_divergence() {
+        let mut sim = GpuSim::new(DeviceSpec::gtx560ti());
+        let lens = vec![32i16; 32];
+        let prefixes = vec![5i16; 32];
+        let (_, stats) = launch_subseq_sync(&mut sim, &lens, &prefixes, 2);
+        assert_eq!(stats.divergent_branches, 0, "warp agrees on every step");
+    }
+
+    #[test]
+    fn uneven_prefixes_charge_per_segment_divergence() {
+        // One warp, prefixes spread 0..=7: the predicated sync loop
+        // diverges on exactly (max - min) steps — every k where some lane
+        // is still converging and another is done.
+        let mut sim = GpuSim::new(DeviceSpec::gtx560ti());
+        let lens = vec![32i16; 32];
+        let prefixes: Vec<i16> = (0..32).map(|i| (i % 8) as i16).collect();
+        let (_, stats) = launch_subseq_sync(&mut sim, &lens, &prefixes, 2);
+        assert_eq!(stats.divergent_branches, 7, "max(7) - min(0) sync steps");
+
+        // Wider spread, same warp: the divergence charge grows with it.
+        let spread: Vec<i16> = (0..32).map(|i| (i % 16) as i16).collect();
+        let (_, worse) = launch_subseq_sync(&mut sim, &lens, &spread, 2);
+        assert_eq!(worse.divergent_branches, 15);
+    }
+
+    #[test]
+    fn compute_charge_covers_decode_and_overflow() {
+        let mut sim = GpuSim::new(DeviceSpec::gt430());
+        let lens = vec![10i16, 12, 9, 11];
+        let prefixes = vec![2i16, 0, 4, 1];
+        let cost = 5u64;
+        let (_, stats) = launch_subseq_sync(&mut sim, &lens, &prefixes, cost);
+        let decode: u64 = lens.iter().map(|&l| l as u64 * cost).sum();
+        let overflow: u64 = prefixes.iter().map(|&p| p as u64 * cost).sum();
+        assert!(
+            stats.compute_ops >= decode + overflow,
+            "ops {} must cover decode {decode} + overflow {overflow}",
+            stats.compute_ops
+        );
+    }
+}

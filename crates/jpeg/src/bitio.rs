@@ -32,6 +32,9 @@ pub struct BitReader<'a> {
     /// follow libjpeg and synthesize zeroes only after warning conditions —
     /// here decoding is expected to consume exactly the available bits).
     marker: Option<u8>,
+    /// Set once synthesized padding bits entered the accumulator (EOF or
+    /// post-marker). From then on [`Self::bit_checkpoint`] is undefined.
+    padded: bool,
     /// Total bits handed out so far.
     bits_consumed: u64,
 }
@@ -40,14 +43,56 @@ impl<'a> BitReader<'a> {
     /// Create a reader over an entropy-coded segment (marker-free prefix of
     /// `data` will be consumed; the first marker terminates bit supply).
     pub fn new(data: &'a [u8]) -> Self {
+        Self::new_at(data, 0)
+    }
+
+    /// Create a reader over `data` that starts consuming at `byte_offset`.
+    ///
+    /// The reader keeps the *whole* slice, so byte-stuffing context (the
+    /// `FF 00` rule depends on the preceding byte) and
+    /// [`Self::bit_checkpoint`] positions stay globally consistent with a
+    /// reader created at offset 0 — the property the speculative parallel
+    /// entropy decoder relies on. Callers must not start on the `00` of a
+    /// stuffed `FF 00` pair (such a byte would be consumed as data here but
+    /// skipped by a reader arriving from the left).
+    pub fn new_at(data: &'a [u8], byte_offset: usize) -> Self {
         BitReader {
             data,
-            pos: 0,
+            pos: byte_offset.min(data.len()),
             acc: 0,
             acc_len: 0,
             marker: None,
+            padded: false,
             bits_consumed: 0,
         }
+    }
+
+    /// Canonical raw-bit position of the next unconsumed logical bit, i.e.
+    /// the index (in bits) into `data` where decoding would resume. Stuffed
+    /// `00` bytes carry no logical bits, so two readers over the same slice
+    /// report the *same* checkpoint exactly when their future decodes are
+    /// identical — regardless of how their refills happened to buffer bits.
+    /// Returns `u64::MAX` once a marker was reached or padding bits were
+    /// synthesized (no meaningful raw position exists then).
+    pub fn bit_checkpoint(&self) -> u64 {
+        if self.marker.is_some() || self.padded {
+            return u64::MAX;
+        }
+        // Walk back over the raw bytes feeding the pending accumulator bits;
+        // stuffed bytes contributed nothing.
+        let mut j = self.pos;
+        let mut need = self.acc_len as i64;
+        while need > 0 {
+            if j == 0 {
+                return u64::MAX;
+            }
+            j -= 1;
+            let stuffed = self.data[j] == 0x00 && j > 0 && self.data[j - 1] == 0xFF;
+            if !stuffed {
+                need -= 8;
+            }
+        }
+        8 * j as u64 + need.unsigned_abs()
     }
 
     /// Total number of bits consumed by `get_bits`/`receive` so far.
@@ -108,6 +153,7 @@ impl<'a> BitReader<'a> {
             // mirroring libjpeg's behaviour on truncated files.
             self.acc <<= 8;
             self.acc_len += 8;
+            self.padded = true;
             return;
         }
         let b = self.data[self.pos];
@@ -125,11 +171,13 @@ impl<'a> BitReader<'a> {
                     self.pos += 1;
                     self.acc <<= 8;
                     self.acc_len += 8;
+                    self.padded = true;
                 }
                 None => {
                     self.marker = Some(0x00);
                     self.acc <<= 8;
                     self.acc_len += 8;
+                    self.padded = true;
                 }
             }
         } else {

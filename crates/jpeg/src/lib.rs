@@ -26,6 +26,8 @@
 //!   introduced in paper §4),
 //! * [`entropy`] — the strictly sequential Huffman scan decoder with
 //!   per-MCU-row work metrics,
+//! * [`speculate`] — speculative self-synchronizing Huffman decoding of
+//!   restart-free streams (chunk workers + stitch reconciliation),
 //! * [`encoder`] — a baseline JPEG encoder used to synthesize corpora,
 //! * [`decoder`] — whole-image sequential and SIMD-style decoders plus the
 //!   region-based stage functions used by the heterogeneous scheduler,
@@ -62,6 +64,7 @@ pub mod metrics;
 pub mod planes;
 pub mod quant;
 pub mod sample;
+pub mod speculate;
 pub mod testutil;
 pub mod types;
 pub mod zigzag;

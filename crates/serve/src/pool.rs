@@ -162,6 +162,32 @@ impl ServerStats {
             .map(|s| s.session.pool.auto_evictions)
             .sum()
     }
+
+    /// Speculation counters merged across shards (ISSUE 6): how often the
+    /// restart-free parallel entropy path ran and what it cost, so the
+    /// serve path can observe the speculative mode in production.
+    pub fn speculation(&self) -> hetjpeg_jpeg::speculate::SpecStats {
+        let mut total = hetjpeg_jpeg::speculate::SpecStats::default();
+        for s in &self.shards {
+            total.merge(&s.session.spec);
+        }
+        total
+    }
+
+    /// Total speculative segments (chunks) launched across shards.
+    pub fn speculative_chunks(&self) -> u64 {
+        self.speculation().chunks
+    }
+
+    /// Total convergence-prefix MCUs wasted by speculation across shards.
+    pub fn speculation_wasted_mcus(&self) -> u64 {
+        self.speculation().wasted_mcus
+    }
+
+    /// Total MCUs the stitch pass re-decoded exactly across shards.
+    pub fn stitch_redecoded_mcus(&self) -> u64 {
+        self.speculation().redecoded_mcus
+    }
 }
 
 struct ShardState {
@@ -553,6 +579,35 @@ mod tests {
             threads: 0,
             ..ServeConfig::default()
         }));
+    }
+
+    #[test]
+    fn speculation_counters_surface_in_server_stats() {
+        // A restart-free stream decoded under `Mode::ParallelEntropy`
+        // takes the speculative path (ISSUE 6); its counters must be
+        // visible through the server's aggregated statistics.
+        let server = Server::start(ServeConfig {
+            shards: 1,
+            threads: 4,
+            options: hetjpeg_core::DecodeOptions {
+                mode: hetjpeg_core::Mode::ParallelEntropy,
+                ..hetjpeg_core::DecodeOptions::default()
+            },
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let handle = server.handle();
+        handle.decode(&jpeg(256, 160, 7)).unwrap();
+        let stats = server.shutdown();
+        let spec = stats.speculation();
+        assert!(spec.chunks >= 2, "speculative chunks launched: {spec:?}");
+        assert!(spec.synced >= 1, "at least one boundary converged");
+        assert!(spec.adopted_mcus > 0, "staged MCUs adopted: {spec:?}");
+        assert_eq!(stats.speculative_chunks(), spec.chunks);
+        assert_eq!(
+            stats.speculation_wasted_mcus() + stats.stitch_redecoded_mcus(),
+            spec.wasted_mcus + spec.redecoded_mcus,
+        );
     }
 
     #[test]

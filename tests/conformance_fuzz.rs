@@ -166,6 +166,58 @@ fn corrupt_streams_never_panic_and_levels_agree() {
     assert!(rejected > 0, "no mutated stream was rejected");
 }
 
+/// The speculative-path fuzz axis (ISSUE 6): corrupt restart-free streams
+/// decoded under `Mode::ParallelEntropy` — which chunks the scan and
+/// speculates on 4 threads — must never panic and must agree **exactly**
+/// with the sequential pass: same `Ok` bytes, same error text. Stitch
+/// reconciliation guarantees errors surface only from the exact re-decode,
+/// so mis-phased speculative garbage can neither mask nor invent one.
+#[test]
+fn speculative_entropy_agrees_with_sequential_on_corrupt_streams() {
+    let spec_dec = Decoder::builder()
+        .platform(Platform::gtx560())
+        .threads(4)
+        .build()
+        .expect("valid configuration");
+    let seq_dec = decoder();
+    let native = SimdLevel::detect();
+    let mut rng = Rng(0xDECADE);
+    let mut salvaged = 0usize;
+    let mut rejected = 0usize;
+    for (name, base) in base_corpus() {
+        if hetjpeg_jpeg::markers::parse_jpeg(&base)
+            .map(|p| p.frame.restart_interval != 0)
+            .unwrap_or(true)
+        {
+            continue; // this axis targets the no-restart speculative path
+        }
+        for case in 0..64 {
+            let data = mutate(&base, &mut rng);
+            let spec = outcome(&spec_dec, &data, Mode::ParallelEntropy, native);
+            let seq = outcome(&seq_dec, &data, Mode::Sequential, native);
+            match (&spec, &seq) {
+                (Ok(a), Ok(b)) => {
+                    assert_eq!(
+                        a, b,
+                        "{name} case {case}: speculative and sequential salvages differ"
+                    );
+                    salvaged += 1;
+                }
+                (Err(a), Err(b)) => {
+                    assert_eq!(
+                        a, b,
+                        "{name} case {case}: error text diverged from sequential"
+                    );
+                    rejected += 1;
+                }
+                _ => panic!("{name} case {case}: speculative {spec:?} vs sequential {seq:?}"),
+            }
+        }
+    }
+    assert!(salvaged > 0, "no corrupt stream decoded tolerantly");
+    assert!(rejected > 0, "no corrupt stream was rejected");
+}
+
 /// Pure truncation sweep: every cut point of one stream (not just random
 /// ones) decodes tolerantly without panicking, at every available level,
 /// with identical salvages.

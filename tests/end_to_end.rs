@@ -25,6 +25,7 @@ fn trained(platform: &Platform) -> hetjpeg_core::model::PerformanceModel {
         steps: 3,
         subsampling: Subsampling::S422,
         quality: 88,
+        restart_interval: 0,
     });
     let jpegs: Vec<Vec<u8>> = corpus.into_iter().map(|c| c.jpeg).collect();
     train(

@@ -106,8 +106,9 @@ fn all_modes_agree_at_every_simd_level() {
 #[test]
 fn parallel_entropy_agrees_across_restart_intervals() {
     // The seventh mode's own matrix: restart-interval × threads. With DRI
-    // the segments decode on real threads; without it the mode falls back
-    // to sequential entropy. Bytes must match the reference either way.
+    // the segments decode on real threads; without it the speculative
+    // self-synchronizing path chunks the scan and stitches (ISSUE 6).
+    // Bytes must match the reference either way.
     let (w, h) = (160usize, 120usize);
     let mut rgb = Vec::with_capacity(w * h * 3);
     let mut s = 5u32;
@@ -144,6 +145,68 @@ fn parallel_entropy_agrees_across_restart_intervals() {
                     "{} DRI {interval} with {threads} threads",
                     sub.notation()
                 );
+            }
+        }
+    }
+}
+
+#[test]
+fn restart_free_speculation_agrees_across_quality_and_simd() {
+    // ISSUE 6 acceptance axis: restart-free streams decoded by the
+    // speculative parallel-entropy path must be bit-identical to the
+    // sequential reference across sub × quality × threads × SIMD level —
+    // and at 4 threads the decode must actually have speculated rather
+    // than quietly running one worker.
+    let (w, h) = (176usize, 128usize);
+    let mut rgb = Vec::with_capacity(w * h * 3);
+    let mut s = 9u32;
+    for _ in 0..w * h {
+        s = s.wrapping_mul(1664525).wrapping_add(1013904223);
+        rgb.extend_from_slice(&[(s >> 8) as u8, (s >> 16) as u8, (s >> 24) as u8]);
+    }
+    for sub in [Subsampling::S444, Subsampling::S422, Subsampling::S420] {
+        for quality in [55u8, 80, 92] {
+            let jpeg = encode_rgb(
+                &rgb,
+                w as u32,
+                h as u32,
+                &EncodeParams {
+                    quality,
+                    subsampling: sub,
+                    restart_interval: 0,
+                },
+            )
+            .expect("encode");
+            let reference = decode(&jpeg).expect("reference").data;
+            for threads in [2usize, 4] {
+                let decoder = Decoder::builder()
+                    .platform(Platform::gtx560())
+                    .threads(threads)
+                    .build()
+                    .expect("valid configuration");
+                for level in SimdLevel::all_available() {
+                    let out = decoder
+                        .decode(
+                            &jpeg,
+                            DecodeOptions::with_mode(Mode::ParallelEntropy).force_simd(level),
+                        )
+                        .expect("decode");
+                    assert_eq!(
+                        out.image.data,
+                        reference,
+                        "q{quality} {} {threads}t at {}",
+                        sub.notation(),
+                        level.name()
+                    );
+                }
+                if threads == 4 {
+                    let spec = decoder.stats().spec;
+                    assert!(
+                        spec.chunks >= 2 && spec.synced >= 1,
+                        "q{quality} {} never speculated: {spec:?}",
+                        sub.notation()
+                    );
+                }
             }
         }
     }
