@@ -1,0 +1,253 @@
+//! PR-7 benchmark: progressive (SOF2) multi-scan decode and prefix
+//! renders.
+//!
+//! Three measurements over self-encoded progressive corpora:
+//!
+//! 1. **Per-scan cost** — decode with `max_scans = k` for every prefix
+//!    length `k`, recording the cumulative entropy (huffman) and parallel
+//!    (dequant + IDCT + upsample + color) model times; the marginal
+//!    entropy column is the cost the k-th scan adds. Early prefixes price
+//!    the parallel phase through the re-derived per-block EOB classes, so
+//!    a DC-only render is *also* cheap to rasterize, not just to parse.
+//! 2. **Partial-render latency** — end-to-end time at 1 scan, 3 scans and
+//!    the full script: the latency menu the `hetjpeg-serve` deadline
+//!    pacing chooses from.
+//! 3. **Baseline equivalence** — the full-scan progressive decode must be
+//!    bit-identical to the baseline encoding of the same pixels (same
+//!    quality, same subsampling): the PR-7 acceptance criterion.
+//!
+//! Times are **virtual**: schedule makespans under the platform cost model
+//! over measured per-unit metrics, the repo's methodology for parallel
+//! numbers on a one-core container. Output: human-readable table on
+//! stdout plus machine-readable `BENCH_PR7.json` at the repo root.
+
+use hetjpeg_core::{DecodeOptions, Decoder, Platform};
+use hetjpeg_corpus::{generate_rgb, ImageSpec, Pattern};
+use hetjpeg_jpeg::encoder::{encode_rgb, EncodeParams};
+use hetjpeg_jpeg::progressive::{encode_rgb_progressive, parse_progressive, ScanPreset};
+use hetjpeg_jpeg::types::Subsampling;
+use std::fmt::Write as _;
+
+struct Corpus {
+    name: &'static str,
+    preset: ScanPreset,
+    rgb: Vec<u8>,
+    width: usize,
+    height: usize,
+    baseline: Vec<u8>,
+    progressive: Vec<u8>,
+    scans: usize,
+}
+
+fn corpus(
+    name: &'static str,
+    quality: u8,
+    sub: Subsampling,
+    preset: ScanPreset,
+    detail: f64,
+    (w, h): (usize, usize),
+    seed: u64,
+) -> Corpus {
+    let rgb = generate_rgb(&ImageSpec {
+        width: w,
+        height: h,
+        pattern: Pattern::PhotoLike { detail },
+        seed,
+    });
+    let params = EncodeParams {
+        quality,
+        subsampling: sub,
+        restart_interval: 0,
+    };
+    let baseline = encode_rgb(&rgb, w as u32, h as u32, &params).expect("encode baseline");
+    let progressive = encode_rgb_progressive(&rgb, w as u32, h as u32, &params, preset)
+        .expect("encode progressive");
+    let scans = parse_progressive(&progressive)
+        .expect("parse progressive")
+        .scans
+        .len();
+    Corpus {
+        name,
+        preset,
+        rgb,
+        width: w,
+        height: h,
+        baseline,
+        progressive,
+        scans,
+    }
+}
+
+fn main() {
+    let reps: usize = std::env::var("BENCH_PR7_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    let platform = Platform::gtx560();
+    let decoder = Decoder::builder()
+        .platform(platform)
+        .build()
+        .expect("valid configuration");
+
+    let corpora = [
+        corpus(
+            "q85_420_standard10",
+            85,
+            Subsampling::S420,
+            ScanPreset::Standard10,
+            0.6,
+            (512, 384),
+            71,
+        ),
+        corpus(
+            "q90_444_spectral4",
+            90,
+            Subsampling::S444,
+            ScanPreset::Spectral4,
+            0.8,
+            (384, 384),
+            72,
+        ),
+    ];
+
+    let mut json = String::from("{\n  \"pr\": 7,\n");
+    let _ = writeln!(
+        json,
+        "  \"description\": \"Progressive (SOF2) multi-scan decode: per-scan entropy+render cost (cumulative model times at every max_scans prefix), partial-render latency at 1/3/all scans, and bit-identity of the full-scan decode against the baseline encoding of the same pixels. Times are virtual (schedule makespan under the platform cost model over measured per-unit metrics).\","
+    );
+    let _ = writeln!(json, "  \"reps_best_of\": {reps},");
+    let _ = writeln!(json, "  \"corpora\": {{");
+
+    let mut headline_ratio = f64::INFINITY;
+    let mut all_same_pixels = true;
+    for (ci, c) in corpora.iter().enumerate() {
+        let px = c.width * c.height;
+        println!(
+            "== corpus {} ({}x{}, {:?}, {} scans, {} -> {} bytes) ==",
+            c.name,
+            c.width,
+            c.height,
+            c.preset,
+            c.scans,
+            c.baseline.len(),
+            c.progressive.len()
+        );
+        // Cumulative model times per prefix length; virtual times are
+        // deterministic, reps only guard metric reuse.
+        let mut huff = vec![f64::INFINITY; c.scans + 1];
+        let mut render = vec![f64::INFINITY; c.scans + 1];
+        let mut total = vec![f64::INFINITY; c.scans + 1];
+        for _ in 0..reps.max(1) {
+            for k in 1..=c.scans {
+                let out = decoder
+                    .decode(&c.progressive, DecodeOptions::default().max_scans(k))
+                    .expect("prefix decode");
+                assert_eq!(out.truncated, k < c.scans, "truncated flag at {k} scans");
+                huff[k] = huff[k].min(out.times.huffman);
+                render[k] = render[k].min(out.times.cpu_parallel);
+                total[k] = total[k].min(out.times.total);
+            }
+        }
+        huff[0] = 0.0;
+        let per_px = |secs: f64| secs * 1e9 / px as f64;
+
+        let _ = writeln!(json, "    \"{}\": {{", c.name);
+        let _ = writeln!(
+            json,
+            "      \"width\": {}, \"height\": {}, \"preset\": \"{:?}\", \"scans\": {}, \"baseline_bytes\": {}, \"progressive_bytes\": {},",
+            c.width,
+            c.height,
+            c.preset,
+            c.scans,
+            c.baseline.len(),
+            c.progressive.len()
+        );
+        let _ = writeln!(json, "      \"per_scan\": [");
+        for k in 1..=c.scans {
+            println!(
+                "scan {k:>2}: entropy {:8.2} ns/px (marginal {:7.2})   render {:8.2} ns/px   total {:8.2} ns/px",
+                per_px(huff[k]),
+                per_px(huff[k] - huff[k - 1]),
+                per_px(render[k]),
+                per_px(total[k])
+            );
+            let sep = if k == c.scans { "" } else { "," };
+            let _ = writeln!(
+                json,
+                "        {{\"scans\": {k}, \"entropy_ns_per_px\": {:.3}, \"marginal_entropy_ns_per_px\": {:.3}, \"render_ns_per_px\": {:.3}, \"total_ns_per_px\": {:.3}}}{sep}",
+                per_px(huff[k]),
+                per_px(huff[k] - huff[k - 1]),
+                per_px(render[k]),
+                per_px(total[k])
+            );
+        }
+        let _ = writeln!(json, "      ],");
+
+        // The latency menu deadline pacing picks from.
+        let at = |k: usize| total[k.min(c.scans)];
+        println!(
+            "partial render: 1 scan {:.2} ns/px, 3 scans {:.2} ns/px, all {} scans {:.2} ns/px (dc prefix = {:.1}% of full)",
+            per_px(at(1)),
+            per_px(at(3)),
+            c.scans,
+            per_px(at(c.scans)),
+            100.0 * at(1) / at(c.scans)
+        );
+        let _ = writeln!(
+            json,
+            "      \"partial_render_latency\": {{\"one_scan_ns_per_px\": {:.3}, \"three_scans_ns_per_px\": {:.3}, \"all_scans_ns_per_px\": {:.3}, \"dc_prefix_fraction_of_full\": {:.4}}},",
+            per_px(at(1)),
+            per_px(at(3)),
+            per_px(at(c.scans)),
+            at(1) / at(c.scans)
+        );
+        headline_ratio = headline_ratio.min(at(1) / at(c.scans));
+
+        // Acceptance: the full-scan decode matches the baseline encoding
+        // of the same pixels, byte for byte.
+        let full = decoder
+            .decode(&c.progressive, DecodeOptions::default())
+            .expect("full progressive decode");
+        let base = decoder
+            .decode(&c.baseline, DecodeOptions::default())
+            .expect("baseline decode");
+        let same = full.image.data == base.image.data;
+        all_same_pixels &= same;
+        println!("baseline equivalence: same_pixels = {same}");
+        let _ = writeln!(json, "      \"same_pixels_as_baseline\": {same}");
+        let sep = if ci + 1 == corpora.len() { "" } else { "," };
+        let _ = writeln!(json, "    }}{sep}");
+        // Silence the unused-field warning honestly: the rgb is the
+        // ground truth both encoders consumed.
+        assert_eq!(c.rgb.len(), px * 3);
+    }
+    let _ = writeln!(json, "  }},");
+
+    let stats = decoder.stats().progressive;
+    println!(
+        "session: {} scans decoded, {} refinement passes, {} partial renders",
+        stats.scans_decoded, stats.refine_passes, stats.partial_renders
+    );
+    let _ = writeln!(
+        json,
+        "  \"session\": {{\"scans_decoded\": {}, \"refine_passes\": {}, \"partial_renders\": {}}},",
+        stats.scans_decoded, stats.refine_passes, stats.partial_renders
+    );
+    let _ = writeln!(
+        json,
+        "  \"headline\": {{\"dc_prefix_fraction_of_full\": {headline_ratio:.4}, \"gate\": 0.8, \"pass\": {}, \"all_same_pixels\": {all_same_pixels}}}\n}}",
+        headline_ratio <= 0.8
+    );
+
+    std::fs::write("BENCH_PR7.json", &json).expect("write BENCH_PR7.json");
+    println!(
+        "wrote BENCH_PR7.json (DC-prefix render at {:.1}% of full-scan latency, gate 80%)",
+        headline_ratio * 100.0
+    );
+    assert!(all_same_pixels, "progressive decode diverged from baseline");
+    assert!(
+        headline_ratio <= 0.8,
+        "acceptance gate: DC prefix costs {:.1}% of the full decode (> 80%)",
+        headline_ratio * 100.0
+    );
+}

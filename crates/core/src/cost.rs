@@ -68,6 +68,12 @@ pub struct CpuCostModel {
     pub dispatch_base_us: f64,
     /// Additional dispatch cost per megabyte of argument/transfer setup.
     pub dispatch_us_per_mb: f64,
+    /// Progressive decoding: cycles per block *visit* per scan. Every scan
+    /// of a progressive script walks its band over every covered block even
+    /// when EOB runs carry no bits for it, so a 10-scan script pays this
+    /// roughly ten times per block on top of the bit/symbol work that
+    /// [`Self::huff_time`] prices.
+    pub progressive_scan_cycles_per_block: f64,
 }
 
 impl CpuCostModel {
@@ -99,6 +105,7 @@ impl CpuCostModel {
             simd_color_speedup: 4.2,
             dispatch_base_us: 15.0,
             dispatch_us_per_mb: 1.0,
+            progressive_scan_cycles_per_block: 12.0,
         }
     }
 
@@ -119,6 +126,7 @@ impl CpuCostModel {
             simd_color_speedup: 4.3,
             dispatch_base_us: 14.0,
             dispatch_us_per_mb: 1.0,
+            progressive_scan_cycles_per_block: 11.5,
         }
     }
 
@@ -221,6 +229,21 @@ impl CpuCostModel {
             + m.symbols as f64 * self.huff_cycles_per_symbol
             + m.blocks as f64 * self.huff_cycles_per_block;
         self.cycles_to_seconds(cycles)
+    }
+
+    /// Entropy-phase time of a progressive scan script. `m` carries the
+    /// bit/symbol totals accumulated over every decoded scan and the
+    /// per-block constant once per block ([`Self::huff_time`] semantics);
+    /// `scan_block_visits` is the total number of (scan, block) pairs the
+    /// script walked — each pays the progressive band-loop overhead even
+    /// when an EOB run skips the block entirely. With a single scan and
+    /// zero extra visits this degenerates toward the baseline price, so
+    /// `Mode::Auto` comparisons stay apples-to-apples.
+    pub fn progressive_huff_time(&self, m: &RowMetrics, scan_block_visits: u64) -> f64 {
+        self.huff_time(m)
+            + self.cycles_to_seconds(
+                scan_block_visits as f64 * self.progressive_scan_cycles_per_block,
+            )
     }
 
     /// Parallel-phase time (dequant + IDCT + upsample + color) for a band's

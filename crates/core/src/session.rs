@@ -102,6 +102,12 @@ pub struct DecodeOptions {
     /// the bit-identity matrices pin SSE2 specifically on an AVX2 host.
     /// Takes precedence over `force_scalar_simd` when set.
     pub force_simd_level: Option<SimdLevel>,
+    /// For progressive (SOF2) images: decode at most this many scans and
+    /// render the prefix — a coarser but well-defined image
+    /// ([`DecodeOutcome::truncated`] set when the limit bites). `None`
+    /// (default) decodes the full scan script; baseline images ignore the
+    /// option (their single scan is always "all of them").
+    pub max_scans: Option<usize>,
 }
 
 impl Default for DecodeOptions {
@@ -113,6 +119,7 @@ impl Default for DecodeOptions {
             max_pixels: None,
             force_scalar_simd: false,
             force_simd_level: None,
+            max_scans: None,
         }
     }
 }
@@ -154,6 +161,12 @@ impl DecodeOptions {
     /// hook; clamped to the host's capability).
     pub fn force_simd(mut self, level: SimdLevel) -> Self {
         self.force_simd_level = Some(level);
+        self
+    }
+
+    /// Decode at most `scans` scans of a progressive image (prefix render).
+    pub fn max_scans(mut self, scans: usize) -> Self {
+        self.max_scans = Some(scans);
         self
     }
 }
@@ -416,6 +429,9 @@ pub struct SessionStats {
     /// much the restart-free parallel path speculated and how much of it
     /// paid off.
     pub spec: hetjpeg_jpeg::speculate::SpecStats,
+    /// Cumulative progressive-decode counters (PR 7): scans decoded,
+    /// refinement passes, partial (prefix) renders served.
+    pub progressive: hetjpeg_jpeg::progressive::ProgressiveStats,
 }
 
 /// A decode session: platform + model + thread budget + pooled scratch.
@@ -486,6 +502,7 @@ impl Decoder {
             auto_cache_cap: state.auto_cache.cap,
             simd_level: state.ws.simd_level().unwrap_or(self.simd_level),
             spec: state.ws.spec_stats(),
+            progressive: state.ws.progressive_stats(),
         }
     }
 
@@ -534,6 +551,12 @@ impl Decoder {
         data: &[u8],
         opts: &DecodeOptions,
     ) -> Result<DecodeOutcome> {
+        // Progressive (SOF2) images take their own path: every scan decodes
+        // sequentially on the CPU into the pooled coefficient buffer, then
+        // the parallel phase runs unchanged.
+        if hetjpeg_jpeg::progressive::is_progressive(data) {
+            return self.decode_progressive_locked(state, data, opts);
+        }
         let prep = Prepared::new(data)?;
         if let Some(max) = opts.max_pixels {
             if prep.geom.pixels() > max {
@@ -594,6 +617,129 @@ impl Decoder {
                 }
             }
         }
+    }
+
+    /// The progressive (SOF2) decode path: parse the scan script, decode
+    /// every scan (or the `max_scans` prefix) sequentially into the pooled
+    /// coefficient buffer, re-derive the EOB classes from the accumulated
+    /// state, and run the unchanged CPU parallel phase over it.
+    ///
+    /// The accumulated coefficients live in host memory and every scan is
+    /// strictly sequential, so only the CPU render paths apply: `Auto`
+    /// prices the scalar vs SIMD band with the per-class sparse costs (an
+    /// early prefix is dramatically sparse and prices accordingly), forced
+    /// `Sequential` keeps the scalar kernels, and every other forced mode
+    /// renders on the SIMD path.
+    fn decode_progressive_locked(
+        &self,
+        state: &mut SessionState,
+        data: &[u8],
+        opts: &DecodeOptions,
+    ) -> Result<DecodeOutcome> {
+        use hetjpeg_jpeg::metrics::{ParallelWork, RowMetrics};
+        use hetjpeg_jpeg::progressive;
+
+        let parsed = progressive::parse_progressive(data)?;
+        if opts.strictness == Strictness::Strict {
+            if let Some(damage) = &parsed.damage {
+                return Err(damage.clone());
+            }
+            if !parsed.complete {
+                return Err(Error::UnexpectedEof);
+            }
+        }
+        let prep = Prepared::from_progressive(&parsed)?;
+        if let Some(max) = opts.max_pixels {
+            if prep.geom.pixels() > max {
+                return Err(Error::Unsupported("image exceeds the max_pixels guard"));
+            }
+        }
+        state
+            .ws
+            .set_simd_level(if let Some(level) = opts.force_simd_level {
+                level
+            } else if opts.force_scalar_simd {
+                SimdLevel::Scalar
+            } else {
+                self.simd_level
+            });
+        // Progressive scans accumulate into prior state, and a prefix
+        // render leaves later bands untouched — the buffer must be zeroed.
+        state.ws.ensure(&prep);
+        state.ws.parts().coef.reset_for(&prep.geom);
+        let tolerant = opts.strictness == Strictness::Tolerant;
+        let outcome = progressive::decode_scans(
+            &parsed,
+            &prep.geom,
+            state.ws.parts().coef,
+            opts.max_scans,
+            tolerant,
+        )?;
+
+        let limited = opts.max_scans.is_some_and(|m| m < parsed.scans.len());
+        let partial = limited || outcome.truncated;
+        state.ws.progressive.scans_decoded += outcome.scans_decoded as u64;
+        state.ws.progressive.refine_passes += outcome.refine_passes;
+        state.ws.progressive.partial_renders += u64::from(partial);
+
+        let classes = crate::schedule::eob_classes_in(&outcome.rows, 0, outcome.rows.len());
+        let mut total = RowMetrics::default();
+        for r in &outcome.rows {
+            total.add(r);
+        }
+        let t_huff = self
+            .platform
+            .cpu
+            .progressive_huff_time(&total, outcome.block_visits);
+
+        let mode = match opts.mode {
+            Mode::Auto => {
+                let work = ParallelWork::for_mcu_rows(&prep.geom, 0, prep.geom.mcus_y);
+                let scalar = self
+                    .platform
+                    .cpu
+                    .parallel_time_sparse(&work, &classes, false);
+                let simd = self
+                    .platform
+                    .cpu
+                    .parallel_time_sparse(&work, &classes, true);
+                if simd <= scalar {
+                    Mode::Simd
+                } else {
+                    Mode::Sequential
+                }
+            }
+            Mode::Sequential => Mode::Sequential,
+            _ => Mode::Simd,
+        };
+        let use_simd = mode != Mode::Sequential;
+
+        let mut trace = Trace::default();
+        trace.push("huffman", Resource::Cpu, 0.0, t_huff);
+        let mut p = state.ws.parts();
+        let (image, ycc, t_band) =
+            self.cpu_parallel_output(&prep, &mut p, opts.format, use_simd, &classes)?;
+        trace.push(
+            if use_simd { "cpu-simd" } else { "cpu-scalar" },
+            Resource::Cpu,
+            t_huff,
+            t_huff + t_band,
+        );
+
+        Ok(DecodeOutcome {
+            image,
+            ycc,
+            times: Breakdown {
+                huffman: t_huff,
+                cpu_parallel: t_band,
+                total: t_huff + t_band,
+                ..Default::default()
+            },
+            trace,
+            partition: None,
+            mode,
+            truncated: partial,
+        })
     }
 
     /// `Mode::Auto` with the per-shape session cache. `cpu_only` restricts
@@ -1081,5 +1227,124 @@ mod tests {
         let out = dec.decode_threaded(&jpeg).unwrap();
         let want = hetjpeg_jpeg::decoder::decode(&jpeg).unwrap();
         assert_eq!(out.image.data, want.data);
+    }
+
+    fn rgb_of(w: usize, h: usize, seed: u32) -> Vec<u8> {
+        let mut rgb = Vec::with_capacity(w * h * 3);
+        let mut s = seed;
+        for _ in 0..w * h {
+            s = s.wrapping_mul(1664525).wrapping_add(1013904223);
+            rgb.extend_from_slice(&[(s >> 8) as u8, (s >> 16) as u8, (s >> 24) as u8]);
+        }
+        rgb
+    }
+
+    #[test]
+    fn progressive_decode_matches_baseline_pixels() {
+        use hetjpeg_jpeg::progressive::{encode_rgb_progressive, ScanPreset};
+        // Same pixels, same quality, same subsampling ⇒ identical quantized
+        // coefficients ⇒ the progressive decode must reproduce the baseline
+        // decode bit-for-bit, in every forced render mode.
+        let (w, h) = (77usize, 53usize); // deliberately unaligned
+        let rgb = rgb_of(w, h, 41);
+        for sub in [Subsampling::S444, Subsampling::S422, Subsampling::S420] {
+            let params = EncodeParams {
+                quality: 86,
+                subsampling: sub,
+                restart_interval: 0,
+            };
+            let base = encode_rgb(&rgb, w as u32, h as u32, &params).unwrap();
+            let prog =
+                encode_rgb_progressive(&rgb, w as u32, h as u32, &params, ScanPreset::Standard10)
+                    .unwrap();
+            let dec = Decoder::builder().build().unwrap();
+            let want = dec.decode(&base, DecodeOptions::default()).unwrap();
+            for mode in [Mode::Auto, Mode::Sequential, Mode::Simd, Mode::Pps] {
+                let out = dec.decode(&prog, DecodeOptions::with_mode(mode)).unwrap();
+                assert!(!out.truncated);
+                assert!(out.mode.is_cpu_only(), "picked {:?}", out.mode);
+                assert_eq!(
+                    out.image.data,
+                    want.image.data,
+                    "progressive != baseline for {} mode {mode:?}",
+                    sub.notation()
+                );
+            }
+            let s = dec.stats();
+            assert_eq!(s.progressive.scans_decoded, 4 * 10);
+            assert_eq!(s.progressive.refine_passes, 4 * 5);
+            assert_eq!(s.progressive.partial_renders, 0);
+        }
+    }
+
+    #[test]
+    fn max_scans_prefix_is_a_partial_render() {
+        use hetjpeg_jpeg::progressive::{encode_rgb_progressive, ScanPreset};
+        let (w, h) = (64usize, 48usize);
+        let rgb = rgb_of(w, h, 7);
+        let params = EncodeParams {
+            quality: 84,
+            subsampling: Subsampling::S420,
+            restart_interval: 0,
+        };
+        let prog =
+            encode_rgb_progressive(&rgb, w as u32, h as u32, &params, ScanPreset::Standard10)
+                .unwrap();
+        let dec = Decoder::builder().build().unwrap();
+        let full = dec.decode(&prog, DecodeOptions::default()).unwrap();
+        // A one-scan prefix (the interleaved DC scan) renders flat 8×8
+        // blocks: a well-defined image, flagged truncated.
+        let out = dec
+            .decode(&prog, DecodeOptions::default().max_scans(1))
+            .unwrap();
+        assert!(out.truncated);
+        assert_eq!(out.image.data.len(), w * h * 3);
+        assert_ne!(out.image.data, full.image.data);
+        // A limit at (or past) the script length is a complete decode.
+        let all = dec
+            .decode(&prog, DecodeOptions::default().max_scans(10))
+            .unwrap();
+        assert!(!all.truncated);
+        assert_eq!(all.image.data, full.image.data);
+        let s = dec.stats();
+        assert_eq!(s.progressive.partial_renders, 1);
+        assert_eq!(s.progressive.scans_decoded, 10 + 1 + 10);
+        // Planar output works on the progressive path too.
+        let ycc = dec
+            .decode(
+                &prog,
+                DecodeOptions::default().format(OutputFormat::PlanarYcc),
+            )
+            .unwrap();
+        assert_eq!(
+            ycc.planar().expect("planar output").to_rgb().data,
+            full.image.data
+        );
+    }
+
+    #[test]
+    fn progressive_truncated_stream_salvages_under_tolerant() {
+        use hetjpeg_jpeg::progressive::{encode_rgb_progressive, ScanPreset};
+        let (w, h) = (64usize, 64usize);
+        let rgb = rgb_of(w, h, 99);
+        let params = EncodeParams {
+            quality: 85,
+            subsampling: Subsampling::S422,
+            restart_interval: 0,
+        };
+        let mut prog =
+            encode_rgb_progressive(&rgb, w as u32, h as u32, &params, ScanPreset::Standard10)
+                .unwrap();
+        prog.truncate(prog.len() / 2);
+        let dec = Decoder::builder().build().unwrap();
+        // Strict refuses the incomplete scan script…
+        assert!(dec.decode(&prog, DecodeOptions::default()).is_err());
+        // …tolerant renders whatever scans arrived.
+        let out = dec
+            .decode(&prog, DecodeOptions::default().tolerant())
+            .unwrap();
+        assert!(out.truncated);
+        assert_eq!(out.image.data.len(), w * h * 3);
+        assert_eq!(dec.stats().progressive.partial_renders, 1);
     }
 }

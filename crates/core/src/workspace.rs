@@ -75,6 +75,11 @@ pub struct Workspace {
     /// decode that runs the speculative path; surfaced through
     /// [`crate::SessionStats`].
     pub(crate) spec: hetjpeg_jpeg::speculate::SpecStats,
+    /// Cumulative progressive-decode counters (PR 7): scans decoded,
+    /// refinement passes, partial (prefix) renders. Bumped by every decode
+    /// that takes the progressive path; surfaced through
+    /// [`crate::SessionStats`].
+    pub(crate) progressive: hetjpeg_jpeg::progressive::ProgressiveStats,
 }
 
 /// Mutable views of the workspace's independent pools, so a decode path can
@@ -185,6 +190,11 @@ impl Workspace {
     /// Cumulative speculative-entropy counters.
     pub fn spec_stats(&self) -> hetjpeg_jpeg::speculate::SpecStats {
         self.spec
+    }
+
+    /// Cumulative progressive-decode counters.
+    pub fn progressive_stats(&self) -> hetjpeg_jpeg::progressive::ProgressiveStats {
+        self.progressive
     }
 }
 

@@ -41,6 +41,29 @@ pub fn generate_jpeg(
     )
 }
 
+/// Render a spec and encode it as a *progressive* (SOF2) JPEG using one of
+/// the standard scan-script presets — the multi-scan counterpart of
+/// [`generate_jpeg`] for exercising the progressive subsystem.
+pub fn generate_progressive_jpeg(
+    spec: &ImageSpec,
+    quality: u8,
+    subsampling: Subsampling,
+    preset: hetjpeg_jpeg::progressive::ScanPreset,
+) -> hetjpeg_jpeg::Result<Vec<u8>> {
+    let rgb = generate_rgb(spec);
+    hetjpeg_jpeg::progressive::encode_rgb_progressive(
+        &rgb,
+        spec.width as u32,
+        spec.height as u32,
+        &EncodeParams {
+            quality,
+            subsampling,
+            restart_interval: 0,
+        },
+        preset,
+    )
+}
+
 /// Entropy density of an encoded JPEG in bytes per pixel (paper Eq. (3)).
 pub fn entropy_density(jpeg: &[u8]) -> f64 {
     match hetjpeg_jpeg::markers::parse_jpeg(jpeg) {
@@ -78,6 +101,42 @@ mod tests {
             medium < noisy,
             "value-noise {medium:.3} vs white-noise {noisy:.3}"
         );
+    }
+
+    #[test]
+    fn progressive_corpus_images_decode_like_baseline() {
+        use hetjpeg_jpeg::progressive::ScanPreset;
+        let spec = ImageSpec {
+            width: 96,
+            height: 72,
+            pattern: Pattern::ValueNoise {
+                octaves: 3,
+                detail: 0.6,
+            },
+            seed: 9,
+        };
+        let base = generate_jpeg(&spec, 85, Subsampling::S420).unwrap();
+        for preset in [ScanPreset::Standard10, ScanPreset::Spectral4] {
+            let prog = generate_progressive_jpeg(&spec, 85, Subsampling::S420, preset).unwrap();
+            assert!(hetjpeg_jpeg::progressive::is_progressive(&prog));
+            let parsed = hetjpeg_jpeg::progressive::parse_progressive(&prog).unwrap();
+            let prep = hetjpeg_jpeg::decoder::Prepared::from_progressive(&parsed).unwrap();
+            let mut coef = hetjpeg_jpeg::coef::CoefBuffer::new(&prep.geom);
+            coef.reset_for(&prep.geom);
+            hetjpeg_jpeg::progressive::decode_scans(&parsed, &prep.geom, &mut coef, None, false)
+                .unwrap();
+            let mut img = hetjpeg_jpeg::types::RgbImage::new(prep.geom.width, prep.geom.height);
+            hetjpeg_jpeg::decoder::stages::decode_region_rgb(
+                &prep,
+                &coef,
+                0,
+                prep.geom.mcus_y,
+                &mut img.data,
+            )
+            .unwrap();
+            let want = hetjpeg_jpeg::decoder::decode(&base).unwrap();
+            assert_eq!(img.data, want.data, "{preset:?}");
+        }
     }
 
     #[test]

@@ -78,6 +78,40 @@ impl<'a> Prepared<'a> {
         })
     }
 
+    /// Resolve geometry and tables for a parsed *progressive* stream. The
+    /// synthesized `parsed` carries an empty baseline scan: the progressive
+    /// subsystem ([`crate::progressive`]) decodes the real scans into the
+    /// coefficient buffer, and only the resolved geometry, quantization
+    /// tables and density estimate are consumed downstream — calling
+    /// [`Self::entropy_decoder`] on this value would decode nothing.
+    pub fn from_progressive(prog: &crate::progressive::ProgressiveParsed<'a>) -> Result<Self> {
+        let frame = prog.frame.clone();
+        let geom = Geometry::new(frame.width, frame.height, frame.subsampling)?;
+        let resolve = |ci: usize| -> Result<QuantTable> {
+            let slot = frame.components.get(ci).map(|c| c.quant_idx).unwrap_or(0);
+            prog.quant
+                .get(slot)
+                .and_then(|q| q.clone())
+                .ok_or(Error::Malformed("missing quantization table"))
+        };
+        let n = frame.components.len();
+        let quant = [resolve(0)?, resolve(1.min(n - 1))?, resolve(2.min(n - 1))?];
+        let parsed = ParsedJpeg {
+            frame,
+            quant: prog.quant.clone(),
+            dc_specs: [None, None, None, None],
+            ac_specs: [None, None, None, None],
+            scan_data: &[],
+            file_size: prog.file_size,
+        };
+        Ok(Prepared {
+            parsed,
+            geom,
+            quant,
+            ycc: YccTables::new(),
+        })
+    }
+
     /// Create the sequential entropy decoder for this image.
     pub fn entropy_decoder(&self) -> Result<EntropyDecoder<'a>> {
         EntropyDecoder::new(&self.parsed, &self.geom)

@@ -59,7 +59,7 @@ pub fn encode_rgb(rgb: &[u8], width: u32, height: u32, params: &EncodeParams) ->
 }
 
 /// Convert RGB to padded, subsampled YCbCr component planes.
-fn build_component_planes(rgb: &[u8], geom: &Geometry) -> SamplePlanes {
+pub(crate) fn build_component_planes(rgb: &[u8], geom: &Geometry) -> SamplePlanes {
     let (w, h) = (geom.width, geom.height);
     let mut planes = SamplePlanes::new(geom);
 
@@ -123,7 +123,7 @@ fn build_component_planes(rgb: &[u8], geom: &Geometry) -> SamplePlanes {
 }
 
 /// FDCT + quantization of every block of every component.
-fn transform_and_quantize(
+pub(crate) fn transform_and_quantize(
     planes: &SamplePlanes,
     geom: &Geometry,
     quality: u8,
@@ -154,7 +154,7 @@ fn transform_and_quantize(
     Ok((coef, quant_l, quant_c))
 }
 
-fn frame_info(geom: &Geometry, params: &EncodeParams) -> FrameInfo {
+pub(crate) fn frame_info(geom: &Geometry, params: &EncodeParams) -> FrameInfo {
     let (hs, vs) = geom.subsampling.luma_factors();
     FrameInfo {
         width: geom.width,

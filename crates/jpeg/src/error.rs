@@ -20,6 +20,14 @@ pub enum Error {
     BadDimensions,
     /// The caller supplied a buffer of the wrong length.
     BufferSize { expected: usize, got: usize },
+    /// The frame uses arithmetic entropy coding (SOF9/SOF10). Recognized
+    /// but not implemented: this codec is Huffman-only, like the paper's
+    /// evaluation set and the overwhelming majority of deployed JPEGs.
+    ArithmeticCoding,
+    /// The stream is a hierarchical JPEG (DHP marker, T.81 Annex J).
+    /// Recognized but not implemented — hierarchical frames are vanishingly
+    /// rare in practice and out of scope for this decoder.
+    Hierarchical,
 }
 
 impl fmt::Display for Error {
@@ -38,6 +46,12 @@ impl fmt::Display for Error {
             Error::BadDimensions => write!(f, "invalid image dimensions"),
             Error::BufferSize { expected, got } => {
                 write!(f, "buffer size mismatch: expected {expected}, got {got}")
+            }
+            Error::ArithmeticCoding => {
+                write!(f, "arithmetic-coded JPEG (SOF9/SOF10) is not supported")
+            }
+            Error::Hierarchical => {
+                write!(f, "hierarchical JPEG (DHP) is not supported")
             }
         }
     }

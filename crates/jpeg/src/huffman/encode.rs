@@ -24,7 +24,7 @@ impl HuffEncoder {
     /// Emit the magnitude bits for a nonzero value of category `s`
     /// (T.81 F.1.2.1: negative values send `v - 1` in `s` low bits).
     #[inline]
-    fn put_magnitude(writer: &mut BitWriter, v: i32, s: u32) {
+    pub(crate) fn put_magnitude(writer: &mut BitWriter, v: i32, s: u32) {
         let raw = (if v < 0 { v - 1 } else { v }) as u32 & ((1u32 << s) - 1);
         writer.put_bits(raw, s);
     }

@@ -10,15 +10,19 @@
 //! * [`table`] — canonical code construction ([`HuffSpec`] → decode/encode
 //!   tables),
 //! * [`decode`] — symbol decoding over a [`crate::bitio::BitReader`],
-//! * [`encode`] — symbol encoding over a [`crate::bitio::BitWriter`].
+//! * [`encode`] — symbol encoding over a [`crate::bitio::BitWriter`],
+//! * [`optimize`] — optimal table generation from symbol frequencies (the
+//!   progressive encoder's two-pass statistics).
 
 pub mod decode;
 pub mod encode;
+pub mod optimize;
 pub mod spec;
 pub mod table;
 
 pub use decode::HuffDecoder;
 pub use encode::HuffEncoder;
+pub use optimize::spec_from_frequencies;
 pub use table::{DecodeTable, EncodeTable, HuffSpec};
 
 /// Sign-extend a `size`-bit magnitude into a JPEG "extended" value

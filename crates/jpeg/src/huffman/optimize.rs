@@ -1,0 +1,218 @@
+//! Optimal Huffman table generation from symbol frequencies.
+//!
+//! The Annex K baseline tables only carry the symbols baseline scans emit
+//! (EOB, ZRL and the (run, size) pairs) — progressive AC scans additionally
+//! need the EOBn run-length symbols `(n << 4)` for n = 1..=14, which K.5 does
+//! not define. Progressive encoders therefore build custom tables from
+//! two-pass symbol statistics; this module implements the classic IJG
+//! code-length construction (T.81 Annex K.2 flowcharts, the algorithm of
+//! libjpeg's `jpeg_gen_optimal_table`): pairwise merging of the two
+//! least-frequent symbols, followed by the length-limiting adjustment to the
+//! JPEG maximum of 16 bits.
+
+use super::HuffSpec;
+use crate::error::{Error, Result};
+
+/// Number of frequency slots: 256 real symbols plus the reserved
+/// pseudo-symbol 256 that guarantees no real symbol is assigned the
+/// all-ones code (T.81 K.2).
+pub const FREQ_SLOTS: usize = 257;
+
+/// Internal cap on code length during construction; lengths beyond 16 are
+/// folded back by the adjustment pass.
+const MAX_CLEN: usize = 32;
+
+/// Build a [`HuffSpec`] assigning near-optimal code lengths for the given
+/// symbol frequencies. `freq[s]` counts occurrences of symbol `s`; slot 256
+/// is overwritten with the reserved count of 1. Symbols with zero frequency
+/// get no code. Fails only if more than 256 distinct symbols are in use
+/// (impossible by construction) — the result always passes
+/// [`HuffSpec::validate`].
+pub fn spec_from_frequencies(freq: &[u32; FREQ_SLOTS]) -> Result<HuffSpec> {
+    let mut freq: Vec<i64> = freq.iter().map(|&f| f as i64).collect();
+    freq[256] = 1; // reserved: ensures the all-ones code stays unassigned
+
+    let mut codesize = [0usize; FREQ_SLOTS];
+    let mut others = [-1i32; FREQ_SLOTS];
+
+    // Merge the two least-frequent chains until one remains. Ties choose the
+    // larger symbol index, matching the IJG reference so the emitted tables
+    // are reproducible against it.
+    loop {
+        let mut c1: i32 = -1;
+        let mut v = i64::MAX;
+        for (i, &f) in freq.iter().enumerate() {
+            if f != 0 && f <= v {
+                v = f;
+                c1 = i as i32;
+            }
+        }
+        let mut c2: i32 = -1;
+        let mut v = i64::MAX;
+        for (i, &f) in freq.iter().enumerate() {
+            if f != 0 && f <= v && i as i32 != c1 {
+                v = f;
+                c2 = i as i32;
+            }
+        }
+        if c2 < 0 {
+            break;
+        }
+        let (c1u, c2u) = (c1 as usize, c2 as usize);
+        freq[c1u] += freq[c2u];
+        freq[c2u] = 0;
+        // Lengthen c1's chain, then append c2's chain to it.
+        let mut i = c1u;
+        codesize[i] += 1;
+        while others[i] >= 0 {
+            i = others[i] as usize;
+            codesize[i] += 1;
+        }
+        others[i] = c2;
+        let mut i = c2u;
+        codesize[i] += 1;
+        while others[i] >= 0 {
+            i = others[i] as usize;
+            codesize[i] += 1;
+        }
+    }
+
+    // Count codes per length.
+    let mut bits = [0i32; MAX_CLEN + 1];
+    for &size in codesize.iter() {
+        if size > 0 {
+            if size > MAX_CLEN {
+                return Err(Error::Malformed("Huffman code length overflow"));
+            }
+            bits[size] += 1;
+        }
+    }
+
+    // JPEG limits code length to 16 bits: fold longer codes back by moving
+    // a pair of leaves up under a shorter prefix (T.81 K.2 "Adjust_BITS").
+    for i in (17..=MAX_CLEN).rev() {
+        while bits[i] > 0 {
+            let mut j = i - 2;
+            while bits[j] == 0 {
+                j -= 1;
+            }
+            bits[i] -= 2;
+            bits[i - 1] += 1;
+            bits[j + 1] += 2;
+            bits[j] -= 1;
+        }
+    }
+
+    // Remove the reserved symbol's leaf from the longest occupied length.
+    let mut i = 16;
+    while i > 0 && bits[i] == 0 {
+        i -= 1;
+    }
+    if i > 0 {
+        bits[i] -= 1;
+    }
+
+    // Symbols sorted by (code length, symbol value); the reserved 256 is
+    // excluded, which is exactly the leaf removed above (it always lands on
+    // the longest length: its frequency of 1 is minimal).
+    let mut values = Vec::new();
+    for len in 1..=MAX_CLEN {
+        for (sym, &size) in codesize.iter().take(256).enumerate() {
+            if size == len {
+                values.push(sym as u8);
+            }
+        }
+    }
+
+    let mut out_bits = [0u8; 17];
+    for l in 1..=16usize {
+        out_bits[l] = bits[l] as u8;
+    }
+    let spec = HuffSpec {
+        bits: out_bits,
+        values,
+    };
+    spec.validate()?;
+    Ok(spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::huffman::{DecodeTable, EncodeTable};
+
+    #[test]
+    fn all_used_symbols_get_codes_and_tables_build() {
+        let mut freq = [0u32; FREQ_SLOTS];
+        for (s, f) in freq.iter_mut().enumerate().take(201) {
+            *f = (s as u32 % 17) + 1;
+        }
+        let spec = spec_from_frequencies(&freq).unwrap();
+        assert_eq!(spec.values.len(), 201);
+        let enc = EncodeTable::build(&spec).unwrap();
+        for s in 0..=200usize {
+            assert!(enc.size[s] > 0 && enc.size[s] <= 16, "symbol {s}");
+        }
+        DecodeTable::build(&spec).unwrap();
+    }
+
+    #[test]
+    fn frequent_symbols_get_shorter_codes() {
+        let mut freq = [0u32; FREQ_SLOTS];
+        freq[7] = 10_000;
+        freq[8] = 1;
+        freq[9] = 1;
+        let spec = spec_from_frequencies(&freq).unwrap();
+        let enc = EncodeTable::build(&spec).unwrap();
+        assert!(enc.size[7] < enc.size[8]);
+        assert!(enc.size[7] < enc.size[9]);
+    }
+
+    #[test]
+    fn single_symbol_table_is_valid() {
+        let mut freq = [0u32; FREQ_SLOTS];
+        freq[0x00] = 42;
+        let spec = spec_from_frequencies(&freq).unwrap();
+        let enc = EncodeTable::build(&spec).unwrap();
+        assert!(enc.size[0x00] > 0);
+        assert_eq!(spec.values, vec![0x00]);
+    }
+
+    #[test]
+    fn skewed_distribution_respects_16_bit_limit() {
+        // Exponential-ish skew would want lengths > 16 without adjustment.
+        let mut freq = [0u32; FREQ_SLOTS];
+        for (s, f) in freq.iter_mut().enumerate().take(30) {
+            *f = 1u32 << (30 - s.min(29));
+        }
+        for f in freq.iter_mut().take(256).skip(30) {
+            *f = 1;
+        }
+        let spec = spec_from_frequencies(&freq).unwrap();
+        assert!(spec.bits[1..=16].iter().map(|&b| b as usize).sum::<usize>() == 256);
+        EncodeTable::build(&spec).unwrap();
+    }
+
+    #[test]
+    fn roundtrip_through_bit_io() {
+        use crate::bitio::{BitReader, BitWriter};
+        use crate::huffman::{HuffDecoder, HuffEncoder};
+        let mut freq = [0u32; FREQ_SLOTS];
+        let syms: Vec<u8> = (0..64u8).map(|i| i.wrapping_mul(37)).collect();
+        for &s in &syms {
+            freq[s as usize] += 1 + (s as u32 % 5);
+        }
+        let spec = spec_from_frequencies(&freq).unwrap();
+        let enc = EncodeTable::build(&spec).unwrap();
+        let dec = DecodeTable::build(&spec).unwrap();
+        let mut w = BitWriter::new();
+        for &s in &syms {
+            HuffEncoder::encode_symbol(&mut w, &enc, s).unwrap();
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &s in &syms {
+            assert_eq!(HuffDecoder::decode_symbol(&mut r, &dec).unwrap(), s);
+        }
+    }
+}

@@ -28,6 +28,9 @@
 //!   per-MCU-row work metrics,
 //! * [`speculate`] — speculative self-synchronizing Huffman decoding of
 //!   restart-free streams (chunk workers + stitch reconciliation),
+//! * [`progressive`] — the progressive (SOF2) subsystem: multi-scan
+//!   parsing, successive-approximation entropy decoding with coefficient
+//!   accumulation, and a scan-script encoder for corpus generation,
 //! * [`encoder`] — a baseline JPEG encoder used to synthesize corpora,
 //! * [`decoder`] — whole-image sequential and SIMD-style decoders plus the
 //!   region-based stage functions used by the heterogeneous scheduler,
@@ -62,6 +65,7 @@ pub mod huffman;
 pub mod markers;
 pub mod metrics;
 pub mod planes;
+pub mod progressive;
 pub mod quant;
 pub mod sample;
 pub mod speculate;

@@ -22,6 +22,9 @@ pub mod m {
     pub const SOF0: u8 = 0xC0;
     pub const SOF1: u8 = 0xC1;
     pub const SOF2: u8 = 0xC2;
+    pub const SOF9: u8 = 0xC9;
+    pub const SOF10: u8 = 0xCA;
+    pub const DHP: u8 = 0xDE;
     pub const DRI: u8 = 0xDD;
     pub const APP0: u8 = 0xE0;
     pub const COM: u8 = 0xFE;
@@ -95,7 +98,9 @@ pub fn parse_jpeg(data: &[u8]) -> Result<ParsedJpeg<'_>> {
                 pos += len;
             }
             m::SOF2 => return Err(Error::Unsupported("progressive JPEG")),
-            0xC3 | 0xC5..=0xC7 | 0xC9..=0xCB | 0xCD..=0xCF => {
+            m::SOF9 | m::SOF10 => return Err(Error::ArithmeticCoding),
+            m::DHP => return Err(Error::Hierarchical),
+            0xC3 | 0xC5..=0xC7 | 0xCB | 0xCD..=0xCF => {
                 return Err(Error::Unsupported("non-baseline SOF"));
             }
             m::DQT => {
@@ -153,7 +158,7 @@ pub fn parse_jpeg(data: &[u8]) -> Result<ParsedJpeg<'_>> {
     }
 }
 
-fn parse_sof(seg: &[u8]) -> Result<FrameInfo> {
+pub(crate) fn parse_sof(seg: &[u8]) -> Result<FrameInfo> {
     if seg.len() < 6 {
         return Err(Error::Malformed("SOF too short"));
     }
@@ -192,7 +197,7 @@ fn parse_sof(seg: &[u8]) -> Result<FrameInfo> {
     })
 }
 
-fn parse_dqt(mut seg: &[u8], quant: &mut [Option<QuantTable>; 4]) -> Result<()> {
+pub(crate) fn parse_dqt(mut seg: &[u8], quant: &mut [Option<QuantTable>; 4]) -> Result<()> {
     while !seg.is_empty() {
         let pq = seg[0] >> 4;
         let tq = (seg[0] & 0x0F) as usize;
@@ -215,7 +220,7 @@ fn parse_dqt(mut seg: &[u8], quant: &mut [Option<QuantTable>; 4]) -> Result<()> 
     Ok(())
 }
 
-fn parse_dht(
+pub(crate) fn parse_dht(
     mut seg: &[u8],
     dc: &mut [Option<HuffSpec>; 4],
     ac: &mut [Option<HuffSpec>; 4],
@@ -372,6 +377,38 @@ pub fn write_sos(out: &mut Vec<u8>, frame: &FrameInfo) {
     out.push(0); // successive approximation
 }
 
+/// Write a SOF2 (progressive DCT, Huffman) frame header. Identical layout
+/// to SOF0 — only the marker byte differs.
+pub fn write_sof2(out: &mut Vec<u8>, frame: &FrameInfo) {
+    push_marker(out, m::SOF2);
+    push_u16(out, (8 + 3 * frame.components.len()) as u16);
+    out.push(8); // precision
+    push_u16(out, frame.height as u16);
+    push_u16(out, frame.width as u16);
+    out.push(frame.components.len() as u8);
+    for c in &frame.components {
+        out.push(c.id);
+        out.push(((c.h_samp as u8) << 4) | c.v_samp as u8);
+        out.push(c.quant_idx as u8);
+    }
+}
+
+/// Write a progressive SOS header for an arbitrary component subset and
+/// spectral/approximation window. `comps` lists `(component id, dc table,
+/// ac table)` in scan order; entropy-coded data follows immediately after.
+pub fn write_sos_scan(out: &mut Vec<u8>, comps: &[(u8, u8, u8)], ss: u8, se: u8, ah: u8, al: u8) {
+    push_marker(out, m::SOS);
+    push_u16(out, (6 + 2 * comps.len()) as u16);
+    out.push(comps.len() as u8);
+    for &(id, dc_tbl, ac_tbl) in comps {
+        out.push(id);
+        out.push((dc_tbl << 4) | ac_tbl);
+    }
+    out.push(ss);
+    out.push(se);
+    out.push((ah << 4) | al);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -469,6 +506,25 @@ mod tests {
             parse_jpeg(&out).unwrap_err(),
             Error::Unsupported("progressive JPEG")
         );
+    }
+
+    #[test]
+    fn recognizes_arithmetic_and_hierarchical_frames() {
+        // SOF9 (arithmetic sequential) and SOF10 (arithmetic progressive)
+        // must fail with the dedicated variant, not a generic message.
+        for sof in [0xC9u8, 0xCA] {
+            let mut out = Vec::new();
+            write_soi(&mut out);
+            out.extend_from_slice(&[0xFF, sof, 0x00, 0x0B, 8, 0, 16, 0, 16, 1, 1, 0x11, 0]);
+            write_eoi(&mut out);
+            assert_eq!(parse_jpeg(&out).unwrap_err(), Error::ArithmeticCoding);
+        }
+        // A DHP segment (hierarchical mode) has SOF-shaped contents.
+        let mut out = Vec::new();
+        write_soi(&mut out);
+        out.extend_from_slice(&[0xFF, 0xDE, 0x00, 0x0B, 8, 0, 16, 0, 16, 1, 1, 0x11, 0]);
+        write_eoi(&mut out);
+        assert_eq!(parse_jpeg(&out).unwrap_err(), Error::Hierarchical);
     }
 
     #[test]

@@ -1,0 +1,486 @@
+//! Progressive Huffman entropy decoding: DC/AC first and refinement scans
+//! with EOBRUN tracking (T.81 §G.2), accumulating coefficients across scans
+//! into the shared [`CoefBuffer`].
+//!
+//! The algorithms mirror the reference progressive decoder: DC scans code
+//! `dc >> Al` differences (stored shifted back up), DC refinements OR in one
+//! bit per block, AC first scans place `±magnitude << Al` coefficients with
+//! end-of-band runs spanning blocks, and AC refinements append one
+//! correction bit per already-nonzero coefficient while placing newly
+//! nonzero `±2^Al` values. Two's-complement arithmetic makes the successive
+//! approximation exact for negative coefficients: after the final `Al = 0`
+//! pass every coefficient equals the encoder's quantized value bit for bit,
+//! which is what the cross-mode conformance tests assert.
+//!
+//! After the last decoded scan, `finalize_metrics` re-derives the
+//! per-block EOB sidecar and the per-MCU-row EOB-class histograms from the
+//! *accumulated* coefficient state — early prefixes are extremely sparse,
+//! and this is what lets the sparse IDCT dispatch and the §5.1 cost model
+//! see progressive images honestly.
+
+use super::parse::{ProgressiveParsed, Scan};
+use crate::bitio::BitReader;
+use crate::coef::CoefBuffer;
+use crate::error::{Error, Result};
+use crate::geometry::Geometry;
+use crate::huffman::{extend, DecodeTable, HuffDecoder};
+use crate::metrics::RowMetrics;
+use crate::zigzag::ZIGZAG;
+
+/// Everything the downstream pipeline needs to know about a finished (or
+/// tolerantly truncated) progressive entropy phase.
+#[derive(Debug, Clone)]
+pub struct ProgressiveOutcome {
+    /// Per-MCU-row work metrics aggregated over all decoded scans, with
+    /// EOB classes re-derived from the accumulated coefficients.
+    pub rows: Vec<RowMetrics>,
+    /// Scans fully or partially decoded into the buffer.
+    pub scans_decoded: usize,
+    /// Refinement (successive-approximation) passes among them.
+    pub refine_passes: u64,
+    /// Total (scan, block) visits the decoded scans walked — the work unit
+    /// behind the cost model's per-scan overhead term: every scan loops
+    /// over its band in every covered block, EOB runs notwithstanding.
+    pub block_visits: u64,
+    /// True when entropy data was damaged or missing and decoding stopped
+    /// early (tolerant mode only — strict mode errors instead).
+    pub truncated: bool,
+}
+
+/// The non-interleaved block grid of one component (T.81 §A.2.2): block
+/// counts derived from the *unpadded* component plane, not the MCU-padded
+/// one — single-component scans cover exactly these blocks.
+pub(crate) fn non_interleaved_grid(geom: &Geometry, ci: usize) -> (usize, usize) {
+    let h_max = geom.comps.iter().map(|c| c.h_samp).max().unwrap_or(1);
+    let v_max = geom.comps.iter().map(|c| c.v_samp).max().unwrap_or(1);
+    let c = &geom.comps[ci];
+    // ceil(ceil(dim * samp / samp_max) / 8) == ceil(dim * samp / (8 * samp_max))
+    let bx = (geom.width * c.h_samp).div_ceil(8 * h_max);
+    let by = (geom.height * c.v_samp).div_ceil(8 * v_max);
+    (bx, by)
+}
+
+/// Decode up to `max_scans` scans of a parsed progressive stream into
+/// `coef`, which the caller must supply zeroed ([`CoefBuffer::reset_for`] /
+/// a fresh buffer) — progressive scans accumulate into prior state.
+///
+/// In strict mode (`tolerant == false`) any entropy-stream error aborts the
+/// decode. In tolerant mode decoding stops at the damage and the outcome is
+/// marked truncated; everything accumulated so far still renders.
+pub fn decode_scans(
+    prog: &ProgressiveParsed<'_>,
+    geom: &Geometry,
+    coef: &mut CoefBuffer,
+    max_scans: Option<usize>,
+    tolerant: bool,
+) -> Result<ProgressiveOutcome> {
+    let limit = max_scans.unwrap_or(prog.scans.len()).min(prog.scans.len());
+    let mut rows = vec![RowMetrics::default(); geom.mcus_y];
+    let mut scans_decoded = 0usize;
+    let mut refine_passes = 0u64;
+    let mut block_visits = 0u64;
+    let mut truncated = false;
+
+    for scan in &prog.scans[..limit] {
+        match decode_one_scan(scan, prog, geom, coef, &mut rows) {
+            Ok(()) => {
+                scans_decoded += 1;
+                refine_passes += scan.header.is_refinement() as u64;
+                block_visits += scan_block_count(scan, geom);
+            }
+            Err(e) if tolerant && is_stream_error(&e) => {
+                // Partial scan state stays in the buffer — it is a valid
+                // (coarser) approximation; render what we have.
+                scans_decoded += 1;
+                refine_passes += scan.header.is_refinement() as u64;
+                block_visits += scan_block_count(scan, geom);
+                truncated = true;
+                break;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+
+    // An incomplete file whose recovered scans all decoded cleanly is still
+    // a truncated render when the caller asked for more than it got.
+    if limit == prog.scans.len() && (!prog.complete || prog.damage.is_some()) {
+        truncated = true;
+    }
+
+    finalize_metrics(geom, coef, &mut rows);
+    Ok(ProgressiveOutcome {
+        rows,
+        scans_decoded,
+        refine_passes,
+        block_visits,
+        truncated,
+    })
+}
+
+/// Number of blocks one scan walks: the full MCU coverage of its
+/// components when interleaved, the unpadded T.81 grid otherwise.
+fn scan_block_count(scan: &Scan<'_>, geom: &Geometry) -> u64 {
+    let h = &scan.header;
+    if h.comps.len() > 1 {
+        let per_mcu: usize = h
+            .comps
+            .iter()
+            .map(|sc| geom.comps[sc.comp].h_samp * geom.comps[sc.comp].v_samp)
+            .sum();
+        (geom.mcus_x * geom.mcus_y * per_mcu) as u64
+    } else {
+        let (bw, bh) = non_interleaved_grid(geom, h.comps[0].comp);
+        (bw * bh) as u64
+    }
+}
+
+/// Errors that mean "the entropy byte stream is damaged" rather than "the
+/// decoder was misused" — the recoverable class for tolerant decoding.
+fn is_stream_error(e: &Error) -> bool {
+    matches!(
+        e,
+        Error::UnexpectedEof
+            | Error::BadHuffmanCode
+            | Error::RestartMismatch { .. }
+            | Error::Malformed(_)
+    )
+}
+
+/// Re-derive every block's EOB bound from the accumulated coefficients and
+/// fold block counts, nonzero counts and EOB classes into the row metrics.
+fn finalize_metrics(geom: &Geometry, coef: &mut CoefBuffer, rows: &mut [RowMetrics]) {
+    for (ci, comp) in geom.comps.iter().enumerate() {
+        for by in 0..comp.height_blocks {
+            let row = (by / comp.v_samp).min(rows.len().saturating_sub(1));
+            for bx in 0..comp.width_blocks {
+                let idx = geom.block_index(ci, bx, by);
+                let block = coef.block(idx);
+                let mut eob = 0u8;
+                let mut nonzero = 0u64;
+                for k in (0..64usize).rev() {
+                    let v = block[ZIGZAG[k]];
+                    if v != 0 {
+                        if eob == 0 && k > 0 {
+                            eob = k as u8;
+                        }
+                        nonzero += 1;
+                    }
+                }
+                coef.set_eob(idx, eob);
+                let m = &mut rows[row];
+                m.blocks += 1;
+                m.nonzero_coefs += nonzero;
+                m.record_eob(eob);
+            }
+        }
+    }
+}
+
+/// Per-scan decoder state: bit reader, resolved tables, DC predictors and
+/// the cross-block EOB run counter.
+struct ScanDecoder<'a> {
+    reader: BitReader<'a>,
+    dc_tables: [Option<DecodeTable>; 4],
+    ac_tables: [Option<DecodeTable>; 4],
+    dc_pred: [i32; 4],
+    eobrun: u32,
+    restart_interval: usize,
+    units_until_restart: usize,
+    next_restart: u8,
+    symbols: u64,
+}
+
+impl<'a> ScanDecoder<'a> {
+    fn new(scan: &Scan<'a>, needs_dc_table: bool, needs_ac_table: bool) -> Result<Self> {
+        let mut dc_tables: [Option<DecodeTable>; 4] = [None, None, None, None];
+        let mut ac_tables: [Option<DecodeTable>; 4] = [None, None, None, None];
+        for sc in &scan.header.comps {
+            if needs_dc_table && dc_tables[sc.dc_tbl].is_none() {
+                let spec = scan.dc_specs[sc.dc_tbl]
+                    .as_ref()
+                    .ok_or(Error::Malformed("missing DC Huffman table"))?;
+                dc_tables[sc.dc_tbl] = Some(DecodeTable::build(spec)?);
+            }
+            if needs_ac_table && ac_tables[sc.ac_tbl].is_none() {
+                let spec = scan.ac_specs[sc.ac_tbl]
+                    .as_ref()
+                    .ok_or(Error::Malformed("missing AC Huffman table"))?;
+                ac_tables[sc.ac_tbl] = Some(DecodeTable::build(spec)?);
+            }
+        }
+        Ok(ScanDecoder {
+            reader: BitReader::new(scan.data),
+            dc_tables,
+            ac_tables,
+            dc_pred: [0; 4],
+            eobrun: 0,
+            restart_interval: scan.restart_interval,
+            units_until_restart: scan.restart_interval,
+            next_restart: 0,
+            symbols: 0,
+        })
+    }
+
+    /// Restart handling shared by every scan kind: byte-align, check the
+    /// marker sequence, reset DC predictors and the EOB run.
+    fn maybe_restart(&mut self) -> Result<()> {
+        if self.restart_interval == 0 {
+            return Ok(());
+        }
+        if self.units_until_restart == 0 {
+            let n = self.reader.read_restart_marker()?;
+            if n != self.next_restart {
+                return Err(Error::RestartMismatch {
+                    expected: self.next_restart,
+                    found: 0xD0 + n,
+                });
+            }
+            self.next_restart = (self.next_restart + 1) & 7;
+            self.units_until_restart = self.restart_interval;
+            self.dc_pred = [0; 4];
+            self.eobrun = 0;
+        }
+        self.units_until_restart -= 1;
+        Ok(())
+    }
+
+    /// DC first pass: Huffman-coded difference of `dc >> Al`, stored
+    /// shifted back up (arithmetic shifts keep negatives exact).
+    fn dc_first(
+        &mut self,
+        table_slot: usize,
+        ci: usize,
+        al: u32,
+        block: &mut [i16; 64],
+    ) -> Result<()> {
+        let table = self.dc_tables[table_slot].as_ref().expect("dc table");
+        let diff = HuffDecoder::decode_dc_diff(&mut self.reader, table)?;
+        self.symbols += 1;
+        self.dc_pred[ci] += diff;
+        block[0] = (self.dc_pred[ci] << al) as i16;
+        Ok(())
+    }
+
+    /// DC refinement: one raw bit per block, ORed into bit position Al.
+    fn dc_refine(&mut self, al: u32, block: &mut [i16; 64]) {
+        if self.reader.get_bits(1) != 0 {
+            block[0] |= (1i32 << al) as i16;
+        }
+    }
+
+    /// AC first pass over the spectral band `[ss, se]` of one block.
+    fn ac_first(
+        &mut self,
+        table_slot: usize,
+        ss: usize,
+        se: usize,
+        al: u32,
+        block: &mut [i16; 64],
+    ) -> Result<()> {
+        if self.eobrun > 0 {
+            self.eobrun -= 1;
+            return Ok(());
+        }
+        let table = self.ac_tables[table_slot].as_ref().expect("ac table");
+        let mut k = ss;
+        while k <= se {
+            let rs = HuffDecoder::decode_symbol(&mut self.reader, table)?;
+            self.symbols += 1;
+            let r = (rs >> 4) as usize;
+            let s = (rs & 15) as u32;
+            if s != 0 {
+                k += r;
+                if k > se {
+                    return Err(Error::Malformed("AC coefficient index out of band"));
+                }
+                let raw = self.reader.get_bits(s);
+                block[ZIGZAG[k]] = (extend(raw, s) << al) as i16;
+                k += 1;
+            } else if r == 15 {
+                k += 16; // ZRL
+            } else {
+                let mut run = 1u32 << r;
+                if r > 0 {
+                    run += self.reader.get_bits(r as u32);
+                }
+                self.eobrun = run - 1; // this block is part of the run
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    /// AC refinement pass over `[ss, se]` of one block: correction bits for
+    /// known-nonzero coefficients, newly nonzero `±2^Al` placements, and
+    /// EOB runs that still carry correction bits for the bands they skip.
+    fn ac_refine(
+        &mut self,
+        table_slot: usize,
+        ss: usize,
+        se: usize,
+        al: u32,
+        block: &mut [i16; 64],
+    ) -> Result<()> {
+        let p1 = 1i16 << al;
+        let m1 = -p1;
+        let mut k = ss;
+        if self.eobrun == 0 {
+            'outer: while k <= se {
+                let table = self.ac_tables[table_slot].as_ref().expect("ac table");
+                let rs = HuffDecoder::decode_symbol(&mut self.reader, table)?;
+                self.symbols += 1;
+                let mut r = (rs >> 4) as i32;
+                let s = rs & 15;
+                let mut pending: i16 = 0;
+                if s == 0 {
+                    if r != 15 {
+                        let mut run = 1u32 << r;
+                        if r > 0 {
+                            run += self.reader.get_bits(r as u32);
+                        }
+                        self.eobrun = run;
+                        break 'outer; // finish the block in the EOB branch
+                    }
+                    // ZRL: skip 16 zero-history positions, correcting
+                    // nonzero ones on the way.
+                } else {
+                    if s != 1 {
+                        return Err(Error::Malformed("AC refinement magnitude"));
+                    }
+                    pending = if self.reader.get_bits(1) != 0 { p1 } else { m1 };
+                }
+                while k <= se {
+                    let pos = ZIGZAG[k];
+                    if block[pos] != 0 {
+                        if self.reader.get_bits(1) != 0 && (block[pos] & p1) == 0 {
+                            block[pos] += if block[pos] >= 0 { p1 } else { m1 };
+                        }
+                    } else {
+                        if r == 0 {
+                            break;
+                        }
+                        r -= 1;
+                    }
+                    k += 1;
+                }
+                if pending != 0 {
+                    if k > se {
+                        return Err(Error::Malformed("AC refinement placement out of band"));
+                    }
+                    block[ZIGZAG[k]] = pending;
+                }
+                k += 1;
+            }
+        }
+        if self.eobrun > 0 {
+            while k <= se {
+                let pos = ZIGZAG[k];
+                if block[pos] != 0 && self.reader.get_bits(1) != 0 && (block[pos] & p1) == 0 {
+                    block[pos] += if block[pos] >= 0 { p1 } else { m1 };
+                }
+                k += 1;
+            }
+            self.eobrun -= 1;
+        }
+        Ok(())
+    }
+}
+
+/// Decode one scan, attributing bits/symbols to MCU rows in `rows`.
+fn decode_one_scan(
+    scan: &Scan<'_>,
+    prog: &ProgressiveParsed<'_>,
+    geom: &Geometry,
+    coef: &mut CoefBuffer,
+    rows: &mut [RowMetrics],
+) -> Result<()> {
+    let h = &scan.header;
+    let dc_scan = h.is_dc();
+    let refining = h.is_refinement();
+    let needs_dc = dc_scan && !refining;
+    let needs_ac = !dc_scan;
+    let mut sd = ScanDecoder::new(scan, needs_dc, needs_ac)?;
+
+    if dc_scan && h.comps.len() > 1 {
+        // Interleaved DC scan: MCU order over the scan's components.
+        for (mcu_y, row_metrics) in rows.iter_mut().enumerate().take(geom.mcus_y) {
+            let bits_before = sd.reader.bits_consumed();
+            let syms_before = sd.symbols;
+            for mcu_x in 0..geom.mcus_x {
+                sd.maybe_restart()?;
+                for sc in &h.comps {
+                    let comp = &prog.frame.components[sc.comp];
+                    for v in 0..comp.v_samp {
+                        for hx in 0..comp.h_samp {
+                            let bx = mcu_x * comp.h_samp + hx;
+                            let by = mcu_y * comp.v_samp + v;
+                            let idx = geom.block_index(sc.comp, bx, by);
+                            let block = block_no_eob_reset(coef, idx);
+                            if refining {
+                                sd.dc_refine(h.al, block);
+                            } else {
+                                sd.dc_first(sc.dc_tbl, sc.comp, h.al, block)?;
+                            }
+                        }
+                    }
+                }
+            }
+            row_metrics.bits += sd.reader.bits_consumed() - bits_before;
+            row_metrics.symbols += sd.symbols - syms_before;
+        }
+    } else {
+        // Non-interleaved scan (single component): the T.81 unpadded grid.
+        let sc = h.comps[0];
+        let comp = &geom.comps[sc.comp];
+        let (bw, bh) = non_interleaved_grid(geom, sc.comp);
+        for by in 0..bh {
+            let bits_before = sd.reader.bits_consumed();
+            let syms_before = sd.symbols;
+            for bx in 0..bw {
+                sd.maybe_restart()?;
+                let idx = geom.block_index(sc.comp, bx, by);
+                let block = block_no_eob_reset(coef, idx);
+                match (dc_scan, refining) {
+                    (true, false) => sd.dc_first(sc.dc_tbl, sc.comp, h.al, block)?,
+                    (true, true) => sd.dc_refine(h.al, block),
+                    (false, false) => sd.ac_first(sc.ac_tbl, h.ss, h.se, h.al, block)?,
+                    (false, true) => sd.ac_refine(sc.ac_tbl, h.ss, h.se, h.al, block)?,
+                }
+            }
+            let row = (by / comp.v_samp).min(rows.len() - 1);
+            let m = &mut rows[row];
+            m.bits += sd.reader.bits_consumed() - bits_before;
+            m.symbols += sd.symbols - syms_before;
+        }
+    }
+    Ok(())
+}
+
+/// Borrow a block for accumulation. [`CoefBuffer::block_mut`] resets the
+/// EOB sidecar to dense — harmless here since `finalize_metrics` rewrites
+/// every EOB from the accumulated coefficients afterwards.
+#[inline]
+fn block_no_eob_reset(coef: &mut CoefBuffer, idx: usize) -> &mut [i16; 64] {
+    coef.block_mut(idx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Subsampling;
+
+    #[test]
+    fn non_interleaved_grid_is_unpadded() {
+        // 17px wide 4:2:0: luma grid is ceil(17/8) = 3 columns, while the
+        // MCU-padded plane holds ceil(17/16)*2 = 4.
+        let g = Geometry::new(17, 17, Subsampling::S420).unwrap();
+        assert_eq!(non_interleaved_grid(&g, 0), (3, 3));
+        assert_eq!(g.comps[0].width_blocks, 4);
+        // Chroma grids always coincide with the padded plane.
+        assert_eq!(non_interleaved_grid(&g, 1), (2, 2));
+        assert_eq!((g.comps[1].width_blocks, g.comps[1].height_blocks), (2, 2));
+        // 4:4:4 luma needs no padding distinction.
+        let g = Geometry::new(24, 16, Subsampling::S444).unwrap();
+        assert_eq!(non_interleaved_grid(&g, 0), (3, 2));
+    }
+}

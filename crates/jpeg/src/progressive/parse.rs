@@ -1,0 +1,605 @@
+//! Multi-scan marker parsing for progressive (SOF2) streams.
+//!
+//! Unlike the baseline parser — which stops at the single SOS and hands the
+//! rest of the file to the entropy decoder — a progressive file interleaves
+//! marker segments *between* entropy-coded scans: DHT (and, rarely, DQT/DRI)
+//! segments may redefine tables mid-file, so each [`Scan`] snapshots the
+//! table state in force when its SOS was read. The parser also validates the
+//! scan script against the T.81 §G progression rules up front, so the decode
+//! stage never has to reason about illegal coefficient histories.
+//!
+//! Structural truncation is *recoverable by design*: every scan completed
+//! before the damage is kept, and [`ProgressiveParsed::complete`] /
+//! [`ProgressiveParsed::damage`] tell the caller exactly what is missing —
+//! that is what lets the session serve a well-defined partial render from a
+//! prefix of scans under `Strictness::Tolerant`.
+
+use crate::error::{Error, Result};
+use crate::huffman::HuffSpec;
+use crate::markers::{self, m};
+use crate::quant::QuantTable;
+use crate::types::FrameInfo;
+
+/// One component's participation in a scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScanComp {
+    /// Index into `frame.components`.
+    pub comp: usize,
+    /// DC Huffman table selector for this scan.
+    pub dc_tbl: usize,
+    /// AC Huffman table selector for this scan.
+    pub ac_tbl: usize,
+}
+
+/// The SOS parameters of one scan: component list, spectral window and
+/// successive-approximation bit positions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanHeader {
+    /// Components in scan order.
+    pub comps: Vec<ScanComp>,
+    /// Spectral selection start (0 for DC scans).
+    pub ss: usize,
+    /// Spectral selection end (0 for DC scans, up to 63 for AC).
+    pub se: usize,
+    /// Successive approximation high bit (0 on a coefficient's first pass).
+    pub ah: u32,
+    /// Successive approximation low bit: coefficients arrive scaled by 2^al.
+    pub al: u32,
+}
+
+impl ScanHeader {
+    /// True for DC scans (spectral selection starts at coefficient 0).
+    #[inline]
+    pub fn is_dc(&self) -> bool {
+        self.ss == 0
+    }
+
+    /// True for refinement passes (successive approximation high bit set).
+    #[inline]
+    pub fn is_refinement(&self) -> bool {
+        self.ah != 0
+    }
+}
+
+/// One parsed scan: header, entropy data, and the table state snapshot the
+/// scan decodes under.
+#[derive(Debug, Clone)]
+pub struct Scan<'a> {
+    /// SOS parameters.
+    pub header: ScanHeader,
+    /// Entropy-coded bytes of this scan (restart markers embedded).
+    pub data: &'a [u8],
+    /// Byte offset of `data` within the whole file — scan boundaries for
+    /// the truncation fuzzer and for diagnostics.
+    pub data_offset: usize,
+    /// DC Huffman specs by slot, as defined when this scan's SOS was read.
+    pub dc_specs: [Option<HuffSpec>; 4],
+    /// AC Huffman specs by slot, as defined when this scan's SOS was read.
+    pub ac_specs: [Option<HuffSpec>; 4],
+    /// Restart interval in force for this scan (MCUs for interleaved scans,
+    /// blocks for non-interleaved ones; 0 = none).
+    pub restart_interval: usize,
+}
+
+/// A fully parsed progressive JPEG: frame header, quantization tables and
+/// the ordered scan sequence.
+#[derive(Debug, Clone)]
+pub struct ProgressiveParsed<'a> {
+    /// Frame header from SOF2.
+    pub frame: FrameInfo,
+    /// Quantization tables by DQT slot.
+    pub quant: [Option<QuantTable>; 4],
+    /// Scans in file order.
+    pub scans: Vec<Scan<'a>>,
+    /// Total file size in bytes (entropy-density input, paper Eq. (3)).
+    pub file_size: usize,
+    /// True when the trailing EOI was seen; false means the file is
+    /// truncated after the last recovered scan.
+    pub complete: bool,
+    /// Set when a structural error was hit *after* at least one scan had
+    /// been recovered (bit-flipped length field, illegal late scan header,
+    /// ...). Strict decoding propagates it; tolerant decoding renders the
+    /// recovered prefix.
+    pub damage: Option<Error>,
+}
+
+impl ProgressiveParsed<'_> {
+    /// The paper's entropy density approximation `d = file_size / (w * h)`.
+    pub fn entropy_density(&self) -> f64 {
+        self.file_size as f64 / (self.frame.width as f64 * self.frame.height as f64)
+    }
+
+    /// Number of refinement (successive-approximation) passes in the script.
+    pub fn refinement_scans(&self) -> usize {
+        self.scans
+            .iter()
+            .filter(|s| s.header.is_refinement())
+            .count()
+    }
+}
+
+/// Cheap sniff: does this byte stream carry a progressive (SOF2) frame?
+/// Walks the marker structure up to the first SOFn / SOS and never errors —
+/// anything unparseable is simply "not progressive" and left to the
+/// baseline path's error reporting.
+pub fn is_progressive(data: &[u8]) -> bool {
+    if data.len() < 4 || data[0] != 0xFF || data[1] != m::SOI {
+        return false;
+    }
+    let mut pos = 2usize;
+    loop {
+        if pos + 1 >= data.len() || data[pos] != 0xFF {
+            return false;
+        }
+        let mut marker = data[pos + 1];
+        pos += 2;
+        while marker == 0xFF {
+            match data.get(pos) {
+                Some(&b) => marker = b,
+                None => return false,
+            }
+            pos += 1;
+        }
+        match marker {
+            m::SOF2 => return true,
+            // Any other SOF candidate, or reaching a scan, settles it.
+            0xC0 | 0xC1 | 0xC3 | 0xC5..=0xC7 | 0xC9..=0xCB | 0xCD..=0xCF | m::SOS | m::EOI => {
+                return false;
+            }
+            m::SOI | 0xD0..=0xD7 => return false, // stray markers: not a clean header
+            _ => {
+                let Some(len) = read_len(data, pos) else {
+                    return false;
+                };
+                pos += len;
+            }
+        }
+    }
+}
+
+fn read_len(data: &[u8], pos: usize) -> Option<usize> {
+    if pos + 1 >= data.len() {
+        return None;
+    }
+    let len = u16::from_be_bytes([data[pos], data[pos + 1]]) as usize;
+    if len < 2 {
+        return None;
+    }
+    Some(len)
+}
+
+/// Find the end of an entropy-coded segment starting at `start`: the offset
+/// of the first `FF xx` where `xx` is neither a stuffed 0x00 nor a restart
+/// marker. Returns `data.len()` when the stream ends inside the scan.
+fn scan_data_end(data: &[u8], start: usize) -> usize {
+    let mut i = start;
+    while i + 1 < data.len() {
+        if data[i] == 0xFF {
+            let next = data[i + 1];
+            if next != 0x00 && !(m::RST0..=m::RST7).contains(&next) {
+                return i;
+            }
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    data.len()
+}
+
+/// Parse a complete progressive JPEG byte stream. Errors before the first
+/// complete scan are fatal; later structural damage is recorded in
+/// [`ProgressiveParsed::damage`] with the scan prefix preserved.
+pub fn parse_progressive(data: &[u8]) -> Result<ProgressiveParsed<'_>> {
+    if data.len() < 4 || data[0] != 0xFF || data[1] != m::SOI {
+        return Err(Error::Malformed("missing SOI"));
+    }
+    let mut st = ParseState {
+        frame: None,
+        quant: [None, None, None, None],
+        dc_specs: [None, None, None, None],
+        ac_specs: [None, None, None, None],
+        restart_interval: 0,
+        scans: Vec::new(),
+        coef_bits: [[-1i8; 64]; 4],
+        complete: false,
+    };
+    let damage = match run_parse(data, &mut st) {
+        Ok(()) => None,
+        Err(e) if st.scans.is_empty() => return Err(e),
+        Err(e) => Some(e),
+    };
+    let frame = match st.frame {
+        Some(f) => f,
+        None => return Err(Error::Malformed("missing SOF2")),
+    };
+    if st.scans.is_empty() && damage.is_none() {
+        return Err(Error::Malformed("progressive stream has no scans"));
+    }
+    Ok(ProgressiveParsed {
+        frame,
+        quant: st.quant,
+        scans: st.scans,
+        file_size: data.len(),
+        complete: st.complete,
+        damage,
+    })
+}
+
+struct ParseState<'a> {
+    frame: Option<FrameInfo>,
+    quant: [Option<QuantTable>; 4],
+    dc_specs: [Option<HuffSpec>; 4],
+    ac_specs: [Option<HuffSpec>; 4],
+    restart_interval: usize,
+    scans: Vec<Scan<'a>>,
+    /// Progression tracker: `coef_bits[comp][k]` is the Al after the last
+    /// scan that coded coefficient `k` of component `comp`, or -1 before
+    /// any scan has (T.81 §G.1.1.1.1 scan-script rules).
+    coef_bits: [[i8; 64]; 4],
+    complete: bool,
+}
+
+fn run_parse<'a>(data: &'a [u8], st: &mut ParseState<'a>) -> Result<()> {
+    let mut pos = 2usize;
+    loop {
+        if pos + 1 >= data.len() {
+            return Err(Error::UnexpectedEof);
+        }
+        if data[pos] != 0xFF {
+            return Err(Error::Malformed("expected marker"));
+        }
+        let mut marker = data[pos + 1];
+        pos += 2;
+        while marker == 0xFF {
+            marker = *data.get(pos).ok_or(Error::UnexpectedEof)?;
+            pos += 1;
+        }
+        match marker {
+            m::SOF2 => {
+                if st.frame.is_some() {
+                    return Err(Error::Malformed("duplicate SOF"));
+                }
+                let len = read_len(data, pos).ok_or(Error::UnexpectedEof)?;
+                let seg = data.get(pos + 2..pos + len).ok_or(Error::UnexpectedEof)?;
+                let frame = markers::parse_sof(seg)?;
+                if frame.components.len() > 3 {
+                    return Err(Error::Unsupported("more than three components"));
+                }
+                st.frame = Some(frame);
+                pos += len;
+            }
+            m::SOF0 | m::SOF1 | 0xC3 | 0xC5..=0xC7 | 0xCB | 0xCD..=0xCF => {
+                return Err(Error::Unsupported("expected progressive SOF2"));
+            }
+            m::SOF9 | m::SOF10 => return Err(Error::ArithmeticCoding),
+            m::DHP => return Err(Error::Hierarchical),
+            m::DQT => {
+                let len = read_len(data, pos).ok_or(Error::UnexpectedEof)?;
+                let seg = data.get(pos + 2..pos + len).ok_or(Error::UnexpectedEof)?;
+                markers::parse_dqt(seg, &mut st.quant)?;
+                pos += len;
+            }
+            m::DHT => {
+                let len = read_len(data, pos).ok_or(Error::UnexpectedEof)?;
+                let seg = data.get(pos + 2..pos + len).ok_or(Error::UnexpectedEof)?;
+                markers::parse_dht(seg, &mut st.dc_specs, &mut st.ac_specs)?;
+                pos += len;
+            }
+            m::DRI => {
+                let len = read_len(data, pos).ok_or(Error::UnexpectedEof)?;
+                if len != 4 {
+                    return Err(Error::Malformed("DRI length"));
+                }
+                st.restart_interval = u16::from_be_bytes([data[pos + 2], data[pos + 3]]) as usize;
+                pos += len;
+            }
+            m::SOS => {
+                let len = read_len(data, pos).ok_or(Error::UnexpectedEof)?;
+                let seg = data.get(pos + 2..pos + len).ok_or(Error::UnexpectedEof)?;
+                let frame = st
+                    .frame
+                    .as_ref()
+                    .ok_or(Error::Malformed("SOS before SOF"))?;
+                let header = parse_progressive_sos(seg, frame)?;
+                validate_scan(&header, frame, &mut st.coef_bits)?;
+                let start = pos + len;
+                if start > data.len() {
+                    return Err(Error::UnexpectedEof);
+                }
+                let end = scan_data_end(data, start);
+                st.scans.push(Scan {
+                    header,
+                    data: &data[start..end],
+                    data_offset: start,
+                    dc_specs: st.dc_specs.clone(),
+                    ac_specs: st.ac_specs.clone(),
+                    restart_interval: st.restart_interval,
+                });
+                if end >= data.len() {
+                    // Stream ended inside the scan: recoverable truncation.
+                    return Err(Error::UnexpectedEof);
+                }
+                pos = end;
+            }
+            m::EOI => {
+                if st.scans.is_empty() {
+                    return Err(Error::Malformed("EOI before any scan"));
+                }
+                st.complete = true;
+                return Ok(());
+            }
+            0xE0..=0xEF | m::COM | m::TEM => {
+                let len = read_len(data, pos).ok_or(Error::UnexpectedEof)?;
+                pos += len;
+            }
+            _ => {
+                let len = read_len(data, pos).ok_or(Error::Malformed("segment length"))?;
+                pos += len;
+            }
+        }
+    }
+}
+
+/// Parse a progressive SOS segment against the frame's component list.
+fn parse_progressive_sos(seg: &[u8], frame: &FrameInfo) -> Result<ScanHeader> {
+    if seg.is_empty() {
+        return Err(Error::Malformed("SOS empty"));
+    }
+    let ns = seg[0] as usize;
+    if ns == 0 || ns > frame.components.len() {
+        return Err(Error::Malformed("SOS component count"));
+    }
+    if seg.len() < 1 + 2 * ns + 3 {
+        return Err(Error::Malformed("SOS too short"));
+    }
+    let mut comps = Vec::with_capacity(ns);
+    for i in 0..ns {
+        let cs = seg[1 + 2 * i];
+        let tables = seg[2 + 2 * i];
+        let comp = frame
+            .components
+            .iter()
+            .position(|c| c.id == cs)
+            .ok_or(Error::Malformed("SOS references unknown component"))?;
+        if comps.iter().any(|c: &ScanComp| c.comp == comp) {
+            return Err(Error::Malformed("SOS repeats a component"));
+        }
+        let dc_tbl = (tables >> 4) as usize;
+        let ac_tbl = (tables & 0x0F) as usize;
+        if dc_tbl > 3 || ac_tbl > 3 {
+            return Err(Error::Malformed("SOS table selector"));
+        }
+        comps.push(ScanComp {
+            comp,
+            dc_tbl,
+            ac_tbl,
+        });
+    }
+    let tail = &seg[1 + 2 * ns..];
+    Ok(ScanHeader {
+        comps,
+        ss: tail[0] as usize,
+        se: tail[1] as usize,
+        ah: (tail[2] >> 4) as u32,
+        al: (tail[2] & 0x0F) as u32,
+    })
+}
+
+/// Enforce the T.81 §G.1.1.1.1 scan-script rules and track per-coefficient
+/// successive-approximation state across scans.
+fn validate_scan(
+    header: &ScanHeader,
+    frame: &FrameInfo,
+    coef_bits: &mut [[i8; 64]; 4],
+) -> Result<()> {
+    let (ss, se, ah, al) = (header.ss, header.se, header.ah, header.al);
+    if ss == 0 {
+        if se != 0 {
+            return Err(Error::Malformed("DC scan with nonzero spectral end"));
+        }
+    } else {
+        // AC scans are always single-component (T.81 §G.1.1.1).
+        if header.comps.len() != 1 {
+            return Err(Error::Malformed("interleaved AC scan"));
+        }
+        if se < ss || se > 63 {
+            return Err(Error::Malformed("spectral selection range"));
+        }
+    }
+    if al > 13 {
+        return Err(Error::Malformed("successive approximation low bit"));
+    }
+    if ah != 0 && ah != al + 1 {
+        return Err(Error::Malformed("successive approximation transition"));
+    }
+    let _ = frame;
+    for sc in &header.comps {
+        let bits = &mut coef_bits[sc.comp];
+        if ss > 0 && bits[0] < 0 {
+            return Err(Error::Malformed("AC scan before DC scan"));
+        }
+        for b in &mut bits[ss..=se.max(ss)] {
+            if ah == 0 {
+                if *b >= 0 {
+                    return Err(Error::Malformed(
+                        "coefficient coded twice at full precision",
+                    ));
+                }
+            } else if *b != ah as i8 {
+                return Err(Error::Malformed("successive approximation out of order"));
+            }
+            *b = al as i8;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::huffman::spec;
+    use crate::markers::{write_dht, write_dqt, write_eoi, write_sof2, write_soi, write_sos_scan};
+    use crate::types::ComponentSpec;
+
+    fn frame_3() -> FrameInfo {
+        FrameInfo {
+            width: 32,
+            height: 24,
+            components: vec![
+                ComponentSpec {
+                    id: 1,
+                    h_samp: 2,
+                    v_samp: 2,
+                    quant_idx: 0,
+                    dc_tbl: 0,
+                    ac_tbl: 0,
+                },
+                ComponentSpec {
+                    id: 2,
+                    h_samp: 1,
+                    v_samp: 1,
+                    quant_idx: 1,
+                    dc_tbl: 1,
+                    ac_tbl: 1,
+                },
+                ComponentSpec {
+                    id: 3,
+                    h_samp: 1,
+                    v_samp: 1,
+                    quant_idx: 1,
+                    dc_tbl: 1,
+                    ac_tbl: 1,
+                },
+            ],
+            subsampling: crate::types::Subsampling::S420,
+            restart_interval: 0,
+        }
+    }
+
+    /// A minimal syntactically valid 2-scan progressive file (the entropy
+    /// bytes are nonsense — parse never looks inside them).
+    fn two_scan_file() -> Vec<u8> {
+        let frame = frame_3();
+        let ql = QuantTable::luma_for_quality(80).unwrap();
+        let mut out = Vec::new();
+        write_soi(&mut out);
+        write_dqt(&mut out, 0, &ql);
+        write_dqt(&mut out, 1, &ql);
+        write_sof2(&mut out, &frame);
+        write_dht(&mut out, 0, 0, &spec::dc_luma());
+        write_dht(&mut out, 0, 1, &spec::dc_chroma());
+        write_sos_scan(&mut out, &[(1, 0, 0), (2, 1, 0), (3, 1, 0)], 0, 0, 0, 1);
+        out.extend_from_slice(&[0x55, 0xAA]); // scan 1 entropy bytes
+        write_dht(&mut out, 1, 0, &spec::ac_luma());
+        write_sos_scan(&mut out, &[(1, 0, 0)], 1, 5, 0, 2);
+        out.extend_from_slice(&[0x12, 0xFF, 0x00, 0x34]); // stuffed FF inside
+        write_eoi(&mut out);
+        out
+    }
+
+    #[test]
+    fn sniffs_progressive_vs_baseline() {
+        let prog = two_scan_file();
+        assert!(is_progressive(&prog));
+        let base = crate::encoder::encode_rgb(
+            &vec![128u8; 16 * 16 * 3],
+            16,
+            16,
+            &crate::encoder::EncodeParams::default(),
+        )
+        .unwrap();
+        assert!(!is_progressive(&base));
+        assert!(!is_progressive(&[]));
+        assert!(!is_progressive(&[0xFF, 0xD8, 0xFF, 0xD9]));
+    }
+
+    #[test]
+    fn parses_scan_structure_and_snapshots() {
+        let file = two_scan_file();
+        let p = parse_progressive(&file).unwrap();
+        assert!(p.complete);
+        assert!(p.damage.is_none());
+        assert_eq!(p.scans.len(), 2);
+        let s0 = &p.scans[0];
+        assert_eq!(s0.header.comps.len(), 3);
+        assert!(s0.header.is_dc() && !s0.header.is_refinement());
+        assert_eq!((s0.header.ah, s0.header.al), (0, 1));
+        assert_eq!(s0.data, &[0x55, 0xAA]);
+        // Scan 1's snapshot must not yet contain the AC table defined later.
+        assert!(s0.ac_specs[0].is_none());
+        let s1 = &p.scans[1];
+        assert_eq!((s1.header.ss, s1.header.se), (1, 5));
+        assert!(s1.ac_specs[0].is_some());
+        // Stuffed FF 00 stays inside the scan data.
+        assert_eq!(s1.data, &[0x12, 0xFF, 0x00, 0x34]);
+        assert_eq!(&file[s1.data_offset..s1.data_offset + 4], s1.data);
+    }
+
+    #[test]
+    fn truncation_preserves_scan_prefix() {
+        let file = two_scan_file();
+        let p_full = parse_progressive(&file).unwrap();
+        // Cut inside the second scan's entropy data.
+        let cut = p_full.scans[1].data_offset + 1;
+        let p = parse_progressive(&file[..cut]).unwrap();
+        assert!(!p.complete);
+        assert_eq!(p.scans.len(), 2);
+        assert_eq!(p.scans[1].data.len(), 1);
+        // Cut before the first scan completes: fatal.
+        let early = p_full.scans[0].data_offset.saturating_sub(4);
+        assert!(parse_progressive(&file[..early]).is_err());
+    }
+
+    #[test]
+    fn scan_script_violations_are_rejected() {
+        let frame = frame_3();
+        type ScanSpec<'a> = (&'a [(u8, u8, u8)], u8, u8, u8, u8);
+        let build = |scans: &[ScanSpec]| -> Vec<u8> {
+            let ql = QuantTable::luma_for_quality(80).unwrap();
+            let mut out = Vec::new();
+            write_soi(&mut out);
+            write_dqt(&mut out, 0, &ql);
+            write_sof2(&mut out, &frame);
+            write_dht(&mut out, 0, 0, &spec::dc_luma());
+            write_dht(&mut out, 1, 0, &spec::ac_luma());
+            for &(comps, ss, se, ah, al) in scans {
+                write_sos_scan(&mut out, comps, ss, se, ah, al);
+                out.push(0x00);
+            }
+            write_eoi(&mut out);
+            out
+        };
+        // AC before DC.
+        let f = build(&[(&[(1, 0, 0)], 1, 5, 0, 0)]);
+        assert!(parse_progressive(&f).is_err());
+        // Interleaved AC scan.
+        let f = build(&[
+            (&[(1, 0, 0), (2, 0, 0), (3, 0, 0)], 0, 0, 0, 0),
+            (&[(1, 0, 0), (2, 0, 0)], 1, 5, 0, 0),
+        ]);
+        assert!(parse_progressive(&f).unwrap().damage.is_some());
+        // Refinement without matching prior precision.
+        let f = build(&[
+            (&[(1, 0, 0), (2, 0, 0), (3, 0, 0)], 0, 0, 0, 0),
+            (&[(1, 0, 0)], 1, 5, 3, 2),
+        ]);
+        assert!(parse_progressive(&f).unwrap().damage.is_some());
+        // Coefficient coded twice at full precision.
+        let f = build(&[
+            (&[(1, 0, 0), (2, 0, 0), (3, 0, 0)], 0, 0, 0, 0),
+            (&[(1, 0, 0)], 1, 5, 0, 0),
+            (&[(1, 0, 0)], 5, 10, 0, 0),
+        ]);
+        assert!(parse_progressive(&f).unwrap().damage.is_some());
+        // A legal spectral split parses cleanly.
+        let f = build(&[
+            (&[(1, 0, 0), (2, 0, 0), (3, 0, 0)], 0, 0, 0, 0),
+            (&[(1, 0, 0)], 1, 5, 0, 0),
+            (&[(1, 0, 0)], 6, 63, 0, 0),
+        ]);
+        let p = parse_progressive(&f).unwrap();
+        assert!(p.damage.is_none());
+        assert_eq!(p.scans.len(), 3);
+    }
+}

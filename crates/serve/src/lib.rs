@@ -88,6 +88,15 @@ pub struct ServeConfig {
     /// `max_pixels` guard). The output format must be RGB for the wire
     /// protocol.
     pub options: DecodeOptions,
+    /// Per-request decode budget for *progressive* (SOF2) images. When a
+    /// progressive request is predicted (from the shard's measured decode
+    /// throughput) to exceed this budget, the shard answers with a prefix
+    /// render instead: `max_scans` is reduced to the largest scan prefix
+    /// whose predicted time fits, and the outcome is flagged truncated.
+    /// Baseline images and the first progressive request of a shard (which
+    /// seeds the throughput estimate) always decode in full. `None`
+    /// disables pacing.
+    pub scan_deadline: Option<Duration>,
 }
 
 impl Default for ServeConfig {
@@ -106,6 +115,7 @@ impl Default for ServeConfig {
             model: None,
             threads: 4,
             options: DecodeOptions::default(),
+            scan_deadline: None,
         }
     }
 }

@@ -78,6 +78,7 @@ struct ShardCounters {
     batches: AtomicU64,
     decode_errors: AtomicU64,
     max_batch: AtomicU64,
+    deadline_partials: AtomicU64,
 }
 
 /// A snapshot of one shard's counters plus its session's statistics.
@@ -91,6 +92,9 @@ pub struct ShardStats {
     pub decode_errors: u64,
     /// Largest batch the admission loop coalesced.
     pub max_batch: u64,
+    /// Progressive requests answered with a deadline-paced prefix render
+    /// ([`crate::ServeConfig::scan_deadline`]).
+    pub deadline_partials: u64,
     /// The shard session's pool/cache statistics (allocations amortized,
     /// `Auto` evaluations, cache hits, evictions, cache occupancy).
     pub session: SessionStats,
@@ -188,6 +192,23 @@ impl ServerStats {
     pub fn stitch_redecoded_mcus(&self) -> u64 {
         self.speculation().redecoded_mcus
     }
+
+    /// Progressive-decode counters merged across shards (PR 7): scans
+    /// decoded, refinement passes, and partial (prefix) renders — so the
+    /// serve path can observe the multi-scan subsystem in production.
+    pub fn progressive(&self) -> hetjpeg_jpeg::progressive::ProgressiveStats {
+        let mut total = hetjpeg_jpeg::progressive::ProgressiveStats::default();
+        for s in &self.shards {
+            total.merge(&s.session.progressive);
+        }
+        total
+    }
+
+    /// Total progressive requests answered with a deadline-paced prefix
+    /// render instead of the full scan sequence.
+    pub fn deadline_partials(&self) -> u64 {
+        self.shards.iter().map(|s| s.deadline_partials).sum()
+    }
 }
 
 struct ShardState {
@@ -258,6 +279,7 @@ impl Server {
             let opts = config.options;
             let max_batch = config.max_batch;
             let flush_after = config.flush_after;
+            let scan_deadline = config.scan_deadline;
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("hetjpeg-shard-{i}"))
@@ -268,6 +290,7 @@ impl Server {
                             opts,
                             max_batch,
                             flush_after,
+                            scan_deadline,
                             &worker_counters,
                         )
                     })
@@ -304,6 +327,7 @@ impl Server {
                     batches: s.counters.batches.load(Ordering::Relaxed),
                     decode_errors: s.counters.decode_errors.load(Ordering::Relaxed),
                     max_batch: s.counters.max_batch.load(Ordering::Relaxed),
+                    deadline_partials: s.counters.deadline_partials.load(Ordering::Relaxed),
                     session: s.decoder.stats(),
                 })
                 .collect(),
@@ -385,6 +409,65 @@ impl ServeHandle {
     }
 }
 
+/// Measured decode throughput of one shard, in compressed bytes per
+/// second, smoothed over recent requests. Seeds the prediction behind
+/// [`crate::ServeConfig::scan_deadline`]: whole-request throughput is a
+/// deliberately coarse proxy (it folds entropy *and* render cost into one
+/// rate), but it needs no model training and self-corrects as the shard
+/// observes its own workload.
+#[derive(Default)]
+struct Pacer {
+    bytes_per_sec: Option<f64>,
+}
+
+impl Pacer {
+    fn observe(&mut self, bytes: usize, took: std::time::Duration) {
+        let secs = took.as_secs_f64();
+        if secs <= 0.0 {
+            return;
+        }
+        let obs = bytes as f64 / secs;
+        self.bytes_per_sec = Some(match self.bytes_per_sec {
+            Some(prev) => 0.7 * prev + 0.3 * obs,
+            None => obs,
+        });
+    }
+}
+
+/// Decide whether a progressive request must be paced: `Some(k)` means
+/// "decode only the first `k` scans" — the largest prefix whose predicted
+/// time (scan bytes over the shard's measured throughput) fits the budget,
+/// never fewer than the first scan (a DC render is the floor the server
+/// promises). `None` means the full scan script fits (or the request is
+/// not progressive, or no throughput has been measured yet).
+fn paced_scan_limit(
+    data: &[u8],
+    budget: std::time::Duration,
+    bytes_per_sec: Option<f64>,
+) -> Option<usize> {
+    let rate = bytes_per_sec?;
+    if !hetjpeg_jpeg::progressive::is_progressive(data) {
+        return None;
+    }
+    let parsed = hetjpeg_jpeg::progressive::parse_progressive(data).ok()?;
+    let total: usize = parsed.scans.iter().map(|s| s.data.len()).sum();
+    let budget_bytes = rate * budget.as_secs_f64();
+    if total as f64 <= budget_bytes {
+        return None;
+    }
+    let mut cum = 0usize;
+    let mut k = 0usize;
+    for scan in &parsed.scans {
+        cum += scan.data.len();
+        if cum as f64 <= budget_bytes {
+            k += 1;
+        } else {
+            break;
+        }
+    }
+    Some(k.max(1))
+}
+
 /// The per-shard consumer: block for the first request, coalesce until the
 /// batch is full or the flush deadline passes, decode the batch under one
 /// session lock, answer every reply slot.
@@ -394,9 +477,11 @@ fn shard_worker(
     opts: hetjpeg_core::DecodeOptions,
     max_batch: usize,
     flush_after: std::time::Duration,
+    scan_deadline: Option<std::time::Duration>,
     counters: &ShardCounters,
 ) {
     let mut batch: Vec<Request> = Vec::with_capacity(max_batch);
+    let mut pacer = Pacer::default();
     loop {
         match rx.recv() {
             Ok(first) => batch.push(first),
@@ -418,8 +503,35 @@ fn shard_worker(
             }
         }
 
-        let datas: Vec<&[u8]> = batch.iter().map(|r| r.data.as_slice()).collect();
-        let outs = decoder.decode_batch(&datas, opts);
+        let outs: Vec<Result<DecodeOutcome, Error>> = match scan_deadline {
+            None => {
+                let datas: Vec<&[u8]> = batch.iter().map(|r| r.data.as_slice()).collect();
+                decoder.decode_batch(&datas, opts)
+            }
+            // Pacing needs per-request options (a reduced scan limit) and
+            // per-request timing, so the batch decodes request by request;
+            // the session still amortizes its pools across them.
+            Some(budget) => batch
+                .iter()
+                .map(|r| {
+                    let limit = paced_scan_limit(&r.data, budget, pacer.bytes_per_sec);
+                    let o = match limit {
+                        Some(k) => opts.max_scans(match opts.max_scans {
+                            Some(m) => m.min(k),
+                            None => k,
+                        }),
+                        None => opts,
+                    };
+                    let t0 = Instant::now();
+                    let out = decoder.decode(&r.data, o);
+                    pacer.observe(r.data.len(), t0.elapsed());
+                    if limit.is_some() && out.is_ok() {
+                        counters.deadline_partials.fetch_add(1, Ordering::Relaxed);
+                    }
+                    out
+                })
+                .collect(),
+        };
 
         counters.batches.fetch_add(1, Ordering::Relaxed);
         counters
@@ -455,9 +567,12 @@ fn route(data: &[u8], shards: usize) -> usize {
 }
 
 /// Cheap shape fingerprint (width, height, component count, luma sampling
-/// factors) read by scanning the marker stream for SOF0/SOF1 — no entropy
-/// decoding, no table parsing, no allocation. `None` when the bytes are
-/// not a baseline JPEG with a frame header.
+/// factors) read by scanning the marker stream for SOF0/SOF1/SOF2 — no
+/// entropy decoding, no table parsing, no allocation. Progressive (SOF2)
+/// images share the fingerprint space with baseline ones: a progressive
+/// image routes to the same shard as its baseline counterpart of the same
+/// shape, where the pooled buffers for that shape already live. `None`
+/// when the bytes carry no recognized frame header.
 fn shape_key(data: &[u8]) -> Option<(u16, u16, u8, u8)> {
     use hetjpeg_jpeg::markers::m;
     if data.len() < 4 || data[0] != 0xFF || data[1] != m::SOI {
@@ -487,7 +602,7 @@ fn shape_key(data: &[u8]) -> Option<(u16, u16, u8, u8)> {
         if len < 2 || pos + 2 + len > data.len() {
             return None;
         }
-        if marker == m::SOF0 || marker == m::SOF1 {
+        if marker == m::SOF0 || marker == m::SOF1 || marker == m::SOF2 {
             // SOF segment: precision(1) height(2) width(2) ncomp(1), then
             // per component (id, sampling, tq).
             let seg = &data[pos + 4..pos + 2 + len];
@@ -521,6 +636,22 @@ mod tests {
         generate_jpeg(&spec, 85, Subsampling::S420).unwrap()
     }
 
+    fn progressive_jpeg(w: usize, h: usize, seed: u64) -> Vec<u8> {
+        let spec = ImageSpec {
+            width: w,
+            height: h,
+            pattern: Pattern::PhotoLike { detail: 0.5 },
+            seed,
+        };
+        hetjpeg_corpus::generate_progressive_jpeg(
+            &spec,
+            85,
+            Subsampling::S420,
+            hetjpeg_jpeg::progressive::ScanPreset::Standard10,
+        )
+        .unwrap()
+    }
+
     #[test]
     fn shape_key_reads_the_frame_header() {
         let j = jpeg(96, 64, 1);
@@ -534,6 +665,10 @@ mod tests {
         // Garbage is unroutable, not a panic.
         assert_eq!(shape_key(b"not a jpeg"), None);
         assert_eq!(shape_key(&j[..3]), None);
+        // A progressive (SOF2) image of the same shape shares the key —
+        // it must land on the shard whose buffers are hot for that shape.
+        let prog = progressive_jpeg(96, 64, 1);
+        assert_eq!(shape_key(&prog), shape_key(&j));
     }
 
     #[test]
@@ -608,6 +743,56 @@ mod tests {
             stats.speculation_wasted_mcus() + stats.stitch_redecoded_mcus(),
             spec.wasted_mcus + spec.redecoded_mcus,
         );
+    }
+
+    #[test]
+    fn progressive_requests_decode_and_surface_counters() {
+        // A progressive image served next to its baseline counterpart
+        // produces the same bytes, and the multi-scan counters appear in
+        // the aggregated server statistics.
+        let server = Server::start(ServeConfig {
+            shards: 1,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let handle = server.handle();
+        let base_out = handle.decode(&jpeg(96, 64, 11)).unwrap();
+        let prog_out = handle.decode(&progressive_jpeg(96, 64, 11)).unwrap();
+        assert!(!prog_out.truncated);
+        assert_eq!(prog_out.image.data, base_out.image.data);
+        let stats = server.shutdown();
+        let p = stats.progressive();
+        assert_eq!(p.scans_decoded, 10, "Standard10 scan script: {p:?}");
+        assert_eq!(p.refine_passes, 5);
+        assert_eq!(p.partial_renders, 0);
+        assert_eq!(stats.deadline_partials(), 0);
+    }
+
+    #[test]
+    fn progressive_deadline_yields_partial_renders() {
+        let server = Server::start(ServeConfig {
+            shards: 1,
+            scan_deadline: Some(std::time::Duration::from_nanos(1)),
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let handle = server.handle();
+        let prog = progressive_jpeg(128, 96, 3);
+        // The first request seeds the shard's throughput estimate and
+        // decodes in full…
+        let first = handle.decode(&prog).unwrap();
+        assert!(!first.truncated);
+        // …after which a 1 ns budget can never absorb the scan script:
+        // the shard answers with a prefix render, flagged truncated.
+        let paced = handle.decode(&prog).unwrap();
+        assert!(paced.truncated, "paced decode is a prefix render");
+        assert_eq!(paced.image.data.len(), 128 * 96 * 3);
+        assert_ne!(paced.image.data, first.image.data);
+        let stats = server.shutdown();
+        assert_eq!(stats.deadline_partials(), 1);
+        let p = stats.progressive();
+        assert_eq!(p.partial_renders, 1);
+        assert_eq!(p.scans_decoded, 10 + 1, "full script + the DC prefix");
     }
 
     #[test]

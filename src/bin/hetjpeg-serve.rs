@@ -30,7 +30,8 @@ fn usage() -> ExitCode {
         "usage:\n  hetjpeg-serve (--addr HOST:PORT | --stdio | --smoke)\n\
          \u{20}              [--shards N] [--queue-depth N] [--max-batch N] [--flush-us N]\n\
          \u{20}              [--cache-cap N] [--threads N] [--platform gt430|gtx560|gtx680]\n\
-         \u{20}              [--model model.txt] [--max-pixels N] [--tolerant]"
+         \u{20}              [--model model.txt] [--max-pixels N] [--tolerant]\n\
+         \u{20}              [--max-scans N] [--scan-deadline-us N]"
     );
     ExitCode::from(2)
 }
@@ -100,7 +101,13 @@ fn config_from_args(args: &[String]) -> Result<ServeConfig, ExitCode> {
     if args.iter().any(|a| a == "--tolerant") {
         opts = opts.tolerant();
     }
+    if let Some(n) = parse_or_usage(args, "--max-scans")? {
+        opts = opts.max_scans(n);
+    }
     config.options = opts;
+    if let Some(us) = parse_or_usage::<u64>(args, "--scan-deadline-us")? {
+        config.scan_deadline = Some(Duration::from_micros(us));
+    }
     Ok(config)
 }
 
@@ -134,6 +141,17 @@ fn print_stats(stats: &hetjpeg_serve::ServerStats) {
         stats.auto_cache_hits(),
         stats.auto_evictions(),
     );
+    let prog = stats.progressive();
+    if prog.scans_decoded > 0 {
+        eprintln!(
+            "progressive: {} scans decoded, {} refinement passes, \
+             {} partial renders ({} deadline-paced)",
+            prog.scans_decoded,
+            prog.refine_passes,
+            prog.partial_renders,
+            stats.deadline_partials(),
+        );
+    }
 }
 
 fn run_stdio(config: ServeConfig) -> ExitCode {
@@ -197,7 +215,7 @@ fn smoke(mut config: ServeConfig) -> ExitCode {
     let shards = config.shards;
 
     // A small mixed corpus: several shapes, subsamplings and qualities.
-    let corpus: Vec<Vec<u8>> = [
+    let mut corpus: Vec<Vec<u8>> = [
         (96usize, 96usize, 85u8, Subsampling::S420),
         (128, 96, 85, Subsampling::S422),
         (96, 96, 92, Subsampling::S420),
@@ -217,6 +235,26 @@ fn smoke(mut config: ServeConfig) -> ExitCode {
         })
     })
     .collect();
+    // Plus progressive (SOF2) counterparts: the smoke proves multi-scan
+    // requests ride the same wire and match direct decodes byte for byte.
+    for seed in 0..2u64 {
+        let spec = ImageSpec {
+            width: 112,
+            height: 80,
+            pattern: Pattern::PhotoLike { detail: 0.55 },
+            seed: 900 + seed,
+        };
+        corpus.push(
+            hetjpeg_corpus::generate_progressive_jpeg(
+                &spec,
+                85,
+                Subsampling::S420,
+                hetjpeg_jpeg::progressive::ScanPreset::Standard10,
+            )
+            .expect("encode progressive corpus image"),
+        );
+    }
+    let corpus = corpus;
 
     // Reference bytes from a plain session with the same configuration.
     let reference_decoder = Decoder::builder()
@@ -326,6 +364,54 @@ fn smoke(mut config: ServeConfig) -> ExitCode {
             "smoke: shard SIMD level {:?} != detected {:?}",
             stats.simd_level(),
             expected
+        );
+        return ExitCode::FAILURE;
+    }
+    // The two progressive requests must have exercised the multi-scan
+    // path: 10 scans and 5 refinement passes each, no partial renders.
+    let prog = stats.progressive();
+    if prog.scans_decoded != 20 || prog.refine_passes != 10 || prog.partial_renders != 0 {
+        eprintln!("smoke: unexpected progressive counters: {prog:?}");
+        return ExitCode::FAILURE;
+    }
+    // Deadline pacing end to end: seed a 1-shard server's throughput
+    // estimate with one full decode, then a 1 ns budget must force a
+    // prefix render flagged truncated and counted as deadline-paced.
+    let paced_spec = ImageSpec {
+        width: 112,
+        height: 80,
+        pattern: Pattern::PhotoLike { detail: 0.55 },
+        seed: 900,
+    };
+    let paced_jpeg = hetjpeg_corpus::generate_progressive_jpeg(
+        &paced_spec,
+        85,
+        Subsampling::S420,
+        hetjpeg_jpeg::progressive::ScanPreset::Standard10,
+    )
+    .expect("encode paced image");
+    let paced_server = Server::start(ServeConfig {
+        shards: 1,
+        scan_deadline: Some(Duration::from_nanos(1)),
+        ..ServeConfig::default()
+    })
+    .expect("start paced server");
+    let paced_handle = paced_server.handle();
+    let seeded = paced_handle.decode(&paced_jpeg).expect("seeding decode");
+    let paced_out = paced_handle.decode(&paced_jpeg).expect("paced decode");
+    let paced_stats = paced_server.shutdown();
+    if seeded.truncated
+        || !paced_out.truncated
+        || paced_stats.deadline_partials() != 1
+        || paced_stats.progressive().partial_renders != 1
+    {
+        eprintln!(
+            "smoke: deadline pacing misbehaved: seeded.truncated={} paced.truncated={} \
+             deadline_partials={} progressive={:?}",
+            seeded.truncated,
+            paced_out.truncated,
+            paced_stats.deadline_partials(),
+            paced_stats.progressive(),
         );
         return ExitCode::FAILURE;
     }

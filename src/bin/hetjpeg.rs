@@ -263,6 +263,9 @@ fn cmd_info(input: &str) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if hetjpeg_jpeg::progressive::is_progressive(&data) {
+        return cmd_info_progressive(input, &data);
+    }
     let parsed = match parse_jpeg(&data) {
         Ok(p) => p,
         Err(e) => {
@@ -297,6 +300,55 @@ fn cmd_info(input: &str) -> ExitCode {
             "  {} independently decodable entropy segment(s)",
             segs.len()
         );
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_info_progressive(input: &str, data: &[u8]) -> ExitCode {
+    let parsed = match hetjpeg_jpeg::progressive::parse_progressive(data) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("not a decodable progressive JPEG: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("{input}: progressive (SOF2)");
+    println!(
+        "  {}x{} {}",
+        parsed.frame.width,
+        parsed.frame.height,
+        parsed.frame.subsampling.notation()
+    );
+    println!("  file size      {} bytes", parsed.file_size);
+    println!(
+        "  entropy density {:.4} bytes/pixel (Eq. 3)",
+        parsed.entropy_density()
+    );
+    println!(
+        "  {} scan(s), {} refinement pass(es){}",
+        parsed.scans.len(),
+        parsed.refinement_scans(),
+        if parsed.complete {
+            ""
+        } else {
+            " (truncated: no EOI)"
+        }
+    );
+    for (i, scan) in parsed.scans.iter().enumerate() {
+        let h = &scan.header;
+        println!(
+            "    scan {:2}: {} comp(s), Ss={} Se={} Ah={} Al={}, {} bytes",
+            i + 1,
+            h.comps.len(),
+            h.ss,
+            h.se,
+            h.ah,
+            h.al,
+            scan.data.len()
+        );
+    }
+    if let Some(d) = &parsed.damage {
+        println!("  structural damage after last recovered scan: {d}");
     }
     ExitCode::SUCCESS
 }

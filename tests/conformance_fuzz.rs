@@ -260,3 +260,152 @@ fn pristine_streams_are_unaffected_by_the_harness() {
         assert_eq!(scalar.2, strict.image.data, "{name}: scalar != native");
     }
 }
+
+fn progressive_corpus() -> Vec<(String, Vec<u8>)> {
+    use hetjpeg_jpeg::progressive::{encode_rgb_progressive, ScanPreset};
+    let mut out = Vec::new();
+    for (sub, q, preset) in [
+        (Subsampling::S420, 85u8, ScanPreset::Standard10),
+        (Subsampling::S444, 90, ScanPreset::Spectral4),
+        (Subsampling::S422, 78, ScanPreset::Standard10),
+    ] {
+        let (w, h) = (97usize, 61usize); // odd dims: ragged MCU edges
+        let rgb = hetjpeg_jpeg::testutil::noise_rgb(w * h, 0x5EED_0007);
+        let jpeg = encode_rgb_progressive(
+            &rgb,
+            w as u32,
+            h as u32,
+            &EncodeParams {
+                quality: q,
+                subsampling: sub,
+                restart_interval: 0,
+            },
+            preset,
+        )
+        .expect("encode progressive");
+        out.push((format!("prog-{}-q{}-{:?}", sub.notation(), q, preset), jpeg));
+    }
+    out
+}
+
+/// The PR-7 fuzz axis: truncation cuts placed *at and around every scan
+/// boundary* of progressive streams (scan header starts, scan entropy
+/// midpoints, scan ends — the exact places where multi-scan state is
+/// half-built) plus dense header cuts. Tolerant decodes must never panic
+/// and forced-scalar vs native dispatch must agree exactly on every
+/// salvage and every rejection.
+#[test]
+fn progressive_scan_boundary_truncations_are_safe() {
+    let dec = decoder();
+    let native = SimdLevel::detect();
+    let mut salvaged = 0usize;
+    let mut rejected = 0usize;
+    for (name, base) in progressive_corpus() {
+        let parsed =
+            hetjpeg_jpeg::progressive::parse_progressive(&base).expect("pristine stream parses");
+        let mut cuts: Vec<usize> = (2..48).collect(); // dense header sweep
+        for scan in &parsed.scans {
+            let start = scan.data_offset;
+            let end = scan.data_offset + scan.data.len();
+            for c in [
+                start.saturating_sub(3),
+                start.saturating_sub(1),
+                start,
+                start + 1,
+                (start + end) / 2,
+                end.saturating_sub(1),
+                end,
+                end + 1,
+            ] {
+                cuts.push(c.min(base.len()));
+            }
+        }
+        cuts.sort_unstable();
+        cuts.dedup();
+        for &cut in &cuts {
+            let data = &base[..cut];
+            for mode in [Mode::Simd, Mode::Auto] {
+                let scalar = outcome(&dec, data, mode, SimdLevel::Scalar);
+                let vector = outcome(&dec, data, mode, native);
+                match (&scalar, &vector) {
+                    (Ok(a), Ok(b)) => {
+                        assert_eq!(
+                            a,
+                            b,
+                            "{name} cut {cut} {mode:?}: scalar and {} salvages differ",
+                            native.name()
+                        );
+                        salvaged += 1;
+                    }
+                    (Err(a), Err(b)) => {
+                        assert_eq!(
+                            a, b,
+                            "{name} cut {cut} {mode:?}: error text diverged across levels"
+                        );
+                        rejected += 1;
+                    }
+                    _ => panic!(
+                        "{name} cut {cut} {mode:?}: scalar {scalar:?} vs {} {vector:?}",
+                        native.name()
+                    ),
+                }
+            }
+        }
+    }
+    assert!(salvaged > 0, "no truncated progressive stream salvaged");
+    assert!(rejected > 0, "no truncated progressive stream rejected");
+}
+
+/// Seeded random mutations (truncation, bit flips, both) of progressive
+/// streams through the same differential harness as the baseline matrix.
+#[test]
+fn corrupt_progressive_streams_never_panic_and_levels_agree() {
+    let native = SimdLevel::detect();
+    let dec = decoder();
+    let mut rng = Rng(0x5CA7_7E12);
+    let mut decided = 0usize;
+    for (name, base) in progressive_corpus() {
+        for case in 0..48 {
+            let data = mutate(&base, &mut rng);
+            let scalar = outcome(&dec, &data, Mode::Auto, SimdLevel::Scalar);
+            let vector = outcome(&dec, &data, Mode::Auto, native);
+            match (&scalar, &vector) {
+                (Ok(a), Ok(b)) => {
+                    assert_eq!(a, b, "{name} case {case}: salvages differ across levels");
+                    decided += 1;
+                }
+                (Err(a), Err(b)) => {
+                    assert_eq!(a, b, "{name} case {case}: error text diverged");
+                    decided += 1;
+                }
+                _ => panic!(
+                    "{name} case {case}: scalar {scalar:?} vs {} {vector:?}",
+                    native.name()
+                ),
+            }
+        }
+    }
+    assert_eq!(decided, 3 * 48, "every case must resolve consistently");
+}
+
+/// Pristine progressive streams through the fuzz harness: tolerant
+/// decoding and forced-scalar dispatch must not change a valid multi-scan
+/// decode (the progressive control group).
+#[test]
+fn pristine_progressive_streams_are_unaffected_by_the_harness() {
+    let dec = decoder();
+    let native = SimdLevel::detect();
+    for (name, base) in progressive_corpus() {
+        let strict = dec
+            .decode(&base, DecodeOptions::with_mode(Mode::Simd))
+            .unwrap_or_else(|e| panic!("{name}: strict decode failed: {e}"));
+        assert!(
+            !strict.truncated,
+            "{name}: pristine stream marked truncated"
+        );
+        let tolerant = outcome(&dec, &base, Mode::Simd, native).expect("tolerant ok");
+        assert_eq!(tolerant.2, strict.image.data, "{name}: tolerant != strict");
+        let scalar = outcome(&dec, &base, Mode::Simd, SimdLevel::Scalar).expect("scalar ok");
+        assert_eq!(scalar.2, strict.image.data, "{name}: scalar != native");
+    }
+}

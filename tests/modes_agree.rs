@@ -213,6 +213,62 @@ fn restart_free_speculation_agrees_across_quality_and_simd() {
 }
 
 #[test]
+fn progressive_full_scan_decode_matches_baseline_counterpart() {
+    // PR-7 acceptance axis: the same pixels encoded baseline and
+    // progressive share identical quantized coefficients, so a full-scan
+    // progressive decode must reproduce the baseline decode bit for bit —
+    // under every scan-script preset, render mode and SIMD level.
+    use hetjpeg_corpus::generate_rgb;
+    use hetjpeg_jpeg::progressive::{encode_rgb_progressive, ScanPreset};
+    let decoder = session_for(&Platform::gtx560());
+    for (i, (w, h, pattern)) in [
+        (200usize, 120usize, Pattern::PhotoLike { detail: 0.7 }),
+        (127, 93, Pattern::WhiteNoise { amount: 0.5 }), // odd dims
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        for sub in [Subsampling::S444, Subsampling::S422, Subsampling::S420] {
+            let spec = ImageSpec {
+                width: w,
+                height: h,
+                pattern,
+                seed: 1200 + i as u64,
+            };
+            let rgb = generate_rgb(&spec);
+            let params = EncodeParams {
+                quality: 82,
+                subsampling: sub,
+                restart_interval: 0,
+            };
+            let base = encode_rgb(&rgb, w as u32, h as u32, &params).expect("encode baseline");
+            let reference = decode(&base).expect("reference decode").data;
+            for preset in [ScanPreset::Standard10, ScanPreset::Spectral4] {
+                let prog = encode_rgb_progressive(&rgb, w as u32, h as u32, &params, preset)
+                    .expect("encode progressive");
+                for level in SimdLevel::all_available() {
+                    for mode in [Mode::Auto, Mode::Sequential, Mode::Simd] {
+                        let out = decoder
+                            .decode(&prog, DecodeOptions::with_mode(mode).force_simd(level))
+                            .unwrap_or_else(|e| {
+                                panic!("{w}x{h} {} {preset:?} {mode:?}: {e}", sub.notation())
+                            });
+                        assert!(!out.truncated);
+                        assert_eq!(
+                            out.image.data,
+                            reference,
+                            "{w}x{h} {} {preset:?} {mode:?} at {} differs from baseline",
+                            sub.notation(),
+                            level.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
 fn doctored_models_cannot_break_correctness() {
     // Whatever nonsense the performance model predicts, partitioning only
     // moves the boundary — the pixels must stay right.
