@@ -489,13 +489,38 @@ impl Decoder {
     /// Cumulative pool/cache counters — how many allocations the session
     /// amortized away so far.
     pub fn pool_stats(&self) -> PoolStats {
-        self.state.lock().expect("decoder state lock").ws.stats()
+        self.stats().pool
+    }
+
+    /// True when a decode on this session panicked and left the internal
+    /// workspace lock poisoned. A poisoned session must not decode again
+    /// (its pooled buffers may be half-written); callers that isolate
+    /// panics — the serve layer's shard workers — check this and rebuild
+    /// the session. Statistics remain readable on a poisoned session.
+    pub fn is_poisoned(&self) -> bool {
+        self.state.is_poisoned()
+    }
+
+    /// Fault-injection seam: acquire the session lock and panic while
+    /// holding it, poisoning the session exactly as a panic in the middle
+    /// of a real decode would. The serve layer's deterministic fault
+    /// harness uses this to prove panic isolation and session rebuild
+    /// against genuine lock poisoning rather than a simulated stand-in.
+    pub fn inject_panic(&self, msg: &str) -> ! {
+        let _guard = self.state.lock().expect("decoder state lock");
+        panic!("{}", msg.to_owned());
     }
 
     /// Snapshot of the session's statistics: the pool counters plus the
-    /// `Mode::Auto` cache occupancy and cap.
+    /// `Mode::Auto` cache occupancy and cap. Tolerates a poisoned session
+    /// (the counters are plain integers; a mid-decode panic cannot tear
+    /// them), so a supervisor can still account for a crashed session
+    /// before discarding it.
     pub fn stats(&self) -> SessionStats {
-        let state = self.state.lock().expect("decoder state lock");
+        let state = match self.state.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
         SessionStats {
             pool: state.ws.stats(),
             auto_cache_len: state.auto_cache.len(),

@@ -37,6 +37,22 @@ pub struct PoolStats {
     pub auto_evictions: u64,
 }
 
+impl PoolStats {
+    /// Fold another session's counters into this one — what the serve
+    /// layer uses to keep a shard's cumulative accounting across session
+    /// rebuilds (a recovered panic discards the session but not its
+    /// history).
+    pub fn merge(&mut self, other: &PoolStats) {
+        self.coef_allocs += other.coef_allocs;
+        self.coef_reuses += other.coef_reuses;
+        self.scratch_allocs += other.scratch_allocs;
+        self.scratch_reuses += other.scratch_reuses;
+        self.auto_evals += other.auto_evals;
+        self.auto_cache_hits += other.auto_cache_hits;
+        self.auto_evictions += other.auto_evictions;
+    }
+}
+
 /// Geometry fingerprint used to detect when pooled buffers can be reused
 /// byte-for-byte (same shape) versus re-shaped (different shape).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

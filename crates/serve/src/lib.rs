@@ -51,10 +51,11 @@
 
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod pool;
 pub mod protocol;
 
-pub use pool::{ServeHandle, Server, ServerStats, ShardStats, Ticket};
+pub use pool::{ServeHandle, Served, Server, ServerStats, ShardStats, SubmitOptions, Ticket};
 
 use hetjpeg_core::{DecodeOptions, Platform, DEFAULT_AUTO_CACHE_CAP};
 use std::fmt;
@@ -97,6 +98,18 @@ pub struct ServeConfig {
     /// seeds the throughput estimate) always decode in full. `None`
     /// disables pacing.
     pub scan_deadline: Option<Duration>,
+    /// Deterministic fault-injection schedule ([`fault::FaultPlan`]); `None`
+    /// (the default) disables injection entirely. [`Server::start`] also
+    /// honors the `HETJPEG_FAULT` environment variable when this is `None`.
+    pub fault_plan: Option<std::sync::Arc<fault::FaultPlan>>,
+    /// Consecutive decode *panics* on one shard that trip its circuit
+    /// breaker (an open breaker routes new requests to other shards and
+    /// fail-fasts its own queue until a backoff probe succeeds). Decode
+    /// errors — a malformed request — do not count. Must be ≥ 1.
+    pub breaker_threshold: u32,
+    /// Initial breaker cooldown: how long a tripped shard waits before the
+    /// half-open probe. Doubles on each re-trip, capped at 64× the base.
+    pub breaker_cooldown: Duration,
 }
 
 impl Default for ServeConfig {
@@ -116,6 +129,9 @@ impl Default for ServeConfig {
             threads: 4,
             options: DecodeOptions::default(),
             scan_deadline: None,
+            fault_plan: None,
+            breaker_threshold: 5,
+            breaker_cooldown: Duration::from_millis(200),
         }
     }
 }
@@ -133,6 +149,20 @@ pub enum ServeError {
     /// The shard worker died before answering (a bug, not a request
     /// error).
     WorkerGone,
+    /// The decode panicked. The panic was confined to this request: the
+    /// shard rebuilt its session and kept serving. Carries the panic
+    /// payload's message.
+    Panicked(String),
+    /// The request was shed — its deadline is not achievable at current
+    /// load, or its home shard's circuit breaker is open. Carries a
+    /// retry-after hint derived from the shard's estimated drain time.
+    Busy {
+        /// Suggested wait before retrying.
+        retry_after: Duration,
+    },
+    /// The request was queued when the server shut down; it was drained
+    /// with this explicit error instead of being dropped silently.
+    Shutdown,
 }
 
 /// Why [`Server::start`] rejected a [`ServeConfig`].
@@ -144,6 +174,12 @@ pub enum ConfigError {
     ZeroQueueDepth,
     /// `max_batch` was zero (a batch could never form).
     ZeroMaxBatch,
+    /// `breaker_threshold` was zero (the breaker would trip before the
+    /// first request).
+    ZeroBreakerThreshold,
+    /// The `HETJPEG_FAULT` spec (or `ServeConfig::fault_plan` source
+    /// string) failed to parse.
+    Fault(fault::FaultParseError),
     /// The per-shard session builder rejected the configuration.
     Session(hetjpeg_core::BuildError),
 }
@@ -155,6 +191,17 @@ impl fmt::Display for ServeError {
             ServeError::ShuttingDown => write!(f, "server is shutting down"),
             ServeError::Decode(e) => write!(f, "decode failed: {e}"),
             ServeError::WorkerGone => write!(f, "shard worker terminated unexpectedly"),
+            ServeError::Panicked(msg) => {
+                write!(f, "decode panicked (session rebuilt): {msg}")
+            }
+            ServeError::Busy { retry_after } => write!(
+                f,
+                "busy: deadline not achievable, retry after {}us",
+                retry_after.as_micros()
+            ),
+            ServeError::Shutdown => {
+                write!(f, "request drained by server shutdown before decode")
+            }
         }
     }
 }
@@ -165,6 +212,10 @@ impl fmt::Display for ConfigError {
             ConfigError::ZeroShards => write!(f, "shards must be >= 1"),
             ConfigError::ZeroQueueDepth => write!(f, "queue_depth must be >= 1"),
             ConfigError::ZeroMaxBatch => write!(f, "max_batch must be >= 1"),
+            ConfigError::ZeroBreakerThreshold => {
+                write!(f, "breaker_threshold must be >= 1")
+            }
+            ConfigError::Fault(e) => write!(f, "fault plan: {e}"),
             ConfigError::Session(e) => write!(f, "session builder: {e}"),
         }
     }

@@ -1,6 +1,6 @@
 //! The shard pool: worker threads owning one [`Decoder`] session each, fed
 //! by bounded per-shard admission queues whose consumers coalesce requests
-//! into [`Decoder::decode_batch`] calls.
+//! and decode them under one hot session.
 //!
 //! ## Why shards, and why shape-keyed routing
 //!
@@ -28,50 +28,123 @@
 //!
 //! Each worker blocks on its queue; on the first arrival it keeps
 //! collecting until the batch reaches [`ServeConfig::max_batch`] or
-//! [`ServeConfig::flush_after`] has elapsed, then decodes the whole batch
-//! under one session lock. Under light load the deadline keeps latency
+//! [`ServeConfig::flush_after`] has elapsed, then decodes the coalesced
+//! group under its session. Under light load the deadline keeps latency
 //! bounded (a lone request waits at most `flush_after`); under heavy load
 //! batches fill instantly and the per-image admission overhead amortizes
 //! away. The queues are bounded: a flooded server blocks submitters
 //! (backpressure) rather than queueing without limit.
+//!
+//! ## Failure domains (PR 8)
+//!
+//! Every decode runs inside `catch_unwind`: a panicking request is
+//! answered with [`ServeError::Panicked`], the shard's poisoned session is
+//! rebuilt (fresh pools, empty `Auto` cache — its *statistics* survive via
+//! a retired-totals accumulator), and the worker keeps serving. A
+//! per-shard **circuit breaker** trips after
+//! [`ServeConfig::breaker_threshold`] consecutive panics: an open shard is
+//! routed around at submit time (overflow-spill reuse) and fail-fasts its
+//! own queue with [`ServeError::Busy`] until a backoff probe half-opens
+//! it; a successful probe closes it again. During shutdown an open shard
+//! drains its queue with explicit [`ServeError::Shutdown`] errors instead
+//! of silently dropping tickets.
+//!
+//! ## SLO admission (PR 8)
+//!
+//! [`ServeHandle::submit_with`] accepts an optional per-request deadline.
+//! At admission the home shard's completion time is estimated as its
+//! queued work plus this request's predicted cost — `Decoder::predict`'s
+//! §5.1 virtual seconds scaled by the shard's observed wall-per-virtual
+//! ratio for baseline images, measured bytes/s throughput for progressive
+//! ones. Infeasible requests are shed with [`ServeError::Busy`] (carrying
+//! a retry-after hint) or, when [`SubmitOptions::degrade`] opts in,
+//! admitted degraded: progressive sources fall back to a `max_scans`
+//! prefix render sized to the remaining budget, baseline sources to
+//! [`hetjpeg_core::Strictness::Tolerant`]. Estimates start optimistic (an
+//! uncalibrated shard admits everything) and self-correct as the shard
+//! observes its own workload.
 
+use crate::fault::{FaultPlan, FaultSite};
 use crate::{ConfigError, ServeConfig, ServeError};
-use hetjpeg_core::{DecodeOutcome, Decoder, SessionStats};
-use hetjpeg_jpeg::error::Error;
+use hetjpeg_core::{DecodeOptions, DecodeOutcome, Decoder, SessionStats};
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU32, AtomicU64, AtomicU8, Ordering};
 use std::sync::mpsc::RecvTimeoutError;
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex, Once};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-/// One queued decode request: the image bytes plus the reply slot the
-/// worker answers into.
+/// One queued decode request: the image bytes, the reply slot the worker
+/// answers into, and the admission-control context attached at submit.
 struct Request {
     data: Vec<u8>,
-    reply: mpsc::Sender<Result<DecodeOutcome, Error>>,
+    reply: mpsc::Sender<Result<Served, ServeError>>,
+    /// Absolute completion deadline, when the submitter set one.
+    deadline: Option<Instant>,
+    /// The submitter opted into degraded service instead of shedding.
+    degrade: bool,
+    /// Admission already judged the deadline infeasible: the worker must
+    /// degrade (the submitter opted in) rather than decode in full.
+    degrade_now: bool,
+    /// Predicted §5.1 virtual microseconds for this image, when admission
+    /// priced it — what calibrates the shard's wall-per-virtual ratio.
+    predicted_virtual_us: Option<u64>,
+    /// Microseconds of estimated work charged to the serving shard's
+    /// queue; the worker credits it back when the request completes.
+    charged_us: u64,
+}
+
+/// A successful server response: the decode outcome plus whether the
+/// server degraded the request (prefix render / tolerant salvage) to meet
+/// its deadline.
+#[derive(Debug, Clone)]
+pub struct Served {
+    /// The decode outcome (bit-identical to a direct [`Decoder`] call
+    /// unless `degraded`).
+    pub outcome: DecodeOutcome,
+    /// True when the server applied the degradation ladder to this request
+    /// instead of shedding it ([`SubmitOptions::degrade`]).
+    pub degraded: bool,
 }
 
 /// Receipt for a submitted request; [`Ticket::wait`] blocks until the
 /// shard worker has decoded the image.
 pub struct Ticket {
-    rx: mpsc::Receiver<Result<DecodeOutcome, Error>>,
+    rx: mpsc::Receiver<Result<Served, ServeError>>,
 }
 
 impl Ticket {
     /// Block until the decode finishes and return its outcome.
     pub fn wait(self) -> Result<DecodeOutcome, ServeError> {
+        self.wait_served().map(|s| s.outcome)
+    }
+
+    /// Block until the decode finishes and return the full server
+    /// response, including the degradation flag.
+    pub fn wait_served(self) -> Result<Served, ServeError> {
         match self.rx.recv() {
-            Ok(Ok(out)) => Ok(out),
-            Ok(Err(e)) => Err(ServeError::Decode(e)),
+            Ok(r) => r,
             Err(_) => Err(ServeError::WorkerGone),
         }
     }
 }
 
-/// Monotone per-shard counters, updated by the worker, read by
-/// [`Server::stats`].
+/// Per-request submission options ([`ServeHandle::submit_with`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SubmitOptions {
+    /// Complete-by deadline, relative to submission. `None` (default)
+    /// disables SLO admission for this request.
+    pub deadline: Option<Duration>,
+    /// When the deadline is judged infeasible, degrade the request
+    /// (progressive → scan-prefix render, baseline → tolerant salvage)
+    /// instead of shedding it with [`ServeError::Busy`].
+    pub degrade: bool,
+}
+
+/// Monotone per-shard counters, updated by the worker (and, for admission
+/// sheds, the submitter), read by [`Server::stats`].
 #[derive(Default)]
 struct ShardCounters {
     requests: AtomicU64,
@@ -79,6 +152,12 @@ struct ShardCounters {
     decode_errors: AtomicU64,
     max_batch: AtomicU64,
     deadline_partials: AtomicU64,
+    panics_recovered: AtomicU64,
+    sessions_rebuilt: AtomicU64,
+    breaker_trips: AtomicU64,
+    shed: AtomicU64,
+    degraded: AtomicU64,
+    shutdown_drained: AtomicU64,
 }
 
 /// A snapshot of one shard's counters plus its session's statistics.
@@ -86,7 +165,7 @@ struct ShardCounters {
 pub struct ShardStats {
     /// Requests decoded by this shard.
     pub requests: u64,
-    /// `decode_batch` calls issued (each covers one coalesced batch).
+    /// Coalesced batches served (each covers one admission group).
     pub batches: u64,
     /// Requests whose decode returned an error.
     pub decode_errors: u64,
@@ -95,8 +174,25 @@ pub struct ShardStats {
     /// Progressive requests answered with a deadline-paced prefix render
     /// ([`crate::ServeConfig::scan_deadline`]).
     pub deadline_partials: u64,
+    /// Decode panics confined to their request (answered with
+    /// [`ServeError::Panicked`], worker kept serving).
+    pub panics_recovered: u64,
+    /// Sessions rebuilt after a panic poisoned the previous one.
+    pub sessions_rebuilt: u64,
+    /// Circuit-breaker trips (threshold consecutive panics, or a failed
+    /// half-open probe).
+    pub breaker_trips: u64,
+    /// Requests shed with [`ServeError::Busy`] — deadline infeasible at
+    /// admission, deadline already missed at decode, or breaker open.
+    pub shed: u64,
+    /// Requests served degraded instead of shed ([`SubmitOptions::degrade`]).
+    pub degraded: u64,
+    /// Queued requests drained with [`ServeError::Shutdown`] when the
+    /// server shut down while this shard's breaker was open.
+    pub shutdown_drained: u64,
     /// The shard session's pool/cache statistics (allocations amortized,
-    /// `Auto` evaluations, cache hits, evictions, cache occupancy).
+    /// `Auto` evaluations, cache hits, evictions, cache occupancy),
+    /// *cumulative across session rebuilds*.
     pub session: SessionStats,
 }
 
@@ -113,7 +209,7 @@ impl ServerStats {
         self.shards.iter().map(|s| s.requests).sum()
     }
 
-    /// Total `decode_batch` calls.
+    /// Total coalesced batches served.
     pub fn batches(&self) -> u64 {
         self.shards.iter().map(|s| s.batches).sum()
     }
@@ -209,11 +305,226 @@ impl ServerStats {
     pub fn deadline_partials(&self) -> u64 {
         self.shards.iter().map(|s| s.deadline_partials).sum()
     }
+
+    /// Total decode panics confined to their request (PR 8).
+    pub fn panics_recovered(&self) -> u64 {
+        self.shards.iter().map(|s| s.panics_recovered).sum()
+    }
+
+    /// Total shard sessions rebuilt after a panic (PR 8).
+    pub fn sessions_rebuilt(&self) -> u64 {
+        self.shards.iter().map(|s| s.sessions_rebuilt).sum()
+    }
+
+    /// Total circuit-breaker trips (PR 8).
+    pub fn breaker_trips(&self) -> u64 {
+        self.shards.iter().map(|s| s.breaker_trips).sum()
+    }
+
+    /// Total requests shed with [`ServeError::Busy`] (PR 8).
+    pub fn shed(&self) -> u64 {
+        self.shards.iter().map(|s| s.shed).sum()
+    }
+
+    /// Total requests served degraded instead of shed (PR 8).
+    pub fn degraded(&self) -> u64 {
+        self.shards.iter().map(|s| s.degraded).sum()
+    }
+
+    /// Total queued requests drained with [`ServeError::Shutdown`] (PR 8).
+    pub fn shutdown_drained(&self) -> u64 {
+        self.shards.iter().map(|s| s.shutdown_drained).sum()
+    }
+}
+
+/// Circuit-breaker states (`Breaker::state`).
+const BREAKER_CLOSED: u8 = 0;
+const BREAKER_OPEN: u8 = 1;
+const BREAKER_HALF_OPEN: u8 = 2;
+
+/// Per-shard circuit breaker. Only the shard's own worker mutates it (the
+/// worker is single-threaded per shard); submitters only read
+/// [`Breaker::is_open`] to route around tripped shards, so plain atomic
+/// loads/stores suffice — no CAS protocol needed.
+struct Breaker {
+    /// Consecutive decode *panics* (decode errors don't count — a
+    /// malformed request is the client's fault, not the shard's).
+    consecutive: AtomicU32,
+    state: AtomicU8,
+    /// When an open breaker may half-open, in µs since the server epoch.
+    open_until_us: AtomicU64,
+    /// Current cooldown; doubles on each trip, reset on close.
+    cooldown_us: AtomicU64,
+}
+
+/// What the worker's breaker gate says about the next request.
+enum Gate {
+    /// Serve it (normally, or as the half-open probe).
+    Admit,
+    /// Fail-fast: the breaker is open for this much longer.
+    Open(Duration),
+}
+
+impl Breaker {
+    fn new(base_cooldown_us: u64) -> Breaker {
+        Breaker {
+            consecutive: AtomicU32::new(0),
+            state: AtomicU8::new(BREAKER_CLOSED),
+            open_until_us: AtomicU64::new(0),
+            cooldown_us: AtomicU64::new(base_cooldown_us),
+        }
+    }
+
+    /// Worker-side gate, consulted before each decode.
+    fn gate(&self, now_us: u64) -> Gate {
+        match self.state.load(Ordering::Acquire) {
+            BREAKER_OPEN => {
+                let until = self.open_until_us.load(Ordering::Acquire);
+                if now_us >= until {
+                    // Cooldown elapsed: this request is the probe.
+                    self.state.store(BREAKER_HALF_OPEN, Ordering::Release);
+                    Gate::Admit
+                } else {
+                    Gate::Open(Duration::from_micros(until - now_us))
+                }
+            }
+            _ => Gate::Admit,
+        }
+    }
+
+    /// Submitter-side read-only check for routing.
+    fn is_open(&self, now_us: u64) -> bool {
+        self.state.load(Ordering::Acquire) == BREAKER_OPEN
+            && now_us < self.open_until_us.load(Ordering::Acquire)
+    }
+
+    /// A decode completed without panicking (decode errors included).
+    fn on_success(&self, base_cooldown_us: u64) {
+        self.consecutive.store(0, Ordering::Release);
+        if self.state.load(Ordering::Acquire) != BREAKER_CLOSED {
+            // Half-open probe succeeded: close and forget the backoff.
+            self.cooldown_us.store(base_cooldown_us, Ordering::Release);
+            self.state.store(BREAKER_CLOSED, Ordering::Release);
+        }
+    }
+
+    /// A decode panicked; returns true when this trips (or re-trips) the
+    /// breaker. A failed half-open probe re-trips immediately regardless
+    /// of the threshold.
+    fn on_panic(&self, threshold: u32, base_cooldown_us: u64, now_us: u64) -> bool {
+        let n = self.consecutive.fetch_add(1, Ordering::AcqRel) + 1;
+        let probe_failed = self.state.load(Ordering::Acquire) == BREAKER_HALF_OPEN;
+        if !probe_failed && n < threshold {
+            return false;
+        }
+        let cd = self.cooldown_us.load(Ordering::Acquire);
+        self.open_until_us.store(now_us + cd, Ordering::Release);
+        self.cooldown_us
+            .store((cd * 2).min(base_cooldown_us * 64), Ordering::Release);
+        self.state.store(BREAKER_OPEN, Ordering::Release);
+        true
+    }
+}
+
+/// Per-shard load estimate and calibration for SLO admission. The queue
+/// charge is written by submitters and credited back by the worker (hence
+/// signed — the two races harmlessly); the calibration EWMAs are written
+/// only by the shard's own worker.
+#[derive(Default)]
+struct ShardLoad {
+    /// Estimated microseconds of work queued on (or running in) the shard.
+    queued_us: AtomicI64,
+    /// EWMA of wall-seconds per §5.1 virtual second (f64 bits; 0 =
+    /// uncalibrated).
+    wall_per_virtual: AtomicU64,
+    /// EWMA of compressed bytes decoded per wall second (f64 bits; 0 =
+    /// uncalibrated). Mirrors the worker's [`Pacer`] for admission use.
+    bytes_per_sec: AtomicU64,
+}
+
+impl ShardLoad {
+    fn queued(&self) -> u64 {
+        self.queued_us.load(Ordering::Acquire).max(0) as u64
+    }
+
+    fn charge(&self, us: u64) {
+        self.queued_us.fetch_add(us as i64, Ordering::AcqRel);
+    }
+
+    fn credit(&self, us: u64) {
+        self.queued_us.fetch_sub(us as i64, Ordering::AcqRel);
+    }
+
+    fn ratio(&self) -> Option<f64> {
+        let v = f64::from_bits(self.wall_per_virtual.load(Ordering::Acquire));
+        (v > 0.0).then_some(v)
+    }
+
+    fn rate(&self) -> Option<f64> {
+        let v = f64::from_bits(self.bytes_per_sec.load(Ordering::Acquire));
+        (v > 0.0).then_some(v)
+    }
+
+    fn observe_ratio(&self, obs: f64) {
+        if !obs.is_finite() || obs <= 0.0 {
+            return;
+        }
+        let next = match self.ratio() {
+            Some(prev) => 0.7 * prev + 0.3 * obs,
+            None => obs,
+        };
+        self.wall_per_virtual
+            .store(next.to_bits(), Ordering::Release);
+    }
+
+    fn publish_rate(&self, rate: f64) {
+        if rate.is_finite() && rate > 0.0 {
+            self.bytes_per_sec.store(rate.to_bits(), Ordering::Release);
+        }
+    }
+}
+
+/// Session statistics retired by panic-recovery rebuilds: the cumulative
+/// history of every previous session of one shard, folded into stats
+/// snapshots so a rebuild never resets the shard's observable accounting.
+#[derive(Default)]
+struct RetiredTotals {
+    pool: hetjpeg_core::PoolStats,
+    spec: hetjpeg_jpeg::speculate::SpecStats,
+    progressive: hetjpeg_jpeg::progressive::ProgressiveStats,
+}
+
+/// Everything needed to (re)build one shard's `Decoder` session — kept so
+/// panic recovery can replace a poisoned session with an identical fresh
+/// one.
+struct SessionSpec {
+    platform: hetjpeg_core::Platform,
+    model: hetjpeg_core::model::PerformanceModel,
+    threads: usize,
+    auto_cache_cap: usize,
+}
+
+impl SessionSpec {
+    fn build(&self) -> Result<Decoder, hetjpeg_core::BuildError> {
+        Decoder::builder()
+            .platform(self.platform.clone())
+            .model(self.model.clone())
+            .threads(self.threads)
+            .auto_cache_cap(self.auto_cache_cap)
+            .build()
+    }
 }
 
 struct ShardState {
-    decoder: Arc<Decoder>,
-    counters: Arc<ShardCounters>,
+    /// The shard's current session. The worker holds its own working
+    /// clone; this shared slot exists so [`Server::stats`] snapshots the
+    /// *current* session even across rebuilds.
+    decoder: Mutex<Arc<Decoder>>,
+    retired: Mutex<RetiredTotals>,
+    counters: ShardCounters,
+    breaker: Breaker,
+    load: ShardLoad,
+    spec: SessionSpec,
 }
 
 struct Inner {
@@ -221,6 +532,22 @@ struct Inner {
     /// taking the senders is what lets the workers drain and exit.
     senders: Mutex<Option<Vec<crossbeam::channel::Sender<Request>>>>,
     shards: Vec<ShardState>,
+    /// Set before intake closes; workers draining a breaker-open queue
+    /// answer [`ServeError::Shutdown`] instead of `Busy` once this is set.
+    shutting_down: AtomicBool,
+    /// Server birth instant; breaker timestamps are µs offsets from it.
+    epoch: Instant,
+    plan: Option<Arc<FaultPlan>>,
+    breaker_threshold: u32,
+    breaker_base_us: u64,
+    opts: DecodeOptions,
+    scan_deadline: Option<Duration>,
+}
+
+impl Inner {
+    fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
 }
 
 /// The server: a pool of shard workers plus the shared intake state.
@@ -241,6 +568,43 @@ pub struct ServeHandle {
     inner: Arc<Inner>,
 }
 
+/// Install (once per process) a panic hook that stays silent for panics
+/// the shard workers are about to catch and convert into error replies —
+/// the default hook's backtrace spew would otherwise drown test output —
+/// and delegates every other panic to the previously installed hook.
+fn install_quiet_panic_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !SUPPRESS_PANIC_REPORT.with(|s| s.get()) {
+                prev(info);
+            }
+        }));
+    });
+}
+
+thread_local! {
+    static SUPPRESS_PANIC_REPORT: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// RAII guard that marks panics on this thread as handled (caught and
+/// converted to error replies) for the quiet panic hook.
+struct SuppressPanicReport;
+
+impl SuppressPanicReport {
+    fn new() -> SuppressPanicReport {
+        SUPPRESS_PANIC_REPORT.with(|s| s.set(true));
+        SuppressPanicReport
+    }
+}
+
+impl Drop for SuppressPanicReport {
+    fn drop(&mut self) {
+        SUPPRESS_PANIC_REPORT.with(|s| s.set(false));
+    }
+}
+
 impl Server {
     /// Validate `config`, build one `Decoder` session per shard and spawn
     /// the shard workers.
@@ -254,58 +618,72 @@ impl Server {
         if config.max_batch == 0 {
             return Err(ServeError::Config(ConfigError::ZeroMaxBatch));
         }
+        if config.breaker_threshold == 0 {
+            return Err(ServeError::Config(ConfigError::ZeroBreakerThreshold));
+        }
+        let plan = match config.fault_plan {
+            Some(plan) => Some(plan),
+            None => FaultPlan::from_env().map_err(|e| ServeError::Config(ConfigError::Fault(e)))?,
+        };
+        install_quiet_panic_hook();
 
+        let breaker_base_us = config.breaker_cooldown.as_micros().max(1) as u64;
         let mut senders = Vec::with_capacity(config.shards);
+        let mut receivers = Vec::with_capacity(config.shards);
         let mut shards = Vec::with_capacity(config.shards);
-        let mut workers = Vec::with_capacity(config.shards);
-        for i in 0..config.shards {
-            let model = config
-                .model
-                .clone()
-                .unwrap_or_else(|| config.platform.untrained_model());
-            let decoder = Decoder::builder()
-                .platform(config.platform.clone())
-                .model(model)
-                .threads(config.threads)
-                .auto_cache_cap(config.auto_cache_cap)
-                .build()
-                .map_err(|e| ServeError::Config(ConfigError::Session(e)))?;
-            let decoder = Arc::new(decoder);
-            let counters = Arc::new(ShardCounters::default());
+        for _ in 0..config.shards {
+            let spec = SessionSpec {
+                platform: config.platform.clone(),
+                model: config
+                    .model
+                    .clone()
+                    .unwrap_or_else(|| config.platform.untrained_model()),
+                threads: config.threads,
+                auto_cache_cap: config.auto_cache_cap,
+            };
+            let decoder = Arc::new(
+                spec.build()
+                    .map_err(|e| ServeError::Config(ConfigError::Session(e)))?,
+            );
             let (tx, rx) = crossbeam::channel::bounded::<Request>(config.queue_depth);
             senders.push(tx);
-            let worker_decoder = Arc::clone(&decoder);
-            let worker_counters = Arc::clone(&counters);
-            let opts = config.options;
+            receivers.push(rx);
+            shards.push(ShardState {
+                decoder: Mutex::new(decoder),
+                retired: Mutex::new(RetiredTotals::default()),
+                counters: ShardCounters::default(),
+                breaker: Breaker::new(breaker_base_us),
+                load: ShardLoad::default(),
+                spec,
+            });
+        }
+
+        let inner = Arc::new(Inner {
+            senders: Mutex::new(Some(senders)),
+            shards,
+            shutting_down: AtomicBool::new(false),
+            epoch: Instant::now(),
+            plan,
+            breaker_threshold: config.breaker_threshold,
+            breaker_base_us,
+            opts: config.options,
+            scan_deadline: config.scan_deadline,
+        });
+
+        let mut workers = Vec::with_capacity(config.shards);
+        for (i, rx) in receivers.into_iter().enumerate() {
+            let worker_inner = Arc::clone(&inner);
             let max_batch = config.max_batch;
             let flush_after = config.flush_after;
-            let scan_deadline = config.scan_deadline;
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("hetjpeg-shard-{i}"))
-                    .spawn(move || {
-                        shard_worker(
-                            &worker_decoder,
-                            &rx,
-                            opts,
-                            max_batch,
-                            flush_after,
-                            scan_deadline,
-                            &worker_counters,
-                        )
-                    })
+                    .spawn(move || shard_worker(&worker_inner, i, &rx, max_batch, flush_after))
                     .expect("spawn shard worker"),
             );
-            shards.push(ShardState { decoder, counters });
         }
 
-        Ok(Server {
-            inner: Arc::new(Inner {
-                senders: Mutex::new(Some(senders)),
-                shards,
-            }),
-            workers,
-        })
+        Ok(Server { inner, workers })
     }
 
     /// A cloneable submission handle bound to this server.
@@ -315,34 +693,56 @@ impl Server {
         }
     }
 
-    /// Snapshot of every shard's counters and session statistics.
+    /// Snapshot of every shard's counters and session statistics. Session
+    /// statistics are cumulative across panic-recovery rebuilds: retired
+    /// sessions' totals are folded into the current session's.
     pub fn stats(&self) -> ServerStats {
         ServerStats {
             shards: self
                 .inner
                 .shards
                 .iter()
-                .map(|s| ShardStats {
-                    requests: s.counters.requests.load(Ordering::Relaxed),
-                    batches: s.counters.batches.load(Ordering::Relaxed),
-                    decode_errors: s.counters.decode_errors.load(Ordering::Relaxed),
-                    max_batch: s.counters.max_batch.load(Ordering::Relaxed),
-                    deadline_partials: s.counters.deadline_partials.load(Ordering::Relaxed),
-                    session: s.decoder.stats(),
+                .map(|s| {
+                    let decoder = Arc::clone(&s.decoder.lock().expect("shard decoder slot"));
+                    let mut session = decoder.stats();
+                    let retired = s.retired.lock().expect("shard retired totals");
+                    session.pool.merge(&retired.pool);
+                    session.spec.merge(&retired.spec);
+                    session.progressive.merge(&retired.progressive);
+                    ShardStats {
+                        requests: s.counters.requests.load(Ordering::Relaxed),
+                        batches: s.counters.batches.load(Ordering::Relaxed),
+                        decode_errors: s.counters.decode_errors.load(Ordering::Relaxed),
+                        max_batch: s.counters.max_batch.load(Ordering::Relaxed),
+                        deadline_partials: s.counters.deadline_partials.load(Ordering::Relaxed),
+                        panics_recovered: s.counters.panics_recovered.load(Ordering::Relaxed),
+                        sessions_rebuilt: s.counters.sessions_rebuilt.load(Ordering::Relaxed),
+                        breaker_trips: s.counters.breaker_trips.load(Ordering::Relaxed),
+                        shed: s.counters.shed.load(Ordering::Relaxed),
+                        degraded: s.counters.degraded.load(Ordering::Relaxed),
+                        shutdown_drained: s.counters.shutdown_drained.load(Ordering::Relaxed),
+                        session,
+                    }
                 })
                 .collect(),
         }
     }
 
     /// Graceful shutdown: stop admitting, let every worker drain the
-    /// requests already queued (their replies are still delivered), join
-    /// the workers, and return the final statistics.
+    /// requests already queued (their replies are still delivered — as
+    /// decodes on healthy shards, as explicit [`ServeError::Shutdown`]
+    /// errors on breaker-open ones), join the workers, and return the
+    /// final statistics.
     pub fn shutdown(mut self) -> ServerStats {
         self.close_and_join();
         self.stats()
     }
 
     fn close_and_join(&mut self) {
+        // Order matters: workers must observe the flag before the queue
+        // disconnect so breaker-open shards drain with Shutdown (not Busy)
+        // errors.
+        self.inner.shutting_down.store(true, Ordering::Release);
         // Taking the senders closes every queue once outstanding submit()
         // clones finish their sends; workers then drain buffered requests
         // and exit on the disconnect.
@@ -364,14 +764,83 @@ impl ServeHandle {
     ///
     /// Admission prefers the image's home shard (shape-keyed, cache-hot)
     /// but never serializes a homogeneous workload behind one worker: when
-    /// the home queue is full the request spills to the next shard with
-    /// room, and only when *every* queue is full does the submit block on
-    /// the home shard (backpressure).
+    /// the home queue is full (or its circuit breaker is open) the request
+    /// spills to the next eligible shard with room, and only when *every*
+    /// queue is unavailable does the submit block on the home shard
+    /// (backpressure).
     pub fn submit(&self, data: Vec<u8>) -> Result<Ticket, ServeError> {
+        self.submit_with(data, SubmitOptions::default())
+    }
+
+    /// [`Self::submit`] with per-request SLO options. With a deadline set,
+    /// admission estimates the home shard's completion time (queued work
+    /// plus this request's predicted cost); infeasible requests are shed
+    /// with [`ServeError::Busy`] — or admitted degraded when
+    /// [`SubmitOptions::degrade`] opts in. An uncalibrated shard admits
+    /// optimistically; the worker still sheds or degrades requests whose
+    /// deadline has already passed when they reach the front of the queue,
+    /// so an admission mistake delays a request but never lets it decode
+    /// in full past its deadline silently.
+    pub fn submit_with(&self, data: Vec<u8>, options: SubmitOptions) -> Result<Ticket, ServeError> {
         let shards = self.inner.shards.len();
         let base = route(&data, shards);
+        let home = &self.inner.shards[base];
+
+        // SLO admission: price the request against the home shard.
+        let mut predicted_virtual_us = None;
+        let mut estimate_us = None;
+        if options.deadline.is_some() {
+            if hetjpeg_jpeg::progressive::is_progressive(&data) {
+                // `Decoder::predict` prices baseline pipelines only; for
+                // progressive sources the shard's measured byte throughput
+                // is the estimator (same signal as scan pacing).
+                estimate_us = home
+                    .load
+                    .rate()
+                    .map(|rate| (data.len() as f64 / rate * 1e6) as u64);
+            } else {
+                let decoder = Arc::clone(&home.decoder.lock().expect("shard decoder slot"));
+                if let Ok(d) = decoder.predict(&data) {
+                    let virtual_us = d
+                        .predictions
+                        .iter()
+                        .find(|p| p.mode == d.mode)
+                        .map(|p| (p.seconds * 1e6) as u64);
+                    predicted_virtual_us = virtual_us;
+                    estimate_us = match (virtual_us, home.load.ratio()) {
+                        (Some(v), Some(r)) => Some((v as f64 * r) as u64),
+                        _ => None,
+                    };
+                }
+            }
+        }
+        let mut degrade_now = false;
+        if let (Some(deadline), Some(est)) = (options.deadline, estimate_us) {
+            let completion_us = home.load.queued() + est;
+            if completion_us > deadline.as_micros() as u64 {
+                if options.degrade {
+                    degrade_now = true;
+                } else {
+                    home.counters.shed.fetch_add(1, Ordering::Relaxed);
+                    return Err(ServeError::Busy {
+                        retry_after: Duration::from_micros(home.load.queued().max(1000)),
+                    });
+                }
+            }
+        }
+
+        let charged_us = estimate_us.unwrap_or(0);
         let (reply, rx) = mpsc::channel();
-        let mut req = Request { data, reply };
+        let mut req = Request {
+            data,
+            reply,
+            deadline: options.deadline.map(|d| Instant::now() + d),
+            degrade: options.degrade,
+            degrade_now,
+            predicted_virtual_us,
+            charged_us,
+        };
+        let now_us = self.inner.now_us();
         // The non-blocking pass runs under the intake lock (try_send never
         // blocks); the fallback blocking send happens outside it so a
         // backpressured submitter cannot serialize other submitters or
@@ -384,11 +853,25 @@ impl ServeHandle {
             };
             let mut offset = 0;
             loop {
+                // Nothing non-blocking worked (every queue full or
+                // breaker-open): fall back to a blocking send on the home
+                // shard outside the lock. An open home breaker fail-fasts
+                // the request from the worker side.
                 if offset == shards {
                     break senders[base].clone();
                 }
-                match senders[(base + offset) % shards].try_send(req) {
-                    Ok(()) => return Ok(Ticket { rx }),
+                let idx = (base + offset) % shards;
+                // Route around tripped shards; their worker would only
+                // fail-fast the request anyway.
+                if self.inner.shards[idx].breaker.is_open(now_us) {
+                    offset += 1;
+                    continue;
+                }
+                match senders[idx].try_send(req) {
+                    Ok(()) => {
+                        self.inner.shards[idx].load.charge(charged_us);
+                        return Ok(Ticket { rx });
+                    }
                     Err(crossbeam::channel::TrySendError::Full(r)) => {
                         req = r;
                         offset += 1;
@@ -400,6 +883,7 @@ impl ServeHandle {
             }
         };
         tx.send(req).map_err(|_| ServeError::ShuttingDown)?;
+        self.inner.shards[base].load.charge(charged_us);
         Ok(Ticket { rx })
     }
 
@@ -407,14 +891,34 @@ impl ServeHandle {
     pub fn decode(&self, data: &[u8]) -> Result<DecodeOutcome, ServeError> {
         self.submit(data.to_vec())?.wait()
     }
+
+    /// Synchronous round trip with SLO options, returning the full
+    /// [`Served`] response (outcome + degradation flag).
+    pub fn decode_with(&self, data: &[u8], options: SubmitOptions) -> Result<Served, ServeError> {
+        self.submit_with(data.to_vec(), options)?.wait_served()
+    }
+
+    /// The shard this image would be routed to under shape-keyed routing
+    /// (before overflow spill) — the diagnostic tests and fault plans use
+    /// to aim shard-targeted rules.
+    pub fn home_shard(&self, data: &[u8]) -> usize {
+        route(data, self.inner.shards.len())
+    }
+
+    /// The active fault-injection plan, when one was configured — the
+    /// serving loops use it to wrap connection readers in
+    /// [`crate::fault::ChaosReader`] when the plan has read faults.
+    pub fn fault_plan(&self) -> Option<Arc<FaultPlan>> {
+        self.inner.plan.clone()
+    }
 }
 
 /// Measured decode throughput of one shard, in compressed bytes per
 /// second, smoothed over recent requests. Seeds the prediction behind
-/// [`crate::ServeConfig::scan_deadline`]: whole-request throughput is a
-/// deliberately coarse proxy (it folds entropy *and* render cost into one
-/// rate), but it needs no model training and self-corrects as the shard
-/// observes its own workload.
+/// [`crate::ServeConfig::scan_deadline`] and the progressive-admission
+/// estimate: whole-request throughput is a deliberately coarse proxy (it
+/// folds entropy *and* render cost into one rate), but it needs no model
+/// training and self-corrects as the shard observes its own workload.
 #[derive(Default)]
 struct Pacer {
     bytes_per_sec: Option<f64>,
@@ -468,18 +972,29 @@ fn paced_scan_limit(
     Some(k.max(1))
 }
 
+/// Extract a human-readable message from a caught panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// The per-shard consumer: block for the first request, coalesce until the
-/// batch is full or the flush deadline passes, decode the batch under one
-/// session lock, answer every reply slot.
+/// batch is full or the flush deadline passes, then serve each request of
+/// the group through the full resilience pipeline ([`serve_one`]).
 fn shard_worker(
-    decoder: &Decoder,
+    inner: &Inner,
+    shard: usize,
     rx: &crossbeam::channel::Receiver<Request>,
-    opts: hetjpeg_core::DecodeOptions,
     max_batch: usize,
-    flush_after: std::time::Duration,
-    scan_deadline: Option<std::time::Duration>,
-    counters: &ShardCounters,
+    flush_after: Duration,
 ) {
+    let state = &inner.shards[shard];
+    let mut decoder = Arc::clone(&state.decoder.lock().expect("shard decoder slot"));
     let mut batch: Vec<Request> = Vec::with_capacity(max_batch);
     let mut pacer = Pacer::default();
     loop {
@@ -503,52 +1018,203 @@ fn shard_worker(
             }
         }
 
-        let outs: Vec<Result<DecodeOutcome, Error>> = match scan_deadline {
-            None => {
-                let datas: Vec<&[u8]> = batch.iter().map(|r| r.data.as_slice()).collect();
-                decoder.decode_batch(&datas, opts)
-            }
-            // Pacing needs per-request options (a reduced scan limit) and
-            // per-request timing, so the batch decodes request by request;
-            // the session still amortizes its pools across them.
-            Some(budget) => batch
-                .iter()
-                .map(|r| {
-                    let limit = paced_scan_limit(&r.data, budget, pacer.bytes_per_sec);
-                    let o = match limit {
-                        Some(k) => opts.max_scans(match opts.max_scans {
-                            Some(m) => m.min(k),
-                            None => k,
-                        }),
-                        None => opts,
-                    };
-                    let t0 = Instant::now();
-                    let out = decoder.decode(&r.data, o);
-                    pacer.observe(r.data.len(), t0.elapsed());
-                    if limit.is_some() && out.is_ok() {
-                        counters.deadline_partials.fetch_add(1, Ordering::Relaxed);
-                    }
-                    out
-                })
-                .collect(),
-        };
-
-        counters.batches.fetch_add(1, Ordering::Relaxed);
-        counters
+        state.counters.batches.fetch_add(1, Ordering::Relaxed);
+        state
+            .counters
             .requests
             .fetch_add(batch.len() as u64, Ordering::Relaxed);
-        counters
+        state
+            .counters
             .max_batch
             .fetch_max(batch.len() as u64, Ordering::Relaxed);
-        let errors = outs.iter().filter(|o| o.is_err()).count() as u64;
-        if errors > 0 {
-            counters.decode_errors.fetch_add(errors, Ordering::Relaxed);
-        }
-        for (req, out) in batch.drain(..).zip(outs) {
-            // A vanished waiter (dropped Ticket) is not an error.
-            let _ = req.reply.send(out);
+        for req in batch.drain(..) {
+            serve_one(inner, shard, &mut decoder, &mut pacer, req);
         }
     }
+}
+
+/// Serve one request end to end: fault sites, breaker gate, late-deadline
+/// shed/degrade, the `catch_unwind`-isolated decode, panic recovery with
+/// session rebuild, calibration, and the reply.
+fn serve_one(
+    inner: &Inner,
+    shard: usize,
+    decoder: &mut Arc<Decoder>,
+    pacer: &mut Pacer,
+    req: Request,
+) {
+    let state = &inner.shards[shard];
+    let counters = &state.counters;
+
+    // Fault site: artificial per-request latency (a stalled worker).
+    if let Some(plan) = &inner.plan {
+        if let Some(d) = plan.latency(Some(shard)) {
+            std::thread::sleep(d);
+        }
+    }
+
+    // Circuit-breaker gate: an open shard fail-fasts its queue instead of
+    // decoding on a session that keeps panicking.
+    if let Gate::Open(retry_after) = state.breaker.gate(inner.now_us()) {
+        let reply = if inner.shutting_down.load(Ordering::Acquire) {
+            counters.shutdown_drained.fetch_add(1, Ordering::Relaxed);
+            Err(ServeError::Shutdown)
+        } else {
+            counters.shed.fetch_add(1, Ordering::Relaxed);
+            Err(ServeError::Busy { retry_after })
+        };
+        let _ = req.reply.send(reply);
+        state.load.credit(req.charged_us);
+        return;
+    }
+
+    // Late-deadline check: admission was optimistic (or the queue slower
+    // than estimated) and the deadline has already passed. Shed or degrade
+    // now — never decode in full past a deadline silently.
+    let mut degrade_now = req.degrade_now;
+    if let Some(dl) = req.deadline {
+        if Instant::now() >= dl {
+            if req.degrade {
+                degrade_now = true;
+            } else {
+                counters.shed.fetch_add(1, Ordering::Relaxed);
+                let _ = req.reply.send(Err(ServeError::Busy {
+                    retry_after: Duration::from_micros(state.load.queued().max(1000)),
+                }));
+                state.load.credit(req.charged_us);
+                return;
+            }
+        }
+    }
+
+    // Assemble this request's decode options: base config, scan-deadline
+    // pacing, degradation ladder, alloc-cap fault.
+    let mut opts = inner.opts;
+    let mut scan_limit = inner
+        .scan_deadline
+        .and_then(|budget| paced_scan_limit(&req.data, budget, pacer.bytes_per_sec));
+    let paced = scan_limit.is_some();
+    let mut degraded = false;
+    if degrade_now {
+        if hetjpeg_jpeg::progressive::is_progressive(&req.data) {
+            // Degrade to the largest scan prefix the remaining budget can
+            // absorb; a missed deadline floors at the DC-only render.
+            let remaining = req
+                .deadline
+                .map(|d| d.saturating_duration_since(Instant::now()))
+                .unwrap_or(Duration::ZERO);
+            let k = if remaining.is_zero() {
+                Some(1)
+            } else {
+                paced_scan_limit(&req.data, remaining, pacer.bytes_per_sec)
+            };
+            if let Some(k) = k {
+                scan_limit = Some(scan_limit.map_or(k, |l| l.min(k)));
+                degraded = true;
+            }
+        } else {
+            opts = opts.tolerant();
+            degraded = true;
+        }
+    }
+    if let Some(k) = scan_limit {
+        opts = opts.max_scans(match opts.max_scans {
+            Some(m) => m.min(k),
+            None => k,
+        });
+    }
+    if let Some(plan) = &inner.plan {
+        // Fault site: allocation-cap failure — flows the decoder's real
+        // decompression-bomb guard path, not a simulated error.
+        if plan.fires(FaultSite::AllocCap, Some(shard)) {
+            opts = opts.max_pixels(1);
+        }
+    }
+
+    // Fault site: decode panic, injected inside the session lock so it
+    // poisons the session exactly as a real mid-decode panic would.
+    let inject_panic = inner
+        .plan
+        .as_ref()
+        .is_some_and(|p| p.fires(FaultSite::Panic, Some(shard)));
+
+    let t0 = Instant::now();
+    let result = {
+        let _quiet = SuppressPanicReport::new();
+        let d = &**decoder;
+        let data = &req.data;
+        catch_unwind(AssertUnwindSafe(move || {
+            if inject_panic {
+                d.inject_panic("injected decode panic");
+            }
+            d.decode(data, opts)
+        }))
+    };
+    match result {
+        Ok(out) => {
+            state.breaker.on_success(inner.breaker_base_us);
+            let wall = t0.elapsed();
+            pacer.observe(req.data.len(), wall);
+            if let Some(rate) = pacer.bytes_per_sec {
+                state.load.publish_rate(rate);
+            }
+            if let Some(v_us) = req.predicted_virtual_us {
+                if v_us > 0 {
+                    state
+                        .load
+                        .observe_ratio(wall.as_micros() as f64 / v_us as f64);
+                }
+            }
+            match out {
+                Ok(outcome) => {
+                    if paced {
+                        counters.deadline_partials.fetch_add(1, Ordering::Relaxed);
+                    }
+                    if degraded {
+                        counters.degraded.fetch_add(1, Ordering::Relaxed);
+                    }
+                    let _ = req.reply.send(Ok(Served { outcome, degraded }));
+                }
+                Err(e) => {
+                    counters.decode_errors.fetch_add(1, Ordering::Relaxed);
+                    let _ = req.reply.send(Err(ServeError::Decode(e)));
+                }
+            }
+        }
+        Err(payload) => {
+            let msg = panic_message(payload);
+            counters.panics_recovered.fetch_add(1, Ordering::Relaxed);
+            // The panic poisoned the session's workspace lock; rebuild a
+            // fresh identical session and retire the old one's statistics
+            // so the shard's cumulative accounting survives.
+            // Rebuild failure is impossible for a config that already built
+            // once; if it somehow happens, keep the poisoned session — every
+            // decode on it panics, is caught here, and the breaker walls the
+            // shard off.
+            if let Ok(fresh) = state.spec.build() {
+                let old = decoder.stats();
+                {
+                    let mut retired = state.retired.lock().expect("shard retired totals");
+                    retired.pool.merge(&old.pool);
+                    retired.spec.merge(&old.spec);
+                    retired.progressive.merge(&old.progressive);
+                }
+                let fresh = Arc::new(fresh);
+                *state.decoder.lock().expect("shard decoder slot") = Arc::clone(&fresh);
+                *decoder = fresh;
+                counters.sessions_rebuilt.fetch_add(1, Ordering::Relaxed);
+            }
+            if state.breaker.on_panic(
+                inner.breaker_threshold,
+                inner.breaker_base_us,
+                inner.now_us(),
+            ) {
+                counters.breaker_trips.fetch_add(1, Ordering::Relaxed);
+            }
+            let _ = req.reply.send(Err(ServeError::Panicked(msg)));
+        }
+    }
+    state.load.credit(req.charged_us);
 }
 
 /// Home shard for an image, by its shape fingerprint ([`ServeHandle::submit`]
@@ -714,6 +1380,10 @@ mod tests {
             threads: 0,
             ..ServeConfig::default()
         }));
+        assert!(bad(ServeConfig {
+            breaker_threshold: 0,
+            ..ServeConfig::default()
+        }));
     }
 
     #[test]
@@ -807,5 +1477,145 @@ mod tests {
         assert!(handle.decode(&j).is_ok());
         server.shutdown();
         assert!(matches!(handle.submit(j), Err(ServeError::ShuttingDown)));
+    }
+
+    #[test]
+    fn breaker_trips_after_consecutive_panics_and_half_open_probe_closes_it() {
+        let server = Server::start(ServeConfig {
+            shards: 1,
+            breaker_threshold: 2,
+            breaker_cooldown: Duration::from_millis(50),
+            fault_plan: Some(Arc::new(
+                // The first two decodes on the shard panic; everything
+                // after decodes normally, so the half-open probe succeeds.
+                FaultPlan::parse("panic=#1,panic=#2").unwrap(),
+            )),
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let handle = server.handle();
+        let j = jpeg(64, 64, 9);
+
+        // Panic 1: recovered, session rebuilt, breaker still closed.
+        assert!(matches!(
+            handle.decode(&j),
+            Err(ServeError::Panicked(msg)) if msg.contains("injected")
+        ));
+        // Panic 2: recovered and trips the breaker (threshold 2).
+        assert!(matches!(handle.decode(&j), Err(ServeError::Panicked(_))));
+        // Open breaker fail-fasts with Busy and a retry hint.
+        match handle.decode(&j) {
+            Err(ServeError::Busy { retry_after }) => {
+                assert!(retry_after <= Duration::from_millis(50));
+            }
+            other => panic!("expected Busy from open breaker, got {other:?}"),
+        }
+        // After the cooldown the next request is the half-open probe; the
+        // fault plan is exhausted, so it succeeds and closes the breaker.
+        std::thread::sleep(Duration::from_millis(120));
+        let probe = handle.decode(&j).expect("half-open probe decodes");
+        assert_eq!(probe.image.data.len(), 64 * 64 * 3);
+        let after = handle.decode(&j).expect("breaker closed again");
+        assert_eq!(after.image.data, probe.image.data);
+
+        let stats = server.shutdown();
+        assert_eq!(stats.panics_recovered(), 2);
+        assert_eq!(stats.sessions_rebuilt(), 2);
+        assert_eq!(stats.breaker_trips(), 1);
+        assert_eq!(stats.shed(), 1);
+        assert_eq!(stats.decode_errors(), 0);
+    }
+
+    #[test]
+    fn infeasible_deadlines_are_shed_or_degraded() {
+        let server = Server::start(ServeConfig {
+            shards: 1,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let handle = server.handle();
+        let j = jpeg(96, 96, 21);
+
+        // Warm-up with generous deadlines: the first requests are admitted
+        // optimistically (no calibration yet) and teach the shard its
+        // wall-per-virtual ratio.
+        for _ in 0..3 {
+            let s = handle
+                .decode_with(
+                    &j,
+                    SubmitOptions {
+                        deadline: Some(Duration::from_secs(10)),
+                        degrade: false,
+                    },
+                )
+                .expect("feasible deadline decodes");
+            assert!(!s.degraded);
+        }
+
+        // A zero deadline is infeasible once calibrated: shed with Busy.
+        match handle.decode_with(
+            &j,
+            SubmitOptions {
+                deadline: Some(Duration::ZERO),
+                degrade: false,
+            },
+        ) {
+            Err(ServeError::Busy { retry_after }) => {
+                assert!(retry_after > Duration::ZERO);
+            }
+            other => panic!("expected Busy shed, got {other:?}"),
+        }
+
+        // Same deadline with degrade opted in: served tolerant, flagged.
+        let s = handle
+            .decode_with(
+                &j,
+                SubmitOptions {
+                    deadline: Some(Duration::ZERO),
+                    degrade: true,
+                },
+            )
+            .expect("degraded service instead of shed");
+        assert!(s.degraded);
+        assert_eq!(s.outcome.image.data.len(), 96 * 96 * 3);
+
+        let stats = server.shutdown();
+        assert_eq!(stats.shed(), 1);
+        assert_eq!(stats.degraded(), 1);
+        assert_eq!(stats.requests(), 4, "the shed request never queued");
+    }
+
+    #[test]
+    fn infeasible_progressive_deadline_degrades_to_prefix_render() {
+        let server = Server::start(ServeConfig {
+            shards: 1,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let handle = server.handle();
+        let prog = progressive_jpeg(128, 96, 5);
+
+        // Seed the byte-throughput estimate (progressive admission prices
+        // by measured rate, not the §5.1 model).
+        let full = handle.decode(&prog).expect("seed decode");
+        assert!(!full.truncated);
+
+        let s = handle
+            .decode_with(
+                &prog,
+                SubmitOptions {
+                    deadline: Some(Duration::ZERO),
+                    degrade: true,
+                },
+            )
+            .expect("degraded prefix render");
+        assert!(s.degraded);
+        assert!(s.outcome.truncated, "prefix render is flagged truncated");
+        assert_eq!(s.outcome.image.data.len(), 128 * 96 * 3);
+        assert_ne!(s.outcome.image.data, full.image.data);
+
+        let stats = server.shutdown();
+        assert_eq!(stats.degraded(), 1);
+        assert_eq!(stats.progressive().partial_renders, 1);
     }
 }

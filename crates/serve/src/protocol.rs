@@ -1,25 +1,51 @@
 //! The length-prefixed wire protocol and the TCP/stdio serving loops.
 //!
 //! Framing is deliberately minimal — the interesting machinery (sharding,
-//! batch admission) lives behind [`ServeHandle`]; the wire just carries
-//! bytes in and pixels out:
+//! batch admission, SLO shedding) lives behind [`ServeHandle`]; the wire
+//! just carries bytes in and pixels out:
 //!
 //! ```text
-//! request  := u32_be length | length bytes of JPEG        (length 0 = goodbye)
-//! response := 0u8 | u32_be width | u32_be height | u32_be n | n bytes RGB
-//!           | 1u8 | u32_be n | n bytes of UTF-8 error message
+//! request  := u32_be length | payload                 (length 0 = goodbye)
+//!   v1: payload = length bytes of JPEG
+//!   v2: length prefix has bit 31 set; payload =
+//!       version(1)=2 | flags(1) | u32_be deadline_us | u32_be jpeg_len | jpeg
+//! response := 0u8  | u32_be width | u32_be height | u32_be n | n bytes RGB
+//!           | 1u8  | u32_be n | n bytes of UTF-8 error message
+//!           | 2u8  | u32_be retry_after_us                    (busy / shed)
+//!           | 3u8                                             (shutdown drain)
+//!           | 4u8  | u32_be width | u32_be height | u32_be n | n bytes RGB
+//!                                                             (degraded ok)
 //! ```
+//!
+//! The v2 length-prefix flag bit is unambiguous because [`MAX_FRAME`] keeps
+//! every legal v1 length far below `1 << 31`; a v1-only server reading a v2
+//! frame fails the length guard instead of misparsing the payload. `flags`
+//! bit 0 is *degrade-ok*: the client prefers a degraded response (scan-
+//! prefix render or tolerant salvage) over a `Busy` shed when its deadline
+//! is infeasible. `deadline_us == 0` means no deadline; sub-microsecond
+//! deadlines round up to 1 µs. Statuses 2–4 are only ever sent in reply to
+//! v2 frames — v1 requests have no deadline, never shed, and cannot opt
+//! into degradation — so v1 clients never see a status byte they don't
+//! know.
 //!
 //! Responses are written in request order. A connection may pipeline:
 //! [`serve_connection`] submits every request as it is read and answers
 //! from a writer thread, so consecutive frames from one client can still
 //! coalesce into one shard batch.
+//!
+//! Every read in this module goes through an explicit EINTR-retrying
+//! `read_full` loop rather than the reader's own `read_exact`: a wrapped
+//! reader (TLS adapters, the chaos harness's [`ChaosReader`]) may surface
+//! `ErrorKind::Interrupted` from `read` without retrying it, and a stray
+//! signal must not tear down a healthy connection mid-frame.
 
-use crate::pool::{ServeHandle, Ticket};
+use crate::fault::ChaosReader;
+use crate::pool::{ServeHandle, Served, SubmitOptions, Ticket};
 use crate::ServeError;
 use std::io::{self, Read, Write};
 use std::net::TcpListener;
 use std::sync::mpsc;
+use std::time::Duration;
 
 /// Request-frame guard: a length prefix above this is treated as a
 /// protocol error rather than an allocation request (64 MiB is far beyond
@@ -33,6 +59,18 @@ pub const MAX_FRAME: u32 = 64 << 20;
 /// the stream as corrupt.
 pub const MAX_RESPONSE: u32 = 1 << 30;
 
+/// Length-prefix bit marking a protocol-v2 request frame.
+pub const FRAME_V2_FLAG: u32 = 1 << 31;
+
+/// Bytes of v2 payload header before the JPEG: version, flags,
+/// deadline_us, jpeg_len.
+pub const V2_HEADER_LEN: usize = 10;
+
+/// Request-flag bit 0: the client opts into degraded service (prefix
+/// render / tolerant salvage) instead of a `Busy` shed when its deadline
+/// is infeasible.
+pub const FLAG_DEGRADE_OK: u8 = 1;
+
 /// A successfully decoded response frame, as read back by a client.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ResponseFrame {
@@ -44,7 +82,84 @@ pub struct ResponseFrame {
     pub rgb: Vec<u8>,
 }
 
-/// Client side: write one request frame.
+/// One parsed request frame: the JPEG plus the per-request submission
+/// options a v2 header carried (v1 frames parse with default options).
+#[derive(Debug, Clone)]
+pub struct RequestFrame {
+    /// The compressed image.
+    pub jpeg: Vec<u8>,
+    /// Deadline / degrade options ([`ServeHandle::submit_with`]).
+    pub options: SubmitOptions,
+}
+
+/// A server reply, as read back by a client — the wire-level mirror of
+/// `Result<Served, ServeError>`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServerReply {
+    /// Full-fidelity decode (status 0).
+    Ok(ResponseFrame),
+    /// Decode served degraded to meet its deadline (status 4): a scan-
+    /// prefix render or tolerant salvage, as opted into by
+    /// [`FLAG_DEGRADE_OK`].
+    Degraded(ResponseFrame),
+    /// Per-request failure, UTF-8 message (status 1).
+    Error(String),
+    /// The request was shed — deadline infeasible or shard breaker open
+    /// (status 2); retry after the hint.
+    Busy {
+        /// Server-suggested wait before retrying.
+        retry_after: Duration,
+    },
+    /// The request was drained by server shutdown before decode (status 3).
+    Shutdown,
+}
+
+impl ServerReply {
+    /// The decoded frame, for both full-fidelity and degraded successes.
+    pub fn frame(&self) -> Option<&ResponseFrame> {
+        match self {
+            ServerReply::Ok(f) | ServerReply::Degraded(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// Consume the reply; `Err` carries a human-readable description for
+    /// the non-success statuses.
+    pub fn into_frame(self) -> Result<ResponseFrame, String> {
+        match self {
+            ServerReply::Ok(f) | ServerReply::Degraded(f) => Ok(f),
+            ServerReply::Error(msg) => Err(msg),
+            ServerReply::Busy { retry_after } => {
+                Err(format!("busy: retry after {}us", retry_after.as_micros()))
+            }
+            ServerReply::Shutdown => Err("server shutdown".to_string()),
+        }
+    }
+}
+
+/// Read exactly `buf.len()` bytes, retrying `ErrorKind::Interrupted`
+/// (EINTR) and converting a mid-frame EOF into `UnexpectedEof`. Used for
+/// every framed read instead of the reader's own `read_exact` — see the
+/// module docs.
+fn read_full(r: &mut impl Read, buf: &mut [u8]) -> io::Result<()> {
+    let mut got = 0usize;
+    while got < buf.len() {
+        match r.read(&mut buf[got..]) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "stream ended mid-frame",
+                ))
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// Client side: write one v1 request frame.
 pub fn write_request(w: &mut impl Write, jpeg: &[u8]) -> io::Result<()> {
     if jpeg.len() as u64 > MAX_FRAME as u64 {
         return Err(io::Error::new(
@@ -57,31 +172,66 @@ pub fn write_request(w: &mut impl Write, jpeg: &[u8]) -> io::Result<()> {
     w.flush()
 }
 
+/// Client side: write one v2 request frame carrying an optional deadline
+/// and the degrade-ok flag. `deadline` is relative to submission;
+/// sub-microsecond deadlines round up to 1 µs (0 on the wire means "no
+/// deadline").
+pub fn write_request_v2(
+    w: &mut impl Write,
+    jpeg: &[u8],
+    deadline: Option<Duration>,
+    degrade_ok: bool,
+) -> io::Result<()> {
+    let total = jpeg.len() as u64 + V2_HEADER_LEN as u64;
+    if total > MAX_FRAME as u64 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "request exceeds MAX_FRAME",
+        ));
+    }
+    let deadline_us = deadline
+        .map(|d| d.as_micros().clamp(1, u32::MAX as u128) as u32)
+        .unwrap_or(0);
+    let flags = if degrade_ok { FLAG_DEGRADE_OK } else { 0 };
+    w.write_all(&((total as u32) | FRAME_V2_FLAG).to_be_bytes())?;
+    w.write_all(&[2u8, flags])?;
+    w.write_all(&deadline_us.to_be_bytes())?;
+    w.write_all(&(jpeg.len() as u32).to_be_bytes())?;
+    w.write_all(jpeg)?;
+    w.flush()
+}
+
 /// Client side: write the zero-length goodbye frame.
 pub fn write_goodbye(w: &mut impl Write) -> io::Result<()> {
     w.write_all(&0u32.to_be_bytes())?;
     w.flush()
 }
 
-/// Server side: read one request frame. `Ok(None)` on a clean end of
-/// stream (EOF at a frame boundary, or the zero-length goodbye).
-pub fn read_request(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+/// Server side: read one request frame (either version). `Ok(None)` on a
+/// clean end of stream (EOF at a frame boundary, or the zero-length
+/// goodbye).
+pub fn read_request(r: &mut impl Read) -> io::Result<Option<RequestFrame>> {
     let mut len_buf = [0u8; 4];
-    // EOF before the first length byte is a clean close. Retry EINTR here
-    // the same way read_exact does for the remaining prefix bytes — a
-    // stray signal must not tear down a healthy connection.
-    loop {
-        match r.read(&mut len_buf) {
-            Ok(0) => return Ok(None),
-            Ok(n) => {
-                r.read_exact(&mut len_buf[n..])?;
-                break;
+    // EOF before the first length byte is a clean close; EINTR anywhere in
+    // the prefix is retried.
+    let mut got = 0usize;
+    while got < 4 {
+        match r.read(&mut len_buf[got..]) {
+            Ok(0) if got == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "stream ended mid-prefix",
+                ))
             }
+            Ok(n) => got += n,
             Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
             Err(e) => return Err(e),
         }
     }
-    let len = u32::from_be_bytes(len_buf);
+    let raw = u32::from_be_bytes(len_buf);
+    let v2 = raw & FRAME_V2_FLAG != 0;
+    let len = raw & !FRAME_V2_FLAG;
     if len == 0 {
         return Ok(None);
     }
@@ -91,33 +241,70 @@ pub fn read_request(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
             "request length exceeds MAX_FRAME",
         ));
     }
-    let mut data = vec![0u8; len as usize];
-    r.read_exact(&mut data)?;
-    Ok(Some(data))
+    let mut payload = vec![0u8; len as usize];
+    read_full(r, &mut payload)?;
+    if !v2 {
+        return Ok(Some(RequestFrame {
+            jpeg: payload,
+            options: SubmitOptions::default(),
+        }));
+    }
+    if payload.len() < V2_HEADER_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "v2 frame shorter than its header",
+        ));
+    }
+    if payload[0] != 2 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unknown request version {}", payload[0]),
+        ));
+    }
+    let flags = payload[1];
+    let deadline_us = u32::from_be_bytes([payload[2], payload[3], payload[4], payload[5]]);
+    let jpeg_len = u32::from_be_bytes([payload[6], payload[7], payload[8], payload[9]]);
+    if jpeg_len as usize != payload.len() - V2_HEADER_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "v2 jpeg_len disagrees with frame length",
+        ));
+    }
+    payload.drain(..V2_HEADER_LEN);
+    Ok(Some(RequestFrame {
+        jpeg: payload,
+        options: SubmitOptions {
+            deadline: (deadline_us > 0).then(|| Duration::from_micros(deadline_us as u64)),
+            degrade: flags & FLAG_DEGRADE_OK != 0,
+        },
+    }))
 }
 
-/// Server side: write one response frame from a decode result.
-pub fn write_response(
-    w: &mut impl Write,
-    result: &Result<hetjpeg_core::DecodeOutcome, ServeError>,
-) -> io::Result<()> {
+/// Server side: write one response frame from a serve result.
+pub fn write_response(w: &mut impl Write, result: &Result<Served, ServeError>) -> io::Result<()> {
     match result {
-        Ok(out) if out.image.data.len() as u64 > MAX_RESPONSE as u64 => write_error(
+        Ok(s) if s.outcome.image.data.len() as u64 > MAX_RESPONSE as u64 => write_error(
             w,
             &format!(
                 "decoded image is {} bytes, over the {} byte response cap",
-                out.image.data.len(),
+                s.outcome.image.data.len(),
                 MAX_RESPONSE
             ),
         )?,
-        Ok(out) if !out.image.data.is_empty() => {
-            w.write_all(&[0u8])?;
-            w.write_all(&(out.image.width as u32).to_be_bytes())?;
-            w.write_all(&(out.image.height as u32).to_be_bytes())?;
-            w.write_all(&(out.image.data.len() as u32).to_be_bytes())?;
-            w.write_all(&out.image.data)?;
+        Ok(s) if !s.outcome.image.data.is_empty() => {
+            w.write_all(&[if s.degraded { 4u8 } else { 0u8 }])?;
+            w.write_all(&(s.outcome.image.width as u32).to_be_bytes())?;
+            w.write_all(&(s.outcome.image.height as u32).to_be_bytes())?;
+            w.write_all(&(s.outcome.image.data.len() as u32).to_be_bytes())?;
+            w.write_all(&s.outcome.image.data)?;
         }
         Ok(_) => write_error(w, "server produced no RGB output (planar options?)")?,
+        Err(ServeError::Busy { retry_after }) => {
+            w.write_all(&[2u8])?;
+            let us = retry_after.as_micros().min(u32::MAX as u128) as u32;
+            w.write_all(&us.to_be_bytes())?;
+        }
+        Err(ServeError::Shutdown) => w.write_all(&[3u8])?,
         Err(e) => write_error(w, &e.to_string())?,
     }
     w.flush()
@@ -130,19 +317,20 @@ fn write_error(w: &mut impl Write, msg: &str) -> io::Result<()> {
     w.write_all(bytes)
 }
 
-/// Client side: read one response frame. The outer `Result` is transport
-/// failure; the inner carries the server's per-request error message.
-pub fn read_response(r: &mut impl Read) -> io::Result<Result<ResponseFrame, String>> {
+/// Client side: read one response frame. The `Result` is transport
+/// failure; per-request outcomes (including errors, sheds and the
+/// shutdown drain) arrive in-band as [`ServerReply`] variants.
+pub fn read_response(r: &mut impl Read) -> io::Result<ServerReply> {
     let mut status = [0u8; 1];
-    r.read_exact(&mut status)?;
+    read_full(r, &mut status)?;
     let mut u32_buf = [0u8; 4];
     match status[0] {
-        0 => {
-            r.read_exact(&mut u32_buf)?;
+        s @ (0 | 4) => {
+            read_full(r, &mut u32_buf)?;
             let width = u32::from_be_bytes(u32_buf);
-            r.read_exact(&mut u32_buf)?;
+            read_full(r, &mut u32_buf)?;
             let height = u32::from_be_bytes(u32_buf);
-            r.read_exact(&mut u32_buf)?;
+            read_full(r, &mut u32_buf)?;
             let len = u32::from_be_bytes(u32_buf);
             if len > MAX_RESPONSE {
                 return Err(io::Error::new(
@@ -151,11 +339,16 @@ pub fn read_response(r: &mut impl Read) -> io::Result<Result<ResponseFrame, Stri
                 ));
             }
             let mut rgb = vec![0u8; len as usize];
-            r.read_exact(&mut rgb)?;
-            Ok(Ok(ResponseFrame { width, height, rgb }))
+            read_full(r, &mut rgb)?;
+            let frame = ResponseFrame { width, height, rgb };
+            Ok(if s == 0 {
+                ServerReply::Ok(frame)
+            } else {
+                ServerReply::Degraded(frame)
+            })
         }
         1 => {
-            r.read_exact(&mut u32_buf)?;
+            read_full(r, &mut u32_buf)?;
             let len = u32::from_be_bytes(u32_buf);
             if len > MAX_FRAME {
                 // A clamped partial read would desync the stream; treat an
@@ -167,9 +360,18 @@ pub fn read_response(r: &mut impl Read) -> io::Result<Result<ResponseFrame, Stri
                 ));
             }
             let mut msg = vec![0u8; len as usize];
-            r.read_exact(&mut msg)?;
-            Ok(Err(String::from_utf8_lossy(&msg).into_owned()))
+            read_full(r, &mut msg)?;
+            Ok(ServerReply::Error(
+                String::from_utf8_lossy(&msg).into_owned(),
+            ))
         }
+        2 => {
+            read_full(r, &mut u32_buf)?;
+            Ok(ServerReply::Busy {
+                retry_after: Duration::from_micros(u32::from_be_bytes(u32_buf) as u64),
+            })
+        }
+        3 => Ok(ServerReply::Shutdown),
         s => Err(io::Error::new(
             io::ErrorKind::InvalidData,
             format!("unknown response status {s}"),
@@ -193,16 +395,16 @@ pub fn serve_connection(
         let responder = s.spawn(move || -> io::Result<u64> {
             let mut n = 0u64;
             for ticket in rx {
-                let result = ticket.and_then(Ticket::wait);
+                let result = ticket.and_then(Ticket::wait_served);
                 write_response(writer, &result)?;
                 n += 1;
             }
             Ok(n)
         });
-        while let Some(data) = read_request(reader)? {
-            // Submission errors (shutdown) still produce an in-order
-            // response frame for this request.
-            let submitted = handle.submit(data);
+        while let Some(frame) = read_request(reader)? {
+            // Submission errors (shutdown, admission sheds) still produce
+            // an in-order response frame for this request.
+            let submitted = handle.submit_with(frame.jpeg, frame.options);
             if tx.send(submitted).is_err() {
                 break; // responder hit an I/O error and hung up
             }
@@ -230,7 +432,9 @@ pub const MAX_CONNECTIONS: usize = 256;
 ///
 /// Per-connection accept failures (a client resetting mid-handshake,
 /// transient fd exhaustion) are skipped rather than allowed to take the
-/// whole accept loop — and with it the server — down.
+/// whole accept loop — and with it the server — down. When the active
+/// fault plan carries read faults, every connection reader is wrapped in a
+/// [`ChaosReader`]; a torn connection kills only that connection.
 pub fn serve_tcp(handle: &ServeHandle, listener: TcpListener) -> io::Result<()> {
     use std::sync::atomic::{AtomicUsize, Ordering};
     let active = AtomicUsize::new(0);
@@ -265,8 +469,18 @@ pub fn serve_tcp(handle: &ServeHandle, listener: TcpListener) -> io::Result<()> 
             }
             let conn_handle = handle.clone();
             s.spawn(move || {
-                if let Ok(mut reader) = stream.try_clone() {
-                    let _ = serve_connection(&conn_handle, &mut reader, &mut stream);
+                if let Ok(reader) = stream.try_clone() {
+                    let chaos = conn_handle.fault_plan().filter(|p| p.has_read_faults());
+                    let _ = match chaos {
+                        Some(plan) => {
+                            let mut reader = ChaosReader::new(reader, plan);
+                            serve_connection(&conn_handle, &mut reader, &mut stream)
+                        }
+                        None => {
+                            let mut reader = reader;
+                            serve_connection(&conn_handle, &mut reader, &mut stream)
+                        }
+                    };
                     let _ = stream.shutdown(std::net::Shutdown::Both);
                 }
                 active.fetch_sub(1, Ordering::AcqRel);
@@ -281,16 +495,27 @@ pub fn serve_tcp(handle: &ServeHandle, listener: TcpListener) -> io::Result<()> 
 /// (`hetjpeg-serve --stdio`). Returns the number of requests served.
 pub fn serve_stdio(handle: &ServeHandle) -> io::Result<u64> {
     let stdin = io::stdin();
-    let mut reader = stdin.lock();
+    let reader = stdin.lock();
     // `Stdout` (unlocked) is used because the responder thread needs a
     // `Send` writer; its internal line-buffer lock is taken per write.
     let mut writer = io::stdout();
-    serve_connection(handle, &mut reader, &mut writer)
+    match handle.fault_plan().filter(|p| p.has_read_faults()) {
+        Some(plan) => {
+            let mut reader = ChaosReader::new(reader, plan);
+            serve_connection(handle, &mut reader, &mut writer)
+        }
+        None => {
+            let mut reader = reader;
+            serve_connection(handle, &mut reader, &mut writer)
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultPlan;
+    use std::sync::Arc;
 
     #[test]
     fn request_frames_roundtrip() {
@@ -298,16 +523,63 @@ mod tests {
         write_request(&mut buf, b"hello jpeg").unwrap();
         write_goodbye(&mut buf).unwrap();
         let mut r = io::Cursor::new(buf);
-        assert_eq!(
-            read_request(&mut r).unwrap().as_deref(),
-            Some(&b"hello jpeg"[..])
-        );
-        assert_eq!(read_request(&mut r).unwrap(), None);
+        let frame = read_request(&mut r).unwrap().expect("one frame");
+        assert_eq!(frame.jpeg, b"hello jpeg");
+        assert_eq!(frame.options.deadline, None);
+        assert!(!frame.options.degrade);
+        assert!(read_request(&mut r).unwrap().is_none());
         // Clean EOF also reads as end-of-stream.
-        assert_eq!(
-            read_request(&mut io::Cursor::new(Vec::new())).unwrap(),
-            None
-        );
+        assert!(read_request(&mut io::Cursor::new(Vec::new()))
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn v2_request_frames_carry_deadline_and_degrade() {
+        let mut buf = Vec::new();
+        write_request_v2(
+            &mut buf,
+            b"v2 jpeg",
+            Some(Duration::from_micros(1500)),
+            true,
+        )
+        .unwrap();
+        write_request_v2(&mut buf, b"no slo", None, false).unwrap();
+        let mut r = io::Cursor::new(buf);
+        let frame = read_request(&mut r).unwrap().expect("v2 frame");
+        assert_eq!(frame.jpeg, b"v2 jpeg");
+        assert_eq!(frame.options.deadline, Some(Duration::from_micros(1500)));
+        assert!(frame.options.degrade);
+        let frame = read_request(&mut r).unwrap().expect("second v2 frame");
+        assert_eq!(frame.jpeg, b"no slo");
+        assert_eq!(frame.options.deadline, None);
+        assert!(!frame.options.degrade);
+        // Sub-microsecond deadlines survive as 1 µs, not "no deadline".
+        let mut buf = Vec::new();
+        write_request_v2(&mut buf, b"x", Some(Duration::from_nanos(3)), false).unwrap();
+        let frame = read_request(&mut io::Cursor::new(buf)).unwrap().unwrap();
+        assert_eq!(frame.options.deadline, Some(Duration::from_micros(1)));
+    }
+
+    #[test]
+    fn malformed_v2_headers_are_protocol_errors() {
+        // jpeg_len disagreeing with the frame length must not desync.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&((V2_HEADER_LEN as u32 + 4) | FRAME_V2_FLAG).to_be_bytes());
+        buf.extend_from_slice(&[2u8, 0]);
+        buf.extend_from_slice(&0u32.to_be_bytes()); // deadline
+        buf.extend_from_slice(&99u32.to_be_bytes()); // lies about jpeg_len
+        buf.extend_from_slice(&[1, 2, 3, 4]);
+        let err = read_request(&mut io::Cursor::new(buf)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        // Unknown version byte.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&((V2_HEADER_LEN as u32) | FRAME_V2_FLAG).to_be_bytes());
+        buf.extend_from_slice(&[9u8, 0]);
+        buf.extend_from_slice(&0u32.to_be_bytes());
+        buf.extend_from_slice(&0u32.to_be_bytes());
+        let err = read_request(&mut io::Cursor::new(buf)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
     }
 
     #[test]
@@ -345,7 +617,7 @@ mod tests {
     }
 
     #[test]
-    fn error_responses_roundtrip() {
+    fn error_busy_and_shutdown_responses_roundtrip() {
         let mut buf = Vec::new();
         write_response(
             &mut buf,
@@ -354,8 +626,57 @@ mod tests {
             )),
         )
         .unwrap();
-        let got = read_response(&mut io::Cursor::new(buf)).unwrap();
-        let msg = got.expect_err("error frame");
-        assert!(msg.contains("decode failed"), "{msg}");
+        write_response(
+            &mut buf,
+            &Err(ServeError::Busy {
+                retry_after: Duration::from_micros(777),
+            }),
+        )
+        .unwrap();
+        write_response(&mut buf, &Err(ServeError::Shutdown)).unwrap();
+        let mut r = io::Cursor::new(buf);
+        match read_response(&mut r).unwrap() {
+            ServerReply::Error(msg) => assert!(msg.contains("decode failed"), "{msg}"),
+            other => panic!("expected error reply, got {other:?}"),
+        }
+        assert_eq!(
+            read_response(&mut r).unwrap(),
+            ServerReply::Busy {
+                retry_after: Duration::from_micros(777)
+            }
+        );
+        assert_eq!(read_response(&mut r).unwrap(), ServerReply::Shutdown);
+    }
+
+    #[test]
+    fn eintr_and_short_reads_do_not_desync_request_framing() {
+        // Satellite regression (PR 8): every read in read_request — prefix
+        // remainder and payload included — must survive EINTR and one-byte
+        // reads. The chaos harness's short-read site makes *every* read
+        // either interrupted or one byte long.
+        let payload: Vec<u8> = (0u8..200).collect();
+        let mut buf = Vec::new();
+        write_request(&mut buf, &payload).unwrap();
+        write_request_v2(&mut buf, &payload, Some(Duration::from_millis(5)), true).unwrap();
+        write_goodbye(&mut buf).unwrap();
+        let plan = Arc::new(FaultPlan::parse("shortread=1:11").unwrap());
+        let mut r = ChaosReader::new(io::Cursor::new(buf), plan);
+        let first = read_request(&mut r).unwrap().expect("v1 frame survives");
+        assert_eq!(first.jpeg, payload);
+        let second = read_request(&mut r).unwrap().expect("v2 frame survives");
+        assert_eq!(second.jpeg, payload);
+        assert_eq!(second.options.deadline, Some(Duration::from_millis(5)));
+        assert!(second.options.degrade);
+        assert!(read_request(&mut r).unwrap().is_none(), "goodbye survives");
+    }
+
+    #[test]
+    fn torn_reads_surface_as_connection_errors() {
+        let mut buf = Vec::new();
+        write_request(&mut buf, &[9u8; 64]).unwrap();
+        let plan = Arc::new(FaultPlan::parse("torn=#2").unwrap());
+        let mut r = ChaosReader::new(io::Cursor::new(buf), plan);
+        let err = read_request(&mut r).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionReset);
     }
 }

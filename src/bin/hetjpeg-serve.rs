@@ -4,34 +4,50 @@
 //! hetjpeg-serve --addr 127.0.0.1:7033 --shards 4          # TCP server
 //! hetjpeg-serve --stdio < frames.bin > responses.bin      # stdio framing
 //! hetjpeg-serve --smoke                                   # CI self-test
+//! hetjpeg-serve --chaos-smoke                             # CI fault-tolerance proof
 //! ```
 //!
 //! The wire protocol is length-prefixed (see `hetjpeg_serve::protocol`):
-//! each request is `u32_be length + JPEG bytes`, each response either
-//! `0u8 + width + height + len + RGB` or `1u8 + len + UTF-8 error`. A
-//! zero-length request closes the connection gracefully.
+//! requests are v1 (`u32_be length + JPEG`) or v2 frames carrying a
+//! per-request deadline and degrade-ok flag; responses are `ok`, `error`,
+//! `busy`, `shutdown` or `degraded-ok` frames. A zero-length request
+//! closes the connection gracefully.
 //!
 //! `--smoke` is the end-to-end proof CI runs: start a TCP server on an
 //! ephemeral loopback port, decode corpus images through the protocol
 //! from several pipelined client connections, compare every payload
 //! against a direct `Decoder::decode`, and shut down checking the drain
 //! accounting.
+//!
+//! `--chaos-smoke` is the PR-8 resilience proof: run seeded fault plans
+//! (decode panics, a stalled shard, short/EINTR reads) against real
+//! traffic and assert that non-faulted requests stay bit-identical to
+//! direct decodes, panicked sessions are rebuilt (counter-verified), the
+//! circuit breaker sheds around a dying shard, and deadline-infeasible
+//! requests are shed or degraded — never silently slow.
+//!
+//! `--fault SPEC` (or `HETJPEG_FAULT`) arms the deterministic fault
+//! harness on any serving mode; see `hetjpeg_serve::fault` for the
+//! grammar.
 
 use hetjpeg_core::{DecodeOptions, Decoder, Platform};
 use hetjpeg_corpus::{generate_jpeg, ImageSpec, Pattern};
 use hetjpeg_jpeg::types::Subsampling;
-use hetjpeg_serve::{protocol, ServeConfig, Server};
+use hetjpeg_serve::fault::{ChaosReader, FaultPlan};
+use hetjpeg_serve::{protocol, ServeConfig, ServeError, Server, SubmitOptions};
 use std::net::{TcpListener, TcpStream};
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  hetjpeg-serve (--addr HOST:PORT | --stdio | --smoke)\n\
+        "usage:\n  hetjpeg-serve (--addr HOST:PORT | --stdio | --smoke | --chaos-smoke)\n\
          \u{20}              [--shards N] [--queue-depth N] [--max-batch N] [--flush-us N]\n\
          \u{20}              [--cache-cap N] [--threads N] [--platform gt430|gtx560|gtx680]\n\
          \u{20}              [--model model.txt] [--max-pixels N] [--tolerant]\n\
-         \u{20}              [--max-scans N] [--scan-deadline-us N]"
+         \u{20}              [--max-scans N] [--scan-deadline-us N]\n\
+         \u{20}              [--fault SPEC[:SEED]] [--breaker-threshold N] [--breaker-cooldown-us N]"
     );
     ExitCode::from(2)
 }
@@ -108,6 +124,21 @@ fn config_from_args(args: &[String]) -> Result<ServeConfig, ExitCode> {
     if let Some(us) = parse_or_usage::<u64>(args, "--scan-deadline-us")? {
         config.scan_deadline = Some(Duration::from_micros(us));
     }
+    if let Some(spec) = arg_value(args, "--fault") {
+        match FaultPlan::parse(&spec) {
+            Ok(plan) => config.fault_plan = Some(Arc::new(plan)),
+            Err(e) => {
+                eprintln!("invalid --fault spec: {e}");
+                return Err(ExitCode::FAILURE);
+            }
+        }
+    }
+    if let Some(n) = parse_or_usage(args, "--breaker-threshold")? {
+        config.breaker_threshold = n;
+    }
+    if let Some(us) = parse_or_usage::<u64>(args, "--breaker-cooldown-us")? {
+        config.breaker_cooldown = Duration::from_micros(us);
+    }
     Ok(config)
 }
 
@@ -119,6 +150,9 @@ fn main() -> ExitCode {
     };
     if args.iter().any(|a| a == "--smoke") {
         return smoke(config);
+    }
+    if args.iter().any(|a| a == "--chaos-smoke") {
+        return chaos_smoke(config);
     }
     let stdio = args.iter().any(|a| a == "--stdio");
     let addr = arg_value(&args, "--addr");
@@ -150,6 +184,23 @@ fn print_stats(stats: &hetjpeg_serve::ServerStats) {
             prog.refine_passes,
             prog.partial_renders,
             stats.deadline_partials(),
+        );
+    }
+    let resilience = stats.panics_recovered()
+        + stats.breaker_trips()
+        + stats.shed()
+        + stats.degraded()
+        + stats.shutdown_drained();
+    if resilience > 0 {
+        eprintln!(
+            "resilience: {} panics recovered, {} sessions rebuilt, {} breaker trips, \
+             {} shed, {} degraded, {} drained at shutdown",
+            stats.panics_recovered(),
+            stats.sessions_rebuilt(),
+            stats.breaker_trips(),
+            stats.shed(),
+            stats.degraded(),
+            stats.shutdown_drained(),
         );
     }
 }
@@ -323,7 +374,10 @@ fn smoke(mut config: ServeConfig) -> ExitCode {
             }
             protocol::write_goodbye(&mut stream).expect("goodbye");
             for (i, want) in refs.iter().enumerate() {
-                match protocol::read_response(&mut stream).expect("read response") {
+                match protocol::read_response(&mut stream)
+                    .expect("read response")
+                    .into_frame()
+                {
                     Ok(frame) => {
                         answered += 1;
                         if &frame.rgb != *want {
@@ -419,6 +473,320 @@ fn smoke(mut config: ServeConfig) -> ExitCode {
         "smoke OK: {total} images through {shards} shards over TCP ({} kernels), all payloads \
          bit-identical to direct decode",
         expected.name()
+    );
+    ExitCode::SUCCESS
+}
+
+/// CI resilience proof: run seeded fault plans against real traffic and
+/// verify the failure-domain guarantees end to end — panic isolation with
+/// counter-verified session rebuild, circuit-breaker shedding, chaotic
+/// reads that never desync the framing, and SLO shed/degrade behaviour.
+fn chaos_smoke(config: ServeConfig) -> ExitCode {
+    macro_rules! check {
+        ($cond:expr, $($msg:tt)+) => {
+            if !$cond {
+                eprintln!("chaos-smoke FAILED: {}", format_args!($($msg)+));
+                return ExitCode::FAILURE;
+            }
+        };
+    }
+
+    let jpeg_for = |seed: u64| {
+        let spec = ImageSpec {
+            width: 96,
+            height: 96,
+            pattern: Pattern::PhotoLike { detail: 0.55 },
+            seed,
+        };
+        generate_jpeg(&spec, 85, Subsampling::S420).expect("encode chaos image")
+    };
+    let reference = Decoder::builder()
+        .platform(config.platform.clone())
+        .model(
+            config
+                .model
+                .clone()
+                .unwrap_or_else(|| config.platform.untrained_model()),
+        )
+        .threads(config.threads)
+        .build()
+        .expect("reference session");
+    let ref_bytes = |jpeg: &[u8]| {
+        reference
+            .decode(jpeg, config.options)
+            .expect("reference decode")
+            .image
+            .data
+            .clone()
+    };
+
+    // Phase 1 — panic isolation on a stuttering shard. One decode panic
+    // (request #2 of the home shard) plus a 3 ms stall on every 2nd
+    // request; everything except the panicked request must come back
+    // bit-identical, and the shard must keep serving after its rebuild.
+    let plan = Arc::new(FaultPlan::parse("panic=#2,latency=2x3ms:7").expect("phase 1 plan"));
+    eprintln!("chaos-smoke phase 1: {}", plan.describe());
+    let mut cfg = config.clone();
+    cfg.shards = 2;
+    cfg.breaker_threshold = 99; // keep the breaker out of this phase
+    cfg.fault_plan = Some(plan.clone());
+    let server = Server::start(cfg).expect("phase 1 server");
+    let handle = server.handle();
+    let mut panicked = 0usize;
+    for i in 0..6u64 {
+        let jpeg = jpeg_for(i);
+        let want = ref_bytes(&jpeg);
+        match handle.decode(&jpeg) {
+            Ok(out) => {
+                check!(
+                    out.image.data == want,
+                    "phase 1: payload mismatch on image {i}"
+                );
+            }
+            Err(ServeError::Panicked(_)) => {
+                panicked += 1;
+                check!(
+                    i == 1,
+                    "phase 1: panic fired on image {i}, expected image 1"
+                );
+            }
+            Err(e) => check!(false, "phase 1: unexpected error on image {i}: {e}"),
+        }
+    }
+    // The rebuilt session keeps serving, bit-identically.
+    let jpeg = jpeg_for(100);
+    let want = ref_bytes(&jpeg);
+    match handle.decode(&jpeg) {
+        Ok(out) => check!(
+            out.image.data == want,
+            "phase 1: post-rebuild payload mismatch"
+        ),
+        Err(e) => check!(false, "phase 1: post-rebuild decode failed: {e}"),
+    }
+    let stats = server.shutdown();
+    check!(panicked == 1, "phase 1: saw {panicked} panics, expected 1");
+    check!(
+        stats.requests() == 7
+            && stats.panics_recovered() == 1
+            && stats.sessions_rebuilt() == 1
+            && stats.decode_errors() == 0
+            && stats.breaker_trips() == 0,
+        "phase 1 counters: requests={} panics_recovered={} sessions_rebuilt={} errors={} trips={}",
+        stats.requests(),
+        stats.panics_recovered(),
+        stats.sessions_rebuilt(),
+        stats.decode_errors(),
+        stats.breaker_trips(),
+    );
+    // Deterministic schedule: 1 panic + 3 latency stalls (reads 2, 4, 6).
+    check!(
+        plan.injections_fired() == 4,
+        "phase 1: {} injections fired, expected 4",
+        plan.injections_fired()
+    );
+
+    // Phase 2 — circuit breaker around a dying shard: two consecutive
+    // panics trip it, the next request is shed fast with a retry hint,
+    // and after the cooldown a half-open probe closes it again.
+    let mut cfg = config.clone();
+    cfg.shards = 1;
+    cfg.breaker_threshold = 2;
+    cfg.breaker_cooldown = Duration::from_millis(60);
+    cfg.fault_plan = Some(Arc::new(
+        FaultPlan::parse("panic=#1,panic=#2:5").expect("phase 2 plan"),
+    ));
+    let server = Server::start(cfg).expect("phase 2 server");
+    let handle = server.handle();
+    let jpeg = jpeg_for(200);
+    let want = ref_bytes(&jpeg);
+    for n in 0..2 {
+        check!(
+            matches!(handle.decode(&jpeg), Err(ServeError::Panicked(_))),
+            "phase 2: decode {n} did not panic as planned"
+        );
+    }
+    match handle.decode(&jpeg) {
+        Err(ServeError::Busy { retry_after }) => check!(
+            retry_after <= Duration::from_millis(60),
+            "phase 2: retry-after {}us exceeds the cooldown",
+            retry_after.as_micros()
+        ),
+        _ => check!(false, "phase 2: expected Busy while the breaker is open"),
+    }
+    std::thread::sleep(Duration::from_millis(150));
+    match handle.decode(&jpeg) {
+        Ok(out) => check!(
+            out.image.data == want,
+            "phase 2: post-probe payload mismatch"
+        ),
+        Err(e) => check!(false, "phase 2: half-open probe failed: {e}"),
+    }
+    let stats = server.shutdown();
+    check!(
+        stats.panics_recovered() == 2
+            && stats.sessions_rebuilt() == 2
+            && stats.breaker_trips() == 1
+            && stats.shed() == 1
+            && stats.decode_errors() == 0,
+        "phase 2 counters: panics_recovered={} sessions_rebuilt={} trips={} shed={} errors={}",
+        stats.panics_recovered(),
+        stats.sessions_rebuilt(),
+        stats.breaker_trips(),
+        stats.shed(),
+        stats.decode_errors(),
+    );
+
+    // Phase 3 — chaotic connection reads over real TCP: every 2nd read
+    // is interrupted (EINTR) or returns 1 byte, across mixed v1/v2
+    // frames. Framing must never desync; every payload bit-identical.
+    let plan = Arc::new(FaultPlan::parse("shortread=2:11").expect("phase 3 plan"));
+    eprintln!("chaos-smoke phase 3: {}", plan.describe());
+    let mut cfg = config.clone();
+    cfg.shards = 2;
+    cfg.fault_plan = Some(plan.clone());
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr");
+    let server = Server::start(cfg).expect("phase 3 server");
+    let handle = server.handle();
+    let jpegs: Vec<Vec<u8>> = (0..6).map(|i| jpeg_for(300 + i)).collect();
+    let wants: Vec<Vec<u8>> = jpegs.iter().map(|j| ref_bytes(j)).collect();
+    let wire_ok = std::thread::scope(|s| {
+        let accept_handle = handle.clone();
+        let plan_srv = plan.clone();
+        s.spawn(move || {
+            if let Ok((mut stream, _)) = listener.accept() {
+                let reader = stream.try_clone().expect("clone stream");
+                let mut chaos = ChaosReader::new(reader, plan_srv);
+                let _ = protocol::serve_connection(&accept_handle, &mut chaos, &mut stream);
+            }
+        });
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        for (i, j) in jpegs.iter().enumerate() {
+            if i < 4 {
+                protocol::write_request(&mut stream, j).expect("v1 request");
+            } else {
+                protocol::write_request_v2(&mut stream, j, Some(Duration::from_secs(5)), true)
+                    .expect("v2 request");
+            }
+        }
+        protocol::write_goodbye(&mut stream).expect("goodbye");
+        let mut good = true;
+        for (i, want) in wants.iter().enumerate() {
+            match protocol::read_response(&mut stream).expect("read response") {
+                protocol::ServerReply::Ok(frame) => {
+                    if &frame.rgb != want {
+                        eprintln!("chaos-smoke: phase 3: payload mismatch on image {i}");
+                        good = false;
+                    }
+                }
+                _ => {
+                    eprintln!("chaos-smoke: phase 3: non-ok reply on image {i}");
+                    good = false;
+                }
+            }
+        }
+        good
+    });
+    check!(wire_ok, "phase 3: wire roundtrip failed");
+    let stats = server.shutdown();
+    check!(
+        stats.requests() == 6 && stats.decode_errors() == 0 && stats.shed() == 0,
+        "phase 3 counters: requests={} errors={} shed={}",
+        stats.requests(),
+        stats.decode_errors(),
+        stats.shed(),
+    );
+    check!(
+        plan.injections_fired() > 0,
+        "phase 3: the chaos reader never fired"
+    );
+
+    // Phase 4 — SLO admission and the degradation ladder: infeasible
+    // deadlines are shed with Busy, or served degraded (tolerant salvage /
+    // scan-prefix render) when the client opts in — never silently slow.
+    let mut cfg = config.clone();
+    cfg.shards = 1;
+    let server = Server::start(cfg).expect("phase 4 server");
+    let handle = server.handle();
+    let jpeg = jpeg_for(400);
+    let want = ref_bytes(&jpeg);
+    for n in 0..3 {
+        let served = handle.decode_with(
+            &jpeg,
+            SubmitOptions {
+                deadline: Some(Duration::from_secs(10)),
+                degrade: false,
+            },
+        );
+        check!(
+            matches!(&served, Ok(s) if !s.degraded && s.outcome.image.data == want),
+            "phase 4: calibration decode {n} failed"
+        );
+    }
+    let shed = handle.decode_with(
+        &jpeg,
+        SubmitOptions {
+            deadline: Some(Duration::ZERO),
+            degrade: false,
+        },
+    );
+    check!(
+        matches!(shed, Err(ServeError::Busy { .. })),
+        "phase 4: infeasible deadline was not shed"
+    );
+    let degraded = handle.decode_with(
+        &jpeg,
+        SubmitOptions {
+            deadline: Some(Duration::ZERO),
+            degrade: true,
+        },
+    );
+    check!(
+        matches!(&degraded, Ok(s) if s.degraded),
+        "phase 4: degrade-ok request was not served degraded"
+    );
+    let prog_spec = ImageSpec {
+        width: 112,
+        height: 80,
+        pattern: Pattern::PhotoLike { detail: 0.55 },
+        seed: 410,
+    };
+    let prog = hetjpeg_corpus::generate_progressive_jpeg(
+        &prog_spec,
+        85,
+        Subsampling::S420,
+        hetjpeg_jpeg::progressive::ScanPreset::Standard10,
+    )
+    .expect("encode progressive chaos image");
+    check!(
+        matches!(&handle.decode(&prog), Ok(o) if !o.truncated),
+        "phase 4: seeding progressive decode failed"
+    );
+    let prefix = handle.decode_with(
+        &prog,
+        SubmitOptions {
+            deadline: Some(Duration::ZERO),
+            degrade: true,
+        },
+    );
+    check!(
+        matches!(&prefix, Ok(s) if s.degraded && s.outcome.truncated),
+        "phase 4: progressive request did not degrade to a prefix render"
+    );
+    let stats = server.shutdown();
+    check!(
+        stats.shed() == 1 && stats.degraded() == 2 && stats.decode_errors() == 0,
+        "phase 4 counters: shed={} degraded={} errors={}",
+        stats.shed(),
+        stats.degraded(),
+        stats.decode_errors(),
+    );
+
+    println!(
+        "chaos-smoke OK: panics isolated with sessions rebuilt, breaker shed around a dying \
+         shard and re-closed after its probe, chaotic reads never desynced the framing, \
+         infeasible deadlines shed or degraded; every healthy payload bit-identical to direct \
+         decode and zero worker threads lost"
     );
     ExitCode::SUCCESS
 }

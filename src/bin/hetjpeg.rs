@@ -1,13 +1,16 @@
 //! `hetjpeg` — command-line front end.
 //!
 //! ```text
-//! hetjpeg decode photo.jpg -o photo.ppm --mode pps --platform gtx560
-//! hetjpeg encode photo.ppm -o photo.jpg --quality 85 --subsampling 422
-//! hetjpeg info   photo.jpg
+//! hetjpeg decode  photo.jpg -o photo.ppm --mode pps --platform gtx560
+//! hetjpeg encode  photo.ppm -o photo.jpg --quality 85 --subsampling 422
+//! hetjpeg info    photo.jpg
+//! hetjpeg predict photo.jpg --platform gtx680
 //! ```
 //!
 //! `decode` runs the requested scheduler mode, writes a binary PPM (P6) and
 //! prints the virtual-time stage breakdown for the chosen Table 1 machine.
+//! `predict` prints the §5.1 cost-model ranking without decoding — the same
+//! estimate `hetjpeg-serve` uses for SLO admission control.
 
 use hetjpeg_core::platform::Platform;
 use hetjpeg_core::schedule::Mode;
@@ -24,7 +27,9 @@ fn usage() -> ExitCode {
          \u{20}                [--threads N] [--planar] [--tolerant] [--max-pixels N]\n\
          \u{20} hetjpeg encode <in.ppm> [-o out.jpg] [--quality N] [--subsampling 444|422|420]\n\
          \u{20}                [--restart N]\n\
-         \u{20} hetjpeg info <in.jpg>"
+         \u{20} hetjpeg info <in.jpg>\n\
+         \u{20} hetjpeg predict <in.jpg> [--platform gt430|gtx560|gtx680] [--model model.txt]\n\
+         \u{20}                [--threads N]"
     );
     ExitCode::from(2)
 }
@@ -45,6 +50,7 @@ fn main() -> ExitCode {
         "decode" => cmd_decode(&input, &args),
         "encode" => cmd_encode(&input, &args),
         "info" => cmd_info(&input),
+        "predict" => cmd_predict(&input, &args),
         _ => usage(),
     }
 }
@@ -197,6 +203,80 @@ fn cmd_decode(input: &str, args: &[String]) -> ExitCode {
         println!(
             "partition: {} MCU rows on GPU, {} on CPU ({} Newton iterations)",
             p.gpu_mcu_rows, p.cpu_mcu_rows, p.iterations
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_predict(input: &str, args: &[String]) -> ExitCode {
+    let data = match std::fs::read(input) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("cannot read {input}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let platform = match arg_value(args, "--platform").as_deref().unwrap_or("gtx560") {
+        "gt430" => Platform::gt430(),
+        "gtx560" => Platform::gtx560(),
+        "gtx680" => Platform::gtx680(),
+        other => {
+            eprintln!("unknown platform {other}");
+            return usage();
+        }
+    };
+    let model = match arg_value(args, "--model") {
+        Some(path) => match std::fs::read_to_string(&path)
+            .ok()
+            .and_then(|t| hetjpeg_core::model::PerformanceModel::load_str(&t))
+        {
+            Some(m) => m,
+            None => {
+                eprintln!("cannot load model from {path}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => platform.untrained_model(),
+    };
+    let threads: usize = arg_value(args, "--threads")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    let decoder = match Decoder::builder()
+        .platform(platform.clone())
+        .model(model)
+        .threads(threads)
+        .build()
+    {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("invalid decoder configuration: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Progressive (SOF2) streams have no per-mode cost model; the server
+    // prices them from measured shard throughput instead.
+    let decision = match decoder.predict(&data) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("cannot predict {input}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "{input} on {}: would choose {}",
+        platform.name,
+        decision.mode.name()
+    );
+    for p in &decision.predictions {
+        println!(
+            "  {:<12} {:>9.3} ms{}",
+            p.mode.name(),
+            p.seconds * 1e3,
+            if p.mode == decision.mode {
+                "  <- chosen"
+            } else {
+                ""
+            }
         );
     }
     ExitCode::SUCCESS

@@ -244,15 +244,80 @@ fn wire_protocol_roundtrip_matches_direct_decode() {
 
     let mut r = Cursor::new(responses);
     for want in &refs {
-        let frame = protocol::read_response(&mut r).unwrap().expect("ok frame");
+        let frame = protocol::read_response(&mut r)
+            .unwrap()
+            .into_frame()
+            .expect("ok frame");
         assert_eq!(&frame.rgb, want);
         assert_eq!(frame.rgb.len(), (frame.width * frame.height * 3) as usize);
     }
     let err = protocol::read_response(&mut r)
         .unwrap()
+        .into_frame()
         .expect_err("error frame");
     assert!(err.contains("decode failed"), "{err}");
     server.shutdown();
+}
+
+#[test]
+fn wire_v2_deadlines_ride_the_same_connection() {
+    // v2 frames (deadline + degrade-ok) interleave with v1 frames on one
+    // connection: a generous deadline decodes at full fidelity, an
+    // already-expired deadline with degrade-ok comes back as an in-band
+    // Degraded frame — never a silent full-cost decode.
+    let corpus = mixed_corpus();
+    let refs = reference_bytes(&corpus);
+    let server = Server::start(ServeConfig {
+        shards: 1,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let handle = server.handle();
+
+    let mut request_stream = Vec::new();
+    protocol::write_request(&mut request_stream, &corpus[0]).unwrap();
+    protocol::write_request_v2(
+        &mut request_stream,
+        &corpus[1],
+        Some(Duration::from_secs(30)),
+        false,
+    )
+    .unwrap();
+    protocol::write_request_v2(
+        &mut request_stream,
+        &corpus[2],
+        Some(Duration::from_nanos(1)),
+        true,
+    )
+    .unwrap();
+    protocol::write_goodbye(&mut request_stream).unwrap();
+
+    let mut responses: Vec<u8> = Vec::new();
+    let served =
+        protocol::serve_connection(&handle, &mut Cursor::new(request_stream), &mut responses)
+            .unwrap();
+    assert_eq!(served, 3);
+
+    let mut r = Cursor::new(responses);
+    match protocol::read_response(&mut r).unwrap() {
+        protocol::ServerReply::Ok(frame) => assert_eq!(&frame.rgb, &refs[0]),
+        other => panic!("v1 frame: expected Ok, got {other:?}"),
+    }
+    match protocol::read_response(&mut r).unwrap() {
+        protocol::ServerReply::Ok(frame) => assert_eq!(&frame.rgb, &refs[1]),
+        other => panic!("feasible v2 frame: expected Ok, got {other:?}"),
+    }
+    match protocol::read_response(&mut r).unwrap() {
+        // Tolerant salvage of a well-formed baseline image is still exact;
+        // the degradation is surfaced by the status byte.
+        protocol::ServerReply::Degraded(frame) => assert_eq!(&frame.rgb, &refs[2]),
+        other => panic!("expired v2 frame: expected Degraded, got {other:?}"),
+    }
+    let stats = server.shutdown();
+    assert_eq!(stats.requests(), 3);
+    assert_eq!(stats.degraded(), 1);
+    assert_eq!(stats.shed(), 0);
+    assert_eq!(stats.decode_errors(), 0);
 }
 
 #[test]
