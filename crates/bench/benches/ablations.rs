@@ -13,6 +13,7 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use hetjpeg_core::gpu_decode::{decode_region_gpu, KernelPlan};
 use hetjpeg_core::kernels::idct::IdctKernel;
 use hetjpeg_core::kernels::merged::UpsampleColorKernel;
+use hetjpeg_core::kernels::testutil::{stage_region, StagedLayout};
 use hetjpeg_core::kernels::RegionLayout;
 use hetjpeg_core::platform::Platform;
 use hetjpeg_corpus::{generate_jpeg, ImageSpec, Pattern};
@@ -100,24 +101,27 @@ fn bench_lmem_padding(c: &mut Criterion) {
     let prep = Prepared::new(&jpeg).unwrap();
     let (coefbuf, _) = prep.entropy_decode_all().unwrap();
     let layout = RegionLayout::new(&prep.geom, 0, prep.geom.mcus_y);
-    let packed = coefbuf.pack_mcu_rows(&prep.geom, 0, prep.geom.mcus_y);
-    let bytes: Vec<u8> = packed.iter().flat_map(|v| v.to_le_bytes()).collect();
 
     for pad in [true, false] {
         let mut sim = GpuSim::new(platform.gpu.clone());
-        let coef = sim.create_buffer(layout.coef_bytes);
         let planes = sim.create_buffer(layout.planes_len);
-        sim.write_buffer(coef, 0, &bytes);
-        let eobs = layout.upload_eob_sidecar(&mut sim, &coefbuf, &prep.geom);
+        let staged = stage_region(
+            &mut sim,
+            &layout,
+            &coefbuf,
+            &prep.geom,
+            StagedLayout::Sidecar,
+        );
         let k = IdctKernel {
-            coef,
-            eobs,
+            coef: staged.coef,
+            eobs: staged.eobs,
             planes,
             layout: layout.clone(),
             comp: 0,
             quant: prep.quant[0].values,
             blocks_per_group: 8,
             pad_lmem: pad,
+            access: staged.access,
         };
         let stats = sim.launch(&k, k.num_groups());
         eprintln!(
@@ -132,19 +136,24 @@ fn bench_lmem_padding(c: &mut Criterion) {
     for pad in [true, false] {
         g.bench_function(if pad { "padded" } else { "unpadded" }, |b| {
             let mut sim = GpuSim::new(platform.gpu.clone());
-            let coef = sim.create_buffer(layout.coef_bytes);
             let planes = sim.create_buffer(layout.planes_len);
-            sim.write_buffer(coef, 0, &bytes);
-            let eobs = layout.upload_eob_sidecar(&mut sim, &coefbuf, &prep.geom);
+            let staged = stage_region(
+                &mut sim,
+                &layout,
+                &coefbuf,
+                &prep.geom,
+                StagedLayout::Sidecar,
+            );
             let k = IdctKernel {
-                coef,
-                eobs,
+                coef: staged.coef,
+                eobs: staged.eobs,
                 planes,
                 layout: layout.clone(),
                 comp: 0,
                 quant: prep.quant[0].values,
                 blocks_per_group: 8,
                 pad_lmem: pad,
+                access: staged.access,
             };
             b.iter(|| black_box(sim.launch(&k, k.num_groups())));
         });
@@ -160,23 +169,26 @@ fn bench_parity_order(c: &mut Criterion) {
 
     // Prepare planes via the IDCT kernel once.
     let mut sim = GpuSim::new(platform.gpu.clone());
-    let coef = sim.create_buffer(layout.coef_bytes);
     let planes = sim.create_buffer(layout.planes_len);
     let rgb = sim.create_buffer(layout.rgb_len);
-    let packed = coefbuf.pack_mcu_rows(&prep.geom, 0, prep.geom.mcus_y);
-    let bytes: Vec<u8> = packed.iter().flat_map(|v| v.to_le_bytes()).collect();
-    sim.write_buffer(coef, 0, &bytes);
-    let eobs = layout.upload_eob_sidecar(&mut sim, &coefbuf, &prep.geom);
+    let staged = stage_region(
+        &mut sim,
+        &layout,
+        &coefbuf,
+        &prep.geom,
+        StagedLayout::Sidecar,
+    );
     for comp in 0..3 {
         let k = IdctKernel {
-            coef,
-            eobs,
+            coef: staged.coef,
+            eobs: staged.eobs,
             planes,
             layout: layout.clone(),
             comp,
             quant: prep.quant[comp].values,
             blocks_per_group: 8,
             pad_lmem: true,
+            access: staged.access,
         };
         sim.launch(&k, k.num_groups());
     }

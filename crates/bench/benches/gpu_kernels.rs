@@ -5,6 +5,7 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use hetjpeg_core::gpu_decode::{decode_region_gpu, KernelPlan};
 use hetjpeg_core::kernels::idct::IdctKernel;
+use hetjpeg_core::kernels::testutil::{stage_region, StagedLayout};
 use hetjpeg_core::kernels::RegionLayout;
 use hetjpeg_core::platform::Platform;
 use hetjpeg_corpus::{generate_jpeg, ImageSpec, Pattern};
@@ -23,27 +24,30 @@ fn bench_idct_kernel(c: &mut Criterion) {
     let prep = Prepared::new(&jpeg).unwrap();
     let (coefbuf, _) = prep.entropy_decode_all().unwrap();
     let layout = RegionLayout::new(&prep.geom, 0, prep.geom.mcus_y);
-    let packed = coefbuf.pack_mcu_rows(&prep.geom, 0, prep.geom.mcus_y);
-    let bytes: Vec<u8> = packed.iter().flat_map(|v| v.to_le_bytes()).collect();
 
     let mut g = c.benchmark_group("gpu_idct_kernel");
     g.throughput(Throughput::Elements(layout.comp_blocks[0] as u64));
     for wg in [4usize, 8, 16, 32] {
         g.bench_function(format!("wg{wg}_blocks"), |b| {
             let mut sim = GpuSim::new(Platform::gtx560().gpu.clone());
-            let coef = sim.create_buffer(layout.coef_bytes);
             let planes = sim.create_buffer(layout.planes_len);
-            sim.write_buffer(coef, 0, &bytes);
-            let eobs = layout.upload_eob_sidecar(&mut sim, &coefbuf, &prep.geom);
+            let staged = stage_region(
+                &mut sim,
+                &layout,
+                &coefbuf,
+                &prep.geom,
+                StagedLayout::Sidecar,
+            );
             let k = IdctKernel {
-                coef,
-                eobs,
+                coef: staged.coef,
+                eobs: staged.eobs,
                 planes,
                 layout: layout.clone(),
                 comp: 0,
                 quant: prep.quant[0].values,
                 blocks_per_group: wg,
                 pad_lmem: true,
+                access: staged.access,
             };
             b.iter(|| black_box(sim.launch(&k, k.num_groups())));
         });

@@ -28,7 +28,7 @@
 //! Output: human-readable table on stdout and machine-readable
 //! `BENCH_PR5.json` in the established schema, committed at the repo root.
 
-use hetjpeg_core::gpu_decode::{decode_region_gpu, KernelPlan};
+use hetjpeg_core::gpu_decode::{decode_region_gpu_mode, GpuStaging, KernelPlan, TransferMode};
 use hetjpeg_core::platform::Platform;
 use hetjpeg_corpus::{generate_jpeg, ImageSpec, Pattern};
 use hetjpeg_jpeg::coef::CoefBuffer;
@@ -294,34 +294,25 @@ fn measure_corpus(cases: &[Case], reps: usize, level: SimdLevel) -> Vec<(String,
         },
     ));
 
-    // Simulated GPU IDCT: dense-EOB sidecar (pre-PR-5 baseline) vs the
-    // real per-block EOBs, summing only the idct-family kernel times.
+    // Simulated GPU IDCT: dense-EOB sidecar (pre-PR-5 baseline, now the
+    // `TransferMode::Dense` ablation) vs the real per-block EOBs, summing
+    // only the idct-family kernel times.
     let platform = Platform::gtx560();
-    let idct_time = |force_dense: bool| -> f64 {
+    let idct_time = |mode: TransferMode| -> f64 {
         let mut total = 0.0;
+        let mut staging = GpuStaging::default();
         for (i, p) in preps.iter().enumerate() {
-            let res = if force_dense {
-                let dense = decoded[i].clone_with_dense_eobs();
-                decode_region_gpu(
-                    p,
-                    &dense,
-                    0,
-                    p.geom.mcus_y,
-                    &platform,
-                    8,
-                    KernelPlan::Merged,
-                )
-            } else {
-                decode_region_gpu(
-                    p,
-                    &decoded[i],
-                    0,
-                    p.geom.mcus_y,
-                    &platform,
-                    8,
-                    KernelPlan::Merged,
-                )
-            };
+            let res = decode_region_gpu_mode(
+                p,
+                &decoded[i],
+                0,
+                p.geom.mcus_y,
+                &platform,
+                8,
+                KernelPlan::Merged,
+                mode,
+                &mut staging,
+            );
             total += res
                 .kernel_times
                 .iter()
@@ -331,8 +322,8 @@ fn measure_corpus(cases: &[Case], reps: usize, level: SimdLevel) -> Vec<(String,
         }
         total
     };
-    let gpu_dense = idct_time(true);
-    let gpu_sparse = idct_time(false);
+    let gpu_dense = idct_time(TransferMode::Dense);
+    let gpu_sparse = idct_time(TransferMode::Sidecar);
     out.push((
         "gpu_idct_eob_dispatch".into(),
         StageResult {

@@ -17,12 +17,39 @@ use crate::kernels::color::ColorKernel;
 use crate::kernels::idct::IdctKernel;
 use crate::kernels::merged::{IdctColorKernel444, UpsampleColorKernel};
 use crate::kernels::upsample::UpsampleKernel422;
-use crate::kernels::RegionLayout;
+use crate::kernels::{CoefAccess, RegionLayout};
 use crate::platform::Platform;
 use hetjpeg_gpusim::{GpuSim, LaunchStats, TimingModel};
-use hetjpeg_jpeg::coef::CoefBuffer;
+use hetjpeg_jpeg::coef::{compact_packed_blocks, CoefBuffer, EOB_DENSE};
 use hetjpeg_jpeg::decoder::Prepared;
 use hetjpeg_jpeg::types::Subsampling;
+
+/// Which coefficient layout the GPU path ships over PCIe (PR 9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransferMode {
+    /// Dense blocks plus a synthesized all-dense sidecar: the pre-PR-5
+    /// baseline, kept as an ablation (the kernels see no sparsity).
+    Dense,
+    /// Dense blocks plus the real per-block EOB sidecar (PR 5–8 layout).
+    Sidecar,
+    /// Compacted class-corner payload + `u32` offset table + sidecar — the
+    /// production layout: only each block's ≤EOB prefix crosses the bus.
+    #[default]
+    Compacted,
+}
+
+impl TransferMode {
+    /// Resolve the mode from `HETJPEG_GPU_TRANSFER`
+    /// (`dense` | `sidecar` | `compacted`); unset or unrecognized values
+    /// fall back to the compacted default.
+    pub fn from_env() -> Self {
+        match std::env::var("HETJPEG_GPU_TRANSFER").as_deref() {
+            Ok("dense") => TransferMode::Dense,
+            Ok("sidecar") => TransferMode::Sidecar,
+            _ => TransferMode::Compacted,
+        }
+    }
+}
 
 /// Simulated timings and functional output of one GPU region decode.
 #[derive(Debug, Clone)]
@@ -73,8 +100,21 @@ pub enum KernelPlan {
 #[derive(Debug, Default)]
 pub struct GpuStaging {
     packed: Vec<i16>,
-    bytes: Vec<u8>,
     eobs: Vec<u8>,
+    xfer: XferScratch,
+}
+
+/// Reusable serialization scratch for one transfer-layout upload: the
+/// little-endian byte image of whatever payload ships, plus the compacted
+/// corners / offset table / synthesized dense sidecar the non-default
+/// [`TransferMode`]s need.
+#[derive(Debug, Default)]
+pub struct XferScratch {
+    bytes: Vec<u8>,
+    payload: Vec<i16>,
+    offsets: Vec<u32>,
+    obytes: Vec<u8>,
+    dense_eobs: Vec<u8>,
 }
 
 /// Decode MCU rows `[row0, row1)` on the simulated GPU.
@@ -104,7 +144,8 @@ pub fn decode_region_gpu(
 }
 
 /// [`decode_region_gpu`] with caller-owned [`GpuStaging`], reused across
-/// chunks and images.
+/// chunks and images. The transfer layout comes from the environment
+/// ([`TransferMode::from_env`]); use [`decode_region_gpu_mode`] to pin it.
 #[allow(clippy::too_many_arguments)]
 pub fn decode_region_gpu_with(
     prep: &Prepared<'_>,
@@ -116,15 +157,38 @@ pub fn decode_region_gpu_with(
     plan: KernelPlan,
     staging: &mut GpuStaging,
 ) -> GpuRegionResult {
-    let GpuStaging {
-        packed,
-        bytes,
-        eobs,
-    } = staging;
+    decode_region_gpu_mode(
+        prep,
+        coefbuf,
+        row0,
+        row1,
+        platform,
+        wg_blocks,
+        plan,
+        TransferMode::from_env(),
+        staging,
+    )
+}
+
+/// [`decode_region_gpu_with`] with an explicit [`TransferMode`] — the entry
+/// point the transfer ablations and the differential tests use.
+#[allow(clippy::too_many_arguments)]
+pub fn decode_region_gpu_mode(
+    prep: &Prepared<'_>,
+    coefbuf: &CoefBuffer,
+    row0: usize,
+    row1: usize,
+    platform: &Platform,
+    wg_blocks: usize,
+    plan: KernelPlan,
+    mode: TransferMode,
+    staging: &mut GpuStaging,
+) -> GpuRegionResult {
+    let GpuStaging { packed, eobs, xfer } = staging;
     coefbuf.pack_mcu_rows_into(&prep.geom, row0, row1, packed);
     coefbuf.pack_eobs_mcu_rows_into(&prep.geom, row0, row1, eobs);
     decode_packed_inner(
-        prep, packed, eobs, row0, row1, platform, wg_blocks, plan, bytes,
+        prep, packed, eobs, row0, row1, platform, wg_blocks, plan, mode, xfer,
     )
 }
 
@@ -144,9 +208,18 @@ pub fn decode_packed_region_gpu(
     wg_blocks: usize,
     plan: KernelPlan,
 ) -> GpuRegionResult {
-    let mut bytes = Vec::new();
+    let mut xfer = XferScratch::default();
     decode_packed_inner(
-        prep, packed, eobs, row0, row1, platform, wg_blocks, plan, &mut bytes,
+        prep,
+        packed,
+        eobs,
+        row0,
+        row1,
+        platform,
+        wg_blocks,
+        plan,
+        TransferMode::from_env(),
+        &mut xfer,
     )
 }
 
@@ -160,34 +233,73 @@ fn decode_packed_inner(
     platform: &Platform,
     wg_blocks: usize,
     plan: KernelPlan,
-    bytes: &mut Vec<u8>,
+    mode: TransferMode,
+    xfer: &mut XferScratch,
 ) -> GpuRegionResult {
     let geom = &prep.geom;
     let layout = RegionLayout::new(geom, row0, row1);
     let mut sim = GpuSim::new(platform.gpu.clone());
+    debug_assert_eq!(packed.len() * 2, layout.coef_bytes);
+    debug_assert_eq!(eob_sidecar.len(), layout.eob_bytes());
 
-    // Buffers.
-    let coef = sim.create_buffer(layout.coef_bytes);
+    // H2D staging per transfer layout (pinned buffers, §5.1). The byte
+    // serialization reuses `xfer`'s scratch: one exact resize + chunked
+    // stores — the iterator-of-arrays collect this replaces was measurably
+    // slower per chunk.
+    let bytes = &mut xfer.bytes;
+    bytes.clear();
+    let (coef, access, payload_sidecar_bytes) = match mode {
+        TransferMode::Dense | TransferMode::Sidecar => {
+            bytes.resize(packed.len() * 2, 0);
+            for (dst, v) in bytes.chunks_exact_mut(2).zip(packed.iter()) {
+                dst.copy_from_slice(&v.to_le_bytes());
+            }
+            let coef = sim.create_buffer(layout.coef_bytes);
+            sim.write_buffer(coef, 0, bytes);
+            (coef, CoefAccess::Dense, bytes.len())
+        }
+        TransferMode::Compacted => {
+            // Only each block's ≤EOB class corner crosses the bus, plus a
+            // u32 offset-table word per block locating it.
+            xfer.payload.clear();
+            xfer.offsets.clear();
+            compact_packed_blocks(packed, eob_sidecar, &mut xfer.payload, &mut xfer.offsets);
+            bytes.resize(xfer.payload.len() * 2, 0);
+            for (dst, v) in bytes.chunks_exact_mut(2).zip(xfer.payload.iter()) {
+                dst.copy_from_slice(&v.to_le_bytes());
+            }
+            xfer.obytes.clear();
+            xfer.obytes.resize(xfer.offsets.len() * 4, 0);
+            for (dst, v) in xfer.obytes.chunks_exact_mut(4).zip(xfer.offsets.iter()) {
+                dst.copy_from_slice(&v.to_le_bytes());
+            }
+            let coef = sim.create_buffer(bytes.len().max(2));
+            sim.write_buffer(coef, 0, bytes);
+            let offsets = sim.create_buffer(xfer.obytes.len().max(4));
+            sim.write_buffer(offsets, 0, &xfer.obytes);
+            (
+                coef,
+                CoefAccess::Compacted { offsets },
+                bytes.len() + xfer.obytes.len(),
+            )
+        }
+    };
     let eobs = sim.create_buffer(layout.eob_bytes());
     let planes = sim.create_buffer(layout.planes_len.max(1));
     let rgb = sim.create_buffer(layout.rgb_len);
 
-    // H2D: ship the packed coefficients (pinned buffers, §5.1). One exact
-    // resize + chunked stores into the reusable staging image; the
-    // iterator-of-arrays collect this replaces was measurably slower per
-    // chunk.
-    bytes.clear();
-    bytes.resize(packed.len() * 2, 0);
-    for (dst, v) in bytes.chunks_exact_mut(2).zip(packed.iter()) {
-        dst.copy_from_slice(&v.to_le_bytes());
+    // The EOB sidecar rides along: one byte per block (~0.8% of the dense
+    // coefficient payload) buys the kernels their sparse dispatch. The
+    // Dense ablation ships an all-dense sidecar instead, blinding the
+    // kernels to sparsity exactly like the pre-PR-5 baseline.
+    if mode == TransferMode::Dense {
+        xfer.dense_eobs.clear();
+        xfer.dense_eobs.resize(eob_sidecar.len(), EOB_DENSE);
+        sim.write_buffer(eobs, 0, &xfer.dense_eobs);
+    } else {
+        sim.write_buffer(eobs, 0, eob_sidecar);
     }
-    debug_assert_eq!(bytes.len(), layout.coef_bytes);
-    debug_assert_eq!(eob_sidecar.len(), layout.eob_bytes());
-    sim.write_buffer(coef, 0, bytes);
-    // The EOB sidecar rides along: one byte per block (~0.8% of the
-    // coefficient payload) buys the kernels their sparse dispatch.
-    sim.write_buffer(eobs, 0, eob_sidecar);
-    let h2d_bytes = bytes.len() + eob_sidecar.len();
+    let h2d_bytes = payload_sidecar_bytes + eob_sidecar.len();
     let h2d_time = platform.pcie.transfer_time(h2d_bytes, true);
 
     let mut kernel_times: Vec<(&'static str, f64)> = Vec::new();
@@ -213,6 +325,7 @@ fn decode_packed_inner(
                     prep.quant[2].values,
                 ],
                 blocks_per_group: wg_blocks,
+                access,
             };
             run(&sim, "idct+color", &k, k.num_groups());
         }
@@ -227,6 +340,7 @@ fn decode_packed_inner(
                     quant: prep.quant[c].values,
                     blocks_per_group: wg_blocks,
                     pad_lmem: true,
+                    access,
                 };
                 run(&sim, "idct", &k, k.num_groups());
             }
@@ -259,6 +373,7 @@ fn decode_packed_inner(
                     quant: prep.quant[c].values,
                     blocks_per_group: wg_blocks,
                     pad_lmem: true,
+                    access,
                 };
                 run(&sim, "idct", &k, k.num_groups());
             }
@@ -403,6 +518,76 @@ mod tests {
                 );
                 assert_eq!(res2.rgb, want, "unmerged {}", sub.notation());
             }
+        }
+    }
+
+    /// All three transfer layouts must produce bit-identical RGB, with the
+    /// compacted payload strictly smaller than either dense layout on real
+    /// (quantized) content.
+    #[test]
+    fn transfer_modes_agree_and_compacted_ships_less() {
+        let platform = Platform::gtx560();
+        // A smooth gradient quantizes to mostly DC-only / small-corner
+        // blocks — the content class the compacted layout is built for
+        // (the noisy `jpeg_of` pattern stays near-dense and would compact
+        // by only a few percent).
+        let smooth_jpeg = |w: usize, h: usize, sub: Subsampling| {
+            let mut rgb = Vec::with_capacity(w * h * 3);
+            for y in 0..h {
+                for x in 0..w {
+                    rgb.extend_from_slice(&[
+                        (x / 2 + y / 3) as u8,
+                        (128 + x / 4) as u8,
+                        (64 + y / 2) as u8,
+                    ]);
+                }
+            }
+            encode_rgb(
+                &rgb,
+                w as u32,
+                h as u32,
+                &EncodeParams {
+                    quality: 80,
+                    subsampling: sub,
+                    restart_interval: 0,
+                },
+            )
+            .unwrap()
+        };
+        for sub in [Subsampling::S444, Subsampling::S422, Subsampling::S420] {
+            let jpeg = smooth_jpeg(50, 39, sub);
+            let prep = Prepared::new(&jpeg).unwrap();
+            let (coef, _) = prep.entropy_decode_all().unwrap();
+            let run = |mode: TransferMode| {
+                let mut staging = GpuStaging::default();
+                decode_region_gpu_mode(
+                    &prep,
+                    &coef,
+                    0,
+                    prep.geom.mcus_y,
+                    &platform,
+                    4,
+                    KernelPlan::Merged,
+                    mode,
+                    &mut staging,
+                )
+            };
+            let dense = run(TransferMode::Dense);
+            let sidecar = run(TransferMode::Sidecar);
+            let compacted = run(TransferMode::Compacted);
+            assert_eq!(dense.rgb, sidecar.rgb, "{}", sub.notation());
+            assert_eq!(sidecar.rgb, compacted.rgb, "{}", sub.notation());
+            assert!(
+                compacted.h2d_bytes < sidecar.h2d_bytes,
+                "{}: compacted {} vs sidecar {}",
+                sub.notation(),
+                compacted.h2d_bytes,
+                sidecar.h2d_bytes
+            );
+            assert!(compacted.h2d_time < sidecar.h2d_time);
+            // Dense ships the coefficients plus the synthesized sidecar —
+            // same bytes as the sidecar layout, more than compacted.
+            assert_eq!(dense.h2d_bytes, sidecar.h2d_bytes);
         }
     }
 

@@ -28,7 +28,7 @@
 //! pruned passes drop only exact zeros.
 
 use super::ops;
-use super::RegionLayout;
+use super::{CoefAccess, RegionLayout};
 use hetjpeg_gpusim::{BufId, GroupCtx, Kernel};
 use hetjpeg_jpeg::dct::sparse::{class_for_eob, idct_pass1_class, idct_row_class};
 
@@ -56,6 +56,9 @@ pub struct IdctKernel {
     /// Pad local memory rows (the optimized layout). `false` only for the
     /// ablation bench.
     pub pad_lmem: bool,
+    /// Coefficient layout: dense packed blocks or PR 9's compacted
+    /// class-corner payload with an offset table.
+    pub access: CoefAccess,
 }
 
 impl IdctKernel {
@@ -115,11 +118,32 @@ impl Kernel for IdctKernel {
             it.branch(class.index() & 1 != 0);
             it.branch(class.index() & 2 != 0);
             let mut v = [0i64; 8];
-            for (r, slot) in v.iter_mut().enumerate() {
-                let addr = (coef_base + bidx * 64 + r * 8 + col) * 2;
-                let c = it.gload_i16(coef, addr) as i64;
-                it.charge(ops::DEQUANT);
-                *slot = c * self.quant[r * 8 + col] as i64;
+            match self.access {
+                CoefAccess::Dense => {
+                    for (r, slot) in v.iter_mut().enumerate() {
+                        let addr = (coef_base + bidx * 64 + r * 8 + col) * 2;
+                        let c = it.gload_i16(coef, addr) as i64;
+                        it.charge(ops::DEQUANT);
+                        *slot = c * self.quant[r * 8 + col] as i64;
+                    }
+                }
+                CoefAccess::Compacted { offsets } => {
+                    // One broadcast offset word per block — the warp's eight
+                    // copies dedup into a single transaction — then each
+                    // live column loads the block's k×k corner. Columns and
+                    // rows beyond the corner are exact zeros by the EOB
+                    // bound, so `v` simply stays zeroed and the butterfly
+                    // output is bit-identical to the dense load.
+                    let off = it.gload_u32(offsets, (eob_base + bidx) * 4) as usize;
+                    let k = class.live_k();
+                    if it.branch(col < k) {
+                        for (r, slot) in v.iter_mut().enumerate().take(k) {
+                            let c = it.gload_i16(coef, (off + r * k + col) * 2) as i64;
+                            it.charge(ops::DEQUANT);
+                            *slot = c * self.quant[r * 8 + col] as i64;
+                        }
+                    }
+                }
             }
             it.charge(ops::idct_1d_class(class));
             let out = idct_pass1_class(v, class);
@@ -158,6 +182,7 @@ impl Kernel for IdctKernel {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::kernels::testutil::{stage_region, StagedLayout};
     use hetjpeg_gpusim::{DeviceSpec, GpuSim};
     use hetjpeg_jpeg::decoder::{stages, Prepared};
     use hetjpeg_jpeg::encoder::{encode_rgb, EncodeParams};
@@ -188,53 +213,58 @@ mod tests {
         .unwrap()
     }
 
-    /// Run the IDCT kernel for all components and compare every plane byte
-    /// against the CPU `dequant_idct_region` stage.
+    /// Run the IDCT kernel for all components — in both the dense and the
+    /// compacted coefficient layout — and compare every plane byte against
+    /// the CPU `dequant_idct_region` stage.
     #[test]
     fn idct_kernel_matches_cpu_stage_bitexact() {
         for sub in [Subsampling::S444, Subsampling::S422] {
-            let jpeg = make_image(48, 32, sub);
-            let prep = Prepared::new(&jpeg).unwrap();
-            let (coefbuf, _) = prep.entropy_decode_all().unwrap();
-            let geom = &prep.geom;
-            let layout = RegionLayout::new(geom, 0, geom.mcus_y);
+            for variant in [StagedLayout::Sidecar, StagedLayout::Compacted] {
+                let jpeg = make_image(48, 32, sub);
+                let prep = Prepared::new(&jpeg).unwrap();
+                let (coefbuf, _) = prep.entropy_decode_all().unwrap();
+                let geom = &prep.geom;
+                let layout = RegionLayout::new(geom, 0, geom.mcus_y);
 
-            let mut sim = GpuSim::new(DeviceSpec::gtx560ti());
-            let coef = sim.create_buffer(layout.coef_bytes);
-            let planes = sim.create_buffer(layout.planes_len);
-            let packed = coefbuf.pack_mcu_rows(geom, 0, geom.mcus_y);
-            let bytes: Vec<u8> = packed.iter().flat_map(|v| v.to_le_bytes()).collect();
-            sim.write_buffer(coef, 0, &bytes);
-            let eobs = layout.upload_eob_sidecar(&mut sim, &coefbuf, geom);
+                let mut sim = GpuSim::new(DeviceSpec::gtx560ti());
+                let planes = sim.create_buffer(layout.planes_len);
+                let staged = stage_region(&mut sim, &layout, &coefbuf, geom, variant);
 
-            for c in 0..3 {
-                let k = IdctKernel {
-                    coef,
-                    eobs,
-                    planes,
-                    layout: layout.clone(),
-                    comp: c,
-                    quant: prep.quant[c].values,
-                    blocks_per_group: 4,
-                    pad_lmem: true,
-                };
-                let stats = sim.launch(&k, k.num_groups());
-                assert!(stats.compute_ops > 0);
-            }
+                for c in 0..3 {
+                    let k = IdctKernel {
+                        coef: staged.coef,
+                        eobs: staged.eobs,
+                        planes,
+                        layout: layout.clone(),
+                        comp: c,
+                        quant: prep.quant[c].values,
+                        blocks_per_group: 4,
+                        pad_lmem: true,
+                        access: staged.access,
+                    };
+                    let stats = sim.launch(&k, k.num_groups());
+                    assert!(stats.compute_ops > 0);
+                }
 
-            // CPU reference.
-            let mut ref_planes = SamplePlanes::new(geom);
-            stages::dequant_idct_region(&prep, &coefbuf, 0, geom.mcus_y, &mut ref_planes);
+                // CPU reference.
+                let mut ref_planes = SamplePlanes::new(geom);
+                stages::dequant_idct_region(&prep, &coefbuf, 0, geom.mcus_y, &mut ref_planes);
 
-            let out = sim.read_buffer(planes);
-            for c in 0..3 {
-                let comp = &geom.comps[c];
-                let stride = layout.plane_stride[c];
-                for row in 0..comp.plane_height() {
-                    let got = &out[layout.plane_base[c] + row * stride
-                        ..layout.plane_base[c] + row * stride + stride];
-                    let want = ref_planes.row(c, row);
-                    assert_eq!(got, want, "{} comp {c} row {row}", sub.notation());
+                let out = sim.read_buffer(planes);
+                for c in 0..3 {
+                    let comp = &geom.comps[c];
+                    let stride = layout.plane_stride[c];
+                    for row in 0..comp.plane_height() {
+                        let got = &out[layout.plane_base[c] + row * stride
+                            ..layout.plane_base[c] + row * stride + stride];
+                        let want = ref_planes.row(c, row);
+                        assert_eq!(
+                            got,
+                            want,
+                            "{} {variant:?} comp {c} row {row}",
+                            sub.notation()
+                        );
+                    }
                 }
             }
         }
@@ -251,23 +281,20 @@ mod tests {
         let layout = RegionLayout::new(geom, 0, geom.mcus_y);
 
         let mut sim = GpuSim::new(DeviceSpec::gt430());
-        let coef = sim.create_buffer(layout.coef_bytes);
         let planes = sim.create_buffer(layout.planes_len);
-        let packed = coefbuf.pack_mcu_rows(geom, 0, geom.mcus_y);
-        let bytes: Vec<u8> = packed.iter().flat_map(|v| v.to_le_bytes()).collect();
-        sim.write_buffer(coef, 0, &bytes);
-        let eobs = layout.upload_eob_sidecar(&mut sim, &coefbuf, geom);
+        let staged = stage_region(&mut sim, &layout, &coefbuf, geom, StagedLayout::Sidecar);
 
         // 6 blocks with groups of 4 -> second group is half empty.
         let k = IdctKernel {
-            coef,
-            eobs,
+            coef: staged.coef,
+            eobs: staged.eobs,
             planes,
             layout: layout.clone(),
             comp: 0,
             quant: prep.quant[0].values,
             blocks_per_group: 4,
             pad_lmem: true,
+            access: staged.access,
         };
         assert_eq!(k.num_groups(), 2);
         let stats = sim.launch(&k, k.num_groups());
@@ -286,32 +313,28 @@ mod tests {
         let geom = &prep.geom;
         let (coefbuf, _) = prep.entropy_decode_all().unwrap();
         let layout = RegionLayout::new(geom, 0, geom.mcus_y);
-        let packed = coefbuf.pack_mcu_rows(geom, 0, geom.mcus_y);
-        let bytes: Vec<u8> = packed.iter().flat_map(|v| v.to_le_bytes()).collect();
 
-        let run = |buf: &hetjpeg_jpeg::coef::CoefBuffer| {
+        let run = |variant: StagedLayout| {
             let mut sim = GpuSim::new(DeviceSpec::gtx560ti());
-            let coef = sim.create_buffer(layout.coef_bytes);
             let planes = sim.create_buffer(layout.planes_len);
-            sim.write_buffer(coef, 0, &bytes);
-            let eobs = layout.upload_eob_sidecar(&mut sim, buf, geom);
+            let staged = stage_region(&mut sim, &layout, &coefbuf, geom, variant);
             let k = IdctKernel {
-                coef,
-                eobs,
+                coef: staged.coef,
+                eobs: staged.eobs,
                 planes,
                 layout: layout.clone(),
                 comp: 1, // chroma: plenty of sparse blocks at q82
                 quant: prep.quant[1].values,
                 blocks_per_group: 4,
                 pad_lmem: true,
+                access: staged.access,
             };
             let stats = sim.launch(&k, k.num_groups());
             (stats, sim.read_buffer(planes).to_vec())
         };
 
-        let dense = coefbuf.clone_with_dense_eobs();
-        let (dense_stats, dense_out) = run(&dense);
-        let (sparse_stats, sparse_out) = run(&coefbuf);
+        let (dense_stats, dense_out) = run(StagedLayout::DenseEobs);
+        let (sparse_stats, sparse_out) = run(StagedLayout::Sidecar);
         assert_eq!(sparse_out, dense_out, "EOB dispatch must not change bytes");
         assert!(
             sparse_stats.compute_ops < dense_stats.compute_ops,
@@ -331,6 +354,60 @@ mod tests {
         assert!(sparse_stats.divergent_branches > dense_stats.divergent_branches);
     }
 
+    /// The compacted layout (PR 9) must stay bit-identical to the dense
+    /// one while shrinking both the H2D payload and the coefficient reads
+    /// on sparse content — the offset-table broadcasts cost less than the
+    /// skipped dense zeros.
+    #[test]
+    fn compacted_access_is_bitexact_and_cuts_traffic() {
+        let jpeg = make_image(64, 64, Subsampling::S422);
+        let prep = Prepared::new(&jpeg).unwrap();
+        let geom = &prep.geom;
+        let (coefbuf, _) = prep.entropy_decode_all().unwrap();
+        let layout = RegionLayout::new(geom, 0, geom.mcus_y);
+
+        let run = |variant: StagedLayout| {
+            let mut sim = GpuSim::new(DeviceSpec::gtx560ti());
+            let planes = sim.create_buffer(layout.planes_len);
+            let staged = stage_region(&mut sim, &layout, &coefbuf, geom, variant);
+            let k = IdctKernel {
+                coef: staged.coef,
+                eobs: staged.eobs,
+                planes,
+                layout: layout.clone(),
+                comp: 1, // chroma: plenty of sparse blocks at q82
+                quant: prep.quant[1].values,
+                blocks_per_group: 4,
+                pad_lmem: true,
+                access: staged.access,
+            };
+            let stats = sim.launch(&k, k.num_groups());
+            (stats, staged.h2d_bytes, sim.read_buffer(planes).to_vec())
+        };
+
+        let (dense_stats, dense_h2d, dense_out) = run(StagedLayout::Sidecar);
+        let (comp_stats, comp_h2d, comp_out) = run(StagedLayout::Compacted);
+        assert_eq!(comp_out, dense_out, "compacted reads must not change bytes");
+        assert!(
+            comp_h2d < dense_h2d,
+            "compacted H2D {comp_h2d} vs dense {dense_h2d}"
+        );
+        // Kernel-side reads trade coalescing for footprint: the corner
+        // loads are irregular, so transactions can grow even as bytes
+        // shrink. Bound the regression honestly rather than pretending
+        // the pattern stays uniform.
+        assert!(
+            comp_stats.bus_bytes() < 2 * dense_stats.bus_bytes(),
+            "compacted bus {} vs dense {}",
+            comp_stats.bus_bytes(),
+            dense_stats.bus_bytes()
+        );
+        // Skipping the zero region also skips its dequant charges.
+        assert!(comp_stats.compute_ops < dense_stats.compute_ops);
+        // The `col < k` guard is honestly divergent on mixed-class warps.
+        assert!(comp_stats.divergent_branches >= dense_stats.divergent_branches);
+    }
+
     /// Padding the local buffer must reduce bank conflicts.
     #[test]
     fn lmem_padding_reduces_conflicts() {
@@ -339,24 +416,21 @@ mod tests {
         let geom = &prep.geom;
         let (coefbuf, _) = prep.entropy_decode_all().unwrap();
         let layout = RegionLayout::new(geom, 0, geom.mcus_y);
-        let packed = coefbuf.pack_mcu_rows(geom, 0, geom.mcus_y);
-        let bytes: Vec<u8> = packed.iter().flat_map(|v| v.to_le_bytes()).collect();
 
         let run = |pad: bool| {
             let mut sim = GpuSim::new(DeviceSpec::gtx560ti());
-            let coef = sim.create_buffer(layout.coef_bytes);
             let planes = sim.create_buffer(layout.planes_len);
-            sim.write_buffer(coef, 0, &bytes);
-            let eobs = layout.upload_eob_sidecar(&mut sim, &coefbuf, geom);
+            let staged = stage_region(&mut sim, &layout, &coefbuf, geom, StagedLayout::Sidecar);
             let k = IdctKernel {
-                coef,
-                eobs,
+                coef: staged.coef,
+                eobs: staged.eobs,
                 planes,
                 layout: layout.clone(),
                 comp: 0,
                 quant: prep.quant[0].values,
                 blocks_per_group: 4,
                 pad_lmem: pad,
+                access: staged.access,
             };
             sim.launch(&k, k.num_groups())
         };

@@ -23,7 +23,7 @@
 use super::color::ColorKernel;
 use super::idct::BLOCK_LMEM_STRIDE;
 use super::ops;
-use super::RegionLayout;
+use super::{CoefAccess, RegionLayout};
 use hetjpeg_gpusim::{BufId, GroupCtx, Kernel};
 use hetjpeg_jpeg::dct::sparse::{class_for_eob, idct_pass1_class, idct_row_class};
 use hetjpeg_jpeg::sample::{upsample_h2v1_even_half, upsample_h2v1_odd_half, upsample_v2_pair};
@@ -44,6 +44,9 @@ pub struct IdctColorKernel444 {
     pub quant: [[u16; 64]; 3],
     /// Block positions per work-group (8 items each).
     pub blocks_per_group: usize,
+    /// Coefficient layout: dense packed blocks or PR 9's compacted
+    /// class-corner payload with an offset table.
+    pub access: CoefAccess,
 }
 
 impl IdctColorKernel444 {
@@ -89,16 +92,34 @@ impl Kernel for IdctColorKernel444 {
             }
             for c in 0..3 {
                 let class = class_for_eob(it.gload_u8(eobs, self.layout.eob_base(c) + bidx));
-                let base = self.layout.coef_base[c] + bidx * 64;
                 let lmem_base = (lb * 3 + c) * lstride;
                 // Data-dependent dispatch, two class bits (see idct.rs).
                 it.branch(class.index() & 1 != 0);
                 it.branch(class.index() & 2 != 0);
                 let mut v = [0i64; 8];
-                for (r, slot) in v.iter_mut().enumerate() {
-                    let raw = it.gload_i16(coef, (base + r * 8 + col) * 2) as i64;
-                    it.charge(ops::DEQUANT);
-                    *slot = raw * self.quant[c][r * 8 + col] as i64;
+                match self.access {
+                    CoefAccess::Dense => {
+                        let base = self.layout.coef_base[c] + bidx * 64;
+                        for (r, slot) in v.iter_mut().enumerate() {
+                            let raw = it.gload_i16(coef, (base + r * 8 + col) * 2) as i64;
+                            it.charge(ops::DEQUANT);
+                            *slot = raw * self.quant[c][r * 8 + col] as i64;
+                        }
+                    }
+                    CoefAccess::Compacted { offsets } => {
+                        // Broadcast offset word, then the block's k×k
+                        // corner — see the idct kernel's compacted arm.
+                        let off =
+                            it.gload_u32(offsets, (self.layout.eob_base(c) + bidx) * 4) as usize;
+                        let k = class.live_k();
+                        if it.branch(col < k) {
+                            for (r, slot) in v.iter_mut().enumerate().take(k) {
+                                let raw = it.gload_i16(coef, (off + r * k + col) * 2) as i64;
+                                it.charge(ops::DEQUANT);
+                                *slot = raw * self.quant[c][r * 8 + col] as i64;
+                            }
+                        }
+                    }
                 }
                 it.charge(ops::idct_1d_class(class));
                 let out = idct_pass1_class(v, class);
@@ -299,6 +320,7 @@ impl Kernel for UpsampleColorKernel {
 mod tests {
     use super::*;
     use crate::kernels::idct::IdctKernel;
+    use crate::kernels::testutil::{stage_region, StagedLayout};
     use hetjpeg_gpusim::{DeviceSpec, GpuSim};
     use hetjpeg_jpeg::decoder::{stages, Prepared};
     use hetjpeg_jpeg::encoder::{encode_rgb, EncodeParams};
@@ -331,37 +353,36 @@ mod tests {
     #[test]
     fn merged_444_matches_cpu_region_bitexact() {
         for (w, h) in [(32usize, 32usize), (52, 37)] {
-            let jpeg = make_jpeg(w, h, Subsampling::S444);
-            let prep = Prepared::new(&jpeg).unwrap();
-            let geom = &prep.geom;
-            let (coefbuf, _) = prep.entropy_decode_all().unwrap();
-            let layout = RegionLayout::new(geom, 0, geom.mcus_y);
+            for variant in [StagedLayout::Sidecar, StagedLayout::Compacted] {
+                let jpeg = make_jpeg(w, h, Subsampling::S444);
+                let prep = Prepared::new(&jpeg).unwrap();
+                let geom = &prep.geom;
+                let (coefbuf, _) = prep.entropy_decode_all().unwrap();
+                let layout = RegionLayout::new(geom, 0, geom.mcus_y);
 
-            let mut sim = GpuSim::new(DeviceSpec::gtx680());
-            let coef = sim.create_buffer(layout.coef_bytes);
-            let rgb = sim.create_buffer(layout.rgb_len);
-            let packed = coefbuf.pack_mcu_rows(geom, 0, geom.mcus_y);
-            let bytes: Vec<u8> = packed.iter().flat_map(|v| v.to_le_bytes()).collect();
-            sim.write_buffer(coef, 0, &bytes);
-            let eobs = layout.upload_eob_sidecar(&mut sim, &coefbuf, geom);
+                let mut sim = GpuSim::new(DeviceSpec::gtx680());
+                let rgb = sim.create_buffer(layout.rgb_len);
+                let staged = stage_region(&mut sim, &layout, &coefbuf, geom, variant);
 
-            let k = IdctColorKernel444 {
-                coef,
-                eobs,
-                rgb,
-                layout: layout.clone(),
-                quant: [
-                    prep.quant[0].values,
-                    prep.quant[1].values,
-                    prep.quant[2].values,
-                ],
-                blocks_per_group: 4,
-            };
-            sim.launch(&k, k.num_groups());
+                let k = IdctColorKernel444 {
+                    coef: staged.coef,
+                    eobs: staged.eobs,
+                    rgb,
+                    layout: layout.clone(),
+                    quant: [
+                        prep.quant[0].values,
+                        prep.quant[1].values,
+                        prep.quant[2].values,
+                    ],
+                    blocks_per_group: 4,
+                    access: staged.access,
+                };
+                sim.launch(&k, k.num_groups());
 
-            let mut want = vec![0u8; layout.rgb_len];
-            stages::decode_region_rgb(&prep, &coefbuf, 0, geom.mcus_y, &mut want).unwrap();
-            assert_eq!(sim.read_buffer(rgb), &want[..], "{w}x{h}");
+                let mut want = vec![0u8; layout.rgb_len];
+                stages::decode_region_rgb(&prep, &coefbuf, 0, geom.mcus_y, &mut want).unwrap();
+                assert_eq!(sim.read_buffer(rgb), &want[..], "{w}x{h} {variant:?}");
+            }
         }
     }
 
@@ -378,24 +399,21 @@ mod tests {
         let layout = RegionLayout::new(geom, 0, geom.mcus_y);
 
         let mut sim = GpuSim::new(DeviceSpec::gtx560ti());
-        let coef = sim.create_buffer(layout.coef_bytes);
         let planes = sim.create_buffer(layout.planes_len);
         let rgb = sim.create_buffer(layout.rgb_len);
-        let packed = coefbuf.pack_mcu_rows(geom, 0, geom.mcus_y);
-        let bytes: Vec<u8> = packed.iter().flat_map(|v| v.to_le_bytes()).collect();
-        sim.write_buffer(coef, 0, &bytes);
-        let eobs = layout.upload_eob_sidecar(&mut sim, &coefbuf, geom);
+        let staged = stage_region(&mut sim, &layout, &coefbuf, geom, StagedLayout::Sidecar);
 
         for c in 0..3 {
             let k = IdctKernel {
-                coef,
-                eobs,
+                coef: staged.coef,
+                eobs: staged.eobs,
                 planes,
                 layout: layout.clone(),
                 comp: c,
                 quant: prep.quant[c].values,
                 blocks_per_group: 4,
                 pad_lmem: true,
+                access: staged.access,
             };
             sim.launch(&k, k.num_groups());
         }

@@ -25,9 +25,31 @@
 pub mod color;
 pub mod idct;
 pub mod merged;
+pub mod testutil;
 pub mod upsample;
 
 use hetjpeg_jpeg::geometry::Geometry;
+
+/// How the IDCT-family kernels read their coefficient input (PR 9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CoefAccess {
+    /// Dense packed blocks: 64 `i16` per block at
+    /// `coef_base[c] + bidx * 64` — the pre-PR-9 layout (with or without a
+    /// meaningful EOB sidecar).
+    #[default]
+    Dense,
+    /// Compacted ≤EOB prefixes: block `i`'s class corner (`k`×`k` `i16`,
+    /// row major, `k` from its EOB class) lives at offset-table entry `i`
+    /// (`i16` units from the payload start), where `i` is the global
+    /// packed block index `RegionLayout::eob_base(c) + bidx`. The kernels
+    /// load only the corner — the coalescing cost of the now-irregular
+    /// addresses is metered honestly by the simulator, which is exactly
+    /// the trade the transfer benches price.
+    Compacted {
+        /// Per-block `u32` offset table buffer.
+        offsets: hetjpeg_gpusim::BufId,
+    },
+}
 
 /// Scalar-op charges for kernel arithmetic, shared by all kernels so the
 /// timing model sees consistent work accounting.

@@ -60,6 +60,16 @@ pub struct PerformanceModel {
     /// restart-free parallel entropy path with
     /// ([`crate::cost::CpuCostModel::speculative_entropy_time`]).
     pub spec_prefix_mcus: f64,
+    /// Per-pixel H2D seconds of the *compacted* coefficient payload as a
+    /// function of entropy density (PR 9). The compacted transfer ships
+    /// only each block's ≤EOB corner, so its size — unlike the dense
+    /// layout's — tracks content density; `Mode::Auto` corrects the fitted
+    /// `PGPU` form by this term's departure from the reference density.
+    /// Zero (the legacy/seed default) makes the correction vanish.
+    pub h2d_s_per_px: Poly1,
+    /// Entropy density (bytes/pixel) the training corpus averaged — the
+    /// point `PGPU` already embeds, where the density correction is zero.
+    pub h2d_ref_density: f64,
 }
 
 impl PerformanceModel {
@@ -85,6 +95,21 @@ impl PerformanceModel {
         } else {
             self.p_gpu.eval(width, rows).max(0.0)
         }
+    }
+
+    /// Density-corrected GPU estimate (PR 9): [`Self::p_gpu`] plus the
+    /// compacted-payload H2D delta between the image's density `d` and the
+    /// reference density the form was fit at. With an untrained (zero)
+    /// `h2d_s_per_px` this is exactly [`Self::p_gpu`].
+    pub fn p_gpu_at_density(&self, width: f64, rows: f64, d: f64) -> f64 {
+        let base = self.p_gpu(width, rows);
+        if base <= 0.0 {
+            return base;
+        }
+        let corr = (self.h2d_s_per_px.eval(d) - self.h2d_s_per_px.eval(self.h2d_ref_density))
+            * width
+            * rows;
+        (base + corr).max(0.0)
     }
 
     /// Dispatch-overhead estimate for a `width × rows` band.
@@ -159,6 +184,8 @@ impl PerformanceModel {
             wg_blocks: 8,
             pcpu_idct_discount: SEED_SPARSE_IDCT_DISCOUNT,
             spec_prefix_mcus: SEED_SPEC_PREFIX_MCUS,
+            h2d_s_per_px: Poly1::new(vec![0.0]),
+            h2d_ref_density: 0.0,
         }
     }
 
@@ -174,6 +201,7 @@ impl PerformanceModel {
             self.pcpu_idct_discount
         ));
         out.push_str(&format!("spec_prefix_mcus = {:e}\n", self.spec_prefix_mcus));
+        out.push_str(&format!("h2d_ref_density = {:e}\n", self.h2d_ref_density));
         let p1 = |name: &str, p: &Poly1, out: &mut String| {
             out.push_str(&format!("{name}.x_scale = {:e}\n", p.x_scale));
             let list: Vec<String> = p.coefs.iter().map(|c| format!("{c:e}")).collect();
@@ -192,6 +220,7 @@ impl PerformanceModel {
             out.push_str(&format!("{name}.coefs = {}\n", list.join(",")));
         };
         p1("thuff", &self.thuff_ns_per_px, &mut out);
+        p1("h2d", &self.h2d_s_per_px, &mut out);
         p2("p_cpu", &self.p_cpu, &mut out);
         p2("p_gpu", &self.p_gpu, &mut out);
         p2("t_disp", &self.t_disp, &mut out);
@@ -256,6 +285,12 @@ impl PerformanceModel {
             spec_prefix_mcus: get("spec_prefix_mcus")
                 .and_then(|s| s.parse().ok())
                 .unwrap_or(SEED_SPEC_PREFIX_MCUS),
+            // Absent in pre-PR-9 files: zero correction (those models were
+            // fit on the dense transfer, which does not vary with density).
+            h2d_s_per_px: p1("h2d").unwrap_or_else(|| Poly1::new(vec![0.0])),
+            h2d_ref_density: get("h2d_ref_density")
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0.0),
         })
     }
 }

@@ -65,6 +65,7 @@ pub fn train(
     let mut size_samples = Vec::with_capacity(images.len());
     let mut pcpu_samples = Vec::with_capacity(images.len());
     let mut pgpu_samples = Vec::with_capacity(images.len());
+    let mut h2d_rate_samples = Vec::with_capacity(images.len());
     let mut tdisp_samples = Vec::with_capacity(images.len());
     let mut subsampling = Subsampling::S422;
     let mut corpus_classes = [0u64; 4];
@@ -108,6 +109,11 @@ pub fn train(
             KernelPlan::Merged,
         );
         pgpu_samples.push(res.device_total());
+        // PR 9: the compacted H2D payload tracks content density; record
+        // the measured per-pixel transfer seconds against the image's
+        // density so `Mode::Auto` can correct `PGPU` for images departing
+        // from the corpus average.
+        h2d_rate_samples.push(res.h2d_time / pixels);
 
         // Dispatch overhead.
         tdisp_samples.push(platform.cpu.dispatch_time(geom, 0, geom.mcus_y));
@@ -147,6 +153,7 @@ pub fn train(
     let deg2 = opts.max_degree.min(size_degree_cap);
 
     let (thuff, _) = fit_poly1_aic(&density_samples, &huff_rate_samples, opts.max_degree);
+    let (h2d, _) = fit_poly1_aic(&density_samples, &h2d_rate_samples, opts.max_degree);
     let (p_cpu, _) = fit_poly2_aic(&size_samples, &pcpu_samples, deg2);
     let (p_gpu, _) = fit_poly2_aic(&size_samples, &pgpu_samples, deg2);
     let (t_disp, _) = fit_poly2_aic(&size_samples, &tdisp_samples, deg2.min(2));
@@ -166,6 +173,8 @@ pub fn train(
         } else {
             prefix_samples.iter().sum::<f64>() / prefix_samples.len() as f64
         },
+        h2d_s_per_px: h2d,
+        h2d_ref_density: density_samples.iter().sum::<f64>() / density_samples.len() as f64,
     };
 
     if opts.chunk_mcu_rows.is_none() {
@@ -253,5 +262,35 @@ mod tests {
         let a = model.p_gpu(128.0, 128.0);
         let b = model.p_gpu(256.0, 256.0);
         assert!(b > a, "PGPU must grow with size: {a} vs {b}");
+    }
+
+    #[test]
+    fn trained_h2d_term_is_density_anchored() {
+        // PR 9: the trainer fits the compacted transfer's per-pixel cost
+        // against density and records the corpus average as the reference
+        // point — where the correction must vanish exactly.
+        let platform = Platform::gtx560();
+        let corpus = small_corpus();
+        let model = train(
+            &platform,
+            &corpus,
+            TrainOptions {
+                max_degree: 3,
+                wg_blocks: Some(8),
+                chunk_mcu_rows: Some(8),
+            },
+        );
+        assert!(model.h2d_ref_density > 0.0);
+        assert!(model.h2d_s_per_px.eval(model.h2d_ref_density) > 0.0);
+        let (w, h) = (256.0, 256.0);
+        assert_eq!(
+            model.p_gpu_at_density(w, h, model.h2d_ref_density),
+            model.p_gpu(w, h),
+            "correction must be zero at the reference density"
+        );
+        // The correction moves the prediction somewhere off-reference.
+        let lo = model.p_gpu_at_density(w, h, model.h2d_ref_density / 2.0);
+        let hi = model.p_gpu_at_density(w, h, model.h2d_ref_density * 2.0);
+        assert_ne!(lo, hi, "h2d term should not be flat across densities");
     }
 }

@@ -107,6 +107,11 @@ pub fn predict_all(
     let chunk_px = ((chunk_rows * geom.mcu_h) as f64).min(h);
     let n_chunks = (h / chunk_px).ceil().max(1.0);
     let huff_chunk = thuff * chunk_px / h;
+    // PR 9: the compacted H2D payload tracks content density, so every
+    // GPU-involving mode's transfer cost departs from the fitted `PGPU`
+    // form by this per-pixel delta (zero for untrained/legacy models).
+    let h2d_corr_per_px =
+        model.h2d_s_per_px.eval(d) - model.h2d_s_per_px.eval(model.h2d_ref_density);
 
     let seconds_for = |mode: Mode| -> f64 {
         match mode {
@@ -115,25 +120,33 @@ pub fn predict_all(
             Mode::Sequential => thuff + pcpu * scalar_ratio,
             Mode::Simd => thuff + pcpu,
             // Fig. 5a: everything serial — Huffman, one dispatch, the whole
-            // device phase.
-            Mode::Gpu => thuff + model.t_disp(w, h) + model.p_gpu(w, h),
+            // device phase. The GPU form is density-corrected (PR 9): the
+            // compacted H2D payload of a dense image is larger than the
+            // corpus reference the form was fit at, and vice versa.
+            Mode::Gpu => thuff + model.t_disp(w, h) + model.p_gpu_at_density(w, h, d),
             // Fig. 5b: kernels hide behind Huffman after the first chunk's
             // latency; the CPU side pays every dispatch.
             Mode::PipelinedGpu => {
                 let cpu_side = thuff + n_chunks * model.t_disp(w, chunk_px);
-                let gpu_side = huff_chunk + model.t_disp(w, chunk_px) + model.p_gpu(w, h);
+                let gpu_side =
+                    huff_chunk + model.t_disp(w, chunk_px) + model.p_gpu_at_density(w, h, d);
                 cpu_side.max(gpu_side)
             }
-            // Eq. 10: Huffman first, then the balanced split.
+            // Eq. 10: Huffman first, then the balanced split. The GPU
+            // share's transfer is density-corrected over its own rows.
             Mode::Sps => {
                 let part = sps::partition(model, geom);
-                thuff + part.predicted_cpu.max(part.predicted_gpu)
+                let g_px = (part.gpu_mcu_rows * geom.mcu_h) as f64;
+                let gpu = (part.predicted_gpu + h2d_corr_per_px * w * g_px).max(0.0);
+                thuff + part.predicted_cpu.max(gpu)
             }
             // Eq. 15: the split already prices the overlapped Huffman; only
             // the first chunk's latency is exposed on the GPU side.
             Mode::Pps => {
                 let part = pps::initial_partition(model, geom, d, chunk_px);
-                part.predicted_cpu.max(huff_chunk + part.predicted_gpu)
+                let g_px = (part.gpu_mcu_rows * geom.mcu_h) as f64;
+                let gpu = (part.predicted_gpu + h2d_corr_per_px * w * g_px).max(0.0);
+                part.predicted_cpu.max(huff_chunk + gpu)
             }
             // Entropy decode spread over the worker pool, then the SIMD
             // band. Restart markers give exact segment boundaries; without
@@ -294,6 +307,52 @@ mod tests {
         model.spec_prefix_mcus = 0.0;
         let single = select_mode(&prep, &platform, &model, 1);
         assert_ne!(single.mode, Mode::ParallelEntropy);
+    }
+
+    #[test]
+    fn gpu_pricing_shifts_with_payload_density() {
+        // PR 9: the compacted transfer's size depends on content density,
+        // so a trained `h2d_s_per_px` term must move the GPU predictions
+        // with the image's density — and a large enough payload penalty
+        // must flip the `Auto` decision off the GPU entirely.
+        use crate::regress::Poly1;
+        let jpeg = jpeg_of(384, 384, 0);
+        let prep = Prepared::new(&jpeg).unwrap();
+        let platform = Platform::gtx680();
+        let model = platform.untrained_model();
+        let d = prep.parsed.entropy_density();
+        assert!(d > 0.0);
+        // The fast-GPU platform picks a GPU-involving mode uncorrected
+        // (single-threaded, so parallel entropy is out of the running).
+        assert!(!select_mode(&prep, &platform, &model, 1).mode.is_cpu_only());
+
+        let gpu_s = |m: &PerformanceModel| {
+            predict_all(&prep, &platform, m, 1)
+                .iter()
+                .find(|p| p.mode == Mode::Gpu)
+                .unwrap()
+                .seconds
+        };
+        let base = gpu_s(&model);
+        // Image denser than the training reference ⇒ bigger payload ⇒
+        // pricier GPU.
+        let mut denser = model.clone();
+        denser.h2d_s_per_px = Poly1::new(vec![0.0, 1e-9]);
+        denser.h2d_ref_density = 0.0;
+        assert!(gpu_s(&denser) > base);
+        // Image sparser than the reference ⇒ smaller payload ⇒ cheaper.
+        let mut sparser = model.clone();
+        sparser.h2d_s_per_px = Poly1::new(vec![0.0, 1e-9]);
+        sparser.h2d_ref_density = 2.0 * d;
+        assert!(gpu_s(&sparser) < base);
+        // A doctored payload term large enough prices every GPU-involving
+        // mode (Gpu, PipelinedGpu, and the hetero splits' GPU shares) out
+        // of the running.
+        let mut awful = model.clone();
+        awful.h2d_s_per_px = Poly1::new(vec![0.0, 1e-5]);
+        awful.h2d_ref_density = 0.0;
+        let pick = select_mode(&prep, &platform, &awful, 1).mode;
+        assert!(pick.is_cpu_only(), "density-priced model picked {pick:?}");
     }
 
     #[test]

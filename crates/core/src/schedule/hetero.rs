@@ -58,6 +58,8 @@ pub(crate) fn decode_sps_in(
             KernelPlan::Merged,
             p.staging,
         );
+        p.stats.h2d_transfers += 1;
+        p.stats.h2d_bytes += res.h2d_bytes as u64;
         let h2d = q.enqueue("h2d", cpu_now, res.h2d_time);
         trace.push("h2d", Resource::Gpu, h2d.start, h2d.end);
         b.h2d = res.h2d_time;
@@ -141,6 +143,7 @@ pub(crate) fn decode_pps_in(
     let enqueue_gpu_chunk = |prep: &Prepared<'_>,
                              coef: &hetjpeg_jpeg::coef::CoefBuffer,
                              staging: &mut GpuStaging,
+                             stats: &mut crate::workspace::PoolStats,
                              row0: usize,
                              row1: usize,
                              cpu_now: &mut f64,
@@ -162,6 +165,8 @@ pub(crate) fn decode_pps_in(
             KernelPlan::Merged,
             staging,
         );
+        stats.h2d_transfers += 1;
+        stats.h2d_bytes += res.h2d_bytes as u64;
         let h2d = q.enqueue("h2d", *cpu_now, res.h2d_time);
         trace.push("h2d", Resource::Gpu, h2d.start, h2d.end);
         b.h2d += res.h2d_time;
@@ -235,6 +240,7 @@ pub(crate) fn decode_pps_in(
             prep,
             p.coef,
             p.staging,
+            p.stats,
             row,
             end,
             &mut cpu_now,

@@ -92,6 +92,8 @@ pub(crate) fn decode_gpu_in(
         KernelPlan::Merged,
         p.staging,
     );
+    p.stats.h2d_transfers += 1;
+    p.stats.h2d_bytes += res.h2d_bytes as u64;
 
     let mut trace = Trace::default();
     trace.push("huffman", Resource::Cpu, 0.0, t_huff);
@@ -128,6 +130,97 @@ pub(crate) fn decode_gpu_in(
         mode: Mode::Gpu,
         truncated: false,
     })
+}
+
+/// One image's share of a batched GPU decode (PR 9): everything
+/// [`decode_gpu_in`] computes *except* the H2D pricing, which the batch
+/// owner settles once the whole batch's compacted payload sizes are known.
+pub(crate) struct GpuBatchMember {
+    image: RgbImage,
+    t_huff: f64,
+    t_disp: f64,
+    kernel_times: Vec<(&'static str, f64)>,
+    d2h_time: f64,
+    /// Bytes this image contributes to the coalesced transfer.
+    pub(crate) h2d_bytes: usize,
+}
+
+/// Stage one image of a batched whole-image GPU decode: entropy on the
+/// CPU, kernels on the simulated GPU, compacted payload measured — but no
+/// per-image H2D time. The caller prices ONE coalesced PCIe transfer over
+/// all members ([`hetjpeg_gpusim::PcieModel::batched_transfer_time`]) and
+/// finalizes each member with its byte-proportional share. Bumps the pool's
+/// `h2d_bytes` (the payload still crosses the bus); the caller counts the
+/// single batched transfer.
+pub(crate) fn decode_gpu_batch_stage(
+    prep: &Prepared<'_>,
+    platform: &Platform,
+    model: &PerformanceModel,
+    ws: &mut Workspace,
+) -> Result<GpuBatchMember> {
+    let geom = &prep.geom;
+    ws.ensure(prep);
+    let p = ws.parts();
+    let (_rows, t_huff) = entropy_into(prep, platform, p.coef)?;
+    let t_disp = platform.cpu.dispatch_time(geom, 0, geom.mcus_y);
+    let res = decode_region_gpu_with(
+        prep,
+        p.coef,
+        0,
+        geom.mcus_y,
+        platform,
+        model.wg_blocks,
+        KernelPlan::Merged,
+        p.staging,
+    );
+    p.stats.h2d_bytes += res.h2d_bytes as u64;
+    let mut image = RgbImage::new(geom.width, geom.height);
+    image.data.copy_from_slice(&res.rgb);
+    Ok(GpuBatchMember {
+        image,
+        t_huff,
+        t_disp,
+        kernel_times: res.kernel_times,
+        d2h_time: res.d2h_time,
+        h2d_bytes: res.h2d_bytes,
+    })
+}
+
+/// Finalize a batch member once the coalesced transfer is priced:
+/// `h2d_share` is this image's byte-proportional slice of the batch's
+/// single H2D time. The timeline mirrors [`decode_gpu_in`]'s.
+pub(crate) fn finish_gpu_batch_member(m: GpuBatchMember, h2d_share: f64) -> DecodeOutcome {
+    let mut trace = Trace::default();
+    trace.push("huffman", Resource::Cpu, 0.0, m.t_huff);
+    trace.push("dispatch", Resource::Cpu, m.t_huff, m.t_huff + m.t_disp);
+    let mut q = CommandQueue::new();
+    let h2d = q.enqueue("h2d", m.t_huff + m.t_disp, h2d_share);
+    trace.push("h2d", Resource::Gpu, h2d.start, h2d.end);
+    let mut kernels_total = 0.0;
+    for &(name, t) in &m.kernel_times {
+        let ev = q.enqueue(name, h2d.end, t);
+        trace.push("kernel", Resource::Gpu, ev.start, ev.end);
+        kernels_total += t;
+    }
+    let d2h = q.enqueue("d2h", q.drain_time(), m.d2h_time);
+    trace.push("d2h", Resource::Gpu, d2h.start, d2h.end);
+    DecodeOutcome {
+        image: m.image,
+        ycc: None,
+        times: Breakdown {
+            huffman: m.t_huff,
+            dispatch: m.t_disp,
+            h2d: h2d_share,
+            kernels: kernels_total,
+            d2h: m.d2h_time,
+            total: q.drain_time(),
+            ..Default::default()
+        },
+        trace,
+        partition: None,
+        mode: Mode::Gpu,
+        truncated: false,
+    }
 }
 
 /// Pipelined GPU mode (Fig. 5b, §4.5) on pooled scratch: the image is
@@ -179,6 +272,8 @@ pub(crate) fn decode_pipelined_gpu_in(
             KernelPlan::Merged,
             p.staging,
         );
+        p.stats.h2d_transfers += 1;
+        p.stats.h2d_bytes += res.h2d_bytes as u64;
         let h2d = q.enqueue("h2d", cpu_now, res.h2d_time);
         trace.push("h2d", Resource::Gpu, h2d.start, h2d.end);
         b.h2d += res.h2d_time;

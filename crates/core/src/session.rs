@@ -407,6 +407,18 @@ struct SessionState {
     auto_cache: AutoCache,
 }
 
+/// How one image of a [`Decoder::decode_batch`] call is executed.
+enum BatchPlan {
+    /// Whole-image GPU mode: staged for the batch's single coalesced H2D
+    /// transfer (or the staging error).
+    Stage(Result<crate::schedule::single::GpuBatchMember>),
+    /// A concrete non-GPU mode, already resolved (possibly from the `Auto`
+    /// cache) — decode per-image without re-resolving.
+    Resolved(Mode),
+    /// Nothing resolved; take the ordinary per-image path untouched.
+    Solo,
+}
+
 /// A point-in-time snapshot of a session's pool and cache counters —
 /// what the server layer aggregates into its per-shard statistics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -540,16 +552,126 @@ impl Decoder {
     /// Decode a batch of images under one workspace lock: pooled buffers,
     /// GPU staging and cached `Auto` decisions are reused across the whole
     /// batch. Returns one result per input, in order.
+    ///
+    /// Images that resolve to the whole-image GPU mode additionally share
+    /// **one** coalesced host→device transfer (PR 9): each image's
+    /// compacted payload is staged, the batch pays the PCIe fixed cost
+    /// once ([`hetjpeg_gpusim::PcieModel::batched_transfer_time`]), and
+    /// each outcome's `h2d` is its byte-proportional share of that single
+    /// transfer. [`PoolStats::h2d_transfers`] counts one per batch on this
+    /// path. Everything else (CPU modes, partitioned modes, progressive,
+    /// planar, errors) decodes exactly as [`Decoder::decode`] would.
     pub fn decode_batch(
         &self,
         images: &[impl AsRef<[u8]>],
         opts: DecodeOptions,
     ) -> Vec<Result<DecodeOutcome>> {
         let mut state = self.state.lock().expect("decoder state lock");
-        images
-            .iter()
-            .map(|data| self.decode_locked(&mut state, data.as_ref(), &opts))
+        if images.len() < 2 {
+            return images
+                .iter()
+                .map(|data| self.decode_locked(&mut state, data.as_ref(), &opts))
+                .collect();
+        }
+        let mut results: Vec<Option<Result<DecodeOutcome>>> = images.iter().map(|_| None).collect();
+        let mut staged: Vec<(usize, crate::schedule::single::GpuBatchMember)> = Vec::new();
+        for (i, data) in images.iter().enumerate() {
+            let data = data.as_ref();
+            match self.plan_batch_member(&mut state, data, &opts) {
+                BatchPlan::Stage(Ok(m)) => {
+                    staged.push((i, m));
+                }
+                // A staging failure under strict handling is the same error
+                // a solo decode would return; tolerant handling re-routes
+                // through the salvaging path with the already-resolved mode
+                // (so the `Auto` cache is not consulted twice per image).
+                BatchPlan::Stage(Err(e)) if opts.strictness == Strictness::Strict => {
+                    results[i] = Some(Err(e));
+                }
+                BatchPlan::Stage(Err(_)) => {
+                    let forced = DecodeOptions {
+                        mode: Mode::Gpu,
+                        ..opts
+                    };
+                    results[i] = Some(self.decode_locked(&mut state, data, &forced));
+                }
+                BatchPlan::Resolved(mode) => {
+                    let forced = DecodeOptions { mode, ..opts };
+                    results[i] = Some(self.decode_locked(&mut state, data, &forced));
+                }
+                BatchPlan::Solo => {
+                    results[i] = Some(self.decode_locked(&mut state, data, &opts));
+                }
+            }
+        }
+        if !staged.is_empty() {
+            let sizes: Vec<usize> = staged.iter().map(|(_, m)| m.h2d_bytes).collect();
+            let total_bytes: usize = sizes.iter().sum();
+            let batch_time = self.platform.pcie.batched_transfer_time(&sizes, true);
+            state.ws.stats.h2d_transfers += 1;
+            for (i, m) in staged {
+                let share = if total_bytes > 0 {
+                    batch_time * m.h2d_bytes as f64 / total_bytes as f64
+                } else {
+                    batch_time / sizes.len() as f64
+                };
+                results[i] = Some(Ok(crate::schedule::single::finish_gpu_batch_member(
+                    m, share,
+                )));
+            }
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every batch slot decided"))
             .collect()
+    }
+
+    /// Batched-transfer pre-pass for one image: stage it for the coalesced
+    /// GPU batch when — and only when — a solo decode would take the
+    /// whole-image GPU mode. [`BatchPlan::Resolved`] carries the mode an
+    /// `Auto` image resolved to (concrete but not GPU) so the per-image
+    /// fallback does not consult the decision cache a second time;
+    /// [`BatchPlan::Solo`] means nothing was resolved (different format,
+    /// progressive, unparseable, over the pixel guard).
+    fn plan_batch_member(
+        &self,
+        state: &mut SessionState,
+        data: &[u8],
+        opts: &DecodeOptions,
+    ) -> BatchPlan {
+        if opts.format != OutputFormat::Rgb || hetjpeg_jpeg::progressive::is_progressive(data) {
+            return BatchPlan::Solo;
+        }
+        let Ok(prep) = Prepared::new(data) else {
+            return BatchPlan::Solo;
+        };
+        if let Some(max) = opts.max_pixels {
+            if prep.geom.pixels() > max {
+                return BatchPlan::Solo;
+            }
+        }
+        state
+            .ws
+            .set_simd_level(if let Some(level) = opts.force_simd_level {
+                level
+            } else if opts.force_scalar_simd {
+                SimdLevel::Scalar
+            } else {
+                self.simd_level
+            });
+        let mode = match opts.mode {
+            Mode::Auto => self.auto_mode(state, &prep, false),
+            m => m,
+        };
+        if mode != Mode::Gpu {
+            return BatchPlan::Resolved(mode);
+        }
+        BatchPlan::Stage(crate::schedule::single::decode_gpu_batch_stage(
+            &prep,
+            &self.platform,
+            &self.model,
+            &mut state.ws,
+        ))
     }
 
     /// Decode with the real two-thread PPS pipeline (wall-clock, not
@@ -1207,6 +1329,83 @@ mod tests {
         // later image served from the cache.
         assert_eq!(stats.auto_evals, 1);
         assert_eq!(stats.auto_cache_hits, images.len() as u64 - 1);
+    }
+
+    #[test]
+    fn batched_gpu_decode_coalesces_h2d() {
+        // Four images forced through the whole-image GPU mode: a batch must
+        // ship ONE coalesced transfer (the PCIe fixed cost paid once),
+        // produce pixels bit-identical to solo decodes, and attribute the
+        // batch's H2D time byte-proportionally across the outcomes.
+        let images: Vec<Vec<u8>> = (0..4).map(|i| jpeg_of(96, 64 + 16 * i, 0)).collect();
+        let opts = DecodeOptions::with_mode(Mode::Gpu);
+
+        let solo = Decoder::builder()
+            .platform(Platform::gtx680())
+            .build()
+            .unwrap();
+        let solo_outs: Vec<_> = images
+            .iter()
+            .map(|j| solo.decode(j, opts).unwrap())
+            .collect();
+        let s = solo.pool_stats();
+        assert_eq!(s.h2d_transfers, images.len() as u64); // one per decode
+        assert!(s.h2d_bytes > 0);
+
+        let batched = Decoder::builder()
+            .platform(Platform::gtx680())
+            .build()
+            .unwrap();
+        let batch_outs = batched.decode_batch(&images, opts);
+        let b = batched.pool_stats();
+        assert_eq!(b.h2d_transfers, 1, "one transfer per batch, not per image");
+        assert_eq!(b.h2d_bytes, s.h2d_bytes, "same payload bytes cross the bus");
+
+        let mut solo_h2d = 0.0;
+        let mut batch_h2d = 0.0;
+        for (got, want) in batch_outs.iter().zip(&solo_outs) {
+            let got = got.as_ref().unwrap();
+            assert_eq!(got.image.data, want.image.data);
+            assert_eq!(got.mode, Mode::Gpu);
+            assert!(got.times.h2d > 0.0);
+            solo_h2d += want.times.h2d;
+            batch_h2d += got.times.h2d;
+        }
+        // Solo pays the PCIe latency four times; the batch pays it once.
+        let saved = solo_h2d - batch_h2d;
+        let lat = batched.platform().pcie.latency_us * 1e-6;
+        assert!(
+            (saved - 3.0 * lat).abs() < 1e-12,
+            "batch should save exactly 3 latencies: saved {saved:e}, latency {lat:e}"
+        );
+    }
+
+    #[test]
+    fn mixed_batch_counts_transfers_per_path() {
+        // Auto on a weak-GPU platform routes these images to CPU modes: the
+        // batch must not stage a coalesced transfer at all, and fall back
+        // per-image with the exact same results as solo decodes.
+        let images: Vec<Vec<u8>> = (0..3).map(|_| jpeg_of(64, 64, 0)).collect();
+        let dec = Decoder::builder()
+            .platform(Platform::gt430())
+            .build()
+            .unwrap();
+        let outs = dec.decode_batch(&images, DecodeOptions::default());
+        let solo = Decoder::builder()
+            .platform(Platform::gt430())
+            .build()
+            .unwrap();
+        for (o, img) in outs.iter().zip(&images) {
+            let o = o.as_ref().unwrap();
+            let want = solo.decode(img, DecodeOptions::default()).unwrap();
+            assert_eq!(o.image.data, want.image.data);
+            assert_eq!(o.mode, want.mode);
+        }
+        // Decision caching is unchanged by the batch pre-pass: one eval,
+        // the rest cache hits — never two lookups per image.
+        let s = dec.pool_stats();
+        assert_eq!(s.auto_evals, 1);
+        assert_eq!(s.auto_cache_hits, images.len() as u64 - 1);
     }
 
     #[test]

@@ -35,6 +35,14 @@ pub struct PoolStats {
     /// `Mode::Auto` cache entries evicted (LRU-first) to respect the
     /// session's configured entry cap.
     pub auto_evictions: u64,
+    /// Host→device transfers issued to the (simulated) GPU. A batched
+    /// decode that coalesces several images' payloads into one PCIe
+    /// transaction counts **one** transfer here, which is what the serve
+    /// tests assert (per-batch, not per-image accounting).
+    pub h2d_transfers: u64,
+    /// Total bytes shipped host→device (compacted payload + offset table +
+    /// EOB sidecar under the default transfer mode).
+    pub h2d_bytes: u64,
 }
 
 impl PoolStats {
@@ -50,6 +58,8 @@ impl PoolStats {
         self.auto_evals += other.auto_evals;
         self.auto_cache_hits += other.auto_cache_hits;
         self.auto_evictions += other.auto_evictions;
+        self.h2d_transfers += other.h2d_transfers;
+        self.h2d_bytes += other.h2d_bytes;
     }
 }
 
@@ -105,6 +115,7 @@ pub(crate) struct WsParts<'a> {
     pub scalar: &'a mut stages::Scratch,
     pub simd: &'a mut simd::SimdScratch,
     pub staging: &'a mut GpuStaging,
+    pub stats: &'a mut PoolStats,
 }
 
 impl Workspace {
@@ -195,6 +206,7 @@ impl Workspace {
             scalar: self.scalar.as_mut().expect("Workspace::ensure not called"),
             simd: self.simd.as_mut().expect("Workspace::ensure not called"),
             staging: &mut self.staging,
+            stats: &mut self.stats,
         }
     }
 

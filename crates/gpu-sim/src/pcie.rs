@@ -37,6 +37,20 @@ impl PcieModel {
         };
         self.latency_us * 1e-6 + bytes as f64 / (bw * 1e9)
     }
+
+    /// Transfer time for several payloads coalesced into **one** DMA: the
+    /// per-transfer fixed latency is paid once, the payload bytes stream
+    /// back to back. This is the batched-H2D contract of `decode_batch` —
+    /// the §4 launch-amortization argument applied to transfers.
+    pub fn batched_transfer_time(&self, sizes: &[usize], pinned: bool) -> f64 {
+        self.transfer_time(sizes.iter().sum(), pinned)
+    }
+
+    /// What the same payloads would cost as individual transfers — the
+    /// unbatched baseline the amortization benches compare against.
+    pub fn unbatched_transfer_time(&self, sizes: &[usize], pinned: bool) -> f64 {
+        sizes.iter().map(|&b| self.transfer_time(b, pinned)).sum()
+    }
 }
 
 #[cfg(test)]
@@ -63,6 +77,20 @@ mod tests {
         let t = p.transfer_time(gb, true);
         let ideal = (1u64 << 30) as f64 / 6e9;
         assert!((t - ideal) / ideal < 0.01);
+    }
+
+    #[test]
+    fn batched_transfer_pays_latency_once() {
+        let p = PcieModel::gen2_x16();
+        let sizes = [64 * 1024usize, 96 * 1024, 32 * 1024, 128 * 1024];
+        let batched = p.batched_transfer_time(&sizes, true);
+        let unbatched = p.unbatched_transfer_time(&sizes, true);
+        let total: usize = sizes.iter().sum();
+        // Exactly one latency term plus the streamed bytes...
+        assert!((batched - p.transfer_time(total, true)).abs() < 1e-15);
+        // ...which saves (n-1) latencies against per-payload transfers.
+        let saved = (sizes.len() - 1) as f64 * p.latency_us * 1e-6;
+        assert!((unbatched - batched - saved).abs() < 1e-12);
     }
 
     #[test]

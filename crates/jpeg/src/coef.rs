@@ -168,13 +168,71 @@ impl CoefBuffer {
     }
 
     /// A copy of this buffer with every EOB forced to the dense-safe
-    /// maximum — the pre-PR-5 "GPU baseline is dense" behaviour, kept for
-    /// the bench ablation that measures what the GPU EOB dispatch buys.
+    /// maximum — the pre-PR-5 "GPU baseline is dense" behaviour. Kernel
+    /// tests/benches/examples stage this ablation through
+    /// `hetjpeg_core::kernels::testutil` rather than calling this directly,
+    /// so the three transfer-layout variants share one staging definition.
     pub fn clone_with_dense_eobs(&self) -> Self {
         CoefBuffer {
             data: self.data.clone(),
             eob: vec![EOB_DENSE; self.eob.len()],
         }
+    }
+
+    /// Pack MCU rows `[start, end)` in the **compacted transfer layout**
+    /// (Weißenberger & Schmidt): per block, only the ≤EOB class corner —
+    /// `k`×`k` natural-order coefficients, row major, `k` =
+    /// [`SparseClass::live_k`](crate::dct::sparse::SparseClass::live_k) —
+    /// plus a `u32` offset-table entry per block (in `i16` units from the
+    /// payload start) so a GPU work-item can index any block directly.
+    ///
+    /// The offset table is computed by an **exclusive scan over per-block-row
+    /// EOB-class histograms** (the parallel-packer formulation: each block
+    /// row's size is a pure function of its histogram,
+    /// [`crate::metrics::compacted_coefs`]), then filled in row-locally.
+    /// Block order is exactly [`Self::pack_mcu_rows_into`]'s
+    /// (`packed_block_ranges` is the single traversal definition), so the
+    /// offset table, the EOB sidecar and the dense layout all agree on
+    /// which block is which.
+    pub fn pack_compacted_into(
+        &self,
+        geom: &Geometry,
+        start: usize,
+        end: usize,
+        payload: &mut Vec<i16>,
+        offsets: &mut Vec<u32>,
+    ) {
+        use crate::dct::sparse::class_for_eob;
+        payload.clear();
+        offsets.clear();
+        offsets.reserve(geom.blocks_in_mcu_rows(start, end));
+
+        // Pass 1: per-block-row class histograms -> exclusive scan.
+        let mut row_base = Vec::new();
+        let mut acc = 0usize;
+        for r in packed_block_ranges(geom, start, end) {
+            let mut hist = [0u64; crate::dct::sparse::NUM_SPARSE_CLASSES];
+            for &e in &self.eob[r] {
+                hist[class_for_eob(e).index()] += 1;
+            }
+            row_base.push(acc);
+            acc += crate::metrics::compacted_coefs(&hist) as usize;
+        }
+        assert!(
+            acc <= u32::MAX as usize,
+            "compacted offset table overflow: {acc} i16s"
+        );
+        payload.reserve(acc);
+
+        // Pass 2: emit each block's corner at its scanned offset.
+        for (r, base) in packed_block_ranges(geom, start, end).zip(row_base) {
+            let mut off = base;
+            for b in r {
+                offsets.push(off as u32);
+                off += push_compacted_block(self.block(b), self.eob[b], payload);
+            }
+        }
+        debug_assert_eq!(payload.len(), acc);
     }
 
     /// Create a shared handle for concurrent block writes from multiple
@@ -210,6 +268,63 @@ fn packed_block_ranges<'a>(
             first..first + comp.width_blocks
         })
     })
+}
+
+/// Append one block's compacted representation — its EOB class's `k`×`k`
+/// natural-order corner, row major — to `payload`; returns the number of
+/// `i16` values appended ([`crate::dct::sparse::CLASS_COEFS`] of the
+/// class). Every compacted packer goes through this one emitter so the
+/// block layout cannot drift between the whole-buffer path, the packed-
+/// chunk path and the tests' oracle.
+#[inline]
+pub fn push_compacted_block(block: &[i16; 64], eob: u8, payload: &mut Vec<i16>) -> usize {
+    let k = crate::dct::sparse::class_for_eob(eob).live_k();
+    for row in 0..k {
+        payload.extend_from_slice(&block[row * 8..row * 8 + k]);
+    }
+    k * k
+}
+
+/// Compact an already-packed dense chunk (64 `i16` per block, the pipelined
+/// executor's channel payload) plus its EOB sidecar into the compacted
+/// layout of [`CoefBuffer::pack_compacted_into`]. Block order is the packed
+/// order, i.e. byte `i` of `eobs` describes blocks `64*i..64*i+64` of
+/// `packed` and offset-table entry `i` of the output.
+pub fn compact_packed_blocks(
+    packed: &[i16],
+    eobs: &[u8],
+    payload: &mut Vec<i16>,
+    offsets: &mut Vec<u32>,
+) {
+    assert_eq!(packed.len(), eobs.len() * 64, "packed/sidecar disagree");
+    payload.clear();
+    offsets.clear();
+    offsets.reserve(eobs.len());
+    for (i, &eob) in eobs.iter().enumerate() {
+        let block: &[i16; 64] = packed[i * 64..i * 64 + 64].try_into().expect("block");
+        let off = payload.len();
+        assert!(off <= u32::MAX as usize, "compacted offset table overflow");
+        offsets.push(off as u32);
+        push_compacted_block(block, eob, payload);
+    }
+}
+
+/// Reconstruct the dense packed layout (64 `i16` per block) from a
+/// compacted payload, its offset table and the EOB sidecar — the host-side
+/// unpack oracle the transfer-layer property tests round-trip through (the
+/// GPU kernels index the compacted payload directly instead).
+pub fn unpack_compacted_blocks(payload: &[i16], offsets: &[u32], eobs: &[u8]) -> Vec<i16> {
+    assert_eq!(offsets.len(), eobs.len(), "offset table/sidecar disagree");
+    let mut out = vec![0i16; eobs.len() * 64];
+    for (i, (&off, &eob)) in offsets.iter().zip(eobs).enumerate() {
+        let k = crate::dct::sparse::class_for_eob(eob).live_k();
+        let off = off as usize;
+        for row in 0..k {
+            out[i * 64 + row * 8..i * 64 + row * 8 + k]
+                .copy_from_slice(&payload[off + row * k..off + row * k + k]);
+        }
+    }
+    out
 }
 
 /// Shared-write handle over a [`CoefBuffer`], allowing worker threads to
@@ -352,5 +467,85 @@ mod tests {
         let buf = CoefBuffer::new(&g);
         let packed = buf.pack_mcu_rows(&g, 0, g.mcus_y);
         assert_eq!(packed.len(), buf.as_slice().len());
+    }
+
+    /// Seed a buffer with one block of every sparse class, cycling.
+    fn classy_buffer(g: &Geometry) -> CoefBuffer {
+        let mut buf = CoefBuffer::new(g);
+        let eobs = [0u8, 2, 9, 63];
+        for b in 0..g.total_blocks {
+            let eob = eobs[b % 4];
+            let block = crate::testutil::coef_block_for_eob(b as u64 + 7, eob as usize, 300);
+            *buf.block_mut(b) = block;
+            buf.set_eob(b, eob);
+        }
+        buf
+    }
+
+    #[test]
+    fn compacted_pack_roundtrips_and_matches_histogram_prediction() {
+        for sub in [Subsampling::S444, Subsampling::S422, Subsampling::S420] {
+            let g = Geometry::new(40, 24, sub).unwrap();
+            let buf = classy_buffer(&g);
+            for (a, b) in [(0usize, g.mcus_y), (0, 1), (1, g.mcus_y)] {
+                let dense = buf.pack_mcu_rows(&g, a, b);
+                let mut eobs = Vec::new();
+                buf.pack_eobs_mcu_rows_into(&g, a, b, &mut eobs);
+                let (mut payload, mut offsets) = (Vec::new(), Vec::new());
+                buf.pack_compacted_into(&g, a, b, &mut payload, &mut offsets);
+
+                // Size is exactly the histogram prediction.
+                let mut hist = [0u64; 4];
+                for &e in &eobs {
+                    hist[crate::dct::sparse::class_for_eob(e).index()] += 1;
+                }
+                assert_eq!(
+                    payload.len() as u64,
+                    crate::metrics::compacted_coefs(&hist),
+                    "{:?} rows {a}..{b}",
+                    sub
+                );
+                assert_eq!(offsets.len(), eobs.len());
+
+                // Roundtrip through the unpack oracle is the dense layout.
+                assert_eq!(unpack_compacted_blocks(&payload, &offsets, &eobs), dense);
+
+                // The packed-chunk compactor agrees with the scan packer.
+                let (mut p2, mut o2) = (Vec::new(), Vec::new());
+                compact_packed_blocks(&dense, &eobs, &mut p2, &mut o2);
+                assert_eq!(p2, payload);
+                assert_eq!(o2, offsets);
+            }
+        }
+    }
+
+    #[test]
+    fn compacted_pack_degenerate_extremes() {
+        let g = Geometry::new(16, 16, Subsampling::S444).unwrap();
+        // All-dense: compacted degenerates to the dense layout plus offsets.
+        let mut buf = CoefBuffer::new(&g);
+        for b in 0..g.total_blocks {
+            buf.block_mut(b)[63] = b as i16 + 1; // EOB stays dense-safe 63
+        }
+        let (mut payload, mut offsets) = (Vec::new(), Vec::new());
+        buf.pack_compacted_into(&g, 0, g.mcus_y, &mut payload, &mut offsets);
+        assert_eq!(payload, buf.pack_mcu_rows(&g, 0, g.mcus_y));
+        assert_eq!(offsets[1], 64);
+
+        // All DC-only: one i16 per block.
+        let mut buf = CoefBuffer::new(&g);
+        for b in 0..g.total_blocks {
+            buf.block_mut(b)[0] = -(b as i16);
+            buf.set_eob(b, 0);
+        }
+        buf.pack_compacted_into(&g, 0, g.mcus_y, &mut payload, &mut offsets);
+        assert_eq!(payload.len(), g.total_blocks);
+        assert!(offsets.iter().enumerate().all(|(i, &o)| o as usize == i));
+        let mut eobs = Vec::new();
+        buf.pack_eobs_mcu_rows_into(&g, 0, g.mcus_y, &mut eobs);
+        assert_eq!(
+            unpack_compacted_blocks(&payload, &offsets, &eobs),
+            buf.pack_mcu_rows(&g, 0, g.mcus_y)
+        );
     }
 }

@@ -87,6 +87,13 @@ pub fn class_for_eob(eob: u8) -> SparseClass {
 /// Number of sparse-dispatch classes (the length of an EOB-class histogram).
 pub const NUM_SPARSE_CLASSES: usize = 4;
 
+/// `i16` coefficients the **compacted GPU transfer layout** ships per block
+/// of each class, indexed by [`SparseClass::index`]: the class's live
+/// k×k natural-order corner (1, 4, 16, 64). The EOB bounds guarantee every
+/// nonzero lies inside that corner, so shipping only the corner is exact —
+/// the Weißenberger & Schmidt compaction the GPU H2D path uses since PR 9.
+pub const CLASS_COEFS: [usize; NUM_SPARSE_CLASSES] = [1, 4, 16, 64];
+
 impl SparseClass {
     /// Stable histogram index of the class: DC-only, 2×2, 4×4, dense.
     #[inline(always)]
@@ -261,6 +268,20 @@ mod tests {
             let next = limit as usize + 1;
             let (row, col) = (ZIGZAG[next] / 8, ZIGZAG[next] % 8);
             assert!(row >= k || col >= k, "bound {limit} not tight for {k}x{k}");
+        }
+    }
+
+    /// The compacted-transfer footprint of each class is exactly its live
+    /// corner.
+    #[test]
+    fn class_coefs_are_live_corner_squares() {
+        for class in [
+            SparseClass::DcOnly,
+            SparseClass::Corner2,
+            SparseClass::Corner4,
+            SparseClass::Dense,
+        ] {
+            assert_eq!(CLASS_COEFS[class.index()], class.live_k() * class.live_k());
         }
     }
 

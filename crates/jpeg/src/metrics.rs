@@ -45,6 +45,20 @@ impl RowMetrics {
     }
 }
 
+/// `i16` coefficients the compacted GPU transfer layout ships for a block
+/// population described by an EOB-class histogram: each class contributes
+/// its live corner ([`crate::dct::sparse::CLASS_COEFS`]). This is the
+/// closed-form size predictor behind the offset-table scan — the packer's
+/// byte count equals `2 * compacted_coefs(hist)` exactly, which the
+/// property suite pins down.
+pub fn compacted_coefs(classes: &[u64; crate::dct::sparse::NUM_SPARSE_CLASSES]) -> u64 {
+    classes
+        .iter()
+        .zip(crate::dct::sparse::CLASS_COEFS)
+        .map(|(&n, k)| n * k as u64)
+        .sum()
+}
+
 /// Entropy-decoding work for a whole image, resolvable per MCU row.
 #[derive(Debug, Clone, Default)]
 pub struct EntropyMetrics {
@@ -80,6 +94,23 @@ impl EntropyMetrics {
     /// Whole-image EOB-class histogram (DC-only, 2×2, 4×4, dense).
     pub fn eob_class_totals(&self) -> [u64; crate::dct::sparse::NUM_SPARSE_CLASSES] {
         self.total().eob_classes
+    }
+
+    /// Exclusive scan of [`compacted_coefs`] over the per-MCU-row class
+    /// histograms: entry `i` is the `i16` offset at which MCU row `i`'s
+    /// compacted payload would start in a row-major compacted buffer, with
+    /// one extra trailing entry holding the total. This is the prediction
+    /// side of the offset-table scan the compacted packer performs over
+    /// block rows.
+    pub fn compacted_row_offsets(&self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.per_row.len() + 1);
+        let mut acc = 0u64;
+        out.push(0);
+        for r in &self.per_row {
+            acc += compacted_coefs(&r.eob_classes);
+            out.push(acc);
+        }
+        out
     }
 }
 

@@ -263,6 +263,25 @@ impl ServerStats {
             .sum()
     }
 
+    /// Total host→device transfers issued across all shard sessions. A
+    /// `decode_batch` that coalesces several images' compacted payloads
+    /// counts **one** transfer (PR 9); per-request serving counts one per
+    /// GPU region transfer. Cumulative across session rebuilds, so a
+    /// fault-induced mid-run rebuild never resets or double-counts it.
+    pub fn h2d_transfers(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.session.pool.h2d_transfers)
+            .sum()
+    }
+
+    /// Total bytes shipped host→device across all shard sessions
+    /// (compacted payload + offset table + EOB sidecar under the default
+    /// transfer layout). Cumulative across session rebuilds.
+    pub fn h2d_bytes(&self) -> u64 {
+        self.shards.iter().map(|s| s.session.pool.h2d_bytes).sum()
+    }
+
     /// Speculation counters merged across shards (ISSUE 6): how often the
     /// restart-free parallel entropy path ran and what it cost, so the
     /// serve path can observe the speculative mode in production.
@@ -1617,5 +1636,97 @@ mod tests {
         let stats = server.shutdown();
         assert_eq!(stats.degraded(), 1);
         assert_eq!(stats.progressive().partial_renders, 1);
+    }
+
+    #[test]
+    fn h2d_counters_survive_fault_rebuild_without_double_count() {
+        // PR 9: the H2D counters ride SessionStats → ShardStats →
+        // ServerStats and must be cumulative across a fault-induced
+        // session rebuild — neither reset (losing the retired session's
+        // transfers) nor double-counted (merging them twice).
+        let server = Server::start(ServeConfig {
+            shards: 1,
+            platform: hetjpeg_core::Platform::gtx680(),
+            options: DecodeOptions::with_mode(hetjpeg_core::Mode::Gpu),
+            fault_plan: Some(Arc::new(FaultPlan::parse("panic=#3").unwrap())),
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let handle = server.handle();
+        let j = jpeg(96, 72, 21);
+
+        handle.decode(&j).unwrap();
+        handle.decode(&j).unwrap();
+        let mid = server.stats();
+        assert_eq!(
+            mid.h2d_transfers(),
+            2,
+            "whole-image GPU serving ships one transfer per request"
+        );
+        assert!(mid.h2d_bytes() > 0);
+
+        // Request 3 panics before any transfer; the shard session is
+        // rebuilt and its counters retired into the cumulative totals.
+        assert!(matches!(handle.decode(&j), Err(ServeError::Panicked(_))));
+        handle.decode(&j).unwrap();
+        handle.decode(&j).unwrap();
+
+        let stats = server.shutdown();
+        assert_eq!(stats.sessions_rebuilt(), 1);
+        assert_eq!(
+            stats.h2d_transfers(),
+            4,
+            "rebuild must neither reset nor double-count transfers"
+        );
+        assert_eq!(
+            stats.h2d_bytes(),
+            2 * mid.h2d_bytes(),
+            "same image decoded twice more: payload bytes double exactly"
+        );
+    }
+
+    #[test]
+    fn decode_batch_counts_transfers_per_batch_across_shard_counts() {
+        // The session-level batched H2D path under a sharded layout: eight
+        // requests split round-robin across 1/2/4 shard sessions, each
+        // shard serving its share with ONE `decode_batch` call. Transfers
+        // must count per batch — not per image — and the payload bytes
+        // must be invariant to the shard count.
+        let images: Vec<Vec<u8>> = (0..8u64)
+            .map(|i| jpeg(80, 56 + 8 * (i as usize % 3), i))
+            .collect();
+        let opts = DecodeOptions::with_mode(hetjpeg_core::Mode::Gpu);
+        let mut byte_totals = Vec::new();
+        for shards in [1usize, 2, 4] {
+            let mut transfers = 0u64;
+            let mut bytes = 0u64;
+            for shard in 0..shards {
+                let d = Decoder::builder()
+                    .platform(hetjpeg_core::Platform::gtx680())
+                    .build()
+                    .unwrap();
+                let share: Vec<&[u8]> = images
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| i % shards == shard)
+                    .map(|(_, v)| v.as_slice())
+                    .collect();
+                for r in d.decode_batch(&share, opts) {
+                    r.expect("batched decode");
+                }
+                let s = d.pool_stats();
+                transfers += s.h2d_transfers;
+                bytes += s.h2d_bytes;
+            }
+            assert_eq!(
+                transfers, shards as u64,
+                "{shards} shards: one coalesced transfer per shard batch"
+            );
+            byte_totals.push(bytes);
+        }
+        assert!(
+            byte_totals.iter().all(|&b| b == byte_totals[0]),
+            "payload bytes must be invariant to sharding: {byte_totals:?}"
+        );
     }
 }

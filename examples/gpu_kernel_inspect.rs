@@ -10,6 +10,7 @@
 use hetjpeg_core::gpu_decode::{decode_region_gpu, KernelPlan};
 use hetjpeg_core::kernels::idct::IdctKernel;
 use hetjpeg_core::kernels::merged::UpsampleColorKernel;
+use hetjpeg_core::kernels::testutil::{stage_region, StagedLayout};
 use hetjpeg_core::kernels::RegionLayout;
 use hetjpeg_core::platform::Platform;
 use hetjpeg_corpus::{generate_jpeg, ImageSpec, Pattern};
@@ -29,19 +30,21 @@ fn main() {
     let (coefbuf, _) = prep.entropy_decode_all().expect("decode");
     let platform = Platform::gtx560();
     let layout = RegionLayout::new(&prep.geom, 0, prep.geom.mcus_y);
-    let packed = coefbuf.pack_mcu_rows(&prep.geom, 0, prep.geom.mcus_y);
-    let bytes: Vec<u8> = packed.iter().flat_map(|v| v.to_le_bytes()).collect();
 
     println!(
         "== per-kernel statistics on {} (512x512 4:2:2) ==\n",
         platform.gpu.name
     );
     let mut sim = GpuSim::new(platform.gpu.clone());
-    let coef = sim.create_buffer(layout.coef_bytes);
     let planes = sim.create_buffer(layout.planes_len);
     let rgb = sim.create_buffer(layout.rgb_len);
-    sim.write_buffer(coef, 0, &bytes);
-    let eobs = layout.upload_eob_sidecar(&mut sim, &coefbuf, &prep.geom);
+    let staged = stage_region(
+        &mut sim,
+        &layout,
+        &coefbuf,
+        &prep.geom,
+        StagedLayout::Sidecar,
+    );
 
     println!(
         "{:<22} {:>9} {:>11} {:>11} {:>8} {:>9} {:>9} {:>8}",
@@ -49,14 +52,15 @@ fn main() {
     );
     for comp in 0..3 {
         let k = IdctKernel {
-            coef,
-            eobs,
+            coef: staged.coef,
+            eobs: staged.eobs,
             planes,
             layout: layout.clone(),
             comp,
             quant: prep.quant[comp].values,
             blocks_per_group: 8,
             pad_lmem: true,
+            access: staged.access,
         };
         let s = sim.launch(&k, k.num_groups());
         println!(
