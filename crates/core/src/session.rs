@@ -446,6 +446,51 @@ pub struct SessionStats {
     pub progressive: hetjpeg_jpeg::progressive::ProgressiveStats,
 }
 
+/// One finished MCU-row tile handed to a [`Decoder::decode_rows`] sink:
+/// a horizontal band of interleaved RGB pixel rows, borrowed from the
+/// decoder's pooled tile buffer for the duration of the callback.
+#[derive(Debug)]
+pub struct RowTile<'a> {
+    /// First pixel row of the tile (0-based, top of image = 0).
+    pub y0: usize,
+    /// Number of pixel rows in the tile (one MCU row's worth — `mcu_h`,
+    /// except the last tile of an image whose height is not a multiple).
+    pub rows: usize,
+    /// Image width in pixels (every tile spans the full width).
+    pub width: usize,
+    /// Total image height in pixels — known from the first tile, so sinks
+    /// that forward the stream (or pre-allocate) need not wait for the
+    /// final summary.
+    pub height: usize,
+    /// `rows * width * 3` bytes of interleaved RGB, bit-identical to the
+    /// corresponding rows of a whole-image [`Decoder::decode`] in any
+    /// mode.
+    pub rgb: &'a [u8],
+}
+
+/// Summary returned by [`Decoder::decode_rows`] after the tile stream
+/// ends (normally or by sink abort).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RowStreamOutcome {
+    /// Image width in pixels.
+    pub width: usize,
+    /// Image height in pixels.
+    pub height: usize,
+    /// Total MCU rows in the image (the tile count of a complete stream).
+    pub mcu_rows: usize,
+    /// Tiles actually delivered to the sink.
+    pub tiles: usize,
+    /// True when the pixels are a salvage/prefix render (tolerant salvage
+    /// of a damaged stream, or a `max_scans` progressive prefix) — the
+    /// same meaning as [`DecodeOutcome::truncated`].
+    pub truncated: bool,
+    /// False when the sink aborted the stream before the last tile.
+    pub completed: bool,
+    /// The render path used: [`Mode::Sequential`] for the scalar kernels,
+    /// [`Mode::Simd`] otherwise. Output bytes are identical either way.
+    pub mode: Mode,
+}
+
 /// A decode session: platform + model + thread budget + pooled scratch.
 ///
 /// Construct with [`Decoder::builder`]; decode with [`Decoder::decode`] /
@@ -624,6 +669,184 @@ impl Decoder {
             .into_iter()
             .map(|r| r.expect("every batch slot decided"))
             .collect()
+    }
+
+    /// Decode one image as a stream of MCU-row tiles instead of a
+    /// whole-image buffer: the entropy phase runs to completion (it is
+    /// inherently sequential), then each MCU row is rendered through the
+    /// fused row-tile pipeline and handed to `sink` while cache-hot. Peak
+    /// pixel memory is **one tile** (`width * mcu_h * 3` bytes) no matter
+    /// how tall the image — the serving layer's bounded streaming
+    /// responses are built on this.
+    ///
+    /// Tile bytes are bit-identical to the corresponding rows of
+    /// [`Decoder::decode`] in *any* mode (the cross-mode bit-identity
+    /// invariant), so a streamed response reassembles exactly to the
+    /// whole-image frame. `opts.mode == Sequential` renders on the scalar
+    /// kernels; every other mode (GPU modes included — their pixels are
+    /// identical) renders on the session's SIMD dispatch. Progressive
+    /// sources honor `max_scans`; `Strictness::Tolerant` salvages damaged
+    /// streams exactly as `decode` would. Only RGB output streams —
+    /// planar requests are rejected.
+    ///
+    /// `sink` returning `false` aborts the stream after the current tile
+    /// ([`RowStreamOutcome::completed`] reports `false`).
+    pub fn decode_rows(
+        &self,
+        data: &[u8],
+        opts: DecodeOptions,
+        sink: &mut dyn FnMut(RowTile<'_>) -> bool,
+    ) -> Result<RowStreamOutcome> {
+        if opts.format != OutputFormat::Rgb {
+            return Err(Error::Unsupported(
+                "row streaming produces interleaved RGB only",
+            ));
+        }
+        let mut guard = self.state.lock().expect("decoder state lock");
+        let state = &mut *guard;
+        state
+            .ws
+            .set_simd_level(if let Some(level) = opts.force_simd_level {
+                level
+            } else if opts.force_scalar_simd {
+                SimdLevel::Scalar
+            } else {
+                self.simd_level
+            });
+        let tolerant = opts.strictness == Strictness::Tolerant;
+        if hetjpeg_jpeg::progressive::is_progressive(data) {
+            use hetjpeg_jpeg::progressive;
+            let parsed = progressive::parse_progressive(data)?;
+            if opts.strictness == Strictness::Strict {
+                if let Some(damage) = &parsed.damage {
+                    return Err(damage.clone());
+                }
+                if !parsed.complete {
+                    return Err(Error::UnexpectedEof);
+                }
+            }
+            let prep = Prepared::from_progressive(&parsed)?;
+            if let Some(max) = opts.max_pixels {
+                if prep.geom.pixels() > max {
+                    return Err(Error::Unsupported("image exceeds the max_pixels guard"));
+                }
+            }
+            state.ws.ensure(&prep);
+            state.ws.parts().coef.reset_for(&prep.geom);
+            let outcome = progressive::decode_scans(
+                &parsed,
+                &prep.geom,
+                state.ws.parts().coef,
+                opts.max_scans,
+                tolerant,
+            )?;
+            let limited = opts.max_scans.is_some_and(|m| m < parsed.scans.len());
+            let partial = limited || outcome.truncated;
+            state.ws.progressive.scans_decoded += outcome.scans_decoded as u64;
+            state.ws.progressive.refine_passes += outcome.refine_passes;
+            state.ws.progressive.partial_renders += u64::from(partial);
+            self.stream_tiles(state, &prep, &opts, partial, sink)
+        } else {
+            let prep = Prepared::new(data)?;
+            if let Some(max) = opts.max_pixels {
+                if prep.geom.pixels() > max {
+                    return Err(Error::Unsupported("image exceeds the max_pixels guard"));
+                }
+            }
+            state.ws.ensure(&prep);
+            let entropy = {
+                let p = state.ws.parts();
+                crate::schedule::entropy_into(&prep, &self.platform, p.coef).map(|_| ())
+            };
+            let truncated = match entropy {
+                Ok(()) => false,
+                Err(e) if tolerant && is_stream_error(&e) => {
+                    // Tolerant salvage, exactly as `Decoder::decode` would:
+                    // zero the buffer, re-decode row by row as far as the
+                    // stream allows, render the damaged tail neutral gray.
+                    state.ws.ensure_zeroed(&prep);
+                    let p = state.ws.parts();
+                    let mut dec = prep.entropy_decoder()?;
+                    let mut rows_ok = 0usize;
+                    while !dec.is_finished() {
+                        match dec.decode_mcu_row(p.coef) {
+                            Ok(_) => rows_ok += 1,
+                            Err(_) => break,
+                        }
+                    }
+                    rows_ok < prep.geom.mcus_y
+                }
+                Err(e) => return Err(e),
+            };
+            self.stream_tiles(state, &prep, &opts, truncated, sink)
+        }
+    }
+
+    /// The tile-render phase of [`Decoder::decode_rows`]: walk the MCU
+    /// rows of the already-filled coefficient buffer through the fused
+    /// pipeline, one caller-visible tile at a time.
+    fn stream_tiles(
+        &self,
+        state: &mut SessionState,
+        prep: &Prepared<'_>,
+        opts: &DecodeOptions,
+        truncated: bool,
+        sink: &mut dyn FnMut(RowTile<'_>) -> bool,
+    ) -> Result<RowStreamOutcome> {
+        let geom = &prep.geom;
+        let use_simd = opts.mode != Mode::Sequential;
+        let w = geom.width;
+        let h = geom.height;
+        let mut tile = Vec::new();
+        let mut tiles = 0usize;
+        let p = state.ws.parts();
+        let completed = {
+            let mut tile_sink = |y0: usize, rows: usize, rgb: &[u8]| -> bool {
+                tiles += 1;
+                sink(RowTile {
+                    y0,
+                    rows,
+                    width: w,
+                    height: h,
+                    rgb,
+                })
+            };
+            let (_work, completed) = if use_simd {
+                simd::stream_region_rgb_simd_with(
+                    prep,
+                    p.coef,
+                    0,
+                    geom.mcus_y,
+                    &mut tile,
+                    p.simd,
+                    &mut tile_sink,
+                )?
+            } else {
+                stages::stream_region_rgb_with(
+                    prep,
+                    p.coef,
+                    0,
+                    geom.mcus_y,
+                    &mut tile,
+                    p.scalar,
+                    &mut tile_sink,
+                )?
+            };
+            completed
+        };
+        Ok(RowStreamOutcome {
+            width: w,
+            height: geom.height,
+            mcu_rows: geom.mcus_y,
+            tiles,
+            truncated,
+            completed,
+            mode: if use_simd {
+                Mode::Simd
+            } else {
+                Mode::Sequential
+            },
+        })
     }
 
     /// Batched-transfer pre-pass for one image: stage it for the coalesced

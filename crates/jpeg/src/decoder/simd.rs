@@ -194,6 +194,39 @@ pub fn decode_region_rgb_simd_with(
     Ok(ParallelWork::for_mcu_rows(geom, start, end))
 }
 
+/// The fused pipeline as a *tile stream*: render each MCU row of
+/// `[start, end)` into `tile` (resized to that row's exact pixel-byte
+/// count) and hand it to `sink` as `(first_pixel_row, pixel_rows, rgb)`
+/// while it is still cache-hot — the streaming-response hook. The tile
+/// buffer is caller-owned so a serving loop can pool it; its peak size is
+/// one MCU row (`width * mcu_h * 3` bytes) regardless of image height.
+///
+/// `sink` returning `false` aborts the stream after the current tile.
+/// Returns the work metrics for the rows actually rendered plus whether
+/// the band completed. Tile bytes are identical to the corresponding rows
+/// of [`decode_region_rgb_simd_with`] at every dispatch level.
+pub fn stream_region_rgb_simd_with(
+    prep: &Prepared<'_>,
+    coef: &CoefBuffer,
+    start: usize,
+    end: usize,
+    tile: &mut Vec<u8>,
+    scratch: &mut SimdScratch,
+    sink: &mut dyn FnMut(usize, usize, &[u8]) -> bool,
+) -> Result<(ParallelWork, bool)> {
+    let geom = &prep.geom;
+    let w = geom.width;
+    for mcu_row in start..end {
+        let (py0, py1) = geom.mcu_rows_to_pixel_rows(mcu_row, mcu_row + 1);
+        tile.resize((py1 - py0) * w * 3, 0);
+        decode_region_rgb_simd_with(prep, coef, mcu_row, mcu_row + 1, tile, scratch)?;
+        if !sink(py0, py1 - py0, tile) {
+            return Ok((ParallelWork::for_mcu_rows(geom, start, mcu_row + 1), false));
+        }
+    }
+    Ok((ParallelWork::for_mcu_rows(geom, start, end), true))
+}
+
 /// The optimized parallel phase with a freshly allocated scratch. Callers
 /// decoding many bands should hold a [`SimdScratch`] and use
 /// [`decode_region_rgb_simd_with`].

@@ -255,6 +255,36 @@ pub fn decode_region_rgb_with(
     Ok(ParallelWork::for_mcu_rows(&prep.geom, start, end))
 }
 
+/// The scalar parallel phase as a *tile stream*: render each MCU row of
+/// `[start, end)` into `tile` (resized to that row's exact pixel-byte
+/// count) and hand it to `sink` as `(first_pixel_row, pixel_rows, rgb)` —
+/// the scalar sibling of
+/// [`super::simd::stream_region_rgb_simd_with`], bit-identical to it at
+/// every dispatch level. `sink` returning `false` aborts the stream after
+/// the current tile; the second return value is whether the band
+/// completed.
+pub fn stream_region_rgb_with(
+    prep: &Prepared<'_>,
+    coef: &CoefBuffer,
+    start: usize,
+    end: usize,
+    tile: &mut Vec<u8>,
+    scratch: &mut Scratch,
+    sink: &mut dyn FnMut(usize, usize, &[u8]) -> bool,
+) -> Result<(ParallelWork, bool)> {
+    let geom = &prep.geom;
+    let w = geom.width;
+    for mcu_row in start..end {
+        let (py0, py1) = geom.mcu_rows_to_pixel_rows(mcu_row, mcu_row + 1);
+        tile.resize((py1 - py0) * w * 3, 0);
+        decode_region_rgb_with(prep, coef, mcu_row, mcu_row + 1, tile, scratch)?;
+        if !sink(py0, py1 - py0, tile) {
+            return Ok((ParallelWork::for_mcu_rows(geom, start, mcu_row + 1), false));
+        }
+    }
+    Ok((ParallelWork::for_mcu_rows(geom, start, end), true))
+}
+
 /// The parallel phase for a band, stopping *before* color conversion:
 /// dequant + IDCT + chroma upsampling, writing full-resolution Y/Cb/Cr
 /// planes for the band's pixel rows into `out` (which must span the whole

@@ -52,10 +52,15 @@
 #![warn(missing_docs)]
 
 pub mod fault;
+#[cfg(unix)]
+pub mod frontend;
 pub mod pool;
 pub mod protocol;
 
-pub use pool::{ServeHandle, Served, Server, ServerStats, ShardStats, SubmitOptions, Ticket};
+pub use pool::{
+    RequestOptions, ServeHandle, ServeReply, Served, ServedStream, Server, ServerStats, ShardStats,
+    StreamEnd, StreamEvent, StreamTile, SubmitOptions, Ticket, TryEvent, TILE_POOL_CAP,
+};
 
 use hetjpeg_core::{DecodeOptions, Platform, DEFAULT_AUTO_CACHE_CAP};
 use std::fmt;

@@ -66,7 +66,11 @@
 
 use crate::fault::{FaultPlan, FaultSite};
 use crate::{ConfigError, ServeConfig, ServeError};
-use hetjpeg_core::{DecodeOptions, DecodeOutcome, Decoder, SessionStats};
+use hetjpeg_core::timeline::{Breakdown, Trace};
+use hetjpeg_core::{
+    DecodeOptions, DecodeOutcome, Decoder, Mode, OutputFormat, SessionStats, SimdLevel, Strictness,
+};
+use hetjpeg_jpeg::types::RgbImage;
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -80,7 +84,9 @@ use std::time::{Duration, Instant};
 /// answers into, and the admission-control context attached at submit.
 struct Request {
     data: Vec<u8>,
-    reply: mpsc::Sender<Result<Served, ServeError>>,
+    reply: mpsc::Sender<Result<ServeReply, ServeError>>,
+    /// Per-request decode overrides (and the streaming opt-in).
+    options: RequestOptions,
     /// Absolute completion deadline, when the submitter set one.
     deadline: Option<Instant>,
     /// The submitter opted into degraded service instead of shedding.
@@ -109,30 +115,262 @@ pub struct Served {
     pub degraded: bool,
 }
 
+/// A worker's answer to one request: either a whole-image response or the
+/// receiving end of a row-tile stream ([`RequestOptions::streaming`]).
+// `Whole` dominates the size, but the enum is moved at most twice per
+// request (worker → reply slot → caller) and never stored in bulk, so the
+// indirection a `Box` buys is all cost.
+#[allow(clippy::large_enum_variant)]
+pub enum ServeReply {
+    /// The whole decoded image, buffered.
+    Whole(Served),
+    /// A chunked response: consume [`StreamEvent`]s as the worker renders
+    /// MCU-row tiles. Peak buffering is bounded by the worker's tile pool
+    /// ([`TILE_POOL_CAP`] tiles), not the image size.
+    Stream(ServedStream),
+}
+
+impl std::fmt::Debug for ServeReply {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeReply::Whole(s) => f.debug_tuple("Whole").field(s).finish(),
+            ServeReply::Stream(_) => f.debug_tuple("Stream").finish(),
+        }
+    }
+}
+
+/// Receiving side of a streamed response: a sequence of
+/// [`StreamEvent::Begin`], zero or more [`StreamEvent::Tile`]s in row
+/// order, and a terminal [`StreamEvent::End`].
+pub struct ServedStream {
+    rx: mpsc::Receiver<StreamEvent>,
+}
+
+/// Outcome of [`ServedStream::try_next`].
+pub enum TryEvent {
+    /// The next event.
+    Event(StreamEvent),
+    /// Nothing available yet; the worker is still rendering.
+    Pending,
+    /// The worker hung up without a terminal event (a bug or a killed
+    /// worker) — treat as [`ServeError::WorkerGone`].
+    Gone,
+}
+
+impl ServedStream {
+    /// Block for the next event; `None` once the stream is exhausted (the
+    /// terminal [`StreamEvent::End`] was already delivered) or the worker
+    /// died without one.
+    pub fn recv(&self) -> Option<StreamEvent> {
+        self.rx.recv().ok()
+    }
+
+    /// Non-blocking [`ServedStream::recv`] — what the event-driven front
+    /// end pumps from its poll loop.
+    pub fn try_next(&self) -> TryEvent {
+        match self.rx.try_recv() {
+            Ok(ev) => TryEvent::Event(ev),
+            Err(mpsc::TryRecvError::Empty) => TryEvent::Pending,
+            Err(mpsc::TryRecvError::Disconnected) => TryEvent::Gone,
+        }
+    }
+}
+
+/// One event of a streamed response.
+pub enum StreamEvent {
+    /// Stream prologue: image geometry and the degrade flag, sent before
+    /// the first tile.
+    Begin {
+        /// Image width in pixels.
+        width: u32,
+        /// Image height in pixels.
+        height: u32,
+        /// The response is degraded (scan-prefix render / tolerant
+        /// salvage) — the streamed mirror of [`Served::degraded`].
+        degraded: bool,
+    },
+    /// One MCU-row tile of interleaved RGB, in top-to-bottom row order.
+    Tile(StreamTile),
+    /// Terminal event: the stream summary, or the error that ended it.
+    /// Always the last event of a stream. An `Err` *before* any `Begin`
+    /// means the request failed whole (decode error, shed, shutdown); an
+    /// `Err` after `Begin` aborts a partially delivered image.
+    End(Result<StreamEnd, ServeError>),
+}
+
+/// Summary carried by a successful [`StreamEvent::End`].
+#[derive(Debug, Clone, Copy)]
+pub struct StreamEnd {
+    /// Tiles delivered.
+    pub tiles: u64,
+    /// The pixels are a salvage/prefix render, same meaning as
+    /// [`DecodeOutcome::truncated`].
+    pub truncated: bool,
+    /// Render path used (output bytes are mode-invariant).
+    pub mode: Mode,
+    /// Image width in pixels (repeated from `Begin` so `End`-only
+    /// consumers need no cross-event state).
+    pub width: u32,
+    /// Image height in pixels.
+    pub height: u32,
+    /// The response was degraded (repeated from `Begin`).
+    pub degraded: bool,
+}
+
+/// One row tile of a streamed response. The backing buffer is borrowed
+/// from the shard worker's bounded tile pool; **dropping the tile returns
+/// it**. A consumer that holds tiles (or stops consuming) therefore
+/// backpressures the worker after [`TILE_POOL_CAP`] tiles in flight —
+/// that bound, not the image height, is the peak response memory.
+pub struct StreamTile {
+    buf: Vec<u8>,
+    pool: mpsc::Sender<Vec<u8>>,
+}
+
+impl StreamTile {
+    /// The tile's interleaved RGB bytes (`rows * width * 3`).
+    pub fn bytes(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl std::fmt::Debug for StreamTile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamTile")
+            .field("len", &self.buf.len())
+            .finish()
+    }
+}
+
+impl Drop for StreamTile {
+    fn drop(&mut self) {
+        // Hand the allocation back to the worker's pool; if the worker is
+        // gone the buffer simply frees.
+        let _ = self.pool.send(std::mem::take(&mut self.buf));
+    }
+}
+
 /// Receipt for a submitted request; [`Ticket::wait`] blocks until the
 /// shard worker has decoded the image.
 pub struct Ticket {
-    rx: mpsc::Receiver<Result<Served, ServeError>>,
+    rx: mpsc::Receiver<Result<ServeReply, ServeError>>,
 }
 
 impl Ticket {
-    /// Block until the decode finishes and return its outcome.
+    /// Block until the decode finishes and return its outcome. Streamed
+    /// replies are reassembled into a whole image first.
     pub fn wait(self) -> Result<DecodeOutcome, ServeError> {
         self.wait_served().map(|s| s.outcome)
     }
 
     /// Block until the decode finishes and return the full server
-    /// response, including the degradation flag.
+    /// response, including the degradation flag. Streamed replies are
+    /// reassembled into a whole image first (tile bytes are bit-identical
+    /// to the whole-image decode, so the result is indistinguishable from
+    /// a non-streamed response except for the zeroed timing breakdown).
     pub fn wait_served(self) -> Result<Served, ServeError> {
+        match self.wait_reply()? {
+            ServeReply::Whole(s) => Ok(s),
+            ServeReply::Stream(stream) => assemble_stream(&stream),
+        }
+    }
+
+    /// Block until the worker answers and return the raw reply — the only
+    /// waiter that surfaces a streamed response without reassembly.
+    pub fn wait_reply(self) -> Result<ServeReply, ServeError> {
         match self.rx.recv() {
             Ok(r) => r,
             Err(_) => Err(ServeError::WorkerGone),
         }
     }
+
+    /// Non-blocking poll: `None` while the worker has not answered yet.
+    /// A dead worker answers [`ServeError::WorkerGone`]. The event-driven
+    /// front end pumps tickets with this from its poll loop.
+    pub fn try_reply(&self) -> Option<Result<ServeReply, ServeError>> {
+        match self.rx.try_recv() {
+            Ok(r) => Some(r),
+            Err(mpsc::TryRecvError::Empty) => None,
+            Err(mpsc::TryRecvError::Disconnected) => Some(Err(ServeError::WorkerGone)),
+        }
+    }
+}
+
+/// Reassemble a streamed reply into a whole [`Served`] response
+/// ([`Ticket::wait_served`]'s compatibility path).
+fn assemble_stream(stream: &ServedStream) -> Result<Served, ServeError> {
+    let mut dims = (0usize, 0usize);
+    let mut degraded = false;
+    let mut data = Vec::new();
+    loop {
+        match stream.recv() {
+            Some(StreamEvent::Begin {
+                width,
+                height,
+                degraded: d,
+            }) => {
+                dims = (width as usize, height as usize);
+                degraded = d;
+                data.reserve(dims.0 * dims.1 * 3);
+            }
+            Some(StreamEvent::Tile(t)) => data.extend_from_slice(t.bytes()),
+            Some(StreamEvent::End(Ok(end))) => {
+                return Ok(Served {
+                    outcome: DecodeOutcome {
+                        image: RgbImage {
+                            width: dims.0,
+                            height: dims.1,
+                            data,
+                        },
+                        ycc: None,
+                        // A streamed decode reports no per-stage timing;
+                        // the tile pipeline is not instrumented per stage.
+                        times: Breakdown::default(),
+                        trace: Trace::default(),
+                        partition: None,
+                        mode: end.mode,
+                        truncated: end.truncated,
+                    },
+                    degraded: degraded || end.degraded,
+                });
+            }
+            Some(StreamEvent::End(Err(e))) => return Err(e),
+            None => return Err(ServeError::WorkerGone),
+        }
+    }
+}
+
+/// Per-request decode overrides, carried in-process via
+/// [`SubmitOptions::options`] and on the wire via the v2 options block.
+/// Every field defaults to "inherit the server's configuration". Overrides
+/// compose with the server's own guards: `max_pixels` and `max_scans` take
+/// the **minimum** of the request's and the server's values, and
+/// `simd_cap` can only lower the session's dispatch level, never raise it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RequestOptions {
+    /// Output format override. Planar YCC is in-process only — the wire
+    /// protocol carries interleaved RGB, so a wire request overriding to
+    /// planar is answered with an in-band error.
+    pub format: Option<OutputFormat>,
+    /// Strictness override (e.g. a client preferring tolerant salvage of
+    /// damaged streams over a hard error).
+    pub strictness: Option<Strictness>,
+    /// Per-request decompression-bomb guard, min-composed with the
+    /// server's.
+    pub max_pixels: Option<u64>,
+    /// Cap the kernel dispatch level for this request (reproducibility /
+    /// debugging hook; output bytes are identical at every level).
+    pub simd_cap: Option<SimdLevel>,
+    /// Progressive scan prefix, min-composed with the server's pacing.
+    pub max_scans: Option<u32>,
+    /// The client accepts a row-tile streamed response. The worker streams
+    /// when this is set and the effective output format is RGB; otherwise
+    /// it falls back to a whole-image reply.
+    pub streaming: bool,
 }
 
 /// Per-request submission options ([`ServeHandle::submit_with`]).
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SubmitOptions {
     /// Complete-by deadline, relative to submission. `None` (default)
     /// disables SLO admission for this request.
@@ -141,6 +379,9 @@ pub struct SubmitOptions {
     /// (progressive → scan-prefix render, baseline → tolerant salvage)
     /// instead of shedding it with [`ServeError::Busy`].
     pub degrade: bool,
+    /// Per-request decode overrides (output format, strictness, guards,
+    /// SIMD cap, scan prefix) and the streaming opt-in.
+    pub options: RequestOptions,
 }
 
 /// Monotone per-shard counters, updated by the worker (and, for admission
@@ -158,6 +399,8 @@ struct ShardCounters {
     shed: AtomicU64,
     degraded: AtomicU64,
     shutdown_drained: AtomicU64,
+    streamed: AtomicU64,
+    stream_tile_peak: AtomicU64,
 }
 
 /// A snapshot of one shard's counters plus its session's statistics.
@@ -190,6 +433,12 @@ pub struct ShardStats {
     /// Queued requests drained with [`ServeError::Shutdown`] when the
     /// server shut down while this shard's breaker was open.
     pub shutdown_drained: u64,
+    /// Requests answered as row-tile streams ([`RequestOptions::streaming`]).
+    pub streamed: u64,
+    /// High-water mark of stream tiles in flight at once from this shard —
+    /// the observable proof that streamed responses buffer at most
+    /// [`TILE_POOL_CAP`] tiles, not the whole image.
+    pub stream_tile_peak: u64,
     /// The shard session's pool/cache statistics (allocations amortized,
     /// `Auto` evaluations, cache hits, evictions, cache occupancy),
     /// *cumulative across session rebuilds*.
@@ -353,6 +602,22 @@ impl ServerStats {
     /// Total queued requests drained with [`ServeError::Shutdown`] (PR 8).
     pub fn shutdown_drained(&self) -> u64 {
         self.shards.iter().map(|s| s.shutdown_drained).sum()
+    }
+
+    /// Total requests answered as row-tile streams.
+    pub fn streamed(&self) -> u64 {
+        self.shards.iter().map(|s| s.streamed).sum()
+    }
+
+    /// Highest number of stream tiles any shard ever had in flight at
+    /// once — bounded by [`TILE_POOL_CAP`] by construction; the streaming
+    /// tests assert it to prove peak response buffering stays tile-sized.
+    pub fn stream_tile_peak(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.stream_tile_peak)
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -740,6 +1005,8 @@ impl Server {
                         shed: s.counters.shed.load(Ordering::Relaxed),
                         degraded: s.counters.degraded.load(Ordering::Relaxed),
                         shutdown_drained: s.counters.shutdown_drained.load(Ordering::Relaxed),
+                        streamed: s.counters.streamed.load(Ordering::Relaxed),
+                        stream_tile_peak: s.counters.stream_tile_peak.load(Ordering::Relaxed),
                         session,
                     }
                 })
@@ -801,6 +1068,30 @@ impl ServeHandle {
     /// so an admission mistake delays a request but never lets it decode
     /// in full past its deadline silently.
     pub fn submit_with(&self, data: Vec<u8>, options: SubmitOptions) -> Result<Ticket, ServeError> {
+        self.submit_impl(data, options, true)
+    }
+
+    /// [`Self::submit_with`] that never blocks the caller: when every
+    /// eligible shard queue is full the request is rejected with
+    /// [`ServeError::Busy`] (retry hint from the home shard's estimated
+    /// drain time) instead of falling back to a blocking send. The
+    /// event-driven front end submits with this from its single poll
+    /// thread, which must never park on a full queue — backpressure is
+    /// surfaced to the client as an in-band `Busy` frame instead.
+    pub fn submit_nonblocking(
+        &self,
+        data: Vec<u8>,
+        options: SubmitOptions,
+    ) -> Result<Ticket, ServeError> {
+        self.submit_impl(data, options, false)
+    }
+
+    fn submit_impl(
+        &self,
+        data: Vec<u8>,
+        options: SubmitOptions,
+        block: bool,
+    ) -> Result<Ticket, ServeError> {
         let shards = self.inner.shards.len();
         let base = route(&data, shards);
         let home = &self.inner.shards[base];
@@ -853,6 +1144,7 @@ impl ServeHandle {
         let mut req = Request {
             data,
             reply,
+            options: options.options,
             deadline: options.deadline.map(|d| Instant::now() + d),
             degrade: options.degrade,
             degrade_now,
@@ -873,11 +1165,18 @@ impl ServeHandle {
             let mut offset = 0;
             loop {
                 // Nothing non-blocking worked (every queue full or
-                // breaker-open): fall back to a blocking send on the home
-                // shard outside the lock. An open home breaker fail-fasts
-                // the request from the worker side.
+                // breaker-open). A blocking submitter falls back to a
+                // blocking send on the home shard outside the lock (an
+                // open home breaker fail-fasts the request from the
+                // worker side); a non-blocking submitter sheds with Busy.
                 if offset == shards {
-                    break senders[base].clone();
+                    if block {
+                        break senders[base].clone();
+                    }
+                    home.counters.shed.fetch_add(1, Ordering::Relaxed);
+                    return Err(ServeError::Busy {
+                        retry_after: Duration::from_micros(home.load.queued().max(1000)),
+                    });
                 }
                 let idx = (base + offset) % shards;
                 // Route around tripped shards; their worker would only
@@ -929,6 +1228,68 @@ impl ServeHandle {
     /// [`crate::fault::ChaosReader`] when the plan has read faults.
     pub fn fault_plan(&self) -> Option<Arc<FaultPlan>> {
         self.inner.plan.clone()
+    }
+}
+
+/// Maximum row tiles one shard may have in flight to stream consumers at
+/// once. This bound — not the image height — is a streamed response's peak
+/// pixel memory: the worker blocks (briefly) for a returned buffer rather
+/// than allocating a fifth tile.
+pub const TILE_POOL_CAP: usize = 4;
+
+/// How long the worker waits for a stream consumer to return a tile
+/// buffer before declaring the consumer stalled and aborting the stream.
+/// Keeps a dead-slow (or wedged) client from pinning a shard worker
+/// forever; the consumer sees a terminal error event.
+const TILE_STALL_LIMIT: Duration = Duration::from_secs(10);
+
+/// The per-worker pool of row-tile buffers behind [`StreamTile`]:
+/// at most [`TILE_POOL_CAP`] buffers circulate between the worker and the
+/// stream consumer; dropped tiles return their allocation through the
+/// channel.
+struct TilePool {
+    tx: mpsc::Sender<Vec<u8>>,
+    rx: mpsc::Receiver<Vec<u8>>,
+    free: Vec<Vec<u8>>,
+    in_flight: usize,
+}
+
+impl TilePool {
+    fn new() -> TilePool {
+        let (tx, rx) = mpsc::channel();
+        TilePool {
+            tx,
+            rx,
+            free: Vec::new(),
+            in_flight: 0,
+        }
+    }
+
+    /// Take a buffer, blocking (bounded by [`TILE_STALL_LIMIT`]) when the
+    /// cap is reached until the consumer returns one — the backpressure
+    /// that bounds peak response memory. `None` means the consumer
+    /// stalled; the caller aborts the stream.
+    fn acquire(&mut self, counters: &ShardCounters) -> Option<Vec<u8>> {
+        while let Ok(buf) = self.rx.try_recv() {
+            self.in_flight -= 1;
+            self.free.push(buf);
+        }
+        if self.in_flight >= TILE_POOL_CAP {
+            match self.rx.recv_timeout(TILE_STALL_LIMIT) {
+                Ok(buf) => {
+                    self.in_flight -= 1;
+                    self.free.push(buf);
+                }
+                // Disconnect is impossible (the pool holds its own sender);
+                // a timeout means the consumer stalled.
+                Err(_) => return None,
+            }
+        }
+        self.in_flight += 1;
+        counters
+            .stream_tile_peak
+            .fetch_max(self.in_flight as u64, Ordering::Relaxed);
+        Some(self.free.pop().unwrap_or_default())
     }
 }
 
@@ -1016,20 +1377,24 @@ fn shard_worker(
     let mut decoder = Arc::clone(&state.decoder.lock().expect("shard decoder slot"));
     let mut batch: Vec<Request> = Vec::with_capacity(max_batch);
     let mut pacer = Pacer::default();
+    let mut tiles = TilePool::new();
     loop {
         match rx.recv() {
             Ok(first) => batch.push(first),
             // Intake closed and queue drained: the shard is done.
             Err(_) => return,
         }
-        let deadline = Instant::now() + flush_after;
+        let mut flush_at = cut_flush(Instant::now() + flush_after, &batch[0]);
         while batch.len() < max_batch {
             let now = Instant::now();
-            if now >= deadline {
+            if now >= flush_at {
                 break;
             }
-            match rx.recv_timeout(deadline - now) {
-                Ok(r) => batch.push(r),
+            match rx.recv_timeout(flush_at - now) {
+                Ok(r) => {
+                    flush_at = cut_flush(flush_at, &r);
+                    batch.push(r);
+                }
                 Err(RecvTimeoutError::Timeout) => break,
                 // Disconnected mid-coalesce: decode what we have, then the
                 // next outer recv() observes the disconnect and exits.
@@ -1047,8 +1412,60 @@ fn shard_worker(
             .max_batch
             .fetch_max(batch.len() as u64, Ordering::Relaxed);
         for req in batch.drain(..) {
-            serve_one(inner, shard, &mut decoder, &mut pacer, req);
+            serve_one(inner, shard, &mut decoder, &mut pacer, &mut tiles, req);
         }
+    }
+}
+
+/// Cut the coalescing window for a deadline-bearing admission: the flush
+/// fires no later than the member's deadline minus its estimated decode
+/// time, so a request the admission gate already priced as feasible never
+/// burns its remaining slack waiting for batch company. Without the cut, a
+/// `flush_after` longer than the request's slack would hold it until the
+/// late recheck in [`serve_one`] sheds or degrades it — a silent SLO miss
+/// the server itself manufactured.
+fn cut_flush(current: Instant, req: &Request) -> Instant {
+    /// Scheduler-jitter headroom on top of the estimated decode time: a
+    /// `recv_timeout` wakeup a few milliseconds late must not turn a
+    /// feasible request into a late-recheck degrade.
+    const FLUSH_MARGIN: Duration = Duration::from_millis(5);
+    match req.deadline {
+        Some(dl) => {
+            let cut = dl
+                .checked_sub(Duration::from_micros(req.charged_us) + FLUSH_MARGIN)
+                .unwrap_or(dl);
+            current.min(cut)
+        }
+        None => current,
+    }
+}
+
+/// Fold a request's per-request overrides into the server's base decode
+/// options. Guards compose conservatively: `max_pixels`/`max_scans` take
+/// the minimum of request and server values, and the SIMD cap can only
+/// lower the level the decode would otherwise run at.
+fn apply_request_options(opts: &mut DecodeOptions, ro: &RequestOptions, session_level: SimdLevel) {
+    if let Some(f) = ro.format {
+        opts.format = f;
+    }
+    if let Some(s) = ro.strictness {
+        opts.strictness = s;
+    }
+    if let Some(mp) = ro.max_pixels {
+        let mp = mp.min(usize::MAX as u64) as usize;
+        opts.max_pixels = Some(opts.max_pixels.map_or(mp, |m| m.min(mp)));
+    }
+    if let Some(cap) = ro.simd_cap {
+        let base = opts.force_simd_level.unwrap_or(if opts.force_scalar_simd {
+            SimdLevel::Scalar
+        } else {
+            session_level
+        });
+        opts.force_simd_level = Some(base.min(cap));
+    }
+    if let Some(ms) = ro.max_scans {
+        let ms = ms.max(1) as usize;
+        opts.max_scans = Some(opts.max_scans.map_or(ms, |m| m.min(ms)));
     }
 }
 
@@ -1060,6 +1477,7 @@ fn serve_one(
     shard: usize,
     decoder: &mut Arc<Decoder>,
     pacer: &mut Pacer,
+    tiles: &mut TilePool,
     req: Request,
 ) {
     let state = &inner.shards[shard];
@@ -1106,9 +1524,11 @@ fn serve_one(
         }
     }
 
-    // Assemble this request's decode options: base config, scan-deadline
-    // pacing, degradation ladder, alloc-cap fault.
+    // Assemble this request's decode options: base config, per-request
+    // overrides, scan-deadline pacing, degradation ladder, alloc-cap
+    // fault. Overrides come first so the ladder min-composes onto them.
     let mut opts = inner.opts;
+    apply_request_options(&mut opts, &req.options, decoder.simd_level());
     let mut scan_limit = inner
         .scan_deadline
         .and_then(|budget| paced_scan_limit(&req.data, budget, pacer.bytes_per_sec));
@@ -1157,6 +1577,24 @@ fn serve_one(
         .as_ref()
         .is_some_and(|p| p.fires(FaultSite::Panic, Some(shard)));
 
+    // Streaming opt-in with a streamable (RGB) effective format: answer
+    // with a row-tile stream instead of a whole-image buffer.
+    if req.options.streaming && opts.format == OutputFormat::Rgb {
+        serve_streaming(
+            inner,
+            shard,
+            decoder,
+            pacer,
+            tiles,
+            req,
+            opts,
+            degraded,
+            paced,
+            inject_panic,
+        );
+        return;
+    }
+
     let t0 = Instant::now();
     let result = {
         let _quiet = SuppressPanicReport::new();
@@ -1172,18 +1610,7 @@ fn serve_one(
     match result {
         Ok(out) => {
             state.breaker.on_success(inner.breaker_base_us);
-            let wall = t0.elapsed();
-            pacer.observe(req.data.len(), wall);
-            if let Some(rate) = pacer.bytes_per_sec {
-                state.load.publish_rate(rate);
-            }
-            if let Some(v_us) = req.predicted_virtual_us {
-                if v_us > 0 {
-                    state
-                        .load
-                        .observe_ratio(wall.as_micros() as f64 / v_us as f64);
-                }
-            }
+            observe_calibration(state, pacer, &req, t0.elapsed());
             match out {
                 Ok(outcome) => {
                     if paced {
@@ -1192,7 +1619,9 @@ fn serve_one(
                     if degraded {
                         counters.degraded.fetch_add(1, Ordering::Relaxed);
                     }
-                    let _ = req.reply.send(Ok(Served { outcome, degraded }));
+                    let _ = req
+                        .reply
+                        .send(Ok(ServeReply::Whole(Served { outcome, degraded })));
                 }
                 Err(e) => {
                     counters.decode_errors.fetch_add(1, Ordering::Relaxed);
@@ -1201,36 +1630,173 @@ fn serve_one(
             }
         }
         Err(payload) => {
-            let msg = panic_message(payload);
-            counters.panics_recovered.fetch_add(1, Ordering::Relaxed);
-            // The panic poisoned the session's workspace lock; rebuild a
-            // fresh identical session and retire the old one's statistics
-            // so the shard's cumulative accounting survives.
-            // Rebuild failure is impossible for a config that already built
-            // once; if it somehow happens, keep the poisoned session — every
-            // decode on it panics, is caught here, and the breaker walls the
-            // shard off.
-            if let Ok(fresh) = state.spec.build() {
-                let old = decoder.stats();
-                {
-                    let mut retired = state.retired.lock().expect("shard retired totals");
-                    retired.pool.merge(&old.pool);
-                    retired.spec.merge(&old.spec);
-                    retired.progressive.merge(&old.progressive);
-                }
-                let fresh = Arc::new(fresh);
-                *state.decoder.lock().expect("shard decoder slot") = Arc::clone(&fresh);
-                *decoder = fresh;
-                counters.sessions_rebuilt.fetch_add(1, Ordering::Relaxed);
-            }
-            if state.breaker.on_panic(
-                inner.breaker_threshold,
-                inner.breaker_base_us,
-                inner.now_us(),
-            ) {
-                counters.breaker_trips.fetch_add(1, Ordering::Relaxed);
-            }
+            let msg = recover_panic(inner, shard, decoder, payload);
             let _ = req.reply.send(Err(ServeError::Panicked(msg)));
+        }
+    }
+    state.load.credit(req.charged_us);
+}
+
+/// Feed one completed decode's wall time into the shard's pacing and
+/// admission calibration (shared by the whole-image and streaming paths).
+fn observe_calibration(state: &ShardState, pacer: &mut Pacer, req: &Request, wall: Duration) {
+    pacer.observe(req.data.len(), wall);
+    if let Some(rate) = pacer.bytes_per_sec {
+        state.load.publish_rate(rate);
+    }
+    if let Some(v_us) = req.predicted_virtual_us {
+        if v_us > 0 {
+            state
+                .load
+                .observe_ratio(wall.as_micros() as f64 / v_us as f64);
+        }
+    }
+}
+
+/// Panic bookkeeping shared by the whole-image and streaming paths:
+/// count the recovery, rebuild the poisoned session (retiring its
+/// statistics), drive the breaker, and return the panic message.
+fn recover_panic(
+    inner: &Inner,
+    shard: usize,
+    decoder: &mut Arc<Decoder>,
+    payload: Box<dyn std::any::Any + Send>,
+) -> String {
+    let state = &inner.shards[shard];
+    let counters = &state.counters;
+    let msg = panic_message(payload);
+    counters.panics_recovered.fetch_add(1, Ordering::Relaxed);
+    // The panic poisoned the session's workspace lock; rebuild a
+    // fresh identical session and retire the old one's statistics
+    // so the shard's cumulative accounting survives.
+    // Rebuild failure is impossible for a config that already built
+    // once; if it somehow happens, keep the poisoned session — every
+    // decode on it panics, is caught here, and the breaker walls the
+    // shard off.
+    if let Ok(fresh) = state.spec.build() {
+        let old = decoder.stats();
+        {
+            let mut retired = state.retired.lock().expect("shard retired totals");
+            retired.pool.merge(&old.pool);
+            retired.spec.merge(&old.spec);
+            retired.progressive.merge(&old.progressive);
+        }
+        let fresh = Arc::new(fresh);
+        *state.decoder.lock().expect("shard decoder slot") = Arc::clone(&fresh);
+        *decoder = fresh;
+        counters.sessions_rebuilt.fetch_add(1, Ordering::Relaxed);
+    }
+    if state.breaker.on_panic(
+        inner.breaker_threshold,
+        inner.breaker_base_us,
+        inner.now_us(),
+    ) {
+        counters.breaker_trips.fetch_add(1, Ordering::Relaxed);
+    }
+    msg
+}
+
+/// The streaming tail of [`serve_one`]: hand the submitter a
+/// [`ServedStream`] immediately, then render the image as MCU-row tiles
+/// through [`Decoder::decode_rows`], pushing each tile (in a pooled
+/// buffer) as a [`StreamEvent`]. The tile pool bounds tiles in flight at
+/// [`TILE_POOL_CAP`]; a consumer that stops draining backpressures the
+/// worker and, past [`TILE_STALL_LIMIT`], aborts the stream. Panics are
+/// recovered exactly as on the whole-image path, with the terminal error
+/// delivered in-stream.
+#[allow(clippy::too_many_arguments)]
+fn serve_streaming(
+    inner: &Inner,
+    shard: usize,
+    decoder: &mut Arc<Decoder>,
+    pacer: &mut Pacer,
+    tiles: &mut TilePool,
+    req: Request,
+    opts: DecodeOptions,
+    degraded: bool,
+    paced: bool,
+    inject_panic: bool,
+) {
+    let state = &inner.shards[shard];
+    let counters = &state.counters;
+    let (etx, erx) = mpsc::channel::<StreamEvent>();
+    if req
+        .reply
+        .send(Ok(ServeReply::Stream(ServedStream { rx: erx })))
+        .is_err()
+    {
+        // Nobody is waiting on the ticket: skip the decode entirely.
+        state.load.credit(req.charged_us);
+        return;
+    }
+    let t0 = Instant::now();
+    let result = {
+        let _quiet = SuppressPanicReport::new();
+        let d = &**decoder;
+        let data = &req.data;
+        let etx = &etx;
+        let pool = &mut *tiles;
+        catch_unwind(AssertUnwindSafe(move || {
+            if inject_panic {
+                d.inject_panic("injected decode panic");
+            }
+            let mut begun = false;
+            d.decode_rows(data, opts, &mut |tile| {
+                if !begun {
+                    begun = true;
+                    let begin = StreamEvent::Begin {
+                        width: tile.width as u32,
+                        height: tile.height as u32,
+                        degraded,
+                    };
+                    if etx.send(begin).is_err() {
+                        return false;
+                    }
+                }
+                let Some(mut buf) = pool.acquire(counters) else {
+                    return false; // consumer stalled past the limit
+                };
+                buf.clear();
+                buf.extend_from_slice(tile.rgb);
+                etx.send(StreamEvent::Tile(StreamTile {
+                    buf,
+                    pool: pool.tx.clone(),
+                }))
+                .is_ok()
+            })
+        }))
+    };
+    match result {
+        Ok(out) => {
+            state.breaker.on_success(inner.breaker_base_us);
+            observe_calibration(state, pacer, &req, t0.elapsed());
+            match out {
+                Ok(rso) => {
+                    if paced {
+                        counters.deadline_partials.fetch_add(1, Ordering::Relaxed);
+                    }
+                    if degraded {
+                        counters.degraded.fetch_add(1, Ordering::Relaxed);
+                    }
+                    counters.streamed.fetch_add(1, Ordering::Relaxed);
+                    let _ = etx.send(StreamEvent::End(Ok(StreamEnd {
+                        tiles: rso.tiles as u64,
+                        truncated: rso.truncated,
+                        mode: rso.mode,
+                        width: rso.width as u32,
+                        height: rso.height as u32,
+                        degraded,
+                    })));
+                }
+                Err(e) => {
+                    counters.decode_errors.fetch_add(1, Ordering::Relaxed);
+                    let _ = etx.send(StreamEvent::End(Err(ServeError::Decode(e))));
+                }
+            }
+        }
+        Err(payload) => {
+            let msg = recover_panic(inner, shard, decoder, payload);
+            let _ = etx.send(StreamEvent::End(Err(ServeError::Panicked(msg))));
         }
     }
     state.load.credit(req.charged_us);
@@ -1565,6 +2131,7 @@ mod tests {
                     SubmitOptions {
                         deadline: Some(Duration::from_secs(10)),
                         degrade: false,
+                        ..SubmitOptions::default()
                     },
                 )
                 .expect("feasible deadline decodes");
@@ -1577,6 +2144,7 @@ mod tests {
             SubmitOptions {
                 deadline: Some(Duration::ZERO),
                 degrade: false,
+                ..SubmitOptions::default()
             },
         ) {
             Err(ServeError::Busy { retry_after }) => {
@@ -1592,6 +2160,7 @@ mod tests {
                 SubmitOptions {
                     deadline: Some(Duration::ZERO),
                     degrade: true,
+                    ..SubmitOptions::default()
                 },
             )
             .expect("degraded service instead of shed");
@@ -1625,6 +2194,7 @@ mod tests {
                 SubmitOptions {
                     deadline: Some(Duration::ZERO),
                     degrade: true,
+                    ..SubmitOptions::default()
                 },
             )
             .expect("degraded prefix render");

@@ -1,0 +1,322 @@
+//! Offline stand-in for a readiness-polling crate (the mio/polling niche):
+//! just enough API for an event-driven connection front end — register
+//! file descriptors with a token, wait for readability with a timeout.
+//!
+//! On Linux this is real `epoll` via direct FFI (std already links libc,
+//! so the three syscall wrappers cost no new dependency). Everywhere else
+//! a portable timer-tick fallback sleeps out the timeout and reports every
+//! registered source as ready — correct (if busier) for callers that use
+//! nonblocking I/O and treat `WouldBlock` as "not actually ready", which
+//! is the contract level-triggered readiness APIs require anyway.
+//!
+//! Like the other shims under `crates/shims/`, swap this for the real
+//! crate if the build environment ever gets network access.
+
+use std::io;
+use std::time::Duration;
+
+/// One readiness event: the token the source was registered under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Caller-chosen identifier from [`Poller::register`].
+    pub token: u64,
+    /// The source is (claimed) readable. The fallback poller claims
+    /// readability for every registered source each tick; callers must
+    /// treat `WouldBlock` on the subsequent read as "not ready".
+    pub readable: bool,
+}
+
+/// Interest set for [`Poller::register`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    /// Wake when the source becomes readable.
+    pub readable: bool,
+}
+
+impl Interest {
+    /// Readable-only interest — what an accept/request front end wants.
+    pub const READABLE: Interest = Interest { readable: true };
+}
+
+#[cfg(target_os = "linux")]
+mod sys {
+    use super::{Event, Interest};
+    use std::io;
+    use std::time::Duration;
+
+    const EPOLL_CLOEXEC: i32 = 0x80000;
+    const EPOLL_CTL_ADD: i32 = 1;
+    const EPOLL_CTL_DEL: i32 = 2;
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+
+    /// x86-64 Linux ABI layout of `struct epoll_event` (packed — the
+    /// kernel shares this layout with 32-bit userspace).
+    #[repr(C, packed)]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: i32) -> i32;
+        fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+        fn close(fd: i32) -> i32;
+    }
+
+    /// Real epoll-backed poller.
+    pub struct Poller {
+        epfd: i32,
+        buf: Vec<EpollEvent>,
+    }
+
+    impl Poller {
+        pub fn new() -> io::Result<Poller> {
+            let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            if epfd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Poller {
+                epfd,
+                buf: vec![EpollEvent { events: 0, data: 0 }; 256],
+            })
+        }
+
+        pub fn register(&mut self, fd: i32, token: u64, interest: Interest) -> io::Result<()> {
+            let mut ev = EpollEvent {
+                events: if interest.readable { EPOLLIN } else { 0 },
+                data: token,
+            };
+            if unsafe { epoll_ctl(self.epfd, EPOLL_CTL_ADD, fd, &mut ev) } < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        pub fn deregister(&mut self, fd: i32) -> io::Result<()> {
+            let mut ev = EpollEvent { events: 0, data: 0 };
+            if unsafe { epoll_ctl(self.epfd, EPOLL_CTL_DEL, fd, &mut ev) } < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        pub fn wait(
+            &mut self,
+            events: &mut Vec<Event>,
+            timeout: Option<Duration>,
+        ) -> io::Result<usize> {
+            let timeout_ms = match timeout {
+                // Round up so a sub-millisecond timeout still sleeps
+                // instead of spinning.
+                Some(d) => d.as_millis().max(1).min(i32::MAX as u128) as i32,
+                None => -1,
+            };
+            let n = unsafe {
+                epoll_wait(
+                    self.epfd,
+                    self.buf.as_mut_ptr(),
+                    self.buf.len() as i32,
+                    timeout_ms,
+                )
+            };
+            if n < 0 {
+                let e = io::Error::last_os_error();
+                // A stray signal is a spurious wakeup, not a poller failure.
+                if e.kind() == io::ErrorKind::Interrupted {
+                    return Ok(0);
+                }
+                return Err(e);
+            }
+            for ev in &self.buf[..n as usize] {
+                // Error/hangup conditions report as readable: the caller's
+                // read observes the actual EOF/error in-band.
+                let readable = ev.events & (EPOLLIN | EPOLLERR | EPOLLHUP) != 0;
+                events.push(Event {
+                    token: ev.data,
+                    readable,
+                });
+            }
+            Ok(n as usize)
+        }
+    }
+
+    impl Drop for Poller {
+        fn drop(&mut self) {
+            unsafe {
+                close(self.epfd);
+            }
+        }
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod sys {
+    use super::{Event, Interest};
+    use std::io;
+    use std::time::Duration;
+
+    /// Portable fallback: a timer tick that claims every registered source
+    /// ready. Callers using nonblocking I/O observe `WouldBlock` on the
+    /// ones that are not, so behavior is correct, just busier (one pass
+    /// over the registration table per timeout).
+    pub struct Poller {
+        registered: Vec<(i32, u64)>,
+    }
+
+    impl Poller {
+        pub fn new() -> io::Result<Poller> {
+            Ok(Poller {
+                registered: Vec::new(),
+            })
+        }
+
+        pub fn register(&mut self, fd: i32, token: u64, _interest: Interest) -> io::Result<()> {
+            self.registered.push((fd, token));
+            Ok(())
+        }
+
+        pub fn deregister(&mut self, fd: i32) -> io::Result<()> {
+            self.registered.retain(|&(f, _)| f != fd);
+            Ok(())
+        }
+
+        pub fn wait(
+            &mut self,
+            events: &mut Vec<Event>,
+            timeout: Option<Duration>,
+        ) -> io::Result<usize> {
+            std::thread::sleep(timeout.unwrap_or(Duration::from_millis(1)));
+            for &(_, token) in &self.registered {
+                events.push(Event {
+                    token,
+                    readable: true,
+                });
+            }
+            Ok(self.registered.len())
+        }
+    }
+}
+
+/// Readiness poller: register sources by raw fd + token, wait for events.
+///
+/// Level-triggered: a source that stays readable is reported again on the
+/// next [`Poller::wait`].
+pub struct Poller {
+    inner: sys::Poller,
+}
+
+impl Poller {
+    /// Create a poller.
+    pub fn new() -> io::Result<Poller> {
+        Ok(Poller {
+            inner: sys::Poller::new()?,
+        })
+    }
+
+    /// Register a source (by raw fd) under `token`. The caller keeps
+    /// ownership of the fd and must [`Poller::deregister`] before closing
+    /// it (the fallback poller tracks fds by value).
+    pub fn register(&mut self, fd: i32, token: u64, interest: Interest) -> io::Result<()> {
+        self.inner.register(fd, token, interest)
+    }
+
+    /// Remove a previously registered source.
+    pub fn deregister(&mut self, fd: i32) -> io::Result<()> {
+        self.inner.deregister(fd)
+    }
+
+    /// Wait up to `timeout` (`None` = forever) and append readiness events
+    /// to `events` (not cleared first). Returns how many were appended; 0
+    /// means the timeout (or a stray signal) elapsed first.
+    pub fn wait(
+        &mut self,
+        events: &mut Vec<Event>,
+        timeout: Option<Duration>,
+    ) -> io::Result<usize> {
+        self.inner.wait(events, timeout)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::time::{Duration, Instant};
+
+    #[cfg(unix)]
+    fn raw_fd(s: &impl std::os::fd::AsRawFd) -> i32 {
+        s.as_raw_fd()
+    }
+
+    #[test]
+    #[cfg(unix)]
+    fn tcp_readability_is_reported() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut poller = Poller::new().unwrap();
+        poller
+            .register(raw_fd(&listener), 7, Interest::READABLE)
+            .unwrap();
+
+        // Nothing pending: a short wait times out (the fallback poller
+        // legitimately claims readiness here, so only assert on Linux).
+        let mut events = Vec::new();
+        #[cfg(target_os = "linux")]
+        {
+            poller
+                .wait(&mut events, Some(Duration::from_millis(10)))
+                .unwrap();
+            assert!(events.is_empty(), "no connection yet: {events:?}");
+        }
+
+        // A connection attempt makes the listener readable.
+        let mut client = std::net::TcpStream::connect(addr).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            events.clear();
+            poller
+                .wait(&mut events, Some(Duration::from_millis(50)))
+                .unwrap();
+            if events.iter().any(|e| e.token == 7 && e.readable) {
+                break;
+            }
+            assert!(Instant::now() < deadline, "listener never became readable");
+        }
+        let (stream, _) = listener.accept().unwrap();
+
+        // Same for a data socket.
+        poller
+            .register(raw_fd(&stream), 9, Interest::READABLE)
+            .unwrap();
+        client.write_all(b"x").unwrap();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            events.clear();
+            poller
+                .wait(&mut events, Some(Duration::from_millis(50)))
+                .unwrap();
+            if events.iter().any(|e| e.token == 9 && e.readable) {
+                break;
+            }
+            assert!(Instant::now() < deadline, "stream never became readable");
+        }
+        poller.deregister(raw_fd(&stream)).unwrap();
+        poller.deregister(raw_fd(&listener)).unwrap();
+    }
+
+    #[test]
+    fn wait_times_out_without_sources() {
+        let mut poller = Poller::new().unwrap();
+        let mut events = Vec::new();
+        let t0 = Instant::now();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(5)))
+            .unwrap();
+        assert!(t0.elapsed() >= Duration::from_millis(1));
+        assert!(events.is_empty());
+    }
+}

@@ -9,9 +9,17 @@
 //!
 //! The wire protocol is length-prefixed (see `hetjpeg_serve::protocol`):
 //! requests are v1 (`u32_be length + JPEG`) or v2 frames carrying a
-//! per-request deadline and degrade-ok flag; responses are `ok`, `error`,
-//! `busy`, `shutdown` or `degraded-ok` frames. A zero-length request
-//! closes the connection gracefully.
+//! per-request deadline, degrade-ok flag, TLV decode options and a
+//! streaming opt-in; responses are `ok`, `error`, `busy`, `shutdown`,
+//! `degraded-ok` or streamed (`begin`/`chunk`*/`final` with a CRC-32)
+//! frames. A zero-length request closes the connection gracefully.
+//!
+//! On unix, `--addr` serves with the event-driven front end
+//! (`hetjpeg_serve::frontend`): one thread, epoll readiness, zero threads
+//! per idle connection. `--threaded-frontend` selects the legacy
+//! thread-per-connection loop; `--max-connections N` sets the admission
+//! cap for either (over-cap clients get a `busy` frame, never a silent
+//! drop).
 //!
 //! `--smoke` is the end-to-end proof CI runs: start a TCP server on an
 //! ephemeral loopback port, decode corpus images through the protocol
@@ -47,7 +55,8 @@ fn usage() -> ExitCode {
          \u{20}              [--cache-cap N] [--threads N] [--platform gt430|gtx560|gtx680]\n\
          \u{20}              [--model model.txt] [--max-pixels N] [--tolerant]\n\
          \u{20}              [--max-scans N] [--scan-deadline-us N]\n\
-         \u{20}              [--fault SPEC[:SEED]] [--breaker-threshold N] [--breaker-cooldown-us N]"
+         \u{20}              [--fault SPEC[:SEED]] [--breaker-threshold N] [--breaker-cooldown-us N]\n\
+         \u{20}              [--max-connections N] [--threaded-frontend]"
     );
     ExitCode::from(2)
 }
@@ -158,7 +167,7 @@ fn main() -> ExitCode {
     let addr = arg_value(&args, "--addr");
     match (stdio, addr) {
         (true, None) => run_stdio(config),
-        (false, Some(addr)) => run_tcp(config, &addr),
+        (false, Some(addr)) => run_tcp(config, &addr, &args),
         _ => usage(),
     }
 }
@@ -226,7 +235,12 @@ fn run_stdio(config: ServeConfig) -> ExitCode {
     }
 }
 
-fn run_tcp(config: ServeConfig, addr: &str) -> ExitCode {
+fn run_tcp(config: ServeConfig, addr: &str, args: &[String]) -> ExitCode {
+    let threaded = args.iter().any(|a| a == "--threaded-frontend");
+    let max_connections = match parse_or_usage::<usize>(args, "--max-connections") {
+        Ok(n) => n,
+        Err(code) => return code,
+    };
     let listener = match TcpListener::bind(addr) {
         Ok(l) => l,
         Err(e) => {
@@ -247,7 +261,7 @@ fn run_tcp(config: ServeConfig, addr: &str) -> ExitCode {
         local.as_deref().unwrap_or(addr)
     );
     let handle = server.handle();
-    let result = protocol::serve_tcp(&handle, listener);
+    let result = serve_listener(&handle, listener, threaded, max_connections);
     let stats = server.shutdown();
     print_stats(&stats);
     match result {
@@ -257,6 +271,34 @@ fn run_tcp(config: ServeConfig, addr: &str) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// Dispatch to the event-driven front end (the default on unix) or the
+/// thread-per-connection loop (`--threaded-frontend`, and the only option
+/// off-unix).
+fn serve_listener(
+    handle: &hetjpeg_serve::ServeHandle,
+    listener: TcpListener,
+    threaded: bool,
+    max_connections: Option<usize>,
+) -> std::io::Result<()> {
+    #[cfg(unix)]
+    if !threaded {
+        use hetjpeg_serve::frontend::{FrontEnd, DEFAULT_MAX_CONNECTIONS};
+        let fe = FrontEnd::with_max_connections(
+            handle.clone(),
+            listener,
+            max_connections.unwrap_or(DEFAULT_MAX_CONNECTIONS),
+        )?;
+        fe.run()?;
+        return Ok(());
+    }
+    let _ = threaded;
+    protocol::serve_tcp_with(
+        handle,
+        listener,
+        max_connections.unwrap_or(protocol::MAX_CONNECTIONS),
+    )
 }
 
 /// CI self-test: full server lifecycle over the real TCP protocol,
@@ -716,6 +758,7 @@ fn chaos_smoke(config: ServeConfig) -> ExitCode {
             SubmitOptions {
                 deadline: Some(Duration::from_secs(10)),
                 degrade: false,
+                ..SubmitOptions::default()
             },
         );
         check!(
@@ -728,6 +771,7 @@ fn chaos_smoke(config: ServeConfig) -> ExitCode {
         SubmitOptions {
             deadline: Some(Duration::ZERO),
             degrade: false,
+            ..SubmitOptions::default()
         },
     );
     check!(
@@ -739,6 +783,7 @@ fn chaos_smoke(config: ServeConfig) -> ExitCode {
         SubmitOptions {
             deadline: Some(Duration::ZERO),
             degrade: true,
+            ..SubmitOptions::default()
         },
     );
     check!(
@@ -767,6 +812,7 @@ fn chaos_smoke(config: ServeConfig) -> ExitCode {
         SubmitOptions {
             deadline: Some(Duration::ZERO),
             degrade: true,
+            ..SubmitOptions::default()
         },
     );
     check!(
